@@ -1,0 +1,81 @@
+// Supplementary experiment E12: the deterministic-LOCAL gap that motivates
+// the paper.
+//
+// Section 1: MIS and (Δ+1)-coloring "have fast randomized algorithms
+// [Lub86] and exponentially slower deterministic algorithms [AGLP89]",
+// and whether a polylog deterministic algorithm exists is the open
+// question behind P-SLOCAL-completeness.  This bench makes the gap
+// concrete on bounded-degree graphs, where the classic deterministic
+// pipeline IS fast:
+//
+//    Linial O(log* n) rounds  ->  O(Δ² log² Δ) colors
+//    color_reduction           ->  Δ+1 colors   (+O(Δ²) rounds)
+//    mis_from_coloring          ->  MIS          (+Δ+1 rounds)
+//
+// versus randomized Luby (O(log n) rounds, any degree).  The
+// deterministic pipeline's round bill depends on Δ, not n — watch the
+// columns stay flat as n grows and explode as Δ grows.
+#include <cmath>
+#include <iostream>
+
+#include "graph/generators.hpp"
+#include "local/from_coloring.hpp"
+#include "local/linial_coloring.hpp"
+#include "local/luby_mis.hpp"
+#include "mis/independent_set.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+using namespace pslocal;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const std::uint64_t seed = opts.get_int("seed", 12);
+
+  {
+    Table table(
+        "E12a — deterministic MIS pipeline vs randomized Luby, Δ = 2 "
+        "(rings): rounds vs n");
+    table.header({"n", "Linial rounds", "Linial colors", "reduce rounds",
+                  "MIS sweep rounds", "det. total", "Luby rounds (rand)"});
+    for (std::size_t n : {64u, 256u, 1024u, 4096u}) {
+      const Graph g = ring(n);
+      const auto linial = linial_coloring(g);
+      const auto reduced = color_reduction(g, linial.coloring);
+      const auto mis = mis_from_coloring(g, reduced.coloring);
+      const auto luby = luby_mis(g, seed + n);
+      table.row({fmt_size(n), fmt_size(linial.rounds),
+                 fmt_size(linial.colors_range), fmt_size(reduced.rounds),
+                 fmt_size(mis.rounds),
+                 fmt_size(linial.rounds + reduced.rounds + mis.rounds),
+                 fmt_size(luby.rounds)});
+    }
+    std::cout << table.render();
+  }
+
+  {
+    Table table(
+        "E12b — the same pipeline as Δ grows (near-regular graphs, n=256): "
+        "deterministic cost is degree-driven");
+    table.header({"target d", "Δ", "Linial colors", "det. total rounds",
+                  "Luby rounds (rand)"});
+    for (std::size_t d : {2u, 4u, 8u, 16u}) {
+      Rng rng(seed + d);
+      const Graph g = random_near_regular(256, d, rng);
+      const auto linial = linial_coloring(g);
+      const auto reduced = color_reduction(g, linial.coloring);
+      const auto mis = mis_from_coloring(g, reduced.coloring);
+      const auto luby = luby_mis(g, seed + d);
+      table.row({fmt_size(d), fmt_size(g.max_degree()),
+                 fmt_size(linial.colors_range),
+                 fmt_size(linial.rounds + reduced.rounds + mis.rounds),
+                 fmt_size(luby.rounds)});
+    }
+    std::cout << table.render();
+  }
+  std::cout
+      << "Deterministic rounds are flat in n (log* + poly(Δ)) but blow up "
+         "with Δ, while Luby stays\nO(log n) regardless — the gap the "
+         "P-SLOCAL theory, and this paper's completeness result, probe.\n";
+  return 0;
+}

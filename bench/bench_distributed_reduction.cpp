@@ -1,0 +1,79 @@
+// Supplementary experiment E14: the Theorem 1.1 reduction as an actual
+// distributed computation on H.
+//
+// Every phase hosts G_k^i on H's primal graph (dilation 1), runs Luby's
+// MIS through the hosts, colors locally, and detects happy edges in one
+// exchange.  The total physical round bill — the quantity the LOCAL model
+// cares about — is tabulated against instance size next to the trivial
+// sequential alternative (gather everything: diameter-ish ~ |V| rounds).
+#include <cmath>
+#include <iostream>
+
+#include "core/distributed_reduction.hpp"
+#include "hypergraph/generators.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+using namespace pslocal;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const std::uint64_t seed = opts.get_int("seed", 14);
+
+  Table table(
+      "E14 — distributed reduction on H (hosted Luby per phase, k = 3)");
+  table.header({"n", "m", "phases", "total H rounds", "colors",
+                "max host msg bytes", "4*log2(kn)^2 ref"});
+
+  for (std::size_t n : {16u, 32u, 64u, 128u, 192u}) {
+    Rng rng(seed + n);
+    PlantedCfParams params;
+    params.n = n;
+    params.m = n;
+    params.k = 3;
+    const auto inst = planted_cf_colorable(params, rng);
+    const auto res = distributed_cf_multicoloring(inst.hypergraph, 3,
+                                                  seed * 7 + n);
+    if (!res.success) return 1;
+    std::size_t max_msg = 0;
+    for (const auto& t : res.trace)
+      max_msg = std::max(max_msg, t.max_message_bytes);
+    const double ref =
+        4.0 * std::pow(std::log2(3.0 * static_cast<double>(n)), 2.0);
+    table.row({fmt_size(n), fmt_size(n), fmt_size(res.phases),
+               fmt_size(res.total_physical_rounds), fmt_size(res.colors_used),
+               fmt_size(max_msg), fmt_double(ref, 0)});
+  }
+  std::cout << table.render();
+
+  // The deterministic variant: greedy SLOCAL(1) MIS on G_k^i compiled via
+  // a network decomposition of (G_k^i)^3 — zero random bits end to end.
+  Table table2(
+      "E14b — deterministic distributed reduction (compiled SLOCAL oracle)");
+  table2.header({"n", "m", "phases", "round bill", "colors",
+                 "ND colors (max over phases)"});
+  for (std::size_t n : {16u, 32u, 64u}) {
+    Rng rng(seed * 3 + n);
+    PlantedCfParams params;
+    params.n = n;
+    params.m = n;
+    params.k = 3;
+    const auto inst = planted_cf_colorable(params, rng);
+    const auto res =
+        deterministic_distributed_cf_multicoloring(inst.hypergraph, 3);
+    if (!res.success) return 1;
+    std::size_t nd_colors = 0;
+    for (const auto& t : res.trace)
+      nd_colors = std::max(nd_colors, t.decomposition_colors);
+    table2.row({fmt_size(n), fmt_size(n), fmt_size(res.phases),
+                fmt_size(res.total_round_bill), fmt_size(res.colors_used),
+                fmt_size(nd_colors)});
+  }
+  std::cout << table2.render();
+  std::cout << "Rounds stay polylogarithmic in n while message sizes grow "
+               "with host load — LOCAL's\nunbounded bandwidth is exactly "
+               "what the simulability argument spends.  The deterministic\n"
+               "variant shows the derandomization payoff: decomposition-"
+               "compiled SLOCAL oracles, no coins.\n";
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Experiment E11: micro-benchmarks (google-benchmark) for the hot paths:
+// conflict-graph construction, the Lemma 2.1 correspondence maps, the
+// greedy oracles, and happy-edge scanning.
+#include <benchmark/benchmark.h>
+
+#include "core/correspondence.hpp"
+#include "core/reduction.hpp"
+#include "core/simulation.hpp"
+#include "graph/generators.hpp"
+#include "hypergraph/generators.hpp"
+#include "mis/exact_maxis.hpp"
+#include "mis/greedy_maxis.hpp"
+#include "mis/kernelization.hpp"
+
+namespace {
+
+using namespace pslocal;
+
+PlantedCfInstance make_instance(std::size_t m, std::size_t k) {
+  Rng rng(1234 + m * 3 + k);
+  PlantedCfParams params;
+  params.n = std::max<std::size_t>(2 * m, 4 * k);
+  params.m = m;
+  params.k = k;
+  return planted_cf_colorable(params, rng);
+}
+
+void BM_ConflictGraphBuild(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto inst = make_instance(m, k);
+  for (auto _ : state) {
+    ConflictGraph cg(inst.hypergraph, k);
+    benchmark::DoNotOptimize(cg.graph().edge_count());
+  }
+  state.SetLabel("m=" + std::to_string(m) + " k=" + std::to_string(k));
+}
+BENCHMARK(BM_ConflictGraphBuild)
+    ->Args({16, 2})
+    ->Args({64, 2})
+    ->Args({64, 4})
+    ->Args({128, 4});
+
+void BM_IsFromColoring(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto inst = make_instance(m, 3);
+  const ConflictGraph cg(inst.hypergraph, 3);
+  const CfColoring f(inst.planted_coloring);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(is_from_coloring(cg, f));
+  }
+}
+BENCHMARK(BM_IsFromColoring)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_ColoringFromIs(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto inst = make_instance(m, 3);
+  const ConflictGraph cg(inst.hypergraph, 3);
+  const auto is = is_from_coloring(cg, CfColoring(inst.planted_coloring));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coloring_from_is(cg, is));
+  }
+}
+BENCHMARK(BM_ColoringFromIs)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_GreedyMinDegreeOnConflictGraph(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto inst = make_instance(m, 3);
+  const ConflictGraph cg(inst.hypergraph, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(greedy_min_degree_maxis(cg.graph()));
+  }
+}
+BENCHMARK(BM_GreedyMinDegreeOnConflictGraph)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_HappyEdgeScan(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto inst = make_instance(m, 3);
+  const CfColoring f(inst.planted_coloring);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(happy_edge_count(inst.hypergraph, f));
+  }
+}
+BENCHMARK(BM_HappyEdgeScan)->Arg(64)->Arg(256);
+
+void BM_ExactMaxISOnConflictGraph(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto inst = make_instance(m, 2);
+  const ConflictGraph cg(inst.hypergraph, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExactMaxIS().solve(cg.graph()));
+  }
+}
+BENCHMARK(BM_ExactMaxISOnConflictGraph)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_KernelizeRandomGraph(benchmark::State& state) {
+  Rng rng(5);
+  const Graph g = gnp(static_cast<std::size_t>(state.range(0)), 0.05, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernelize_maxis(g));
+  }
+}
+BENCHMARK(BM_KernelizeRandomGraph)->Arg(64)->Arg(256);
+
+void BM_HostMappingAnalysis(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto inst = make_instance(m, 3);
+  const ConflictGraph cg(inst.hypergraph, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze_host_mapping(cg));
+  }
+}
+BENCHMARK(BM_HostMappingAnalysis)->Arg(16)->Arg(64);
+
+void BM_FullReductionGreedy(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto inst = make_instance(m, 3);
+  for (auto _ : state) {
+    GreedyMinDegreeOracle oracle;
+    ReductionOptions opts;
+    opts.k = 3;
+    opts.verify_phases = false;
+    benchmark::DoNotOptimize(
+        cf_multicoloring_via_maxis(inst.hypergraph, oracle, opts));
+  }
+}
+BENCHMARK(BM_FullReductionGreedy)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Experiment E6 (Table 3): empirical approximation quality of every MaxIS
+// oracle on conflict graphs.
+//
+// The reduction is generic in the oracle; the only thing that matters is
+// its lambda.  On planted conflict graphs alpha(G_k) = m is known exactly
+// (Lemma 2.1 a), so the empirical lambda = m / |I| requires no exact
+// solve.  We tabulate every oracle the library ships, plus its proven
+// guarantee where one exists.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "core/conflict_graph.hpp"
+#include "hypergraph/generators.hpp"
+#include "local/luby_mis.hpp"
+#include "mis/degraded_oracle.hpp"
+#include "mis/exact_maxis.hpp"
+#include "mis/greedy_maxis.hpp"
+#include "slocal/ball_carving.hpp"
+#include "util/options.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace pslocal;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const std::uint64_t seed = opts.get_int("seed", 6);
+  const int reps = static_cast<int>(opts.get_int("reps", 3));
+
+  struct OracleEntry {
+    MaxISOraclePtr oracle;
+    bool heavy;  // restrict to the small instance
+  };
+  std::vector<OracleEntry> oracles;
+  oracles.push_back({std::make_unique<ExactOracle>(), true});
+  oracles.push_back({std::make_unique<GreedyMinDegreeOracle>(), false});
+  oracles.push_back({std::make_unique<CliqueCoverGreedyOracle>(), false});
+  oracles.push_back({std::make_unique<RandomGreedyOracle>(seed), false});
+  oracles.push_back({std::make_unique<LubyOracle>(seed), false});
+  oracles.push_back({std::make_unique<BallCarvingOracle>(), true});
+
+  struct Instance {
+    std::string name;
+    std::size_t n, m, k;
+  };
+  const std::vector<Instance> instances = {
+      {"small (m=12, k=2)", 24, 12, 2},
+      {"medium (m=48, k=3)", 64, 48, 3},
+      {"large (m=96, k=4)", 128, 96, 4},
+  };
+
+  Table table("E6 / Table 3 — oracle quality on conflict graphs "
+              "(alpha = m by Lemma 2.1 a)");
+  table.header({"instance", "oracle", "|I| avg", "alpha", "empirical lambda",
+                "proven lambda", "ms avg"});
+
+  for (const auto& inst_spec : instances) {
+    Rng rng(seed + inst_spec.m);
+    PlantedCfParams params;
+    params.n = inst_spec.n;
+    params.m = inst_spec.m;
+    params.k = inst_spec.k;
+    const auto inst = planted_cf_colorable(params, rng);
+    const ConflictGraph cg(inst.hypergraph, inst_spec.k);
+
+    for (auto& entry : oracles) {
+      if (entry.heavy && inst_spec.m > 12) continue;  // exact/carving: small only
+      Accumulator size_acc, time_acc;
+      for (int rep = 0; rep < reps; ++rep) {
+        WallTimer timer;
+        const auto is = entry.oracle->solve(cg.graph());
+        time_acc.add(timer.elapsed_millis());
+        size_acc.add(static_cast<double>(is.size()));
+      }
+      const double lambda =
+          static_cast<double>(inst_spec.m) / size_acc.mean();
+      const auto guarantee = entry.oracle->lambda_guarantee();
+      table.row({inst_spec.name, entry.oracle->name(),
+                 fmt_double(size_acc.mean(), 1), fmt_size(inst_spec.m),
+                 fmt_ratio(lambda, 3),
+                 guarantee ? fmt_ratio(*guarantee, 1) : "-",
+                 fmt_double(time_acc.mean(), 2)});
+    }
+  }
+  std::cout << table.render();
+  std::cout << "Structure-aware greedies sit near lambda = 1 on conflict "
+               "graphs; any polylog lambda suffices for Theorem 1.1.\n";
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Supplementary experiment E13: the P-SLOCAL landscape in numbers.
+//
+// The paper situates MaxIS approximation among the known
+// P-SLOCAL-complete problems: conflict-free multicoloring [GKM17],
+// network decomposition [GKM17], dominating-set approximation [GHK18].
+// This bench runs the library's implementation of each on a shared
+// workload and reports the certificate quantities (colors, cluster
+// parameters, approximation ratios, localities) side by side.
+#include <cmath>
+#include <iostream>
+#include <numeric>
+
+#include "coloring/splitting.hpp"
+#include "core/reduction.hpp"
+#include "cover/dominating_set.hpp"
+#include "cover/set_cover.hpp"
+#include "graph/generators.hpp"
+#include "hypergraph/generators.hpp"
+#include "mis/greedy_maxis.hpp"
+#include "slocal/ball_carving.hpp"
+#include "slocal/network_decomposition.hpp"
+#include "slocal/ruling_set.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+using namespace pslocal;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const std::uint64_t seed = opts.get_int("seed", 13);
+
+  Table table("E13 — P-SLOCAL-complete problems on one workload family");
+  table.header({"problem", "instance", "certificate", "bound / reference"});
+
+  // 1. MaxIS approximation (this paper) via SLOCAL ball carving.
+  {
+    Rng rng(seed);
+    const Graph g = gnp(96, 5.0 / 96.0, rng);
+    std::vector<VertexId> order(g.vertex_count());
+    std::iota(order.begin(), order.end(), VertexId{0});
+    const auto carve = ball_carving_maxis(g, order);
+    table.row({"MaxIS polylog-approx (Thm 1.1)", "G(96, deg~5)",
+               "|I| = " + fmt_size(carve.independent_set.size()) +
+                   ", locality " + fmt_size(carve.locality),
+               "lambda <= 2, locality <= log2 n + 1 = " +
+                   fmt_double(std::log2(96.0) + 1, 1)});
+  }
+
+  // 2. Conflict-free multicoloring (Thm 1.2 source problem).
+  {
+    Rng rng(seed + 1);
+    PlantedCfParams params;
+    params.n = 96;
+    params.m = 96;
+    params.k = 3;
+    const auto inst = planted_cf_colorable(params, rng);
+    GreedyMinDegreeOracle oracle;
+    ReductionOptions ropts;
+    ropts.k = 3;
+    const auto res = cf_multicoloring_via_maxis(inst.hypergraph, oracle, ropts);
+    table.row({"CF multicoloring [GKM17]", "planted, m=96, k=3",
+               "colors = " + fmt_size(res.colors_used) + ", phases = " +
+                   fmt_size(res.phases),
+               "k*rho = polylog; fresh baseline = 96"});
+  }
+
+  // 3. Network decomposition [GKM17].
+  {
+    Rng rng(seed + 2);
+    const Graph g = gnp(128, 4.0 / 128.0, rng);
+    const auto nd = ball_growing_decomposition(g);
+    const bool ok = verify_decomposition(
+        g, nd, decomposition_diameter_bound(128),
+        decomposition_color_bound(128));
+    table.row({"network decomposition [GKM17]", "G(128, deg~4)",
+               "C = " + fmt_size(nd.color_count) + ", clusters = " +
+                   fmt_size(nd.cluster_count) + ", valid = " + fmt_bool(ok),
+               "C <= log2 n + 1 = " + fmt_size(decomposition_color_bound(128)) +
+                   ", D <= 2 log2 n = " +
+                   fmt_size(decomposition_diameter_bound(128))});
+  }
+
+  // 4. Dominating set approximation [GHK18].
+  {
+    Rng rng(seed + 3);
+    const Graph g = gnp(24, 0.2, rng);
+    const auto greedy = greedy_dominating_set(g);
+    const auto exact = exact_dominating_set(g);
+    const double ratio = static_cast<double>(greedy.size()) /
+                         static_cast<double>(exact.set.size());
+    table.row({"dominating set approx [GHK18]", "G(24, p=0.2)",
+               "greedy = " + fmt_size(greedy.size()) + ", opt = " +
+                   fmt_size(exact.set.size()) + ", ratio = " +
+                   fmt_ratio(ratio, 2),
+               "H(Δ+1) = " + fmt_ratio(dominating_set_guarantee(g), 2)});
+  }
+
+  // 4b. Set cover [GHK18] — dominating set's hypergraph generalization.
+  {
+    Rng rng(seed + 13);
+    const Graph g = gnp(20, 0.25, rng);
+    const auto h = closed_neighborhood_hypergraph(g);
+    const auto greedy = greedy_set_cover(h);
+    const auto exact = exact_set_cover(h);
+    const double ratio = static_cast<double>(greedy.size()) /
+                         static_cast<double>(exact.cover.size());
+    table.row({"set cover approx [GHK18]", "N[v] sets of G(20, p=0.25)",
+               "greedy = " + fmt_size(greedy.size()) + ", opt = " +
+                   fmt_size(exact.cover.size()) + ", ratio = " +
+                   fmt_ratio(ratio, 2),
+               "H(rank) = " + fmt_ratio(set_cover_guarantee(h), 2)});
+  }
+
+  // 4c. (Weak) local splitting [GKM17] via derandomized SLOCAL(1).
+  {
+    Rng rng(seed + 17);
+    const auto h = random_uniform_hypergraph(80, 50, 9, rng);
+    std::vector<VertexId> order(h.vertex_count());
+    std::iota(order.begin(), order.end(), VertexId{0});
+    const auto res = derandomized_splitting(h, order);
+    table.row({"(weak) splitting [GKM17]", "50 edges of size 9",
+               "mono = " +
+                   fmt_size(monochromatic_edge_count(h, res.splitting)) +
+                   ", locality " + fmt_size(res.locality),
+               "estimator " + fmt_double(res.initial_estimator, 3) +
+                   " < 1 => always valid"});
+  }
+
+  // 5. Ruling sets (substrate for [AGLP89]-style decompositions).
+  {
+    Rng rng(seed + 4);
+    const Graph g = gnp(96, 5.0 / 96.0, rng);
+    std::vector<VertexId> order(g.vertex_count());
+    std::iota(order.begin(), order.end(), VertexId{0});
+    const auto rs = slocal_ruling_set(g, 3, order);
+    table.row({"(3,2)-ruling set [AGLP89 toolkit]", "G(96, deg~5)",
+               "|S| = " + fmt_size(rs.ruling_set.size()) + ", locality " +
+                   fmt_size(rs.locality),
+               "locality = alpha-1 = 2"});
+  }
+
+  std::cout << table.render();
+  std::cout << "Every completeness-class member runs on the same substrate "
+               "stack; solving any one of\nthem in deterministic polylog "
+               "LOCAL derandomizes them all (paper, Section 1).\n";
+  return 0;
+}

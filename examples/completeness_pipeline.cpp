@@ -1,0 +1,104 @@
+// Scenario example: the full P-SLOCAL-completeness pipeline of Theorem 1.1,
+// narrated step by step with every lemma re-checked on live objects.
+//
+//   hardness:     CF multicoloring  --local reduction-->  MaxIS approx
+//   containment:  MaxIS approx is solved by an SLOCAL algorithm
+//                 (ball carving, 2-approx, O(log n) locality)
+//
+// Running the reduction with the ball-carving oracle therefore solves a
+// P-SLOCAL-complete problem using a P-SLOCAL algorithm — the two halves of
+// the completeness proof composed into one executable.
+//
+//   ./example_completeness_pipeline [--m=14] [--seed=11]
+#include <iostream>
+
+#include "core/correspondence.hpp"
+#include "core/problems.hpp"
+#include "core/reduction.hpp"
+#include "core/simulation.hpp"
+#include "hypergraph/generators.hpp"
+#include "slocal/ball_carving.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+using namespace pslocal;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const std::size_t m = opts.get_int("m", 14);
+  Rng rng(opts.get_int("seed", 11));
+
+  std::cout << "== The P-SLOCAL landscape ==\n";
+  for (const auto& p : problem_catalogue())
+    std::cout << "  - " << p.name << ": " << to_string(p.status) << "  ["
+              << p.reference << "]\n";
+  std::cout << "\n";
+
+  // The P-SLOCAL-complete source problem (Theorem 1.2): CF multicoloring
+  // of an almost-uniform hypergraph that admits a CF k-coloring.
+  PlantedCfParams params;
+  params.n = 2 * m;
+  params.m = m;
+  params.k = 2;
+  const auto inst = planted_cf_colorable(params, rng);
+  std::cout << "Source instance: CF multicoloring, m=" << m
+            << " hyperedges, promised CF k-coloring with k=2\n\n";
+
+  // Phase-by-phase, with all of Lemma 2.1 re-verified.
+  Hypergraph current = inst.hypergraph.restrict_edges(
+      std::vector<bool>(inst.hypergraph.edge_count(), true));
+  BallCarvingOracle oracle;  // the containment-side SLOCAL algorithm
+  CfMulticoloring coloring(inst.hypergraph.vertex_count());
+  Table table("Pipeline trace (oracle: SLOCAL ball carving, lambda <= 2)");
+  table.header({"phase", "|E_i|", "|V(Gk)|", "dilation<=1", "alpha=|E_i|",
+                "|I_i|", "happy>=|I_i|", "removed"});
+
+  std::size_t phase = 0;
+  while (current.edge_count() > 0) {
+    ++phase;
+    const ConflictGraph cg(current, 2);
+
+    // The conflict graph is simulatable in H in one round (Section 2).
+    const auto host = analyze_host_mapping(cg);
+
+    // Lemma 2.1 a): the promise coloring certifies alpha(G_k) = |E_i|.
+    const auto lemma_a = check_lemma_a(cg, CfColoring(inst.planted_coloring));
+
+    // The SLOCAL containment algorithm plays the lambda-approx oracle.
+    const auto is = oracle.solve(cg.graph());
+
+    // Lemma 2.1 b): the IS converts to a partial coloring, edges get happy.
+    const auto lemma_b = check_lemma_b(cg, is);
+    const auto induced = coloring_from_is(cg, is);
+    coloring.absorb(induced.coloring, (phase - 1) * 2);
+
+    const auto happy = happy_edges(current, induced.coloring);
+    std::vector<bool> keep(current.edge_count());
+    std::size_t removed = 0;
+    for (EdgeId e = 0; e < current.edge_count(); ++e) {
+      keep[e] = !happy[e];
+      if (happy[e]) ++removed;
+    }
+    table.row({fmt_size(phase), fmt_size(current.edge_count()),
+               fmt_size(cg.triple_count()),
+               fmt_bool(host.one_round_simulable),
+               fmt_bool(lemma_a.attains_maximum), fmt_size(is.size()),
+               fmt_bool(lemma_b.happy_at_least_is_size), fmt_size(removed)});
+    if (!host.one_round_simulable || !lemma_a.attains_maximum ||
+        !lemma_b.happy_at_least_is_size || removed == 0)
+      return 1;
+    current = current.restrict_edges(keep);
+  }
+  std::cout << table.render();
+
+  const bool ok = is_conflict_free(inst.hypergraph, coloring);
+  std::cout << "\nFinal multicoloring conflict-free: " << fmt_bool(ok)
+            << ", colors used: " << coloring.palette_size() << " <= k*phases = "
+            << 2 * phase << "\n"
+            << "rho bound for lambda=2: "
+            << reduction_phase_bound(2.0, m) << " phases; used " << phase
+            << ".\n\nBoth directions of Theorem 1.1 exercised: a P-SLOCAL "
+               "algorithm (ball carving)\nsolved the P-SLOCAL-complete "
+               "problem through the paper's local reduction.\n";
+  return ok ? 0 : 1;
+}

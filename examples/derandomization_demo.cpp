@@ -1,0 +1,135 @@
+// Scenario example: derandomization, the paper's raison d'être.
+//
+// "If any P-SLOCAL-complete problem can be solved efficiently by a
+//  deterministic algorithm in the LOCAL model all problems in the class
+//  P-SLOCAL can be solved efficiently by deterministic algorithms."
+//
+// This demo shows the derandomization mechanics the class is built on, at
+// three levels:
+//
+//  1. A problem where randomness is trivial but determinism needs work:
+//     hypergraph splitting.  Random coloring fails a measurable fraction
+//     of the time near the threshold; the conditional-expectations
+//     SLOCAL(1) algorithm *never* fails above it.
+//  2. SLOCAL -> LOCAL: the compiler turns the sequential derandomized
+//     algorithm into a deterministic distributed one, billed in rounds
+//     via a network decomposition.
+//  3. The full stack: a deterministic oracle (greedy) inside the
+//     Theorem 1.1 reduction solves the P-SLOCAL-complete CF multicoloring
+//     problem with zero random bits.
+//
+//   ./example_derandomization_demo [--seed=21]
+#include <cmath>
+#include <iostream>
+#include <numeric>
+
+#include "coloring/splitting.hpp"
+#include "core/reduction.hpp"
+#include "hypergraph/generators.hpp"
+#include "local/slocal_compiler.hpp"
+#include "mis/greedy_maxis.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+using namespace pslocal;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const std::uint64_t seed = opts.get_int("seed", 21);
+  Rng rng(seed);
+
+  // 1. Random vs derandomized splitting near the threshold.
+  {
+    Table table(
+        "1) splitting: random coin-flips vs conditional expectations "
+        "(50 edges, 200 random trials each)");
+    table.header({"edge size s", "estimator m*2^(1-s)",
+                  "random failure rate", "derandomized mono edges"});
+    for (std::size_t s : {4u, 6u, 8u, 10u}) {
+      const auto h = random_uniform_hypergraph(80, 50, s, rng);
+      std::size_t failures = 0;
+      for (int t = 0; t < 200; ++t)
+        if (!is_valid_splitting(h, random_splitting(h, rng))) ++failures;
+      std::vector<VertexId> order(h.vertex_count());
+      std::iota(order.begin(), order.end(), VertexId{0});
+      const auto der = derandomized_splitting(h, order);
+      table.row({fmt_size(s), fmt_double(splitting_estimator(h), 3),
+                 fmt_double(static_cast<double>(failures) / 200.0, 3),
+                 fmt_size(monochromatic_edge_count(h, der.splitting))});
+    }
+    std::cout << table.render() << "\n";
+  }
+
+  // 2. The derandomized splitting compiled to deterministic LOCAL.
+  {
+    const auto h = random_uniform_hypergraph(60, 40, 9, rng);
+    const Graph primal = h.primal_graph();
+    struct SplitCell {
+      bool assigned = false;
+      bool blue = false;
+    };
+    // Inline conditional-expectations step (locality 1), run through the
+    // compiler on the communication graph.
+    auto run = compile_slocal_to_local<SplitCell>(
+        primal, 1, std::vector<SplitCell>(h.vertex_count()),
+        [&h](SLocalView<SplitCell>& view) {
+          const VertexId v = view.center();
+          double if_red = 0, if_blue = 0;
+          for (EdgeId e : h.edges_of(v)) {
+            for (int hypo = 0; hypo < 2; ++hypo) {
+              std::size_t unassigned = 0;
+              bool any_r = false, any_b = false;
+              for (VertexId u : h.edge(e)) {
+                bool assigned, blue;
+                if (u == v) {
+                  assigned = true;
+                  blue = (hypo == 1);
+                } else {
+                  const auto& s = view.state(u);
+                  assigned = s.assigned;
+                  blue = s.blue;
+                }
+                if (!assigned)
+                  ++unassigned;
+                else
+                  (blue ? any_b : any_r) = true;
+              }
+              double p = 0;
+              if (!(any_r && any_b)) {
+                p = std::pow(2.0, -static_cast<double>(unassigned));
+                if (!any_r && !any_b) p *= 2.0;
+              }
+              (hypo == 0 ? if_red : if_blue) += p;
+            }
+          }
+          view.own_state() = SplitCell{true, if_blue < if_red};
+        });
+    Splitting s(h.vertex_count());
+    for (VertexId v = 0; v < h.vertex_count(); ++v)
+      s[v] = run.states[v].blue;
+    std::cout << "2) compiled deterministic LOCAL splitting: valid="
+              << fmt_bool(is_valid_splitting(h, s)) << ", rounds bill = "
+              << run.local_rounds << " (decomposition: "
+              << run.decomposition_colors << " colors, "
+              << run.decomposition_clusters << " clusters)\n\n";
+  }
+
+  // 3. Deterministic end-to-end CF multicoloring via the reduction.
+  {
+    PlantedCfParams params;
+    params.n = 60;
+    params.m = 45;
+    params.k = 3;
+    auto inst = planted_cf_colorable(params, rng);
+    GreedyMinDegreeOracle oracle;  // fully deterministic
+    ReductionOptions ropts;
+    ropts.k = 3;
+    const auto res =
+        cf_multicoloring_via_maxis(inst.hypergraph, oracle, ropts);
+    std::cout << "3) deterministic reduction: success="
+              << fmt_bool(res.success) << ", colors=" << res.colors_used
+              << ", phases=" << res.phases
+              << " — zero random bits consumed.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,214 @@
+// pslocal_cli — file-based command-line front end to the library.
+//
+// Subcommands:
+//   gen      --type=planted|interval|uniform --out=FILE [--n --m --k --s
+//            --eps --seed]                    generate a hypergraph
+//   inspect  --in=FILE [--eps=0.5]            print structural stats
+//   solve    --in=FILE [--k --oracle=greedy|clique|random|luby|exact
+//            --out=FILE --seed --trace]       CF-multicolor via Theorem 1.1
+//   verify   --in=FILE --coloring=FILE        check a multicoloring file
+//   conflict --in=FILE --k=K --out=FILE       emit G_k as an edge list
+//
+// Coloring file format: line 1 "n"; then per vertex a line
+// "c  color_1 ... color_c".
+//
+// Examples:
+//   pslocal_cli gen --type=planted --n=64 --m=48 --k=3 --out=h.hg
+//   pslocal_cli solve --in=h.hg --k=3 --oracle=greedy --out=h.colors
+//   pslocal_cli verify --in=h.hg --coloring=h.colors
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "core/conflict_graph.hpp"
+#include "core/reduction.hpp"
+#include "core/simulation.hpp"
+#include "graph/io.hpp"
+#include "hypergraph/generators.hpp"
+#include "hypergraph/io.hpp"
+#include "hypergraph/properties.hpp"
+#include "local/luby_mis.hpp"
+#include "mis/exact_maxis.hpp"
+#include "mis/greedy_maxis.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+using namespace pslocal;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: pslocal_cli <gen|inspect|solve|verify|conflict> "
+               "[--options]\n       see the header of examples/pslocal_cli.cpp\n";
+  return 2;
+}
+
+void write_multicoloring(const std::string& path, const CfMulticoloring& mc) {
+  std::ofstream f(path);
+  PSL_CHECK_MSG(f.good(), "cannot open " << path);
+  f << mc.vertex_count() << '\n';
+  for (VertexId v = 0; v < mc.vertex_count(); ++v) {
+    const auto& cs = mc.colors_of(v);
+    f << cs.size();
+    for (auto c : cs) f << ' ' << c;
+    f << '\n';
+  }
+}
+
+CfMulticoloring read_multicoloring(const std::string& path) {
+  std::ifstream f(path);
+  PSL_CHECK_MSG(f.good(), "cannot open " << path);
+  std::size_t n = 0;
+  PSL_CHECK_MSG(static_cast<bool>(f >> n), "bad coloring header");
+  CfMulticoloring mc(n);
+  for (VertexId v = 0; v < n; ++v) {
+    std::size_t count = 0;
+    PSL_CHECK_MSG(static_cast<bool>(f >> count), "bad color count at " << v);
+    for (std::size_t i = 0; i < count; ++i) {
+      std::size_t c = 0;
+      PSL_CHECK_MSG(static_cast<bool>(f >> c), "bad color at vertex " << v);
+      mc.add_color(v, c);
+    }
+  }
+  return mc;
+}
+
+MaxISOraclePtr make_oracle(const std::string& kind, std::uint64_t seed) {
+  if (kind == "greedy") return std::make_unique<GreedyMinDegreeOracle>();
+  if (kind == "clique") return std::make_unique<CliqueCoverGreedyOracle>();
+  if (kind == "random") return std::make_unique<RandomGreedyOracle>(seed);
+  if (kind == "luby") return std::make_unique<LubyOracle>(seed);
+  if (kind == "exact") return std::make_unique<ExactOracle>();
+  PSL_CHECK_MSG(false, "unknown oracle '" << kind << "'");
+  return nullptr;
+}
+
+int cmd_gen(const Options& opts) {
+  const std::string type = opts.get_string("type", "planted");
+  const std::string out = opts.get_string("out", "");
+  if (out.empty()) return usage();
+  Rng rng(opts.get_int("seed", 1));
+  Hypergraph h;
+  if (type == "planted") {
+    PlantedCfParams params;
+    params.n = opts.get_int("n", 64);
+    params.m = opts.get_int("m", 48);
+    params.k = opts.get_int("k", 3);
+    params.epsilon = opts.get_double("eps", 1.0);
+    auto inst = planted_cf_colorable(params, rng);
+    h = std::move(inst.hypergraph);
+    std::cout << "generated planted instance (admits CF " << params.k
+              << "-coloring)\n";
+  } else if (type == "interval") {
+    h = interval_hypergraph(opts.get_int("n", 64), opts.get_int("m", 96), 2,
+                            opts.get_int("s", 10), rng);
+  } else if (type == "uniform") {
+    h = random_uniform_hypergraph(opts.get_int("n", 64), opts.get_int("m", 48),
+                                  opts.get_int("s", 4), rng);
+  } else {
+    return usage();
+  }
+  save_hypergraph(out, h);
+  std::cout << "wrote " << h.vertex_count() << " vertices, " << h.edge_count()
+            << " edges to " << out << "\n";
+  return 0;
+}
+
+int cmd_inspect(const Options& opts) {
+  const std::string in = opts.get_string("in", "");
+  if (in.empty()) return usage();
+  const auto h = load_hypergraph(in);
+  const auto stats = hypergraph_stats(h);
+  const double eps = opts.get_double("eps", 0.5);
+  Table table("hypergraph " + in);
+  table.header({"property", "value"});
+  table.row({"vertices", fmt_size(stats.vertices)});
+  table.row({"edges", fmt_size(stats.edges)});
+  table.row({"rank / corank", fmt_size(stats.rank) + " / " +
+                                  fmt_size(stats.corank)});
+  table.row({"avg edge size", fmt_double(stats.avg_edge_size, 2)});
+  table.row({"max vertex degree", fmt_size(stats.max_vertex_degree)});
+  table.row({"almost uniform (eps=" + fmt_double(eps, 2) + ")",
+             fmt_bool(is_almost_uniform(h, eps))});
+  table.row({"distinct edges", fmt_bool(has_distinct_edges(h))});
+  std::cout << table.render();
+  return 0;
+}
+
+int cmd_solve(const Options& opts) {
+  const std::string in = opts.get_string("in", "");
+  if (in.empty()) return usage();
+  const auto h = load_hypergraph(in);
+  auto oracle = make_oracle(opts.get_string("oracle", "greedy"),
+                            opts.get_int("seed", 1));
+  ReductionOptions ropts;
+  ropts.k = opts.get_int("k", 3);
+  const auto res = cf_multicoloring_via_maxis(h, *oracle, ropts);
+  if (opts.get_bool("trace", false)) {
+    Table trace("phase trace");
+    trace.header({"phase", "|E_i|", "|I_i|", "removed"});
+    for (const auto& t : res.trace)
+      trace.row({fmt_size(t.phase), fmt_size(t.edges_before),
+                 fmt_size(t.is_size), fmt_size(t.happy_removed)});
+    std::cout << trace.render();
+  }
+  std::cout << "success=" << fmt_bool(res.success) << " phases=" << res.phases
+            << " colors=" << res.colors_used << " (k*phases="
+            << res.palette_bound << ")\n";
+  const std::string out = opts.get_string("out", "");
+  if (!out.empty() && res.success) {
+    write_multicoloring(out, res.coloring);
+    std::cout << "wrote multicoloring to " << out << "\n";
+  }
+  return res.success ? 0 : 1;
+}
+
+int cmd_verify(const Options& opts) {
+  const std::string in = opts.get_string("in", "");
+  const std::string coloring = opts.get_string("coloring", "");
+  if (in.empty() || coloring.empty()) return usage();
+  const auto h = load_hypergraph(in);
+  const auto mc = read_multicoloring(coloring);
+  PSL_CHECK_MSG(mc.vertex_count() == h.vertex_count(),
+                "coloring has " << mc.vertex_count() << " vertices, expected "
+                                << h.vertex_count());
+  const auto happy = happy_edge_count(h, mc);
+  const bool ok = happy == h.edge_count();
+  std::cout << "happy edges: " << happy << "/" << h.edge_count()
+            << "  conflict-free: " << fmt_bool(ok) << "  colors: "
+            << mc.palette_size() << "\n";
+  return ok ? 0 : 1;
+}
+
+int cmd_conflict(const Options& opts) {
+  const std::string in = opts.get_string("in", "");
+  const std::string out = opts.get_string("out", "");
+  if (in.empty() || out.empty()) return usage();
+  const auto h = load_hypergraph(in);
+  const ConflictGraph cg(h, opts.get_int("k", 3));
+  save_graph(out, cg.graph());
+  const auto host = analyze_host_mapping(cg);
+  std::cout << "wrote G_k: " << cg.triple_count() << " triples, "
+            << cg.graph().edge_count() << " edges to " << out
+            << "  (host dilation " << host.max_dilation << ")\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Options opts(argc - 1, argv + 1);
+  try {
+    if (cmd == "gen") return cmd_gen(opts);
+    if (cmd == "inspect") return cmd_inspect(opts);
+    if (cmd == "solve") return cmd_solve(opts);
+    if (cmd == "verify") return cmd_verify(opts);
+    if (cmd == "conflict") return cmd_conflict(opts);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,58 @@
+// Quickstart: conflict-free multicoloring via MaxIS approximation.
+//
+// Builds a hypergraph with a hidden (planted) conflict-free k-coloring,
+// runs the Theorem 1.1 reduction with the min-degree greedy MaxIS oracle,
+// verifies the result, and prints the per-phase trace.
+//
+//   ./example_quickstart [--n=64] [--m=48] [--k=3] [--seed=1]
+#include <iostream>
+
+#include "core/reduction.hpp"
+#include "hypergraph/generators.hpp"
+#include "hypergraph/properties.hpp"
+#include "mis/greedy_maxis.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+using namespace pslocal;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  PlantedCfParams params;
+  params.n = opts.get_int("n", 64);
+  params.m = opts.get_int("m", 48);
+  params.k = opts.get_int("k", 3);
+  Rng rng(opts.get_int("seed", 1));
+
+  // 1. A hypergraph that admits a CF k-coloring (the reduction's promise).
+  const auto inst = planted_cf_colorable(params, rng);
+  const auto stats = hypergraph_stats(inst.hypergraph);
+  std::cout << "Instance: n=" << stats.vertices << " vertices, m="
+            << stats.edges << " hyperedges, sizes in [" << stats.corank
+            << ", " << stats.rank << "], planted palette k=" << inst.k
+            << "\n\n";
+
+  // 2. Run the reduction: phases of conflict graph -> MaxIS -> coloring.
+  GreedyMinDegreeOracle oracle;
+  ReductionOptions ropts;
+  ropts.k = params.k;
+  const auto res = cf_multicoloring_via_maxis(inst.hypergraph, oracle, ropts);
+
+  Table trace("Per-phase trace (oracle: " + oracle.name() + ")");
+  trace.header({"phase", "|E_i|", "|V(Gk)|", "|E(Gk)|", "|I_i|",
+                "edges made happy", "oracle ms"});
+  for (const auto& t : res.trace)
+    trace.row({fmt_size(t.phase), fmt_size(t.edges_before),
+               fmt_size(t.conflict_nodes), fmt_size(t.conflict_edges),
+               fmt_size(t.is_size), fmt_size(t.happy_removed),
+               fmt_double(t.oracle_millis, 2)});
+  std::cout << trace.render();
+
+  // 3. Verify and summarize.
+  std::cout << "\nconflict-free: "
+            << fmt_bool(is_conflict_free(inst.hypergraph, res.coloring))
+            << "\nphases: " << res.phases << " (palette bound k*phases = "
+            << res.palette_bound << ")\ncolors used: " << res.colors_used
+            << " (trivial fresh baseline would use " << stats.edges << ")\n";
+  return res.success ? 0 : 1;
+}

@@ -1,0 +1,92 @@
+// Scenario example: the two models of the paper, side by side.
+//
+// The paper's backdrop (Section 1): MIS has fast *randomized* LOCAL
+// algorithms [Lub86] but no known polylog *deterministic* one, which is
+// what the SLOCAL model and P-SLOCAL-completeness probe.  This example
+// runs, on the same graphs:
+//   * the SLOCAL(1) greedy MIS (deterministic, sequential, locality 1),
+//   * Luby's randomized LOCAL MIS (O(log n) rounds),
+//   * the SLOCAL->LOCAL compiler (deterministic LOCAL via network
+//     decomposition — the derandomization route the paper's completeness
+//     result speaks to).
+//
+//   ./example_slocal_vs_local [--seed=7]
+#include <iostream>
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "local/luby_mis.hpp"
+#include "local/slocal_compiler.hpp"
+#include "mis/independent_set.hpp"
+#include "slocal/greedy_algorithms.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+using namespace pslocal;
+
+namespace {
+enum class Mark : std::uint8_t { kUndecided, kIn, kOut };
+}
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const std::uint64_t seed = opts.get_int("seed", 7);
+
+  Table table("MIS three ways: SLOCAL(1), randomized LOCAL, compiled LOCAL");
+  table.header({"graph", "n", "SLOCAL |MIS|", "SLOCAL locality",
+                "Luby |MIS|", "Luby rounds", "compiled |MIS|",
+                "compiled rounds bill"});
+
+  struct Workload {
+    std::string name;
+    Graph graph;
+  };
+  Rng rng(seed);
+  std::vector<Workload> workloads;
+  workloads.push_back({"ring(64)", ring(64)});
+  workloads.push_back({"grid(8x8)", grid(8, 8)});
+  workloads.push_back({"gnp(96, deg~4)", gnp(96, 4.0 / 96.0, rng)});
+  workloads.push_back({"tree(80)", random_tree(80, rng)});
+
+  for (const auto& w : workloads) {
+    const Graph& g = w.graph;
+    std::vector<VertexId> order(g.vertex_count());
+    std::iota(order.begin(), order.end(), VertexId{0});
+
+    const auto slocal = slocal_greedy_mis(g, order);
+    const auto luby = luby_mis(g, seed);
+    const auto compiled = compile_slocal_to_local<Mark>(
+        g, 1, std::vector<Mark>(g.vertex_count(), Mark::kUndecided),
+        [](SLocalView<Mark>& view) {
+          bool neighbor_in = false;
+          for (VertexId u : view.neighbors())
+            if (view.state(u) == Mark::kIn) {
+              neighbor_in = true;
+              break;
+            }
+          view.own_state() = neighbor_in ? Mark::kOut : Mark::kIn;
+        });
+    std::vector<VertexId> compiled_set;
+    for (VertexId v = 0; v < g.vertex_count(); ++v)
+      if (compiled.states[v] == Mark::kIn) compiled_set.push_back(v);
+
+    if (!is_maximal_independent_set(g, slocal.independent_set) ||
+        !is_maximal_independent_set(g, luby.independent_set) ||
+        !is_maximal_independent_set(g, compiled_set))
+      return 1;
+
+    table.row({w.name, fmt_size(g.vertex_count()),
+               fmt_size(slocal.independent_set.size()),
+               fmt_size(slocal.locality),
+               fmt_size(luby.independent_set.size()), fmt_size(luby.rounds),
+               fmt_size(compiled_set.size()), fmt_size(compiled.local_rounds)});
+  }
+  std::cout << table.render();
+  std::cout
+      << "\nSLOCAL solves MIS with locality 1 but sequentially; Luby is "
+         "parallel but randomized;\nthe compiler turns the SLOCAL algorithm "
+         "into a deterministic LOCAL one whose round bill\nis driven by the "
+         "network decomposition — the derandomization currency in which\n"
+         "P-SLOCAL-completeness (Theorem 1.1) is quoted.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Scenario example: conflict-free frequency assignment.
+//
+// The classic motivation for conflict-free coloring: base stations along a
+// road (points on a line) must be assigned frequencies so that every
+// client — who hears all stations within an interval — can tune to at
+// least one station whose frequency is free of interference, i.e. heard
+// from exactly one station.  Client ranges are interval hyperedges; a
+// conflict-free coloring of the stations is a valid frequency plan.
+//
+// We solve the same instance three ways and compare the spectrum used:
+//   1. the interval-specialized dyadic plan (log2 n + 1 frequencies),
+//   2. the paper's generic reduction via MaxIS approximation,
+//   3. the naive fresh-frequency-per-client plan (m frequencies).
+//
+//   ./example_spectrum_assignment [--stations=64] [--clients=128] [--seed=3]
+#include <cmath>
+#include <iostream>
+
+#include "coloring/cf_baselines.hpp"
+#include "core/reduction.hpp"
+#include "hypergraph/generators.hpp"
+#include "mis/greedy_maxis.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+using namespace pslocal;
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  const std::size_t stations = opts.get_int("stations", 64);
+  const std::size_t clients = opts.get_int("clients", 128);
+  Rng rng(opts.get_int("seed", 3));
+
+  const auto ranges = interval_hypergraph(
+      stations, clients, 2, std::min<std::size_t>(stations, 10), rng);
+  std::cout << "Spectrum assignment: " << stations << " stations, "
+            << clients << " client ranges (interval hypergraph)\n\n";
+
+  // 1. Dyadic plan.
+  const auto dyadic = dyadic_interval_cf_coloring(stations);
+  const bool dyadic_ok = is_conflict_free(ranges, dyadic);
+
+  // 2. Theorem 1.1 reduction.  Intervals admit a CF coloring with
+  //    k = floor(log2 n) + 1 single colors (the dyadic witness).
+  const std::size_t k =
+      static_cast<std::size_t>(std::floor(std::log2(
+          static_cast<double>(stations)))) + 1;
+  GreedyMinDegreeOracle oracle;
+  ReductionOptions ropts;
+  ropts.k = k;
+  const auto reduction = cf_multicoloring_via_maxis(ranges, oracle, ropts);
+
+  // 3. Fresh plan.
+  const auto fresh = fresh_color_baseline(ranges);
+
+  Table table("Frequencies used by each plan");
+  table.header({"plan", "frequencies", "valid", "notes"});
+  table.row({"dyadic (interval-specialized)",
+             fmt_size(cf_color_count(dyadic)), fmt_bool(dyadic_ok),
+             "single color per station"});
+  table.row({"reduction via MaxIS (Thm 1.1)",
+             fmt_size(reduction.colors_used), fmt_bool(reduction.success),
+             std::to_string(reduction.phases) + " phases, k=" +
+                 std::to_string(k)});
+  table.row({"fresh color per client", fmt_size(fresh.palette_size()),
+             fmt_bool(is_conflict_free(ranges, fresh)),
+             "multicolor, wasteful"});
+  std::cout << table.render();
+
+  std::cout << "\nEvery client can tune to an interference-free station "
+               "under all three plans;\nthe generic reduction approaches "
+               "the specialized dyadic plan without knowing\nthe instance "
+               "is an interval hypergraph.\n";
+  return (dyadic_ok && reduction.success) ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+#include "coloring/cf_baselines.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+namespace pslocal {
+
+CfMulticoloring fresh_color_baseline(const Hypergraph& h) {
+  CfMulticoloring mc(h.vertex_count());
+  std::size_t next_color = 1;
+  for (EdgeId e = 0; e < h.edge_count(); ++e) {
+    const auto verts = h.edge(e);
+    PSL_CHECK(!verts.empty());
+    mc.add_color(verts.front(), next_color++);
+  }
+  PSL_ENSURES(is_conflict_free(h, mc));
+  return mc;
+}
+
+CfColoring dyadic_interval_cf_coloring(std::size_t n) {
+  CfColoring f(n, kCfUncolored);
+  for (std::size_t v = 0; v < n; ++v) {
+    // Exponent of the largest power of two dividing v+1.  Within any
+    // interval the maximal exponent is attained exactly once: two
+    // multiples of 2^j that are 2^j apart sandwich a multiple of 2^{j+1}.
+    f[v] = 1 + static_cast<std::size_t>(std::countr_zero(v + 1));
+  }
+  return f;
+}
+
+GreedyCfResult greedy_cf_coloring(const Hypergraph& h) {
+  const std::size_t n = h.vertex_count();
+  GreedyCfResult res;
+  res.coloring.assign(n, kCfUncolored);
+
+  // High-degree vertices first: they complete the most edges and benefit
+  // most from small colors.
+  std::vector<VertexId> order(n);
+  for (VertexId v = 0; v < n; ++v) order[v] = v;
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return h.vertex_degree(a) > h.vertex_degree(b);
+  });
+
+  auto edge_complete_and_happy = [&](EdgeId e) {
+    // Returns true unless the edge is fully colored *and* unhappy.
+    std::vector<std::size_t> colors;
+    for (VertexId u : h.edge(e)) {
+      if (res.coloring[u] == kCfUncolored) return true;
+      colors.push_back(res.coloring[u]);
+    }
+    std::sort(colors.begin(), colors.end());
+    for (std::size_t i = 0; i < colors.size(); ++i) {
+      const bool prev_same = i > 0 && colors[i - 1] == colors[i];
+      const bool next_same = i + 1 < colors.size() && colors[i + 1] == colors[i];
+      if (!prev_same && !next_same) return true;  // unique color found
+    }
+    return false;
+  };
+
+  std::size_t palette = 0;
+  for (VertexId v : order) {
+    bool placed = false;
+    for (std::size_t c = 1; c <= palette && !placed; ++c) {
+      res.coloring[v] = c;
+      placed = true;
+      for (EdgeId e : h.edges_of(v)) {
+        if (!edge_complete_and_happy(e)) {
+          placed = false;
+          break;
+        }
+      }
+    }
+    if (!placed) {
+      // Fresh color: unique in every incident edge by construction.
+      res.coloring[v] = ++palette;
+    }
+  }
+  res.colors_used = cf_color_count(res.coloring);
+  PSL_ENSURES(is_conflict_free(h, res.coloring));
+  return res;
+}
+
+bool is_interval_hypergraph(const Hypergraph& h) {
+  for (EdgeId e = 0; e < h.edge_count(); ++e) {
+    const auto verts = h.edge(e);  // sorted
+    for (std::size_t i = 1; i < verts.size(); ++i)
+      if (verts[i] != verts[i - 1] + 1) return false;
+  }
+  return true;
+}
+
+}  // namespace pslocal

@@ -1,0 +1,32 @@
+#include "coloring/coloring.hpp"
+
+#include <unordered_set>
+
+namespace pslocal {
+
+bool is_proper_coloring(const Graph& g, const std::vector<std::size_t>& color) {
+  if (color.size() != g.vertex_count()) return false;
+  for (VertexId v = 0; v < g.vertex_count(); ++v)
+    if (color[v] == kNoColor) return false;
+  return is_partial_proper_coloring(g, color);
+}
+
+bool is_partial_proper_coloring(const Graph& g,
+                                const std::vector<std::size_t>& color) {
+  if (color.size() != g.vertex_count()) return false;
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (color[v] == kNoColor) continue;
+    for (VertexId w : g.neighbors(v))
+      if (w > v && color[w] == color[v]) return false;
+  }
+  return true;
+}
+
+std::size_t color_count(const std::vector<std::size_t>& color) {
+  std::unordered_set<std::size_t> used;
+  for (auto c : color)
+    if (c != kNoColor) used.insert(c);
+  return used.size();
+}
+
+}  // namespace pslocal

@@ -1,0 +1,26 @@
+// Proper vertex colorings of graphs (verification + counting).
+// Colors are 0-based size_t values; kNoColor marks uncolored vertices.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pslocal {
+
+inline constexpr std::size_t kNoColor = std::numeric_limits<std::size_t>::max();
+
+/// True iff every edge is bichromatic and every vertex is colored.
+bool is_proper_coloring(const Graph& g, const std::vector<std::size_t>& color);
+
+/// True iff every edge with two *colored* endpoints is bichromatic
+/// (uncolored vertices allowed).
+bool is_partial_proper_coloring(const Graph& g,
+                                const std::vector<std::size_t>& color);
+
+/// Number of distinct colors used (ignoring kNoColor).
+std::size_t color_count(const std::vector<std::size_t>& color);
+
+}  // namespace pslocal

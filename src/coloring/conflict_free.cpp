@@ -1,0 +1,108 @@
+#include "coloring/conflict_free.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+namespace pslocal {
+
+void CfMulticoloring::add_color(VertexId v, std::size_t c) {
+  PSL_EXPECTS(v < colors_.size());
+  PSL_EXPECTS_MSG(c >= 1, "CF colors are 1-based; 0 is reserved for ⊥");
+  auto& cs = colors_[v];
+  const auto it = std::lower_bound(cs.begin(), cs.end(), c);
+  if (it == cs.end() || *it != c) cs.insert(it, c);
+}
+
+bool CfMulticoloring::has_color(VertexId v, std::size_t c) const {
+  PSL_EXPECTS(v < colors_.size());
+  const auto& cs = colors_[v];
+  return std::binary_search(cs.begin(), cs.end(), c);
+}
+
+std::size_t CfMulticoloring::palette_size() const {
+  std::set<std::size_t> used;
+  for (const auto& cs : colors_) used.insert(cs.begin(), cs.end());
+  return used.size();
+}
+
+std::size_t CfMulticoloring::max_color() const {
+  std::size_t mx = 0;
+  for (const auto& cs : colors_)
+    if (!cs.empty()) mx = std::max(mx, cs.back());
+  return mx;
+}
+
+std::size_t CfMulticoloring::assignment_count() const {
+  std::size_t total = 0;
+  for (const auto& cs : colors_) total += cs.size();
+  return total;
+}
+
+void CfMulticoloring::absorb(const CfColoring& f, std::size_t palette_offset) {
+  PSL_EXPECTS(f.size() == colors_.size());
+  for (VertexId v = 0; v < f.size(); ++v)
+    if (f[v] != kCfUncolored) add_color(v, palette_offset + f[v]);
+}
+
+bool is_edge_happy(const Hypergraph& h, EdgeId e, const CfColoring& f) {
+  PSL_EXPECTS(f.size() == h.vertex_count());
+  // Count occurrences of each color within the edge; happy iff some color
+  // occurs exactly once.
+  std::unordered_map<std::size_t, std::size_t> freq;
+  for (VertexId v : h.edge(e))
+    if (f[v] != kCfUncolored) ++freq[f[v]];
+  return std::any_of(freq.begin(), freq.end(),
+                     [](const auto& kv) { return kv.second == 1; });
+}
+
+bool is_edge_happy(const Hypergraph& h, EdgeId e, const CfMulticoloring& mc) {
+  PSL_EXPECTS(mc.vertex_count() == h.vertex_count());
+  std::unordered_map<std::size_t, std::size_t> freq;
+  for (VertexId v : h.edge(e))
+    for (std::size_t c : mc.colors_of(v)) ++freq[c];
+  return std::any_of(freq.begin(), freq.end(),
+                     [](const auto& kv) { return kv.second == 1; });
+}
+
+namespace {
+template <typename ColoringT>
+std::vector<bool> happy_edges_impl(const Hypergraph& h, const ColoringT& f) {
+  std::vector<bool> happy(h.edge_count(), false);
+  for (EdgeId e = 0; e < h.edge_count(); ++e)
+    happy[e] = is_edge_happy(h, e, f);
+  return happy;
+}
+}  // namespace
+
+std::vector<bool> happy_edges(const Hypergraph& h, const CfColoring& f) {
+  return happy_edges_impl(h, f);
+}
+std::vector<bool> happy_edges(const Hypergraph& h, const CfMulticoloring& mc) {
+  return happy_edges_impl(h, mc);
+}
+
+std::size_t happy_edge_count(const Hypergraph& h, const CfColoring& f) {
+  const auto flags = happy_edges(h, f);
+  return static_cast<std::size_t>(std::count(flags.begin(), flags.end(), true));
+}
+std::size_t happy_edge_count(const Hypergraph& h, const CfMulticoloring& mc) {
+  const auto flags = happy_edges(h, mc);
+  return static_cast<std::size_t>(std::count(flags.begin(), flags.end(), true));
+}
+
+bool is_conflict_free(const Hypergraph& h, const CfColoring& f) {
+  return happy_edge_count(h, f) == h.edge_count();
+}
+bool is_conflict_free(const Hypergraph& h, const CfMulticoloring& mc) {
+  return happy_edge_count(h, mc) == h.edge_count();
+}
+
+std::size_t cf_color_count(const CfColoring& f) {
+  std::set<std::size_t> used;
+  for (auto c : f)
+    if (c != kCfUncolored) used.insert(c);
+  return used.size();
+}
+
+}  // namespace pslocal

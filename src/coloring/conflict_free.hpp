@@ -1,0 +1,83 @@
+// Conflict-free colorings and multicolorings of hypergraphs.
+//
+// Paper, Section 1: a vertex coloring f : V -> {1..k} of a hypergraph H is
+// conflict-free if every edge e has a vertex whose color is *unique* in e
+// ("happy" edge).  In the multicoloring variant each vertex carries a set
+// of colors; an edge is happy if some vertex has some color that no other
+// vertex of the edge carries.
+//
+// Conventions: CF colors are 1-based; 0 encodes the paper's ⊥ (uncolored).
+// (This is distinct from graph colorings in coloring.hpp, which are
+// 0-based — CF colorings come from the paper's palette {1..k} ∪ {⊥}.)
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace pslocal {
+
+inline constexpr std::size_t kCfUncolored = 0;
+
+/// Single-color-per-vertex CF coloring; entry 0 means uncolored (⊥).
+using CfColoring = std::vector<std::size_t>;
+
+/// Multicoloring: a sorted set of colors (all >= 1) per vertex.
+class CfMulticoloring {
+ public:
+  CfMulticoloring() = default;
+  explicit CfMulticoloring(std::size_t n) : colors_(n) {}
+
+  [[nodiscard]] std::size_t vertex_count() const { return colors_.size(); }
+
+  /// Add color c (>= 1) to vertex v; duplicates are ignored.
+  void add_color(VertexId v, std::size_t c);
+
+  [[nodiscard]] const std::vector<std::size_t>& colors_of(VertexId v) const {
+    PSL_EXPECTS(v < colors_.size());
+    return colors_[v];
+  }
+
+  [[nodiscard]] bool has_color(VertexId v, std::size_t c) const;
+
+  /// Total number of distinct colors across all vertices.
+  [[nodiscard]] std::size_t palette_size() const;
+
+  /// Largest color value used (0 if none).
+  [[nodiscard]] std::size_t max_color() const;
+
+  /// Total number of (vertex, color) assignments.
+  [[nodiscard]] std::size_t assignment_count() const;
+
+  /// Merge a single coloring, offsetting its colors by `palette_offset`
+  /// (color c becomes palette_offset + c).  Used by the phase-based
+  /// reduction, where phase i uses a distinct palette.
+  void absorb(const CfColoring& f, std::size_t palette_offset);
+
+ private:
+  std::vector<std::vector<std::size_t>> colors_;
+};
+
+/// Is edge e happy under single coloring f?  (Some colored vertex of e has
+/// a color not shared by any other vertex of e.)
+bool is_edge_happy(const Hypergraph& h, EdgeId e, const CfColoring& f);
+
+/// Is edge e happy under multicoloring mc?
+bool is_edge_happy(const Hypergraph& h, EdgeId e, const CfMulticoloring& mc);
+
+/// Happy flags for all edges.
+std::vector<bool> happy_edges(const Hypergraph& h, const CfColoring& f);
+std::vector<bool> happy_edges(const Hypergraph& h, const CfMulticoloring& mc);
+
+std::size_t happy_edge_count(const Hypergraph& h, const CfColoring& f);
+std::size_t happy_edge_count(const Hypergraph& h, const CfMulticoloring& mc);
+
+/// Conflict-free = every edge happy.
+bool is_conflict_free(const Hypergraph& h, const CfColoring& f);
+bool is_conflict_free(const Hypergraph& h, const CfMulticoloring& mc);
+
+/// Number of distinct colors used by a single coloring (excluding ⊥).
+std::size_t cf_color_count(const CfColoring& f);
+
+}  // namespace pslocal

@@ -1,0 +1,98 @@
+#include "coloring/exact_cf.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace pslocal {
+
+namespace {
+
+class CfSearcher {
+ public:
+  CfSearcher(const Hypergraph& h, std::size_t k, std::uint64_t budget)
+      : h_(h), k_(k), budget_(budget),
+        coloring_(h.vertex_count(), kCfUncolored) {}
+
+  bool search(std::uint64_t& nodes, bool& exhausted) {
+    const bool ok = assign(0, nodes, exhausted);
+    return ok;
+  }
+
+  [[nodiscard]] const CfColoring& coloring() const { return coloring_; }
+
+ private:
+  /// An edge is *doomed* if all its vertices are colored and none is
+  /// unique — prune as soon as the last vertex of an edge is placed.
+  bool edge_ok_if_complete(EdgeId e) const {
+    std::size_t counts[65] = {};  // k_ <= 64 enforced below
+    for (VertexId v : h_.edge(e)) {
+      if (coloring_[v] == kCfUncolored) return true;  // not complete yet
+      ++counts[coloring_[v]];
+    }
+    for (std::size_t c = 1; c <= k_; ++c)
+      if (counts[c] == 1) return true;
+    return false;
+  }
+
+  bool assign(VertexId v, std::uint64_t& nodes, bool& exhausted) {
+    if (exhausted) return false;
+    if (++nodes > budget_) {
+      exhausted = true;
+      return false;
+    }
+    if (v == h_.vertex_count()) return true;
+    // Symmetry breaking: vertex v may only use colors 1..(max used)+1.
+    std::size_t max_used = 0;
+    for (VertexId u = 0; u < v; ++u) max_used = std::max(max_used, coloring_[u]);
+    const std::size_t limit = std::min(k_, max_used + 1);
+    for (std::size_t c = 1; c <= limit; ++c) {
+      coloring_[v] = c;
+      bool ok = true;
+      for (EdgeId e : h_.edges_of(v)) {
+        if (!edge_ok_if_complete(e)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok && assign(v + 1, nodes, exhausted)) return true;
+      if (exhausted) break;
+    }
+    coloring_[v] = kCfUncolored;
+    return false;
+  }
+
+  const Hypergraph& h_;
+  std::size_t k_;
+  std::uint64_t budget_;
+  CfColoring coloring_;
+};
+
+}  // namespace
+
+ExactCfResult exact_min_cf_colors(const Hypergraph& h, std::size_t max_k,
+                                  std::uint64_t node_budget) {
+  PSL_EXPECTS(max_k >= 1 && max_k <= 64);
+  ExactCfResult res;
+  for (std::size_t k = 1; k <= max_k; ++k) {
+    CfSearcher searcher(h, k, node_budget - res.nodes_explored);
+    bool exhausted = false;
+    std::uint64_t nodes = 0;
+    const bool ok = searcher.search(nodes, exhausted);
+    res.nodes_explored += nodes;
+    if (ok) {
+      res.found = true;
+      res.colors = k;
+      res.coloring = searcher.coloring();
+      PSL_ENSURES(is_conflict_free(h, res.coloring));
+      return res;
+    }
+    if (exhausted) {
+      res.budget_exhausted = true;
+      return res;
+    }
+  }
+  return res;
+}
+
+}  // namespace pslocal

@@ -1,0 +1,29 @@
+// Exact conflict-free chromatic number (single colors per vertex) by
+// backtracking — the ground-truth reference for tiny instances, letting
+// tests and E7 quantify how far the reduction's k·ρ colors sit from the
+// true optimum.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "coloring/conflict_free.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace pslocal {
+
+struct ExactCfResult {
+  std::size_t colors = 0;     // minimum k with a CF k-coloring (if found)
+  CfColoring coloring;        // a witness using colors 1..k
+  bool found = false;         // false if no k <= max_k works or budget hit
+  bool budget_exhausted = false;
+  std::uint64_t nodes_explored = 0;
+};
+
+/// Smallest k in [1, max_k] admitting a conflict-free k-coloring of h
+/// where every vertex gets exactly one color (the paper's single-color
+/// regime from Lemma 2.1 a).
+ExactCfResult exact_min_cf_colors(const Hypergraph& h, std::size_t max_k,
+                                  std::uint64_t node_budget = 10'000'000);
+
+}  // namespace pslocal

@@ -1,0 +1,36 @@
+// Distributed verification of conflict-free multicolorings.
+//
+// The paper's Section 1 notes that P-SLOCAL "contains all problems that
+// can be solved efficiently by randomized algorithms in the LOCAL model
+// as long as a solution of the problem can be verified efficiently
+// [GHK18]".  CF multicoloring is such a problem: this module implements
+// the O(1)-round LOCAL verifier that witnesses it, running on the
+// hypergraph's bipartite incidence graph (vertices + edge-agents):
+//
+//   round 1: every vertex broadcasts its color set;
+//   (edge-agents now know happiness of their edge)
+//   round 2: every edge-agent broadcasts its verdict;
+//   after which each vertex knows whether all its incident edges are
+//   happy — its own part of the global accept/reject output.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "coloring/conflict_free.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace pslocal {
+
+struct LocalCfVerification {
+  std::vector<bool> edge_happy;      // per hyperedge
+  std::vector<bool> vertex_accepts;  // per vertex: all incident edges happy
+  bool accept = false;               // global AND
+  std::size_t rounds = 0;            // always 2 on nonempty instances
+};
+
+/// Run the 2-round LOCAL verifier for multicoloring `mc` on hypergraph h.
+LocalCfVerification local_cf_verify(const Hypergraph& h,
+                                    const CfMulticoloring& mc);
+
+}  // namespace pslocal

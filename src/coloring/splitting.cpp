@@ -1,0 +1,162 @@
+#include "coloring/splitting.hpp"
+
+#include <cmath>
+
+#include "slocal/engine.hpp"
+#include "util/check.hpp"
+
+namespace pslocal {
+
+bool is_valid_splitting(const Hypergraph& h, const Splitting& s) {
+  return monochromatic_edge_count(h, s) == 0;
+}
+
+std::size_t monochromatic_edge_count(const Hypergraph& h,
+                                     const Splitting& s) {
+  PSL_EXPECTS(s.size() == h.vertex_count());
+  std::size_t mono = 0;
+  for (EdgeId e = 0; e < h.edge_count(); ++e) {
+    const auto verts = h.edge(e);
+    bool any_red = false, any_blue = false;
+    for (VertexId v : verts) (s[v] ? any_blue : any_red) = true;
+    if (!(any_red && any_blue)) ++mono;
+  }
+  return mono;
+}
+
+Splitting random_splitting(const Hypergraph& h, Rng& rng) {
+  Splitting s(h.vertex_count());
+  for (std::size_t v = 0; v < s.size(); ++v) s[v] = rng.next_bool(0.5);
+  return s;
+}
+
+double splitting_estimator(const Hypergraph& h) {
+  double est = 0.0;
+  for (EdgeId e = 0; e < h.edge_count(); ++e)
+    est += std::pow(2.0, 1.0 - static_cast<double>(h.edge_size(e)));
+  return est;
+}
+
+MoserTardosResult moser_tardos_splitting(const Hypergraph& h, Rng& rng,
+                                         std::size_t max_resamples) {
+  MoserTardosResult res;
+  res.splitting = random_splitting(h, rng);
+  while (res.resamples < max_resamples) {
+    // Find any monochromatic edge (first by id — the MT analysis allows
+    // arbitrary selection rules).
+    EdgeId bad = static_cast<EdgeId>(h.edge_count());
+    for (EdgeId e = 0; e < h.edge_count(); ++e) {
+      const auto verts = h.edge(e);
+      bool any_red = false, any_blue = false;
+      for (VertexId v : verts)
+        (res.splitting[v] ? any_blue : any_red) = true;
+      if (!(any_red && any_blue)) {
+        bad = e;
+        break;
+      }
+    }
+    if (bad == h.edge_count()) {
+      res.success = true;
+      return res;
+    }
+    for (VertexId v : h.edge(bad)) res.splitting[v] = rng.next_bool(0.5);
+    ++res.resamples;
+  }
+  res.success = is_valid_splitting(h, res.splitting);
+  return res;
+}
+
+double lll_criterion(const Hypergraph& h) {
+  if (h.edge_count() == 0) return 0.0;
+  // D = max over edges of the number of *other* edges it shares a vertex
+  // with.
+  std::size_t max_deps = 0;
+  for (EdgeId e = 0; e < h.edge_count(); ++e) {
+    std::vector<bool> seen(h.edge_count(), false);
+    std::size_t deps = 0;
+    for (VertexId v : h.edge(e)) {
+      for (EdgeId g : h.edges_of(v)) {
+        if (g != e && !seen[g]) {
+          seen[g] = true;
+          ++deps;
+        }
+      }
+    }
+    max_deps = std::max(max_deps, deps);
+  }
+  const double p = std::pow(2.0, 1.0 - static_cast<double>(h.corank()));
+  constexpr double kEuler = 2.718281828459045;
+  return kEuler * p * static_cast<double>(max_deps + 1);
+}
+
+namespace {
+
+struct SplitState {
+  bool assigned = false;
+  bool blue = false;
+};
+
+/// P(edge e becomes monochromatic | partial assignment), with the view's
+/// center hypothetically colored `pending_blue`.
+double mono_probability(const Hypergraph& h, EdgeId e,
+                        SLocalView<SplitState>& view, VertexId pending,
+                        bool pending_blue) {
+  std::size_t unassigned = 0;
+  bool any_red = false, any_blue = false;
+  for (VertexId u : h.edge(e)) {
+    bool assigned, blue;
+    if (u == pending) {
+      assigned = true;
+      blue = pending_blue;
+    } else {
+      const SplitState& s = view.state(u);
+      assigned = s.assigned;
+      blue = s.blue;
+    }
+    if (!assigned) {
+      ++unassigned;
+    } else {
+      (blue ? any_blue : any_red) = true;
+    }
+  }
+  if (any_red && any_blue) return 0.0;
+  const double tail = std::pow(2.0, -static_cast<double>(unassigned));
+  if (!any_red && !any_blue) return 2.0 * tail;  // either color could win
+  return tail;  // must complete the one monochromatic color
+}
+
+}  // namespace
+
+DerandomizedSplittingResult derandomized_splitting(
+    const Hypergraph& h, const std::vector<VertexId>& order) {
+  const Graph primal = h.primal_graph();
+  DerandomizedSplittingResult result;
+  result.initial_estimator = splitting_estimator(h);
+
+  auto run = run_slocal<SplitState>(
+      primal, std::vector<SplitState>(h.vertex_count()), order,
+      [&h](SLocalView<SplitState>& view) {
+        const VertexId v = view.center();
+        double if_red = 0.0, if_blue = 0.0;
+        for (EdgeId e : h.edges_of(v)) {
+          if_red += mono_probability(h, e, view, v, /*pending_blue=*/false);
+          if_blue += mono_probability(h, e, view, v, /*pending_blue=*/true);
+        }
+        view.own_state() =
+            SplitState{true, /*blue=*/if_blue < if_red};
+      });
+
+  result.locality = run.max_locality;
+  result.splitting.resize(h.vertex_count());
+  for (VertexId v = 0; v < h.vertex_count(); ++v) {
+    PSL_CHECK(run.states[v].assigned);
+    result.splitting[v] = run.states[v].blue;
+  }
+  // Conditional expectations never increase the estimator, so the final
+  // monochromatic count (an integer) is bounded by the initial value.
+  PSL_ENSURES(static_cast<double>(monochromatic_edge_count(
+                  h, result.splitting)) <= result.initial_estimator + 1e-9);
+  return result;
+}
+
+}  // namespace pslocal

@@ -1,0 +1,79 @@
+// Hypergraph splitting (Property B): 2-color the vertices so that no
+// hyperedge is monochromatic.  "(Weak) local splittings" are on the
+// paper's list of P-SLOCAL-complete problems ([GKM17], Section 1); we
+// implement the hyperedge-non-monochromatic variant, which carries the
+// class's signature difficulty: trivial with randomness (an edge of size
+// s is monochromatic with probability 2^{1-s}, so random coloring works
+// w.h.p. once s >= c log m), hard to derandomize locally.
+//
+// Algorithms:
+//  * random_splitting — one fair coin per vertex; succeeds w.h.p. for
+//    corank > log2(2m) (tests measure the failure rate below threshold).
+//  * derandomized_splitting — the method of conditional expectations run
+//    as an SLOCAL(1) algorithm: processing vertices in any order, each
+//    vertex picks the color minimizing the conditional expected number of
+//    monochromatic edges, a quantity computable from its incident edges'
+//    partial states (locality 1 in the communication graph).  The
+//    pessimistic estimator E = sum_e 2^{1-s_e} starts below 1 whenever
+//    corank > log2(2m) and never increases, so the result is *always*
+//    splitting-free under that promise — a microcosm of the
+//    derandomization story the paper's completeness theorem serves.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+#include "util/rng.hpp"
+
+namespace pslocal {
+
+/// Vertex colors for splitting: false = red, true = blue.
+using Splitting = std::vector<bool>;
+
+/// True iff no hyperedge is monochromatic (edges of size 1 can never be
+/// split; they make every splitting invalid).
+bool is_valid_splitting(const Hypergraph& h, const Splitting& s);
+
+/// Number of monochromatic edges under s.
+std::size_t monochromatic_edge_count(const Hypergraph& h, const Splitting& s);
+
+/// One fair coin per vertex.
+Splitting random_splitting(const Hypergraph& h, Rng& rng);
+
+struct DerandomizedSplittingResult {
+  Splitting splitting;
+  std::size_t locality = 0;        // measured SLOCAL locality (1)
+  double initial_estimator = 0.0;  // sum_e 2^{1-|e|}
+};
+
+/// Conditional-expectations splitting along `order` (a permutation of V).
+/// Postcondition: monochromatic count <= initial_estimator; in particular
+/// a valid splitting whenever the estimator starts below 1.
+DerandomizedSplittingResult derandomized_splitting(
+    const Hypergraph& h, const std::vector<VertexId>& order);
+
+/// The promise threshold: estimator < 1 iff "corank large enough".
+double splitting_estimator(const Hypergraph& h);
+
+struct MoserTardosResult {
+  Splitting splitting;
+  std::size_t resamples = 0;
+  bool success = false;  // false iff the resample budget ran out
+};
+
+/// Moser–Tardos resampling: start from random coins; while a
+/// monochromatic edge exists, re-flip exactly that edge's vertices.  By
+/// the constructive Lovász Local Lemma this terminates in O(m) expected
+/// resamples whenever e * 2^{1-s} * (D+1) <= 1, where s is the minimum
+/// edge size and D the maximum number of other edges any edge intersects
+/// — a *local* criterion that beats the union-bound threshold of
+/// splitting_estimator when edges overlap sparsely.
+MoserTardosResult moser_tardos_splitting(const Hypergraph& h, Rng& rng,
+                                         std::size_t max_resamples = 100000);
+
+/// The LLL criterion value e * 2^{1-corank} * (D+1); < 1 guarantees fast
+/// termination.
+double lll_criterion(const Hypergraph& h);
+
+}  // namespace pslocal

@@ -1,0 +1,148 @@
+#include "core/conflict_graph.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace pslocal {
+
+ConflictGraph::ConflictGraph(Hypergraph h, std::size_t k)
+    : h_(std::move(h)), k_(k) {
+  PSL_EXPECTS(k_ >= 1);
+  const std::size_t m = h_.edge_count();
+
+  // Lay out incidence pairs (e, v) edge by edge.
+  edge_pair_offset_.assign(m + 1, 0);
+  for (EdgeId e = 0; e < m; ++e)
+    edge_pair_offset_[e + 1] = edge_pair_offset_[e] + h_.edge_size(e);
+  const std::size_t pair_count = edge_pair_offset_[m];
+  pair_edge_.resize(pair_count);
+  pair_vertex_.resize(pair_count);
+  for (EdgeId e = 0; e < m; ++e) {
+    std::size_t p = edge_pair_offset_[e];
+    for (VertexId v : h_.edge(e)) {
+      pair_edge_[p] = e;
+      pair_vertex_[p] = v;
+      ++p;
+    }
+  }
+
+  const std::size_t n_triples = pair_count * k_;
+  GraphBuilder builder(n_triples);
+  auto tid = [this](std::size_t pair, std::size_t c) {
+    return static_cast<VertexId>(pair * k_ + (c - 1));
+  };
+
+  // E_edge: the triples of one hyperedge form a clique.
+  for (EdgeId e = 0; e < m; ++e) {
+    const std::size_t first = edge_pair_offset_[e] * k_;
+    const std::size_t last = edge_pair_offset_[e + 1] * k_;  // exclusive
+    for (std::size_t a = first; a < last; ++a)
+      for (std::size_t b = a + 1; b < last; ++b)
+        builder.add_edge(static_cast<VertexId>(a), static_cast<VertexId>(b));
+  }
+
+  // E_vertex: triples sharing their middle vertex, with different colors.
+  // Group pairs by vertex via the hypergraph incidence lists.
+  for (VertexId v = 0; v < h_.vertex_count(); ++v) {
+    const auto incident = h_.edges_of(v);
+    std::vector<std::size_t> pairs;
+    pairs.reserve(incident.size());
+    for (EdgeId e : incident) pairs.push_back(pair_of(e, v));
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      for (std::size_t j = i; j < pairs.size(); ++j) {
+        for (std::size_t c = 1; c <= k_; ++c) {
+          for (std::size_t d = 1; d <= k_; ++d) {
+            if (c == d) continue;
+            if (i == j && c >= d) continue;  // same pair: each {c,d} once
+            builder.add_edge(tid(pairs[i], c), tid(pairs[j], d));
+          }
+        }
+      }
+    }
+  }
+
+  // E_color: same color c; the two middle vertices u, v lie together in
+  // (at least) one of the two hyperedges.  Enumerate by the witness edge
+  // f: v, u in f, triple1 = (f, v, c), triple2 = (g, u, c) for any g
+  // containing u.  Swapping roles covers witness-in-second-edge cases.
+  //
+  // NOTE (erratum-level reading of the paper): the set notation
+  // "{u,v} ⊆ e" admits u = v, but the proofs of Lemma 2.1 treat u and v
+  // as distinct ("assume that there is a further node u ∈ e, u != v ...").
+  // Indeed with u = v the lemma's part (a) is FALSE: if two hyperedges
+  // share their unique-color witness vertex v, I_f would contain
+  // (e, v, c) and (g, v, c) and an u = v E_color edge would join them.
+  // We therefore require u != v; see ConflictGraphTest.
+  // SharedWitnessAcrossEdgesStaysIndependent for the counterexample.
+  for (EdgeId f = 0; f < m; ++f) {
+    const auto verts = h_.edge(f);
+    for (VertexId v : verts) {
+      const std::size_t pv = pair_of(f, v);
+      for (VertexId u : verts) {
+        if (u == v) continue;
+        for (EdgeId g : h_.edges_of(u)) {
+          const std::size_t pu = pair_of(g, u);
+          for (std::size_t c = 1; c <= k_; ++c)
+            builder.add_edge(tid(pv, c), tid(pu, c));
+        }
+      }
+    }
+  }
+
+  graph_ = builder.build();
+}
+
+Triple ConflictGraph::triple(TripleId t) const {
+  PSL_EXPECTS(t < triple_count());
+  const std::size_t pair = t / k_;
+  Triple out;
+  out.e = pair_edge_[pair];
+  out.v = pair_vertex_[pair];
+  out.c = t % k_ + 1;
+  return out;
+}
+
+TripleId ConflictGraph::triple_id(EdgeId e, VertexId v, std::size_t c) const {
+  PSL_EXPECTS(c >= 1 && c <= k_);
+  return pair_of(e, v) * k_ + (c - 1);
+}
+
+std::size_t ConflictGraph::pair_of(EdgeId e, VertexId v) const {
+  PSL_EXPECTS(e < h_.edge_count());
+  const auto verts = h_.edge(e);
+  const auto it = std::lower_bound(verts.begin(), verts.end(), v);
+  PSL_EXPECTS_MSG(it != verts.end() && *it == v,
+                  "vertex " << v << " not in hyperedge " << e);
+  return edge_pair_offset_[e] +
+         static_cast<std::size_t>(std::distance(verts.begin(), it));
+}
+
+unsigned ConflictGraph::edge_class_mask(TripleId a, TripleId b) const {
+  const Triple ta = triple(a);
+  const Triple tb = triple(b);
+  PSL_EXPECTS(!(ta == tb));
+  unsigned mask = 0;
+  if (ta.v == tb.v && ta.c != tb.c) mask |= kEVertex;
+  if (ta.e == tb.e) mask |= kEEdge;
+  // E_color requires two *distinct* vertices u != v (see constructor note).
+  if (ta.c == tb.c && ta.v != tb.v &&
+      (h_.edge_contains(ta.e, tb.v) || h_.edge_contains(tb.e, ta.v)))
+    mask |= kEColor;
+  return mask;
+}
+
+ConflictGraph::ClassCounts ConflictGraph::count_edge_classes() const {
+  ClassCounts counts;
+  for (auto [a, b] : graph_.edges()) {
+    const unsigned mask = edge_class_mask(a, b);
+    PSL_CHECK_MSG(mask != 0, "conflict-graph edge outside all classes");
+    if (mask & kEVertex) ++counts.e_vertex;
+    if (mask & kEEdge) ++counts.e_edge;
+    if (mask & kEColor) ++counts.e_color;
+    ++counts.total;
+  }
+  return counts;
+}
+
+}  // namespace pslocal

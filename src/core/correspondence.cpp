@@ -1,0 +1,86 @@
+#include "core/correspondence.hpp"
+
+#include <algorithm>
+
+#include "mis/independent_set.hpp"
+#include "util/check.hpp"
+
+namespace pslocal {
+
+InducedColoring coloring_from_is(
+    const ConflictGraph& cg, const std::vector<VertexId>& independent_set) {
+  const Hypergraph& h = cg.hypergraph();
+  InducedColoring out;
+  out.coloring.assign(h.vertex_count(), kCfUncolored);
+  for (VertexId t : independent_set) {
+    const Triple tr = cg.triple(t);
+    if (out.coloring[tr.v] != kCfUncolored && out.coloring[tr.v] != tr.c)
+      out.well_defined = false;
+    out.coloring[tr.v] = tr.c;
+  }
+  return out;
+}
+
+std::vector<VertexId> is_from_coloring(const ConflictGraph& cg,
+                                       const CfColoring& f) {
+  const Hypergraph& h = cg.hypergraph();
+  PSL_EXPECTS(f.size() == h.vertex_count());
+  std::vector<VertexId> result;
+  result.reserve(h.edge_count());
+  for (EdgeId e = 0; e < h.edge_count(); ++e) {
+    // Smallest vertex of e whose (non-⊥) color occurs exactly once in e.
+    const auto verts = h.edge(e);
+    VertexId witness = h.vertex_count();  // sentinel
+    for (VertexId v : verts) {
+      if (f[v] == kCfUncolored) continue;
+      const auto same_color =
+          std::count_if(verts.begin(), verts.end(),
+                        [&](VertexId u) { return f[u] == f[v]; });
+      if (same_color == 1) {
+        witness = v;
+        break;  // verts sorted: first hit is the smallest
+      }
+    }
+    PSL_EXPECTS_MSG(witness != h.vertex_count(),
+                    "edge " << e << " is not happy under f");
+    PSL_EXPECTS_MSG(f[witness] >= 1 && f[witness] <= cg.k(),
+                    "color " << f[witness] << " outside palette [1, "
+                             << cg.k() << "]");
+    result.push_back(
+        static_cast<VertexId>(cg.triple_id(e, witness, f[witness])));
+  }
+  return result;
+}
+
+LemmaAReport check_lemma_a(const ConflictGraph& cg, const CfColoring& f) {
+  const Hypergraph& h = cg.hypergraph();
+  LemmaAReport report;
+  report.m = h.edge_count();
+
+  const bool colors_in_palette = std::all_of(
+      f.begin(), f.end(), [&](std::size_t c) { return c <= cg.k(); });
+  report.applicable = colors_in_palette && is_conflict_free(h, f);
+  if (!report.applicable) return report;
+
+  const auto is = is_from_coloring(cg, f);
+  report.independent = is_independent_set(cg.graph(), is);
+  report.is_size = is.size();
+  report.attains_maximum =
+      report.independent && is.size() == report.m &&
+      report.m == cg.independence_upper_bound();
+  return report;
+}
+
+LemmaBReport check_lemma_b(const ConflictGraph& cg,
+                           const std::vector<VertexId>& independent_set) {
+  LemmaBReport report;
+  report.independent = is_independent_set(cg.graph(), independent_set);
+  report.is_size = independent_set.size();
+  const auto induced = coloring_from_is(cg, independent_set);
+  report.well_defined = induced.well_defined;
+  report.happy_count = happy_edge_count(cg.hypergraph(), induced.coloring);
+  report.happy_at_least_is_size = report.happy_count >= report.is_size;
+  return report;
+}
+
+}  // namespace pslocal

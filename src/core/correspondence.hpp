@@ -1,0 +1,62 @@
+// The coloring <-> independent-set correspondence of Lemma 2.1.
+//
+//   a) Any conflict-free k-coloring f of H induces a *maximum* independent
+//      set I_f of the conflict graph G_k, of size m = |E(H)|.
+//   b) For any independent set I of G_k the induced coloring f_I is well
+//      defined and at least |I| edges of H are happy in f_I.
+//
+// These two maps are what the Theorem 1.1 reduction pumps through every
+// phase; the check_* functions re-verify every clause of the lemma on
+// concrete objects and power experiments E2/E3 and the per-phase
+// verification mode of the reduction.
+#pragma once
+
+#include <vector>
+
+#include "coloring/conflict_free.hpp"
+#include "core/conflict_graph.hpp"
+
+namespace pslocal {
+
+/// f_I of Lemma 2.1 (Equation (1)): f_I(v) = c if some (e, v, c) ∈ I,
+/// ⊥ otherwise.
+struct InducedColoring {
+  CfColoring coloring;
+  bool well_defined = true;  // false iff two triples assign v different colors
+};
+
+/// Compute f_I.  For a valid independent set well_defined is always true
+/// (E_vertex forbids two colors per vertex); invalid inputs are reported,
+/// not rejected, so tests can probe the failure mode.
+InducedColoring coloring_from_is(const ConflictGraph& cg,
+                                 const std::vector<VertexId>& independent_set);
+
+/// I_f of Lemma 2.1 a): one triple (e, v, f(v)) per edge e, where v is a
+/// vertex whose color is unique in e (smallest such v — the paper breaks
+/// ties arbitrarily).  Precondition: every edge of H is happy under f and
+/// every used color is in [1, k].
+std::vector<VertexId> is_from_coloring(const ConflictGraph& cg,
+                                       const CfColoring& f);
+
+struct LemmaAReport {
+  bool applicable = false;      // f is a CF coloring of H with colors <= k
+  bool independent = false;     // I_f is an independent set of G_k
+  std::size_t is_size = 0;
+  std::size_t m = 0;
+  bool attains_maximum = false;  // |I_f| == m == alpha upper bound
+};
+/// Verify every clause of Lemma 2.1 a) for a concrete coloring.
+LemmaAReport check_lemma_a(const ConflictGraph& cg, const CfColoring& f);
+
+struct LemmaBReport {
+  bool independent = false;   // the input really is an IS (precondition)
+  bool well_defined = false;  // f_I assigns at most one color per vertex
+  std::size_t is_size = 0;
+  std::size_t happy_count = 0;
+  bool happy_at_least_is_size = false;
+};
+/// Verify every clause of Lemma 2.1 b) for a concrete independent set.
+LemmaBReport check_lemma_b(const ConflictGraph& cg,
+                           const std::vector<VertexId>& independent_set);
+
+}  // namespace pslocal

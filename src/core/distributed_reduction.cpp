@@ -1,0 +1,160 @@
+#include "core/distributed_reduction.hpp"
+
+#include "core/conflict_graph.hpp"
+#include "core/correspondence.hpp"
+#include "core/virtual_local.hpp"
+#include "local/luby_algorithm.hpp"
+#include "local/slocal_compiler.hpp"
+#include "mis/independent_set.hpp"
+#include "util/check.hpp"
+
+namespace pslocal {
+
+DistributedReductionResult distributed_cf_multicoloring(
+    const Hypergraph& h, std::size_t k, std::uint64_t seed,
+    std::size_t max_phases) {
+  PSL_EXPECTS(k >= 1);
+  const std::size_t m = h.edge_count();
+  if (max_phases == 0) max_phases = m + 1;
+
+  DistributedReductionResult result;
+  result.coloring = CfMulticoloring(h.vertex_count());
+  if (m == 0) {
+    result.success = true;
+    return result;
+  }
+
+  Hypergraph current = h.restrict_edges(std::vector<bool>(m, true));
+  Rng phase_seeds(seed);
+  while (current.edge_count() > 0 && result.phases < max_phases) {
+    const std::size_t phase = ++result.phases;
+    DistributedPhaseStats stats;
+    stats.phase = phase;
+    stats.edges_before = current.edge_count();
+
+    // 1. Host G_k^i on H's primal graph and run Luby through the hosts.
+    const ConflictGraph cg(current, k);
+    stats.virtual_nodes = cg.triple_count();
+    detail::LubyAlgorithm luby;
+    const auto run = run_local_on_hosts(
+        cg, luby, phase_seeds.next_u64(),
+        detail::luby_default_round_cap(cg.triple_count()));
+    PSL_CHECK_MSG(run.all_halted, "hosted Luby did not converge");
+    stats.luby_rounds = run.physical_rounds;
+    stats.max_message_bytes = run.max_physical_message_bytes;
+
+    std::vector<VertexId> is;
+    for (TripleId t = 0; t < cg.triple_count(); ++t)
+      if (run.states[t].status == detail::LubyStatus::kIn)
+        is.push_back(static_cast<VertexId>(t));
+    PSL_CHECK(is_independent_set(cg.graph(), is));
+    stats.is_size = is.size();
+
+    // 2. Hosts color themselves from their own triples in I_i.  f_I is
+    //    host-local: the triple (e, v, c) lives at host v.
+    const auto induced = coloring_from_is(cg, is);
+    PSL_CHECK(induced.well_defined);
+    result.coloring.absorb(induced.coloring, (phase - 1) * k);
+
+    // 3. Happy-edge detection: one physical round in which every edge's
+    //    members exchange their phase colors (members are pairwise
+    //    adjacent in the primal graph, so one hop suffices).
+    const auto happy = happy_edges(current, induced.coloring);
+    std::vector<bool> keep(current.edge_count());
+    std::size_t removed = 0;
+    for (EdgeId e = 0; e < current.edge_count(); ++e) {
+      keep[e] = !happy[e];
+      if (happy[e]) ++removed;
+    }
+    stats.happy_removed = removed;
+    result.total_physical_rounds += stats.luby_rounds + 1;
+    result.trace.push_back(stats);
+
+    if (removed == 0) break;  // cannot happen while |I_i| >= 1
+    current = current.restrict_edges(keep);
+  }
+
+  result.success = (current.edge_count() == 0);
+  result.colors_used = result.coloring.palette_size();
+  if (result.success) PSL_ENSURES(is_conflict_free(h, result.coloring));
+  return result;
+}
+
+namespace {
+enum class GreedyMark : std::uint8_t { kUndecided, kIn, kOut };
+}
+
+DeterministicDistributedResult deterministic_distributed_cf_multicoloring(
+    const Hypergraph& h, std::size_t k, std::size_t max_phases) {
+  PSL_EXPECTS(k >= 1);
+  const std::size_t m = h.edge_count();
+  if (max_phases == 0) max_phases = m + 1;
+
+  DeterministicDistributedResult result;
+  result.coloring = CfMulticoloring(h.vertex_count());
+  if (m == 0) {
+    result.success = true;
+    return result;
+  }
+
+  Hypergraph current = h.restrict_edges(std::vector<bool>(m, true));
+  while (current.edge_count() > 0 && result.phases < max_phases) {
+    const std::size_t phase = ++result.phases;
+    DeterministicPhaseStats stats;
+    stats.phase = phase;
+    stats.edges_before = current.edge_count();
+
+    const ConflictGraph cg(current, k);
+    stats.virtual_nodes = cg.triple_count();
+
+    // Deterministic LOCAL MIS on G_k^i: greedy SLOCAL(1) through the
+    // compiler (network decomposition of (G_k^i)^3).
+    const auto run = compile_slocal_to_local<GreedyMark>(
+        cg.graph(), /*r=*/1,
+        std::vector<GreedyMark>(cg.triple_count(), GreedyMark::kUndecided),
+        [](SLocalView<GreedyMark>& view) {
+          bool neighbor_in = false;
+          for (VertexId w : view.neighbors())
+            if (view.state(w) == GreedyMark::kIn) {
+              neighbor_in = true;
+              break;
+            }
+          view.own_state() =
+              neighbor_in ? GreedyMark::kOut : GreedyMark::kIn;
+        });
+    stats.compiled_rounds = run.local_rounds;
+    stats.decomposition_colors = run.decomposition_colors;
+
+    std::vector<VertexId> is;
+    for (TripleId t = 0; t < cg.triple_count(); ++t)
+      if (run.states[t] == GreedyMark::kIn)
+        is.push_back(static_cast<VertexId>(t));
+    PSL_CHECK(is_independent_set(cg.graph(), is));
+    stats.is_size = is.size();
+
+    const auto induced = coloring_from_is(cg, is);
+    PSL_CHECK(induced.well_defined);
+    result.coloring.absorb(induced.coloring, (phase - 1) * k);
+
+    const auto happy = happy_edges(current, induced.coloring);
+    std::vector<bool> keep(current.edge_count());
+    std::size_t removed = 0;
+    for (EdgeId e = 0; e < current.edge_count(); ++e) {
+      keep[e] = !happy[e];
+      if (happy[e]) ++removed;
+    }
+    stats.happy_removed = removed;
+    result.total_round_bill += stats.compiled_rounds + 1;
+    result.trace.push_back(stats);
+
+    if (removed == 0) break;
+    current = current.restrict_edges(keep);
+  }
+
+  result.success = (current.edge_count() == 0);
+  result.colors_used = result.coloring.palette_size();
+  if (result.success) PSL_ENSURES(is_conflict_free(h, result.coloring));
+  return result;
+}
+
+}  // namespace pslocal

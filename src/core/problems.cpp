@@ -1,0 +1,191 @@
+#include "core/problems.hpp"
+
+#include <numeric>
+
+#include "coloring/splitting.hpp"
+#include "core/reduction.hpp"
+#include "cover/dominating_set.hpp"
+#include "cover/set_cover.hpp"
+#include "graph/generators.hpp"
+#include "hypergraph/generators.hpp"
+#include "local/luby_mis.hpp"
+#include "mis/greedy_maxis.hpp"
+#include "mis/independent_set.hpp"
+#include "slocal/ball_carving.hpp"
+#include "slocal/greedy_algorithms.hpp"
+#include "slocal/matching.hpp"
+#include "slocal/network_decomposition.hpp"
+
+namespace pslocal {
+
+namespace {
+
+std::vector<VertexId> identity_order(std::size_t n) {
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  return order;
+}
+
+Graph tiny_graph() {
+  Rng rng(424242);
+  return gnp(24, 0.15, rng);
+}
+
+PlantedCfInstance tiny_cf_instance() {
+  Rng rng(424243);
+  PlantedCfParams params;
+  params.n = 20;
+  params.m = 12;
+  params.k = 2;
+  return planted_cf_colorable(params, rng);
+}
+
+bool check_mis() {
+  const Graph g = tiny_graph();
+  const auto slocal = slocal_greedy_mis(g, identity_order(g.vertex_count()));
+  const auto luby = luby_mis(g, 1);
+  return slocal.locality == 1 &&
+         is_maximal_independent_set(g, slocal.independent_set) &&
+         is_maximal_independent_set(g, luby.independent_set);
+}
+
+bool check_coloring() {
+  const Graph g = tiny_graph();
+  const auto res = slocal_greedy_coloring(g, identity_order(g.vertex_count()));
+  return res.locality == 1 && res.colors_used <= g.max_degree() + 1;
+}
+
+bool check_maxis_approx() {
+  const Graph g = tiny_graph();
+  BallCarvingOracle oracle;
+  const auto is = oracle.solve(g);
+  return is_independent_set(g, is) && !is.empty();
+}
+
+bool check_cf_multicoloring() {
+  const auto inst = tiny_cf_instance();
+  GreedyMinDegreeOracle oracle;
+  ReductionOptions opts;
+  opts.k = 2;
+  const auto res = cf_multicoloring_via_maxis(inst.hypergraph, oracle, opts);
+  return res.success && is_conflict_free(inst.hypergraph, res.coloring);
+}
+
+bool check_network_decomposition() {
+  const Graph g = tiny_graph();
+  const auto nd = ball_growing_decomposition(g);
+  return verify_decomposition(g, nd,
+                              decomposition_diameter_bound(g.vertex_count()),
+                              decomposition_color_bound(g.vertex_count()));
+}
+
+bool check_covering() {
+  const Graph g = tiny_graph();
+  const auto ds = greedy_dominating_set(g);
+  const auto h = closed_neighborhood_hypergraph(g);
+  const auto sc = greedy_set_cover(h);
+  return is_dominating_set(g, ds) && is_set_cover(h, sc);
+}
+
+bool check_matching() {
+  const Graph g = tiny_graph();
+  const auto res = slocal_greedy_matching(g, identity_order(g.vertex_count()));
+  return res.locality <= 1 && is_maximal_matching(g, res.matching);
+}
+
+bool check_splitting() {
+  Rng rng(424244);
+  const auto h = random_uniform_hypergraph(30, 12, 8, rng);
+  if (splitting_estimator(h) >= 1.0) return false;  // instance must promise
+  const auto res = derandomized_splitting(h, identity_order(30));
+  return res.locality <= 1 && is_valid_splitting(h, res.splitting);
+}
+
+}  // namespace
+
+const std::vector<ProblemInfo>& problem_catalogue() {
+  static const std::vector<ProblemInfo> catalogue = {
+      {
+          "maximal independent set (MIS)",
+          "inclusion-maximal independent set; SLOCAL(1) greedy",
+          PSLocalStatus::kCompletenessOpen,
+          "[Lin92] question; [GKM17]; paper Section 1",
+          "slocal/greedy_algorithms.*, local/luby_mis.*",
+          check_mis,
+      },
+      {
+          "(Delta+1)-vertex coloring",
+          "proper coloring with max-degree+1 colors; SLOCAL(1) greedy",
+          PSLocalStatus::kCompletenessOpen,
+          "[GKM17]; paper Section 1 and closing remark",
+          "slocal/greedy_algorithms.*, local/coloring_local.*",
+          check_coloring,
+      },
+      {
+          "polylog MaxIS approximation",
+          "independent set of size >= alpha(G)/polylog(n)",
+          PSLocalStatus::kPSLocalComplete,
+          "THIS PAPER, Theorem 1.1 (containment [GKM17, Thm 7.1])",
+          "core/reduction.*, slocal/ball_carving.*, mis/*",
+          check_maxis_approx,
+      },
+      {
+          "conflict-free multicoloring, polylog colors",
+          "almost-uniform hypergraphs with poly(n) edges",
+          PSLocalStatus::kPSLocalComplete,
+          "[GKM17], restated as paper Theorem 1.2",
+          "coloring/conflict_free.*, core/reduction.*",
+          check_cf_multicoloring,
+      },
+      {
+          "(polylog, polylog) network decomposition",
+          "partition into low-diameter clusters, cluster graph colored",
+          PSLocalStatus::kPSLocalComplete,
+          "[GKM17]",
+          "slocal/network_decomposition.*, local/mpx_decomposition.*",
+          check_network_decomposition,
+      },
+      {
+          "dominating set / set cover approximation",
+          "O(log n)-approximate minimum dominating set / set cover",
+          PSLocalStatus::kPSLocalComplete,
+          "[GHK18]",
+          "cover/dominating_set.*, cover/set_cover.* (greedy + exact)",
+          check_covering,
+      },
+      {
+          "maximal matching",
+          "inclusion-maximal matching; SLOCAL(1) greedy; 2-approx of "
+          "maximum matching",
+          PSLocalStatus::kInPSLocal,
+          "[GKM17] (containment family around Thm 7.1)",
+          "slocal/matching.*",
+          check_matching,
+      },
+      {
+          "(weak) local splitting",
+          "2-color vertices so no hyperedge is monochromatic (Property B "
+          "variant)",
+          PSLocalStatus::kPSLocalComplete,
+          "[GKM17] (splitting family; we implement the hyperedge-"
+          "non-monochromatic variant)",
+          "coloring/splitting.* (random + derandomized SLOCAL(1))",
+          check_splitting,
+      },
+  };
+  return catalogue;
+}
+
+std::string to_string(PSLocalStatus status) {
+  switch (status) {
+    case PSLocalStatus::kInPSLocal:
+      return "in P-SLOCAL";
+    case PSLocalStatus::kPSLocalComplete:
+      return "P-SLOCAL-complete";
+    case PSLocalStatus::kCompletenessOpen:
+      return "in P-SLOCAL (completeness open)";
+  }
+  return "unknown";
+}
+
+}  // namespace pslocal

@@ -1,0 +1,44 @@
+// The P-SLOCAL landscape, as a machine-checkable catalogue.
+//
+// P-SLOCAL is the class of problems solvable with polylogarithmic locality
+// in the SLOCAL model [GKM17].  A problem is P-SLOCAL-complete if it is in
+// the class and every problem of the class locally reduces to it; solving
+// any complete problem efficiently and deterministically in LOCAL would
+// derandomize the whole class (paper, Section 1).
+//
+// The catalogue records, for every problem this library implements, its
+// membership/completeness status with the literature reference, and —
+// where the library has one — a pointer to the verifier so example
+// binaries and tests can cross-check solutions uniformly.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace pslocal {
+
+enum class PSLocalStatus {
+  kInPSLocal,         // contained; completeness unknown/open
+  kPSLocalComplete,   // contained and P-SLOCAL-hard
+  kCompletenessOpen,  // contained; completeness is an open question
+};
+
+struct ProblemInfo {
+  std::string name;
+  std::string description;
+  PSLocalStatus status = PSLocalStatus::kInPSLocal;
+  std::string reference;       // literature source for the status
+  std::string implementation;  // where this library implements it
+  /// Runs a tiny instance through the named implementation and verifies
+  /// the result — the catalogue is machine-checkable, not prose.  Only
+  /// empty for entries without an in-repo implementation.
+  std::function<bool()> self_check;
+};
+
+/// All problems the library touches, with their P-SLOCAL status.
+const std::vector<ProblemInfo>& problem_catalogue();
+
+std::string to_string(PSLocalStatus status);
+
+}  // namespace pslocal

@@ -1,0 +1,101 @@
+#include "core/reduction.hpp"
+
+#include <cmath>
+
+#include "core/correspondence.hpp"
+#include "mis/independent_set.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace pslocal {
+
+std::size_t reduction_phase_bound(double lambda, std::size_t m) {
+  PSL_EXPECTS(lambda >= 1.0);
+  if (m == 0) return 0;
+  return static_cast<std::size_t>(
+             std::ceil(lambda * std::log(static_cast<double>(m)))) +
+         1;
+}
+
+ReductionResult cf_multicoloring_via_maxis(const Hypergraph& h,
+                                           MaxISOracle& oracle,
+                                           const ReductionOptions& opts) {
+  PSL_EXPECTS(opts.k >= 1);
+  const std::size_t m = h.edge_count();
+
+  ReductionResult result;
+  result.coloring = CfMulticoloring(h.vertex_count());
+  if (m == 0) {
+    result.success = true;
+    result.within_rho = true;
+    return result;
+  }
+
+  double lambda = opts.lambda;
+  if (lambda <= 0.0 && oracle.lambda_guarantee().has_value())
+    lambda = *oracle.lambda_guarantee();
+  if (lambda >= 1.0) result.rho_bound = reduction_phase_bound(lambda, m);
+
+  const std::size_t phase_cap =
+      opts.max_phases > 0 ? opts.max_phases
+                          : std::max<std::size_t>(result.rho_bound, m) + 1;
+
+  Hypergraph current = h.restrict_edges(std::vector<bool>(m, true));
+  while (current.edge_count() > 0 && result.phases < phase_cap) {
+    const std::size_t phase = ++result.phases;
+    PhaseStats stats;
+    stats.phase = phase;
+    stats.edges_before = current.edge_count();
+
+    // 1. The conflict graph of the current hypergraph.
+    ConflictGraph cg(current, opts.k);
+    stats.conflict_nodes = cg.graph().vertex_count();
+    stats.conflict_edges = cg.graph().edge_count();
+
+    // 2. λ-approximate MaxIS.
+    WallTimer timer;
+    const auto is = oracle.solve(cg.graph());
+    stats.oracle_millis = timer.elapsed_millis();
+    stats.is_size = is.size();
+    if (opts.verify_phases)
+      PSL_CHECK_MSG(is_independent_set(cg.graph(), is),
+                    "oracle '" << oracle.name()
+                               << "' returned a non-independent set");
+
+    // 3. Per-phase coloring f_{I_i}; phase-private palette via offset.
+    const auto induced = coloring_from_is(cg, is);
+    if (opts.verify_phases) {
+      PSL_CHECK_MSG(induced.well_defined,
+                    "f_I not well defined (Lemma 2.1 b violated)");
+    }
+    result.coloring.absorb(induced.coloring, (phase - 1) * opts.k);
+
+    // 4. Remove all happy edges of H_i (under this phase's coloring).
+    const auto happy = happy_edges(current, induced.coloring);
+    std::size_t happy_count = 0;
+    std::vector<bool> keep(current.edge_count());
+    for (EdgeId e = 0; e < current.edge_count(); ++e) {
+      keep[e] = !happy[e];
+      if (happy[e]) ++happy_count;
+    }
+    stats.happy_removed = happy_count;
+    if (opts.verify_phases)
+      PSL_CHECK_MSG(happy_count >= is.size(),
+                    "fewer happy edges than |I| (Lemma 2.1 b violated)");
+    result.trace.push_back(stats);
+
+    if (happy_count == 0) break;  // no progress; report failure below
+    current = current.restrict_edges(keep);
+  }
+
+  result.success = (current.edge_count() == 0);
+  result.colors_used = result.coloring.palette_size();
+  result.palette_bound = opts.k * result.phases;
+  result.within_rho =
+      result.rho_bound > 0 && result.success && result.phases <= result.rho_bound;
+  if (result.success)
+    PSL_ENSURES(is_conflict_free(h, result.coloring));
+  return result;
+}
+
+}  // namespace pslocal

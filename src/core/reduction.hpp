@@ -1,0 +1,81 @@
+// The hardness reduction of Theorem 1.1: conflict-free multicoloring via
+// iterated MaxIS approximation on conflict graphs.
+//
+// Proof of Theorem 1.1 (paper, Section 2): with a λ-approximate MaxIS
+// algorithm and ρ = λ ln m + 1 phases, phase i
+//   1. builds the conflict graph G_k^i of the current hypergraph
+//      H_i = (V, E_i)  (H_1 = H),
+//   2. computes a λ-approximate maximum independent set I_i of G_k^i,
+//   3. colors every v with some (?, v, c) ∈ I_i with color c from a
+//      phase-private palette of size k,
+//   4. removes all happy edges.
+// Because α(G_k^i) = |E_i| (Lemma 2.1 a, H_i ⊆ H still CF k-colorable)
+// and |I_i| >= |E_i|/λ gives |E_{i+1}| <= (1 - 1/λ)|E_i|, all edges are
+// happy after ρ phases and the multicoloring uses k·ρ = polylog n colors.
+//
+// The runner below is generic in the oracle (any MaxISOracle) and keeps a
+// full per-phase trace so experiments E4/E5/E10 can compare the measured
+// behaviour against the proof's bounds.  With verify_phases set, every
+// phase re-checks the Lemma 2.1 clauses it relies on.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "coloring/conflict_free.hpp"
+#include "core/conflict_graph.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "mis/oracle.hpp"
+
+namespace pslocal {
+
+struct ReductionOptions {
+  /// Palette size per phase (the k of the CF k-coloring the instance is
+  /// promised to admit).
+  std::size_t k = 4;
+
+  /// λ used for the phase bound ρ = ceil(λ ln m) + 1.  If 0, taken from
+  /// the oracle's guarantee; if the oracle has none, the bound is not
+  /// predicted (rho_bound = 0) and the run continues until completion.
+  double lambda = 0.0;
+
+  /// Hard cap on phases (0 = automatic: max(ρ, m) + 1).
+  std::size_t max_phases = 0;
+
+  /// Re-verify Lemma 2.1 clauses and oracle-output independence per phase.
+  bool verify_phases = true;
+};
+
+struct PhaseStats {
+  std::size_t phase = 0;  // 1-based
+  std::size_t edges_before = 0;       // |E_i|
+  std::size_t conflict_nodes = 0;     // |V(G_k^i)|
+  std::size_t conflict_edges = 0;     // |E(G_k^i)|
+  std::size_t is_size = 0;            // |I_i|
+  std::size_t happy_removed = 0;      // edges removed after this phase
+  double oracle_millis = 0.0;
+};
+
+struct ReductionResult {
+  CfMulticoloring coloring;       // over V(H), palettes disjoint per phase
+  bool success = false;           // coloring is conflict-free for H
+  std::size_t phases = 0;         // phases actually executed
+  std::size_t rho_bound = 0;      // predicted ceil(λ ln m)+1 (0 if unknown)
+  bool within_rho = false;        // phases <= rho_bound (when predicted)
+  std::size_t colors_used = 0;    // distinct colors in the multicoloring
+  std::size_t palette_bound = 0;  // k * phases (the paper's k·ρ accounting)
+  std::vector<PhaseStats> trace;
+};
+
+/// Run the reduction on hypergraph h with palette size k per phase.
+/// Precondition for the guarantees: h admits a CF coloring with at most
+/// opts.k colors (e.g. a planted instance with k >= planted k); the runner
+/// itself is safe on any input and reports success accordingly.
+ReductionResult cf_multicoloring_via_maxis(const Hypergraph& h,
+                                           MaxISOracle& oracle,
+                                           const ReductionOptions& opts);
+
+/// The paper's phase bound ρ = ceil(λ ln m) + 1 (>= 1 for m >= 1).
+std::size_t reduction_phase_bound(double lambda, std::size_t m);
+
+}  // namespace pslocal

@@ -1,0 +1,52 @@
+#include "core/simulation.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "util/check.hpp"
+
+namespace pslocal {
+
+HostMappingReport analyze_host_mapping(const ConflictGraph& cg) {
+  const Hypergraph& h = cg.hypergraph();
+  HostMappingReport report;
+  report.host_count = h.vertex_count();
+  report.triple_count = cg.triple_count();
+
+  std::vector<std::size_t> load(h.vertex_count(), 0);
+  for (TripleId t = 0; t < cg.triple_count(); ++t) ++load[cg.triple(t).v];
+  std::size_t loaded_hosts = 0;
+  for (auto l : load) {
+    report.max_load = std::max(report.max_load, l);
+    if (l > 0) ++loaded_hosts;
+  }
+  report.avg_load = loaded_hosts == 0
+                        ? 0.0
+                        : static_cast<double>(report.triple_count) /
+                              static_cast<double>(loaded_hosts);
+
+  const Graph primal = h.primal_graph();
+  for (auto [a, b] : cg.graph().edges()) {
+    const VertexId ha = cg.triple(a).v;
+    const VertexId hb = cg.triple(b).v;
+    std::size_t dilation = 0;
+    if (ha != hb) {
+      if (primal.has_edge(ha, hb)) {
+        dilation = 1;
+      } else {
+        // Should be impossible (see header); measure honestly if not.
+        const auto dist = bfs_distances(primal, ha);
+        PSL_CHECK(dist[hb] != kUnreachable);
+        dilation = dist[hb];
+      }
+    }
+    report.max_dilation = std::max(report.max_dilation, dilation);
+  }
+  report.one_round_simulable = report.max_dilation <= 1;
+  report.rounds_per_simulated_round = std::max<std::size_t>(
+      1, report.max_dilation);
+  return report;
+}
+
+}  // namespace pslocal

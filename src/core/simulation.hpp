@@ -1,0 +1,38 @@
+// Local simulability of the conflict graph (paper, Section 2):
+//
+//   "The conflict graph G_k can be efficiently simulated in H in the
+//    LOCAL model."
+//
+// The witness is the host mapping host((e, v, c)) = v: every triple is a
+// virtual node hosted by its middle hypergraph vertex.  For *every* class
+// of conflict-graph edges the two hosts coincide or share a hyperedge:
+//   E_vertex: same host (distance 0);
+//   E_edge:   u, v ∈ e, so hosts are adjacent in the primal graph;
+//   E_color:  {u, v} ⊆ e or ⊆ g, ditto.
+// Hence the dilation of the mapping into H's communication (primal) graph
+// is at most 1 and one G_k round is simulated in one H round (messages are
+// unbounded, so hosting many triples costs no extra rounds).  Experiment
+// E9 measures exactly this.
+#pragma once
+
+#include <cstddef>
+
+#include "core/conflict_graph.hpp"
+
+namespace pslocal {
+
+struct HostMappingReport {
+  std::size_t host_count = 0;     // |V(H)|
+  std::size_t triple_count = 0;   // |V(G_k)|
+  std::size_t max_load = 0;       // most triples on one host
+  double avg_load = 0.0;          // triple_count / hosts with load
+  std::size_t max_dilation = 0;   // max primal-distance between edge hosts
+  bool one_round_simulable = false;  // max_dilation <= 1
+  /// Rounds of H needed per round of G_k under this mapping.
+  std::size_t rounds_per_simulated_round = 0;
+};
+
+/// Analyze the host mapping host((e,v,c)) = v against H's primal graph.
+HostMappingReport analyze_host_mapping(const ConflictGraph& cg);
+
+}  // namespace pslocal

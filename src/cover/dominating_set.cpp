@@ -1,0 +1,135 @@
+#include "cover/dominating_set.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace pslocal {
+
+bool is_dominating_set(const Graph& g, const std::vector<VertexId>& set) {
+  std::vector<bool> covered(g.vertex_count(), false);
+  for (VertexId v : set) {
+    if (v >= g.vertex_count()) return false;
+    covered[v] = true;
+    for (VertexId w : g.neighbors(v)) covered[w] = true;
+  }
+  return std::all_of(covered.begin(), covered.end(),
+                     [](bool b) { return b; });
+}
+
+std::vector<VertexId> greedy_dominating_set(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  std::vector<bool> covered(n, false);
+  std::size_t uncovered = n;
+  std::vector<VertexId> out;
+  while (uncovered > 0) {
+    // Pick the vertex covering the most uncovered vertices (closed
+    // neighborhood); ties to the smallest id for determinism.
+    VertexId best = 0;
+    std::size_t best_gain = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      std::size_t gain = covered[v] ? 0 : 1;
+      for (VertexId w : g.neighbors(v))
+        if (!covered[w]) ++gain;
+      if (gain > best_gain) {
+        best = v;
+        best_gain = gain;
+      }
+    }
+    PSL_CHECK(best_gain > 0);
+    out.push_back(best);
+    if (!covered[best]) {
+      covered[best] = true;
+      --uncovered;
+    }
+    for (VertexId w : g.neighbors(best)) {
+      if (!covered[w]) {
+        covered[w] = true;
+        --uncovered;
+      }
+    }
+  }
+  PSL_ENSURES(is_dominating_set(g, out));
+  return out;
+}
+
+namespace {
+
+class DomSearcher {
+ public:
+  DomSearcher(const Graph& g, std::uint64_t budget)
+      : g_(g), n_(g.vertex_count()), budget_(budget) {}
+
+  ExactDominatingSetResult run() {
+    best_ = greedy_dominating_set(g_);  // warm start
+    std::vector<VertexId> cur;
+    std::vector<bool> covered(n_, false);
+    expand(0, cur, covered, n_);
+    ExactDominatingSetResult res;
+    res.set = best_;
+    res.proven_optimal = !exhausted_;
+    res.nodes_explored = nodes_;
+    return res;
+  }
+
+ private:
+  // Branch on the smallest-id uncovered vertex u: some vertex of N[u]
+  // must be in the dominating set; try each.
+  void expand(VertexId from, std::vector<VertexId>& cur,
+              std::vector<bool>& covered, std::size_t uncovered) {
+    if (exhausted_) return;
+    if (++nodes_ > budget_) {
+      exhausted_ = true;
+      return;
+    }
+    if (cur.size() + 1 >= best_.size() && uncovered > 0) return;  // bound
+    if (uncovered == 0) {
+      if (cur.size() < best_.size()) best_ = cur;
+      return;
+    }
+    VertexId u = from;
+    while (u < n_ && covered[u]) ++u;
+    PSL_CHECK(u < n_);
+    std::vector<VertexId> candidates{u};
+    candidates.insert(candidates.end(), g_.neighbors(u).begin(),
+                      g_.neighbors(u).end());
+    for (VertexId c : candidates) {
+      std::vector<std::size_t> newly;
+      if (!covered[c]) newly.push_back(c);
+      for (VertexId w : g_.neighbors(c))
+        if (!covered[w]) newly.push_back(w);
+      for (auto w : newly) covered[w] = true;
+      cur.push_back(c);
+      expand(u, cur, covered, uncovered - newly.size());
+      cur.pop_back();
+      for (auto w : newly) covered[w] = false;
+    }
+  }
+
+  const Graph& g_;
+  std::size_t n_;
+  std::uint64_t budget_;
+  std::uint64_t nodes_ = 0;
+  bool exhausted_ = false;
+  std::vector<VertexId> best_;
+};
+
+}  // namespace
+
+ExactDominatingSetResult exact_dominating_set(const Graph& g,
+                                              std::uint64_t node_budget) {
+  if (g.vertex_count() == 0) return {{}, true, 0};
+  DomSearcher searcher(g, node_budget);
+  auto res = searcher.run();
+  PSL_ENSURES(is_dominating_set(g, res.set));
+  return res;
+}
+
+double dominating_set_guarantee(const Graph& g) {
+  double h = 0.0;
+  for (std::size_t i = 1; i <= g.max_degree() + 1; ++i)
+    h += 1.0 / static_cast<double>(i);
+  return h;
+}
+
+}  // namespace pslocal

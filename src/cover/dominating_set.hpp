@@ -1,0 +1,38 @@
+// Minimum dominating set approximation — the [GHK18] P-SLOCAL-complete
+// problem listed in the paper's introduction ("approximations of
+// dominating set and distributed set cover").
+//
+// A set D ⊆ V dominates G if every vertex is in D or adjacent to it.
+// The classic greedy (repeatedly take the vertex covering the most
+// still-uncovered vertices) achieves an H(Δ+1) <= ln(Δ+1) + 1
+// approximation of the optimum; we ship it as the centralized reference,
+// together with an exact solver for small instances (so tests can measure
+// the ratio) and a verifier.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pslocal {
+
+/// True iff every vertex is in `set` or has a neighbor in it.
+bool is_dominating_set(const Graph& g, const std::vector<VertexId>& set);
+
+/// Greedy H(Δ+1)-approximation of the minimum dominating set.
+std::vector<VertexId> greedy_dominating_set(const Graph& g);
+
+/// Exact minimum dominating set by branch and bound (small graphs).
+struct ExactDominatingSetResult {
+  std::vector<VertexId> set;
+  bool proven_optimal = false;
+  std::uint64_t nodes_explored = 0;
+};
+ExactDominatingSetResult exact_dominating_set(
+    const Graph& g, std::uint64_t node_budget = 5'000'000);
+
+/// The greedy guarantee ratio H(Δ+1) = 1 + 1/2 + ... + 1/(Δ+1).
+double dominating_set_guarantee(const Graph& g);
+
+}  // namespace pslocal

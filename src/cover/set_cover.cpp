@@ -1,0 +1,130 @@
+#include "cover/set_cover.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace pslocal {
+
+bool is_set_cover(const Hypergraph& h, const std::vector<EdgeId>& cover) {
+  std::vector<bool> covered(h.vertex_count(), false);
+  for (EdgeId e : cover) {
+    if (e >= h.edge_count()) return false;
+    for (VertexId v : h.edge(e)) covered[v] = true;
+  }
+  return std::all_of(covered.begin(), covered.end(),
+                     [](bool b) { return b; });
+}
+
+bool set_cover_feasible(const Hypergraph& h) {
+  for (VertexId v = 0; v < h.vertex_count(); ++v)
+    if (h.edges_of(v).empty()) return false;
+  return true;
+}
+
+std::vector<EdgeId> greedy_set_cover(const Hypergraph& h) {
+  PSL_EXPECTS(set_cover_feasible(h));
+  std::vector<bool> covered(h.vertex_count(), false);
+  std::size_t uncovered = h.vertex_count();
+  std::vector<EdgeId> out;
+  while (uncovered > 0) {
+    EdgeId best = 0;
+    std::size_t best_gain = 0;
+    for (EdgeId e = 0; e < h.edge_count(); ++e) {
+      std::size_t gain = 0;
+      for (VertexId v : h.edge(e))
+        if (!covered[v]) ++gain;
+      if (gain > best_gain) {
+        best = e;
+        best_gain = gain;
+      }
+    }
+    PSL_CHECK(best_gain > 0);
+    out.push_back(best);
+    for (VertexId v : h.edge(best)) {
+      if (!covered[v]) {
+        covered[v] = true;
+        --uncovered;
+      }
+    }
+  }
+  PSL_ENSURES(is_set_cover(h, out));
+  return out;
+}
+
+namespace {
+
+class CoverSearcher {
+ public:
+  CoverSearcher(const Hypergraph& h, std::uint64_t budget)
+      : h_(h), budget_(budget) {}
+
+  ExactSetCoverResult run() {
+    best_ = greedy_set_cover(h_);  // warm start
+    std::vector<EdgeId> cur;
+    std::vector<bool> covered(h_.vertex_count(), false);
+    expand(0, cur, covered, h_.vertex_count());
+    ExactSetCoverResult res;
+    res.cover = best_;
+    res.proven_optimal = !exhausted_;
+    res.nodes_explored = nodes_;
+    return res;
+  }
+
+ private:
+  void expand(VertexId from, std::vector<EdgeId>& cur,
+              std::vector<bool>& covered, std::size_t uncovered) {
+    if (exhausted_) return;
+    if (++nodes_ > budget_) {
+      exhausted_ = true;
+      return;
+    }
+    if (uncovered == 0) {
+      if (cur.size() < best_.size()) best_ = cur;
+      return;
+    }
+    if (cur.size() + 1 >= best_.size()) return;  // bound
+    // Branch on the smallest uncovered element: one of its edges must be
+    // in the cover.
+    VertexId u = from;
+    while (u < h_.vertex_count() && covered[u]) ++u;
+    PSL_CHECK(u < h_.vertex_count());
+    for (EdgeId e : h_.edges_of(u)) {
+      std::vector<VertexId> newly;
+      for (VertexId v : h_.edge(e))
+        if (!covered[v]) newly.push_back(v);
+      for (VertexId v : newly) covered[v] = true;
+      cur.push_back(e);
+      expand(u, cur, covered, uncovered - newly.size());
+      cur.pop_back();
+      for (VertexId v : newly) covered[v] = false;
+    }
+  }
+
+  const Hypergraph& h_;
+  std::uint64_t budget_;
+  std::uint64_t nodes_ = 0;
+  bool exhausted_ = false;
+  std::vector<EdgeId> best_;
+};
+
+}  // namespace
+
+ExactSetCoverResult exact_set_cover(const Hypergraph& h,
+                                    std::uint64_t node_budget) {
+  PSL_EXPECTS(set_cover_feasible(h));
+  if (h.vertex_count() == 0) return {{}, true, 0};
+  CoverSearcher searcher(h, node_budget);
+  auto res = searcher.run();
+  PSL_ENSURES(is_set_cover(h, res.cover));
+  return res;
+}
+
+double set_cover_guarantee(const Hypergraph& h) {
+  double g = 0.0;
+  for (std::size_t i = 1; i <= h.rank(); ++i)
+    g += 1.0 / static_cast<double>(i);
+  return g;
+}
+
+}  // namespace pslocal

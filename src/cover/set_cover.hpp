@@ -1,0 +1,42 @@
+// Distributed set cover approximation — the second [GHK18]
+// P-SLOCAL-complete covering problem named in the paper's introduction
+// ("approximations of dominating set and distributed set cover").
+//
+// Instance: a hypergraph H whose edges are the available sets and whose
+// vertices are the elements; a cover is a set of edge ids whose union is
+// V(H).  Greedy (largest uncovered gain first) is the classic
+// H(rank)-approximation; an exact branch-and-bound serves small instances
+// so tests can measure the actual ratio.  Dominating set is the special
+// case H = closed_neighborhood_hypergraph(G).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace pslocal {
+
+/// True iff the union of the chosen edges is V(H) (edge ids valid and
+/// distinct not required; duplicates are harmless).
+bool is_set_cover(const Hypergraph& h, const std::vector<EdgeId>& cover);
+
+/// True iff some cover exists (every element appears in some edge).
+bool set_cover_feasible(const Hypergraph& h);
+
+/// Greedy H(rank)-approximation.  Precondition: feasible.
+std::vector<EdgeId> greedy_set_cover(const Hypergraph& h);
+
+struct ExactSetCoverResult {
+  std::vector<EdgeId> cover;
+  bool proven_optimal = false;
+  std::uint64_t nodes_explored = 0;
+};
+/// Exact minimum cover by branch and bound (small instances).
+ExactSetCoverResult exact_set_cover(const Hypergraph& h,
+                                    std::uint64_t node_budget = 5'000'000);
+
+/// The greedy guarantee H(rank) = 1 + 1/2 + ... + 1/rank.
+double set_cover_guarantee(const Hypergraph& h);
+
+}  // namespace pslocal

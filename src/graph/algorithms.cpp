@@ -1,0 +1,238 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+namespace pslocal {
+
+std::vector<std::size_t> bfs_distances(const Graph& g, VertexId source,
+                                       std::size_t max_dist) {
+  return bfs_distances_multi(g, {source}, max_dist);
+}
+
+std::vector<std::size_t> bfs_distances_multi(const Graph& g,
+                                             const std::vector<VertexId>& sources,
+                                             std::size_t max_dist) {
+  std::vector<std::size_t> dist(g.vertex_count(), kUnreachable);
+  std::deque<VertexId> queue;
+  for (VertexId s : sources) {
+    PSL_EXPECTS(s < g.vertex_count());
+    if (dist[s] == kUnreachable) {
+      dist[s] = 0;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    if (dist[v] >= max_dist) continue;
+    for (VertexId w : g.neighbors(v)) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = dist[v] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<VertexId> ball(const Graph& g, VertexId center, std::size_t r) {
+  PSL_EXPECTS(center < g.vertex_count());
+  std::vector<std::size_t> dist(g.vertex_count(), kUnreachable);
+  std::vector<VertexId> order;
+  std::deque<VertexId> queue;
+  dist[center] = 0;
+  queue.push_back(center);
+  order.push_back(center);
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    if (dist[v] >= r) continue;
+    for (VertexId w : g.neighbors(v)) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = dist[v] + 1;
+        queue.push_back(w);
+        order.push_back(w);
+      }
+    }
+  }
+  return order;
+}
+
+InducedSubgraph induced_subgraph(const Graph& g,
+                                 const std::vector<VertexId>& vertices) {
+  InducedSubgraph out;
+  out.to_local.assign(g.vertex_count(), InducedSubgraph::kNoVertex);
+  out.to_original = vertices;
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    const VertexId v = vertices[i];
+    PSL_EXPECTS(v < g.vertex_count());
+    PSL_EXPECTS_MSG(out.to_local[v] == InducedSubgraph::kNoVertex,
+                    "duplicate vertex " << v << " in subgraph selection");
+    out.to_local[v] = static_cast<VertexId>(i);
+  }
+  GraphBuilder b(vertices.size());
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    for (VertexId w : g.neighbors(vertices[i])) {
+      const VertexId lw = out.to_local[w];
+      if (lw != InducedSubgraph::kNoVertex && lw > i)
+        b.add_edge(static_cast<VertexId>(i), lw);
+    }
+  }
+  out.graph = b.build();
+  return out;
+}
+
+Components connected_components(const Graph& g) {
+  Components c;
+  c.component_of.assign(g.vertex_count(), kUnreachable);
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (c.component_of[v] != kUnreachable) continue;
+    const std::size_t id = c.count++;
+    std::deque<VertexId> queue{v};
+    c.component_of[v] = id;
+    while (!queue.empty()) {
+      const VertexId u = queue.front();
+      queue.pop_front();
+      for (VertexId w : g.neighbors(u)) {
+        if (c.component_of[w] == kUnreachable) {
+          c.component_of[w] = id;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return c;
+}
+
+std::size_t diameter(const Graph& g) {
+  std::size_t diam = 0;
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    const auto dist = bfs_distances(g, v);
+    for (auto d : dist) {
+      if (d == kUnreachable) return kUnreachable;
+      diam = std::max(diam, d);
+    }
+  }
+  return diam;
+}
+
+DegeneracyResult degeneracy_order(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  DegeneracyResult res;
+  res.order.reserve(n);
+
+  std::vector<std::size_t> deg(n);
+  std::size_t max_deg = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    deg[v] = g.degree(v);
+    max_deg = std::max(max_deg, deg[v]);
+  }
+  // Matula–Beck bucket queue with lazy deletion: stale entries (whose
+  // recorded degree no longer matches) are skipped on pop.  After popping a
+  // vertex of degree d, the minimum degree can only have dropped to d-1, so
+  // the cursor backs up by at most one per neighbor update — O(n + m) total.
+  std::vector<std::vector<VertexId>> buckets(max_deg + 1);
+  for (VertexId v = 0; v < n; ++v) buckets[deg[v]].push_back(v);
+  std::vector<bool> removed(n, false);
+  std::size_t cursor = 0;
+  for (std::size_t step = 0; step < n; ++step) {
+    VertexId v = InducedSubgraph::kNoVertex;
+    while (v == InducedSubgraph::kNoVertex) {
+      while (cursor <= max_deg && buckets[cursor].empty()) ++cursor;
+      PSL_CHECK(cursor <= max_deg);
+      const VertexId cand = buckets[cursor].back();
+      buckets[cursor].pop_back();
+      if (!removed[cand] && deg[cand] == cursor) v = cand;
+    }
+    removed[v] = true;
+    res.order.push_back(v);
+    res.degeneracy = std::max(res.degeneracy, deg[v]);
+    for (VertexId w : g.neighbors(v)) {
+      if (!removed[w]) {
+        --deg[w];
+        buckets[deg[w]].push_back(w);
+        if (deg[w] < cursor) cursor = deg[w];
+      }
+    }
+  }
+  return res;
+}
+
+std::vector<std::size_t> greedy_coloring(const Graph& g,
+                                         const std::vector<VertexId>& order) {
+  PSL_EXPECTS(is_vertex_permutation(g, order));
+  constexpr std::size_t kUncolored = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> color(g.vertex_count(), kUncolored);
+  std::vector<bool> used;
+  for (VertexId v : order) {
+    used.assign(g.degree(v) + 1, false);
+    for (VertexId w : g.neighbors(v)) {
+      if (color[w] != kUncolored && color[w] < used.size())
+        used[color[w]] = true;
+    }
+    std::size_t c = 0;
+    while (c < used.size() && used[c]) ++c;
+    color[v] = c;
+  }
+  return color;
+}
+
+CliqueCover greedy_clique_cover(const Graph& g) {
+  // Greedily grow cliques: scan vertices by descending degree; each
+  // unassigned vertex starts a clique and absorbs unassigned common
+  // neighbors.
+  const std::size_t n = g.vertex_count();
+  CliqueCover cover;
+  cover.clique_of.assign(n, kUnreachable);
+  std::vector<VertexId> by_degree(n);
+  std::iota(by_degree.begin(), by_degree.end(), VertexId{0});
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&](VertexId a, VertexId b) {
+                     return g.degree(a) > g.degree(b);
+                   });
+  std::vector<VertexId> clique;
+  for (VertexId v : by_degree) {
+    if (cover.clique_of[v] != kUnreachable) continue;
+    const std::size_t id = cover.count++;
+    cover.clique_of[v] = id;
+    clique.assign(1, v);
+    for (VertexId w : g.neighbors(v)) {
+      if (cover.clique_of[w] != kUnreachable) continue;
+      const bool adjacent_to_all =
+          std::all_of(clique.begin(), clique.end(), [&](VertexId c) {
+            return g.has_edge(w, c);
+          });
+      if (adjacent_to_all) {
+        cover.clique_of[w] = id;
+        clique.push_back(w);
+      }
+    }
+  }
+  return cover;
+}
+
+Graph power_graph(const Graph& g, std::size_t t) {
+  PSL_EXPECTS(t >= 1);
+  GraphBuilder b(g.vertex_count());
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    const auto dist = bfs_distances(g, v, t);
+    for (VertexId w = v + 1; w < g.vertex_count(); ++w)
+      if (dist[w] != kUnreachable && dist[w] <= t) b.add_edge(v, w);
+  }
+  return b.build();
+}
+
+bool is_vertex_permutation(const Graph& g,
+                           const std::vector<VertexId>& order) {
+  if (order.size() != g.vertex_count()) return false;
+  std::vector<bool> seen(g.vertex_count(), false);
+  for (VertexId v : order) {
+    if (v >= g.vertex_count() || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+}  // namespace pslocal

@@ -1,0 +1,88 @@
+// Classical graph algorithms used as substrates throughout the library:
+// traversal, ball extraction (the SLOCAL engine's r-hop views), induced
+// subgraphs, components, degeneracy orders, greedy coloring and greedy
+// clique cover (the exact-MaxIS upper bound).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pslocal {
+
+/// Distance marker for unreachable vertices.
+inline constexpr std::size_t kUnreachable = std::numeric_limits<std::size_t>::max();
+
+/// Hop distances from `source`; vertices further than `max_dist` (if given)
+/// are left at kUnreachable.
+std::vector<std::size_t> bfs_distances(const Graph& g, VertexId source,
+                                       std::size_t max_dist = kUnreachable);
+
+/// Multi-source BFS: distance to the nearest source.
+std::vector<std::size_t> bfs_distances_multi(const Graph& g,
+                                             const std::vector<VertexId>& sources,
+                                             std::size_t max_dist = kUnreachable);
+
+/// Vertices within hop distance <= r of `center` (including the center),
+/// in BFS order.
+std::vector<VertexId> ball(const Graph& g, VertexId center, std::size_t r);
+
+/// Result of induced-subgraph extraction: the subgraph plus both direction
+/// index maps.  `to_local[orig] == kNoVertex` for vertices outside.
+struct InducedSubgraph {
+  static constexpr VertexId kNoVertex = std::numeric_limits<VertexId>::max();
+  Graph graph;
+  std::vector<VertexId> to_original;  // local id -> original id
+  std::vector<VertexId> to_local;     // original id -> local id or kNoVertex
+};
+
+/// Subgraph induced by `vertices` (must be distinct and in range).
+InducedSubgraph induced_subgraph(const Graph& g,
+                                 const std::vector<VertexId>& vertices);
+
+/// Component id per vertex (0-based, contiguous) and the component count.
+struct Components {
+  std::vector<std::size_t> component_of;
+  std::size_t count = 0;
+};
+Components connected_components(const Graph& g);
+
+/// Eccentricity-based diameter of a (small) graph; kUnreachable if
+/// disconnected.
+std::size_t diameter(const Graph& g);
+
+/// Degeneracy ordering (repeatedly remove a minimum-degree vertex).
+/// Returns the order and the degeneracy (max degree at removal time).
+struct DegeneracyResult {
+  std::vector<VertexId> order;
+  std::size_t degeneracy = 0;
+};
+DegeneracyResult degeneracy_order(const Graph& g);
+
+/// Greedy proper coloring along `order`; colors are 0-based.
+/// Uses at most degeneracy(g)+1 colors on a reverse degeneracy order.
+std::vector<std::size_t> greedy_coloring(const Graph& g,
+                                         const std::vector<VertexId>& order);
+
+/// Greedy partition of V into cliques (each class is a clique in g).
+/// The number of classes upper-bounds nothing by itself, but restricted to
+/// a vertex subset it upper-bounds the independence number of that subset;
+/// exact MaxIS uses it as a bound.  Returns clique id per vertex.
+struct CliqueCover {
+  std::vector<std::size_t> clique_of;
+  std::size_t count = 0;
+};
+CliqueCover greedy_clique_cover(const Graph& g);
+
+/// Check that `order` is a permutation of V(g).
+bool is_vertex_permutation(const Graph& g, const std::vector<VertexId>& order);
+
+/// The t-th power graph G^t: u ~ v iff 0 < dist_G(u, v) <= t.
+/// (G^1 == G.)  Used by the SLOCAL->LOCAL compiler, which needs a network
+/// decomposition of G^{2r+1} so that same-color clusters are more than 2r
+/// apart in G.
+Graph power_graph(const Graph& g, std::size_t t);
+
+}  // namespace pslocal

@@ -1,0 +1,172 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pslocal {
+
+Graph gnp(std::size_t n, double p, Rng& rng) {
+  PSL_EXPECTS(p >= 0.0 && p <= 1.0);
+  GraphBuilder b(n);
+  if (p <= 0.0 || n < 2) return b.build();
+  if (p >= 1.0) return complete(n);
+  // Skip-sampling (Batagelj–Brandes): geometric jumps over absent edges.
+  const double log1mp = std::log1p(-p);
+  std::size_t v = 1, w = static_cast<std::size_t>(-1);
+  while (v < n) {
+    const double r = rng.next_double();
+    w += 1 + static_cast<std::size_t>(std::floor(std::log1p(-r) / log1mp));
+    while (w >= v && v < n) {
+      w -= v;
+      ++v;
+    }
+    if (v < n)
+      b.add_edge(static_cast<VertexId>(v), static_cast<VertexId>(w));
+  }
+  return b.build();
+}
+
+Graph ring(std::size_t n) {
+  PSL_EXPECTS(n >= 3);
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i < n; ++i)
+    b.add_edge(static_cast<VertexId>(i), static_cast<VertexId>((i + 1) % n));
+  return b.build();
+}
+
+Graph path(std::size_t n) {
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    b.add_edge(static_cast<VertexId>(i), static_cast<VertexId>(i + 1));
+  return b.build();
+}
+
+Graph grid(std::size_t w, std::size_t h) {
+  GraphBuilder b(w * h);
+  auto id = [w](std::size_t x, std::size_t y) {
+    return static_cast<VertexId>(y * w + x);
+  };
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      if (x + 1 < w) b.add_edge(id(x, y), id(x + 1, y));
+      if (y + 1 < h) b.add_edge(id(x, y), id(x, y + 1));
+    }
+  }
+  return b.build();
+}
+
+Graph complete(std::size_t n) {
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      b.add_edge(static_cast<VertexId>(i), static_cast<VertexId>(j));
+  return b.build();
+}
+
+Graph complete_bipartite(std::size_t a, std::size_t b_size) {
+  GraphBuilder b(a + b_size);
+  for (std::size_t i = 0; i < a; ++i)
+    for (std::size_t j = 0; j < b_size; ++j)
+      b.add_edge(static_cast<VertexId>(i), static_cast<VertexId>(a + j));
+  return b.build();
+}
+
+Graph disjoint_cliques(const std::vector<std::size_t>& sizes) {
+  std::size_t n = 0;
+  for (auto s : sizes) {
+    PSL_EXPECTS(s >= 1);
+    n += s;
+  }
+  GraphBuilder b(n);
+  std::size_t base = 0;
+  for (auto s : sizes) {
+    for (std::size_t i = 0; i < s; ++i)
+      for (std::size_t j = i + 1; j < s; ++j)
+        b.add_edge(static_cast<VertexId>(base + i),
+                   static_cast<VertexId>(base + j));
+    base += s;
+  }
+  return b.build();
+}
+
+Graph random_near_regular(std::size_t n, std::size_t d, Rng& rng) {
+  PSL_EXPECTS(d < n);
+  GraphBuilder b(n);
+  for (std::size_t round = 0; round < d; ++round) {
+    auto perm = rng.permutation(n);
+    for (std::size_t i = 0; i + 1 < n; i += 2)
+      b.add_edge(static_cast<VertexId>(perm[i]),
+                 static_cast<VertexId>(perm[i + 1]));
+  }
+  return b.build();
+}
+
+Graph power_law(std::size_t n, double beta, double avg_deg, Rng& rng) {
+  PSL_EXPECTS(beta > 1.0);
+  PSL_EXPECTS(avg_deg > 0.0);
+  std::vector<double> w(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = std::pow(static_cast<double>(i + 1), -1.0 / (beta - 1.0));
+    total += w[i];
+  }
+  const double scale = avg_deg * static_cast<double>(n) / total;
+  for (auto& wi : w) wi *= scale;
+  const double s = avg_deg * static_cast<double>(n);
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double p = std::min(1.0, w[i] * w[j] / s);
+      if (p > 0 && rng.next_bool(p))
+        b.add_edge(static_cast<VertexId>(i), static_cast<VertexId>(j));
+    }
+  }
+  return b.build();
+}
+
+Graph random_tree(std::size_t n, Rng& rng) {
+  GraphBuilder b(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    const auto parent = static_cast<VertexId>(rng.next_below(i));
+    b.add_edge(static_cast<VertexId>(i), parent);
+  }
+  return b.build();
+}
+
+Graph hypercube(std::size_t d) {
+  PSL_EXPECTS(d <= 20);
+  const std::size_t n = std::size_t{1} << d;
+  GraphBuilder b(n);
+  for (std::size_t v = 0; v < n; ++v)
+    for (std::size_t bit = 0; bit < d; ++bit) {
+      const std::size_t w = v ^ (std::size_t{1} << bit);
+      if (v < w)
+        b.add_edge(static_cast<VertexId>(v), static_cast<VertexId>(w));
+    }
+  return b.build();
+}
+
+Graph caterpillar(std::size_t spine, std::size_t legs) {
+  PSL_EXPECTS(spine >= 1);
+  GraphBuilder b(spine * (1 + legs));
+  for (std::size_t i = 0; i + 1 < spine; ++i)
+    b.add_edge(static_cast<VertexId>(i), static_cast<VertexId>(i + 1));
+  for (std::size_t i = 0; i < spine; ++i)
+    for (std::size_t l = 0; l < legs; ++l)
+      b.add_edge(static_cast<VertexId>(i),
+                 static_cast<VertexId>(spine + i * legs + l));
+  return b.build();
+}
+
+Graph random_bipartite(std::size_t a, std::size_t b_size, double p,
+                       Rng& rng) {
+  PSL_EXPECTS(p >= 0.0 && p <= 1.0);
+  GraphBuilder b(a + b_size);
+  for (std::size_t i = 0; i < a; ++i)
+    for (std::size_t j = 0; j < b_size; ++j)
+      if (rng.next_bool(p))
+        b.add_edge(static_cast<VertexId>(i), static_cast<VertexId>(a + j));
+  return b.build();
+}
+
+}  // namespace pslocal

@@ -1,0 +1,56 @@
+// Graph generators for tests, examples and experiment workloads.
+// All generators are deterministic given the Rng state.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace pslocal {
+
+/// Erdős–Rényi G(n, p).
+Graph gnp(std::size_t n, double p, Rng& rng);
+
+/// Cycle C_n (n >= 3).
+Graph ring(std::size_t n);
+
+/// Path P_n.
+Graph path(std::size_t n);
+
+/// w x h grid with 4-neighborhoods.
+Graph grid(std::size_t w, std::size_t h);
+
+/// Complete graph K_n.
+Graph complete(std::size_t n);
+
+/// Complete bipartite K_{a,b}.
+Graph complete_bipartite(std::size_t a, std::size_t b);
+
+/// Disjoint union of cliques with the given sizes.  The independence
+/// number equals the number of cliques — used by tests with known alpha.
+Graph disjoint_cliques(const std::vector<std::size_t>& sizes);
+
+/// Random d-regular-ish graph via random perfect matchings union
+/// (multi-edges dropped, so degrees are <= d).
+Graph random_near_regular(std::size_t n, std::size_t d, Rng& rng);
+
+/// Chung–Lu style graph with power-law-ish expected degrees
+/// w_i proportional to (i+1)^{-1/(beta-1)}, scaled to average degree
+/// `avg_deg`.  Produces heavy-tailed degree sequences.
+Graph power_law(std::size_t n, double beta, double avg_deg, Rng& rng);
+
+/// Random tree on n vertices via random attachment.
+Graph random_tree(std::size_t n, Rng& rng);
+
+/// The d-dimensional hypercube Q_d (2^d vertices, Δ = d).
+Graph hypercube(std::size_t d);
+
+/// Caterpillar: a spine path of `spine` vertices, each with `legs` leaves.
+Graph caterpillar(std::size_t spine, std::size_t legs);
+
+/// Random bipartite graph with sides a, b and edge probability p.
+Graph random_bipartite(std::size_t a, std::size_t b, double p, Rng& rng);
+
+}  // namespace pslocal

@@ -1,0 +1,86 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace pslocal {
+
+Graph Graph::from_edges(std::size_t n,
+                        const std::vector<std::pair<VertexId, VertexId>>& edges,
+                        bool dedup) {
+  GraphBuilder b(n);
+  for (auto [u, v] : edges) {
+    if (dedup && u == v) continue;
+    PSL_EXPECTS_MSG(u != v, "self-loop " << u);
+    b.add_edge(u, v);
+  }
+  Graph g = b.build();
+  if (!dedup) {
+    PSL_CHECK_MSG(g.edge_count() == edges.size(),
+                  "duplicate edges in input edge list");
+  }
+  return g;
+}
+
+std::size_t Graph::max_degree() const {
+  std::size_t d = 0;
+  for (VertexId v = 0; v < vertex_count(); ++v) d = std::max(d, degree(v));
+  return d;
+}
+
+double Graph::average_degree() const {
+  if (vertex_count() == 0) return 0.0;
+  return 2.0 * static_cast<double>(edge_count()) /
+         static_cast<double>(vertex_count());
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const {
+  PSL_EXPECTS(u < vertex_count() && v < vertex_count());
+  const auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::vector<std::pair<VertexId, VertexId>> Graph::edges() const {
+  std::vector<std::pair<VertexId, VertexId>> out;
+  out.reserve(edge_count());
+  for (VertexId u = 0; u < vertex_count(); ++u)
+    for (VertexId v : neighbors(u))
+      if (u < v) out.emplace_back(u, v);
+  return out;
+}
+
+void GraphBuilder::add_edge(VertexId u, VertexId v) {
+  PSL_EXPECTS_MSG(u < n_ && v < n_,
+                  "edge {" << u << "," << v << "} out of range n=" << n_);
+  if (u == v) return;
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+}
+
+Graph GraphBuilder::build() {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  Graph g;
+  g.offsets_.assign(n_ + 1, 0);
+  for (auto [u, v] : edges_) {
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  for (std::size_t i = 1; i <= n_; ++i) g.offsets_[i] += g.offsets_[i - 1];
+  g.neighbors_.resize(edges_.size() * 2);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (auto [u, v] : edges_) {
+    g.neighbors_[cursor[u]++] = v;
+    g.neighbors_[cursor[v]++] = u;
+  }
+  // CSR rows are sorted because edges_ was sorted by (u, v) and insertions
+  // per row happen in ascending order of the opposite endpoint only for the
+  // first endpoint; sort each row to make neighbor lists canonical.
+  for (std::size_t v = 0; v < n_; ++v)
+    std::sort(g.neighbors_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]),
+              g.neighbors_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]));
+  edges_.clear();
+  return g;
+}
+
+}  // namespace pslocal

@@ -1,0 +1,41 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace pslocal {
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << g.vertex_count() << ' ' << g.edge_count() << '\n';
+  for (auto [u, v] : g.edges()) os << u << ' ' << v << '\n';
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::size_t n = 0, m = 0;
+  PSL_CHECK_MSG(static_cast<bool>(is >> n >> m), "bad edge-list header");
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    VertexId u = 0, v = 0;
+    PSL_CHECK_MSG(static_cast<bool>(is >> u >> v),
+                  "bad edge at line " << (i + 2));
+    edges.emplace_back(u, v);
+  }
+  return Graph::from_edges(n, edges);
+}
+
+void save_graph(const std::string& path, const Graph& g) {
+  std::ofstream f(path);
+  PSL_CHECK_MSG(f.good(), "cannot open " << path << " for writing");
+  write_edge_list(f, g);
+}
+
+Graph load_graph(const std::string& path) {
+  std::ifstream f(path);
+  PSL_CHECK_MSG(f.good(), "cannot open " << path << " for reading");
+  return read_edge_list(f);
+}
+
+}  // namespace pslocal

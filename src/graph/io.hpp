@@ -1,0 +1,20 @@
+// Plain-text graph serialization (edge-list format):
+//   line 1: "n m"
+//   next m lines: "u v" with 0 <= u < v < n
+// Used by examples to persist/reload workloads.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace pslocal {
+
+void write_edge_list(std::ostream& os, const Graph& g);
+Graph read_edge_list(std::istream& is);
+
+void save_graph(const std::string& path, const Graph& g);
+Graph load_graph(const std::string& path);
+
+}  // namespace pslocal

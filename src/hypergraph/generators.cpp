@@ -1,0 +1,144 @@
+#include "hypergraph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace pslocal {
+
+PlantedCfInstance planted_cf_colorable(const PlantedCfParams& params,
+                                       Rng& rng) {
+  const std::size_t n = params.n;
+  const std::size_t k = params.k;
+  PSL_EXPECTS(k >= 2);
+  PSL_EXPECTS(params.epsilon > 0.0 && params.epsilon <= 1.0);
+  const auto max_size = static_cast<std::size_t>(
+      std::floor((1.0 + params.epsilon) * static_cast<double>(k)));
+  PSL_EXPECTS_MSG(n >= 2 * max_size,
+                  "need n >= 2*(1+eps)*k, got n=" << n << " k=" << k);
+
+  PlantedCfInstance out;
+  out.k = k;
+
+  // Balanced planted coloring: shuffle vertices, deal colors round-robin.
+  // Every color class has >= floor(n/k) >= 2 members, and the complement
+  // of any class has >= n - ceil(n/k) >= max_size - 1 members, so edge
+  // sampling below cannot starve.
+  out.planted_coloring.assign(n, 0);
+  const auto perm = rng.permutation(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.planted_coloring[perm[i]] = (i % k) + 1;
+
+  std::vector<std::vector<VertexId>> by_color(k + 1);
+  std::vector<VertexId> all(n);
+  for (VertexId v = 0; v < n; ++v) {
+    all[v] = v;
+    by_color[out.planted_coloring[v]].push_back(v);
+  }
+
+  std::set<std::vector<VertexId>> seen;
+  std::vector<std::vector<VertexId>> edges;
+  edges.reserve(params.m);
+  for (std::size_t e = 0; e < params.m; ++e) {
+    std::vector<VertexId> edge;
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const auto s = static_cast<std::size_t>(
+          rng.next_int(static_cast<std::int64_t>(k),
+                       static_cast<std::int64_t>(max_size)));
+      // Witness vertex: its planted color appears exactly once in the edge.
+      const auto w = static_cast<VertexId>(rng.next_below(n));
+      const std::size_t wc = out.planted_coloring[w];
+      // Remaining s-1 vertices come from other color classes.
+      std::vector<VertexId> pool;
+      pool.reserve(n - by_color[wc].size());
+      for (VertexId v : all)
+        if (out.planted_coloring[v] != wc) pool.push_back(v);
+      PSL_CHECK(pool.size() >= s - 1);
+      const auto picks = rng.sample_without_replacement(pool.size(), s - 1);
+      edge.clear();
+      edge.push_back(w);
+      for (auto idx : picks) edge.push_back(pool[idx]);
+      std::sort(edge.begin(), edge.end());
+      if (!params.distinct_edges || seen.insert(edge).second) break;
+      edge.clear();
+    }
+    // After exhausting retries accept a duplicate rather than failing:
+    // duplicate edges are legal hyperedges and CF-colorability persists.
+    if (edge.empty()) {
+      const auto s = k;
+      const auto w = static_cast<VertexId>(rng.next_below(n));
+      const std::size_t wc = out.planted_coloring[w];
+      std::vector<VertexId> pool;
+      for (VertexId v : all)
+        if (out.planted_coloring[v] != wc) pool.push_back(v);
+      const auto picks = rng.sample_without_replacement(pool.size(), s - 1);
+      edge.push_back(w);
+      for (auto idx : picks) edge.push_back(pool[idx]);
+    }
+    edges.push_back(std::move(edge));
+  }
+  out.hypergraph = Hypergraph(n, std::move(edges));
+  return out;
+}
+
+Hypergraph interval_hypergraph(std::size_t n, std::size_t m,
+                               std::size_t min_len, std::size_t max_len,
+                               Rng& rng) {
+  PSL_EXPECTS(min_len >= 1 && min_len <= max_len && max_len <= n);
+  std::vector<std::vector<VertexId>> edges;
+  edges.reserve(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    const auto len = static_cast<std::size_t>(
+        rng.next_int(static_cast<std::int64_t>(min_len),
+                     static_cast<std::int64_t>(max_len)));
+    const auto a = static_cast<std::size_t>(rng.next_below(n - len + 1));
+    std::vector<VertexId> edge(len);
+    for (std::size_t i = 0; i < len; ++i)
+      edge[i] = static_cast<VertexId>(a + i);
+    edges.push_back(std::move(edge));
+  }
+  return Hypergraph(n, std::move(edges));
+}
+
+Hypergraph all_intervals(std::size_t n, std::size_t min_len,
+                         std::size_t max_len) {
+  PSL_EXPECTS(min_len >= 1 && min_len <= max_len && max_len <= n);
+  std::vector<std::vector<VertexId>> edges;
+  for (std::size_t len = min_len; len <= max_len; ++len) {
+    for (std::size_t a = 0; a + len <= n; ++a) {
+      std::vector<VertexId> edge(len);
+      for (std::size_t i = 0; i < len; ++i)
+        edge[i] = static_cast<VertexId>(a + i);
+      edges.push_back(std::move(edge));
+    }
+  }
+  return Hypergraph(n, std::move(edges));
+}
+
+Hypergraph closed_neighborhood_hypergraph(const Graph& g) {
+  std::vector<std::vector<VertexId>> edges;
+  edges.reserve(g.vertex_count());
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    std::vector<VertexId> edge{v};
+    edge.insert(edge.end(), g.neighbors(v).begin(), g.neighbors(v).end());
+    edges.push_back(std::move(edge));
+  }
+  return Hypergraph(g.vertex_count(), std::move(edges));
+}
+
+Hypergraph random_uniform_hypergraph(std::size_t n, std::size_t m,
+                                     std::size_t s, Rng& rng) {
+  PSL_EXPECTS(s >= 1 && s <= n);
+  std::vector<std::vector<VertexId>> edges;
+  edges.reserve(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    const auto picks = rng.sample_without_replacement(n, s);
+    std::vector<VertexId> edge;
+    edge.reserve(s);
+    for (auto p : picks) edge.push_back(static_cast<VertexId>(p));
+    edges.push_back(std::move(edge));
+  }
+  return Hypergraph(n, std::move(edges));
+}
+
+}  // namespace pslocal

@@ -1,0 +1,67 @@
+// Hypergraph workload generators.
+//
+// The hardness proof of Theorem 1.1 operates on hypergraphs that
+// "all admit a conflictfree k-coloring where each node only has a single
+// color and k = poly log n".  The authors' instances come from the
+// [GKM17] completeness construction, which we cannot reuse verbatim
+// (it embeds arbitrary P-SLOCAL problems); instead `planted_cf_colorable`
+// *plants* such a coloring, which yields exactly the precondition the
+// reduction needs (see DESIGN.md §5).  Interval hypergraphs provide a
+// second family with a known-good baseline ([DN18]-style, dyadic CF
+// coloring with ⌊log2 n⌋+1 colors).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hypergraph/hypergraph.hpp"
+#include "util/rng.hpp"
+
+namespace pslocal {
+
+/// A hypergraph together with the coloring planted at generation time.
+/// The planted coloring is a certificate that H (and every edge subset of
+/// H) admits a conflict-free k-coloring with single colors per node.
+struct PlantedCfInstance {
+  Hypergraph hypergraph;
+  std::vector<std::size_t> planted_coloring;  // vertex -> color in [1, k]
+  std::size_t k = 0;
+};
+
+/// Parameters for the planted generator.
+struct PlantedCfParams {
+  std::size_t n = 64;        // vertices
+  std::size_t m = 64;        // hyperedges
+  std::size_t k = 4;         // planted palette size
+  double epsilon = 1.0;      // almost-uniformity slack (0 < eps <= 1)
+  bool distinct_edges = true;  // retry duplicates (best effort)
+};
+
+/// Generate an ε-almost-uniform hypergraph with a planted CF k-coloring:
+/// every edge has size in [k, (1+eps)k] and contains exactly one vertex of
+/// its witness color, so the planted coloring is conflict-free.
+/// Requires n >= 2 * ceil((1+eps) k) and k >= 2.
+PlantedCfInstance planted_cf_colorable(const PlantedCfParams& params, Rng& rng);
+
+/// m random intervals [a, a+len-1] over points 0..n-1 with
+/// len in [min_len, max_len].
+Hypergraph interval_hypergraph(std::size_t n, std::size_t m,
+                               std::size_t min_len, std::size_t max_len,
+                               Rng& rng);
+
+/// All intervals over 0..n-1 of length in [min_len, max_len].
+Hypergraph all_intervals(std::size_t n, std::size_t min_len,
+                         std::size_t max_len);
+
+/// m edges, each s distinct uniform vertices (s-uniform hypergraph).
+Hypergraph random_uniform_hypergraph(std::size_t n, std::size_t m,
+                                     std::size_t s, Rng& rng);
+
+/// The closed-neighborhood hypergraph of a graph: one hyperedge
+/// N[v] = {v} ∪ N(v) per vertex.  Conflict-free coloring of such
+/// hypergraphs ("CF coloring of graph neighborhoods") is the
+/// graph-theoretic special case studied alongside [DN18]; it gives the
+/// reduction a third structurally distinct workload family.
+Hypergraph closed_neighborhood_hypergraph(const Graph& g);
+
+}  // namespace pslocal

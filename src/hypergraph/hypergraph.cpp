@@ -1,0 +1,76 @@
+#include "hypergraph/hypergraph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pslocal {
+
+Hypergraph::Hypergraph(std::size_t n, std::vector<std::vector<VertexId>> edges)
+    : n_(n), edges_(std::move(edges)) {
+  incidence_.resize(n_);
+  original_ids_.resize(edges_.size());
+  std::iota(original_ids_.begin(), original_ids_.end(), EdgeId{0});
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    auto& verts = edges_[e];
+    PSL_EXPECTS_MSG(!verts.empty(), "hyperedge " << e << " is empty");
+    std::sort(verts.begin(), verts.end());
+    PSL_EXPECTS_MSG(
+        std::adjacent_find(verts.begin(), verts.end()) == verts.end(),
+        "hyperedge " << e << " has duplicate vertices");
+    PSL_EXPECTS_MSG(verts.back() < n_,
+                    "hyperedge " << e << " vertex out of range");
+    for (VertexId v : verts) incidence_[v].push_back(e);
+  }
+}
+
+bool Hypergraph::edge_contains(EdgeId e, VertexId v) const {
+  const auto verts = edge(e);
+  return std::binary_search(verts.begin(), verts.end(), v);
+}
+
+std::size_t Hypergraph::rank() const {
+  std::size_t r = 0;
+  for (const auto& e : edges_) r = std::max(r, e.size());
+  return r;
+}
+
+std::size_t Hypergraph::corank() const {
+  if (edges_.empty()) return 0;
+  std::size_t r = edges_.front().size();
+  for (const auto& e : edges_) r = std::min(r, e.size());
+  return r;
+}
+
+Graph Hypergraph::primal_graph() const {
+  GraphBuilder b(n_);
+  for (const auto& verts : edges_)
+    for (std::size_t i = 0; i < verts.size(); ++i)
+      for (std::size_t j = i + 1; j < verts.size(); ++j)
+        b.add_edge(verts[i], verts[j]);
+  return b.build();
+}
+
+Graph Hypergraph::incidence_graph() const {
+  GraphBuilder b(n_ + edges_.size());
+  for (EdgeId e = 0; e < edges_.size(); ++e)
+    for (VertexId v : edges_[e])
+      b.add_edge(v, static_cast<VertexId>(n_ + e));
+  return b.build();
+}
+
+Hypergraph Hypergraph::restrict_edges(const std::vector<bool>& keep) const {
+  PSL_EXPECTS(keep.size() == edges_.size());
+  std::vector<std::vector<VertexId>> kept;
+  std::vector<EdgeId> kept_ids;
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    if (keep[e]) {
+      kept.push_back(edges_[e]);
+      kept_ids.push_back(original_ids_[e]);
+    }
+  }
+  Hypergraph h(n_, std::move(kept));
+  h.original_ids_ = std::move(kept_ids);
+  return h;
+}
+
+}  // namespace pslocal

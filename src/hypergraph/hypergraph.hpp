@@ -1,0 +1,86 @@
+// Hypergraph H = (V, E), the input structure of the conflict-free
+// multicoloring problem (paper, Section 1).
+//
+// Vertices are dense ids 0..n-1.  Each hyperedge is a sorted vector of
+// distinct vertices.  Hyperedges keep stable ids 0..m-1; the Theorem 1.1
+// reduction runs on *edge subsets* H_i = (V, E_i) of the original
+// hypergraph, represented by `restrict_edges`, which preserves original
+// edge ids through `original_edge_id`.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/check.hpp"
+
+namespace pslocal {
+
+using EdgeId = std::uint32_t;
+
+class Hypergraph {
+ public:
+  Hypergraph() = default;
+
+  /// Construct from explicit edge lists.  Each edge must be non-empty with
+  /// distinct in-range vertices (any order; stored sorted).
+  Hypergraph(std::size_t n, std::vector<std::vector<VertexId>> edges);
+
+  [[nodiscard]] std::size_t vertex_count() const { return n_; }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+
+  /// Vertices of edge e, sorted ascending.
+  [[nodiscard]] std::span<const VertexId> edge(EdgeId e) const {
+    PSL_EXPECTS(e < edges_.size());
+    return edges_[e];
+  }
+
+  [[nodiscard]] std::size_t edge_size(EdgeId e) const { return edge(e).size(); }
+
+  /// Edges incident to vertex v.
+  [[nodiscard]] std::span<const EdgeId> edges_of(VertexId v) const {
+    PSL_EXPECTS(v < n_);
+    return incidence_[v];
+  }
+
+  [[nodiscard]] std::size_t vertex_degree(VertexId v) const {
+    return edges_of(v).size();
+  }
+
+  /// O(log |e|) membership test.
+  [[nodiscard]] bool edge_contains(EdgeId e, VertexId v) const;
+
+  /// Maximum / minimum edge size (rank / corank); 0 for edgeless H.
+  [[nodiscard]] std::size_t rank() const;
+  [[nodiscard]] std::size_t corank() const;
+
+  /// The primal graph (a.k.a. communication graph in the LOCAL model over
+  /// hypergraphs): u ~ v iff they share at least one hyperedge.
+  [[nodiscard]] Graph primal_graph() const;
+
+  /// The bipartite incidence graph: vertices 0..n-1 are the hypergraph
+  /// vertices, vertices n..n+m-1 represent the hyperedges, with an edge
+  /// v ~ (n + e) iff v ∈ e.  The alternative communication topology used
+  /// by distributed hypergraph algorithms where hyperedges are agents.
+  [[nodiscard]] Graph incidence_graph() const;
+
+  /// Sub-hypergraph on the same vertex set keeping only the edges with
+  /// keep[e] == true.  `original_edge_id(e')` on the result maps back.
+  [[nodiscard]] Hypergraph restrict_edges(const std::vector<bool>& keep) const;
+
+  /// Identity for directly constructed hypergraphs; for restrictions,
+  /// the id of this edge in the hypergraph it was restricted from.
+  [[nodiscard]] EdgeId original_edge_id(EdgeId e) const {
+    PSL_EXPECTS(e < edges_.size());
+    return original_ids_[e];
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::vector<VertexId>> edges_;
+  std::vector<std::vector<EdgeId>> incidence_;
+  std::vector<EdgeId> original_ids_;
+};
+
+}  // namespace pslocal

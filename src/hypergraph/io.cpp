@@ -1,0 +1,47 @@
+#include "hypergraph/io.hpp"
+
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace pslocal {
+
+void write_hypergraph(std::ostream& os, const Hypergraph& h) {
+  os << h.vertex_count() << ' ' << h.edge_count() << '\n';
+  for (EdgeId e = 0; e < h.edge_count(); ++e) {
+    os << h.edge_size(e);
+    for (VertexId v : h.edge(e)) os << ' ' << v;
+    os << '\n';
+  }
+}
+
+Hypergraph read_hypergraph(std::istream& is) {
+  std::size_t n = 0, m = 0;
+  PSL_CHECK_MSG(static_cast<bool>(is >> n >> m), "bad hypergraph header");
+  std::vector<std::vector<VertexId>> edges;
+  edges.reserve(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    std::size_t s = 0;
+    PSL_CHECK_MSG(static_cast<bool>(is >> s), "bad edge size at edge " << e);
+    std::vector<VertexId> edge(s);
+    for (std::size_t i = 0; i < s; ++i)
+      PSL_CHECK_MSG(static_cast<bool>(is >> edge[i]),
+                    "bad vertex in edge " << e);
+    edges.push_back(std::move(edge));
+  }
+  return Hypergraph(n, std::move(edges));
+}
+
+void save_hypergraph(const std::string& path, const Hypergraph& h) {
+  std::ofstream f(path);
+  PSL_CHECK_MSG(f.good(), "cannot open " << path << " for writing");
+  write_hypergraph(f, h);
+}
+
+Hypergraph load_hypergraph(const std::string& path) {
+  std::ifstream f(path);
+  PSL_CHECK_MSG(f.good(), "cannot open " << path << " for reading");
+  return read_hypergraph(f);
+}
+
+}  // namespace pslocal

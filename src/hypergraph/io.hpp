@@ -1,0 +1,19 @@
+// Plain-text hypergraph serialization:
+//   line 1: "n m"
+//   next m lines: "s v1 v2 ... vs"  (edge size, then its vertices)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace pslocal {
+
+void write_hypergraph(std::ostream& os, const Hypergraph& h);
+Hypergraph read_hypergraph(std::istream& is);
+
+void save_hypergraph(const std::string& path, const Hypergraph& h);
+Hypergraph load_hypergraph(const std::string& path);
+
+}  // namespace pslocal

@@ -1,0 +1,49 @@
+#include "hypergraph/properties.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace pslocal {
+
+std::optional<std::size_t> almost_uniform_witness(const Hypergraph& h,
+                                                  double epsilon) {
+  PSL_EXPECTS(epsilon > 0.0 && epsilon <= 1.0);
+  if (h.edge_count() == 0) return std::size_t{1};
+  const std::size_t k = h.corank();
+  const std::size_t r = h.rank();
+  // If any k works then k = corank works: corank <= |e| holds by
+  // definition, and the upper bound (1+eps)*corank >= (1+eps)*k' >= rank
+  // for any valid witness k' <= corank.
+  if (static_cast<double>(r) <= (1.0 + epsilon) * static_cast<double>(k))
+    return k;
+  return std::nullopt;
+}
+
+HypergraphStats hypergraph_stats(const Hypergraph& h) {
+  HypergraphStats s;
+  s.vertices = h.vertex_count();
+  s.edges = h.edge_count();
+  s.rank = h.rank();
+  s.corank = h.corank();
+  for (VertexId v = 0; v < h.vertex_count(); ++v)
+    s.max_vertex_degree = std::max(s.max_vertex_degree, h.vertex_degree(v));
+  for (EdgeId e = 0; e < h.edge_count(); ++e)
+    s.incidence_size += h.edge_size(e);
+  s.avg_edge_size = h.edge_count() == 0
+                        ? 0.0
+                        : static_cast<double>(s.incidence_size) /
+                              static_cast<double>(h.edge_count());
+  return s;
+}
+
+bool has_distinct_edges(const Hypergraph& h) {
+  std::set<std::vector<VertexId>> seen;
+  for (EdgeId e = 0; e < h.edge_count(); ++e) {
+    const auto verts = h.edge(e);
+    if (!seen.emplace(verts.begin(), verts.end()).second) return false;
+  }
+  return true;
+}
+
+}  // namespace pslocal

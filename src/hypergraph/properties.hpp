@@ -1,0 +1,41 @@
+// Structural predicates on hypergraphs used by the reduction and the
+// experiment harnesses, most importantly ε-almost-uniformity:
+//
+//   "For a given constant 0 < ε <= 1 we call a hypergraph H = (V, E)
+//    almost uniform if there is an arbitrary k such that for all edges
+//    e ∈ E we have k <= |e| <= (1+ε)k."            (paper, Section 1)
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "hypergraph/hypergraph.hpp"
+
+namespace pslocal {
+
+/// If H is ε-almost-uniform, the witness k (the corank qualifies whenever
+/// any k does); std::nullopt otherwise.  Edgeless hypergraphs are almost
+/// uniform with k = 1 by convention (the condition is vacuous).
+std::optional<std::size_t> almost_uniform_witness(const Hypergraph& h,
+                                                  double epsilon);
+
+inline bool is_almost_uniform(const Hypergraph& h, double epsilon) {
+  return almost_uniform_witness(h, epsilon).has_value();
+}
+
+/// Degree/size summary for experiment tables.
+struct HypergraphStats {
+  std::size_t vertices = 0;
+  std::size_t edges = 0;
+  std::size_t rank = 0;    // max edge size
+  std::size_t corank = 0;  // min edge size
+  std::size_t max_vertex_degree = 0;
+  double avg_edge_size = 0.0;
+  std::size_t incidence_size = 0;  // sum of edge sizes = |V(G_k)| / k
+};
+HypergraphStats hypergraph_stats(const Hypergraph& h);
+
+/// True iff every pair of distinct edges has distinct vertex sets.
+bool has_distinct_edges(const Hypergraph& h);
+
+}  // namespace pslocal

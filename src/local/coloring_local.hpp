@@ -1,0 +1,29 @@
+// Randomized (Δ+1)-vertex coloring in the LOCAL simulator — the second
+// headline problem of the paper's introduction ("the (∆+1)-vertex coloring
+// problem [has] fast randomized algorithms [Lub86]").
+//
+// Per iteration every uncolored node picks a uniformly random candidate
+// from its remaining palette (colors {0..deg(v)} minus the final colors of
+// decided neighbors) and keeps it unless a *conflicting* neighbor picked
+// the same candidate (ties broken by id so exactly one of two equal picks
+// survives).  Each node survives an iteration with probability >= 1/4,
+// giving O(log n) iterations w.h.p.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pslocal {
+
+struct LocalColoringResult {
+  std::vector<std::size_t> coloring;  // 0-based, proper, < Δ+1 colors
+  std::size_t rounds = 0;
+  bool completed = false;
+};
+
+LocalColoringResult local_random_coloring(const Graph& g, std::uint64_t seed,
+                                          std::size_t max_rounds = 0);
+
+}  // namespace pslocal

@@ -1,0 +1,45 @@
+// Deterministic LOCAL reductions *from* a proper coloring — the classic
+// pipeline that makes Linial's coloring useful and frames the paper's
+// open question:
+//
+//   * mis_from_coloring: sweep color classes 1..C; in round i every
+//     still-undecided node of color class i joins the MIS unless a
+//     neighbor already did.  C rounds, deterministic.  With C = poly(Δ)
+//     colors this is fast for small Δ — but no polylog-in-n deterministic
+//     MIS is known for general graphs, which is exactly what
+//     P-SLOCAL-completeness (and this paper) is about.
+//
+//   * color_reduction: reduce a proper C-coloring to Δ+1 colors, one
+//     color class per round (nodes of the eliminated class pick the
+//     smallest color free among neighbors).  C - (Δ+1) rounds.
+//
+// Both run in the message-passing simulator and report exact round
+// counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pslocal {
+
+struct MisFromColoringResult {
+  std::vector<VertexId> independent_set;
+  std::size_t rounds = 0;  // <= number of colors
+};
+
+/// Deterministic MIS given a proper coloring (0-based colors).
+MisFromColoringResult mis_from_coloring(const Graph& g,
+                                        const std::vector<std::size_t>& color);
+
+struct ColorReductionResult {
+  std::vector<std::size_t> coloring;  // proper, < Δ+1 colors
+  std::size_t rounds = 0;
+};
+
+/// Deterministic reduction of a proper coloring to Δ+1 colors.
+ColorReductionResult color_reduction(const Graph& g,
+                                     const std::vector<std::size_t>& color);
+
+}  // namespace pslocal

@@ -1,0 +1,41 @@
+// Linial's deterministic O(log* n)-round coloring [Lin92] — the paper's
+// opening reference: "The question whether the MIS problem has a
+// polylogarithmic time deterministic algorithm dates back to Linial's
+// seminal paper."  Linial's algorithm is the fast *deterministic* LOCAL
+// baseline: it reduces unique ids to O(Δ² log² Δ) colors in O(log* n)
+// rounds (after which color_reduction/mis_from_coloring finish the job in
+// degree-dependent time — fast only for small Δ, which is exactly the gap
+// the P-SLOCAL theory probes).
+//
+// One Linial step: view the current color (range R) in base q as the
+// coefficient vector of a polynomial p_v of degree d over F_q, with q a
+// prime satisfying q > Δ·d and q^{d+1} >= R.  Two distinct degree-<=d
+// polynomials agree on at most d points, so among q evaluation points at
+// most Δ·d < q are "bad" (collide with some neighbor); node v picks the
+// smallest good x and recolors to x·q + p_v(x) < q².  The range shrinks
+// R -> O((Δ log R)²), reaching a fixed point R* = O(Δ² log² Δ) after
+// O(log* R) iterations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pslocal {
+
+struct LinialResult {
+  std::vector<std::size_t> coloring;  // proper, 0-based
+  std::size_t colors_range = 0;       // final range R* (colors < R*)
+  std::size_t rounds = 0;             // LOCAL rounds used
+  std::vector<std::size_t> range_trace;  // R after each step (incl. start)
+};
+
+/// Run Linial's color reduction starting from the trivial id-coloring
+/// (range n).  Deterministic; stops when the range stops shrinking.
+LinialResult linial_coloring(const Graph& g);
+
+/// Smallest prime strictly greater than x (helper, exposed for tests).
+std::size_t next_prime_above(std::size_t x);
+
+}  // namespace pslocal

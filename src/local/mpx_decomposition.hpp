@@ -1,0 +1,35 @@
+// Miller–Peng–Xu (MPX) low-diameter clustering in the LOCAL simulator:
+// randomized, exponential-shift based.  This is the randomized-LOCAL
+// counterpart to the sequential ball-growing decomposition in
+// slocal/network_decomposition.* and is used by experiments to contrast
+// randomized LOCAL vs. deterministic SLOCAL clustering.
+//
+// Every node draws δ_v ~ Exponential(β) and offers the key
+// dist(u, v) - δ_v to every node u; each u joins the cluster of the
+// center minimizing the key (ties by center id).  Flooding for
+// R = max_v ⌈δ_v⌉ + 1 rounds realizes exactly this assignment because
+// keys only propagate along shortest paths.  W.h.p. R = O(log n / β) and
+// every cluster has radius <= max δ; each edge is cut with probability
+// O(β).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pslocal {
+
+struct MpxResult {
+  std::vector<VertexId> center_of;   // per vertex: its cluster center
+  std::vector<double> key_of;        // per vertex: winning key
+  std::size_t rounds = 0;            // flooding rounds used
+  std::size_t cluster_count = 0;
+  std::size_t max_cluster_radius = 0;  // max dist(u, center_of[u])
+  double cut_edge_fraction = 0.0;      // fraction of inter-cluster edges
+};
+
+/// Run MPX with shift rate beta in (0, 1].
+MpxResult mpx_clustering(const Graph& g, double beta, std::uint64_t seed);
+
+}  // namespace pslocal

@@ -1,0 +1,30 @@
+#include "mis/degraded_oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace pslocal {
+
+std::vector<VertexId> ControlledLambdaOracle::solve(const Graph& g) {
+  auto res = solver_.solve(g);
+  PSL_CHECK_MSG(res.proven_optimal,
+                "controlled-lambda oracle needs exact alpha; budget "
+                "exhausted on n="
+                    << g.vertex_count());
+  const auto alpha = static_cast<double>(res.set.size());
+  const auto keep = static_cast<std::size_t>(
+      std::max(std::ceil(alpha / lambda_),
+               res.set.empty() ? 0.0 : 1.0));
+  std::sort(res.set.begin(), res.set.end());  // deterministic truncation
+  if (res.set.size() > keep) res.set.resize(keep);
+  return res.set;
+}
+
+std::string ControlledLambdaOracle::name() const {
+  std::ostringstream os;
+  os << "controlled(lambda=" << lambda_ << ")";
+  return os.str();
+}
+
+}  // namespace pslocal

@@ -1,0 +1,35 @@
+// Controlled-λ MaxIS oracle.
+//
+// The hardness proof's phase analysis uses *only* the guarantee
+// |I_i| >= α(G)/λ.  To test the predicted bounds (phases <= λ ln m + 1,
+// |E_{i+1}| <= (1 - 1/λ)|E_i|) with a *known* λ, this oracle computes an
+// exact maximum independent set and deliberately returns only the first
+// ⌈α/λ⌉ vertices — realizing the guarantee with equality up to rounding.
+// Experiment E4 (bench_phases_vs_lambda) sweeps λ through this oracle.
+#pragma once
+
+#include "mis/exact_maxis.hpp"
+#include "mis/oracle.hpp"
+
+namespace pslocal {
+
+class ControlledLambdaOracle final : public MaxISOracle {
+ public:
+  explicit ControlledLambdaOracle(double lambda,
+                                  std::uint64_t node_budget = 20'000'000)
+      : lambda_(lambda), solver_(node_budget) {
+    PSL_EXPECTS(lambda >= 1.0);
+  }
+
+  [[nodiscard]] std::vector<VertexId> solve(const Graph& g) override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::optional<double> lambda_guarantee() const override {
+    return lambda_;
+  }
+
+ private:
+  double lambda_;
+  ExactMaxIS solver_;
+};
+
+}  // namespace pslocal

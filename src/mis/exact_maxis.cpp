@@ -1,0 +1,171 @@
+#include "mis/exact_maxis.hpp"
+
+#include <algorithm>
+
+#include "mis/greedy_maxis.hpp"
+#include "mis/independent_set.hpp"
+#include "util/check.hpp"
+
+namespace pslocal {
+
+namespace {
+
+class Searcher {
+ public:
+  Searcher(const Graph& g, std::uint64_t budget)
+      : g_(g), n_(g.vertex_count()), budget_(budget) {
+    adj_.reserve(n_);
+    for (VertexId v = 0; v < n_; ++v) {
+      DynamicBitset row(n_);
+      for (VertexId w : g.neighbors(v)) row.set(w);
+      adj_.push_back(std::move(row));
+    }
+  }
+
+  ExactMaxISResult run() {
+    // Warm start: seed the incumbent with the min-degree greedy solution
+    // so pruning bites from the first branch (on conflict graphs the
+    // greedy is typically already maximum).
+    best_ = greedy_min_degree_maxis(g_);
+    DynamicBitset all(n_);
+    all.set_all();
+    std::vector<VertexId> cur;
+    cur.reserve(n_);
+    expand(all, cur);
+    ExactMaxISResult res;
+    res.set = best_;
+    res.proven_optimal = !budget_exhausted_;
+    res.nodes_explored = nodes_;
+    return res;
+  }
+
+ private:
+  // Upper bound on the independence number of the candidate set: the size
+  // of a greedy clique cover of G[P] (each clique contributes <= 1 vertex
+  // to any IS).  O(|P| * cover size) bitset ops; applied at shallow depth.
+  std::size_t clique_cover_bound(const DynamicBitset& candidates) const {
+    std::vector<DynamicBitset> cliques;  // common-neighborhood masks
+    std::size_t count = 0;
+    for (std::size_t v = candidates.find_first(); v < n_;
+         v = candidates.find_first(v + 1)) {
+      bool placed = false;
+      for (auto& common : cliques) {
+        if (common.test(v)) {  // v adjacent to every member
+          common &= adj_[v];
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        cliques.push_back(adj_[static_cast<VertexId>(v)]);
+        ++count;
+      }
+    }
+    return count;
+  }
+
+  void expand(DynamicBitset candidates, std::vector<VertexId>& cur) {
+    if (budget_exhausted_) return;
+    if (++nodes_ > budget_) {
+      budget_exhausted_ = true;
+      return;
+    }
+
+    // Reductions: repeatedly take candidates with <= 1 candidate-neighbor
+    // (always part of some maximum IS extending cur).
+    bool reduced = true;
+    std::vector<VertexId> taken_here;
+    while (reduced) {
+      reduced = false;
+      for (std::size_t v = candidates.find_first(); v < n_;
+           v = candidates.find_first(v + 1)) {
+        const std::size_t d = candidates.intersection_count(adj_[v]);
+        if (d == 0) {
+          cur.push_back(static_cast<VertexId>(v));
+          taken_here.push_back(static_cast<VertexId>(v));
+          candidates.reset(v);
+          reduced = true;
+        } else if (d == 1) {
+          cur.push_back(static_cast<VertexId>(v));
+          taken_here.push_back(static_cast<VertexId>(v));
+          DynamicBitset closed = adj_[v];
+          closed.set(v);
+          candidates.andnot(closed);
+          reduced = true;
+          break;  // candidate set changed; restart scan
+        }
+      }
+    }
+
+    const std::size_t remaining = candidates.count();
+    if (remaining == 0) {
+      if (cur.size() > best_.size()) best_ = cur;
+    } else {
+      // Prune with the cheap bound first, the clique-cover bound second.
+      if (cur.size() + remaining > best_.size() &&
+          cur.size() + clique_cover_bound(candidates) > best_.size()) {
+        // Pivot: maximum degree within the candidate set (most constraining).
+        std::size_t pivot = n_;
+        std::size_t pivot_deg = 0;
+        for (std::size_t v = candidates.find_first(); v < n_;
+             v = candidates.find_first(v + 1)) {
+          const std::size_t d = candidates.intersection_count(adj_[v]);
+          if (pivot == n_ || d > pivot_deg) {
+            pivot = v;
+            pivot_deg = d;
+          }
+        }
+        PSL_CHECK(pivot < n_);
+
+        // Branch 1: pivot in the IS.
+        {
+          DynamicBitset next = candidates;
+          DynamicBitset closed = adj_[pivot];
+          closed.set(pivot);
+          next.andnot(closed);
+          cur.push_back(static_cast<VertexId>(pivot));
+          expand(std::move(next), cur);
+          cur.pop_back();
+        }
+        // Branch 2: pivot excluded.
+        {
+          DynamicBitset next = candidates;
+          next.reset(pivot);
+          expand(std::move(next), cur);
+        }
+      }
+    }
+
+    for (std::size_t i = 0; i < taken_here.size(); ++i) cur.pop_back();
+  }
+
+  const Graph& g_;
+  std::size_t n_;
+  std::uint64_t budget_;
+  std::uint64_t nodes_ = 0;
+  bool budget_exhausted_ = false;
+  std::vector<DynamicBitset> adj_;
+  std::vector<VertexId> best_;
+};
+
+}  // namespace
+
+ExactMaxISResult ExactMaxIS::solve(const Graph& g) const {
+  Searcher s(g, node_budget_);
+  auto res = s.run();
+  PSL_ENSURES(is_independent_set(g, res.set));
+  return res;
+}
+
+std::size_t independence_number(const Graph& g) {
+  const auto res = ExactMaxIS().solve(g);
+  PSL_CHECK_MSG(res.proven_optimal,
+                "exact MaxIS budget exhausted on n=" << g.vertex_count());
+  return res.set.size();
+}
+
+std::vector<VertexId> ExactOracle::solve(const Graph& g) {
+  return solver_.solve(g).set;
+}
+
+}  // namespace pslocal

@@ -1,0 +1,60 @@
+#include "mis/independent_set.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace pslocal {
+
+bool is_independent_set(const Graph& g, const std::vector<VertexId>& set) {
+  std::vector<bool> in(g.vertex_count(), false);
+  for (VertexId v : set) {
+    if (v >= g.vertex_count() || in[v]) return false;
+    in[v] = true;
+  }
+  for (VertexId v : set)
+    for (VertexId w : g.neighbors(v))
+      if (in[w]) return false;
+  return true;
+}
+
+bool is_maximal_independent_set(const Graph& g,
+                                const std::vector<VertexId>& set) {
+  if (!is_independent_set(g, set)) return false;
+  const auto in = membership_flags(g, set);
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (in[v]) continue;
+    const bool has_neighbor_in_set =
+        std::any_of(g.neighbors(v).begin(), g.neighbors(v).end(),
+                    [&](VertexId w) { return in[w]; });
+    if (!has_neighbor_in_set) return false;
+  }
+  return true;
+}
+
+std::vector<bool> membership_flags(const Graph& g,
+                                   const std::vector<VertexId>& set) {
+  std::vector<bool> in(g.vertex_count(), false);
+  for (VertexId v : set) {
+    PSL_EXPECTS(v < g.vertex_count());
+    in[v] = true;
+  }
+  return in;
+}
+
+std::vector<VertexId> extend_to_maximal(const Graph& g,
+                                        std::vector<VertexId> set) {
+  PSL_EXPECTS(is_independent_set(g, set));
+  auto blocked = membership_flags(g, set);
+  for (VertexId v : set)
+    for (VertexId w : g.neighbors(v)) blocked[w] = true;
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (blocked[v]) continue;
+    set.push_back(v);
+    for (VertexId w : g.neighbors(v)) blocked[w] = true;
+    blocked[v] = true;
+  }
+  return set;
+}
+
+}  // namespace pslocal

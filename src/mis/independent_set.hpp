@@ -1,0 +1,27 @@
+// Independent-set predicates shared by every IS algorithm and checker.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pslocal {
+
+/// True iff `set` has distinct in-range vertices and no two are adjacent.
+bool is_independent_set(const Graph& g, const std::vector<VertexId>& set);
+
+/// True iff `set` is independent and no vertex can be added (inclusion
+/// maximal — the "MIS" of the paper's introduction).
+bool is_maximal_independent_set(const Graph& g,
+                                const std::vector<VertexId>& set);
+
+/// Membership flags for a vertex set.
+std::vector<bool> membership_flags(const Graph& g,
+                                   const std::vector<VertexId>& set);
+
+/// Extend `set` greedily to an inclusion-maximal independent set by adding
+/// vertices in ascending id order.  Precondition: `set` is independent.
+std::vector<VertexId> extend_to_maximal(const Graph& g,
+                                        std::vector<VertexId> set);
+
+}  // namespace pslocal

@@ -1,0 +1,94 @@
+#include "mis/kernelization.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "mis/independent_set.hpp"
+#include "util/check.hpp"
+
+namespace pslocal {
+
+namespace {
+
+/// Alive-masked degree and neighbor iteration helpers.
+std::size_t alive_degree(const Graph& g, const std::vector<bool>& alive,
+                         VertexId v) {
+  std::size_t d = 0;
+  for (VertexId w : g.neighbors(v))
+    if (alive[w]) ++d;
+  return d;
+}
+
+/// Closed-neighborhood containment N[u] ⊆ N[v] on the alive subgraph,
+/// for adjacent alive u, v.
+bool closed_dominates(const Graph& g, const std::vector<bool>& alive,
+                      VertexId u, VertexId v) {
+  for (VertexId w : g.neighbors(u)) {
+    if (!alive[w] || w == v) continue;
+    if (!g.has_edge(v, w)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+MaxISKernel kernelize_maxis(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  MaxISKernel out;
+  std::vector<bool> alive(n, true);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Isolated + pendant rules.
+    for (VertexId v = 0; v < n; ++v) {
+      if (!alive[v]) continue;
+      const std::size_t d = alive_degree(g, alive, v);
+      if (d == 0) {
+        out.forced.push_back(v);
+        alive[v] = false;
+        ++out.isolated_applications;
+        changed = true;
+      } else if (d == 1) {
+        out.forced.push_back(v);
+        alive[v] = false;
+        for (VertexId w : g.neighbors(v))
+          if (alive[w]) alive[w] = false;
+        ++out.pendant_applications;
+        changed = true;
+      }
+    }
+    // Domination rule: for an alive edge {u, v} with N[u] ⊆ N[v], delete v.
+    for (VertexId u = 0; u < n && !changed; ++u) {
+      if (!alive[u]) continue;
+      for (VertexId v : g.neighbors(u)) {
+        if (!alive[v]) continue;
+        if (closed_dominates(g, alive, u, v)) {
+          alive[v] = false;
+          ++out.domination_applications;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<VertexId> survivors;
+  for (VertexId v = 0; v < n; ++v)
+    if (alive[v]) survivors.push_back(v);
+  auto sub = induced_subgraph(g, survivors);
+  out.kernel = std::move(sub.graph);
+  out.to_original = std::move(sub.to_original);
+  PSL_ENSURES(is_independent_set(g, out.forced));
+  return out;
+}
+
+std::vector<VertexId> lift_kernel_solution(
+    const MaxISKernel& kernel, const std::vector<VertexId>& kernel_is) {
+  PSL_EXPECTS(is_independent_set(kernel.kernel, kernel_is));
+  std::vector<VertexId> out = kernel.forced;
+  for (VertexId kv : kernel_is) out.push_back(kernel.to_original[kv]);
+  return out;
+}
+
+}  // namespace pslocal

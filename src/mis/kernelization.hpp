@@ -1,0 +1,77 @@
+// Kernelization rules for maximum independent set.
+//
+// Classic alpha-preserving reductions applied as a preprocessing pass:
+//   * isolated rule:  a degree-0 vertex is in some maximum IS — take it;
+//   * pendant rule:   a degree-1 vertex is in some maximum IS — take it
+//                     and delete its neighbor;
+//   * domination rule: if N[u] ⊆ N[v] (u != v, adjacent), vertex v is
+//                     dominated and some maximum IS avoids it — delete v.
+//
+// The pass returns the reduced instance, the vertices already forced into
+// the solution, and the mapping back, with the invariant
+//   alpha(G) = forced.size() + alpha(kernel)
+// (checked against the exact solver in tests).  The branch-and-bound
+// applies the first two rules internally; exposing them separately lets
+// callers shrink instances once before repeated oracle calls and makes
+// the invariants independently testable.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pslocal {
+
+struct MaxISKernel {
+  Graph kernel;                        // the reduced graph
+  std::vector<VertexId> to_original;   // kernel id -> original id
+  std::vector<VertexId> forced;        // original ids already in the IS
+  std::size_t isolated_applications = 0;
+  std::size_t pendant_applications = 0;
+  std::size_t domination_applications = 0;
+};
+
+/// Apply the three rules to exhaustion.
+MaxISKernel kernelize_maxis(const Graph& g);
+
+/// Lift a kernel solution back to the original graph (forced vertices
+/// plus the translated kernel IS).  Precondition: kernel_is is an IS of
+/// kernel.
+std::vector<VertexId> lift_kernel_solution(
+    const MaxISKernel& kernel, const std::vector<VertexId>& kernel_is);
+
+}  // namespace pslocal
+
+#include "mis/oracle.hpp"
+
+namespace pslocal {
+
+/// Oracle combinator: kernelize, solve the kernel with the inner oracle,
+/// lift.  Preserves exactness (rules are alpha-preserving) and can only
+/// help approximate oracles (forced vertices are optimal choices).
+class KernelizedOracle final : public MaxISOracle {
+ public:
+  explicit KernelizedOracle(MaxISOraclePtr inner)
+      : inner_(std::move(inner)) {
+    PSL_EXPECTS(inner_ != nullptr);
+  }
+
+  [[nodiscard]] std::vector<VertexId> solve(const Graph& g) override {
+    const auto kernel = kernelize_maxis(g);
+    std::vector<VertexId> kernel_is;
+    if (kernel.kernel.vertex_count() > 0)
+      kernel_is = inner_->solve(kernel.kernel);
+    return lift_kernel_solution(kernel, kernel_is);
+  }
+  [[nodiscard]] std::string name() const override {
+    return "kernel+" + inner_->name();
+  }
+  [[nodiscard]] std::optional<double> lambda_guarantee() const override {
+    return inner_->lambda_guarantee();
+  }
+
+ private:
+  MaxISOraclePtr inner_;
+};
+
+}  // namespace pslocal

@@ -1,0 +1,39 @@
+// The λ-approximation oracle abstraction of the hardness proof.
+//
+// Proof of Theorem 1.1: "Assume that we can compute λ-approximations for
+// MaxIS ..." — the reduction is generic in the MaxIS algorithm it invokes
+// once per phase.  Every IS algorithm in the library implements this
+// interface so the reduction, the experiment harnesses, and the examples
+// can swap them freely.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pslocal {
+
+class MaxISOracle {
+ public:
+  virtual ~MaxISOracle() = default;
+
+  /// Return an independent set of g.  Implementations must return a valid
+  /// independent set on every input (the reduction re-verifies).
+  [[nodiscard]] virtual std::vector<VertexId> solve(const Graph& g) = 0;
+
+  /// Human-readable identifier for tables.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// The λ such that |solve(g)| >= α(g)/λ is guaranteed, if the algorithm
+  /// has a proven worst-case guarantee; nullopt for heuristics.
+  [[nodiscard]] virtual std::optional<double> lambda_guarantee() const {
+    return std::nullopt;
+  }
+};
+
+using MaxISOraclePtr = std::unique_ptr<MaxISOracle>;
+
+}  // namespace pslocal

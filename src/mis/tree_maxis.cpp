@@ -1,0 +1,93 @@
+#include "mis/tree_maxis.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "mis/independent_set.hpp"
+#include "util/check.hpp"
+
+namespace pslocal {
+
+bool is_forest(const Graph& g) {
+  const auto comp = connected_components(g);
+  // A graph is a forest iff m = n - #components.
+  return g.edge_count() + comp.count == g.vertex_count();
+}
+
+namespace {
+
+struct DpEntry {
+  std::size_t with = 1;     // alpha of subtree if the root is taken
+  std::size_t without = 0;  // alpha of subtree if the root is skipped
+};
+
+/// Iterative post-order DP over one tree component rooted at `root`.
+void solve_component(const Graph& g, VertexId root,
+                     std::vector<DpEntry>& dp,
+                     std::vector<VertexId>& parent,
+                     std::vector<VertexId>& postorder) {
+  constexpr VertexId kNone = static_cast<VertexId>(-1);
+  std::vector<VertexId> stack{root};
+  parent[root] = root;
+  std::vector<VertexId> order;
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    order.push_back(v);
+    for (VertexId w : g.neighbors(v)) {
+      if (parent[w] == kNone) {
+        parent[w] = v;
+        stack.push_back(w);
+      }
+    }
+  }
+  // Children accumulate into parents in reverse discovery order.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const VertexId v = *it;
+    postorder.push_back(v);
+    if (v != root) {
+      const VertexId p = parent[v];
+      dp[p].with += dp[v].without;
+      dp[p].without += std::max(dp[v].with, dp[v].without);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<VertexId> tree_maxis(const Graph& g) {
+  PSL_EXPECTS(is_forest(g));
+  constexpr VertexId kNone = static_cast<VertexId>(-1);
+  const std::size_t n = g.vertex_count();
+  std::vector<DpEntry> dp(n);
+  std::vector<VertexId> parent(n, kNone);
+  std::vector<VertexId> postorder;
+  std::vector<VertexId> roots;
+  for (VertexId v = 0; v < n; ++v) {
+    if (parent[v] == kNone) {
+      roots.push_back(v);
+      solve_component(g, v, dp, parent, postorder);
+    }
+  }
+  // Reconstruct: walk top-down; a vertex is taken iff its branch decided
+  // "with" and its parent was not taken.
+  std::vector<bool> taken(n, false);
+  // Process in reverse postorder (parents before children).
+  for (auto it = postorder.rbegin(); it != postorder.rend(); ++it) {
+    const VertexId v = *it;
+    const bool is_root = parent[v] == v;
+    const bool parent_taken = !is_root && taken[parent[v]];
+    taken[v] = !parent_taken && dp[v].with > dp[v].without;
+  }
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < n; ++v)
+    if (taken[v]) out.push_back(v);
+  PSL_ENSURES(is_independent_set(g, out));
+  return out;
+}
+
+std::size_t tree_independence_number(const Graph& g) {
+  return tree_maxis(g).size();
+}
+
+}  // namespace pslocal

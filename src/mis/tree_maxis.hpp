@@ -1,0 +1,23 @@
+// Exact maximum independent set on forests in linear time (the textbook
+// two-state DP).  Serves as (a) a large-scale exact reference for testing
+// the branch-and-bound and the SLOCAL ball-carving guarantee on trees, and
+// (b) a demonstration that alpha is easy on the graph classes where LOCAL
+// algorithms are easy too.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pslocal {
+
+/// True iff g is a forest (acyclic).
+bool is_forest(const Graph& g);
+
+/// A maximum independent set of a forest.  Precondition: is_forest(g).
+std::vector<VertexId> tree_maxis(const Graph& g);
+
+/// alpha(g) for forests, without materializing the set.
+std::size_t tree_independence_number(const Graph& g);
+
+}  // namespace pslocal

@@ -1,0 +1,49 @@
+#include "mis/vertex_cover.hpp"
+
+#include <numeric>
+
+#include "mis/exact_maxis.hpp"
+#include "mis/independent_set.hpp"
+#include "slocal/matching.hpp"
+#include "util/check.hpp"
+
+namespace pslocal {
+
+bool is_vertex_cover(const Graph& g, const std::vector<VertexId>& cover) {
+  std::vector<bool> in(g.vertex_count(), false);
+  for (VertexId v : cover) {
+    if (v >= g.vertex_count()) return false;
+    in[v] = true;
+  }
+  for (auto [u, v] : g.edges())
+    if (!in[u] && !in[v]) return false;
+  return true;
+}
+
+std::vector<VertexId> matching_vertex_cover(const Graph& g) {
+  std::vector<VertexId> order(g.vertex_count());
+  std::iota(order.begin(), order.end(), VertexId{0});
+  const auto matching = slocal_greedy_matching(g, order).matching;
+  std::vector<VertexId> cover;
+  cover.reserve(2 * matching.size());
+  for (auto [u, v] : matching) {
+    cover.push_back(u);
+    cover.push_back(v);
+  }
+  PSL_ENSURES(is_vertex_cover(g, cover));
+  return cover;
+}
+
+std::vector<VertexId> exact_vertex_cover(const Graph& g) {
+  const auto res = ExactMaxIS().solve(g);
+  PSL_CHECK_MSG(res.proven_optimal, "exact vertex cover needs exact MaxIS");
+  const auto in_is = membership_flags(g, res.set);
+  std::vector<VertexId> cover;
+  cover.reserve(g.vertex_count() - res.set.size());
+  for (VertexId v = 0; v < g.vertex_count(); ++v)
+    if (!in_is[v]) cover.push_back(v);
+  PSL_ENSURES(is_vertex_cover(g, cover));
+  return cover;
+}
+
+}  // namespace pslocal

@@ -1,0 +1,22 @@
+// Minimum vertex cover — the complement view of MaxIS (Gallai:
+// alpha(G) + tau(G) = n).  Included because it ties the library's pieces
+// together: the matching module yields the classic 2-approximation, and
+// the exact MaxIS solver yields exact covers by complementation.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pslocal {
+
+/// True iff every edge has an endpoint in `cover`.
+bool is_vertex_cover(const Graph& g, const std::vector<VertexId>& cover);
+
+/// 2-approximation: both endpoints of every edge of a maximal matching.
+std::vector<VertexId> matching_vertex_cover(const Graph& g);
+
+/// Exact minimum vertex cover = V \ (exact MaxIS); small graphs only.
+std::vector<VertexId> exact_vertex_cover(const Graph& g);
+
+}  // namespace pslocal

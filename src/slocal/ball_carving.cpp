@@ -1,0 +1,101 @@
+#include "slocal/ball_carving.hpp"
+
+#include <numeric>
+
+#include "graph/algorithms.hpp"
+#include "mis/exact_maxis.hpp"
+#include "mis/greedy_maxis.hpp"
+#include "mis/independent_set.hpp"
+#include "slocal/engine.hpp"
+
+namespace pslocal {
+
+namespace {
+
+enum class CarveMark : std::uint8_t { kActive, kInIS, kRemoved };
+
+/// Exact independence number / max IS of the active part of `vertices`.
+struct ActiveBallIS {
+  std::vector<VertexId> set;  // original ids
+  std::size_t alpha = 0;
+};
+
+ActiveBallIS active_maxis(const Graph& g,
+                          const std::vector<VertexId>& active_subset,
+                          std::uint64_t budget, BallCarvingInner inner) {
+  const auto sub = induced_subgraph(g, active_subset);
+  std::vector<VertexId> local_set;
+  if (inner == BallCarvingInner::kExact) {
+    auto res = ExactMaxIS(budget).solve(sub.graph);
+    PSL_CHECK_MSG(res.proven_optimal,
+                  "ball-carving inner solver out of budget");
+    local_set = std::move(res.set);
+  } else {
+    local_set = greedy_min_degree_maxis(sub.graph);
+  }
+  ActiveBallIS out;
+  out.alpha = local_set.size();
+  out.set.reserve(local_set.size());
+  for (VertexId lv : local_set) out.set.push_back(sub.to_original[lv]);
+  return out;
+}
+
+}  // namespace
+
+BallCarvingResult ball_carving_maxis(const Graph& g,
+                                     const std::vector<VertexId>& order,
+                                     std::uint64_t node_budget,
+                                     BallCarvingInner inner) {
+  BallCarvingResult result;
+  auto run = run_slocal<CarveMark>(
+      g, std::vector<CarveMark>(g.vertex_count(), CarveMark::kActive), order,
+      [&](SLocalView<CarveMark>& view) {
+        if (view.own_state() != CarveMark::kActive) return;
+
+        // Active vertices of B(center, r), for growing r.
+        auto active_in_ball = [&](std::size_t r) {
+          std::vector<VertexId> act;
+          for (VertexId u : view.ball_vertices(r))
+            if (view.state(u) == CarveMark::kActive) act.push_back(u);
+          return act;
+        };
+
+        std::size_t r = 0;
+        auto act_r = active_in_ball(0);
+        ActiveBallIS inner_is = active_maxis(g, act_r, node_budget, inner);
+        while (true) {
+          auto act_next = active_in_ball(r + 1);
+          ActiveBallIS next = active_maxis(g, act_next, node_budget, inner);
+          if (next.alpha <= 2 * inner_is.alpha) {
+            // Carve: IS from B(r), deactivate all active of B(r+1).
+            for (VertexId u : act_next)
+              view.write_state(u, CarveMark::kRemoved);
+            for (VertexId u : inner_is.set)
+              view.write_state(u, CarveMark::kInIS);
+            result.max_radius = std::max(result.max_radius, r);
+            ++result.carve_count;
+            break;
+          }
+          ++r;
+          act_r = std::move(act_next);
+          inner_is = std::move(next);
+          PSL_CHECK_MSG(r <= g.vertex_count(),
+                        "ball carving failed to terminate");
+        }
+      });
+
+  result.locality = run.max_locality;
+  for (VertexId v = 0; v < g.vertex_count(); ++v)
+    if (run.states[v] == CarveMark::kInIS)
+      result.independent_set.push_back(v);
+  PSL_ENSURES(is_independent_set(g, result.independent_set));
+  return result;
+}
+
+std::vector<VertexId> BallCarvingOracle::solve(const Graph& g) {
+  std::vector<VertexId> order(g.vertex_count());
+  std::iota(order.begin(), order.end(), VertexId{0});
+  return ball_carving_maxis(g, order, node_budget_, inner_).independent_set;
+}
+
+}  // namespace pslocal

@@ -1,0 +1,162 @@
+// The SLOCAL model of Ghaffari, Kuhn and Maus [GKM17], as summarized in
+// the paper's introduction:
+//
+//   "In an SLOCAL algorithm with complexity (or locality) r the nodes of
+//    the network graph are processed in an arbitrary order.  When a node v
+//    is processed it can see the current state of all nodes in its r-hop
+//    neighborhood (including all topological information of this
+//    neighborhood) and its output can be an arbitrary function of this
+//    neighborhood.  Additionally, it can store information that can be
+//    read by later nodes as part of v's state."
+//
+// The engine executes node-processing callbacks sequentially in a caller-
+// chosen order and *measures* the locality actually used: every ball
+// query, state read and state write is charged at its hop distance from
+// the processed node.  The maximum charge over all nodes is the
+// algorithm's locality — the model's only resource.
+//
+// State writes to *other* nodes (View::write_state) are syntactic sugar
+// for the standard transformation in which v records the instruction in
+// its own state and the affected node (or any node that later looks) reads
+// it from within its ball; the hop distance of the write is charged to v's
+// locality, so the accounting is equivalent to the by-the-book model.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "graph/graph.hpp"
+#include "util/check.hpp"
+
+namespace pslocal {
+
+template <typename State>
+class SLocalView;
+
+/// Result of one SLOCAL execution.
+template <typename State>
+struct SLocalRun {
+  std::vector<State> states;              // final states (the outputs)
+  std::size_t max_locality = 0;           // the algorithm's measured locality
+  std::vector<std::size_t> locality_of;   // per processed node
+};
+
+/// Execute `process(view)` once per vertex, in `order`.
+/// State must be default-constructible or provided via `initial`.
+template <typename State, typename Process>
+SLocalRun<State> run_slocal(const Graph& g, std::vector<State> initial,
+                            const std::vector<VertexId>& order,
+                            Process&& process) {
+  PSL_EXPECTS(initial.size() == g.vertex_count());
+  PSL_EXPECTS(is_vertex_permutation(g, order));
+  SLocalRun<State> run;
+  run.states = std::move(initial);
+  run.locality_of.assign(g.vertex_count(), 0);
+  for (VertexId v : order) {
+    SLocalView<State> view(g, run.states, v);
+    process(view);
+    run.locality_of[v] = view.locality_used();
+    run.max_locality = std::max(run.max_locality, view.locality_used());
+  }
+  return run;
+}
+
+/// The r-hop window a node sees while being processed.
+template <typename State>
+class SLocalView {
+ public:
+  SLocalView(const Graph& g, std::vector<State>& states, VertexId center)
+      : g_(g), states_(states), center_(center),
+        dist_(g.vertex_count(), kUnreachable) {
+    dist_[center_] = 0;
+    frontier_.push_back(center_);
+    visit_order_.push_back(center_);
+    explored_radius_ = 0;
+  }
+
+  [[nodiscard]] VertexId center() const { return center_; }
+  [[nodiscard]] std::size_t locality_used() const { return locality_; }
+
+  /// Own state: reading/writing the processed node itself is free.
+  [[nodiscard]] State& own_state() { return states_[center_]; }
+
+  /// Vertices at hop distance <= r, BFS order (center first).
+  /// Charges locality r.
+  [[nodiscard]] std::vector<VertexId> ball_vertices(std::size_t r) {
+    charge(r);
+    explore_to(r);
+    std::vector<VertexId> out;
+    for (VertexId v : visit_order_)
+      if (dist_[v] <= r) out.push_back(v);
+    return out;
+  }
+
+  /// Direct neighbors of the center (locality 1).
+  [[nodiscard]] std::vector<VertexId> neighbors() {
+    charge(1);
+    return {g_.neighbors(center_).begin(), g_.neighbors(center_).end()};
+  }
+
+  /// Topology of the ball: induced subgraph + id maps (locality r).
+  [[nodiscard]] InducedSubgraph ball_subgraph(std::size_t r) {
+    return induced_subgraph(g_, ball_vertices(r));
+  }
+
+  /// State of node u; charges u's hop distance from the center.
+  [[nodiscard]] const State& state(VertexId u) {
+    charge(distance_to(u));
+    return states_[u];
+  }
+
+  /// Write u's state; charges the hop distance (see file comment).
+  void write_state(VertexId u, State s) {
+    charge(distance_to(u));
+    states_[u] = std::move(s);
+  }
+
+  /// Hop distance from the center to u (must be reachable; the engine
+  /// explores lazily as far as needed).  Does not itself charge locality.
+  [[nodiscard]] std::size_t distance_to(VertexId u) {
+    PSL_EXPECTS(u < g_.vertex_count());
+    while (dist_[u] == kUnreachable && !frontier_.empty())
+      explore_to(explored_radius_ + 1);
+    PSL_CHECK_MSG(dist_[u] != kUnreachable,
+                  "node " << u << " unreachable from " << center_);
+    return dist_[u];
+  }
+
+ private:
+  void charge(std::size_t r) { locality_ = std::max(locality_, r); }
+
+  void explore_to(std::size_t r) {
+    while (explored_radius_ < r && !frontier_.empty()) {
+      std::vector<VertexId> next;
+      for (VertexId v : frontier_) {
+        for (VertexId w : g_.neighbors(v)) {
+          if (dist_[w] == kUnreachable) {
+            dist_[w] = dist_[v] + 1;
+            visit_order_.push_back(w);
+            next.push_back(w);
+          }
+        }
+      }
+      frontier_.assign(next.begin(), next.end());
+      ++explored_radius_;
+    }
+    if (explored_radius_ < r) explored_radius_ = r;  // graph exhausted
+  }
+
+  const Graph& g_;
+  std::vector<State>& states_;
+  VertexId center_;
+  std::vector<std::size_t> dist_;
+  std::deque<VertexId> frontier_;
+  std::vector<VertexId> visit_order_;
+  std::size_t explored_radius_ = 0;
+  std::size_t locality_ = 0;
+};
+
+}  // namespace pslocal

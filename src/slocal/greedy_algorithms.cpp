@@ -1,0 +1,61 @@
+#include "slocal/greedy_algorithms.hpp"
+
+#include <algorithm>
+
+#include "coloring/coloring.hpp"
+#include "mis/independent_set.hpp"
+
+namespace pslocal {
+
+namespace {
+enum class MisMark : std::uint8_t { kUndecided, kIn, kOut };
+}
+
+SLocalMisResult slocal_greedy_mis(const Graph& g,
+                                  const std::vector<VertexId>& order) {
+  auto run = run_slocal<MisMark>(
+      g, std::vector<MisMark>(g.vertex_count(), MisMark::kUndecided), order,
+      [](SLocalView<MisMark>& view) {
+        bool neighbor_in = false;
+        for (VertexId w : view.neighbors()) {
+          if (view.state(w) == MisMark::kIn) {
+            neighbor_in = true;
+            break;
+          }
+        }
+        view.own_state() = neighbor_in ? MisMark::kOut : MisMark::kIn;
+      });
+
+  SLocalMisResult res;
+  res.locality = run.max_locality;
+  for (VertexId v = 0; v < g.vertex_count(); ++v)
+    if (run.states[v] == MisMark::kIn) res.independent_set.push_back(v);
+  PSL_ENSURES(is_maximal_independent_set(g, res.independent_set));
+  return res;
+}
+
+SLocalColoringResult slocal_greedy_coloring(
+    const Graph& g, const std::vector<VertexId>& order) {
+  auto run = run_slocal<std::size_t>(
+      g, std::vector<std::size_t>(g.vertex_count(), kNoColor), order,
+      [&g](SLocalView<std::size_t>& view) {
+        std::vector<bool> used(g.degree(view.center()) + 1, false);
+        for (VertexId w : view.neighbors()) {
+          const std::size_t c = view.state(w);
+          if (c != kNoColor && c < used.size()) used[c] = true;
+        }
+        std::size_t c = 0;
+        while (used[c]) ++c;
+        view.own_state() = c;
+      });
+
+  SLocalColoringResult res;
+  res.coloring = std::move(run.states);
+  res.locality = run.max_locality;
+  res.colors_used = color_count(res.coloring);
+  PSL_ENSURES(is_proper_coloring(g, res.coloring));
+  PSL_ENSURES(res.colors_used <= g.max_degree() + 1);
+  return res;
+}
+
+}  // namespace pslocal

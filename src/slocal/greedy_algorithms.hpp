@@ -1,0 +1,40 @@
+// Locality-1 SLOCAL algorithms from the paper's introduction:
+//
+//   "The maximal independent set problem admits an SLOCAL algorithm with
+//    locality r = 1 by iterating through the nodes in an arbitrary order
+//    and joining the independent set if none of the already processed
+//    neighbors is already contained in the set."
+//
+// The same order-greedy scheme gives (Δ+1)-vertex coloring with
+// locality 1.  Both run on the measuring engine, so tests can assert the
+// claimed locality exactly.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "slocal/engine.hpp"
+
+namespace pslocal {
+
+struct SLocalMisResult {
+  std::vector<VertexId> independent_set;
+  std::size_t locality = 0;
+};
+
+/// Greedy MIS processed in `order`; locality is measured (always 1 on
+/// graphs with at least one edge).
+SLocalMisResult slocal_greedy_mis(const Graph& g,
+                                  const std::vector<VertexId>& order);
+
+struct SLocalColoringResult {
+  std::vector<std::size_t> coloring;  // 0-based proper coloring
+  std::size_t colors_used = 0;
+  std::size_t locality = 0;
+};
+
+/// Greedy (Δ+1)-coloring processed in `order` (first-free color).
+SLocalColoringResult slocal_greedy_coloring(const Graph& g,
+                                            const std::vector<VertexId>& order);
+
+}  // namespace pslocal

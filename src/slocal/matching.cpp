@@ -1,0 +1,95 @@
+#include "slocal/matching.hpp"
+
+#include <algorithm>
+
+#include "slocal/engine.hpp"
+#include "util/check.hpp"
+
+namespace pslocal {
+
+bool is_matching(const Graph& g, const Matching& m) {
+  std::vector<bool> used(g.vertex_count(), false);
+  for (auto [u, v] : m) {
+    if (u >= g.vertex_count() || v >= g.vertex_count()) return false;
+    if (!g.has_edge(u, v)) return false;
+    if (used[u] || used[v]) return false;
+    used[u] = used[v] = true;
+  }
+  return true;
+}
+
+bool is_maximal_matching(const Graph& g, const Matching& m) {
+  if (!is_matching(g, m)) return false;
+  std::vector<bool> used(g.vertex_count(), false);
+  for (auto [u, v] : m) used[u] = used[v] = true;
+  for (auto [u, v] : g.edges())
+    if (!used[u] && !used[v]) return false;
+  return true;
+}
+
+namespace {
+constexpr VertexId kUnmatched = static_cast<VertexId>(-1);
+}
+
+SLocalMatchingResult slocal_greedy_matching(
+    const Graph& g, const std::vector<VertexId>& order) {
+  auto run = run_slocal<VertexId>(
+      g, std::vector<VertexId>(g.vertex_count(), kUnmatched), order,
+      [](SLocalView<VertexId>& view) {
+        if (view.own_state() != kUnmatched) return;  // already grabbed
+        for (VertexId w : view.neighbors()) {        // sorted ascending
+          if (view.state(w) == kUnmatched) {
+            view.own_state() = w;
+            view.write_state(w, view.center());  // distance 1
+            return;
+          }
+        }
+      });
+
+  SLocalMatchingResult res;
+  res.locality = run.max_locality;
+  for (VertexId v = 0; v < g.vertex_count(); ++v)
+    if (run.states[v] != kUnmatched && v < run.states[v])
+      res.matching.emplace_back(v, run.states[v]);
+  PSL_ENSURES(is_maximal_matching(g, res.matching));
+  return res;
+}
+
+namespace {
+
+std::size_t max_matching_rec(const Graph& g, std::vector<bool>& used,
+                             VertexId from) {
+  // Find the first vertex with an available edge; branch over matching it
+  // to each available neighbor or leaving it unmatched.
+  VertexId u = from;
+  while (u < g.vertex_count()) {
+    if (!used[u]) {
+      const auto nb = g.neighbors(u);
+      if (std::any_of(nb.begin(), nb.end(),
+                      [&](VertexId w) { return !used[w]; }))
+        break;
+    }
+    ++u;
+  }
+  if (u >= g.vertex_count()) return 0;
+
+  std::size_t best = max_matching_rec(g, used, u + 1);  // skip u
+  used[u] = true;
+  for (VertexId w : g.neighbors(u)) {
+    if (used[w]) continue;
+    used[w] = true;
+    best = std::max(best, 1 + max_matching_rec(g, used, u + 1));
+    used[w] = false;
+  }
+  used[u] = false;
+  return best;
+}
+
+}  // namespace
+
+std::size_t maximum_matching_size(const Graph& g) {
+  std::vector<bool> used(g.vertex_count(), false);
+  return max_matching_rec(g, used, 0);
+}
+
+}  // namespace pslocal

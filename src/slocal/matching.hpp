@@ -1,0 +1,37 @@
+// Greedy maximal matching in the SLOCAL model — the second classic
+// member of the "SLOCAL(1) but deterministically hard in LOCAL" family
+// alongside MIS: processing nodes in any order, an unmatched node grabs
+// its smallest unmatched neighbor.  The result is a maximal matching,
+// hence a 2-approximation of the maximum matching — the matching analogue
+// of the containment results accompanying Theorem 7.1 of [GKM17].
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pslocal {
+
+using Matching = std::vector<std::pair<VertexId, VertexId>>;
+
+/// True iff `m` is a matching (edges of g, pairwise disjoint endpoints).
+bool is_matching(const Graph& g, const Matching& m);
+
+/// True iff maximal (no g-edge with both endpoints unmatched).
+bool is_maximal_matching(const Graph& g, const Matching& m);
+
+struct SLocalMatchingResult {
+  Matching matching;
+  std::size_t locality = 0;  // 1 on any graph with an edge
+};
+
+/// Greedy SLOCAL matching along `order`.
+SLocalMatchingResult slocal_greedy_matching(const Graph& g,
+                                            const std::vector<VertexId>& order);
+
+/// Exact maximum matching size by branch and bound (small graphs) —
+/// reference for approximation-ratio tests.
+std::size_t maximum_matching_size(const Graph& g);
+
+}  // namespace pslocal

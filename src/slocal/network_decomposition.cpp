@@ -1,0 +1,146 @@
+#include "slocal/network_decomposition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "graph/algorithms.hpp"
+#include "util/check.hpp"
+
+namespace pslocal {
+
+namespace {
+
+/// BFS in G[alive] from `center`, listing vertices by distance layer.
+/// Returns vertices with dist <= r_max, layer by layer.
+std::vector<std::vector<VertexId>> layered_ball(const Graph& g,
+                                                const std::vector<bool>& alive,
+                                                VertexId center,
+                                                std::size_t r_max) {
+  std::vector<std::size_t> dist(g.vertex_count(), kUnreachable);
+  std::vector<std::vector<VertexId>> layers{{center}};
+  dist[center] = 0;
+  std::size_t r = 0;
+  while (r < r_max && !layers[r].empty()) {
+    std::vector<VertexId> next;
+    for (VertexId v : layers[r]) {
+      for (VertexId w : g.neighbors(v)) {
+        if (alive[w] && dist[w] == kUnreachable) {
+          dist[w] = r + 1;
+          next.push_back(w);
+        }
+      }
+    }
+    layers.push_back(std::move(next));
+    ++r;
+  }
+  return layers;
+}
+
+}  // namespace
+
+NetworkDecomposition ball_growing_decomposition(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  NetworkDecomposition nd;
+  nd.cluster_of.assign(n, kUnreachable);
+
+  std::vector<bool> in_u(n, true);  // still unclustered
+  std::size_t remaining = n;
+  std::size_t color = 0;
+  while (remaining > 0) {
+    std::vector<bool> blocked(n, false);  // ring-blocked for this class
+    for (VertexId v = 0; v < n; ++v) {
+      if (!in_u[v] || blocked[v]) continue;
+      // Grow a ball in G[U \ blocked] until the next layer stops doubling.
+      // (Blocked ring vertices are excluded so same-class clusters stay
+      // separated by at least one U-vertex outside any same-class cluster.)
+      std::vector<bool> alive(n, false);
+      for (VertexId u = 0; u < n; ++u) alive[u] = in_u[u] && !blocked[u];
+      const auto layers = layered_ball(g, alive, v, n);
+      std::size_t size_r = 1;  // |B(0)|
+      std::size_t r = 0;
+      while (r + 1 < layers.size()) {
+        const std::size_t size_next = size_r + layers[r + 1].size();
+        if (size_next > 2 * size_r) {
+          size_r = size_next;
+          ++r;
+        } else {
+          break;
+        }
+      }
+      // Cluster = B(r); ring = layer r+1 (blocked for this class).
+      const std::size_t cluster_id = nd.cluster_count++;
+      nd.color_of_cluster.push_back(color);
+      for (std::size_t d = 0; d <= r; ++d) {
+        for (VertexId u : layers[d]) {
+          nd.cluster_of[u] = cluster_id;
+          in_u[u] = false;
+          --remaining;
+        }
+      }
+      if (r + 1 < layers.size())
+        for (VertexId u : layers[r + 1]) blocked[u] = true;
+      nd.max_radius = std::max(nd.max_radius, r);
+    }
+    ++color;
+    PSL_CHECK_MSG(color <= g.vertex_count() + 1,
+                  "decomposition failed to terminate");
+  }
+  nd.color_count = color;
+  return nd;
+}
+
+bool verify_decomposition(const Graph& g, const NetworkDecomposition& nd,
+                          std::size_t max_weak_diameter,
+                          std::size_t max_colors) {
+  const std::size_t n = g.vertex_count();
+  if (nd.cluster_of.size() != n) return false;
+  if (nd.color_of_cluster.size() != nd.cluster_count) return false;
+  if (nd.color_count > max_colors) return false;
+
+  std::vector<std::vector<VertexId>> members(nd.cluster_count);
+  for (VertexId v = 0; v < n; ++v) {
+    if (nd.cluster_of[v] >= nd.cluster_count) return false;
+    members[nd.cluster_of[v]].push_back(v);
+  }
+  for (const auto& m : members)
+    if (m.empty()) return false;  // ids must be dense
+
+  // Weak diameter: max over cluster members of G-distance.
+  for (const auto& m : members) {
+    const auto dist = bfs_distances(g, m.front());
+    for (VertexId v : m) {
+      if (dist[v] == kUnreachable) return false;
+      // Weak diameter via pairwise check from every member (clusters are
+      // small; quadratic is fine at experiment sizes).
+    }
+    for (VertexId src : m) {
+      const auto d2 = bfs_distances(g, src);
+      for (VertexId v : m)
+        if (d2[v] == kUnreachable || d2[v] > max_weak_diameter) return false;
+    }
+  }
+
+  // Same-color clusters must not be adjacent.
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId w : g.neighbors(v)) {
+      const auto cv = nd.cluster_of[v];
+      const auto cw = nd.cluster_of[w];
+      if (cv != cw && nd.color_of_cluster[cv] == nd.color_of_cluster[cw])
+        return false;
+    }
+  }
+  return true;
+}
+
+std::size_t decomposition_diameter_bound(std::size_t n) {
+  if (n <= 1) return 0;
+  return 2 * static_cast<std::size_t>(std::ceil(std::log2(n)));
+}
+
+std::size_t decomposition_color_bound(std::size_t n) {
+  if (n <= 1) return 1;
+  return static_cast<std::size_t>(std::ceil(std::log2(n))) + 1;
+}
+
+}  // namespace pslocal

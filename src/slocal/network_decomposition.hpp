@@ -1,0 +1,58 @@
+// (C, D) network decompositions via sequential ball growing.
+//
+// A (C, D) network decomposition partitions V into clusters such that each
+// cluster has weak diameter <= D in G and the cluster graph (clusters
+// adjacent iff some G-edge joins them) is properly C-colorable, with the
+// coloring given explicitly.  (poly log n, poly log n) decompositions are
+// one of the original P-SLOCAL-complete problems [GKM17], and they are the
+// engine that converts SLOCAL algorithms into LOCAL ones (see
+// local/slocal_compiler.*) — the reason P-SLOCAL-completeness matters for
+// derandomization.
+//
+// Construction (classic sequential ball growing, SLOCAL-implementable with
+// locality O(log^2 n); we account the max carving radius):
+//   U := V.  For color class c = 0, 1, ...: scan nodes; every node of U
+//   not yet blocked for this class grows a ball in G[U] until
+//   |B(r+1)| <= 2 |B(r)|, forms cluster B(r) with color c, removes it from
+//   U and blocks the boundary ring B(r+1) \ B(r) for the rest of the
+//   class.  Per class at least half of U is clustered (each cluster is at
+//   least as big as the ring it blocks), so C <= ceil(log2 n) + 1; the
+//   doubling rule caps radii at log2 n, so D <= 2 log2 n; rings separate
+//   same-class clusters, so the class index properly colors the cluster
+//   graph.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pslocal {
+
+struct NetworkDecomposition {
+  std::vector<std::size_t> cluster_of;       // vertex -> cluster id
+  std::vector<std::size_t> color_of_cluster; // cluster id -> color
+  std::size_t cluster_count = 0;
+  std::size_t color_count = 0;
+  std::size_t max_radius = 0;  // max carving radius (locality proxy)
+};
+
+/// Ball-growing decomposition; processes candidate centers in ascending id
+/// order (the construction is correct for any order).
+NetworkDecomposition ball_growing_decomposition(const Graph& g);
+
+/// Verify the decomposition invariants:
+///  - every vertex belongs to exactly one cluster, ids dense;
+///  - weak diameter (in G) of every cluster <= max_weak_diameter;
+///  - no G-edge joins two distinct clusters of the same color;
+///  - color_count <= max_colors.
+bool verify_decomposition(const Graph& g, const NetworkDecomposition& nd,
+                          std::size_t max_weak_diameter,
+                          std::size_t max_colors);
+
+/// The theory bounds for an n-vertex graph: D = 2*ceil(log2 n),
+/// C = ceil(log2 n) + 1 (n >= 1).
+std::size_t decomposition_diameter_bound(std::size_t n);
+std::size_t decomposition_color_bound(std::size_t n);
+
+}  // namespace pslocal

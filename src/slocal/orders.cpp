@@ -1,0 +1,91 @@
+#include "slocal/orders.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/algorithms.hpp"
+#include "util/check.hpp"
+
+namespace pslocal {
+
+const std::vector<OrderStrategy>& all_order_strategies() {
+  static const std::vector<OrderStrategy> all = {
+      OrderStrategy::kIdentity,        OrderStrategy::kReverse,
+      OrderStrategy::kRandom,          OrderStrategy::kDegreeAscending,
+      OrderStrategy::kDegreeDescending, OrderStrategy::kBfs,
+      OrderStrategy::kDegeneracy,
+  };
+  return all;
+}
+
+std::string to_string(OrderStrategy strategy) {
+  switch (strategy) {
+    case OrderStrategy::kIdentity:
+      return "identity";
+    case OrderStrategy::kReverse:
+      return "reverse";
+    case OrderStrategy::kRandom:
+      return "random";
+    case OrderStrategy::kDegreeAscending:
+      return "degree-asc";
+    case OrderStrategy::kDegreeDescending:
+      return "degree-desc";
+    case OrderStrategy::kBfs:
+      return "bfs";
+    case OrderStrategy::kDegeneracy:
+      return "degeneracy";
+  }
+  return "unknown";
+}
+
+std::vector<VertexId> make_order(const Graph& g, OrderStrategy strategy,
+                                 std::uint64_t seed) {
+  const std::size_t n = g.vertex_count();
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  switch (strategy) {
+    case OrderStrategy::kIdentity:
+      break;
+    case OrderStrategy::kReverse:
+      std::reverse(order.begin(), order.end());
+      break;
+    case OrderStrategy::kRandom: {
+      Rng rng(seed);
+      rng.shuffle(order);
+      break;
+    }
+    case OrderStrategy::kDegreeAscending:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](VertexId a, VertexId b) {
+                         return g.degree(a) < g.degree(b);
+                       });
+      break;
+    case OrderStrategy::kDegreeDescending:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](VertexId a, VertexId b) {
+                         return g.degree(a) > g.degree(b);
+                       });
+      break;
+    case OrderStrategy::kBfs: {
+      order.clear();
+      std::vector<bool> seen(n, false);
+      for (VertexId s = 0; s < n; ++s) {
+        if (seen[s]) continue;
+        for (VertexId v : ball(g, s, n)) {  // BFS order of the component
+          if (!seen[v]) {
+            seen[v] = true;
+            order.push_back(v);
+          }
+        }
+      }
+      break;
+    }
+    case OrderStrategy::kDegeneracy:
+      order = degeneracy_order(g).order;
+      break;
+  }
+  PSL_ENSURES(is_vertex_permutation(g, order));
+  return order;
+}
+
+}  // namespace pslocal

@@ -1,0 +1,38 @@
+// Named processing-order strategies for SLOCAL algorithms.
+//
+// The SLOCAL model quantifies over *arbitrary* orders ("the nodes of the
+// network graph are processed in an arbitrary order"), so every SLOCAL
+// algorithm in this library is correct for all of them; quality and
+// measured locality, however, can vary.  These strategies feed the
+// order-sensitivity ablation (bench_order_ablation) and give tests a
+// vocabulary of adversarial-ish orders.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace pslocal {
+
+enum class OrderStrategy {
+  kIdentity,        // ascending ids
+  kReverse,         // descending ids
+  kRandom,          // uniform shuffle (seeded)
+  kDegreeAscending, // min-degree first (stable)
+  kDegreeDescending,// max-degree first (stable)
+  kBfs,             // BFS layers from vertex 0, component by component
+  kDegeneracy,      // Matula–Beck elimination order
+};
+
+/// All strategies, for sweeps.
+const std::vector<OrderStrategy>& all_order_strategies();
+
+std::string to_string(OrderStrategy strategy);
+
+/// Materialize the order for a graph (seed only used by kRandom).
+std::vector<VertexId> make_order(const Graph& g, OrderStrategy strategy,
+                                 std::uint64_t seed = 0);
+
+}  // namespace pslocal

@@ -1,0 +1,60 @@
+#include "slocal/ruling_set.hpp"
+
+#include "graph/algorithms.hpp"
+#include "slocal/engine.hpp"
+#include "util/check.hpp"
+
+namespace pslocal {
+
+namespace {
+enum class RulingMark : std::uint8_t { kOut, kIn };
+}
+
+RulingSetResult slocal_ruling_set(const Graph& g, std::size_t alpha,
+                                  const std::vector<VertexId>& order) {
+  PSL_EXPECTS(alpha >= 1);
+  auto run = run_slocal<RulingMark>(
+      g, std::vector<RulingMark>(g.vertex_count(), RulingMark::kOut), order,
+      [alpha](SLocalView<RulingMark>& view) {
+        // Join unless an earlier member sits within alpha-1 hops.
+        bool blocked = false;
+        if (alpha >= 2) {
+          for (VertexId u : view.ball_vertices(alpha - 1)) {
+            if (u != view.center() &&
+                view.state(u) == RulingMark::kIn) {
+              blocked = true;
+              break;
+            }
+          }
+        }
+        if (!blocked) view.own_state() = RulingMark::kIn;
+      });
+
+  RulingSetResult res;
+  res.locality = run.max_locality;
+  for (VertexId v = 0; v < g.vertex_count(); ++v)
+    if (run.states[v] == RulingMark::kIn) res.ruling_set.push_back(v);
+  PSL_ENSURES(is_ruling_set(g, res.ruling_set, alpha,
+                            alpha >= 2 ? alpha - 1 : 0));
+  return res;
+}
+
+bool is_ruling_set(const Graph& g, const std::vector<VertexId>& set,
+                   std::size_t alpha, std::size_t beta) {
+  if (set.empty()) return g.vertex_count() == 0;
+  for (VertexId v : set)
+    if (v >= g.vertex_count()) return false;
+  const auto dist = bfs_distances_multi(g, set);
+  // Coverage: every vertex within beta of the set.
+  for (VertexId v = 0; v < g.vertex_count(); ++v)
+    if (dist[v] == kUnreachable || dist[v] > beta) return false;
+  // Separation: members pairwise >= alpha apart.
+  for (VertexId s : set) {
+    const auto d = bfs_distances(g, s, alpha);
+    for (VertexId t : set)
+      if (t != s && d[t] != kUnreachable && d[t] < alpha) return false;
+  }
+  return true;
+}
+
+}  // namespace pslocal

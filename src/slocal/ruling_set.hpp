@@ -1,0 +1,35 @@
+// (α, β)-ruling sets — the classic relaxation of MIS used throughout the
+// network-decomposition literature ([AGLP89], the paper's reference for
+// slow deterministic algorithms, builds on ruling-set machinery).
+//
+// A set S ⊆ V is an (α, β)-ruling set if
+//   * any two distinct members of S are at distance >= α in G, and
+//   * every vertex of V is within distance <= β of some member.
+// An MIS is exactly a (2, 1)-ruling set.
+//
+// The greedy SLOCAL algorithm with locality β = α - 1 processes nodes in
+// any order: a node joins S iff no earlier member lies within distance
+// α - 1.  The engine measures that locality exactly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pslocal {
+
+struct RulingSetResult {
+  std::vector<VertexId> ruling_set;
+  std::size_t locality = 0;  // measured (= alpha - 1 on non-trivial graphs)
+};
+
+/// Greedy SLOCAL (α, α-1)-ruling set along `order` (alpha >= 1).
+RulingSetResult slocal_ruling_set(const Graph& g, std::size_t alpha,
+                                  const std::vector<VertexId>& order);
+
+/// Verify the two ruling-set conditions.
+bool is_ruling_set(const Graph& g, const std::vector<VertexId>& set,
+                   std::size_t alpha, std::size_t beta);
+
+}  // namespace pslocal

@@ -1,0 +1,90 @@
+#include "util/bitset.hpp"
+
+#include <bit>
+
+namespace pslocal {
+
+void DynamicBitset::set_all() {
+  for (auto& w : words_) w = ~0ULL;
+  clear_padding();
+}
+
+void DynamicBitset::reset_all() {
+  for (auto& w : words_) w = 0;
+}
+
+std::size_t DynamicBitset::count() const {
+  std::size_t c = 0;
+  for (auto w : words_) c += static_cast<std::size_t>(std::popcount(w));
+  return c;
+}
+
+bool DynamicBitset::any() const {
+  for (auto w : words_)
+    if (w) return true;
+  return false;
+}
+
+std::size_t DynamicBitset::find_first(std::size_t from) const {
+  if (from >= bits_) return bits_;
+  std::size_t wi = from >> 6;
+  std::uint64_t w = words_[wi] & (~0ULL << (from & 63));
+  while (true) {
+    if (w) {
+      const auto bit = (wi << 6) +
+                       static_cast<std::size_t>(std::countr_zero(w));
+      return bit < bits_ ? bit : bits_;
+    }
+    if (++wi >= words_.size()) return bits_;
+    w = words_[wi];
+  }
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  PSL_EXPECTS(bits_ == other.bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  PSL_EXPECTS(bits_ == other.bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::andnot(const DynamicBitset& other) {
+  PSL_EXPECTS(bits_ == other.bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+bool DynamicBitset::intersects(const DynamicBitset& other) const {
+  PSL_EXPECTS(bits_ == other.bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    if (words_[i] & other.words_[i]) return true;
+  return false;
+}
+
+std::size_t DynamicBitset::intersection_count(
+    const DynamicBitset& other) const {
+  PSL_EXPECTS(bits_ == other.bits_);
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    c += static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
+  return c;
+}
+
+std::vector<std::size_t> DynamicBitset::to_indices() const {
+  std::vector<std::size_t> out;
+  out.reserve(count());
+  for (std::size_t i = find_first(); i < bits_; i = find_first(i + 1))
+    out.push_back(i);
+  return out;
+}
+
+void DynamicBitset::clear_padding() {
+  const std::size_t rem = bits_ & 63;
+  if (rem != 0 && !words_.empty()) words_.back() &= (~0ULL >> (64 - rem));
+}
+
+}  // namespace pslocal

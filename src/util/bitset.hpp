@@ -1,0 +1,69 @@
+// Dynamic bitset tuned for set operations on vertex sets.
+//
+// std::vector<bool> lacks word-level access and popcount; exact MaxIS
+// branch-and-bound (src/mis/exact_maxis.*) spends nearly all its time in
+// intersect/andnot/popcount loops, so we provide them directly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace pslocal {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t bits)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return bits_; }
+  [[nodiscard]] std::size_t word_count() const { return words_.size(); }
+
+  void set(std::size_t i) {
+    PSL_EXPECTS(i < bits_);
+    words_[i >> 6] |= (1ULL << (i & 63));
+  }
+  void reset(std::size_t i) {
+    PSL_EXPECTS(i < bits_);
+    words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+  [[nodiscard]] bool test(std::size_t i) const {
+    PSL_EXPECTS(i < bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void set_all();
+  void reset_all();
+
+  [[nodiscard]] std::size_t count() const;
+  [[nodiscard]] bool any() const;
+  [[nodiscard]] bool none() const { return !any(); }
+
+  /// First set bit at or after `from`, or size() if none.
+  [[nodiscard]] std::size_t find_first(std::size_t from = 0) const;
+
+  /// this &= other / this |= other / this &= ~other (sizes must match).
+  DynamicBitset& operator&=(const DynamicBitset& other);
+  DynamicBitset& operator|=(const DynamicBitset& other);
+  DynamicBitset& andnot(const DynamicBitset& other);
+
+  [[nodiscard]] bool intersects(const DynamicBitset& other) const;
+  [[nodiscard]] std::size_t intersection_count(
+      const DynamicBitset& other) const;
+
+  [[nodiscard]] bool operator==(const DynamicBitset& other) const = default;
+
+  /// Indices of all set bits, ascending.
+  [[nodiscard]] std::vector<std::size_t> to_indices() const;
+
+ private:
+  void clear_padding();
+
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace pslocal

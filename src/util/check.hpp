@@ -1,0 +1,78 @@
+// Lightweight contract checking used across the library.
+//
+// The C++ Core Guidelines (I.6/I.8, E.12) recommend stating preconditions
+// and postconditions explicitly.  We use throwing checks rather than
+// assert() so that violated contracts are observable in release builds,
+// which matters for a research artifact whose whole point is validating
+// invariants (Lemma 2.1, phase bounds, ...).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pslocal {
+
+/// Thrown when a precondition or invariant check fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace pslocal
+
+/// Precondition check: use at function entry to validate arguments.
+#define PSL_EXPECTS(cond)                                                     \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::pslocal::detail::contract_fail("Precondition", #cond, __FILE__,       \
+                                       __LINE__, "");                         \
+  } while (0)
+
+/// Precondition check with an explanatory message (streamed into a string).
+#define PSL_EXPECTS_MSG(cond, msg)                                            \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::ostringstream psl_os_;                                             \
+      psl_os_ << msg;                                                         \
+      ::pslocal::detail::contract_fail("Precondition", #cond, __FILE__,       \
+                                       __LINE__, psl_os_.str());              \
+    }                                                                         \
+  } while (0)
+
+/// Invariant / internal-consistency check.
+#define PSL_CHECK(cond)                                                       \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::pslocal::detail::contract_fail("Check", #cond, __FILE__, __LINE__,    \
+                                       "");                                   \
+  } while (0)
+
+#define PSL_CHECK_MSG(cond, msg)                                              \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::ostringstream psl_os_;                                             \
+      psl_os_ << msg;                                                         \
+      ::pslocal::detail::contract_fail("Check", #cond, __FILE__, __LINE__,    \
+                                       psl_os_.str());                        \
+    }                                                                         \
+  } while (0)
+
+/// Postcondition check: use before returning to validate results.
+#define PSL_ENSURES(cond)                                                     \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::pslocal::detail::contract_fail("Postcondition", #cond, __FILE__,      \
+                                       __LINE__, "");                         \
+  } while (0)

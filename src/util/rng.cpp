@@ -1,0 +1,48 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+namespace pslocal {
+
+double Rng::next_exponential(double rate) {
+  PSL_EXPECTS(rate > 0.0);
+  // Inverse CDF; 1 - u avoids log(0).
+  return -std::log1p(-next_double()) / rate;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  std::iota(p.begin(), p.end(), std::size_t{0});
+  shuffle(p);
+  return p;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  PSL_EXPECTS(k <= n);
+  if (k == 0) return {};
+  // For dense samples do a partial Fisher–Yates; for sparse ones use
+  // Floyd's algorithm to avoid materializing {0..n-1}.
+  if (k * 3 >= n) {
+    std::vector<std::size_t> p = permutation(n);
+    p.resize(k);
+    return p;
+  }
+  std::unordered_set<std::size_t> chosen;
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  for (std::size_t j = n - k; j < n; ++j) {
+    const std::size_t t = static_cast<std::size_t>(next_below(j + 1));
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace pslocal

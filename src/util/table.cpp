@@ -1,0 +1,120 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace pslocal {
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  bool digit = false;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) digit = true;
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' &&
+        c != '+' && c != 'e' && c != 'E' && c != 'x' && c != '%' && c != ',')
+      return false;
+  }
+  return digit;
+}
+}  // namespace
+
+Table& Table::header(std::vector<std::string> columns) {
+  PSL_EXPECTS(rows_.empty());
+  header_ = std::move(columns);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  PSL_EXPECTS_MSG(cells.size() == header_.size(),
+                  "row arity " << cells.size() << " != header arity "
+                               << header_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+
+  std::ostringstream os;
+  auto hline = [&] {
+    os << '+';
+    for (auto w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& cells, bool align_right) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const bool right = align_right && looks_numeric(cells[c]);
+      os << ' ' << (right ? std::setiosflags(std::ios::right)
+                          : std::setiosflags(std::ios::left))
+         << std::setw(static_cast<int>(widths[c])) << cells[c]
+         << std::resetiosflags(std::ios::adjustfield) << " |";
+    }
+    os << '\n';
+  };
+
+  if (!caption_.empty()) os << "== " << caption_ << " ==\n";
+  hline();
+  emit(header_, /*align_right=*/false);
+  hline();
+  for (const auto& r : rows_) emit(r, /*align_right=*/true);
+  hline();
+  return os.str();
+}
+
+std::string Table::render_csv() const {
+  auto quote = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << quote(cells[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.render();
+}
+
+std::string fmt_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmt_ratio(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v << "x";
+  return os.str();
+}
+
+std::string fmt_size(std::size_t v) { return std::to_string(v); }
+
+std::string fmt_bool(bool v) { return v ? "yes" : "no"; }
+
+}  // namespace pslocal

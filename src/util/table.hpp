@@ -1,0 +1,50 @@
+// ASCII table rendering for the experiment harnesses (bench/).
+//
+// Every experiment binary prints the same kind of paper-style table:
+// a caption, a header row, and aligned data rows.  Centralizing the
+// formatting keeps bench code focused on the experiment itself.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pslocal {
+
+class Table {
+ public:
+  explicit Table(std::string caption) : caption_(std::move(caption)) {}
+
+  /// Set the header row; must be called before adding rows.
+  Table& header(std::vector<std::string> columns);
+
+  /// Append a fully formatted row; must match the header arity.
+  Table& row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] const std::string& caption() const { return caption_; }
+
+  /// Render with box-drawing separators and right-aligned numeric cells.
+  [[nodiscard]] std::string render() const;
+
+  /// RFC-4180-style CSV (header row + data rows; quotes cells containing
+  /// commas or quotes).  For piping experiment output into plot scripts.
+  [[nodiscard]] std::string render_csv() const;
+
+  /// Convenience: render to a stream.
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  std::string caption_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers shared by the benches.
+std::string fmt_double(double v, int precision = 3);
+std::string fmt_ratio(double v, int precision = 3);
+std::string fmt_size(std::size_t v);
+std::string fmt_bool(bool v);
+
+}  // namespace pslocal

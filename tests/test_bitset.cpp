@@ -1,0 +1,119 @@
+#include "util/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pslocal {
+namespace {
+
+class BitsetSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitsetSizeTest, SetTestResetRoundtrip) {
+  const std::size_t n = GetParam();
+  DynamicBitset b(n);
+  EXPECT_EQ(b.size(), n);
+  EXPECT_TRUE(b.none());
+  for (std::size_t i = 0; i < n; i += 3) b.set(i);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(b.test(i), i % 3 == 0);
+  EXPECT_EQ(b.count(), (n + 2) / 3);
+  for (std::size_t i = 0; i < n; i += 3) b.reset(i);
+  EXPECT_TRUE(b.none());
+}
+
+TEST_P(BitsetSizeTest, SetAllRespectsPadding) {
+  const std::size_t n = GetParam();
+  DynamicBitset b(n);
+  b.set_all();
+  EXPECT_EQ(b.count(), n);
+  EXPECT_EQ(b.any(), n > 0);
+  b.reset_all();
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST_P(BitsetSizeTest, FindFirstScansAll) {
+  const std::size_t n = GetParam();
+  DynamicBitset b(n);
+  if (n == 0) {
+    EXPECT_EQ(b.find_first(), 0u);
+    return;
+  }
+  b.set(n - 1);
+  EXPECT_EQ(b.find_first(), n - 1);
+  EXPECT_EQ(b.find_first(n - 1), n - 1);
+  EXPECT_EQ(b.find_first(n), n);  // past the end
+  if (n > 2) {
+    b.set(1);
+    EXPECT_EQ(b.find_first(), 1u);
+    EXPECT_EQ(b.find_first(2), n - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitsetSizeTest,
+                         ::testing::Values(0, 1, 2, 63, 64, 65, 127, 128, 129,
+                                           1000));
+
+TEST(Bitset, OutOfRangeViolatesContract) {
+  DynamicBitset b(10);
+  EXPECT_THROW(b.set(10), ContractViolation);
+  EXPECT_THROW((void)b.test(10), ContractViolation);
+  EXPECT_THROW(b.reset(10), ContractViolation);
+}
+
+TEST(Bitset, BinaryOps) {
+  DynamicBitset a(100), b(100);
+  a.set(1);
+  a.set(70);
+  a.set(99);
+  b.set(70);
+  b.set(2);
+
+  DynamicBitset both = a;
+  both &= b;
+  EXPECT_EQ(both.count(), 1u);
+  EXPECT_TRUE(both.test(70));
+
+  DynamicBitset either = a;
+  either |= b;
+  EXPECT_EQ(either.count(), 4u);
+
+  DynamicBitset diff = a;
+  diff.andnot(b);
+  EXPECT_EQ(diff.count(), 2u);
+  EXPECT_TRUE(diff.test(1));
+  EXPECT_TRUE(diff.test(99));
+  EXPECT_FALSE(diff.test(70));
+
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_EQ(a.intersection_count(b), 1u);
+  DynamicBitset c(100);
+  c.set(3);
+  EXPECT_FALSE(a.intersects(c));
+}
+
+TEST(Bitset, SizeMismatchViolatesContract) {
+  DynamicBitset a(10), b(11);
+  EXPECT_THROW(a &= b, ContractViolation);
+  EXPECT_THROW(a |= b, ContractViolation);
+  EXPECT_THROW(a.andnot(b), ContractViolation);
+  EXPECT_THROW((void)a.intersects(b), ContractViolation);
+}
+
+TEST(Bitset, ToIndices) {
+  DynamicBitset b(200);
+  b.set(0);
+  b.set(64);
+  b.set(199);
+  const auto idx = b.to_indices();
+  EXPECT_EQ(idx, (std::vector<std::size_t>{0, 64, 199}));
+}
+
+TEST(Bitset, Equality) {
+  DynamicBitset a(50), b(50);
+  EXPECT_EQ(a, b);
+  a.set(10);
+  EXPECT_NE(a, b);
+  b.set(10);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace pslocal

@@ -1,0 +1,162 @@
+#include "coloring/conflict_free.hpp"
+
+#include <gtest/gtest.h>
+
+#include "coloring/cf_baselines.hpp"
+#include "hypergraph/generators.hpp"
+
+namespace pslocal {
+namespace {
+
+TEST(HappyEdgeTest, SingleColoringCases) {
+  const Hypergraph h(4, {{0, 1, 2}, {2, 3}});
+  // Edge 0 = {0,1,2} under {1,2,2,2}: color 1 unique at vertex 0 -> happy;
+  // edge 1 = {2,3}: both carry color 2 -> unhappy.
+  const CfColoring f{1, 2, 2, 2};
+  EXPECT_TRUE(is_edge_happy(h, 0, f));
+  EXPECT_FALSE(is_edge_happy(h, 1, f));
+  // An uncolored vertex does not spoil uniqueness: {2, ⊥} is happy.
+  const CfColoring g{1, 2, 2, kCfUncolored};
+  EXPECT_TRUE(is_edge_happy(h, 1, g));
+}
+
+TEST(HappyEdgeTest, AllSameColorIsUnhappy) {
+  const Hypergraph h(3, {{0, 1, 2}});
+  const CfColoring f{1, 1, 1};
+  EXPECT_FALSE(is_edge_happy(h, 0, f));
+}
+
+TEST(HappyEdgeTest, AllUncoloredIsUnhappy) {
+  const Hypergraph h(3, {{0, 1, 2}});
+  const CfColoring f{kCfUncolored, kCfUncolored, kCfUncolored};
+  EXPECT_FALSE(is_edge_happy(h, 0, f));
+}
+
+TEST(HappyEdgeTest, PairOfPairsNeedsDistinctColors) {
+  const Hypergraph h(2, {{0, 1}});
+  EXPECT_FALSE(is_edge_happy(h, 0, CfColoring{2, 2}));
+  EXPECT_TRUE(is_edge_happy(h, 0, CfColoring{1, 2}));
+  EXPECT_TRUE(is_edge_happy(h, 0, CfColoring{1, kCfUncolored}));
+}
+
+TEST(MulticoloringTest, AddAndQuery) {
+  CfMulticoloring mc(3);
+  mc.add_color(0, 2);
+  mc.add_color(0, 1);
+  mc.add_color(0, 2);  // duplicate ignored
+  mc.add_color(2, 5);
+  EXPECT_EQ(mc.colors_of(0), (std::vector<std::size_t>{1, 2}));
+  EXPECT_TRUE(mc.has_color(0, 1));
+  EXPECT_FALSE(mc.has_color(1, 1));
+  EXPECT_EQ(mc.palette_size(), 3u);
+  EXPECT_EQ(mc.max_color(), 5u);
+  EXPECT_EQ(mc.assignment_count(), 3u);
+}
+
+TEST(MulticoloringTest, ZeroColorViolatesContract) {
+  CfMulticoloring mc(2);
+  EXPECT_THROW(mc.add_color(0, 0), ContractViolation);
+}
+
+TEST(MulticoloringTest, HappyRequiresUniqueColorAcrossAllSets) {
+  const Hypergraph h(3, {{0, 1, 2}});
+  CfMulticoloring mc(3);
+  mc.add_color(0, 1);
+  mc.add_color(1, 1);
+  EXPECT_FALSE(is_edge_happy(h, 0, mc));  // color 1 twice, nothing else
+  mc.add_color(1, 2);
+  EXPECT_TRUE(is_edge_happy(h, 0, mc));  // color 2 unique at vertex 1
+}
+
+TEST(MulticoloringTest, AbsorbAppliesPaletteOffset) {
+  CfMulticoloring mc(3);
+  const CfColoring phase{2, kCfUncolored, 1};
+  mc.absorb(phase, 10);
+  EXPECT_TRUE(mc.has_color(0, 12));
+  EXPECT_TRUE(mc.has_color(2, 11));
+  EXPECT_TRUE(mc.colors_of(1).empty());
+}
+
+TEST(ConflictFreeTest, WholeHypergraph) {
+  const Hypergraph h(4, {{0, 1}, {1, 2, 3}});
+  EXPECT_TRUE(is_conflict_free(h, CfColoring{1, 2, 1, 1}));
+  // {1,1,2,2}: edge {0,1} monochromatic (unhappy); edge {1,2,3} has color 1
+  // unique at vertex 1 (happy).
+  EXPECT_FALSE(is_conflict_free(h, CfColoring{1, 1, 2, 2}));
+  EXPECT_EQ(happy_edge_count(h, CfColoring{1, 1, 2, 2}), 1u);
+  EXPECT_EQ(happy_edge_count(h, CfColoring{1, 1, 1, 1}), 0u);
+  EXPECT_EQ(cf_color_count(CfColoring{1, 2, 1, kCfUncolored}), 2u);
+}
+
+TEST(FreshBaselineTest, UsesOneColorPerEdge) {
+  Rng rng(7);
+  PlantedCfParams params;
+  params.n = 40;
+  params.m = 25;
+  params.k = 3;
+  const auto inst = planted_cf_colorable(params, rng);
+  const auto mc = fresh_color_baseline(inst.hypergraph);
+  EXPECT_TRUE(is_conflict_free(inst.hypergraph, mc));
+  EXPECT_EQ(mc.palette_size(), 25u);
+}
+
+class DyadicTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DyadicTest, ConflictFreeOnAllIntervals) {
+  const std::size_t n = GetParam();
+  const auto f = dyadic_interval_cf_coloring(n);
+  const auto h = all_intervals(n, 1, n);
+  EXPECT_TRUE(is_conflict_free(h, f));
+  // Color bound: floor(log2 n) + 1.
+  std::size_t log2n = 0;
+  while ((std::size_t{1} << (log2n + 1)) <= n) ++log2n;
+  EXPECT_LE(cf_color_count(f), log2n + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DyadicTest,
+                         ::testing::Values(1, 2, 3, 7, 8, 15, 16, 33, 64, 100));
+
+class GreedyCfTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GreedyCfTest, AlwaysConflictFreeAcrossFamilies) {
+  Rng rng(GetParam());
+  PlantedCfParams params;
+  params.n = 40;
+  params.m = 30;
+  params.k = 3;
+  const auto planted = planted_cf_colorable(params, rng);
+  const auto intervals = interval_hypergraph(30, 40, 2, 8, rng);
+  for (const Hypergraph* h : {&planted.hypergraph, &intervals}) {
+    const auto res = greedy_cf_coloring(*h);
+    EXPECT_TRUE(is_conflict_free(*h, res.coloring));
+    EXPECT_EQ(res.colors_used, cf_color_count(res.coloring));
+    // Never worse than one fresh color per vertex; in practice far less
+    // than the fresh-per-edge baseline.
+    EXPECT_LE(res.colors_used, h->vertex_count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyCfTest, ::testing::Values(1, 2, 3, 4));
+
+TEST(GreedyCfTest, EdgelessUsesNoColorsBeyondSingles) {
+  const auto res = greedy_cf_coloring(Hypergraph(4, {}));
+  EXPECT_TRUE(is_conflict_free(Hypergraph(4, {}), res.coloring));
+  EXPECT_LE(res.colors_used, 1u);  // first vertex opens color 1; rest reuse
+}
+
+TEST(GreedyCfTest, SmallKnownInstance) {
+  // Single edge: first endpoint gets 1, second reuses 1? {1,1} would be
+  // unhappy, so it must take 2.
+  const auto res = greedy_cf_coloring(Hypergraph(2, {{0, 1}}));
+  EXPECT_EQ(res.colors_used, 2u);
+}
+
+TEST(IntervalDetectionTest, Classification) {
+  EXPECT_TRUE(is_interval_hypergraph(Hypergraph(5, {{1, 2, 3}, {0, 1}})));
+  EXPECT_FALSE(is_interval_hypergraph(Hypergraph(5, {{0, 2}})));
+  Rng rng(9);
+  EXPECT_TRUE(is_interval_hypergraph(interval_hypergraph(30, 10, 1, 6, rng)));
+}
+
+}  // namespace
+}  // namespace pslocal

@@ -1,0 +1,153 @@
+#include "core/correspondence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/generators.hpp"
+#include "mis/exact_maxis.hpp"
+#include "mis/greedy_maxis.hpp"
+#include "mis/independent_set.hpp"
+
+namespace pslocal {
+namespace {
+
+struct InstanceCase {
+  std::size_t n, m, k;
+};
+
+PlantedCfInstance make_instance(const InstanceCase& c, std::uint64_t seed) {
+  Rng rng(seed);
+  PlantedCfParams params;
+  params.n = c.n;
+  params.m = c.m;
+  params.k = c.k;
+  return planted_cf_colorable(params, rng);
+}
+
+class LemmaATest : public ::testing::TestWithParam<InstanceCase> {};
+
+TEST_P(LemmaATest, InducedSetIsMaximumOfSizeM) {
+  const auto inst = make_instance(GetParam(), 90 + GetParam().n);
+  const ConflictGraph cg(inst.hypergraph, inst.k);
+  const CfColoring f(inst.planted_coloring);
+
+  const auto report = check_lemma_a(cg, f);
+  EXPECT_TRUE(report.applicable);
+  EXPECT_TRUE(report.independent);
+  EXPECT_EQ(report.is_size, inst.hypergraph.edge_count());
+  EXPECT_TRUE(report.attains_maximum);
+}
+
+TEST_P(LemmaATest, ExactAlphaEqualsEdgeCount) {
+  // Lemma 2.1 a) + the E_edge clique bound pin alpha(G_k) to exactly m.
+  const auto inst = make_instance(GetParam(), 190 + GetParam().n);
+  const ConflictGraph cg(inst.hypergraph, inst.k);
+  EXPECT_EQ(independence_number(cg.graph()), inst.hypergraph.edge_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LemmaATest,
+                         ::testing::Values(InstanceCase{12, 4, 2},
+                                           InstanceCase{16, 6, 2},
+                                           InstanceCase{18, 8, 3},
+                                           InstanceCase{24, 10, 3},
+                                           InstanceCase{20, 5, 4}));
+
+class LemmaBTest : public ::testing::TestWithParam<InstanceCase> {};
+
+TEST_P(LemmaBTest, RandomIndependentSetsSatisfyLemmaB) {
+  const auto inst = make_instance(GetParam(), 290 + GetParam().n);
+  const ConflictGraph cg(inst.hypergraph, inst.k);
+  Rng rng(17 + GetParam().m);
+  for (int rep = 0; rep < 10; ++rep) {
+    // Random greedy MIS, then a random subset of it (still independent).
+    RandomGreedyOracle oracle(rng.next_u64());
+    auto is = oracle.solve(cg.graph());
+    std::vector<VertexId> subset;
+    for (VertexId t : is)
+      if (rng.next_bool(0.6)) subset.push_back(t);
+
+    for (const auto& candidate : {is, subset}) {
+      const auto report = check_lemma_b(cg, candidate);
+      EXPECT_TRUE(report.independent);
+      EXPECT_TRUE(report.well_defined);
+      EXPECT_TRUE(report.happy_at_least_is_size)
+          << "|I|=" << report.is_size << " happy=" << report.happy_count;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LemmaBTest,
+                         ::testing::Values(InstanceCase{16, 8, 2},
+                                           InstanceCase{24, 16, 3},
+                                           InstanceCase{32, 24, 4},
+                                           InstanceCase{40, 30, 3}));
+
+TEST(CorrespondenceTest, RoundTripThroughColoring) {
+  const auto inst = make_instance({20, 8, 3}, 7);
+  const ConflictGraph cg(inst.hypergraph, 3);
+  const CfColoring f(inst.planted_coloring);
+  const auto is = is_from_coloring(cg, f);
+  ASSERT_EQ(is.size(), inst.hypergraph.edge_count());
+  // The induced coloring of I_f agrees with f on every vertex it colors.
+  const auto induced = coloring_from_is(cg, is);
+  EXPECT_TRUE(induced.well_defined);
+  for (VertexId v = 0; v < inst.hypergraph.vertex_count(); ++v) {
+    if (induced.coloring[v] != kCfUncolored) {
+      EXPECT_EQ(induced.coloring[v], f[v]);
+    }
+  }
+}
+
+TEST(CorrespondenceTest, NonIndependentInputDetectedAsIllDefined) {
+  // Two triples (e,v,c), (g,v,d) with c != d force ill-definedness.
+  const Hypergraph h(3, {{0, 1}, {1, 2}});
+  const ConflictGraph cg(h, 2);
+  const std::vector<VertexId> bad{
+      static_cast<VertexId>(cg.triple_id(0, 1, 1)),
+      static_cast<VertexId>(cg.triple_id(1, 1, 2))};
+  EXPECT_FALSE(is_independent_set(cg.graph(), bad));  // E_vertex edge
+  const auto induced = coloring_from_is(cg, bad);
+  EXPECT_FALSE(induced.well_defined);
+  const auto report = check_lemma_b(cg, bad);
+  EXPECT_FALSE(report.independent);
+  EXPECT_FALSE(report.well_defined);
+}
+
+TEST(CorrespondenceTest, UnhappyEdgeViolatesIsFromColoringContract) {
+  const Hypergraph h(2, {{0, 1}});
+  const ConflictGraph cg(h, 2);
+  const CfColoring monochrome{1, 1};
+  EXPECT_THROW(is_from_coloring(cg, monochrome), ContractViolation);
+}
+
+TEST(CorrespondenceTest, ColorOutsidePaletteViolatesContract) {
+  const Hypergraph h(2, {{0, 1}});
+  const ConflictGraph cg(h, 2);
+  const CfColoring f{3, kCfUncolored};  // color 3 > k = 2
+  EXPECT_THROW(is_from_coloring(cg, f), ContractViolation);
+}
+
+TEST(CorrespondenceTest, LemmaAReportsInapplicableColorings) {
+  const auto inst = make_instance({16, 6, 2}, 11);
+  const ConflictGraph cg(inst.hypergraph, 2);
+  // All-one coloring cannot be conflict free (every edge has >= 2 nodes).
+  const CfColoring bad(inst.hypergraph.vertex_count(), 1);
+  const auto report = check_lemma_a(cg, bad);
+  EXPECT_FALSE(report.applicable);
+  // Out-of-palette coloring is inapplicable too.
+  CfColoring oops(inst.planted_coloring);
+  oops[0] = 99;
+  EXPECT_FALSE(check_lemma_a(cg, oops).applicable);
+}
+
+TEST(CorrespondenceTest, EmptyIndependentSetInducesEmptyColoring) {
+  const auto inst = make_instance({16, 6, 2}, 13);
+  const ConflictGraph cg(inst.hypergraph, 2);
+  const auto report = check_lemma_b(cg, {});
+  EXPECT_TRUE(report.independent);
+  EXPECT_TRUE(report.well_defined);
+  EXPECT_TRUE(report.happy_at_least_is_size);
+  EXPECT_EQ(report.is_size, 0u);
+}
+
+}  // namespace
+}  // namespace pslocal

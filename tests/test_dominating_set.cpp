@@ -1,0 +1,73 @@
+#include "cover/dominating_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace pslocal {
+namespace {
+
+TEST(DominatingSetVerifierTest, Basics) {
+  const Graph g = path(5);
+  EXPECT_TRUE(is_dominating_set(g, {1, 3}));
+  EXPECT_FALSE(is_dominating_set(g, {0, 1}));  // vertices 3, 4 uncovered
+  EXPECT_TRUE(is_dominating_set(g, {0, 2, 4}));
+  EXPECT_FALSE(is_dominating_set(g, {7}));  // out of range
+  EXPECT_TRUE(is_dominating_set(Graph{}, {}));
+}
+
+TEST(GreedyDominatingSetTest, KnownOptima) {
+  // Star: the center alone dominates.
+  GraphBuilder b(8);
+  for (VertexId leaf = 1; leaf < 8; ++leaf) b.add_edge(0, leaf);
+  EXPECT_EQ(greedy_dominating_set(b.build()).size(), 1u);
+  // Path P9: optimum 3 ({1,4,7}); greedy matches.
+  EXPECT_EQ(greedy_dominating_set(path(9)).size(), 3u);
+  // Complete graph: 1.
+  EXPECT_EQ(greedy_dominating_set(complete(10)).size(), 1u);
+  // Disjoint triangles: one per triangle.
+  EXPECT_EQ(greedy_dominating_set(disjoint_cliques({3, 3, 3})).size(), 3u);
+}
+
+TEST(ExactDominatingSetTest, MatchesKnownValues) {
+  EXPECT_EQ(exact_dominating_set(path(9)).set.size(), 3u);
+  EXPECT_EQ(exact_dominating_set(ring(9)).set.size(), 3u);
+  EXPECT_EQ(exact_dominating_set(complete(7)).set.size(), 1u);
+  EXPECT_EQ(exact_dominating_set(grid(3, 3)).set.size(), 3u);
+  const auto empty = exact_dominating_set(Graph{});
+  EXPECT_TRUE(empty.set.empty());
+  EXPECT_TRUE(empty.proven_optimal);
+}
+
+class DomSetRatioTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DomSetRatioTest, GreedyWithinGuaranteeOnRandomGraphs) {
+  Rng rng(GetParam());
+  const Graph g = gnp(22, 0.2, rng);
+  const auto greedy = greedy_dominating_set(g);
+  const auto exact = exact_dominating_set(g);
+  ASSERT_TRUE(exact.proven_optimal);
+  EXPECT_TRUE(is_dominating_set(g, greedy));
+  const double ratio = static_cast<double>(greedy.size()) /
+                       static_cast<double>(exact.set.size());
+  EXPECT_LE(ratio, dominating_set_guarantee(g) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DomSetRatioTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(DominatingSetTest, GuaranteeIsHarmonic) {
+  const Graph g = complete(4);  // Δ+1 = 4
+  EXPECT_NEAR(dominating_set_guarantee(g), 1.0 + 0.5 + 1.0 / 3 + 0.25, 1e-12);
+}
+
+TEST(ExactDominatingSetTest, BudgetExhaustionStillValid) {
+  Rng rng(7);
+  const Graph g = gnp(40, 0.1, rng);
+  const auto res = exact_dominating_set(g, /*node_budget=*/5);
+  EXPECT_TRUE(is_dominating_set(g, res.set));
+  EXPECT_FALSE(res.proven_optimal);
+}
+
+}  // namespace
+}  // namespace pslocal

@@ -1,0 +1,103 @@
+#include "coloring/exact_cf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "coloring/cf_baselines.hpp"
+#include "core/reduction.hpp"
+#include "hypergraph/generators.hpp"
+#include "mis/greedy_maxis.hpp"
+
+namespace pslocal {
+namespace {
+
+// Note: exact_min_cf_colors works in the paper's Theorem 1.2 regime —
+// *total* single colorings f : V -> {1..k} (no ⊥) — matching Lemma 2.1 a.
+
+TEST(ExactCfTest, SingleEdgeNeedsTwoColors) {
+  // Total colorings: {1,1} is monochromatic; {1,2} is happy.
+  const Hypergraph h(2, {{0, 1}});
+  const auto res = exact_min_cf_colors(h, 4);
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.colors, 2u);
+}
+
+TEST(ExactCfTest, EdgelessNeedsOne) {
+  const Hypergraph h(3, {});
+  const auto res = exact_min_cf_colors(h, 4);
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.colors, 1u);
+}
+
+TEST(ExactCfTest, DisjointTriplesNeedTwo) {
+  // Edge {a,b,c} with colors (1,2,2): color 1 unique -> happy with k = 2;
+  // k = 1 is impossible (all-equal is monochromatic).
+  const Hypergraph h(6, {{0, 1, 2}, {3, 4, 5}});
+  const auto res = exact_min_cf_colors(h, 4);
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.colors, 2u);
+}
+
+TEST(ExactCfTest, WitnessIsConflictFree) {
+  Rng rng(3);
+  PlantedCfParams params;
+  params.n = 14;
+  params.m = 8;
+  params.k = 3;
+  const auto inst = planted_cf_colorable(params, rng);
+  const auto res = exact_min_cf_colors(inst.hypergraph, 4);
+  ASSERT_TRUE(res.found);
+  EXPECT_TRUE(is_conflict_free(inst.hypergraph, res.coloring));
+  // Planted k is an upper bound on the optimum.
+  EXPECT_LE(res.colors, 3u);
+}
+
+TEST(ExactCfTest, InfeasibleWithinMaxKReported) {
+  // {0,1} needs 2 colors; cap at 1.
+  const Hypergraph h(2, {{0, 1}});
+  const auto res = exact_min_cf_colors(h, 1);
+  EXPECT_FALSE(res.found);
+  EXPECT_FALSE(res.budget_exhausted);
+}
+
+TEST(ExactCfTest, BudgetExhaustionReported) {
+  Rng rng(5);
+  const auto h = random_uniform_hypergraph(24, 40, 3, rng);
+  const auto res = exact_min_cf_colors(h, 8, /*node_budget=*/10);
+  EXPECT_TRUE(res.budget_exhausted);
+  EXPECT_FALSE(res.found);
+}
+
+TEST(ExactCfTest, ReductionStaysWithinPolylogFactorOfOptimum) {
+  // The whole point of E7: the reduction's colors vs the true optimum.
+  Rng rng(7);
+  PlantedCfParams params;
+  params.n = 16;
+  params.m = 10;
+  params.k = 2;
+  const auto inst = planted_cf_colorable(params, rng);
+  const auto opt = exact_min_cf_colors(inst.hypergraph, 4);
+  ASSERT_TRUE(opt.found);
+
+  GreedyMinDegreeOracle oracle;
+  ReductionOptions opts;
+  opts.k = 2;
+  const auto res = cf_multicoloring_via_maxis(inst.hypergraph, oracle, opts);
+  ASSERT_TRUE(res.success);
+  // k * phases colors vs optimum: within the k * rho envelope.
+  EXPECT_LE(res.colors_used,
+            opt.colors * reduction_phase_bound(2.0, 10));
+}
+
+TEST(ExactCfTest, DyadicIsOptimalOnAllIntervalsOfSmallN) {
+  // For all intervals over n=4 points (lengths >= 2), the CF chromatic
+  // number is known to be floor(log2 4) + 1 = 3; dyadic achieves it.
+  const auto h = all_intervals(4, 2, 4);
+  const auto opt = exact_min_cf_colors(h, 5);
+  ASSERT_TRUE(opt.found);
+  const auto dyadic = dyadic_interval_cf_coloring(4);
+  EXPECT_TRUE(is_conflict_free(h, dyadic));
+  EXPECT_EQ(opt.colors, cf_color_count(dyadic));
+}
+
+}  // namespace
+}  // namespace pslocal

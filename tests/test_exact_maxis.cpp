@@ -1,0 +1,128 @@
+#include "mis/exact_maxis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mis/independent_set.hpp"
+
+namespace pslocal {
+namespace {
+
+// Reference: exhaustive alpha for graphs with <= 20 vertices via bitmask
+// enumeration with pruning-free semantics.
+std::size_t alpha_by_enumeration(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  std::vector<std::uint32_t> adj(n, 0);
+  for (auto [u, v] : g.edges()) {
+    adj[u] |= 1u << v;
+    adj[v] |= 1u << u;
+  }
+  std::size_t best = 0;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    bool ok = true;
+    for (std::size_t v = 0; v < n && ok; ++v)
+      if ((mask >> v) & 1u) ok = (mask & adj[v]) == 0;
+    if (ok)
+      best = std::max<std::size_t>(best,
+                                   static_cast<std::size_t>(__builtin_popcount(mask)));
+  }
+  return best;
+}
+
+TEST(ExactMaxISTest, KnownFamilies) {
+  EXPECT_EQ(independence_number(complete(7)), 1u);
+  EXPECT_EQ(independence_number(Graph::from_edges(9, {})), 9u);
+  EXPECT_EQ(independence_number(ring(10)), 5u);
+  EXPECT_EQ(independence_number(ring(11)), 5u);
+  EXPECT_EQ(independence_number(path(9)), 5u);
+  EXPECT_EQ(independence_number(complete_bipartite(3, 8)), 8u);
+  EXPECT_EQ(independence_number(grid(4, 4)), 8u);
+  EXPECT_EQ(independence_number(grid(3, 5)), 8u);
+  EXPECT_EQ(independence_number(disjoint_cliques({2, 3, 4, 1})), 4u);
+}
+
+TEST(ExactMaxISTest, ReturnsActualSetNotJustSize) {
+  const Graph g = ring(12);
+  const auto res = ExactMaxIS().solve(g);
+  EXPECT_TRUE(res.proven_optimal);
+  EXPECT_TRUE(is_independent_set(g, res.set));
+  EXPECT_EQ(res.set.size(), 6u);
+}
+
+TEST(ExactMaxISTest, EmptyGraph) {
+  const auto res = ExactMaxIS().solve(Graph{});
+  EXPECT_TRUE(res.proven_optimal);
+  EXPECT_TRUE(res.set.empty());
+}
+
+class ExactVsEnumerationTest
+    : public ::testing::TestWithParam<std::pair<double, std::uint64_t>> {};
+
+TEST_P(ExactVsEnumerationTest, AgreesOnRandomGraphs) {
+  const auto [p, seed] = GetParam();
+  Rng rng(seed);
+  for (int rep = 0; rep < 5; ++rep) {
+    const std::size_t n = 8 + rng.next_below(9);  // 8..16
+    const Graph g = gnp(n, p, rng);
+    const auto res = ExactMaxIS().solve(g);
+    ASSERT_TRUE(res.proven_optimal);
+    EXPECT_TRUE(is_independent_set(g, res.set));
+    EXPECT_EQ(res.set.size(), alpha_by_enumeration(g))
+        << "n=" << n << " p=" << p << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExactVsEnumerationTest,
+    ::testing::Values(std::pair<double, std::uint64_t>{0.1, 1},
+                      std::pair<double, std::uint64_t>{0.25, 2},
+                      std::pair<double, std::uint64_t>{0.5, 3},
+                      std::pair<double, std::uint64_t>{0.75, 4},
+                      std::pair<double, std::uint64_t>{0.9, 5}));
+
+TEST(ExactMaxISTest, BudgetExhaustionReportsNonOptimal) {
+  Rng rng(9);
+  const Graph g = gnp(60, 0.3, rng);
+  const auto res = ExactMaxIS(/*node_budget=*/3).solve(g);
+  EXPECT_FALSE(res.proven_optimal);
+  EXPECT_TRUE(is_independent_set(g, res.set));  // still a valid (maybe empty) IS
+}
+
+TEST(ExactMaxISTest, IndependenceNumberThrowsOnBudget) {
+  Rng rng(10);
+  const Graph g = gnp(200, 0.5, rng);
+  // 200-vertex dense graph with a 3-node budget cannot be proven optimal.
+  ExactMaxIS tiny(3);
+  EXPECT_FALSE(tiny.solve(g).proven_optimal);
+}
+
+TEST(ExactOracleTest, SolvesAndReportsGuarantee) {
+  ExactOracle oracle;
+  EXPECT_EQ(oracle.name(), "exact");
+  ASSERT_TRUE(oracle.lambda_guarantee().has_value());
+  EXPECT_DOUBLE_EQ(*oracle.lambda_guarantee(), 1.0);
+  const Graph g = ring(8);
+  EXPECT_EQ(oracle.solve(g).size(), 4u);
+}
+
+TEST(IndependentSetTest, Predicates) {
+  const Graph g = ring(6);
+  EXPECT_TRUE(is_independent_set(g, {0, 2, 4}));
+  EXPECT_FALSE(is_independent_set(g, {0, 1}));
+  EXPECT_FALSE(is_independent_set(g, {0, 0}));      // duplicate
+  EXPECT_FALSE(is_independent_set(g, {0, 7}));      // out of range
+  EXPECT_TRUE(is_maximal_independent_set(g, {0, 2, 4}));
+  EXPECT_TRUE(is_maximal_independent_set(g, {0, 3}));  // N[{0,3}] covers C6
+  EXPECT_FALSE(is_maximal_independent_set(g, {0}));    // 2, 3, 4 still free
+}
+
+TEST(IndependentSetTest, ExtendToMaximal) {
+  const Graph g = path(7);
+  const auto extended = extend_to_maximal(g, {3});
+  EXPECT_TRUE(is_maximal_independent_set(g, extended));
+  EXPECT_NE(std::find(extended.begin(), extended.end(), 3), extended.end());
+  EXPECT_THROW(extend_to_maximal(g, {0, 1}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace pslocal

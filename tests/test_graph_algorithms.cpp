@@ -1,0 +1,169 @@
+#include "graph/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/generators.hpp"
+
+namespace pslocal {
+namespace {
+
+TEST(BfsTest, DistancesOnPath) {
+  const Graph g = path(5);
+  const auto dist = bfs_distances(g, 0);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(dist[i], i);
+}
+
+TEST(BfsTest, MaxDistCutsOff) {
+  const Graph g = path(6);
+  const auto dist = bfs_distances(g, 0, 2);
+  EXPECT_EQ(dist[2], 2u);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(BfsTest, MultiSourceTakesNearest) {
+  const Graph g = path(7);
+  const auto dist = bfs_distances_multi(g, {0, 6});
+  EXPECT_EQ(dist[3], 3u);
+  EXPECT_EQ(dist[5], 1u);
+  EXPECT_EQ(dist[0], 0u);
+}
+
+TEST(BfsTest, UnreachableInDisconnectedGraph) {
+  const Graph g = Graph::from_edges(4, {{0, 1}});
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);
+}
+
+TEST(BallTest, RingBallSizes) {
+  const Graph g = ring(10);
+  EXPECT_EQ(ball(g, 0, 0).size(), 1u);
+  EXPECT_EQ(ball(g, 0, 1).size(), 3u);
+  EXPECT_EQ(ball(g, 0, 2).size(), 5u);
+  EXPECT_EQ(ball(g, 0, 5).size(), 10u);   // wraps fully
+  EXPECT_EQ(ball(g, 0, 99).size(), 10u);  // saturates
+  EXPECT_EQ(ball(g, 0, 1).front(), 0u);   // center first
+}
+
+TEST(InducedSubgraphTest, MapsAndEdges) {
+  const Graph g = ring(6);
+  const auto sub = induced_subgraph(g, {0, 1, 2, 4});
+  EXPECT_EQ(sub.graph.vertex_count(), 4u);
+  EXPECT_EQ(sub.graph.edge_count(), 2u);  // 0-1, 1-2 survive; 4 isolated
+  EXPECT_TRUE(sub.graph.has_edge(sub.to_local[0], sub.to_local[1]));
+  EXPECT_TRUE(sub.graph.has_edge(sub.to_local[1], sub.to_local[2]));
+  EXPECT_EQ(sub.to_local[3], InducedSubgraph::kNoVertex);
+  for (std::size_t i = 0; i < sub.to_original.size(); ++i)
+    EXPECT_EQ(sub.to_local[sub.to_original[i]], i);
+}
+
+TEST(InducedSubgraphTest, DuplicateSelectionViolatesContract) {
+  const Graph g = ring(4);
+  EXPECT_THROW(induced_subgraph(g, {0, 0}), ContractViolation);
+}
+
+TEST(ComponentsTest, CountsComponents) {
+  GraphBuilder b(7);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  const Graph g = b.build();
+  const auto comp = connected_components(g);
+  EXPECT_EQ(comp.count, 4u);  // {0,1,2}, {3,4}, {5}, {6}
+  EXPECT_EQ(comp.component_of[0], comp.component_of[2]);
+  EXPECT_NE(comp.component_of[0], comp.component_of[3]);
+}
+
+TEST(DiameterTest, KnownValues) {
+  EXPECT_EQ(diameter(path(5)), 4u);
+  EXPECT_EQ(diameter(ring(8)), 4u);
+  EXPECT_EQ(diameter(complete(5)), 1u);
+  EXPECT_EQ(diameter(Graph::from_edges(3, {{0, 1}})), kUnreachable);
+}
+
+TEST(DegeneracyTest, KnownDegeneracies) {
+  EXPECT_EQ(degeneracy_order(complete(6)).degeneracy, 5u);
+  EXPECT_EQ(degeneracy_order(ring(10)).degeneracy, 2u);
+  Rng rng(3);
+  EXPECT_EQ(degeneracy_order(random_tree(50, rng)).degeneracy, 1u);
+  EXPECT_EQ(degeneracy_order(grid(5, 5)).degeneracy, 2u);
+}
+
+TEST(DegeneracyTest, OrderIsPermutation) {
+  Rng rng(5);
+  const Graph g = gnp(60, 0.1, rng);
+  const auto res = degeneracy_order(g);
+  EXPECT_TRUE(is_vertex_permutation(g, res.order));
+}
+
+TEST(GreedyColoringTest, ProperAndBounded) {
+  Rng rng(7);
+  const Graph g = gnp(80, 0.15, rng);
+  std::vector<VertexId> order(g.vertex_count());
+  std::iota(order.begin(), order.end(), VertexId{0});
+  const auto color = greedy_coloring(g, order);
+  for (auto [u, v] : g.edges()) EXPECT_NE(color[u], color[v]);
+  for (VertexId v = 0; v < g.vertex_count(); ++v)
+    EXPECT_LE(color[v], g.max_degree());
+}
+
+TEST(GreedyColoringTest, ReverseDegeneracyUsesFewColors) {
+  Rng rng(9);
+  const Graph g = random_tree(100, rng);
+  auto res = degeneracy_order(g);
+  std::reverse(res.order.begin(), res.order.end());
+  const auto color = greedy_coloring(g, res.order);
+  // Trees have degeneracy 1 -> 2 colors along reverse degeneracy order.
+  for (VertexId v = 0; v < g.vertex_count(); ++v) EXPECT_LE(color[v], 1u);
+}
+
+TEST(CliqueCoverTest, ClassesAreCliques) {
+  Rng rng(11);
+  const Graph g = gnp(50, 0.3, rng);
+  const auto cover = greedy_clique_cover(g);
+  ASSERT_EQ(cover.clique_of.size(), g.vertex_count());
+  for (VertexId u = 0; u < g.vertex_count(); ++u) {
+    EXPECT_LT(cover.clique_of[u], cover.count);
+    for (VertexId v = u + 1; v < g.vertex_count(); ++v) {
+      if (cover.clique_of[u] == cover.clique_of[v]) {
+        EXPECT_TRUE(g.has_edge(u, v));
+      }
+    }
+  }
+}
+
+TEST(CliqueCoverTest, CompleteGraphIsOneClique) {
+  const auto cover = greedy_clique_cover(complete(8));
+  EXPECT_EQ(cover.count, 1u);
+}
+
+TEST(CliqueCoverTest, EdgelessGraphIsAllSingletons) {
+  const auto cover = greedy_clique_cover(Graph::from_edges(5, {}));
+  EXPECT_EQ(cover.count, 5u);
+}
+
+TEST(PowerGraphTest, PathPowers) {
+  const Graph g = path(6);
+  const Graph g2 = power_graph(g, 2);
+  EXPECT_TRUE(g2.has_edge(0, 1));
+  EXPECT_TRUE(g2.has_edge(0, 2));
+  EXPECT_FALSE(g2.has_edge(0, 3));
+  const Graph g1 = power_graph(g, 1);
+  EXPECT_EQ(g1, g);
+  const Graph g5 = power_graph(g, 5);
+  EXPECT_EQ(g5.edge_count(), 15u);  // complete on 6 vertices
+}
+
+TEST(PermutationCheckTest, DetectsBadOrders) {
+  const Graph g = ring(4);
+  EXPECT_TRUE(is_vertex_permutation(g, {3, 1, 0, 2}));
+  EXPECT_FALSE(is_vertex_permutation(g, {0, 1, 2}));      // too short
+  EXPECT_FALSE(is_vertex_permutation(g, {0, 1, 2, 2}));   // repeat
+  EXPECT_FALSE(is_vertex_permutation(g, {0, 1, 2, 4}));   // out of range
+}
+
+}  // namespace
+}  // namespace pslocal

@@ -1,0 +1,125 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "mis/exact_maxis.hpp"
+
+namespace pslocal {
+namespace {
+
+TEST(GnpTest, ExtremeProbabilities) {
+  Rng rng(1);
+  EXPECT_EQ(gnp(20, 0.0, rng).edge_count(), 0u);
+  EXPECT_EQ(gnp(20, 1.0, rng).edge_count(), 190u);
+}
+
+TEST(GnpTest, EdgeCountNearExpectation) {
+  Rng rng(2);
+  const std::size_t n = 200;
+  const double p = 0.1;
+  double total = 0;
+  const int reps = 20;
+  for (int i = 0; i < reps; ++i)
+    total += static_cast<double>(gnp(n, p, rng).edge_count());
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(total / reps, expected, expected * 0.1);
+}
+
+TEST(RingPathGridTest, Structure) {
+  EXPECT_EQ(ring(5).edge_count(), 5u);
+  EXPECT_EQ(ring(5).max_degree(), 2u);
+  EXPECT_THROW(ring(2), ContractViolation);
+  EXPECT_EQ(path(1).edge_count(), 0u);
+  EXPECT_EQ(path(5).edge_count(), 4u);
+  const Graph g = grid(3, 4);
+  EXPECT_EQ(g.vertex_count(), 12u);
+  EXPECT_EQ(g.edge_count(), 3u * 3 + 2u * 4);  // vertical + horizontal
+  EXPECT_EQ(g.max_degree(), 4u);
+}
+
+TEST(CompleteTest, Structure) {
+  EXPECT_EQ(complete(6).edge_count(), 15u);
+  const Graph kb = complete_bipartite(3, 4);
+  EXPECT_EQ(kb.edge_count(), 12u);
+  EXPECT_EQ(kb.vertex_count(), 7u);
+  EXPECT_FALSE(kb.has_edge(0, 1));  // same side
+  EXPECT_TRUE(kb.has_edge(0, 3));
+}
+
+TEST(DisjointCliquesTest, AlphaEqualsCliqueCount) {
+  const Graph g = disjoint_cliques({3, 1, 4, 2});
+  EXPECT_EQ(g.vertex_count(), 10u);
+  EXPECT_EQ(independence_number(g), 4u);
+  const auto comp = connected_components(g);
+  EXPECT_EQ(comp.count, 4u);
+}
+
+TEST(NearRegularTest, DegreeBounded) {
+  Rng rng(3);
+  const Graph g = random_near_regular(50, 6, rng);
+  EXPECT_LE(g.max_degree(), 6u);
+  EXPECT_GT(g.edge_count(), 0u);
+}
+
+TEST(PowerLawTest, ProducesHeavyTail) {
+  Rng rng(4);
+  const Graph g = power_law(300, 2.5, 4.0, rng);
+  EXPECT_EQ(g.vertex_count(), 300u);
+  EXPECT_GT(g.edge_count(), 100u);
+  // Heavy tail: max degree well above the average.
+  EXPECT_GT(static_cast<double>(g.max_degree()), 2.0 * g.average_degree());
+}
+
+TEST(RandomTreeTest, IsATree) {
+  Rng rng(5);
+  const Graph g = random_tree(80, rng);
+  EXPECT_EQ(g.edge_count(), 79u);
+  EXPECT_EQ(connected_components(g).count, 1u);
+}
+
+TEST(HypercubeTest, Structure) {
+  const Graph q3 = hypercube(3);
+  EXPECT_EQ(q3.vertex_count(), 8u);
+  EXPECT_EQ(q3.edge_count(), 12u);  // d * 2^{d-1}
+  EXPECT_EQ(q3.max_degree(), 3u);
+  EXPECT_EQ(diameter(q3), 3u);
+  // Bipartite: alpha = 2^{d-1}.
+  EXPECT_EQ(independence_number(q3), 4u);
+  const Graph q0 = hypercube(0);
+  EXPECT_EQ(q0.vertex_count(), 1u);
+}
+
+TEST(CaterpillarTest, Structure) {
+  const Graph g = caterpillar(4, 2);
+  EXPECT_EQ(g.vertex_count(), 12u);
+  EXPECT_EQ(g.edge_count(), 11u);  // spine 3 + legs 8; it's a tree
+  EXPECT_EQ(connected_components(g).count, 1u);
+  EXPECT_EQ(degeneracy_order(g).degeneracy, 1u);
+  // All leaves + alternating spine: alpha = 8 + ... leaves alone give 8;
+  // spine vertices all adjacent to taken leaves' parents... compute:
+  EXPECT_EQ(independence_number(g), 8u);
+}
+
+TEST(RandomBipartiteTest, SidesStayIndependent) {
+  Rng rng(17);
+  const Graph g = random_bipartite(10, 14, 0.4, rng);
+  EXPECT_EQ(g.vertex_count(), 24u);
+  for (VertexId u = 0; u < 10; ++u)
+    for (VertexId v = u + 1; v < 10; ++v) EXPECT_FALSE(g.has_edge(u, v));
+  for (VertexId u = 10; u < 24; ++u)
+    for (VertexId v = u + 1; v < 24; ++v) EXPECT_FALSE(g.has_edge(u, v));
+}
+
+class GnpSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GnpSeedTest, DeterministicPerSeed) {
+  Rng a(GetParam()), b(GetParam());
+  EXPECT_EQ(gnp(40, 0.2, a), gnp(40, 0.2, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GnpSeedTest,
+                         ::testing::Values(1, 7, 42, 9999));
+
+}  // namespace
+}  // namespace pslocal

@@ -1,0 +1,122 @@
+#include "mis/greedy_maxis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "mis/degraded_oracle.hpp"
+#include "mis/exact_maxis.hpp"
+#include "mis/independent_set.hpp"
+
+namespace pslocal {
+namespace {
+
+std::vector<VertexId> identity_order(const Graph& g) {
+  std::vector<VertexId> order(g.vertex_count());
+  std::iota(order.begin(), order.end(), VertexId{0});
+  return order;
+}
+
+TEST(GreedyInOrderTest, IsTheSLocalGreedy) {
+  const Graph g = path(5);
+  // Identity order on a path picks 0, 2, 4.
+  EXPECT_EQ(greedy_mis_in_order(g, identity_order(g)),
+            (std::vector<VertexId>{0, 2, 4}));
+  // Reverse order picks 4, 2, 0.
+  std::vector<VertexId> rev{4, 3, 2, 1, 0};
+  EXPECT_EQ(greedy_mis_in_order(g, rev), (std::vector<VertexId>{4, 2, 0}));
+}
+
+TEST(GreedyInOrderTest, BadOrderViolatesContract) {
+  const Graph g = path(3);
+  EXPECT_THROW(greedy_mis_in_order(g, {0, 1}), ContractViolation);
+}
+
+class GreedyFamilyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GreedyFamilyTest, AllGreedyVariantsProduceValidSets) {
+  Rng rng(GetParam());
+  const Graph g = gnp(70, 0.12, rng);
+  const auto a = greedy_min_degree_maxis(g);
+  EXPECT_TRUE(is_maximal_independent_set(g, a));
+  const auto b = clique_cover_greedy_maxis(g);
+  EXPECT_TRUE(is_independent_set(g, b));
+  RandomGreedyOracle oracle(GetParam());
+  const auto c = oracle.solve(g);
+  EXPECT_TRUE(is_maximal_independent_set(g, c));
+  // Turán-type floor: any MIS has size >= n/(Δ+1).
+  const double floor_bound = static_cast<double>(g.vertex_count()) /
+                             (static_cast<double>(g.max_degree()) + 1.0);
+  EXPECT_GE(static_cast<double>(a.size()), floor_bound);
+  EXPECT_GE(static_cast<double>(c.size()), floor_bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyFamilyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(GreedyMinDegreeTest, OptimalOnSimpleFamilies) {
+  EXPECT_EQ(greedy_min_degree_maxis(path(9)).size(), 5u);
+  EXPECT_EQ(greedy_min_degree_maxis(ring(10)).size(), 5u);
+  EXPECT_EQ(greedy_min_degree_maxis(complete(6)).size(), 1u);
+  EXPECT_EQ(greedy_min_degree_maxis(disjoint_cliques({3, 3, 3})).size(), 3u);
+  EXPECT_EQ(greedy_min_degree_maxis(complete_bipartite(2, 9)).size(), 9u);
+}
+
+TEST(GreedyMinDegreeTest, HalldorssonRatioOnRandomGraphs) {
+  // (Δ+2)/3 worst-case ratio; verify on instances with known alpha.
+  Rng rng(33);
+  for (int rep = 0; rep < 6; ++rep) {
+    const Graph g = gnp(24, 0.3, rng);
+    const auto greedy = greedy_min_degree_maxis(g);
+    const auto alpha = independence_number(g);
+    const double ratio = static_cast<double>(alpha) /
+                         static_cast<double>(greedy.size());
+    EXPECT_LE(ratio, (static_cast<double>(g.max_degree()) + 2.0) / 3.0);
+  }
+}
+
+TEST(CliqueCoverGreedyTest, PerfectOnDisjointCliques) {
+  const Graph g = disjoint_cliques({4, 4, 4, 4});
+  EXPECT_EQ(clique_cover_greedy_maxis(g).size(), 4u);
+}
+
+TEST(ControlledLambdaTest, TruncatesExactly) {
+  const Graph g = disjoint_cliques({2, 2, 2, 2, 2, 2});  // alpha = 6
+  ControlledLambdaOracle half(2.0);
+  EXPECT_EQ(half.solve(g).size(), 3u);  // ceil(6/2)
+  ControlledLambdaOracle exact(1.0);
+  EXPECT_EQ(exact.solve(g).size(), 6u);
+  ControlledLambdaOracle four(4.0);
+  EXPECT_EQ(four.solve(g).size(), 2u);  // ceil(6/4) = 2
+  EXPECT_TRUE(is_independent_set(g, four.solve(g)));
+}
+
+TEST(ControlledLambdaTest, NeverReturnsEmptyOnNonemptyGraph) {
+  ControlledLambdaOracle oracle(100.0);
+  const auto is = oracle.solve(ring(5));
+  EXPECT_EQ(is.size(), 1u);
+}
+
+TEST(ControlledLambdaTest, GuaranteeMetAcrossRandomGraphs) {
+  Rng rng(41);
+  for (double lambda : {1.0, 1.5, 2.0, 3.0, 8.0}) {
+    ControlledLambdaOracle oracle(lambda);
+    ASSERT_EQ(*oracle.lambda_guarantee(), lambda);
+    for (int rep = 0; rep < 3; ++rep) {
+      const Graph g = gnp(20, 0.25, rng);
+      const auto alpha = independence_number(g);
+      const auto is = oracle.solve(g);
+      EXPECT_TRUE(is_independent_set(g, is));
+      EXPECT_GE(static_cast<double>(is.size()) * lambda,
+                static_cast<double>(alpha));
+    }
+  }
+}
+
+TEST(ControlledLambdaTest, InvalidLambdaViolatesContract) {
+  EXPECT_THROW(ControlledLambdaOracle(0.5), ContractViolation);
+}
+
+}  // namespace
+}  // namespace pslocal

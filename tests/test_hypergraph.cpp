@@ -1,0 +1,117 @@
+#include "hypergraph/hypergraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/properties.hpp"
+
+namespace pslocal {
+namespace {
+
+Hypergraph make_sample() {
+  // V = {0..5}; edges: {0,1,2}, {2,3}, {3,4,5}, {0,5}
+  return Hypergraph(6, {{0, 1, 2}, {2, 3}, {3, 4, 5}, {0, 5}});
+}
+
+TEST(HypergraphTest, BasicAccessors) {
+  const Hypergraph h = make_sample();
+  EXPECT_EQ(h.vertex_count(), 6u);
+  EXPECT_EQ(h.edge_count(), 4u);
+  EXPECT_EQ(h.edge_size(0), 3u);
+  EXPECT_EQ(h.rank(), 3u);
+  EXPECT_EQ(h.corank(), 2u);
+  EXPECT_TRUE(h.edge_contains(0, 1));
+  EXPECT_FALSE(h.edge_contains(1, 1));
+}
+
+TEST(HypergraphTest, EdgesStoredSorted) {
+  const Hypergraph h(4, {{3, 0, 2}});
+  const auto e = h.edge(0);
+  EXPECT_EQ(e[0], 0u);
+  EXPECT_EQ(e[1], 2u);
+  EXPECT_EQ(e[2], 3u);
+}
+
+TEST(HypergraphTest, IncidenceLists) {
+  const Hypergraph h = make_sample();
+  const auto of2 = h.edges_of(2);
+  ASSERT_EQ(of2.size(), 2u);
+  EXPECT_EQ(of2[0], 0u);
+  EXPECT_EQ(of2[1], 1u);
+  EXPECT_EQ(h.vertex_degree(1), 1u);
+  EXPECT_EQ(h.vertex_degree(5), 2u);
+}
+
+TEST(HypergraphTest, ConstructionContracts) {
+  EXPECT_THROW(Hypergraph(3, {{}}), ContractViolation);          // empty edge
+  EXPECT_THROW(Hypergraph(3, {{0, 0}}), ContractViolation);      // duplicate
+  EXPECT_THROW(Hypergraph(3, {{0, 3}}), ContractViolation);      // range
+}
+
+TEST(HypergraphTest, PrimalGraph) {
+  const Hypergraph h = make_sample();
+  const Graph p = h.primal_graph();
+  EXPECT_TRUE(p.has_edge(0, 1));
+  EXPECT_TRUE(p.has_edge(0, 2));
+  EXPECT_TRUE(p.has_edge(2, 3));
+  EXPECT_TRUE(p.has_edge(0, 5));
+  EXPECT_FALSE(p.has_edge(1, 3));
+  EXPECT_EQ(p.edge_count(), 3u + 1 + 3 + 1);
+}
+
+TEST(HypergraphTest, RestrictEdgesKeepsOriginalIds) {
+  const Hypergraph h = make_sample();
+  const Hypergraph h2 = h.restrict_edges({true, false, true, false});
+  EXPECT_EQ(h2.edge_count(), 2u);
+  EXPECT_EQ(h2.vertex_count(), 6u);
+  EXPECT_EQ(h2.original_edge_id(0), 0u);
+  EXPECT_EQ(h2.original_edge_id(1), 2u);
+  // Chained restriction maps to the root ids.
+  const Hypergraph h3 = h2.restrict_edges({false, true});
+  EXPECT_EQ(h3.edge_count(), 1u);
+  EXPECT_EQ(h3.original_edge_id(0), 2u);
+}
+
+TEST(HypergraphTest, RestrictWrongArityViolatesContract) {
+  const Hypergraph h = make_sample();
+  EXPECT_THROW(h.restrict_edges({true}), ContractViolation);
+}
+
+TEST(AlmostUniformTest, WitnessAndRejection) {
+  // Sizes {2,3}: 3 <= (1+eps)*2 iff eps >= 0.5.
+  const Hypergraph h = make_sample();
+  EXPECT_TRUE(is_almost_uniform(h, 0.5));
+  EXPECT_EQ(almost_uniform_witness(h, 0.5), std::size_t{2});
+  EXPECT_FALSE(is_almost_uniform(h, 0.49));
+  // Uniform hypergraph is almost uniform for any eps.
+  const Hypergraph u(4, {{0, 1}, {2, 3}});
+  EXPECT_TRUE(is_almost_uniform(u, 0.01));
+  // Edgeless: vacuous.
+  const Hypergraph empty(4, {});
+  EXPECT_TRUE(is_almost_uniform(empty, 0.5));
+}
+
+TEST(AlmostUniformTest, EpsilonContract) {
+  const Hypergraph h = make_sample();
+  EXPECT_THROW(is_almost_uniform(h, 0.0), ContractViolation);
+  EXPECT_THROW(is_almost_uniform(h, 1.5), ContractViolation);
+}
+
+TEST(StatsTest, Summary) {
+  const auto s = hypergraph_stats(make_sample());
+  EXPECT_EQ(s.vertices, 6u);
+  EXPECT_EQ(s.edges, 4u);
+  EXPECT_EQ(s.rank, 3u);
+  EXPECT_EQ(s.corank, 2u);
+  EXPECT_EQ(s.incidence_size, 10u);
+  EXPECT_DOUBLE_EQ(s.avg_edge_size, 2.5);
+  EXPECT_EQ(s.max_vertex_degree, 2u);
+}
+
+TEST(DistinctEdgesTest, DetectsDuplicates) {
+  EXPECT_TRUE(has_distinct_edges(make_sample()));
+  const Hypergraph dup(3, {{0, 1}, {1, 0}});
+  EXPECT_FALSE(has_distinct_edges(dup));
+}
+
+}  // namespace
+}  // namespace pslocal

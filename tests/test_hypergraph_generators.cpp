@@ -1,0 +1,137 @@
+#include "hypergraph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "coloring/conflict_free.hpp"
+#include "hypergraph/properties.hpp"
+
+namespace pslocal {
+namespace {
+
+struct PlantedCase {
+  std::size_t n, m, k;
+  double eps;
+};
+
+class PlantedTest : public ::testing::TestWithParam<PlantedCase> {};
+
+TEST_P(PlantedTest, PlantedColoringIsConflictFree) {
+  const auto p = GetParam();
+  Rng rng(1000 + p.n + p.m * 7 + p.k * 31);
+  PlantedCfParams params;
+  params.n = p.n;
+  params.m = p.m;
+  params.k = p.k;
+  params.epsilon = p.eps;
+  const auto inst = planted_cf_colorable(params, rng);
+
+  EXPECT_EQ(inst.hypergraph.vertex_count(), p.n);
+  EXPECT_EQ(inst.hypergraph.edge_count(), p.m);
+  EXPECT_EQ(inst.k, p.k);
+  ASSERT_EQ(inst.planted_coloring.size(), p.n);
+  for (auto c : inst.planted_coloring) {
+    EXPECT_GE(c, 1u);
+    EXPECT_LE(c, p.k);
+  }
+  EXPECT_TRUE(is_conflict_free(inst.hypergraph,
+                               CfColoring(inst.planted_coloring)));
+}
+
+TEST_P(PlantedTest, AlmostUniformWithSizesInRange) {
+  const auto p = GetParam();
+  Rng rng(2000 + p.n + p.m * 7 + p.k * 31);
+  PlantedCfParams params;
+  params.n = p.n;
+  params.m = p.m;
+  params.k = p.k;
+  params.epsilon = p.eps;
+  const auto inst = planted_cf_colorable(params, rng);
+
+  EXPECT_TRUE(is_almost_uniform(inst.hypergraph, p.eps));
+  const auto max_size = static_cast<std::size_t>((1.0 + p.eps) * p.k);
+  for (EdgeId e = 0; e < inst.hypergraph.edge_count(); ++e) {
+    EXPECT_GE(inst.hypergraph.edge_size(e), p.k);
+    EXPECT_LE(inst.hypergraph.edge_size(e), max_size);
+  }
+}
+
+TEST_P(PlantedTest, EveryEdgeSubsetStaysColorable) {
+  // The reduction relies on H_i ⊆ H admitting the CF k-coloring; spot
+  // check a random restriction.
+  const auto p = GetParam();
+  Rng rng(3000 + p.n + p.m);
+  PlantedCfParams params;
+  params.n = p.n;
+  params.m = p.m;
+  params.k = p.k;
+  params.epsilon = p.eps;
+  const auto inst = planted_cf_colorable(params, rng);
+  std::vector<bool> keep(p.m);
+  for (std::size_t e = 0; e < p.m; ++e) keep[e] = rng.next_bool(0.5);
+  const auto sub = inst.hypergraph.restrict_edges(keep);
+  EXPECT_TRUE(is_conflict_free(sub, CfColoring(inst.planted_coloring)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlantedTest,
+    ::testing::Values(PlantedCase{16, 8, 2, 1.0}, PlantedCase{24, 20, 3, 0.5},
+                      PlantedCase{40, 40, 4, 1.0}, PlantedCase{64, 80, 5, 0.7},
+                      PlantedCase{100, 150, 8, 0.25},
+                      PlantedCase{30, 10, 2, 0.9}));
+
+TEST(PlantedTest, TooFewVerticesViolatesContract) {
+  Rng rng(1);
+  PlantedCfParams params;
+  params.n = 5;
+  params.k = 4;
+  params.epsilon = 1.0;  // needs n >= 16
+  EXPECT_THROW(planted_cf_colorable(params, rng), ContractViolation);
+}
+
+TEST(PlantedTest, DistinctEdgesBestEffort) {
+  Rng rng(2);
+  PlantedCfParams params;
+  params.n = 60;
+  params.m = 40;
+  params.k = 3;
+  const auto inst = planted_cf_colorable(params, rng);
+  EXPECT_TRUE(has_distinct_edges(inst.hypergraph));
+}
+
+TEST(IntervalTest, EdgesAreIntervals) {
+  Rng rng(3);
+  const auto h = interval_hypergraph(50, 30, 2, 8, rng);
+  EXPECT_EQ(h.edge_count(), 30u);
+  for (EdgeId e = 0; e < h.edge_count(); ++e) {
+    const auto verts = h.edge(e);
+    EXPECT_GE(verts.size(), 2u);
+    EXPECT_LE(verts.size(), 8u);
+    for (std::size_t i = 1; i < verts.size(); ++i)
+      EXPECT_EQ(verts[i], verts[i - 1] + 1);
+  }
+}
+
+TEST(IntervalTest, AllIntervalsCount) {
+  const auto h = all_intervals(6, 2, 3);
+  // Length-2 intervals: 5; length-3: 4.
+  EXPECT_EQ(h.edge_count(), 9u);
+}
+
+TEST(IntervalTest, BadLengthsViolateContract) {
+  Rng rng(4);
+  EXPECT_THROW(interval_hypergraph(10, 5, 0, 3, rng), ContractViolation);
+  EXPECT_THROW(interval_hypergraph(10, 5, 4, 3, rng), ContractViolation);
+  EXPECT_THROW(interval_hypergraph(10, 5, 2, 11, rng), ContractViolation);
+}
+
+TEST(RandomUniformTest, UniformSizes) {
+  Rng rng(5);
+  const auto h = random_uniform_hypergraph(30, 25, 4, rng);
+  EXPECT_EQ(h.edge_count(), 25u);
+  for (EdgeId e = 0; e < h.edge_count(); ++e)
+    EXPECT_EQ(h.edge_size(e), 4u);
+  EXPECT_TRUE(is_almost_uniform(h, 0.01));
+}
+
+}  // namespace
+}  // namespace pslocal

@@ -1,0 +1,74 @@
+#include "hypergraph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "hypergraph/generators.hpp"
+
+namespace pslocal {
+namespace {
+
+bool same_hypergraph(const Hypergraph& a, const Hypergraph& b) {
+  if (a.vertex_count() != b.vertex_count()) return false;
+  if (a.edge_count() != b.edge_count()) return false;
+  for (EdgeId e = 0; e < a.edge_count(); ++e) {
+    const auto ea = a.edge(e);
+    const auto eb = b.edge(e);
+    if (!std::equal(ea.begin(), ea.end(), eb.begin(), eb.end())) return false;
+  }
+  return true;
+}
+
+TEST(HypergraphIoTest, RoundTrip) {
+  Rng rng(4);
+  PlantedCfParams params;
+  params.n = 20;
+  params.m = 12;
+  params.k = 3;
+  const auto inst = planted_cf_colorable(params, rng);
+  std::stringstream ss;
+  write_hypergraph(ss, inst.hypergraph);
+  const auto back = read_hypergraph(ss);
+  EXPECT_TRUE(same_hypergraph(inst.hypergraph, back));
+}
+
+TEST(HypergraphIoTest, RejectsTruncatedInput) {
+  std::stringstream ss("4 2\n2 0 1\n3 1 2\n");  // edge 1 missing a vertex
+  EXPECT_THROW(read_hypergraph(ss), ContractViolation);
+  std::stringstream empty("");
+  EXPECT_THROW(read_hypergraph(empty), ContractViolation);
+}
+
+TEST(HypergraphIoTest, EdgelessRoundTrip) {
+  const Hypergraph h(7, {});
+  std::stringstream ss;
+  write_hypergraph(ss, h);
+  const auto back = read_hypergraph(ss);
+  EXPECT_EQ(back.vertex_count(), 7u);
+  EXPECT_EQ(back.edge_count(), 0u);
+}
+
+TEST(NeighborhoodHypergraphTest, ClosedNeighborhoods) {
+  const Graph g = path(4);  // 0-1-2-3
+  const auto h = closed_neighborhood_hypergraph(g);
+  EXPECT_EQ(h.edge_count(), 4u);
+  const auto e0 = h.edge(0);
+  EXPECT_EQ(std::vector<VertexId>(e0.begin(), e0.end()),
+            (std::vector<VertexId>{0, 1}));
+  const auto e1 = h.edge(1);
+  EXPECT_EQ(std::vector<VertexId>(e1.begin(), e1.end()),
+            (std::vector<VertexId>{0, 1, 2}));
+}
+
+TEST(NeighborhoodHypergraphTest, ReductionSolvesNeighborhoodInstances) {
+  // CF coloring of graph neighborhoods via the paper's reduction: the
+  // closed neighborhoods of a ring admit a CF 3-coloring, so k = 3 works.
+  const auto h = closed_neighborhood_hypergraph(ring(12));
+  EXPECT_EQ(h.rank(), 3u);
+  EXPECT_EQ(h.corank(), 3u);
+}
+
+}  // namespace
+}  // namespace pslocal

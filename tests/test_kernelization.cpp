@@ -1,0 +1,120 @@
+#include "mis/kernelization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/reduction.hpp"
+#include "graph/generators.hpp"
+#include "hypergraph/generators.hpp"
+#include "mis/exact_maxis.hpp"
+#include "mis/greedy_maxis.hpp"
+#include "mis/independent_set.hpp"
+
+namespace pslocal {
+namespace {
+
+TEST(KernelizationTest, TreesReduceCompletely) {
+  // Pendant folding alone dissolves any forest.
+  Rng rng(1);
+  const Graph g = random_tree(60, rng);
+  const auto kernel = kernelize_maxis(g);
+  EXPECT_EQ(kernel.kernel.vertex_count(), 0u);
+  EXPECT_EQ(kernel.forced.size(), independence_number(g));
+  EXPECT_TRUE(is_independent_set(g, kernel.forced));
+}
+
+TEST(KernelizationTest, IsolatedVerticesAreForced) {
+  const Graph g = Graph::from_edges(5, {{0, 1}});
+  const auto kernel = kernelize_maxis(g);
+  // 2, 3, 4 isolated -> forced; {0,1} is a pendant pair -> one forced.
+  EXPECT_EQ(kernel.forced.size(), 4u);
+  EXPECT_EQ(kernel.kernel.vertex_count(), 0u);
+  EXPECT_GE(kernel.isolated_applications, 3u);
+}
+
+TEST(KernelizationTest, CliquesShrinkByDomination) {
+  // In K_n every pair dominates; domination peels K_7 down to K_2 (five
+  // applications), then the pendant rule forces one endpoint.
+  const auto kernel = kernelize_maxis(complete(7));
+  EXPECT_EQ(kernel.kernel.vertex_count(), 0u);
+  EXPECT_EQ(kernel.forced.size(), 1u);
+  EXPECT_GE(kernel.domination_applications, 5u);
+}
+
+TEST(KernelizationTest, EvenRingsAreIrreducible) {
+  // C_n (n >= 6 even) has min degree 2 and no closed domination, so no
+  // rule fires: the kernel is the ring itself.
+  const auto kernel = kernelize_maxis(ring(8));
+  EXPECT_EQ(kernel.kernel.vertex_count(), 8u);
+  EXPECT_TRUE(kernel.forced.empty());
+  EXPECT_EQ(kernel.kernel.edge_count(), 8u);
+}
+
+class KernelAlphaTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KernelAlphaTest, AlphaIsPreserved) {
+  Rng rng(GetParam());
+  const Graph g = gnp(30, 0.12, rng);
+  const auto kernel = kernelize_maxis(g);
+  const auto alpha_kernel =
+      kernel.kernel.vertex_count() == 0
+          ? 0
+          : independence_number(kernel.kernel);
+  EXPECT_EQ(kernel.forced.size() + alpha_kernel, independence_number(g));
+}
+
+TEST_P(KernelAlphaTest, LiftedSolutionsAreIndependent) {
+  Rng rng(GetParam() + 70);
+  const Graph g = gnp(28, 0.15, rng);
+  const auto kernel = kernelize_maxis(g);
+  std::vector<VertexId> kernel_is;
+  if (kernel.kernel.vertex_count() > 0)
+    kernel_is = ExactMaxIS().solve(kernel.kernel).set;
+  const auto lifted = lift_kernel_solution(kernel, kernel_is);
+  EXPECT_TRUE(is_independent_set(g, lifted));
+  EXPECT_EQ(lifted.size(), independence_number(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelAlphaTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7));
+
+TEST(KernelizedOracleTest, ExactInnerStaysExact) {
+  Rng rng(99);
+  KernelizedOracle oracle(std::make_unique<ExactOracle>());
+  EXPECT_EQ(oracle.name(), "kernel+exact");
+  ASSERT_TRUE(oracle.lambda_guarantee().has_value());
+  for (int rep = 0; rep < 4; ++rep) {
+    const Graph g = gnp(26, 0.15, rng);
+    EXPECT_EQ(oracle.solve(g).size(), independence_number(g));
+  }
+}
+
+TEST(KernelizedOracleTest, GreedyInnerNeverLosesToPlainGreedy) {
+  Rng rng(101);
+  const Graph g = random_tree(80, rng);  // kernel dissolves trees entirely
+  KernelizedOracle oracle(std::make_unique<GreedyMinDegreeOracle>());
+  const auto is = oracle.solve(g);
+  EXPECT_TRUE(is_independent_set(g, is));
+  EXPECT_EQ(is.size(), independence_number(g));  // optimal on forests
+}
+
+TEST(KernelizedOracleTest, DrivesTheReduction) {
+  Rng rng(103);
+  PlantedCfParams params;
+  params.n = 30;
+  params.m = 18;
+  params.k = 2;
+  const auto inst = planted_cf_colorable(params, rng);
+  KernelizedOracle oracle(std::make_unique<GreedyMinDegreeOracle>());
+  ReductionOptions opts;
+  opts.k = 2;
+  const auto res = cf_multicoloring_via_maxis(inst.hypergraph, oracle, opts);
+  EXPECT_TRUE(res.success);
+}
+
+TEST(KernelizationTest, LiftRejectsDependentKernelSets) {
+  const auto kernel = kernelize_maxis(ring(8));
+  EXPECT_THROW(lift_kernel_solution(kernel, {0, 1}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace pslocal

@@ -1,0 +1,102 @@
+#include "local/linial_coloring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "coloring/coloring.hpp"
+#include "graph/generators.hpp"
+#include "local/from_coloring.hpp"
+
+namespace pslocal {
+namespace {
+
+TEST(PrimeHelperTest, NextPrimeAbove) {
+  EXPECT_EQ(next_prime_above(0), 2u);
+  EXPECT_EQ(next_prime_above(2), 3u);
+  EXPECT_EQ(next_prime_above(3), 5u);
+  EXPECT_EQ(next_prime_above(13), 17u);
+  EXPECT_EQ(next_prime_above(100), 101u);
+}
+
+class LinialFamilyTest : public ::testing::TestWithParam<std::size_t> {};
+
+// One Linial step makes progress whenever R > max(64, 16 (Δ+1)^2): with
+// degree d = 2, q = nextprime(max(2Δ+1, R^{1/3})) <= 2 max(2Δ+1, R^{1/3})
+// (Bertrand), and q^2 < R follows.  So the algorithm must only ever stop
+// at ranges below that threshold — the Θ(Δ² polylog) fixed point.
+bool progress_possible(std::size_t range, std::size_t delta) {
+  return range > std::max<std::size_t>(64, 16 * (delta + 1) * (delta + 1));
+}
+
+TEST_P(LinialFamilyTest, ReachesTheDeltaSquaredFixedPoint) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  const std::vector<Graph> graphs = {
+      ring(n),
+      random_tree(n, rng),
+      gnp(n, 3.0 / static_cast<double>(n), rng),
+  };
+  for (const auto& g : graphs) {
+    const auto res = linial_coloring(g);
+    EXPECT_TRUE(is_proper_coloring(g, res.coloring));
+    for (auto c : res.coloring) EXPECT_LT(c, res.colors_range);
+    // Stopped at a genuine fixed point.
+    EXPECT_FALSE(progress_possible(res.colors_range, g.max_degree()));
+    // The range trace is strictly decreasing after the start.
+    for (std::size_t i = 1; i < res.range_trace.size(); ++i)
+      EXPECT_LT(res.range_trace[i], res.range_trace[i - 1]);
+    // Rounds = number of reduction steps (log*-ish, single digits here).
+    EXPECT_EQ(res.rounds, res.range_trace.size() - 1);
+    EXPECT_LE(res.rounds, 8u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LinialFamilyTest,
+                         ::testing::Values(32, 64, 128, 256, 512));
+
+TEST(LinialTest, BoundedDegreeRangeIsDeltaPolylog) {
+  // On a ring (Δ = 2) the fixed point is a constant range.
+  const auto res = linial_coloring(ring(512));
+  EXPECT_LE(res.colors_range, 64u);
+}
+
+TEST(LinialTest, RoundsGrowVerySlowly) {
+  // log*-type behaviour: going 64 -> 4096 vertices adds at most 2 steps.
+  const auto small = linial_coloring(ring(64));
+  const auto large = linial_coloring(ring(4096));
+  EXPECT_LE(large.rounds, small.rounds + 2);
+}
+
+TEST(LinialTest, EmptyAndTinyGraphs) {
+  EXPECT_TRUE(linial_coloring(Graph{}).coloring.empty());
+  const Graph single = Graph::from_edges(1, {});
+  const auto res = linial_coloring(single);
+  EXPECT_EQ(res.coloring.size(), 1u);
+}
+
+TEST(LinialPipelineTest, LinialPlusReductionGivesDeltaPlusOne) {
+  Rng rng(5);
+  const Graph g = gnp(128, 4.0 / 128.0, rng);
+  const auto linial = linial_coloring(g);
+  const auto reduced = color_reduction(g, linial.coloring);
+  EXPECT_TRUE(is_proper_coloring(g, reduced.coloring));
+  EXPECT_LE(color_count(reduced.coloring), g.max_degree() + 1);
+  // One round per eliminated class: at most range - (Δ+1) rounds.
+  EXPECT_LE(reduced.rounds + g.max_degree() + 1, linial.colors_range);
+}
+
+TEST(LinialPipelineTest, LinialPlusMisIsDeterministicMis) {
+  Rng rng(6);
+  const Graph g = gnp(96, 5.0 / 96.0, rng);
+  const auto linial = linial_coloring(g);
+  const auto reduced = color_reduction(g, linial.coloring);
+  const auto mis = mis_from_coloring(g, reduced.coloring);
+  EXPECT_LE(mis.rounds, g.max_degree() + 1);
+  // Determinism: the pipeline has no randomness at all.
+  const auto mis2 =
+      mis_from_coloring(g, color_reduction(g, linial_coloring(g).coloring)
+                               .coloring);
+  EXPECT_EQ(mis.independent_set, mis2.independent_set);
+}
+
+}  // namespace
+}  // namespace pslocal

@@ -1,0 +1,61 @@
+#include "local/coloring_local.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "coloring/coloring.hpp"
+#include "graph/generators.hpp"
+
+namespace pslocal {
+namespace {
+
+class LocalColoringSeedTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(LocalColoringSeedTest, ProperDeltaPlusOneOnFamilies) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const std::vector<Graph> graphs = {
+      ring(25), grid(5, 7), complete(10), gnp(70, 0.1, rng),
+      random_tree(50, rng),
+  };
+  for (const auto& g : graphs) {
+    const auto res = local_random_coloring(g, seed);
+    EXPECT_TRUE(res.completed);
+    EXPECT_TRUE(is_proper_coloring(g, res.coloring));
+    EXPECT_LE(color_count(res.coloring), g.max_degree() + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LocalColoringSeedTest,
+                         ::testing::Values(1, 2, 3, 77));
+
+TEST(LocalColoringTest, EdgelessGraphsColorImmediately) {
+  const Graph g = Graph::from_edges(6, {});
+  const auto res = local_random_coloring(g, 1);
+  EXPECT_TRUE(res.completed);
+  for (auto c : res.coloring) EXPECT_EQ(c, 0u);  // palette {0} only
+}
+
+TEST(LocalColoringTest, DeterministicPerSeed) {
+  Rng rng(4);
+  const Graph g = gnp(50, 0.15, rng);
+  const auto a = local_random_coloring(g, 11);
+  const auto b = local_random_coloring(g, 11);
+  EXPECT_EQ(a.coloring, b.coloring);
+}
+
+TEST(LocalColoringTest, RoundsAreLogarithmic) {
+  Rng rng(5);
+  for (std::size_t n : {64u, 256u}) {
+    const Graph g = gnp(n, 6.0 / static_cast<double>(n), rng);
+    const auto res = local_random_coloring(g, 9);
+    EXPECT_TRUE(res.completed);
+    EXPECT_LE(static_cast<double>(res.rounds),
+              8.0 * std::log2(static_cast<double>(n)) + 12.0);
+  }
+}
+
+}  // namespace
+}  // namespace pslocal

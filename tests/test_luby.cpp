@@ -1,0 +1,91 @@
+#include "local/luby_mis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "mis/independent_set.hpp"
+
+namespace pslocal {
+namespace {
+
+struct LubyCase {
+  std::string name;
+  Graph graph;
+};
+
+class LubyFamilyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LubyFamilyTest, ProducesMaximalIndependentSets) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const std::vector<Graph> graphs = {
+      ring(21),
+      path(30),
+      grid(6, 6),
+      complete(12),
+      complete_bipartite(5, 9),
+      gnp(80, 0.08, rng),
+      gnp(50, 0.3, rng),
+      random_tree(64, rng),
+  };
+  for (const auto& g : graphs) {
+    const auto res = luby_mis(g, seed);
+    EXPECT_TRUE(res.completed);
+    EXPECT_TRUE(is_maximal_independent_set(g, res.independent_set));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LubyFamilyTest,
+                         ::testing::Values(1, 2, 3, 42, 1234));
+
+TEST(LubyTest, CompleteGraphSelectsExactlyOne) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto res = luby_mis(complete(15), seed);
+    EXPECT_EQ(res.independent_set.size(), 1u);
+  }
+}
+
+TEST(LubyTest, EdgelessGraphSelectsAll) {
+  const Graph g = Graph::from_edges(9, {});
+  const auto res = luby_mis(g, 3);
+  EXPECT_EQ(res.independent_set.size(), 9u);
+  EXPECT_EQ(res.iterations, 1u);
+}
+
+TEST(LubyTest, DeterministicPerSeed) {
+  Rng rng(6);
+  const Graph g = gnp(60, 0.1, rng);
+  const auto a = luby_mis(g, 99);
+  const auto b = luby_mis(g, 99);
+  EXPECT_EQ(a.independent_set, b.independent_set);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+TEST(LubyTest, RoundsAreLogarithmic) {
+  // O(log n) iterations w.h.p.; assert against a generous constant.
+  Rng rng(7);
+  for (std::size_t n : {32u, 128u, 512u}) {
+    const Graph g = gnp(n, 4.0 / static_cast<double>(n), rng);
+    const auto res = luby_mis(g, 5);
+    EXPECT_TRUE(res.completed);
+    EXPECT_LE(static_cast<double>(res.iterations),
+              6.0 * std::log2(static_cast<double>(n)) + 8.0)
+        << "n=" << n;
+  }
+}
+
+TEST(LubyTest, OracleInterfaceWorks) {
+  LubyOracle oracle(5);
+  EXPECT_EQ(oracle.name(), "luby-mis");
+  EXPECT_FALSE(oracle.lambda_guarantee().has_value());
+  const Graph g = ring(12);
+  const auto is = oracle.solve(g);
+  EXPECT_TRUE(is_maximal_independent_set(g, is));
+  // Successive calls draw fresh seeds but stay valid.
+  EXPECT_TRUE(is_maximal_independent_set(g, oracle.solve(g)));
+}
+
+}  // namespace
+}  // namespace pslocal

@@ -1,0 +1,74 @@
+#include "slocal/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.hpp"
+
+namespace pslocal {
+namespace {
+
+std::vector<VertexId> identity_order(const Graph& g) {
+  std::vector<VertexId> order(g.vertex_count());
+  std::iota(order.begin(), order.end(), VertexId{0});
+  return order;
+}
+
+TEST(MatchingVerifierTest, Basics) {
+  const Graph g = path(5);
+  EXPECT_TRUE(is_matching(g, {{0, 1}, {2, 3}}));
+  EXPECT_FALSE(is_matching(g, {{0, 1}, {1, 2}}));  // shared endpoint
+  EXPECT_FALSE(is_matching(g, {{0, 2}}));          // not an edge
+  EXPECT_TRUE(is_maximal_matching(g, {{0, 1}, {2, 3}}));
+  EXPECT_FALSE(is_maximal_matching(g, {{1, 2}}));  // edge {3,4} free
+}
+
+TEST(MaximumMatchingTest, KnownValues) {
+  EXPECT_EQ(maximum_matching_size(path(5)), 2u);
+  EXPECT_EQ(maximum_matching_size(path(6)), 3u);
+  EXPECT_EQ(maximum_matching_size(ring(6)), 3u);
+  EXPECT_EQ(maximum_matching_size(ring(7)), 3u);
+  EXPECT_EQ(maximum_matching_size(complete(5)), 2u);
+  EXPECT_EQ(maximum_matching_size(complete_bipartite(3, 5)), 3u);
+  EXPECT_EQ(maximum_matching_size(Graph::from_edges(4, {})), 0u);
+}
+
+class GreedyMatchingSeedTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(GreedyMatchingSeedTest, MaximalWithLocalityOneAndHalfOptimal) {
+  Rng rng(GetParam());
+  const Graph g = gnp(22, 0.18, rng);
+  const auto res = slocal_greedy_matching(g, identity_order(g));
+  EXPECT_TRUE(is_maximal_matching(g, res.matching));
+  if (g.edge_count() > 0) {
+    EXPECT_EQ(res.locality, 1u);
+  }
+  // Maximal matching is a 2-approximation of maximum matching.
+  const auto nu = maximum_matching_size(g);
+  EXPECT_GE(2 * res.matching.size(), nu);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyMatchingSeedTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(GreedyMatchingTest, OrderSensitivityOnAPath) {
+  const Graph g = path(4);  // edges 0-1, 1-2, 2-3
+  // Identity order: 0 grabs 1, 2 grabs 3 -> perfect matching.
+  const auto a = slocal_greedy_matching(g, {0, 1, 2, 3});
+  EXPECT_EQ(a.matching.size(), 2u);
+  // Processing 1 first: 1 grabs 0, then 2 grabs 3.
+  const auto b = slocal_greedy_matching(g, {1, 0, 2, 3});
+  EXPECT_EQ(b.matching.size(), 2u);
+}
+
+TEST(GreedyMatchingTest, EdgelessAndSingletonGraphs) {
+  const Graph g = Graph::from_edges(3, {});
+  const auto res = slocal_greedy_matching(g, identity_order(g));
+  EXPECT_TRUE(res.matching.empty());
+  EXPECT_EQ(res.locality, 1u);  // nodes still look at (empty) neighborhoods
+}
+
+}  // namespace
+}  // namespace pslocal

@@ -1,0 +1,71 @@
+#include "local/mpx_decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace pslocal {
+namespace {
+
+struct MpxCase {
+  double beta;
+  std::uint64_t seed;
+};
+
+class MpxTest : public ::testing::TestWithParam<MpxCase> {};
+
+TEST_P(MpxTest, PartitionIntoBoundedClusters) {
+  const auto [beta, seed] = GetParam();
+  Rng rng(seed);
+  const Graph g = gnp(120, 0.05, rng);
+  const auto res = mpx_clustering(g, beta, seed);
+
+  ASSERT_EQ(res.center_of.size(), g.vertex_count());
+  EXPECT_GE(res.cluster_count, 1u);
+  EXPECT_LE(res.cluster_count, g.vertex_count());
+  EXPECT_GE(res.cut_edge_fraction, 0.0);
+  EXPECT_LE(res.cut_edge_fraction, 1.0);
+  // Every center names itself (key <= 0 at the center).
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    const VertexId c = res.center_of[v];
+    EXPECT_EQ(res.center_of[c], c) << "center of a cluster must self-assign";
+  }
+  // Radius is bounded by the flooding horizon.
+  EXPECT_LE(res.max_cluster_radius, res.rounds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MpxTest,
+                         ::testing::Values(MpxCase{0.2, 1}, MpxCase{0.4, 2},
+                                           MpxCase{0.8, 3}, MpxCase{1.0, 4}));
+
+TEST(MpxTest, HighBetaShattersMoreThanLowBeta) {
+  Rng rng(9);
+  const Graph g = grid(12, 12);
+  const auto coarse = mpx_clustering(g, 0.1, 42);
+  const auto fine = mpx_clustering(g, 1.0, 42);
+  EXPECT_GT(fine.cluster_count, coarse.cluster_count);
+}
+
+TEST(MpxTest, SingletonAndEmptyGraphs) {
+  const Graph one = Graph::from_edges(1, {});
+  const auto res = mpx_clustering(one, 0.5, 1);
+  EXPECT_EQ(res.cluster_count, 1u);
+  const auto empty = mpx_clustering(Graph{}, 0.5, 1);
+  EXPECT_EQ(empty.cluster_count, 0u);
+}
+
+TEST(MpxTest, InvalidBetaViolatesContract) {
+  EXPECT_THROW(mpx_clustering(ring(5), 0.0, 1), ContractViolation);
+  EXPECT_THROW(mpx_clustering(ring(5), 1.5, 1), ContractViolation);
+}
+
+TEST(MpxTest, DeterministicPerSeed) {
+  Rng rng(10);
+  const Graph g = gnp(60, 0.08, rng);
+  const auto a = mpx_clustering(g, 0.5, 7);
+  const auto b = mpx_clustering(g, 0.5, 7);
+  EXPECT_EQ(a.center_of, b.center_of);
+}
+
+}  // namespace
+}  // namespace pslocal

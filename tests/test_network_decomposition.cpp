@@ -1,0 +1,101 @@
+#include "slocal/network_decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+
+namespace pslocal {
+namespace {
+
+void expect_valid_decomposition(const Graph& g) {
+  const auto nd = ball_growing_decomposition(g);
+  const std::size_t n = g.vertex_count();
+  EXPECT_TRUE(verify_decomposition(g, nd, decomposition_diameter_bound(n),
+                                   decomposition_color_bound(n)))
+      << "n=" << n << " clusters=" << nd.cluster_count
+      << " colors=" << nd.color_count;
+  if (n > 1) {
+    EXPECT_LE(static_cast<double>(nd.max_radius),
+              std::log2(static_cast<double>(n)));
+  }
+}
+
+TEST(NetworkDecompositionTest, Families) {
+  expect_valid_decomposition(ring(20));
+  expect_valid_decomposition(path(33));
+  expect_valid_decomposition(grid(6, 7));
+  expect_valid_decomposition(complete(12));
+  Rng rng(5);
+  expect_valid_decomposition(gnp(80, 0.05, rng));
+  expect_valid_decomposition(gnp(80, 0.3, rng));
+  expect_valid_decomposition(random_tree(90, rng));
+}
+
+TEST(NetworkDecompositionTest, DisconnectedGraph) {
+  const Graph g = disjoint_cliques({4, 4, 4});
+  expect_valid_decomposition(g);
+}
+
+TEST(NetworkDecompositionTest, SingletonsAndEmpty) {
+  const Graph g = Graph::from_edges(5, {});
+  const auto nd = ball_growing_decomposition(g);
+  EXPECT_EQ(nd.cluster_count, 5u);
+  EXPECT_EQ(nd.color_count, 1u);
+  EXPECT_TRUE(verify_decomposition(g, nd, 0, 1));
+
+  const Graph empty;
+  const auto nd2 = ball_growing_decomposition(empty);
+  EXPECT_EQ(nd2.cluster_count, 0u);
+}
+
+TEST(NetworkDecompositionTest, CompleteGraphIsOneCluster) {
+  // The doubling rule swallows K_n at radius 1 (|B(1)| = n <= 2|B(0)|
+  // fails at r=0 when n > 2, but |B(2)| = |B(1)| then stops growth at 1).
+  const Graph g = complete(10);
+  const auto nd = ball_growing_decomposition(g);
+  EXPECT_EQ(nd.cluster_count, 1u);
+  EXPECT_EQ(nd.color_count, 1u);
+}
+
+TEST(NetworkDecompositionTest, VerifierRejectsBadDecompositions) {
+  const Graph g = path(4);
+  auto nd = ball_growing_decomposition(g);
+  ASSERT_TRUE(
+      verify_decomposition(g, nd, decomposition_diameter_bound(4), 99));
+
+  // Tamper: merge everything into cluster 0 with one color but lie about
+  // the cluster count.
+  NetworkDecomposition bad;
+  bad.cluster_of = {0, 0, 1, 1};
+  bad.color_of_cluster = {0, 0};  // adjacent same-color clusters (1-2 edge)
+  bad.cluster_count = 2;
+  bad.color_count = 1;
+  EXPECT_FALSE(verify_decomposition(g, bad, 10, 10));
+
+  NetworkDecomposition too_wide;
+  too_wide.cluster_of = {0, 0, 0, 0};
+  too_wide.color_of_cluster = {0};
+  too_wide.cluster_count = 1;
+  too_wide.color_count = 1;
+  EXPECT_TRUE(verify_decomposition(g, too_wide, 3, 1));
+  EXPECT_FALSE(verify_decomposition(g, too_wide, 2, 1));  // diameter 3 > 2
+
+  NetworkDecomposition sparse_ids;
+  sparse_ids.cluster_of = {0, 0, 2, 2};  // id 1 unused -> not dense
+  sparse_ids.color_of_cluster = {0, 1, 2};
+  sparse_ids.cluster_count = 3;
+  sparse_ids.color_count = 3;
+  EXPECT_FALSE(verify_decomposition(g, sparse_ids, 10, 10));
+}
+
+TEST(NetworkDecompositionTest, BoundsFormulae) {
+  EXPECT_EQ(decomposition_diameter_bound(1), 0u);
+  EXPECT_EQ(decomposition_color_bound(1), 1u);
+  EXPECT_EQ(decomposition_diameter_bound(16), 8u);
+  EXPECT_EQ(decomposition_color_bound(16), 5u);
+}
+
+}  // namespace
+}  // namespace pslocal

@@ -1,0 +1,80 @@
+#include "slocal/orders.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "slocal/greedy_algorithms.hpp"
+
+namespace pslocal {
+namespace {
+
+class OrderStrategyTest : public ::testing::TestWithParam<OrderStrategy> {};
+
+TEST_P(OrderStrategyTest, ProducesPermutationsOnEveryFamily) {
+  Rng rng(1);
+  const std::vector<Graph> graphs = {
+      ring(12), path(9), complete(6), grid(3, 4),
+      gnp(40, 0.1, rng), Graph::from_edges(5, {}), Graph{},
+  };
+  for (const auto& g : graphs) {
+    const auto order = make_order(g, GetParam(), 7);
+    EXPECT_TRUE(is_vertex_permutation(g, order))
+        << to_string(GetParam()) << " n=" << g.vertex_count();
+  }
+}
+
+TEST_P(OrderStrategyTest, SLocalGreedyMisValidUnderEveryOrder) {
+  Rng rng(2);
+  const Graph g = gnp(50, 0.12, rng);
+  const auto order = make_order(g, GetParam(), 11);
+  const auto res = slocal_greedy_mis(g, order);
+  EXPECT_EQ(res.locality, 1u);
+  EXPECT_GE(res.independent_set.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, OrderStrategyTest,
+                         ::testing::ValuesIn(all_order_strategies()),
+                         [](const auto& info) {
+                           std::string name = to_string(info.param);
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+TEST(OrderStrategyTest, SpecificShapes) {
+  const Graph g = path(5);
+  EXPECT_EQ(make_order(g, OrderStrategy::kIdentity),
+            (std::vector<VertexId>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(make_order(g, OrderStrategy::kReverse),
+            (std::vector<VertexId>{4, 3, 2, 1, 0}));
+  // Degree ascending on a path: endpoints (deg 1) first, stable by id.
+  EXPECT_EQ(make_order(g, OrderStrategy::kDegreeAscending),
+            (std::vector<VertexId>{0, 4, 1, 2, 3}));
+  // BFS from 0 on a path is the identity.
+  EXPECT_EQ(make_order(g, OrderStrategy::kBfs),
+            (std::vector<VertexId>{0, 1, 2, 3, 4}));
+}
+
+TEST(OrderStrategyTest, RandomIsSeedDeterministic) {
+  const Graph g = ring(20);
+  EXPECT_EQ(make_order(g, OrderStrategy::kRandom, 5),
+            make_order(g, OrderStrategy::kRandom, 5));
+  EXPECT_NE(make_order(g, OrderStrategy::kRandom, 5),
+            make_order(g, OrderStrategy::kRandom, 6));
+}
+
+TEST(OrderStrategyTest, BfsCoversDisconnectedGraphs) {
+  const Graph g = disjoint_cliques({3, 4});
+  const auto order = make_order(g, OrderStrategy::kBfs);
+  EXPECT_TRUE(is_vertex_permutation(g, order));
+}
+
+TEST(OrderStrategyTest, NamesAreDistinct) {
+  std::set<std::string> names;
+  for (auto s : all_order_strategies()) names.insert(to_string(s));
+  EXPECT_EQ(names.size(), all_order_strategies().size());
+}
+
+}  // namespace
+}  // namespace pslocal

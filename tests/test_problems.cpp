@@ -1,0 +1,57 @@
+#include "core/problems.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace pslocal {
+namespace {
+
+TEST(ProblemCatalogueTest, ContainsThePapersTheorem) {
+  const auto& cat = problem_catalogue();
+  const auto it = std::find_if(cat.begin(), cat.end(), [](const auto& p) {
+    return p.name.find("MaxIS approximation") != std::string::npos;
+  });
+  ASSERT_NE(it, cat.end());
+  EXPECT_EQ(it->status, PSLocalStatus::kPSLocalComplete);
+  EXPECT_NE(it->reference.find("Theorem 1.1"), std::string::npos);
+}
+
+TEST(ProblemCatalogueTest, MisAndColoringAreOpen) {
+  const auto& cat = problem_catalogue();
+  std::size_t open = 0;
+  for (const auto& p : cat)
+    if (p.status == PSLocalStatus::kCompletenessOpen) ++open;
+  EXPECT_EQ(open, 2u);  // MIS and (Δ+1)-coloring, the paper's open problems
+}
+
+TEST(ProblemCatalogueTest, EveryEntryIsDocumented) {
+  for (const auto& p : problem_catalogue()) {
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_FALSE(p.description.empty());
+    EXPECT_FALSE(p.reference.empty());
+    EXPECT_FALSE(p.implementation.empty());
+    EXPECT_FALSE(to_string(p.status).empty());
+  }
+}
+
+TEST(ProblemCatalogueTest, EverySelfCheckPasses) {
+  for (const auto& p : problem_catalogue()) {
+    ASSERT_TRUE(static_cast<bool>(p.self_check)) << p.name;
+    EXPECT_TRUE(p.self_check()) << p.name;
+  }
+}
+
+TEST(ProblemCatalogueTest, CompleteProblemsNameTheirSource) {
+  for (const auto& p : problem_catalogue()) {
+    if (p.status == PSLocalStatus::kPSLocalComplete) {
+      const bool cited = p.reference.find("GKM17") != std::string::npos ||
+                         p.reference.find("GHK18") != std::string::npos ||
+                         p.reference.find("Theorem 1.1") != std::string::npos;
+      EXPECT_TRUE(cited) << p.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pslocal

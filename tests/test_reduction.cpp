@@ -1,0 +1,249 @@
+#include "core/reduction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "hypergraph/generators.hpp"
+#include "local/luby_mis.hpp"
+#include "mis/degraded_oracle.hpp"
+#include "mis/exact_maxis.hpp"
+#include "mis/greedy_maxis.hpp"
+#include "slocal/ball_carving.hpp"
+
+namespace pslocal {
+namespace {
+
+PlantedCfInstance planted(std::size_t n, std::size_t m, std::size_t k,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  PlantedCfParams params;
+  params.n = n;
+  params.m = m;
+  params.k = k;
+  return planted_cf_colorable(params, rng);
+}
+
+MaxISOraclePtr make_oracle(const std::string& kind) {
+  if (kind == "exact") return std::make_unique<ExactOracle>();
+  if (kind == "greedy-mindeg") return std::make_unique<GreedyMinDegreeOracle>();
+  if (kind == "greedy-clique")
+    return std::make_unique<CliqueCoverGreedyOracle>();
+  if (kind == "greedy-random") return std::make_unique<RandomGreedyOracle>(7);
+  if (kind == "luby") return std::make_unique<LubyOracle>(7);
+  if (kind == "carving") return std::make_unique<BallCarvingOracle>();
+  throw std::logic_error("unknown oracle " + kind);
+}
+
+class ReductionOracleTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ReductionOracleTest, SolvesPlantedInstances) {
+  // The carving oracle runs exact MaxIS inside balls, which on dense
+  // conflict graphs means nearly the whole graph — keep its instance small.
+  const bool heavy = GetParam() == "carving";
+  const auto inst =
+      heavy ? planted(20, 10, 2, 55) : planted(36, 24, 3, 55);
+  auto oracle = make_oracle(GetParam());
+  ReductionOptions opts;
+  opts.k = heavy ? 2 : 3;
+  const auto res = cf_multicoloring_via_maxis(inst.hypergraph, *oracle, opts);
+  EXPECT_TRUE(res.success) << GetParam();
+  EXPECT_TRUE(is_conflict_free(inst.hypergraph, res.coloring));
+  EXPECT_LE(res.colors_used, res.palette_bound);
+  EXPECT_EQ(res.palette_bound, opts.k * res.phases);
+  // Trace sanity: |E_i| strictly decreases; |I_i| <= removals.
+  for (std::size_t i = 0; i < res.trace.size(); ++i) {
+    const auto& t = res.trace[i];
+    EXPECT_EQ(t.phase, i + 1);
+    EXPECT_GE(t.happy_removed, t.is_size);
+    if (i > 0) {
+      EXPECT_EQ(t.edges_before, res.trace[i - 1].edges_before -
+                                    res.trace[i - 1].happy_removed);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Oracles, ReductionOracleTest,
+                         ::testing::Values("exact", "greedy-mindeg",
+                                           "greedy-clique", "greedy-random",
+                                           "luby", "carving"));
+
+TEST(ReductionTest, ExactOracleFinishesInOnePhase) {
+  // With lambda = 1 the oracle returns a maximum IS of size |E_i|, making
+  // every edge happy at once.
+  const auto inst = planted(24, 12, 2, 66);
+  ExactOracle oracle;
+  ReductionOptions opts;
+  opts.k = 2;
+  const auto res = cf_multicoloring_via_maxis(inst.hypergraph, oracle, opts);
+  EXPECT_TRUE(res.success);
+  EXPECT_EQ(res.phases, 1u);
+  EXPECT_TRUE(res.within_rho);
+}
+
+class ControlledLambdaPhaseTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ControlledLambdaPhaseTest, PhasesRespectPaperBound) {
+  const double lambda = GetParam();
+  const auto inst = planted(30, 16, 2, 77);
+  ControlledLambdaOracle oracle(lambda);
+  ReductionOptions opts;
+  opts.k = 2;
+  const auto res = cf_multicoloring_via_maxis(inst.hypergraph, oracle, opts);
+  ASSERT_TRUE(res.success);
+  const auto rho = reduction_phase_bound(lambda, 16);
+  EXPECT_EQ(res.rho_bound, rho);
+  EXPECT_LE(res.phases, rho) << "lambda=" << lambda;
+  EXPECT_TRUE(res.within_rho);
+}
+
+TEST_P(ControlledLambdaPhaseTest, GeometricEdgeDecay) {
+  const double lambda = GetParam();
+  const auto inst = planted(30, 16, 2, 88);
+  ControlledLambdaOracle oracle(lambda);
+  ReductionOptions opts;
+  opts.k = 2;
+  const auto res = cf_multicoloring_via_maxis(inst.hypergraph, oracle, opts);
+  ASSERT_TRUE(res.success);
+  // |E_{i+1}| <= (1 - 1/lambda) |E_i| from |I_i| >= |E_i|/lambda.
+  for (std::size_t i = 0; i + 1 < res.trace.size(); ++i) {
+    const double before = static_cast<double>(res.trace[i].edges_before);
+    const double after = static_cast<double>(res.trace[i + 1].edges_before);
+    EXPECT_LE(after, (1.0 - 1.0 / lambda) * before + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, ControlledLambdaPhaseTest,
+                         ::testing::Values(1.0, 1.5, 2.0, 4.0, 8.0));
+
+TEST(ReductionTest, EdgelessHypergraphSucceedsInstantly) {
+  const Hypergraph h(5, {});
+  ExactOracle oracle;
+  ReductionOptions opts;
+  opts.k = 2;
+  const auto res = cf_multicoloring_via_maxis(h, oracle, opts);
+  EXPECT_TRUE(res.success);
+  EXPECT_EQ(res.phases, 0u);
+  EXPECT_EQ(res.colors_used, 0u);
+}
+
+TEST(ReductionTest, SingleEdge) {
+  const Hypergraph h(3, {{0, 1, 2}});
+  GreedyMinDegreeOracle oracle;
+  ReductionOptions opts;
+  opts.k = 2;
+  const auto res = cf_multicoloring_via_maxis(h, oracle, opts);
+  EXPECT_TRUE(res.success);
+  EXPECT_EQ(res.phases, 1u);
+}
+
+TEST(ReductionTest, MaxPhaseCapStopsRun) {
+  const auto inst = planted(40, 30, 3, 99);
+  // Cripple progress: lambda huge -> one IS vertex per phase; cap at 2.
+  ControlledLambdaOracle oracle(1000.0);
+  ReductionOptions opts;
+  opts.k = 3;
+  opts.max_phases = 2;
+  const auto res = cf_multicoloring_via_maxis(inst.hypergraph, oracle, opts);
+  EXPECT_FALSE(res.success);
+  EXPECT_EQ(res.phases, 2u);
+  EXPECT_FALSE(res.within_rho);
+}
+
+TEST(ReductionTest, PaletteAccountingMatchesPaper) {
+  // Total colors <= k * rho, with per-phase palettes disjoint.
+  const auto inst = planted(32, 20, 2, 111);
+  ControlledLambdaOracle oracle(2.0);
+  ReductionOptions opts;
+  opts.k = 2;
+  const auto res = cf_multicoloring_via_maxis(inst.hypergraph, oracle, opts);
+  ASSERT_TRUE(res.success);
+  EXPECT_LE(res.colors_used, opts.k * res.rho_bound);
+  EXPECT_LE(res.coloring.max_color(), opts.k * res.phases);
+}
+
+TEST(ReductionTest, PhaseBoundFormula) {
+  EXPECT_EQ(reduction_phase_bound(1.0, 1), 1u);  // ceil(0) + 1
+  EXPECT_EQ(reduction_phase_bound(2.0, 10),
+            static_cast<std::size_t>(std::ceil(2.0 * std::log(10.0))) + 1);
+  EXPECT_EQ(reduction_phase_bound(3.0, 0), 0u);
+  EXPECT_THROW(reduction_phase_bound(0.5, 10), ContractViolation);
+}
+
+// --- failure injection: oracles violating their contract ---------------
+
+// Returns a *dependent* vertex set (both endpoints of some edge).
+class NonIndependentOracle final : public MaxISOracle {
+ public:
+  std::vector<VertexId> solve(const Graph& g) override {
+    const auto edges = g.edges();
+    if (edges.empty()) return {};
+    return {edges.front().first, edges.front().second};
+  }
+  std::string name() const override { return "broken-dependent"; }
+};
+
+// Returns out-of-range vertex ids.
+class OutOfRangeOracle final : public MaxISOracle {
+ public:
+  std::vector<VertexId> solve(const Graph& g) override {
+    return {static_cast<VertexId>(g.vertex_count() + 7)};
+  }
+  std::string name() const override { return "broken-range"; }
+};
+
+// Returns nothing, ever (stalls the reduction).
+class EmptyOracle final : public MaxISOracle {
+ public:
+  std::vector<VertexId> solve(const Graph&) override { return {}; }
+  std::string name() const override { return "broken-empty"; }
+};
+
+TEST(ReductionFailureInjectionTest, DependentSetIsCaughtByVerification) {
+  const auto inst = planted(24, 12, 2, 301);
+  NonIndependentOracle oracle;
+  ReductionOptions opts;
+  opts.k = 2;
+  opts.verify_phases = true;
+  EXPECT_THROW(cf_multicoloring_via_maxis(inst.hypergraph, oracle, opts),
+               ContractViolation);
+}
+
+TEST(ReductionFailureInjectionTest, OutOfRangeIdsAreCaught) {
+  const auto inst = planted(24, 12, 2, 302);
+  OutOfRangeOracle oracle;
+  ReductionOptions opts;
+  opts.k = 2;
+  // Caught regardless of the verification flag: decoding an invalid
+  // triple id violates the conflict graph's contract.
+  for (bool verify : {true, false}) {
+    opts.verify_phases = verify;
+    EXPECT_THROW(cf_multicoloring_via_maxis(inst.hypergraph, oracle, opts),
+                 ContractViolation);
+  }
+}
+
+TEST(ReductionFailureInjectionTest, EmptyOracleStallsWithoutLooping) {
+  const auto inst = planted(24, 12, 2, 303);
+  EmptyOracle oracle;
+  ReductionOptions opts;
+  opts.k = 2;
+  const auto res = cf_multicoloring_via_maxis(inst.hypergraph, oracle, opts);
+  EXPECT_FALSE(res.success);
+  EXPECT_EQ(res.phases, 1u);  // detected zero progress and stopped
+  EXPECT_EQ(res.colors_used, 0u);
+}
+
+TEST(ReductionTest, WorksWithLargerPaletteThanPlanted) {
+  // Promise only needs *some* CF k-coloring; k larger than planted is fine.
+  const auto inst = planted(30, 15, 2, 123);
+  GreedyMinDegreeOracle oracle;
+  ReductionOptions opts;
+  opts.k = 4;
+  const auto res = cf_multicoloring_via_maxis(inst.hypergraph, oracle, opts);
+  EXPECT_TRUE(res.success);
+}
+
+}  // namespace
+}  // namespace pslocal

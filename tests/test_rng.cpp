@@ -1,0 +1,166 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace pslocal {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SplitStreamsAreIndependentOfParentUse) {
+  Rng parent(7);
+  Rng s1 = parent.split(0);
+  // Splitting again with the same stream id from an untouched clone gives
+  // the same stream.
+  Rng parent2(7);
+  Rng s2 = parent2.split(0);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(s1.next_u64(), s2.next_u64());
+  // Different stream ids give different streams.
+  Rng s3 = parent2.split(1);
+  int equal = 0;
+  Rng s1b = Rng(7).split(0);
+  for (int i = 0; i < 64; ++i)
+    if (s1b.next_u64() == s3.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(5);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowZeroViolatesContract) {
+  Rng rng(5);
+  EXPECT_THROW(rng.next_below(0), ContractViolation);
+}
+
+TEST(Rng, NextIntInclusiveRange) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit w.h.p.
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBoolExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequencyRoughlyMatches) {
+  Rng rng(17);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.next_bool(0.3) ? 1 : 0;
+  const double freq = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(freq, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialIsPositiveWithRoughMean) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const double x = rng.next_exponential(2.0);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / trials, 0.5, 0.05);  // mean = 1/rate
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(21);
+  for (std::size_t n : {0u, 1u, 2u, 17u, 100u}) {
+    auto p = rng.permutation(n);
+    ASSERT_EQ(p.size(), n);
+    std::sort(p.begin(), p.end());
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(p[i], i);
+  }
+}
+
+TEST(Rng, PermutationIsShuffled) {
+  Rng rng(23);
+  const auto p = rng.permutation(200);
+  std::size_t fixed = 0;
+  for (std::size_t i = 0; i < p.size(); ++i)
+    if (p[i] == i) ++fixed;
+  EXPECT_LT(fixed, 20u);  // identity would be 200
+}
+
+class SampleWithoutReplacementTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(SampleWithoutReplacementTest, DistinctAndInRange) {
+  const auto [n, k] = GetParam();
+  Rng rng(31 + n * 1000 + k);
+  const auto sample = rng.sample_without_replacement(n, k);
+  ASSERT_EQ(sample.size(), k);
+  std::set<std::size_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), k);
+  for (auto v : sample) EXPECT_LT(v, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SampleWithoutReplacementTest,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{10, 0},
+                      std::pair<std::size_t, std::size_t>{10, 1},
+                      std::pair<std::size_t, std::size_t>{10, 3},
+                      std::pair<std::size_t, std::size_t>{10, 10},
+                      std::pair<std::size_t, std::size_t>{1000, 5},
+                      std::pair<std::size_t, std::size_t>{1000, 999},
+                      std::pair<std::size_t, std::size_t>{64, 64}));
+
+TEST(Rng, SampleLargerThanPopulationViolatesContract) {
+  Rng rng(1);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), ContractViolation);
+}
+
+TEST(Rng, ShuffleKeepsMultiset) {
+  Rng rng(37);
+  std::vector<int> v{1, 1, 2, 3, 5, 8, 13};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+}  // namespace
+}  // namespace pslocal

@@ -1,0 +1,80 @@
+#include "slocal/ruling_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "mis/independent_set.hpp"
+
+namespace pslocal {
+namespace {
+
+std::vector<VertexId> identity_order(const Graph& g) {
+  std::vector<VertexId> order(g.vertex_count());
+  std::iota(order.begin(), order.end(), VertexId{0});
+  return order;
+}
+
+struct RulingCase {
+  std::size_t alpha;
+  std::uint64_t seed;
+};
+
+class RulingSetTest : public ::testing::TestWithParam<RulingCase> {};
+
+TEST_P(RulingSetTest, GreedyGivesAlphaAlphaMinusOneRulingSet) {
+  const auto [alpha, seed] = GetParam();
+  Rng rng(seed);
+  const Graph g = gnp(80, 0.06, rng);
+  const auto res = slocal_ruling_set(g, alpha, identity_order(g));
+  EXPECT_TRUE(is_ruling_set(g, res.ruling_set, alpha,
+                            alpha >= 2 ? alpha - 1 : 0));
+  EXPECT_LE(res.locality, alpha >= 2 ? alpha - 1 : 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RulingSetTest,
+                         ::testing::Values(RulingCase{1, 1}, RulingCase{2, 2},
+                                           RulingCase{3, 3}, RulingCase{4, 4},
+                                           RulingCase{5, 5}));
+
+TEST(RulingSetTest, TwoOneRulingSetIsMis) {
+  Rng rng(9);
+  const Graph g = gnp(50, 0.1, rng);
+  const auto res = slocal_ruling_set(g, 2, identity_order(g));
+  EXPECT_TRUE(is_maximal_independent_set(g, res.ruling_set));
+  EXPECT_EQ(res.locality, 1u);
+}
+
+TEST(RulingSetTest, AlphaOneTakesEverything) {
+  const Graph g = ring(6);
+  const auto res = slocal_ruling_set(g, 1, identity_order(g));
+  EXPECT_EQ(res.ruling_set.size(), 6u);
+}
+
+TEST(RulingSetTest, PathSpacing) {
+  const Graph g = path(10);
+  const auto res = slocal_ruling_set(g, 3, identity_order(g));
+  // Identity order on a path: members at 0, 3, 6, 9.
+  EXPECT_EQ(res.ruling_set, (std::vector<VertexId>{0, 3, 6, 9}));
+}
+
+TEST(RulingSetVerifierTest, RejectsBadSets) {
+  const Graph g = path(6);
+  EXPECT_FALSE(is_ruling_set(g, {0, 1}, 3, 5));  // too close
+  EXPECT_FALSE(is_ruling_set(g, {0}, 2, 2));     // vertex 5 uncovered
+  EXPECT_TRUE(is_ruling_set(g, {0, 3}, 3, 2));
+  EXPECT_FALSE(is_ruling_set(g, {}, 2, 1));      // nonempty graph uncovered
+  EXPECT_TRUE(is_ruling_set(Graph{}, {}, 2, 1));
+  EXPECT_FALSE(is_ruling_set(g, {9}, 2, 1));     // out of range
+}
+
+TEST(RulingSetTest, DisconnectedGraphCoversEveryComponent) {
+  const Graph g = disjoint_cliques({3, 3, 3});
+  const auto res = slocal_ruling_set(g, 2, identity_order(g));
+  EXPECT_TRUE(is_ruling_set(g, res.ruling_set, 2, 1));
+  EXPECT_EQ(res.ruling_set.size(), 3u);  // one per clique
+}
+
+}  // namespace
+}  // namespace pslocal

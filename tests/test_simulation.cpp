@@ -1,0 +1,68 @@
+#include "core/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/generators.hpp"
+
+namespace pslocal {
+namespace {
+
+struct SimCase {
+  std::size_t n, m, k;
+};
+
+class HostMappingTest : public ::testing::TestWithParam<SimCase> {};
+
+TEST_P(HostMappingTest, DilationAtMostOneOnPlantedInstances) {
+  const auto p = GetParam();
+  Rng rng(640 + p.n);
+  PlantedCfParams params;
+  params.n = p.n;
+  params.m = p.m;
+  params.k = p.k;
+  const auto inst = planted_cf_colorable(params, rng);
+  const ConflictGraph cg(inst.hypergraph, p.k);
+  const auto report = analyze_host_mapping(cg);
+
+  EXPECT_EQ(report.host_count, p.n);
+  EXPECT_EQ(report.triple_count, cg.triple_count());
+  EXPECT_LE(report.max_dilation, 1u);  // the paper's simulability claim
+  EXPECT_TRUE(report.one_round_simulable);
+  EXPECT_EQ(report.rounds_per_simulated_round, 1u);
+  EXPECT_GE(report.max_load, 1u);
+  EXPECT_GT(report.avg_load, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HostMappingTest,
+                         ::testing::Values(SimCase{16, 8, 2}, SimCase{24, 16, 3},
+                                           SimCase{40, 30, 4},
+                                           SimCase{32, 20, 2}));
+
+TEST(HostMappingTest, IntervalInstancesToo) {
+  Rng rng(7);
+  const auto h = interval_hypergraph(30, 15, 2, 6, rng);
+  const ConflictGraph cg(h, 3);
+  const auto report = analyze_host_mapping(cg);
+  EXPECT_TRUE(report.one_round_simulable);
+}
+
+TEST(HostMappingTest, LoadAccountsEveryTriple) {
+  const Hypergraph h(4, {{0, 1}, {1, 2, 3}});
+  const ConflictGraph cg(h, 2);
+  const auto report = analyze_host_mapping(cg);
+  // Vertex 1 hosts triples from both edges: 2 pairs x k = 4 triples.
+  EXPECT_EQ(report.max_load, 4u);
+  EXPECT_EQ(report.triple_count, (2u + 3u) * 2u);
+}
+
+TEST(HostMappingTest, EdgelessHypergraph) {
+  const Hypergraph h(3, {});
+  const ConflictGraph cg(h, 2);
+  const auto report = analyze_host_mapping(cg);
+  EXPECT_EQ(report.triple_count, 0u);
+  EXPECT_EQ(report.max_dilation, 0u);
+  EXPECT_TRUE(report.one_round_simulable);
+}
+
+}  // namespace
+}  // namespace pslocal

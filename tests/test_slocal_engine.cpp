@@ -1,0 +1,138 @@
+#include "slocal/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.hpp"
+
+namespace pslocal {
+namespace {
+
+std::vector<VertexId> identity_order(const Graph& g) {
+  std::vector<VertexId> order(g.vertex_count());
+  std::iota(order.begin(), order.end(), VertexId{0});
+  return order;
+}
+
+TEST(SLocalEngineTest, BallVerticesMatchBfs) {
+  const Graph g = grid(4, 4);
+  auto run = run_slocal<int>(g, std::vector<int>(16, 0), identity_order(g),
+                             [&](SLocalView<int>& view) {
+                               const auto b0 = view.ball_vertices(0);
+                               EXPECT_EQ(b0.size(), 1u);
+                               EXPECT_EQ(b0[0], view.center());
+                               const auto b1 = view.ball_vertices(1);
+                               EXPECT_EQ(b1.size(),
+                                         1 + g.degree(view.center()));
+                               const auto b99 = view.ball_vertices(99);
+                               EXPECT_EQ(b99.size(), 16u);  // connected
+                             });
+  EXPECT_EQ(run.max_locality, 99u);
+}
+
+TEST(SLocalEngineTest, LocalityTracksMaxQuery) {
+  const Graph g = path(10);
+  auto run = run_slocal<int>(g, std::vector<int>(10, 0), identity_order(g),
+                             [](SLocalView<int>& view) {
+                               if (view.center() == 3)
+                                 (void)view.ball_vertices(4);
+                               else
+                                 (void)view.ball_vertices(1);
+                             });
+  EXPECT_EQ(run.max_locality, 4u);
+  EXPECT_EQ(run.locality_of[3], 4u);
+  EXPECT_EQ(run.locality_of[5], 1u);
+}
+
+TEST(SLocalEngineTest, OwnStateIsFree) {
+  const Graph g = path(5);
+  auto run = run_slocal<int>(g, std::vector<int>(5, 0), identity_order(g),
+                             [](SLocalView<int>& view) {
+                               view.own_state() = 7;
+                             });
+  EXPECT_EQ(run.max_locality, 0u);
+  for (int s : run.states) EXPECT_EQ(s, 7);
+}
+
+TEST(SLocalEngineTest, LaterNodesSeeEarlierWrites) {
+  // Sequential semantics: each node copies its predecessor's counter + 1.
+  const Graph g = path(6);
+  auto run = run_slocal<int>(g, std::vector<int>(6, 0), identity_order(g),
+                             [](SLocalView<int>& view) {
+                               const VertexId c = view.center();
+                               int prev = 0;
+                               if (c > 0) prev = view.state(c - 1);
+                               view.own_state() = prev + 1;
+                             });
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(run.states[v], int(v) + 1);
+  EXPECT_EQ(run.max_locality, 1u);  // state(c-1) is one hop away
+}
+
+TEST(SLocalEngineTest, StateReadChargesDistance) {
+  const Graph g = path(8);
+  auto run = run_slocal<int>(g, std::vector<int>(8, 0), identity_order(g),
+                             [](SLocalView<int>& view) {
+                               if (view.center() == 0)
+                                 (void)view.state(5);  // 5 hops away
+                             });
+  EXPECT_EQ(run.max_locality, 5u);
+  EXPECT_EQ(run.locality_of[0], 5u);
+}
+
+TEST(SLocalEngineTest, WriteStateChargesDistance) {
+  const Graph g = path(8);
+  auto run = run_slocal<int>(g, std::vector<int>(8, 0), identity_order(g),
+                             [](SLocalView<int>& view) {
+                               if (view.center() == 7) view.write_state(4, 99);
+                             });
+  EXPECT_EQ(run.locality_of[7], 3u);
+  EXPECT_EQ(run.states[4], 99);
+}
+
+TEST(SLocalEngineTest, UnreachableStateViolatesContract) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_THROW(
+      run_slocal<int>(g, std::vector<int>(4, 0), identity_order(g),
+                      [](SLocalView<int>& view) {
+                        if (view.center() == 0) (void)view.state(3);
+                      }),
+      ContractViolation);
+}
+
+TEST(SLocalEngineTest, BallOnDisconnectedGraphStaysInComponent) {
+  const Graph g = Graph::from_edges(5, {{0, 1}, {1, 2}});
+  auto run = run_slocal<int>(g, std::vector<int>(5, 0), identity_order(g),
+                             [](SLocalView<int>& view) {
+                               if (view.center() == 0) {
+                                 const auto b = view.ball_vertices(10);
+                                 EXPECT_EQ(b.size(), 3u);
+                               }
+                             });
+  (void)run;
+}
+
+TEST(SLocalEngineTest, BallSubgraphIsInduced) {
+  const Graph g = ring(8);
+  auto run = run_slocal<int>(g, std::vector<int>(8, 0), identity_order(g),
+                             [](SLocalView<int>& view) {
+                               if (view.center() != 0) return;
+                               const auto sub = view.ball_subgraph(2);
+                               EXPECT_EQ(sub.graph.vertex_count(), 5u);
+                               EXPECT_EQ(sub.graph.edge_count(), 4u);  // path
+                             });
+  EXPECT_EQ(run.locality_of[0], 2u);
+}
+
+TEST(SLocalEngineTest, BadOrderViolatesContract) {
+  const Graph g = path(3);
+  EXPECT_THROW(run_slocal<int>(g, std::vector<int>(3, 0), {0, 1},
+                               [](SLocalView<int>&) {}),
+               ContractViolation);
+  EXPECT_THROW(run_slocal<int>(g, std::vector<int>(2, 0), {0, 1, 2},
+                               [](SLocalView<int>&) {}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace pslocal

@@ -1,0 +1,31 @@
+// End-to-end smoke test: a planted instance through the full reduction.
+#include <gtest/gtest.h>
+
+#include "core/reduction.hpp"
+#include "hypergraph/generators.hpp"
+#include "mis/greedy_maxis.hpp"
+
+namespace pslocal {
+namespace {
+
+TEST(Smoke, ReductionSolvesPlantedInstance) {
+  Rng rng(42);
+  PlantedCfParams params;
+  params.n = 40;
+  params.m = 30;
+  params.k = 3;
+  auto inst = planted_cf_colorable(params, rng);
+  ASSERT_TRUE(is_conflict_free(inst.hypergraph,
+                               CfColoring(inst.planted_coloring)));
+
+  GreedyMinDegreeOracle oracle;
+  ReductionOptions opts;
+  opts.k = params.k;
+  const auto result = cf_multicoloring_via_maxis(inst.hypergraph, oracle, opts);
+  EXPECT_TRUE(result.success);
+  EXPECT_TRUE(is_conflict_free(inst.hypergraph, result.coloring));
+  EXPECT_GE(result.phases, 1u);
+}
+
+}  // namespace
+}  // namespace pslocal

@@ -1,0 +1,141 @@
+#include "coloring/splitting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "hypergraph/generators.hpp"
+
+namespace pslocal {
+namespace {
+
+std::vector<VertexId> identity_order(std::size_t n) {
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  return order;
+}
+
+TEST(SplittingVerifierTest, Basics) {
+  const Hypergraph h(4, {{0, 1}, {1, 2, 3}});
+  EXPECT_TRUE(is_valid_splitting(h, {false, true, false, false}));
+  EXPECT_FALSE(is_valid_splitting(h, {false, false, true, true}));
+  EXPECT_EQ(monochromatic_edge_count(h, {false, false, false, false}), 2u);
+  EXPECT_EQ(monochromatic_edge_count(h, {false, true, true, true}), 1u);
+}
+
+TEST(SplittingVerifierTest, SingletonEdgesAreUnsplittable) {
+  const Hypergraph h(2, {{0}});
+  EXPECT_FALSE(is_valid_splitting(h, {false, false}));
+  EXPECT_FALSE(is_valid_splitting(h, {true, false}));
+}
+
+TEST(SplittingEstimatorTest, Formula) {
+  // Two edges of size 3: estimator = 2 * 2^{-2} = 0.5.
+  const Hypergraph h(6, {{0, 1, 2}, {3, 4, 5}});
+  EXPECT_DOUBLE_EQ(splitting_estimator(h), 0.5);
+  EXPECT_DOUBLE_EQ(splitting_estimator(Hypergraph(3, {})), 0.0);
+}
+
+class DerandomizedSplittingTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DerandomizedSplittingTest, AlwaysSucceedsAboveThreshold) {
+  // corank s and m edges with estimator m * 2^{1-s} < 1.
+  Rng rng(GetParam());
+  const std::size_t m = 40;
+  const std::size_t s = 8;  // 40 * 2^-7 = 0.3125 < 1
+  const auto h = random_uniform_hypergraph(60, m, s, rng);
+  ASSERT_LT(splitting_estimator(h), 1.0);
+  const auto res = derandomized_splitting(h, identity_order(60));
+  EXPECT_TRUE(is_valid_splitting(h, res.splitting));
+  EXPECT_LE(res.locality, 1u);  // SLOCAL(1): reads only co-edge vertices
+}
+
+TEST_P(DerandomizedSplittingTest, EstimatorBoundsMonochromaticCount) {
+  // Below the threshold success is not promised, but the conditional-
+  // expectations invariant still caps the damage by the estimator.
+  Rng rng(GetParam() + 50);
+  const auto h = random_uniform_hypergraph(30, 20, 3, rng);  // estimator 5
+  const auto res = derandomized_splitting(h, identity_order(30));
+  EXPECT_LE(static_cast<double>(monochromatic_edge_count(h, res.splitting)),
+            res.initial_estimator);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DerandomizedSplittingTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(DerandomizedSplittingTest, OrderDoesNotBreakTheInvariant) {
+  Rng rng(9);
+  const auto h = random_uniform_hypergraph(40, 30, 7, rng);
+  auto order = identity_order(40);
+  std::reverse(order.begin(), order.end());
+  const auto res = derandomized_splitting(h, order);
+  EXPECT_TRUE(is_valid_splitting(h, res.splitting));
+}
+
+TEST(MoserTardosTest, SucceedsOnLllInstances) {
+  // Disjoint-ish edges: D small, so the LLL criterion holds even when the
+  // union-bound estimator exceeds 1 (many edges of moderate size).
+  Rng rng(31);
+  std::vector<std::vector<VertexId>> edges;
+  for (std::size_t i = 0; i < 60; ++i) {
+    std::vector<VertexId> e;
+    for (std::size_t j = 0; j < 6; ++j)
+      e.push_back(static_cast<VertexId>(i * 6 + j));  // disjoint 6-sets
+    edges.push_back(std::move(e));
+  }
+  const Hypergraph h(360, std::move(edges));
+  EXPECT_GT(splitting_estimator(h), 1.0);  // union bound gives no promise
+  EXPECT_LT(lll_criterion(h), 1.0);        // LLL does (D = 0)
+  const auto res = moser_tardos_splitting(h, rng);
+  EXPECT_TRUE(res.success);
+  EXPECT_TRUE(is_valid_splitting(h, res.splitting));
+}
+
+TEST(MoserTardosTest, OverlappingEdgesStillConverge) {
+  Rng rng(37);
+  const auto h = random_uniform_hypergraph(50, 40, 7, rng);
+  const auto res = moser_tardos_splitting(h, rng);
+  EXPECT_TRUE(res.success);
+  EXPECT_TRUE(is_valid_splitting(h, res.splitting));
+  EXPECT_LT(res.resamples, 1000u);  // expected O(m)
+}
+
+TEST(MoserTardosTest, ImpossibleInstanceExhaustsBudget) {
+  // A singleton edge can never be non-monochromatic.
+  const Hypergraph h(2, {{0}});
+  Rng rng(41);
+  const auto res = moser_tardos_splitting(h, rng, /*max_resamples=*/100);
+  EXPECT_FALSE(res.success);
+  EXPECT_EQ(res.resamples, 100u);
+}
+
+TEST(LllCriterionTest, Values) {
+  EXPECT_DOUBLE_EQ(lll_criterion(Hypergraph(3, {})), 0.0);
+  // Two disjoint size-3 edges: D = 0, p = 2^{-2} -> e * 0.25.
+  const Hypergraph h(6, {{0, 1, 2}, {3, 4, 5}});
+  EXPECT_NEAR(lll_criterion(h), 2.718281828459045 * 0.25, 1e-9);
+  // Sharing a vertex raises D to 1.
+  const Hypergraph h2(5, {{0, 1, 2}, {2, 3, 4}});
+  EXPECT_NEAR(lll_criterion(h2), 2.718281828459045 * 0.25 * 2.0, 1e-9);
+}
+
+TEST(RandomSplittingTest, SucceedsWhpOnLargeEdges) {
+  Rng rng(11);
+  const auto h = random_uniform_hypergraph(80, 30, 12, rng);
+  std::size_t successes = 0;
+  for (int rep = 0; rep < 20; ++rep)
+    if (is_valid_splitting(h, random_splitting(h, rng))) ++successes;
+  EXPECT_GE(successes, 18u);  // estimator = 30 * 2^-11 ~ 0.015 per trial
+}
+
+TEST(RandomSplittingTest, FailsOftenOnTinyEdges) {
+  Rng rng(13);
+  const auto h = random_uniform_hypergraph(40, 30, 2, rng);
+  std::size_t successes = 0;
+  for (int rep = 0; rep < 20; ++rep)
+    if (is_valid_splitting(h, random_splitting(h, rng))) ++successes;
+  EXPECT_LT(successes, 5u);  // each size-2 edge mono w.p. 1/2
+}
+
+}  // namespace
+}  // namespace pslocal

@@ -1,0 +1,77 @@
+#include "mis/tree_maxis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mis/exact_maxis.hpp"
+#include "mis/independent_set.hpp"
+
+namespace pslocal {
+namespace {
+
+TEST(ForestCheckTest, Classification) {
+  Rng rng(1);
+  EXPECT_TRUE(is_forest(path(10)));
+  EXPECT_TRUE(is_forest(random_tree(50, rng)));
+  EXPECT_TRUE(is_forest(Graph::from_edges(5, {})));
+  EXPECT_TRUE(is_forest(Graph::from_edges(6, {{0, 1}, {2, 3}, {3, 4}})));
+  EXPECT_FALSE(is_forest(ring(5)));
+  EXPECT_FALSE(is_forest(complete(4)));
+}
+
+TEST(TreeMaxISTest, KnownValues) {
+  EXPECT_EQ(tree_independence_number(path(1)), 1u);
+  EXPECT_EQ(tree_independence_number(path(2)), 1u);
+  EXPECT_EQ(tree_independence_number(path(9)), 5u);
+  // Star: all leaves.
+  GraphBuilder b(8);
+  for (VertexId leaf = 1; leaf < 8; ++leaf) b.add_edge(0, leaf);
+  EXPECT_EQ(tree_independence_number(b.build()), 7u);
+  // Spider with three legs of length 2: alpha = 4 (leg tips + ... ).
+  GraphBuilder s(7);
+  s.add_edge(0, 1);
+  s.add_edge(1, 2);
+  s.add_edge(0, 3);
+  s.add_edge(3, 4);
+  s.add_edge(0, 5);
+  s.add_edge(5, 6);
+  EXPECT_EQ(tree_independence_number(s.build()), 4u);
+}
+
+TEST(TreeMaxISTest, ForestsWithIsolatedVertices) {
+  const Graph g = Graph::from_edges(7, {{0, 1}, {3, 4}, {4, 5}});
+  // alpha = 1 (of {0,1}) + 2 (of path {3,4,5}) + isolated {2, 6} = 5.
+  EXPECT_EQ(tree_independence_number(g), 5u);
+  const auto set = tree_maxis(g);
+  EXPECT_TRUE(is_independent_set(g, set));
+}
+
+class TreeVsExactTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreeVsExactTest, MatchesBranchAndBoundOnRandomTrees) {
+  Rng rng(GetParam());
+  for (std::size_t n : {10u, 25u, 60u}) {
+    const Graph g = random_tree(n, rng);
+    const auto dp_set = tree_maxis(g);
+    EXPECT_TRUE(is_independent_set(g, dp_set));
+    EXPECT_EQ(dp_set.size(), independence_number(g)) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeVsExactTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(TreeMaxISTest, LargeTreeIsFast) {
+  Rng rng(9);
+  const Graph g = random_tree(20000, rng);
+  const auto set = tree_maxis(g);
+  EXPECT_TRUE(is_independent_set(g, set));
+  EXPECT_GE(set.size(), 10000u);  // alpha >= n/2 on any tree
+}
+
+TEST(TreeMaxISTest, NonForestViolatesContract) {
+  EXPECT_THROW(tree_maxis(ring(4)), ContractViolation);
+}
+
+}  // namespace
+}  // namespace pslocal

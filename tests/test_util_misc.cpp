@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+namespace pslocal {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRows) {
+  Table t("Caption");
+  t.header({"name", "value"});
+  t.row({"alpha", "1"});
+  t.row({"beta", "23"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("Caption"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("23"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableTest, ArityMismatchViolatesContract) {
+  Table t("x");
+  t.header({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), ContractViolation);
+}
+
+TEST(TableTest, CsvRendering) {
+  Table t("ignored in csv");
+  t.header({"a", "b"});
+  t.row({"plain", "1"});
+  t.row({"with,comma", "quote\"inside"});
+  EXPECT_EQ(t.render_csv(),
+            "a,b\nplain,1\n\"with,comma\",\"quote\"\"inside\"\n");
+}
+
+TEST(TableTest, Formatters) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_ratio(2.0, 1), "2.0x");
+  EXPECT_EQ(fmt_size(42), "42");
+  EXPECT_EQ(fmt_bool(true), "yes");
+  EXPECT_EQ(fmt_bool(false), "no");
+}
+
+TEST(OptionsTest, ParsesNamedAndPositional) {
+  const char* argv[] = {"prog", "--n=128", "--verbose", "input.txt",
+                        "--ratio=2.5", "--name=abc"};
+  Options opts(6, argv);
+  EXPECT_EQ(opts.get_int("n", 0), 128);
+  EXPECT_TRUE(opts.get_bool("verbose", false));
+  EXPECT_DOUBLE_EQ(opts.get_double("ratio", 0.0), 2.5);
+  EXPECT_EQ(opts.get_string("name", ""), "abc");
+  ASSERT_EQ(opts.positionals().size(), 1u);
+  EXPECT_EQ(opts.positionals()[0], "input.txt");
+}
+
+TEST(OptionsTest, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Options opts(1, argv);
+  EXPECT_EQ(opts.get_int("n", 7), 7);
+  EXPECT_FALSE(opts.has("n"));
+  EXPECT_FALSE(opts.get_bool("flag", false));
+  EXPECT_EQ(opts.get_string("s", "dflt"), "dflt");
+}
+
+TEST(OptionsTest, MalformedNumberViolatesContract) {
+  const char* argv[] = {"prog", "--n=12x"};
+  Options opts(2, argv);
+  EXPECT_THROW((void)opts.get_int("n", 0), ContractViolation);
+  EXPECT_THROW((void)opts.get_double("n", 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace pslocal

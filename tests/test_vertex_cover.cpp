@@ -1,0 +1,58 @@
+#include "mis/vertex_cover.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mis/exact_maxis.hpp"
+
+namespace pslocal {
+namespace {
+
+TEST(VertexCoverVerifierTest, Basics) {
+  const Graph g = path(4);
+  EXPECT_TRUE(is_vertex_cover(g, {1, 2}));
+  EXPECT_FALSE(is_vertex_cover(g, {0, 3}));  // edge 1-2 uncovered
+  EXPECT_FALSE(is_vertex_cover(g, {9}));
+  EXPECT_TRUE(is_vertex_cover(Graph::from_edges(3, {}), {}));
+}
+
+TEST(ExactVertexCoverTest, GallaiIdentity) {
+  Rng rng(3);
+  for (int rep = 0; rep < 6; ++rep) {
+    const Graph g = gnp(20, 0.25, rng);
+    const auto cover = exact_vertex_cover(g);
+    const auto alpha = independence_number(g);
+    EXPECT_EQ(cover.size() + alpha, g.vertex_count());  // tau + alpha = n
+    EXPECT_TRUE(is_vertex_cover(g, cover));
+  }
+}
+
+TEST(ExactVertexCoverTest, KnownValues) {
+  EXPECT_EQ(exact_vertex_cover(complete(6)).size(), 5u);
+  EXPECT_EQ(exact_vertex_cover(ring(8)).size(), 4u);
+  EXPECT_EQ(exact_vertex_cover(path(5)).size(), 2u);
+  EXPECT_EQ(exact_vertex_cover(complete_bipartite(3, 7)).size(), 3u);
+}
+
+class MatchingCoverTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatchingCoverTest, TwoApproximationHolds) {
+  Rng rng(GetParam());
+  const Graph g = gnp(24, 0.2, rng);
+  const auto approx = matching_vertex_cover(g);
+  const auto exact = exact_vertex_cover(g);
+  EXPECT_TRUE(is_vertex_cover(g, approx));
+  EXPECT_LE(approx.size(), 2 * exact.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchingCoverTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(MatchingCoverTest, EdgelessGraphNeedsNothing) {
+  const Graph g = Graph::from_edges(5, {});
+  EXPECT_TRUE(matching_vertex_cover(g).empty());
+  EXPECT_TRUE(exact_vertex_cover(g).empty());
+}
+
+}  // namespace
+}  // namespace pslocal
