@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_conflict_graph_size"
+  "../bench/bench_conflict_graph_size.pdb"
+  "CMakeFiles/bench_conflict_graph_size.dir/bench_conflict_graph_size.cpp.o"
+  "CMakeFiles/bench_conflict_graph_size.dir/bench_conflict_graph_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conflict_graph_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_deterministic_local"
+  "../bench/bench_deterministic_local.pdb"
+  "CMakeFiles/bench_deterministic_local.dir/bench_deterministic_local.cpp.o"
+  "CMakeFiles/bench_deterministic_local.dir/bench_deterministic_local.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deterministic_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

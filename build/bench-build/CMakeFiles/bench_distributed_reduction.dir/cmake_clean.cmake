@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_distributed_reduction"
+  "../bench/bench_distributed_reduction.pdb"
+  "CMakeFiles/bench_distributed_reduction.dir/bench_distributed_reduction.cpp.o"
+  "CMakeFiles/bench_distributed_reduction.dir/bench_distributed_reduction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_distributed_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

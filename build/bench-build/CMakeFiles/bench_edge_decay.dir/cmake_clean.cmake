@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_edge_decay"
+  "../bench/bench_edge_decay.pdb"
+  "CMakeFiles/bench_edge_decay.dir/bench_edge_decay.cpp.o"
+  "CMakeFiles/bench_edge_decay.dir/bench_edge_decay.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_edge_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lemma21a"
+  "../bench/bench_lemma21a.pdb"
+  "CMakeFiles/bench_lemma21a.dir/bench_lemma21a.cpp.o"
+  "CMakeFiles/bench_lemma21a.dir/bench_lemma21a.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma21a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lemma21b"
+  "../bench/bench_lemma21b.pdb"
+  "CMakeFiles/bench_lemma21b.dir/bench_lemma21b.cpp.o"
+  "CMakeFiles/bench_lemma21b.dir/bench_lemma21b.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma21b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

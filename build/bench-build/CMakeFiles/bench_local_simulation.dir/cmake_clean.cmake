@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_local_simulation"
+  "../bench/bench_local_simulation.pdb"
+  "CMakeFiles/bench_local_simulation.dir/bench_local_simulation.cpp.o"
+  "CMakeFiles/bench_local_simulation.dir/bench_local_simulation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_local_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

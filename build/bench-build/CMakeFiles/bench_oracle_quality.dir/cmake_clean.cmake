@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_oracle_quality"
+  "../bench/bench_oracle_quality.pdb"
+  "CMakeFiles/bench_oracle_quality.dir/bench_oracle_quality.cpp.o"
+  "CMakeFiles/bench_oracle_quality.dir/bench_oracle_quality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oracle_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

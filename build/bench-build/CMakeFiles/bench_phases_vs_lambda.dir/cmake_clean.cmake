@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_phases_vs_lambda"
+  "../bench/bench_phases_vs_lambda.pdb"
+  "CMakeFiles/bench_phases_vs_lambda.dir/bench_phases_vs_lambda.cpp.o"
+  "CMakeFiles/bench_phases_vs_lambda.dir/bench_phases_vs_lambda.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_phases_vs_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pslocal_problems"
+  "../bench/bench_pslocal_problems.pdb"
+  "CMakeFiles/bench_pslocal_problems.dir/bench_pslocal_problems.cpp.o"
+  "CMakeFiles/bench_pslocal_problems.dir/bench_pslocal_problems.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pslocal_problems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_scaling_series"
+  "../bench/bench_scaling_series.pdb"
+  "CMakeFiles/bench_scaling_series.dir/bench_scaling_series.cpp.o"
+  "CMakeFiles/bench_scaling_series.dir/bench_scaling_series.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_completeness_pipeline.dir/completeness_pipeline.cpp.o"
+  "CMakeFiles/example_completeness_pipeline.dir/completeness_pipeline.cpp.o.d"
+  "example_completeness_pipeline"
+  "example_completeness_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_completeness_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

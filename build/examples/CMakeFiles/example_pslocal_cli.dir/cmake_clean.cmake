@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pslocal_cli.dir/pslocal_cli.cpp.o"
+  "CMakeFiles/example_pslocal_cli.dir/pslocal_cli.cpp.o.d"
+  "example_pslocal_cli"
+  "example_pslocal_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pslocal_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_slocal_vs_local.dir/slocal_vs_local.cpp.o"
+  "CMakeFiles/example_slocal_vs_local.dir/slocal_vs_local.cpp.o.d"
+  "example_slocal_vs_local"
+  "example_slocal_vs_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_slocal_vs_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_spectrum_assignment.dir/spectrum_assignment.cpp.o"
+  "CMakeFiles/example_spectrum_assignment.dir/spectrum_assignment.cpp.o.d"
+  "example_spectrum_assignment"
+  "example_spectrum_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_spectrum_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

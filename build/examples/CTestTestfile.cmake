@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart_runs "/root/repo/build/examples/example_quickstart" "--n=32" "--m=24" "--k=3")
+set_tests_properties(example_quickstart_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;11;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_spectrum_assignment_runs "/root/repo/build/examples/example_spectrum_assignment" "--stations=32" "--clients=48")
+set_tests_properties(example_spectrum_assignment_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_slocal_vs_local_runs "/root/repo/build/examples/example_slocal_vs_local")
+set_tests_properties(example_slocal_vs_local_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_completeness_pipeline_runs "/root/repo/build/examples/example_completeness_pipeline" "--m=10")
+set_tests_properties(example_completeness_pipeline_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_derandomization_demo_runs "/root/repo/build/examples/example_derandomization_demo")
+set_tests_properties(example_derandomization_demo_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_gen_runs "/root/repo/build/examples/example_pslocal_cli" "gen" "--type=planted" "--n=32" "--m=20" "--k=2" "--out=/root/repo/build/examples/cli_test.hg")
+set_tests_properties(example_cli_gen_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_solve_runs "/root/repo/build/examples/example_pslocal_cli" "solve" "--in=/root/repo/build/examples/cli_test.hg" "--k=2" "--out=/root/repo/build/examples/cli_test.colors")
+set_tests_properties(example_cli_solve_runs PROPERTIES  DEPENDS "example_cli_gen_runs" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_verify_runs "/root/repo/build/examples/example_pslocal_cli" "verify" "--in=/root/repo/build/examples/cli_test.hg" "--coloring=/root/repo/build/examples/cli_test.colors")
+set_tests_properties(example_cli_verify_runs PROPERTIES  DEPENDS "example_cli_solve_runs" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")

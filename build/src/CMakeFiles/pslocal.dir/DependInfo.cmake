@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coloring/cf_baselines.cpp" "src/CMakeFiles/pslocal.dir/coloring/cf_baselines.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/coloring/cf_baselines.cpp.o.d"
+  "/root/repo/src/coloring/coloring.cpp" "src/CMakeFiles/pslocal.dir/coloring/coloring.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/coloring/coloring.cpp.o.d"
+  "/root/repo/src/coloring/conflict_free.cpp" "src/CMakeFiles/pslocal.dir/coloring/conflict_free.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/coloring/conflict_free.cpp.o.d"
+  "/root/repo/src/coloring/exact_cf.cpp" "src/CMakeFiles/pslocal.dir/coloring/exact_cf.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/coloring/exact_cf.cpp.o.d"
+  "/root/repo/src/coloring/local_verifier.cpp" "src/CMakeFiles/pslocal.dir/coloring/local_verifier.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/coloring/local_verifier.cpp.o.d"
+  "/root/repo/src/coloring/splitting.cpp" "src/CMakeFiles/pslocal.dir/coloring/splitting.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/coloring/splitting.cpp.o.d"
+  "/root/repo/src/core/conflict_graph.cpp" "src/CMakeFiles/pslocal.dir/core/conflict_graph.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/core/conflict_graph.cpp.o.d"
+  "/root/repo/src/core/correspondence.cpp" "src/CMakeFiles/pslocal.dir/core/correspondence.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/core/correspondence.cpp.o.d"
+  "/root/repo/src/core/distributed_reduction.cpp" "src/CMakeFiles/pslocal.dir/core/distributed_reduction.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/core/distributed_reduction.cpp.o.d"
+  "/root/repo/src/core/problems.cpp" "src/CMakeFiles/pslocal.dir/core/problems.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/core/problems.cpp.o.d"
+  "/root/repo/src/core/reduction.cpp" "src/CMakeFiles/pslocal.dir/core/reduction.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/core/reduction.cpp.o.d"
+  "/root/repo/src/core/simulation.cpp" "src/CMakeFiles/pslocal.dir/core/simulation.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/core/simulation.cpp.o.d"
+  "/root/repo/src/cover/dominating_set.cpp" "src/CMakeFiles/pslocal.dir/cover/dominating_set.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/cover/dominating_set.cpp.o.d"
+  "/root/repo/src/cover/set_cover.cpp" "src/CMakeFiles/pslocal.dir/cover/set_cover.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/cover/set_cover.cpp.o.d"
+  "/root/repo/src/graph/algorithms.cpp" "src/CMakeFiles/pslocal.dir/graph/algorithms.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/graph/algorithms.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/pslocal.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/pslocal.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/pslocal.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/graph/io.cpp.o.d"
+  "/root/repo/src/hypergraph/generators.cpp" "src/CMakeFiles/pslocal.dir/hypergraph/generators.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/hypergraph/generators.cpp.o.d"
+  "/root/repo/src/hypergraph/hypergraph.cpp" "src/CMakeFiles/pslocal.dir/hypergraph/hypergraph.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/hypergraph/hypergraph.cpp.o.d"
+  "/root/repo/src/hypergraph/io.cpp" "src/CMakeFiles/pslocal.dir/hypergraph/io.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/hypergraph/io.cpp.o.d"
+  "/root/repo/src/hypergraph/properties.cpp" "src/CMakeFiles/pslocal.dir/hypergraph/properties.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/hypergraph/properties.cpp.o.d"
+  "/root/repo/src/local/coloring_local.cpp" "src/CMakeFiles/pslocal.dir/local/coloring_local.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/local/coloring_local.cpp.o.d"
+  "/root/repo/src/local/from_coloring.cpp" "src/CMakeFiles/pslocal.dir/local/from_coloring.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/local/from_coloring.cpp.o.d"
+  "/root/repo/src/local/linial_coloring.cpp" "src/CMakeFiles/pslocal.dir/local/linial_coloring.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/local/linial_coloring.cpp.o.d"
+  "/root/repo/src/local/luby_mis.cpp" "src/CMakeFiles/pslocal.dir/local/luby_mis.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/local/luby_mis.cpp.o.d"
+  "/root/repo/src/local/mpx_decomposition.cpp" "src/CMakeFiles/pslocal.dir/local/mpx_decomposition.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/local/mpx_decomposition.cpp.o.d"
+  "/root/repo/src/mis/degraded_oracle.cpp" "src/CMakeFiles/pslocal.dir/mis/degraded_oracle.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/mis/degraded_oracle.cpp.o.d"
+  "/root/repo/src/mis/exact_maxis.cpp" "src/CMakeFiles/pslocal.dir/mis/exact_maxis.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/mis/exact_maxis.cpp.o.d"
+  "/root/repo/src/mis/greedy_maxis.cpp" "src/CMakeFiles/pslocal.dir/mis/greedy_maxis.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/mis/greedy_maxis.cpp.o.d"
+  "/root/repo/src/mis/independent_set.cpp" "src/CMakeFiles/pslocal.dir/mis/independent_set.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/mis/independent_set.cpp.o.d"
+  "/root/repo/src/mis/kernelization.cpp" "src/CMakeFiles/pslocal.dir/mis/kernelization.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/mis/kernelization.cpp.o.d"
+  "/root/repo/src/mis/tree_maxis.cpp" "src/CMakeFiles/pslocal.dir/mis/tree_maxis.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/mis/tree_maxis.cpp.o.d"
+  "/root/repo/src/mis/vertex_cover.cpp" "src/CMakeFiles/pslocal.dir/mis/vertex_cover.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/mis/vertex_cover.cpp.o.d"
+  "/root/repo/src/slocal/ball_carving.cpp" "src/CMakeFiles/pslocal.dir/slocal/ball_carving.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/slocal/ball_carving.cpp.o.d"
+  "/root/repo/src/slocal/greedy_algorithms.cpp" "src/CMakeFiles/pslocal.dir/slocal/greedy_algorithms.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/slocal/greedy_algorithms.cpp.o.d"
+  "/root/repo/src/slocal/matching.cpp" "src/CMakeFiles/pslocal.dir/slocal/matching.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/slocal/matching.cpp.o.d"
+  "/root/repo/src/slocal/network_decomposition.cpp" "src/CMakeFiles/pslocal.dir/slocal/network_decomposition.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/slocal/network_decomposition.cpp.o.d"
+  "/root/repo/src/slocal/orders.cpp" "src/CMakeFiles/pslocal.dir/slocal/orders.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/slocal/orders.cpp.o.d"
+  "/root/repo/src/slocal/ruling_set.cpp" "src/CMakeFiles/pslocal.dir/slocal/ruling_set.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/slocal/ruling_set.cpp.o.d"
+  "/root/repo/src/util/bitset.cpp" "src/CMakeFiles/pslocal.dir/util/bitset.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/util/bitset.cpp.o.d"
+  "/root/repo/src/util/options.cpp" "src/CMakeFiles/pslocal.dir/util/options.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/util/options.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/pslocal.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/pslocal.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/pslocal.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/pslocal.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for pslocal.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ball_carving.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_ball_carving.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_ball_carving.cpp.o.d"
+  "/root/repo/tests/test_bitset.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_bitset.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_bitset.cpp.o.d"
+  "/root/repo/tests/test_conflict_free.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_conflict_free.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_conflict_free.cpp.o.d"
+  "/root/repo/tests/test_conflict_graph.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_conflict_graph.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_conflict_graph.cpp.o.d"
+  "/root/repo/tests/test_congest_and_verifier.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_congest_and_verifier.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_congest_and_verifier.cpp.o.d"
+  "/root/repo/tests/test_correspondence.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_correspondence.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_correspondence.cpp.o.d"
+  "/root/repo/tests/test_distributed_reduction.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_distributed_reduction.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_distributed_reduction.cpp.o.d"
+  "/root/repo/tests/test_dominating_set.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_dominating_set.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_dominating_set.cpp.o.d"
+  "/root/repo/tests/test_exact_cf.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_exact_cf.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_exact_cf.cpp.o.d"
+  "/root/repo/tests/test_exact_maxis.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_exact_maxis.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_exact_maxis.cpp.o.d"
+  "/root/repo/tests/test_from_coloring.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_from_coloring.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_from_coloring.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_graph_algorithms.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_graph_algorithms.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_graph_algorithms.cpp.o.d"
+  "/root/repo/tests/test_graph_generators.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_graph_generators.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_graph_generators.cpp.o.d"
+  "/root/repo/tests/test_greedy_maxis.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_greedy_maxis.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_greedy_maxis.cpp.o.d"
+  "/root/repo/tests/test_hypergraph.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_hypergraph.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_hypergraph.cpp.o.d"
+  "/root/repo/tests/test_hypergraph_generators.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_hypergraph_generators.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_hypergraph_generators.cpp.o.d"
+  "/root/repo/tests/test_hypergraph_io.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_hypergraph_io.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_hypergraph_io.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_kernelization.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_kernelization.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_kernelization.cpp.o.d"
+  "/root/repo/tests/test_linial.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_linial.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_linial.cpp.o.d"
+  "/root/repo/tests/test_local_coloring.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_local_coloring.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_local_coloring.cpp.o.d"
+  "/root/repo/tests/test_local_simulator.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_local_simulator.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_local_simulator.cpp.o.d"
+  "/root/repo/tests/test_luby.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_luby.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_luby.cpp.o.d"
+  "/root/repo/tests/test_matching.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_matching.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_matching.cpp.o.d"
+  "/root/repo/tests/test_mpx.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_mpx.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_mpx.cpp.o.d"
+  "/root/repo/tests/test_network_decomposition.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_network_decomposition.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_network_decomposition.cpp.o.d"
+  "/root/repo/tests/test_orders.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_orders.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_orders.cpp.o.d"
+  "/root/repo/tests/test_problems.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_problems.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_problems.cpp.o.d"
+  "/root/repo/tests/test_property_sweeps.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_property_sweeps.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_property_sweeps.cpp.o.d"
+  "/root/repo/tests/test_reduction.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_reduction.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_reduction.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_ruling_set.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_ruling_set.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_ruling_set.cpp.o.d"
+  "/root/repo/tests/test_set_cover.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_set_cover.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_set_cover.cpp.o.d"
+  "/root/repo/tests/test_simulation.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_simulation.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_simulation.cpp.o.d"
+  "/root/repo/tests/test_slocal_algorithms.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_slocal_algorithms.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_slocal_algorithms.cpp.o.d"
+  "/root/repo/tests/test_slocal_compiler.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_slocal_compiler.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_slocal_compiler.cpp.o.d"
+  "/root/repo/tests/test_slocal_engine.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_slocal_engine.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_slocal_engine.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_splitting.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_splitting.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_splitting.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_tree_maxis.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_tree_maxis.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_tree_maxis.cpp.o.d"
+  "/root/repo/tests/test_util_misc.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_util_misc.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_util_misc.cpp.o.d"
+  "/root/repo/tests/test_vertex_cover.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_vertex_cover.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_vertex_cover.cpp.o.d"
+  "/root/repo/tests/test_virtual_local.cpp" "tests/CMakeFiles/pslocal_tests.dir/test_virtual_local.cpp.o" "gcc" "tests/CMakeFiles/pslocal_tests.dir/test_virtual_local.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pslocal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
