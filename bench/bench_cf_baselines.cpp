@@ -16,6 +16,7 @@
 #include "core/reduction.hpp"
 #include "hypergraph/generators.hpp"
 #include "mis/greedy_maxis.hpp"
+#include "util/bench_report.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 
@@ -23,6 +24,8 @@ using namespace pslocal;
 
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
+  apply_thread_option(opts);
+  BenchReport json_report("cf_baselines", opts);
   const std::uint64_t seed = opts.get_int("seed", 7);
 
   {
@@ -55,6 +58,7 @@ int main(int argc, char** argv) {
                  fmt_bool(res.colors_used < fresh.palette_size())});
     }
     std::cout << table.render();
+    json_report.add_table(table);
   }
 
   {
@@ -81,9 +85,11 @@ int main(int argc, char** argv) {
                  fmt_size(res.colors_used), fmt_size(res.phases)});
     }
     std::cout << table.render();
+    json_report.add_table(table);
   }
   std::cout << "The generic reduction stays polylog while fresh grows "
                "linearly; the interval-specialized dyadic coloring is the "
                "stronger baseline on its home turf, as expected.\n";
+  json_report.write();
   return 0;
 }

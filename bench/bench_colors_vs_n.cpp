@@ -12,6 +12,7 @@
 #include "core/reduction.hpp"
 #include "hypergraph/generators.hpp"
 #include "mis/greedy_maxis.hpp"
+#include "util/bench_report.hpp"
 #include "util/options.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -20,6 +21,8 @@ using namespace pslocal;
 
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
+  apply_thread_option(opts);
+  BenchReport json_report("colors_vs_n", opts);
   const std::uint64_t seed = opts.get_int("seed", 5);
 
   Table table(
@@ -56,9 +59,11 @@ int main(int argc, char** argv) {
     colors_over_klog.push_back(static_cast<double>(res.colors_used));
   }
   std::cout << table.render();
+  json_report.add_table(table);
   std::cout << "Colors grow ~ k * phases = polylog(n); the fresh baseline "
                "grows linearly in m = n.\n"
                "(Greedy has no proven lambda; its empirical phase counts are "
                "small because greedy ISs on G_k are near-maximum — see E6.)\n";
+  json_report.write();
   return 0;
 }

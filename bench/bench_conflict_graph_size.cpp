@@ -12,6 +12,7 @@
 #include "core/conflict_graph.hpp"
 #include "hypergraph/generators.hpp"
 #include "hypergraph/properties.hpp"
+#include "util/bench_report.hpp"
 #include "util/options.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -21,6 +22,8 @@ using namespace pslocal;
 
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
+  apply_thread_option(opts);
+  BenchReport json_report("conflict_graph_size", opts);
   const std::uint64_t seed = opts.get_int("seed", 1);
 
   Table table(
@@ -65,12 +68,15 @@ int main(int argc, char** argv) {
     log_edges.push_back(std::log(static_cast<double>(classes.total)));
   }
   std::cout << table.render();
+  json_report.add_table(table);
 
   const auto fit = linear_fit(log_incidence, log_edges);
+  json_report.metric("fit_slope", fit.slope).metric("fit_r2", fit.r2);
   std::cout << "log-log fit |E(Gk)| ~ |V(Gk)|^b: b = " << fmt_double(fit.slope, 2)
             << " (R^2 = " << fmt_double(fit.r2, 3)
             << ") — polynomial, as the paper claims.\n"
             << "|V(Gk)| column equals k*sum|e| on every row by construction "
                "(checked: see test_conflict_graph.cpp).\n";
+  json_report.write();
   return 0;
 }

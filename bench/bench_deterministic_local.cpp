@@ -23,6 +23,7 @@
 #include "local/linial_coloring.hpp"
 #include "local/luby_mis.hpp"
 #include "mis/independent_set.hpp"
+#include "util/bench_report.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 
@@ -30,6 +31,8 @@ using namespace pslocal;
 
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
+  apply_thread_option(opts);
+  BenchReport json_report("deterministic_local", opts);
   const std::uint64_t seed = opts.get_int("seed", 12);
 
   {
@@ -51,6 +54,7 @@ int main(int argc, char** argv) {
                  fmt_size(luby.rounds)});
     }
     std::cout << table.render();
+    json_report.add_table(table);
   }
 
   {
@@ -72,10 +76,12 @@ int main(int argc, char** argv) {
                  fmt_size(luby.rounds)});
     }
     std::cout << table.render();
+    json_report.add_table(table);
   }
   std::cout
       << "Deterministic rounds are flat in n (log* + poly(Δ)) but blow up "
          "with Δ, while Luby stays\nO(log n) regardless — the gap the "
          "P-SLOCAL theory, and this paper's completeness result, probe.\n";
+  json_report.write();
   return 0;
 }

@@ -11,6 +11,7 @@
 
 #include "core/distributed_reduction.hpp"
 #include "hypergraph/generators.hpp"
+#include "util/bench_report.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 
@@ -18,6 +19,8 @@ using namespace pslocal;
 
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
+  apply_thread_option(opts);
+  BenchReport json_report("distributed_reduction", opts);
   const std::uint64_t seed = opts.get_int("seed", 14);
 
   Table table(
@@ -45,6 +48,7 @@ int main(int argc, char** argv) {
                fmt_size(max_msg), fmt_double(ref, 0)});
   }
   std::cout << table.render();
+  json_report.add_table(table);
 
   // The deterministic variant: greedy SLOCAL(1) MIS on G_k^i compiled via
   // a network decomposition of (G_k^i)^3 — zero random bits end to end.
@@ -70,10 +74,12 @@ int main(int argc, char** argv) {
                 fmt_size(nd_colors)});
   }
   std::cout << table2.render();
+  json_report.add_table(table2);
   std::cout << "Rounds stay polylogarithmic in n while message sizes grow "
                "with host load — LOCAL's\nunbounded bandwidth is exactly "
                "what the simulability argument spends.  The deterministic\n"
                "variant shows the derandomization payoff: decomposition-"
                "compiled SLOCAL oracles, no coins.\n";
+  json_report.write();
   return 0;
 }

@@ -15,6 +15,7 @@
 #include "core/reduction.hpp"
 #include "hypergraph/generators.hpp"
 #include "mis/degraded_oracle.hpp"
+#include "util/bench_report.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 
@@ -49,6 +50,8 @@ std::vector<std::size_t> witnessed_only_trace(const Hypergraph& h,
 
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
+  apply_thread_option(opts);
+  BenchReport json_report("edge_decay", opts);
   const std::uint64_t seed = opts.get_int("seed", 10);
   const std::size_t m = opts.get_int("m", 48);
 
@@ -94,6 +97,7 @@ int main(int argc, char** argv) {
                  fmt_bool(within)});
     }
     std::cout << table.render();
+    json_report.add_table(table);
     if (!ok) {
       std::cout << "ENVELOPE VIOLATION — investigate!\n";
       return 1;
@@ -102,5 +106,6 @@ int main(int argc, char** argv) {
   std::cout << "Both variants decay at least geometrically; removing all "
              "happy edges (the paper's algorithm) dominates the minimal "
              "witnessed-only removal.\n";
+  json_report.write();
   return 0;
 }

@@ -13,6 +13,7 @@
 #include "core/correspondence.hpp"
 #include "hypergraph/generators.hpp"
 #include "mis/exact_maxis.hpp"
+#include "util/bench_report.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 
@@ -20,6 +21,8 @@ using namespace pslocal;
 
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
+  apply_thread_option(opts);
+  BenchReport json_report("lemma21a", opts);
   const std::uint64_t seed = opts.get_int("seed", 2);
 
   Table table("E2 / Table 2 — Lemma 2.1 a): I_f is a maximum IS of size m");
@@ -54,7 +57,9 @@ int main(int argc, char** argv) {
                fmt_bool(report.attains_maximum)});
   }
   std::cout << table.render();
+  json_report.add_table(table);
   std::cout << (all_good ? "Lemma 2.1 a) verified on every instance.\n"
                          : "LEMMA 2.1 a) VIOLATION — investigate!\n");
+  json_report.write();
   return all_good ? 0 : 1;
 }

@@ -14,6 +14,7 @@
 #include "core/correspondence.hpp"
 #include "hypergraph/generators.hpp"
 #include "mis/greedy_maxis.hpp"
+#include "util/bench_report.hpp"
 #include "util/options.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -22,6 +23,8 @@ using namespace pslocal;
 
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
+  apply_thread_option(opts);
+  BenchReport json_report("lemma21b", opts);
   const std::uint64_t seed = opts.get_int("seed", 3);
   const std::size_t samples = opts.get_int("samples", 400);
 
@@ -70,8 +73,10 @@ int main(int argc, char** argv) {
     total_violations += bucket.violations;
   }
   std::cout << table.render();
+  json_report.add_table(table);
   std::cout << (total_violations == 0
                     ? "Lemma 2.1 b) holds for every sampled independent set.\n"
                     : "LEMMA 2.1 b) VIOLATION — investigate!\n");
+  json_report.write();
   return total_violations == 0 ? 0 : 1;
 }

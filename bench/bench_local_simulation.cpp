@@ -14,6 +14,7 @@
 #include "hypergraph/generators.hpp"
 #include "local/luby_mis.hpp"
 #include "local/slocal_compiler.hpp"
+#include "util/bench_report.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 
@@ -25,6 +26,8 @@ enum class Mark : std::uint8_t { kUndecided, kIn, kOut };
 
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
+  apply_thread_option(opts);
+  BenchReport json_report("local_simulation", opts);
   const std::uint64_t seed = opts.get_int("seed", 9);
 
   Table table("E9 / Figure 5 — simulating G_k in H (planted instances, k=3)");
@@ -62,6 +65,7 @@ int main(int argc, char** argv) {
                fmt_size(host_msg_bytes)});
   }
   std::cout << table.render();
+  json_report.add_table(table);
 
   // (c) SLOCAL -> LOCAL compilation on the communication graph of H.
   Table table2(
@@ -95,9 +99,11 @@ int main(int argc, char** argv) {
                 fmt_size(run.local_rounds), fmt_size(n)});
   }
   std::cout << table2.render();
+  json_report.add_table(table2);
   std::cout << (all_one_round
                     ? "Dilation <= 1 everywhere: one G_k round costs one H "
                       "round, exactly the paper's simulability claim.\n"
                     : "DILATION > 1 — simulability claim violated!\n");
+  json_report.write();
   return all_one_round ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 #include "core/reduction.hpp"
 #include "hypergraph/generators.hpp"
 #include "mis/degraded_oracle.hpp"
+#include "util/bench_report.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 
@@ -20,6 +21,8 @@ using namespace pslocal;
 
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
+  apply_thread_option(opts);
+  BenchReport json_report("phases_vs_lambda", opts);
   const std::uint64_t seed = opts.get_int("seed", 4);
   const std::size_t m = opts.get_int("m", 24);
 
@@ -48,8 +51,10 @@ int main(int argc, char** argv) {
                fmt_size(res.colors_used), fmt_size(2 * res.phases)});
   }
   std::cout << table.render();
+  json_report.add_table(table);
   std::cout << (all_within
                     ? "Every run finished within the paper's rho bound.\n"
                     : "PHASE BOUND VIOLATION — investigate!\n");
+  json_report.write();
   return all_within ? 0 : 1;
 }

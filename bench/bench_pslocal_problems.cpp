@@ -20,6 +20,7 @@
 #include "slocal/ball_carving.hpp"
 #include "slocal/network_decomposition.hpp"
 #include "slocal/ruling_set.hpp"
+#include "util/bench_report.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 
@@ -27,6 +28,8 @@ using namespace pslocal;
 
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
+  apply_thread_option(opts);
+  BenchReport json_report("pslocal_problems", opts);
   const std::uint64_t seed = opts.get_int("seed", 13);
 
   Table table("E13 — P-SLOCAL-complete problems on one workload family");
@@ -140,8 +143,10 @@ int main(int argc, char** argv) {
   }
 
   std::cout << table.render();
+  json_report.add_table(table);
   std::cout << "Every completeness-class member runs on the same substrate "
                "stack; solving any one of\nthem in deterministic polylog "
                "LOCAL derandomizes them all (paper, Section 1).\n";
+  json_report.write();
   return 0;
 }

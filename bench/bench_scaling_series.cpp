@@ -14,6 +14,7 @@
 #include "core/reduction.hpp"
 #include "hypergraph/generators.hpp"
 #include "mis/greedy_maxis.hpp"
+#include "util/bench_report.hpp"
 #include "util/options.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -37,6 +38,8 @@ void maybe_write_csv(const Table& table, const std::string& prefix,
 
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
+  apply_thread_option(opts);
+  BenchReport json_report("scaling_series", opts);
   const std::uint64_t seed0 = opts.get_int("seed", 15);
   const int seeds = static_cast<int>(opts.get_int("seeds", 5));
   const std::string csv = opts.get_string("csv", "");
@@ -70,6 +73,7 @@ int main(int argc, char** argv) {
                  fmt_size(n)});
     }
     std::cout << table.render();
+    json_report.add_table(table);
     maybe_write_csv(table, csv, "_colors.csv");
   }
 
@@ -103,9 +107,11 @@ int main(int argc, char** argv) {
                  fmt_double(bytes.mean(), 0)});
     }
     std::cout << table.render();
+    json_report.add_table(table);
     maybe_write_csv(table, csv, "_rounds.csv");
   }
   std::cout << "Colors and round bills are flat-to-logarithmic in n across "
                "seeds; variance is small.\n";
+  json_report.write();
   return 0;
 }

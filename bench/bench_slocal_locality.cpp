@@ -12,6 +12,7 @@
 #include "mis/exact_maxis.hpp"
 #include "slocal/ball_carving.hpp"
 #include "slocal/greedy_algorithms.hpp"
+#include "util/bench_report.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 
@@ -19,6 +20,8 @@ using namespace pslocal;
 
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
+  apply_thread_option(opts);
+  BenchReport json_report("slocal_locality", opts);
   const std::uint64_t seed = opts.get_int("seed", 8);
 
   Table table(
@@ -49,8 +52,10 @@ int main(int argc, char** argv) {
       return 1;
   }
   std::cout << table.render();
+  json_report.add_table(table);
   std::cout << "Greedy MIS is SLOCAL(1) exactly as the paper states; ball "
                "carving stays within its O(log n) locality and 2x quality "
                "guarantees.\n";
+  json_report.write();
   return 0;
 }

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <limits>
 #include <vector>
+
+#include "runtime/parallel.hpp"
 
 namespace pslocal {
 
@@ -29,7 +32,8 @@ CfColoring dyadic_interval_cf_coloring(std::size_t n) {
   return f;
 }
 
-GreedyCfResult greedy_cf_coloring(const Hypergraph& h) {
+GreedyCfResult greedy_cf_coloring(const Hypergraph& h,
+                                  runtime::Scheduler& sched) {
   const std::size_t n = h.vertex_count();
   GreedyCfResult res;
   res.coloring.assign(n, kCfUncolored);
@@ -42,39 +46,72 @@ GreedyCfResult greedy_cf_coloring(const Hypergraph& h) {
     return h.vertex_degree(a) > h.vertex_degree(b);
   });
 
-  auto edge_complete_and_happy = [&](EdgeId e) {
-    // Returns true unless the edge is fully colored *and* unhappy.
-    std::vector<std::size_t> colors;
-    for (VertexId u : h.edge(e)) {
-      if (res.coloring[u] == kCfUncolored) return true;
-      colors.push_back(res.coloring[u]);
+  // Would giving v color c keep every incident edge acceptable?  An edge
+  // is acceptable unless it is fully colored *and* has no unique color.
+  // Pure read of the committed coloring (v's entry is still kCfUncolored
+  // and is substituted virtually), so candidate colors can be scored
+  // concurrently.
+  auto feasible = [&](VertexId v, std::size_t c,
+                      std::vector<std::size_t>& colors) {
+    for (EdgeId e : h.edges_of(v)) {
+      colors.clear();
+      bool complete = true;
+      for (VertexId u : h.edge(e)) {
+        const std::size_t cu = u == v ? c : res.coloring[u];
+        if (cu == kCfUncolored) {
+          complete = false;
+          break;
+        }
+        colors.push_back(cu);
+      }
+      if (!complete) continue;
+      std::sort(colors.begin(), colors.end());
+      bool happy = false;
+      for (std::size_t i = 0; i < colors.size() && !happy; ++i) {
+        const bool prev_same = i > 0 && colors[i - 1] == colors[i];
+        const bool next_same =
+            i + 1 < colors.size() && colors[i + 1] == colors[i];
+        happy = !prev_same && !next_same;  // unique color found
+      }
+      if (!happy) return false;
     }
-    std::sort(colors.begin(), colors.end());
-    for (std::size_t i = 0; i < colors.size(); ++i) {
-      const bool prev_same = i > 0 && colors[i - 1] == colors[i];
-      const bool next_same = i + 1 < colors.size() && colors[i + 1] == colors[i];
-      if (!prev_same && !next_same) return true;  // unique color found
-    }
-    return false;
+    return true;
   };
+
+  constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+  // Below this palette size the sequential early-exit scan wins; both
+  // paths compute the same minimum feasible color.
+  constexpr std::size_t kParallelPalette = 64;
 
   std::size_t palette = 0;
   for (VertexId v : order) {
-    bool placed = false;
-    for (std::size_t c = 1; c <= palette && !placed; ++c) {
-      res.coloring[v] = c;
-      placed = true;
-      for (EdgeId e : h.edges_of(v)) {
-        if (!edge_complete_and_happy(e)) {
-          placed = false;
+    std::size_t pick = kNone;
+    if (palette < kParallelPalette || sched.thread_count() == 1) {
+      std::vector<std::size_t> scratch;
+      for (std::size_t c = 1; c <= palette; ++c) {
+        if (feasible(v, c, scratch)) {
+          pick = c;
           break;
         }
       }
+    } else {
+      // Parallel scoring: min over the palette of the first feasible
+      // color.  Chunks scan ascending and stop at their first hit, so
+      // each chunk returns its own minimum; combining with min yields
+      // exactly the sequential scan's pick.
+      pick = runtime::parallel_reduce<std::size_t>(
+          sched, {palette, 0}, kNone,
+          [&](std::size_t lo, std::size_t hi, std::size_t) {
+            std::vector<std::size_t> scratch;
+            for (std::size_t i = lo; i < hi; ++i) {
+              if (feasible(v, i + 1, scratch)) return i + 1;
+            }
+            return kNone;
+          },
+          [](std::size_t a, std::size_t b) { return std::min(a, b); });
     }
-    if (!placed) {
-      // Fresh color: unique in every incident edge by construction.
-      res.coloring[v] = ++palette;
-    }
+    // Fresh color: unique in every incident edge by construction.
+    res.coloring[v] = pick == kNone ? ++palette : pick;
   }
   res.colors_used = cf_color_count(res.coloring);
   PSL_ENSURES(is_conflict_free(h, res.coloring));

@@ -16,6 +16,7 @@
 
 #include "coloring/conflict_free.hpp"
 #include "hypergraph/hypergraph.hpp"
+#include "runtime/global.hpp"
 
 namespace pslocal {
 
@@ -44,7 +45,11 @@ struct GreedyCfResult {
 /// colored is happy.  A globally fresh color always works (it is unique
 /// in every incident edge), and an edge is only checked at the moment it
 /// completes — after which none of its vertices is ever recolored — so
-/// the pass always ends in a valid CF coloring.
-GreedyCfResult greedy_cf_coloring(const Hypergraph& h);
+/// the pass always ends in a valid CF coloring.  For large palettes the
+/// per-vertex color scoring fans out on `sched`; the pick (minimum
+/// feasible color) is identical at every thread count.
+GreedyCfResult greedy_cf_coloring(
+    const Hypergraph& h,
+    runtime::Scheduler& sched = runtime::global_scheduler());
 
 }  // namespace pslocal

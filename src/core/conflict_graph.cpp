@@ -2,11 +2,13 @@
 
 #include <algorithm>
 
+#include "runtime/parallel.hpp"
 #include "util/check.hpp"
 
 namespace pslocal {
 
-ConflictGraph::ConflictGraph(Hypergraph h, std::size_t k)
+ConflictGraph::ConflictGraph(Hypergraph h, std::size_t k,
+                             runtime::Scheduler& sched)
     : h_(std::move(h)), k_(k) {
   PSL_EXPECTS(k_ >= 1);
   const std::size_t m = h_.edge_count();
@@ -28,38 +30,62 @@ ConflictGraph::ConflictGraph(Hypergraph h, std::size_t k)
   }
 
   const std::size_t n_triples = pair_count * k_;
-  GraphBuilder builder(n_triples);
+  PSL_EXPECTS_MSG(n_triples < (std::uint64_t{1} << 32),
+                  "conflict graph too large for 32-bit triple ids");
   auto tid = [this](std::size_t pair, std::size_t c) {
     return static_cast<VertexId>(pair * k_ + (c - 1));
   };
 
+  // The three candidate-pair enumerations below fan out on `sched`; each
+  // chunk appends pack_edge-encoded pairs to a private sink
+  // (runtime/parallel.hpp).  The classes only differ in their outer loop
+  // domain; the final edge SET is what determines the graph, so any
+  // execution order yields the same G_k.
+  std::vector<std::uint64_t> packed;
+
   // E_edge: the triples of one hyperedge form a clique.
-  for (EdgeId e = 0; e < m; ++e) {
-    const std::size_t first = edge_pair_offset_[e] * k_;
-    const std::size_t last = edge_pair_offset_[e + 1] * k_;  // exclusive
-    for (std::size_t a = first; a < last; ++a)
-      for (std::size_t b = a + 1; b < last; ++b)
-        builder.add_edge(static_cast<VertexId>(a), static_cast<VertexId>(b));
+  {
+    auto out = runtime::parallel_collect<std::uint64_t>(
+        sched, {m, 0},
+        [&](std::size_t lo, std::size_t hi, std::vector<std::uint64_t>& sink) {
+          for (EdgeId e = lo; e < hi; ++e) {
+            const std::size_t first = edge_pair_offset_[e] * k_;
+            const std::size_t last = edge_pair_offset_[e + 1] * k_;
+            for (std::size_t a = first; a < last; ++a)
+              for (std::size_t b = a + 1; b < last; ++b)
+                sink.push_back(pack_edge(static_cast<VertexId>(a),
+                                         static_cast<VertexId>(b)));
+          }
+        });
+    packed = std::move(out);
   }
 
   // E_vertex: triples sharing their middle vertex, with different colors.
   // Group pairs by vertex via the hypergraph incidence lists.
-  for (VertexId v = 0; v < h_.vertex_count(); ++v) {
-    const auto incident = h_.edges_of(v);
-    std::vector<std::size_t> pairs;
-    pairs.reserve(incident.size());
-    for (EdgeId e : incident) pairs.push_back(pair_of(e, v));
-    for (std::size_t i = 0; i < pairs.size(); ++i) {
-      for (std::size_t j = i; j < pairs.size(); ++j) {
-        for (std::size_t c = 1; c <= k_; ++c) {
-          for (std::size_t d = 1; d <= k_; ++d) {
-            if (c == d) continue;
-            if (i == j && c >= d) continue;  // same pair: each {c,d} once
-            builder.add_edge(tid(pairs[i], c), tid(pairs[j], d));
+  {
+    auto out = runtime::parallel_collect<std::uint64_t>(
+        sched, {h_.vertex_count(), 0},
+        [&](std::size_t lo, std::size_t hi, std::vector<std::uint64_t>& sink) {
+          for (VertexId v = lo; v < hi; ++v) {
+            const auto incident = h_.edges_of(v);
+            std::vector<std::size_t> pairs;
+            pairs.reserve(incident.size());
+            for (EdgeId e : incident) pairs.push_back(pair_of(e, v));
+            for (std::size_t i = 0; i < pairs.size(); ++i) {
+              for (std::size_t j = i; j < pairs.size(); ++j) {
+                for (std::size_t c = 1; c <= k_; ++c) {
+                  for (std::size_t d = 1; d <= k_; ++d) {
+                    if (c == d) continue;
+                    if (i == j && c >= d) continue;  // same pair: {c,d} once
+                    sink.push_back(pack_edge(tid(pairs[i], c),
+                                             tid(pairs[j], d)));
+                  }
+                }
+              }
+            }
           }
-        }
-      }
-    }
+        });
+    packed.insert(packed.end(), out.begin(), out.end());
   }
 
   // E_color: same color c; the two middle vertices u, v lie together in
@@ -75,22 +101,29 @@ ConflictGraph::ConflictGraph(Hypergraph h, std::size_t k)
   // (e, v, c) and (g, v, c) and an u = v E_color edge would join them.
   // We therefore require u != v; see ConflictGraphTest.
   // SharedWitnessAcrossEdgesStaysIndependent for the counterexample.
-  for (EdgeId f = 0; f < m; ++f) {
-    const auto verts = h_.edge(f);
-    for (VertexId v : verts) {
-      const std::size_t pv = pair_of(f, v);
-      for (VertexId u : verts) {
-        if (u == v) continue;
-        for (EdgeId g : h_.edges_of(u)) {
-          const std::size_t pu = pair_of(g, u);
-          for (std::size_t c = 1; c <= k_; ++c)
-            builder.add_edge(tid(pv, c), tid(pu, c));
-        }
-      }
-    }
+  {
+    auto out = runtime::parallel_collect<std::uint64_t>(
+        sched, {m, 0},
+        [&](std::size_t lo, std::size_t hi, std::vector<std::uint64_t>& sink) {
+          for (EdgeId f = lo; f < hi; ++f) {
+            const auto verts = h_.edge(f);
+            for (VertexId v : verts) {
+              const std::size_t pv = pair_of(f, v);
+              for (VertexId u : verts) {
+                if (u == v) continue;
+                for (EdgeId g : h_.edges_of(u)) {
+                  const std::size_t pu = pair_of(g, u);
+                  for (std::size_t c = 1; c <= k_; ++c)
+                    sink.push_back(pack_edge(tid(pv, c), tid(pu, c)));
+                }
+              }
+            }
+          }
+        });
+    packed.insert(packed.end(), out.begin(), out.end());
   }
 
-  graph_ = builder.build();
+  graph_ = Graph::from_packed_edges(n_triples, std::move(packed), sched);
 }
 
 Triple ConflictGraph::triple(TripleId t) const {

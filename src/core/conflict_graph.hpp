@@ -31,6 +31,7 @@
 
 #include "graph/graph.hpp"
 #include "hypergraph/hypergraph.hpp"
+#include "runtime/global.hpp"
 
 namespace pslocal {
 
@@ -49,7 +50,12 @@ class ConflictGraph {
  public:
   /// Build G_k for conflict-free k-coloring of h.  The hypergraph is
   /// copied so the conflict graph stays valid independently of h.
-  ConflictGraph(Hypergraph h, std::size_t k);
+  /// Candidate-pair enumeration of the three edge classes fans out on
+  /// `sched`; the resulting graph is bit-identical at every thread count
+  /// (tests/test_parallel_determinism.cpp).
+  explicit ConflictGraph(Hypergraph h, std::size_t k,
+                         runtime::Scheduler& sched =
+                             runtime::global_scheduler());
 
   [[nodiscard]] const Hypergraph& hypergraph() const { return h_; }
   [[nodiscard]] std::size_t k() const { return k_; }

@@ -2,7 +2,40 @@
 
 #include <algorithm>
 
+#include "runtime/parallel.hpp"
+
 namespace pslocal {
+
+Graph Graph::from_packed_edges(std::size_t n,
+                               std::vector<std::uint64_t>&& packed,
+                               runtime::Scheduler& sched) {
+  runtime::parallel_sort(sched, packed);
+  packed.erase(std::unique(packed.begin(), packed.end()), packed.end());
+
+  Graph g;
+  g.offsets_.assign(n + 1, 0);
+  for (const std::uint64_t pe : packed) {
+    const auto u = static_cast<VertexId>(pe >> 32);
+    const auto v = static_cast<VertexId>(pe & 0xffffffffULL);
+    PSL_EXPECTS_MSG(u < v && v < n,
+                    "packed edge {" << u << "," << v << "} invalid for n=" << n);
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) g.offsets_[i] += g.offsets_[i - 1];
+  g.neighbors_.resize(packed.size() * 2);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  // Scanning edges in (u, v) order fills every CSR row ascending: row x
+  // first receives the u's of edges (u, x) in increasing u (< x), then
+  // the v's of edges (x, v) in increasing v (> x).  No per-row sort.
+  for (const std::uint64_t pe : packed) {
+    const auto u = static_cast<VertexId>(pe >> 32);
+    const auto v = static_cast<VertexId>(pe & 0xffffffffULL);
+    g.neighbors_[cursor[u]++] = v;
+    g.neighbors_[cursor[v]++] = u;
+  }
+  return g;
+}
 
 Graph Graph::from_edges(std::size_t n,
                         const std::vector<std::pair<VertexId, VertexId>>& edges,

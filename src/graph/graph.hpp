@@ -14,9 +14,22 @@
 
 namespace pslocal {
 
+namespace runtime {
+class Scheduler;
+}
+
 using VertexId = std::uint32_t;
 
 class GraphBuilder;
+
+/// Canonical one-word edge encoding used by the parallel construction
+/// paths: (min(u,v) << 32) | max(u,v).  Packed edges sort exactly like
+/// the (u, v) pairs GraphBuilder sorts, which is what keeps the parallel
+/// and sequential builds bit-identical.
+inline std::uint64_t pack_edge(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
 
 class Graph {
  public:
@@ -28,6 +41,14 @@ class Graph {
   static Graph from_edges(std::size_t n,
                           const std::vector<std::pair<VertexId, VertexId>>& edges,
                           bool dedup = false);
+
+  /// Build from pack_edge-encoded edges in any order, duplicates allowed
+  /// (self-loops are not).  The dominant cost — sorting — runs on the
+  /// given scheduler; the result is bit-identical to GraphBuilder::build
+  /// on the same edge multiset at every thread count.  Consumes `packed`.
+  static Graph from_packed_edges(std::size_t n,
+                                 std::vector<std::uint64_t>&& packed,
+                                 runtime::Scheduler& sched);
 
   [[nodiscard]] std::size_t vertex_count() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
   [[nodiscard]] std::size_t edge_count() const { return neighbors_.size() / 2; }

@@ -6,11 +6,11 @@
 namespace pslocal {
 
 LubyResult luby_mis(const Graph& g, std::uint64_t seed,
-                    std::size_t max_rounds) {
+                    std::size_t max_rounds, runtime::Scheduler& sched) {
   if (max_rounds == 0)
     max_rounds = detail::luby_default_round_cap(g.vertex_count());
   detail::LubyAlgorithm algo;
-  auto run = run_local(g, algo, seed, max_rounds);
+  auto run = run_local(g, algo, seed, max_rounds, sched);
 
   LubyResult res;
   res.rounds = run.rounds;

@@ -16,6 +16,7 @@
 
 #include "graph/graph.hpp"
 #include "mis/oracle.hpp"
+#include "runtime/global.hpp"
 
 namespace pslocal {
 
@@ -29,9 +30,12 @@ struct LubyResult {
 };
 
 /// Run Luby's algorithm; `max_rounds` caps the simulation (default scales
-/// as c*log2(n) iterations, far above the w.h.p. bound).
+/// as c*log2(n) iterations, far above the w.h.p. bound).  Round
+/// evaluation fans out on `sched`; for a fixed seed the result is
+/// bit-identical at every thread count (per-vertex RNG substreams).
 LubyResult luby_mis(const Graph& g, std::uint64_t seed,
-                    std::size_t max_rounds = 0);
+                    std::size_t max_rounds = 0,
+                    runtime::Scheduler& sched = runtime::global_scheduler());
 
 /// Oracle adapter: an MIS is a (Δ+1)-approximation of MaxIS (each chosen
 /// vertex eliminates at most Δ optimum vertices).

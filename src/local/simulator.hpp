@@ -17,6 +17,16 @@
 // a node's new state is a function of its previous state and the messages
 // of its direct neighbors from this round only.  Per-node randomness comes
 // from independent substreams of one seed, so runs are reproducible.
+//
+// Rounds are evaluated in parallel on the given runtime::Scheduler: the
+// emit sweep and the step sweep are each data-parallel over vertices
+// (the synchronous-round semantics already forbids a vertex from
+// touching another vertex's state).  Because every vertex owns a
+// dedicated RNG substream, the simulation is bit-identical at every
+// thread count.  Algorithm implementations must keep emit/step/halted
+// free of shared mutable state outside the vertex's own State (all
+// in-tree algorithms are; per-vertex-slot members like Linial's round
+// table are fine).
 #pragma once
 
 #include <cstddef>
@@ -25,6 +35,8 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "runtime/global.hpp"
+#include "runtime/parallel.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -75,10 +87,12 @@ struct LocalRunResult {
 };
 
 /// Run the algorithm until every node halts or `max_rounds` is reached.
+/// The emit and step sweeps of each round fan out on `sched`.
 template <typename State, typename Msg>
-LocalRunResult<State> run_local(const Graph& g,
-                                BroadcastAlgorithm<State, Msg>& algo,
-                                std::uint64_t seed, std::size_t max_rounds) {
+LocalRunResult<State> run_local(
+    const Graph& g, BroadcastAlgorithm<State, Msg>& algo, std::uint64_t seed,
+    std::size_t max_rounds,
+    runtime::Scheduler& sched = runtime::global_scheduler()) {
   const std::size_t n = g.vertex_count();
   Rng base(seed);
   std::vector<Rng> node_rng;
@@ -86,50 +100,78 @@ LocalRunResult<State> run_local(const Graph& g,
   for (VertexId v = 0; v < n; ++v) node_rng.push_back(base.split(v));
 
   LocalRunResult<State> run;
+  // init stays sequential in vertex order: some algorithms size
+  // per-vertex tables here, and the order is part of the seeded contract.
   run.states.reserve(n);
   for (VertexId v = 0; v < n; ++v)
     run.states.push_back(algo.init(v, g, node_rng[v]));
 
+  auto all_halted = [&] {
+    return runtime::parallel_reduce<bool>(
+        sched, {n, 0}, true,
+        [&](std::size_t lo, std::size_t hi, std::size_t) {
+          for (VertexId v = lo; v < hi; ++v)
+            if (!algo.halted(v, run.states[v])) return false;
+          return true;
+        },
+        [](bool a, bool b) { return a && b; });
+  };
+
+  struct RoundAccounting {
+    std::size_t sent = 0;
+    std::size_t total_bytes = 0;
+    std::size_t max_bytes = 0;
+  };
+
   std::vector<std::optional<Msg>> outbox(n);
-  std::vector<std::optional<Msg>> inbox;
   while (run.rounds < max_rounds) {
-    bool all_halted = true;
-    for (VertexId v = 0; v < n; ++v)
-      if (!algo.halted(v, run.states[v])) {
-        all_halted = false;
-        break;
-      }
-    if (all_halted) {
+    if (all_halted()) {
       run.all_halted = true;
       break;
     }
 
     // Synchronous round: everyone emits from the pre-round state...
-    for (VertexId v = 0; v < n; ++v) {
-      outbox[v] = algo.emit(v, run.states[v]);
-      if (outbox[v]) {
-        const std::size_t bytes = algo.message_size(*outbox[v]);
-        ++run.messages_sent;
-        run.total_message_bytes += bytes;
-        run.max_message_bytes = std::max(run.max_message_bytes, bytes);
-      }
-    }
+    const auto acct = runtime::parallel_reduce<RoundAccounting>(
+        sched, {n, 0}, RoundAccounting{},
+        [&](std::size_t lo, std::size_t hi, std::size_t) {
+          RoundAccounting a;
+          for (VertexId v = lo; v < hi; ++v) {
+            outbox[v] = algo.emit(v, run.states[v]);
+            if (outbox[v]) {
+              const std::size_t bytes = algo.message_size(*outbox[v]);
+              ++a.sent;
+              a.total_bytes += bytes;
+              a.max_bytes = std::max(a.max_bytes, bytes);
+            }
+          }
+          return a;
+        },
+        [](RoundAccounting a, RoundAccounting b) {
+          a.sent += b.sent;
+          a.total_bytes += b.total_bytes;
+          a.max_bytes = std::max(a.max_bytes, b.max_bytes);
+          return a;
+        });
+    run.messages_sent += acct.sent;
+    run.total_message_bytes += acct.total_bytes;
+    run.max_message_bytes = std::max(run.max_message_bytes, acct.max_bytes);
+
     // ...then everyone steps on its neighbors' messages.
-    for (VertexId v = 0; v < n; ++v) {
-      if (algo.halted(v, run.states[v])) continue;
-      const auto nb = g.neighbors(v);
-      inbox.assign(nb.size(), std::nullopt);
-      for (std::size_t i = 0; i < nb.size(); ++i) inbox[i] = outbox[nb[i]];
-      algo.step(v, run.states[v], inbox, node_rng[v]);
-    }
+    runtime::parallel_for(
+        sched, {n, 0}, [&](std::size_t lo, std::size_t hi) {
+          std::vector<std::optional<Msg>> inbox;  // per-chunk scratch
+          for (VertexId v = lo; v < hi; ++v) {
+            if (algo.halted(v, run.states[v])) continue;
+            const auto nb = g.neighbors(v);
+            inbox.assign(nb.size(), std::nullopt);
+            for (std::size_t i = 0; i < nb.size(); ++i)
+              inbox[i] = outbox[nb[i]];
+            algo.step(v, run.states[v], inbox, node_rng[v]);
+          }
+        });
     ++run.rounds;
   }
-  if (!run.all_halted) {
-    bool all_halted = true;
-    for (VertexId v = 0; v < n; ++v)
-      if (!algo.halted(v, run.states[v])) all_halted = false;
-    run.all_halted = all_halted;
-  }
+  if (!run.all_halted) run.all_halted = all_halted();
   return run;
 }
 

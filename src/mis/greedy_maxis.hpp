@@ -18,6 +18,7 @@
 
 #include "graph/graph.hpp"
 #include "mis/oracle.hpp"
+#include "runtime/global.hpp"
 #include "util/rng.hpp"
 
 namespace pslocal {
@@ -27,8 +28,13 @@ namespace pslocal {
 std::vector<VertexId> greedy_mis_in_order(const Graph& g,
                                           const std::vector<VertexId>& order);
 
-/// Min-degree greedy (see header comment).
-std::vector<VertexId> greedy_min_degree_maxis(const Graph& g);
+/// Min-degree greedy (see header comment).  The per-iteration argmin
+/// scan — the quadratic hot path on conflict graphs — fans out on
+/// `sched` with a (degree, id) tie-break that reproduces the sequential
+/// scan's pick exactly, so the output is identical at every thread count.
+std::vector<VertexId> greedy_min_degree_maxis(
+    const Graph& g,
+    runtime::Scheduler& sched = runtime::global_scheduler());
 
 /// Clique-cover greedy (see header comment).
 std::vector<VertexId> clique_cover_greedy_maxis(const Graph& g);

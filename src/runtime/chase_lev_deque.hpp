@@ -1,0 +1,138 @@
+// Chase–Lev work-stealing deque [Chase & Lev, SPAA 2005] in the C11
+// formulation of Lê, Pop, Cohen & Zappa Nardelli, "Correct and Efficient
+// Work-Stealing for Weakly Ordered Memory Models" (PPoPP 2013).  We use
+// their sequentially-consistent variant (seq_cst on the bottom/top
+// synchronization points) rather than the fence-optimized one:
+// standalone atomic_thread_fence is invisible to ThreadSanitizer, and a
+// TSan-clean runtime (CMake option PSLOCAL_TSAN) is part of this
+// library's CI contract.  The cost is one seq_cst store per owner pop on
+// the empty-check path — noise next to a chunk of real work.
+//
+// Single owner, many thieves: the owner pushes and pops at the bottom
+// (LIFO, cache-friendly for the lazy-binary-splitting ranges the thread
+// pool stores here), thieves steal from the top (FIFO, so they grab the
+// largest unsplit ranges first).  The circular buffer grows on demand;
+// retired buffers are kept on a free list until the deque dies because a
+// concurrent thief may still be reading a stale buffer pointer.
+//
+// Elements are raw std::uint64_t payloads (the pool packs a chunk range
+// into one word) so every cell fits a lock-free atomic.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace pslocal::runtime {
+
+class ChaseLevDeque {
+ public:
+  explicit ChaseLevDeque(std::size_t initial_capacity = 64)
+      : buffer_(new Buffer(round_up_pow2(initial_capacity))) {
+    retired_.emplace_back(buffer_.load(std::memory_order_relaxed));
+  }
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  ~ChaseLevDeque() = default;  // retired_ owns every buffer ever used
+
+  /// Owner only: push one item at the bottom.
+  void push(std::uint64_t item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(buf->capacity) - 1) {
+      buf = grow(buf, t, b);
+    }
+    buf->put(b, item);
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Owner only: pop the most recently pushed item.
+  std::optional<std::uint64_t> pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // deque was already empty
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    std::uint64_t item = buf->get(b);
+    if (t == b) {
+      // Last element: race against thieves for it.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return std::nullopt;  // a thief won
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  /// Any thread: steal the oldest item.
+  std::optional<std::uint64_t> steal() {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return std::nullopt;
+    Buffer* buf = buffer_.load(std::memory_order_acquire);
+    const std::uint64_t item = buf->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return std::nullopt;  // lost the race to the owner or another thief
+    }
+    return item;
+  }
+
+  /// Racy size hint (monitoring only).
+  [[nodiscard]] std::size_t size_hint() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::size_t cap) : capacity(cap), cells(cap) {}
+    const std::size_t capacity;  // power of two
+    std::vector<std::atomic<std::uint64_t>> cells;
+
+    [[nodiscard]] std::uint64_t get(std::int64_t i) const {
+      return cells[static_cast<std::size_t>(i) & (capacity - 1)].load(
+          std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, std::uint64_t v) {
+      cells[static_cast<std::size_t>(i) & (capacity - 1)].store(
+          v, std::memory_order_relaxed);
+    }
+  };
+
+  static std::size_t round_up_pow2(std::size_t v) {
+    std::size_t p = 8;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    auto bigger = std::make_unique<Buffer>(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    Buffer* raw = bigger.get();
+    retired_.push_back(std::move(bigger));
+    buffer_.store(raw, std::memory_order_release);
+    return raw;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Buffer*> buffer_;
+  // Owner-only mutation (push path); keeps old buffers alive for stale
+  // readers.  Never shrinks — deque lifetime is the pool's lifetime.
+  std::vector<std::unique_ptr<Buffer>> retired_;
+};
+
+}  // namespace pslocal::runtime

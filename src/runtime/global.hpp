@@ -1,0 +1,27 @@
+// The process-global scheduler.
+//
+// Library entry points take `runtime::Scheduler& sched =
+// runtime::global_scheduler()`.  The global starts as a single-lane pool
+// (fully sequential — the pre-runtime behavior); binaries opt into
+// parallelism via `--threads N` (util/options) and a call to
+// set_global_thread_count at startup, before any parallel work.
+#pragma once
+
+#include <cstddef>
+
+#include "runtime/scheduler.hpp"
+
+namespace pslocal::runtime {
+
+/// The global scheduler; a 1-lane pool until configured otherwise.
+[[nodiscard]] Scheduler& global_scheduler();
+
+/// Resize the global pool to `threads` lanes (0 = hardware_concurrency).
+/// Not thread-safe against concurrent global_scheduler() users: call it
+/// from main() during startup, as the bench/example binaries do.
+void set_global_thread_count(std::size_t threads);
+
+/// Lanes of the current global pool.
+[[nodiscard]] std::size_t global_thread_count();
+
+}  // namespace pslocal::runtime

@@ -1,0 +1,138 @@
+#include "util/bench_report.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "runtime/global.hpp"
+#include "util/check.hpp"
+
+namespace pslocal {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// True iff strtod consumes the whole cell — i.e. the cell is already a
+/// valid JSON number ("12", "-0.5", "1e3"), as opposed to decorated
+/// numerics like "1.500x" or "75%", which stay strings.
+bool is_plain_number(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size() && std::isfinite(v);
+}
+
+std::string cell_to_json(const std::string& cell) {
+  if (is_plain_number(cell)) return cell;
+  return '"' + json_escape(cell) + '"';
+}
+
+std::string double_to_json(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+void apply_thread_option(const Options& opts) {
+  if (opts.has("threads"))
+    runtime::set_global_thread_count(
+        static_cast<std::size_t>(opts.get_int("threads", 0)));
+}
+
+BenchReport::BenchReport(std::string name, const Options& opts)
+    : name_(std::move(name)), json_out_(opts.json_out()) {
+  for (const auto& [key, value] : opts.values())
+    options_.emplace_back(key, cell_to_json(value));
+  // Record the *effective* worker count, so a run without --threads is
+  // still fully described by its JSON.
+  if (!opts.has("threads"))
+    options_.emplace_back(
+        "threads", std::to_string(runtime::global_thread_count()));
+}
+
+BenchReport& BenchReport::metric(const std::string& key, double value) {
+  metrics_.emplace_back(key, double_to_json(value));
+  return *this;
+}
+
+BenchReport& BenchReport::metric(const std::string& key,
+                                 const std::string& value) {
+  metrics_.emplace_back(key, '"' + json_escape(value) + '"');
+  return *this;
+}
+
+BenchReport& BenchReport::add_table(const Table& t) {
+  tables_.push_back({t.caption(), t.columns(), t.data_rows()});
+  return *this;
+}
+
+std::string BenchReport::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"" << json_escape(name_) << "\",\n";
+  os << "  \"options\": {";
+  for (std::size_t i = 0; i < options_.size(); ++i) {
+    os << (i ? ", " : "") << '"' << json_escape(options_[i].first)
+       << "\": " << options_[i].second;
+  }
+  os << "},\n  \"metrics\": {";
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    os << (i ? ", " : "") << '"' << json_escape(metrics_[i].first)
+       << "\": " << metrics_[i].second;
+  }
+  os << "},\n  \"tables\": [";
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    const auto& tab = tables_[t];
+    os << (t ? "," : "") << "\n    {\n      \"caption\": \""
+       << json_escape(tab.caption) << "\",\n      \"columns\": [";
+    for (std::size_t c = 0; c < tab.columns.size(); ++c)
+      os << (c ? ", " : "") << '"' << json_escape(tab.columns[c]) << '"';
+    os << "],\n      \"rows\": [";
+    for (std::size_t r = 0; r < tab.rows.size(); ++r) {
+      os << (r ? "," : "") << "\n        [";
+      for (std::size_t c = 0; c < tab.rows[r].size(); ++c)
+        os << (c ? ", " : "") << cell_to_json(tab.rows[r][c]);
+      os << ']';
+    }
+    os << (tab.rows.empty() ? "]" : "\n      ]") << "\n    }";
+  }
+  os << (tables_.empty() ? "]" : "\n  ]") << "\n}";
+  return os.str();
+}
+
+std::string BenchReport::write() const {
+  std::string path = json_out_.empty() ? "BENCH_" + name_ + ".json"
+                                       : json_out_;
+  if (path == "none") return "";
+  std::ofstream out(path);
+  PSL_CHECK_MSG(out.good(), "cannot open --json-out path " << path);
+  out << to_json() << '\n';
+  return path;
+}
+
+}  // namespace pslocal

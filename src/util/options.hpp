@@ -28,6 +28,23 @@ class Options {
     return positionals_;
   }
 
+  /// Worker-thread count requested with --threads (0 = use
+  /// hardware_concurrency; fallback when the flag is absent).
+  [[nodiscard]] long threads(long fallback = 1) const {
+    return get_int("threads", fallback);
+  }
+
+  /// Output path requested with --json-out; empty = use the caller's
+  /// default (benches write BENCH_<name>.json).
+  [[nodiscard]] std::string json_out() const {
+    return get_string("json-out", "");
+  }
+
+  /// All parsed --name=value pairs, verbatim (for report provenance).
+  [[nodiscard]] const std::map<std::string, std::string>& values() const {
+    return values_;
+  }
+
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> positionals_;

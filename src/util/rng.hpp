@@ -51,6 +51,23 @@ class Rng {
     return r;
   }
 
+  /// Derive the `stream`-th child generator without advancing this one.
+  /// Unlike split(), which funnels the child through a single 64-bit
+  /// reseed, fork() fills the child's entire 256-bit state from a
+  /// per-stream SplitMix64 sequence, the splittable-PRNG construction of
+  /// Steele, Lea & Flood (OOPSLA 2014).  This is the API the parallel
+  /// runtime uses for per-chunk streams (runtime/parallel.hpp); the
+  /// non-correlation smoke test lives in test_rng.cpp.
+  [[nodiscard]] Rng fork(std::uint64_t stream) const {
+    SplitMix64 sm(s_[0] ^ rotl(s_[1], 13) ^ rotl(s_[2], 29) ^
+                  (0x9e3779b97f4a7c15ULL * (stream + 1)));
+    Rng r;
+    for (auto& w : r.s_) w = sm.next();
+    // xoshiro256** requires a nonzero state (probability 2^-256 here).
+    if ((r.s_[0] | r.s_[1] | r.s_[2] | r.s_[3]) == 0) r.s_[0] = 1;
+    return r;
+  }
+
   std::uint64_t next_u64() {
     const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
     const std::uint64_t t = s_[1] << 17;

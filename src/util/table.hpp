@@ -24,6 +24,13 @@ class Table {
 
   [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
   [[nodiscard]] const std::string& caption() const { return caption_; }
+  [[nodiscard]] const std::vector<std::string>& columns() const {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& data_rows()
+      const {
+    return rows_;
+  }
 
   /// Render with box-drawing separators and right-aligned numeric cells.
   [[nodiscard]] std::string render() const;

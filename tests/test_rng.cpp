@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <set>
 
@@ -151,6 +152,64 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(Rng, SampleLargerThanPopulationViolatesContract) {
   Rng rng(1);
   EXPECT_THROW(rng.sample_without_replacement(3, 4), ContractViolation);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng parent(7);
+  Rng a = parent.fork(42);
+  Rng b = Rng(7).fork(42);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForkDoesNotAdvanceParent) {
+  Rng parent(7), untouched(7);
+  (void)parent.fork(0);
+  (void)parent.fork(1);
+  for (int i = 0; i < 32; ++i)
+    EXPECT_EQ(parent.next_u64(), untouched.next_u64());
+}
+
+TEST(Rng, ForkStreamsDiverge) {
+  Rng parent(7);
+  Rng a = parent.fork(0);
+  Rng b = parent.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+// Statistical non-correlation smoke test: the Pearson correlation of
+// sibling fork() streams (and of a stream against its parent) over 4096
+// paired doubles must be tiny.  For iid uniforms the sample correlation
+// has sd ~ 1/sqrt(4096) ~ 0.016, so |r| < 0.1 is a > 6-sigma bound —
+// loose enough to never flake, tight enough to catch a shared or lagged
+// state bug immediately.
+TEST(Rng, ForkStreamsAreUncorrelated) {
+  const int kSamples = 4096;
+  auto pearson = [&](Rng x, Rng y) {
+    double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+    for (int i = 0; i < kSamples; ++i) {
+      const double a = x.next_double();
+      const double b = y.next_double();
+      sx += a;
+      sy += b;
+      sxx += a * a;
+      syy += b * b;
+      sxy += a * b;
+    }
+    const double n = kSamples;
+    const double cov = sxy - sx * sy / n;
+    const double vx = sxx - sx * sx / n;
+    const double vy = syy - sy * sy / n;
+    return cov / std::sqrt(vx * vy);
+  };
+  Rng parent(101);
+  EXPECT_LT(std::abs(pearson(parent.fork(0), parent.fork(1))), 0.1);
+  EXPECT_LT(std::abs(pearson(parent.fork(0), parent.fork(12345))), 0.1);
+  EXPECT_LT(std::abs(pearson(parent, parent.fork(0))), 0.1);
+  // Adjacent stream ids — the case a weak mixer would fail first.
+  EXPECT_LT(std::abs(pearson(parent.fork(7), parent.fork(8))), 0.1);
 }
 
 TEST(Rng, ShuffleKeepsMultiset) {
