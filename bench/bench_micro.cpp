@@ -1,6 +1,12 @@
 // Experiment E11: micro-benchmarks (google-benchmark) for the hot paths:
 // conflict-graph construction, the Lemma 2.1 correspondence maps, the
 // greedy oracles, and happy-edge scanning.
+//
+// Like every other bench this binary honors --threads=N (global pool),
+// --json-out=<path> and --trace-out=<path>: a custom main applies the
+// repo options before benchmark::Initialize consumes the --benchmark_*
+// flags, and a collecting reporter snapshots every run into a
+// BenchReport table so BENCH_micro.json is regression-trackable.
 #include <benchmark/benchmark.h>
 
 #include "core/correspondence.hpp"
@@ -11,6 +17,9 @@
 #include "mis/exact_maxis.hpp"
 #include "mis/greedy_maxis.hpp"
 #include "mis/kernelization.hpp"
+#include "util/bench_report.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
 
 namespace {
 
@@ -126,6 +135,45 @@ void BM_FullReductionGreedy(benchmark::State& state) {
 }
 BENCHMARK(BM_FullReductionGreedy)->Arg(16)->Arg(64);
 
+// Console output as usual, plus one table row per finished run for the
+// JSON report (ns are per iteration, like the console numbers).
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  CollectingReporter() : table_("E11 — micro-benchmark hot paths") {
+    table_.header({"benchmark", "iterations", "real ns/iter", "cpu ns/iter",
+                   "label"});
+  }
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      table_.row({run.benchmark_name(),
+                  fmt_size(static_cast<std::size_t>(run.iterations)),
+                  fmt_double(run.GetAdjustedRealTime(), 1),
+                  fmt_double(run.GetAdjustedCPUTime(), 1),
+                  run.report_label});
+    }
+  }
+
+  [[nodiscard]] const Table& table() const { return table_; }
+
+ private:
+  Table table_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  apply_thread_option(opts);
+  // benchmark::Initialize strips the --benchmark_* flags it understands
+  // and leaves ours alone; both parsers see the full command line.
+  benchmark::Initialize(&argc, argv);
+  BenchReport json_report("micro", opts);
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  json_report.add_table(reporter.table());
+  json_report.write();
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Overhead proof for src/obs/: how much does instrumentation cost when
+// it is compiled in but no trace session is active?
+//
+// The hot loop mirrors how the library is actually instrumented — a
+// counter bump and a scoped span per *block* of work (the runtime
+// instruments per chunk/region, never per element).  Reported numbers:
+//
+//   * baseline        — the raw kernel, no instrumentation
+//   * counter/block   — + one Counter::add per block
+//   * span/block      — + one untraced ScopedSpan per block
+//   * full/block      — + both (the realistic configuration)
+//   * counter/element — worst case: a Counter::add on EVERY element,
+//                       far denser than anything the library does
+//
+// The acceptance bound lives in `overhead_full_pct`: the realistic
+// instrumented-but-untraced loop must stay within ~2% of baseline.  In
+// a -DPSLOCAL_OBS=OFF build every variant must time like baseline (the
+// stubs compile to nothing) and `obs_enabled` reports 0.
+#include <cstdint>
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "obs/obs.hpp"
+#include "util/bench_report.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace pslocal;
+
+namespace {
+
+constexpr std::size_t kBlock = 512;  // elements per instrumented block
+
+// xorshift-mix kernel: cheap, unvectorizable enough to time honestly.
+inline std::uint64_t mix(std::uint64_t x) {
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  return x;
+}
+
+std::uint64_t run_block(std::uint64_t x) {
+  for (std::size_t i = 0; i < kBlock; ++i) x = mix(x);
+  return x;
+}
+
+/// Best-of-`reps` wall time of `blocks` blocks under `body`; body takes
+/// and returns the rolling checksum so nothing folds away.
+template <typename Body>
+double best_seconds(std::size_t blocks, std::size_t reps, Body&& body) {
+  double best = 1e100;
+  for (std::size_t r = 0; r < reps; ++r) {
+    std::uint64_t x = 88172645463325252ull + r;
+    WallTimer timer;
+    for (std::size_t b = 0; b < blocks; ++b) x = body(x);
+    const double s = timer.elapsed_seconds();
+    benchmark::DoNotOptimize(x);
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  apply_thread_option(opts);
+  BenchReport json_report("obs_overhead", opts);
+  const auto blocks =
+      static_cast<std::size_t>(opts.get_int("blocks", 200000));
+  const auto reps = static_cast<std::size_t>(opts.get_int("reps", 7));
+
+  obs::Counter block_counter("obs_overhead.blocks");
+  obs::Counter element_counter("obs_overhead.elements");
+
+  const double base = best_seconds(blocks, reps, [](std::uint64_t x) {
+    return run_block(x);
+  });
+  const double with_counter =
+      best_seconds(blocks, reps, [&](std::uint64_t x) {
+        block_counter.add(1);
+        return run_block(x);
+      });
+  const double with_span = best_seconds(blocks, reps, [](std::uint64_t x) {
+    PSL_OBS_SPAN("obs_overhead.block");
+    return run_block(x);
+  });
+  const double with_full = best_seconds(blocks, reps, [&](std::uint64_t x) {
+    PSL_OBS_SPAN("obs_overhead.block");
+    block_counter.add(1);
+    return run_block(x);
+  });
+  const double per_element =
+      best_seconds(blocks, reps, [&](std::uint64_t x) {
+        for (std::size_t i = 0; i < kBlock; ++i) {
+          element_counter.add(1);
+          x = mix(x);
+        }
+        return x;
+      });
+
+  const auto pct = [&](double t) { return (t / base - 1.0) * 100.0; };
+  const auto ns_per_block = [&](double t) {
+    return t / static_cast<double>(blocks) * 1e9;
+  };
+
+  Table table("obs overhead — instrumented-but-untraced hot loop (" +
+              std::to_string(blocks) + " blocks x " +
+              std::to_string(kBlock) + " elements, best of " +
+              std::to_string(reps) + ")");
+  table.header({"variant", "ns/block", "overhead %"});
+  table.row({"baseline", fmt_double(ns_per_block(base), 1), fmt_double(0.0, 2)});
+  table.row({"counter/block", fmt_double(ns_per_block(with_counter), 1),
+             fmt_double(pct(with_counter), 2)});
+  table.row({"span/block", fmt_double(ns_per_block(with_span), 1),
+             fmt_double(pct(with_span), 2)});
+  table.row({"full/block", fmt_double(ns_per_block(with_full), 1),
+             fmt_double(pct(with_full), 2)});
+  table.row({"counter/element", fmt_double(ns_per_block(per_element), 1),
+             fmt_double(pct(per_element), 2)});
+  std::cout << table.render();
+
+  json_report.add_table(table);
+  json_report.metric("obs_enabled", obs::kEnabled ? 1.0 : 0.0);
+  json_report.metric("baseline_ns_per_block", ns_per_block(base));
+  json_report.metric("overhead_counter_pct", pct(with_counter));
+  json_report.metric("overhead_span_pct", pct(with_span));
+  json_report.metric("overhead_full_pct", pct(with_full));
+  json_report.metric("overhead_counter_per_element_pct", pct(per_element));
+  json_report.write();
+
+  std::cout << (obs::kEnabled ? "obs compiled IN" : "obs compiled OUT")
+            << "; realistic (full/block) overhead: "
+            << fmt_double(pct(with_full), 2) << "% (bound: 2%).\n";
+  return 0;
+}

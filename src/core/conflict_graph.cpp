@@ -2,15 +2,31 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "runtime/parallel.hpp"
 #include "util/check.hpp"
 
 namespace pslocal {
 
+namespace {
+struct ConflictGraphMetrics {
+  obs::Counter builds{"conflict_graph.builds"};
+  obs::Counter triples{"conflict_graph.triples"};
+  obs::Counter candidate_pairs{"conflict_graph.candidate_pairs"};
+  obs::Counter edges{"conflict_graph.edges"};
+};
+
+const ConflictGraphMetrics& cg_metrics() {
+  static ConflictGraphMetrics m;
+  return m;
+}
+}  // namespace
+
 ConflictGraph::ConflictGraph(Hypergraph h, std::size_t k,
                              runtime::Scheduler& sched)
     : h_(std::move(h)), k_(k) {
   PSL_EXPECTS(k_ >= 1);
+  PSL_OBS_SPAN("conflict_graph.build");
   const std::size_t m = h_.edge_count();
 
   // Lay out incidence pairs (e, v) edge by edge.
@@ -123,7 +139,11 @@ ConflictGraph::ConflictGraph(Hypergraph h, std::size_t k,
     packed.insert(packed.end(), out.begin(), out.end());
   }
 
+  cg_metrics().builds.add(1);
+  cg_metrics().triples.add(n_triples);
+  cg_metrics().candidate_pairs.add(packed.size());
   graph_ = Graph::from_packed_edges(n_triples, std::move(packed), sched);
+  cg_metrics().edges.add(graph_.edge_count());
 }
 
 Triple ConflictGraph::triple(TripleId t) const {

@@ -4,10 +4,27 @@
 
 #include "core/correspondence.hpp"
 #include "mis/independent_set.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
 namespace pslocal {
+
+namespace {
+struct ReductionMetrics {
+  obs::Counter runs{"reduction.runs"};
+  obs::Counter phases{"reduction.phases"};
+  obs::Counter happy_removed{"reduction.happy_removed"};
+  obs::Counter oracle_ns{"reduction.oracle_ns"};
+  obs::Histogram phase_edges{"reduction.phase_edges"};
+  obs::Histogram run_phases{"reduction.run_phases"};
+};
+
+const ReductionMetrics& red_metrics() {
+  static ReductionMetrics m;
+  return m;
+}
+}  // namespace
 
 std::size_t reduction_phase_bound(double lambda, std::size_t m) {
   PSL_EXPECTS(lambda >= 1.0);
@@ -21,6 +38,8 @@ ReductionResult cf_multicoloring_via_maxis(const Hypergraph& h,
                                            MaxISOracle& oracle,
                                            const ReductionOptions& opts) {
   PSL_EXPECTS(opts.k >= 1);
+  PSL_OBS_SPAN("reduction.run");
+  red_metrics().runs.add(1);
   const std::size_t m = h.edge_count();
 
   ReductionResult result;
@@ -42,7 +61,10 @@ ReductionResult cf_multicoloring_via_maxis(const Hypergraph& h,
 
   Hypergraph current = h.restrict_edges(std::vector<bool>(m, true));
   while (current.edge_count() > 0 && result.phases < phase_cap) {
+    PSL_OBS_SPAN("reduction.phase");
     const std::size_t phase = ++result.phases;
+    red_metrics().phases.add(1);
+    red_metrics().phase_edges.record(current.edge_count());
     PhaseStats stats;
     stats.phase = phase;
     stats.edges_before = current.edge_count();
@@ -54,7 +76,12 @@ ReductionResult cf_multicoloring_via_maxis(const Hypergraph& h,
 
     // 2. λ-approximate MaxIS.
     WallTimer timer;
-    const auto is = oracle.solve(cg.graph());
+    std::vector<VertexId> is;
+    {
+      PSL_OBS_SPAN("reduction.oracle");
+      is = oracle.solve(cg.graph());
+    }
+    red_metrics().oracle_ns.add(timer.elapsed_nanos());
     stats.oracle_millis = timer.elapsed_millis();
     stats.is_size = is.size();
     if (opts.verify_phases)
@@ -79,6 +106,7 @@ ReductionResult cf_multicoloring_via_maxis(const Hypergraph& h,
       if (happy[e]) ++happy_count;
     }
     stats.happy_removed = happy_count;
+    red_metrics().happy_removed.add(happy_count);
     if (opts.verify_phases)
       PSL_CHECK_MSG(happy_count >= is.size(),
                     "fewer happy edges than |I| (Lemma 2.1 b violated)");
@@ -88,6 +116,7 @@ ReductionResult cf_multicoloring_via_maxis(const Hypergraph& h,
     current = current.restrict_edges(keep);
   }
 
+  red_metrics().run_phases.record(result.phases);
   result.success = (current.edge_count() == 0);
   result.colors_used = result.coloring.palette_size();
   result.palette_bound = opts.k * result.phases;

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "obs/obs.hpp"
 #include "runtime/global.hpp"
 #include "runtime/parallel.hpp"
 #include "util/check.hpp"
@@ -88,11 +89,29 @@ struct LocalRunResult {
 
 /// Run the algorithm until every node halts or `max_rounds` is reached.
 /// The emit and step sweeps of each round fan out on `sched`.
+namespace detail {
+/// Shared across every run_local instantiation (obs dedupes by name).
+struct LocalSimMetrics {
+  obs::Counter runs{"local.runs"};
+  obs::Counter rounds{"local.rounds"};
+  obs::Counter messages{"local.messages"};
+  obs::Counter message_bytes{"local.message_bytes"};
+  obs::Histogram run_rounds{"local.run_rounds"};
+  static const LocalSimMetrics& get() {
+    static LocalSimMetrics m;
+    return m;
+  }
+};
+}  // namespace detail
+
 template <typename State, typename Msg>
 LocalRunResult<State> run_local(
     const Graph& g, BroadcastAlgorithm<State, Msg>& algo, std::uint64_t seed,
     std::size_t max_rounds,
     runtime::Scheduler& sched = runtime::global_scheduler()) {
+  PSL_OBS_SPAN("local.run");
+  const auto& obs_metrics = detail::LocalSimMetrics::get();
+  obs_metrics.runs.add(1);
   const std::size_t n = g.vertex_count();
   Rng base(seed);
   std::vector<Rng> node_rng;
@@ -130,48 +149,61 @@ LocalRunResult<State> run_local(
       break;
     }
 
+    PSL_OBS_SPAN("local.round");
+
     // Synchronous round: everyone emits from the pre-round state...
-    const auto acct = runtime::parallel_reduce<RoundAccounting>(
-        sched, {n, 0}, RoundAccounting{},
-        [&](std::size_t lo, std::size_t hi, std::size_t) {
-          RoundAccounting a;
-          for (VertexId v = lo; v < hi; ++v) {
-            outbox[v] = algo.emit(v, run.states[v]);
-            if (outbox[v]) {
-              const std::size_t bytes = algo.message_size(*outbox[v]);
-              ++a.sent;
-              a.total_bytes += bytes;
-              a.max_bytes = std::max(a.max_bytes, bytes);
+    RoundAccounting acct;
+    {
+      PSL_OBS_SPAN("local.emit");
+      acct = runtime::parallel_reduce<RoundAccounting>(
+          sched, {n, 0}, RoundAccounting{},
+          [&](std::size_t lo, std::size_t hi, std::size_t) {
+            RoundAccounting a;
+            for (VertexId v = lo; v < hi; ++v) {
+              outbox[v] = algo.emit(v, run.states[v]);
+              if (outbox[v]) {
+                const std::size_t bytes = algo.message_size(*outbox[v]);
+                ++a.sent;
+                a.total_bytes += bytes;
+                a.max_bytes = std::max(a.max_bytes, bytes);
+              }
             }
-          }
-          return a;
-        },
-        [](RoundAccounting a, RoundAccounting b) {
-          a.sent += b.sent;
-          a.total_bytes += b.total_bytes;
-          a.max_bytes = std::max(a.max_bytes, b.max_bytes);
-          return a;
-        });
+            return a;
+          },
+          [](RoundAccounting a, RoundAccounting b) {
+            a.sent += b.sent;
+            a.total_bytes += b.total_bytes;
+            a.max_bytes = std::max(a.max_bytes, b.max_bytes);
+            return a;
+          });
+    }
     run.messages_sent += acct.sent;
     run.total_message_bytes += acct.total_bytes;
     run.max_message_bytes = std::max(run.max_message_bytes, acct.max_bytes);
 
     // ...then everyone steps on its neighbors' messages.
-    runtime::parallel_for(
-        sched, {n, 0}, [&](std::size_t lo, std::size_t hi) {
-          std::vector<std::optional<Msg>> inbox;  // per-chunk scratch
-          for (VertexId v = lo; v < hi; ++v) {
-            if (algo.halted(v, run.states[v])) continue;
-            const auto nb = g.neighbors(v);
-            inbox.assign(nb.size(), std::nullopt);
-            for (std::size_t i = 0; i < nb.size(); ++i)
-              inbox[i] = outbox[nb[i]];
-            algo.step(v, run.states[v], inbox, node_rng[v]);
-          }
-        });
+    {
+      PSL_OBS_SPAN("local.step");
+      runtime::parallel_for(
+          sched, {n, 0}, [&](std::size_t lo, std::size_t hi) {
+            std::vector<std::optional<Msg>> inbox;  // per-chunk scratch
+            for (VertexId v = lo; v < hi; ++v) {
+              if (algo.halted(v, run.states[v])) continue;
+              const auto nb = g.neighbors(v);
+              inbox.assign(nb.size(), std::nullopt);
+              for (std::size_t i = 0; i < nb.size(); ++i)
+                inbox[i] = outbox[nb[i]];
+              algo.step(v, run.states[v], inbox, node_rng[v]);
+            }
+          });
+    }
+    obs_metrics.rounds.add(1);
+    obs_metrics.messages.add(acct.sent);
+    obs_metrics.message_bytes.add(acct.total_bytes);
     ++run.rounds;
   }
   if (!run.all_halted) run.all_halted = all_halted();
+  obs_metrics.run_rounds.record(run.rounds);
   return run;
 }
 

@@ -1,0 +1,207 @@
+#include "obs/metrics.hpp"
+
+#if PSLOCAL_OBS_ENABLED
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace pslocal::obs {
+
+namespace {
+
+// Fixed slot capacities: blocks must never reallocate, because the
+// snapshot reader walks live blocks while their owner threads write.
+constexpr std::size_t kMaxCounters = 192;
+constexpr std::size_t kMaxGauges = 48;
+constexpr std::size_t kMaxHistograms = 48;
+
+// One thread's private slots.  Separate heap allocation per thread and
+// 64-byte alignment keep writers off each other's cache lines ("padded
+// slots"); the atomics are only ever touched with relaxed load/store by
+// the single owning writer, plus relaxed loads from the snapshot reader.
+struct alignas(64) ThreadBlock {
+  struct HistSlots {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> min{0};
+    std::atomic<std::uint64_t> max{0};
+    std::array<std::atomic<std::uint64_t>, HistogramSnapshot::kBuckets>
+        buckets{};
+  };
+
+  std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+  std::array<std::atomic<std::int64_t>, kMaxGauges> gauges{};
+  std::array<HistSlots, kMaxHistograms> hists{};
+};
+
+// Single-writer increment: relaxed load + relaxed store, no RMW.
+inline void bump(std::atomic<std::uint64_t>& slot, std::uint64_t n) {
+  slot.store(slot.load(std::memory_order_relaxed) + n,
+             std::memory_order_relaxed);
+}
+
+class Registry {
+ public:
+  // Leaked singleton: worker threads (and their thread-local block
+  // destructors) may outlive any static destruction order we could
+  // arrange, so the registry simply never dies.
+  static Registry& instance() {
+    static Registry* r = new Registry();
+    return *r;
+  }
+
+  std::uint32_t register_counter(const char* name) {
+    return register_in(counter_names_, name, kMaxCounters, "counter");
+  }
+  std::uint32_t register_gauge(const char* name) {
+    return register_in(gauge_names_, name, kMaxGauges, "gauge");
+  }
+  std::uint32_t register_histogram(const char* name) {
+    return register_in(hist_names_, name, kMaxHistograms, "histogram");
+  }
+
+  void attach(ThreadBlock* block) {
+    std::lock_guard<std::mutex> lk(mu_);
+    live_.push_back(block);
+  }
+
+  // Fold an exiting thread's block into the retired totals, so counts
+  // survive worker-pool resizes and thread churn.
+  void retire(ThreadBlock* block) {
+    std::lock_guard<std::mutex> lk(mu_);
+    merge_block(*block, retired_);
+    for (auto it = live_.begin(); it != live_.end(); ++it) {
+      if (*it == block) {
+        live_.erase(it);
+        break;
+      }
+    }
+    delete block;
+  }
+
+  Snapshot snapshot() {
+    std::lock_guard<std::mutex> lk(mu_);
+    Totals totals = retired_;
+    for (ThreadBlock* b : live_) merge_block(*b, totals);
+    Snapshot snap;
+    for (std::size_t i = 0; i < counter_names_.size(); ++i)
+      snap.counters[counter_names_[i]] = totals.counters[i];
+    for (std::size_t i = 0; i < gauge_names_.size(); ++i)
+      snap.gauges[gauge_names_[i]] = totals.gauges[i];
+    for (std::size_t i = 0; i < hist_names_.size(); ++i)
+      snap.histograms[hist_names_[i]] = totals.hists[i];
+    return snap;
+  }
+
+ private:
+  struct Totals {
+    std::array<std::uint64_t, kMaxCounters> counters{};
+    std::array<std::int64_t, kMaxGauges> gauges{};
+    std::array<HistogramSnapshot, kMaxHistograms> hists{};
+  };
+
+  std::uint32_t register_in(std::vector<std::string>& names, const char* name,
+                            std::size_t cap, const char* kind) {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (std::size_t i = 0; i < names.size(); ++i)
+      if (names[i] == name) return static_cast<std::uint32_t>(i);
+    PSL_CHECK_MSG(names.size() < cap,
+                  "obs: too many distinct " << kind << " names (cap " << cap
+                                            << ") registering " << name);
+    names.emplace_back(name);
+    return static_cast<std::uint32_t>(names.size() - 1);
+  }
+
+  // All merge ops are commutative, so totals are independent of the
+  // order in which threads ran or retired.
+  static void merge_block(const ThreadBlock& b, Totals& t) {
+    for (std::size_t i = 0; i < kMaxCounters; ++i)
+      t.counters[i] += b.counters[i].load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kMaxGauges; ++i)
+      t.gauges[i] += b.gauges[i].load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kMaxHistograms; ++i) {
+      const auto& h = b.hists[i];
+      const std::uint64_t count = h.count.load(std::memory_order_relaxed);
+      if (count == 0) continue;
+      auto& out = t.hists[i];
+      const std::uint64_t mn = h.min.load(std::memory_order_relaxed);
+      const std::uint64_t mx = h.max.load(std::memory_order_relaxed);
+      out.min = out.count == 0 ? mn : std::min(out.min, mn);
+      out.max = out.count == 0 ? mx : std::max(out.max, mx);
+      out.count += count;
+      out.sum += h.sum.load(std::memory_order_relaxed);
+      for (std::size_t k = 0; k < HistogramSnapshot::kBuckets; ++k)
+        out.buckets[k] += h.buckets[k].load(std::memory_order_relaxed);
+    }
+  }
+
+  std::mutex mu_;
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> hist_names_;
+  std::vector<ThreadBlock*> live_;
+  Totals retired_;
+};
+
+// Thread-local block, attached on first metric touch and folded into
+// the retired totals when the thread exits.
+struct BlockHolder {
+  ThreadBlock* block;
+  BlockHolder() : block(new ThreadBlock()) {
+    Registry::instance().attach(block);
+  }
+  ~BlockHolder() { Registry::instance().retire(block); }
+};
+
+ThreadBlock& local_block() {
+  thread_local BlockHolder holder;
+  return *holder.block;
+}
+
+}  // namespace
+
+Counter::Counter(const char* name)
+    : id_(Registry::instance().register_counter(name)) {}
+
+void Counter::add(std::uint64_t n) const {
+  bump(local_block().counters[id_], n);
+}
+
+Gauge::Gauge(const char* name)
+    : id_(Registry::instance().register_gauge(name)) {}
+
+void Gauge::add(std::int64_t delta) const {
+  auto& slot = local_block().gauges[id_];
+  slot.store(slot.load(std::memory_order_relaxed) + delta,
+             std::memory_order_relaxed);
+}
+
+Histogram::Histogram(const char* name)
+    : id_(Registry::instance().register_histogram(name)) {}
+
+void Histogram::record(std::uint64_t value) const {
+  auto& h = local_block().hists[id_];
+  const std::uint64_t count = h.count.load(std::memory_order_relaxed);
+  if (count == 0) {
+    h.min.store(value, std::memory_order_relaxed);
+    h.max.store(value, std::memory_order_relaxed);
+  } else {
+    if (value < h.min.load(std::memory_order_relaxed))
+      h.min.store(value, std::memory_order_relaxed);
+    if (value > h.max.load(std::memory_order_relaxed))
+      h.max.store(value, std::memory_order_relaxed);
+  }
+  h.count.store(count + 1, std::memory_order_relaxed);
+  bump(h.sum, value);
+  bump(h.buckets[histogram_bucket(value)], 1);
+}
+
+Snapshot snapshot() { return Registry::instance().snapshot(); }
+
+}  // namespace pslocal::obs
+
+#endif  // PSLOCAL_OBS_ENABLED

@@ -1,0 +1,162 @@
+// Process-wide metric registries: named counters, gauges and
+// log-bucketed histograms.
+//
+// Design (docs/observability.md has the full walkthrough):
+//
+//  * A handle (Counter / Gauge / Histogram) resolves its name to a small
+//    id in a process-global registry; handles with the same name share
+//    the id, so static handles in different translation units (or
+//    template instantiations) aggregate into one metric.
+//  * Every thread owns one cache-line-aligned block of slots, allocated
+//    on first use and registered with the registry.  The hot path is a
+//    relaxed load + relaxed store on the calling thread's own slot —
+//    no atomic RMW, no lock, no shared cache line between writers.
+//    (Relaxed atomics instead of plain words purely so the snapshot
+//    reader is race-free; each slot has exactly one writer.)
+//  * snapshot() merges the retired totals of exited threads with the
+//    live blocks under the registry mutex.  All merge operations are
+//    commutative (sum / min / max), so the merged values are
+//    deterministic regardless of thread scheduling.
+//  * Histograms are log2-bucketed: bucket b counts values whose
+//    bit_width is b, i.e. bucket 0 holds {0}, bucket b>=1 holds
+//    [2^(b-1), 2^b).  Count / sum / min / max ride along exactly.
+//
+// With PSLOCAL_OBS_ENABLED=0 (cmake -DPSLOCAL_OBS=OFF) every type in
+// this header becomes an empty stub and all call sites compile to
+// nothing; snapshot() returns an empty Snapshot.
+#pragma once
+
+#ifndef PSLOCAL_OBS_ENABLED
+#define PSLOCAL_OBS_ENABLED 1
+#endif
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace pslocal::obs {
+
+inline constexpr bool kEnabled = PSLOCAL_OBS_ENABLED != 0;
+
+/// Merged view of one histogram (see bucket convention above).
+struct HistogramSnapshot {
+  static constexpr std::size_t kBuckets = 64;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  // 0 when count == 0
+  std::uint64_t max = 0;
+  std::array<std::uint64_t, kBuckets> buckets{};
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// One deterministic, merged view of every registered metric.
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Value of a counter, 0 when absent (absent == never incremented).
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const {
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] std::int64_t gauge(const std::string& name) const {
+    const auto it = gauges.find(name);
+    return it == gauges.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] HistogramSnapshot histogram(const std::string& name) const {
+    const auto it = histograms.find(name);
+    return it == histograms.end() ? HistogramSnapshot{} : it->second;
+  }
+};
+
+/// log2 bucket of a value: 0 -> 0, v -> bit_width(v) otherwise.
+[[nodiscard]] constexpr std::size_t histogram_bucket(std::uint64_t v) {
+  std::size_t b = 0;
+  while (v != 0) {
+    v >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+/// Inclusive upper bound of bucket b (2^b - 1; bucket 0 holds only 0).
+[[nodiscard]] constexpr std::uint64_t histogram_bucket_upper(std::size_t b) {
+  return b == 0 ? 0 : (b >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << b) - 1);
+}
+
+#if PSLOCAL_OBS_ENABLED
+
+/// Monotone event count, merged by sum.  Cheap enough for per-chunk and
+/// per-ball-query call sites; hoist the handle out of inner loops.
+class Counter {
+ public:
+  explicit Counter(const char* name);
+  void add(std::uint64_t n = 1) const;
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+
+ private:
+  std::uint32_t id_;
+};
+
+/// Signed level, merged by summing per-thread contributions (pair the
+/// add(+d) with an add(-d) on the SAME thread, like a resource count).
+class Gauge {
+ public:
+  explicit Gauge(const char* name);
+  void add(std::int64_t delta) const;
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+
+ private:
+  std::uint32_t id_;
+};
+
+/// Log2-bucketed value distribution (see header comment).
+class Histogram {
+ public:
+  explicit Histogram(const char* name);
+  void record(std::uint64_t value) const;
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+
+ private:
+  std::uint32_t id_;
+};
+
+/// Deterministic merged view of all metrics (commutative merges only).
+[[nodiscard]] Snapshot snapshot();
+
+#else  // PSLOCAL_OBS_ENABLED == 0: every handle is an empty no-op stub.
+
+class Counter {
+ public:
+  explicit constexpr Counter(const char*) {}
+  void add(std::uint64_t = 1) const {}
+  [[nodiscard]] std::uint32_t id() const { return 0; }
+};
+
+class Gauge {
+ public:
+  explicit constexpr Gauge(const char*) {}
+  void add(std::int64_t) const {}
+  [[nodiscard]] std::uint32_t id() const { return 0; }
+};
+
+class Histogram {
+ public:
+  explicit constexpr Histogram(const char*) {}
+  void record(std::uint64_t) const {}
+  [[nodiscard]] std::uint32_t id() const { return 0; }
+};
+
+[[nodiscard]] inline Snapshot snapshot() { return {}; }
+
+#endif  // PSLOCAL_OBS_ENABLED
+
+}  // namespace pslocal::obs

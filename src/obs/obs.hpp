@@ -1,0 +1,14 @@
+// Umbrella header of the observability subsystem (src/obs/).
+//
+//   obs/metrics.hpp   named counters / gauges / log2 histograms,
+//                     per-thread slots, deterministic merged snapshot()
+//   obs/trace.hpp     RAII spans + Chrome trace-event JSON sessions
+//
+// Both halves compile to nothing under -DPSLOCAL_OBS=OFF
+// (PSLOCAL_OBS_ENABLED=0); call sites never need their own #if.
+// docs/observability.md documents the model, naming scheme and the
+// measured overhead (bench_obs_overhead).
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"

@@ -1,0 +1,230 @@
+#include "obs/trace.hpp"
+
+#if PSLOCAL_OBS_ENABLED
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace pslocal::obs {
+
+namespace {
+
+struct Event {
+  const char* name;
+  std::uint64_t ts;  // absolute now_ns(); rebased on write
+  char ph;           // 'B' or 'E'
+};
+
+// One thread's event buffer.  The mutex is effectively uncontended: the
+// owner locks per event, the writer locks once at finish_tracing().
+struct EventBuffer {
+  std::mutex mu;
+  std::vector<Event> events;
+  std::uint32_t tid = 0;
+};
+
+class TraceState {
+ public:
+  // Leaked singleton, same rationale as the metrics registry: buffers
+  // retire from thread destructors whose order we don't control.
+  static TraceState& instance() {
+    static TraceState* t = new TraceState();
+    return *t;
+  }
+
+  std::atomic<bool> active{false};
+
+  EventBuffer& local_buffer() {
+    thread_local BufferHolder holder;
+    return *holder.buffer;
+  }
+
+  void start(const std::string& path) {
+    std::lock_guard<std::mutex> lk(mu_);
+    PSL_CHECK_MSG(!active.load(std::memory_order_relaxed),
+                  "obs: start_tracing while a session is active");
+    // Drop leftovers from spans that closed after the previous session.
+    retired_.clear();
+    for (EventBuffer* b : live_) {
+      std::lock_guard<std::mutex> blk(b->mu);
+      b->events.clear();
+    }
+    // Fail fast on an unwritable path: finding out only at
+    // finish_tracing() would waste the whole traced run on a typo.
+    {
+      std::ofstream probe(path);
+      PSL_CHECK_MSG(probe.good(), "obs: cannot open trace path " << path);
+    }
+    path_ = path;
+    start_ns_ = now_ns();
+    active.store(true, std::memory_order_relaxed);
+  }
+
+  std::string finish() {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (path_.empty()) return {};
+    active.store(false, std::memory_order_relaxed);
+    std::vector<std::pair<std::uint32_t, std::vector<Event>>> all =
+        std::move(retired_);
+    retired_.clear();
+    for (EventBuffer* b : live_) {
+      std::lock_guard<std::mutex> blk(b->mu);
+      if (!b->events.empty())
+        all.emplace_back(b->tid, std::move(b->events));
+      b->events.clear();
+    }
+    const std::string path = std::exchange(path_, std::string{});
+    write_file(path, all);
+    return path;
+  }
+
+  void attach(EventBuffer* buffer) {
+    std::lock_guard<std::mutex> lk(mu_);
+    buffer->tid = next_tid_++;
+    live_.push_back(buffer);
+  }
+
+  void retire(EventBuffer* buffer) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!buffer->events.empty())
+      retired_.emplace_back(buffer->tid, std::move(buffer->events));
+    for (auto it = live_.begin(); it != live_.end(); ++it) {
+      if (*it == buffer) {
+        live_.erase(it);
+        break;
+      }
+    }
+    delete buffer;
+  }
+
+ private:
+  struct BufferHolder {
+    EventBuffer* buffer;
+    BufferHolder() : buffer(new EventBuffer()) {
+      TraceState::instance().attach(buffer);
+    }
+    ~BufferHolder() { TraceState::instance().retire(buffer); }
+  };
+
+  // Span names are identifier-like literals, but escape defensively.
+  static void append_escaped(std::string& out, const char* s) {
+    for (; *s; ++s) {
+      const char c = *s;
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  void write_file(
+      const std::string& path,
+      std::vector<std::pair<std::uint32_t, std::vector<Event>>>& all) const {
+    std::string out;
+    out += "[\n";
+    bool first = true;
+    for (auto& [tid, events] : all) {
+      // Balance: spans still open when the session ended get a
+      // synthetic E at the thread's last seen timestamp; stray E
+      // events (span object created in an earlier session) drop.
+      std::size_t depth = 0;
+      std::vector<const Event*> kept;
+      kept.reserve(events.size());
+      for (const Event& e : events) {
+        if (e.ph == 'B') {
+          ++depth;
+          kept.push_back(&e);
+        } else if (depth > 0) {
+          --depth;
+          kept.push_back(&e);
+        }
+      }
+      std::uint64_t last_ts = start_ns_;
+      for (const Event* e : kept) {
+        emit(out, first, e->name, e->ph, e->ts, tid);
+        last_ts = e->ts;
+        first = false;
+      }
+      for (; depth > 0; --depth) {
+        emit(out, first, "(unclosed)", 'E', last_ts, tid);
+        first = false;
+      }
+    }
+    out += "\n]\n";
+    std::ofstream f(path);
+    PSL_CHECK_MSG(f.good(), "obs: cannot open trace path " << path);
+    f << out;
+  }
+
+  void emit(std::string& out, bool first, const char* name, char ph,
+            std::uint64_t ts, std::uint32_t tid) const {
+    if (!first) out += ",\n";
+    out += "  {\"name\": \"";
+    append_escaped(out, name);
+    out += "\", \"cat\": \"pslocal\", \"ph\": \"";
+    out += ph;
+    out += "\", \"pid\": 0, \"tid\": ";
+    out += std::to_string(tid);
+    // Microseconds with nanosecond precision, rebased to session start.
+    const std::uint64_t rel = ts >= start_ns_ ? ts - start_ns_ : 0;
+    char buf[40];
+    std::snprintf(buf, sizeof buf, ", \"ts\": %llu.%03u}",
+                  static_cast<unsigned long long>(rel / 1000),
+                  static_cast<unsigned>(rel % 1000));
+    out += buf;
+  }
+
+  std::mutex mu_;
+  std::string path_;
+  std::uint64_t start_ns_ = 0;
+  std::uint32_t next_tid_ = 0;
+  std::vector<EventBuffer*> live_;
+  std::vector<std::pair<std::uint32_t, std::vector<Event>>> retired_;
+};
+
+inline void record(const char* name, char ph) {
+  EventBuffer& buf = TraceState::instance().local_buffer();
+  std::lock_guard<std::mutex> lk(buf.mu);
+  buf.events.push_back(Event{name, now_ns(), ph});
+}
+
+}  // namespace
+
+bool tracing_active() {
+  return TraceState::instance().active.load(std::memory_order_relaxed);
+}
+
+void start_tracing(const std::string& path) {
+  TraceState::instance().start(path);
+}
+
+std::string finish_tracing() { return TraceState::instance().finish(); }
+
+ScopedSpan::ScopedSpan(const char* name)
+    : name_(tracing_active() ? name : nullptr) {
+  if (name_ != nullptr) record(name_, 'B');
+}
+
+ScopedSpan::~ScopedSpan() {
+  // The E is recorded even if the session just ended, keeping the
+  // buffer's B/E nesting intact; the writer drops events outside the
+  // session window per thread as needed.
+  if (name_ != nullptr) record(name_, 'E');
+}
+
+}  // namespace pslocal::obs
+
+#endif  // PSLOCAL_OBS_ENABLED

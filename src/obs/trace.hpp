@@ -1,0 +1,83 @@
+// RAII scoped spans + Chrome trace-event export.
+//
+// A span is a named region of one thread's execution.  While a trace
+// session is active (start_tracing), entering/leaving a span appends a
+// B/E event pair — {name, timestamp, thread} — to the calling thread's
+// private buffer; finish_tracing() merges all buffers and writes a
+// Chrome trace-event JSON array that loads directly in ui.perfetto.dev
+// or chrome://tracing.  Without a session, a span is one relaxed atomic
+// load and nothing else, so instrumentation can stay on in production.
+//
+// Timestamps come from pslocal::now_ns() (util/timer.hpp) — the same
+// clock the benches use — reported in microseconds relative to the
+// session start, as the trace-event format specifies.
+//
+// Spans nest (thread-local stack discipline is automatic via RAII) and
+// the writer balances any span still open at finish_tracing() with a
+// synthetic E event, so the emitted file always has matched B/E pairs
+// per thread.
+//
+// With PSLOCAL_OBS_ENABLED=0 everything here compiles to nothing.
+#pragma once
+
+#ifndef PSLOCAL_OBS_ENABLED
+#define PSLOCAL_OBS_ENABLED 1
+#endif
+
+#include <string>
+
+namespace pslocal::obs {
+
+#if PSLOCAL_OBS_ENABLED
+
+/// True while a trace session is recording (relaxed read, hot path).
+[[nodiscard]] bool tracing_active();
+
+/// Begin recording span events; `path` is where finish_tracing() will
+/// write the Chrome trace JSON.  One session at a time.
+void start_tracing(const std::string& path);
+
+/// Stop recording, write the trace file, return its path ("" when no
+/// session was active — safe to call unconditionally).
+std::string finish_tracing();
+
+/// `name` must outlive the session (string literals only).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;  // nullptr when the span started outside a session
+};
+
+#else  // PSLOCAL_OBS_ENABLED == 0
+
+[[nodiscard]] inline bool tracing_active() { return false; }
+inline void start_tracing(const std::string&) {}
+inline std::string finish_tracing() { return {}; }
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char*) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+};
+
+#endif  // PSLOCAL_OBS_ENABLED
+
+}  // namespace pslocal::obs
+
+#define PSL_OBS_CAT2(a, b) a##b
+#define PSL_OBS_CAT(a, b) PSL_OBS_CAT2(a, b)
+
+/// Span covering the rest of the enclosing scope:  PSL_OBS_SPAN("x");
+#if PSLOCAL_OBS_ENABLED
+#define PSL_OBS_SPAN(name) \
+  ::pslocal::obs::ScopedSpan PSL_OBS_CAT(psl_obs_span_, __LINE__) { name }
+#else
+#define PSL_OBS_SPAN(name) static_cast<void>(0)
+#endif

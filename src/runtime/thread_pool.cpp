@@ -2,12 +2,34 @@
 
 #include <chrono>
 
+#include "obs/obs.hpp"
+#include "util/timer.hpp"
+
 namespace pslocal::runtime {
 
 namespace {
 // Set while a thread is executing pool work (worker thread, or the caller
 // inside participate()).  Nested run_chunks sees it and runs inline.
 thread_local bool tl_inside_pool = false;
+
+// Pool instrumentation (docs/observability.md, "runtime.*").  The
+// deterministic ones — regions, chunks, region_chunks — are invariant
+// across thread counts; steals / busy_ns / steal metrics describe the
+// actual schedule of this run.
+struct PoolMetrics {
+  obs::Counter regions{"runtime.regions"};
+  obs::Counter chunks{"runtime.chunks"};
+  obs::Counter steals{"runtime.steals"};
+  obs::Counter busy_ns{"runtime.busy_ns"};
+  obs::Histogram region_chunks{"runtime.region_chunks"};
+  obs::Histogram steal_chunks{"runtime.steal_chunks"};
+  obs::Histogram victim_queue_depth{"runtime.victim_queue_depth"};
+};
+
+PoolMetrics& metrics() {
+  static PoolMetrics m;
+  return m;
+}
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -46,11 +68,15 @@ void ThreadPool::run_chunks(std::size_t n, std::size_t grain,
   PSL_EXPECTS(grain > 0);
   if (n == 0) return;
   const std::size_t total = chunk_count(n, grain);
+  metrics().regions.add(1);
+  metrics().region_chunks.record(total);
   // One lane, one chunk, or a nested call: nothing to parallelize.
   if (lanes_.size() == 1 || total == 1 || tl_inside_pool) {
+    metrics().chunks.add(total);
     run_sequential(n, grain, body);
     return;
   }
+  PSL_OBS_SPAN("runtime.region");
   PSL_EXPECTS_MSG(total < (std::uint64_t{1} << 32),
                   "chunk count " << total << " exceeds the 32-bit range "
                                  << "encoding; raise the grain");
@@ -168,6 +194,9 @@ bool ThreadPool::try_acquire_work(std::size_t lane) {
     Lane& victim = *lanes_[(lane + off) % lane_count];
     if (auto r = victim.deque.steal()) {
       steals_.fetch_add(1, std::memory_order_relaxed);
+      metrics().steals.add(1);
+      metrics().steal_chunks.record(range_end(*r) - range_begin(*r));
+      metrics().victim_queue_depth.record(victim.deque.size_hint());
       execute_range(lane, *r);
       return true;
     }
@@ -178,6 +207,8 @@ bool ThreadPool::try_acquire_work(std::size_t lane) {
         victim.seed.exchange(kNoRange, std::memory_order_acq_rel);
     if (stolen != kNoRange) {
       steals_.fetch_add(1, std::memory_order_relaxed);
+      metrics().steals.add(1);
+      metrics().steal_chunks.record(range_end(stolen) - range_begin(stolen));
       execute_range(lane, stolen);
       return true;
     }
@@ -186,6 +217,9 @@ bool ThreadPool::try_acquire_work(std::size_t lane) {
 }
 
 void ThreadPool::execute_range(std::size_t lane, std::uint64_t range) {
+  // Busy time: everything below runs chunk bodies (or splits towards
+  // them), so this window is this lane's utilization, not its idle spin.
+  const std::uint64_t t0 = now_ns();
   std::uint64_t begin = range_begin(range);
   std::uint64_t end = range_end(range);
   for (;;) {
@@ -203,9 +237,11 @@ void ThreadPool::execute_range(std::size_t lane, std::uint64_t range) {
       break;
     }
   }
+  metrics().busy_ns.add(now_ns() - t0);
 }
 
 void ThreadPool::run_one_chunk(std::size_t chunk) {
+  metrics().chunks.add(1);
   // The claim that delivered `chunk` orders this load after the region's
   // release stores, so all region fields are consistent here.
   const auto* body = body_.load(std::memory_order_acquire);

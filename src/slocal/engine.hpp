@@ -29,12 +29,33 @@
 
 #include "graph/algorithms.hpp"
 #include "graph/graph.hpp"
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace pslocal {
 
 template <typename State>
 class SLocalView;
+
+namespace detail {
+/// Engine instrumentation, shared by all State instantiations.  The
+/// locality histogram is the first-class per-node record the benches
+/// read from obs snapshots (previously derived ad hoc from
+/// SLocalRun::locality_of).
+struct SLocalMetrics {
+  obs::Counter runs{"slocal.runs"};
+  obs::Counter nodes{"slocal.nodes"};
+  obs::Counter ball_queries{"slocal.ball_queries"};
+  obs::Counter state_reads{"slocal.state_reads"};
+  obs::Counter state_writes{"slocal.state_writes"};
+  obs::Histogram locality{"slocal.locality"};
+  obs::Histogram ball_radius{"slocal.ball_radius"};
+  static const SLocalMetrics& get() {
+    static SLocalMetrics m;
+    return m;
+  }
+};
+}  // namespace detail
 
 /// Result of one SLOCAL execution.
 template <typename State>
@@ -52,6 +73,9 @@ SLocalRun<State> run_slocal(const Graph& g, std::vector<State> initial,
                             Process&& process) {
   PSL_EXPECTS(initial.size() == g.vertex_count());
   PSL_EXPECTS(is_vertex_permutation(g, order));
+  PSL_OBS_SPAN("slocal.run");
+  const auto& obs_metrics = detail::SLocalMetrics::get();
+  obs_metrics.runs.add(1);
   SLocalRun<State> run;
   run.states = std::move(initial);
   run.locality_of.assign(g.vertex_count(), 0);
@@ -59,8 +83,10 @@ SLocalRun<State> run_slocal(const Graph& g, std::vector<State> initial,
     SLocalView<State> view(g, run.states, v);
     process(view);
     run.locality_of[v] = view.locality_used();
+    obs_metrics.locality.record(view.locality_used());
     run.max_locality = std::max(run.max_locality, view.locality_used());
   }
+  obs_metrics.nodes.add(order.size());
   return run;
 }
 
@@ -86,6 +112,9 @@ class SLocalView {
   /// Vertices at hop distance <= r, BFS order (center first).
   /// Charges locality r.
   [[nodiscard]] std::vector<VertexId> ball_vertices(std::size_t r) {
+    const auto& m = detail::SLocalMetrics::get();
+    m.ball_queries.add(1);
+    m.ball_radius.record(r);
     charge(r);
     explore_to(r);
     std::vector<VertexId> out;
@@ -96,6 +125,9 @@ class SLocalView {
 
   /// Direct neighbors of the center (locality 1).
   [[nodiscard]] std::vector<VertexId> neighbors() {
+    const auto& m = detail::SLocalMetrics::get();
+    m.ball_queries.add(1);
+    m.ball_radius.record(1);
     charge(1);
     return {g_.neighbors(center_).begin(), g_.neighbors(center_).end()};
   }
@@ -107,12 +139,14 @@ class SLocalView {
 
   /// State of node u; charges u's hop distance from the center.
   [[nodiscard]] const State& state(VertexId u) {
+    detail::SLocalMetrics::get().state_reads.add(1);
     charge(distance_to(u));
     return states_[u];
   }
 
   /// Write u's state; charges the hop distance (see file comment).
   void write_state(VertexId u, State s) {
+    detail::SLocalMetrics::get().state_writes.add(1);
     charge(distance_to(u));
     states_[u] = std::move(s);
   }

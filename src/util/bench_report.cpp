@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/obs.hpp"
 #include "runtime/global.hpp"
 #include "util/check.hpp"
 
@@ -57,12 +58,45 @@ std::string double_to_json(double v) {
   return os.str();
 }
 
+// The "obs" section: counters/gauges/histograms snapshot, taken when
+// the report serializes.  Histogram buckets are emitted sparsely as
+// [inclusive_upper_bound, count] pairs.
+void append_obs_section(std::ostringstream& os) {
+  const obs::Snapshot snap = obs::snapshot();
+  os << "  \"obs\": {\n    \"counters\": {";
+  std::size_t i = 0;
+  for (const auto& [name, value] : snap.counters)
+    os << (i++ ? ", " : "") << '"' << json_escape(name) << "\": " << value;
+  os << "},\n    \"gauges\": {";
+  i = 0;
+  for (const auto& [name, value] : snap.gauges)
+    os << (i++ ? ", " : "") << '"' << json_escape(name) << "\": " << value;
+  os << "},\n    \"histograms\": {";
+  i = 0;
+  for (const auto& [name, h] : snap.histograms) {
+    os << (i++ ? "," : "") << "\n      \"" << json_escape(name)
+       << "\": {\"count\": " << h.count << ", \"sum\": " << h.sum
+       << ", \"min\": " << h.min << ", \"max\": " << h.max
+       << ", \"mean\": " << double_to_json(h.mean()) << ", \"buckets\": [";
+    std::size_t b = 0;
+    for (std::size_t k = 0; k < obs::HistogramSnapshot::kBuckets; ++k) {
+      if (h.buckets[k] == 0) continue;
+      os << (b++ ? ", " : "") << '[' << obs::histogram_bucket_upper(k)
+         << ", " << h.buckets[k] << ']';
+    }
+    os << "]}";
+  }
+  os << (snap.histograms.empty() ? "}" : "\n    }") << "\n  }";
+}
+
 }  // namespace
 
 void apply_thread_option(const Options& opts) {
   if (opts.has("threads"))
     runtime::set_global_thread_count(
         static_cast<std::size_t>(opts.get_int("threads", 0)));
+  const std::string trace = opts.trace_out();
+  if (!trace.empty()) obs::start_tracing(trace);
 }
 
 BenchReport::BenchReport(std::string name, const Options& opts)
@@ -121,11 +155,16 @@ std::string BenchReport::to_json() const {
     }
     os << (tab.rows.empty() ? "]" : "\n      ]") << "\n    }";
   }
-  os << (tables_.empty() ? "]" : "\n  ]") << "\n}";
+  os << (tables_.empty() ? "]" : "\n  ]") << ",\n";
+  append_obs_section(os);
+  os << "\n}";
   return os.str();
 }
 
 std::string BenchReport::write() const {
+  // Close a --trace-out session first so the trace lands even when the
+  // JSON report itself is suppressed with --json-out=none.
+  obs::finish_tracing();
   std::string path = json_out_.empty() ? "BENCH_" + name_ + ".json"
                                        : json_out_;
   if (path == "none") return "";

@@ -11,13 +11,22 @@
 //     "metrics": { "fit_slope": 1.98, ... },         // scalar summaries
 //     "tables": [
 //       { "caption": "...", "columns": [...], "rows": [[...], ...] }
-//     ]
+//     ],
+//     "obs": {                       // obs snapshot taken at write time
+//       "counters": { "runtime.steals": 12, ... },
+//       "gauges": { ... },
+//       "histograms": { "slocal.locality": { "count": ..., "sum": ...,
+//         "min": ..., "max": ..., "buckets": [[le, count], ...] } }
+//     }
 //   }
 //
 // Cells that look like plain numbers are emitted as JSON numbers, all
 // other cells as strings.  Default output path is BENCH_<name>.json in
 // the working directory; --json-out=<path> overrides it and
-// --json-out=none suppresses the file.
+// --json-out=none suppresses the file.  The "obs" section carries the
+// process-wide counters/histograms of src/obs/ (empty maps when the
+// build has -DPSLOCAL_OBS=OFF), so every trajectory file records the
+// runtime/engine internals of the run that produced it.
 #pragma once
 
 #include <string>
@@ -30,9 +39,11 @@
 namespace pslocal {
 
 /// Apply the runtime-affecting CLI options to the process: --threads=N
-/// resizes the global scheduler (0 = hardware_concurrency).  Call once
-/// at the top of main, before any timed work.  Without the flag the
-/// global pool stays sequential.
+/// resizes the global scheduler (0 = hardware_concurrency) and
+/// --trace-out=<path> starts an obs trace session whose Chrome trace
+/// JSON is written by BenchReport::write() (or obs::finish_tracing()).
+/// Call once at the top of main, before any timed work.  Without the
+/// flags the global pool stays sequential and no trace is recorded.
 void apply_thread_option(const Options& opts);
 
 class BenchReport {

@@ -1,0 +1,81 @@
+// Minimal recursive-descent JSON parser.
+//
+// Exists so tests can *validate* what the repository emits — BenchReport
+// files and Chrome trace-event files — without scraping strings or
+// pulling in an external dependency.  It parses strict JSON (the subset
+// the emitters produce plus standard escapes); malformed input fails a
+// PSL_CHECK with position information.  It is a verification tool, not
+// a serialization framework: emitters keep writing JSON directly.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace pslocal::json {
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  [[nodiscard]] bool as_bool() const {
+    PSL_EXPECTS(is_bool());
+    return bool_;
+  }
+  [[nodiscard]] double as_number() const {
+    PSL_EXPECTS(is_number());
+    return number_;
+  }
+  [[nodiscard]] const std::string& as_string() const {
+    PSL_EXPECTS(is_string());
+    return string_;
+  }
+  [[nodiscard]] const std::vector<Value>& as_array() const {
+    PSL_EXPECTS(is_array());
+    return array_;
+  }
+  /// Object members in source order (duplicate keys keep both).
+  [[nodiscard]] const std::vector<std::pair<std::string, Value>>& members()
+      const {
+    PSL_EXPECTS(is_object());
+    return object_;
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  /// Member lookup; PSL_CHECKs that the key exists.
+  [[nodiscard]] const Value& at(const std::string& key) const;
+  /// Array element; PSL_CHECKs the index.
+  [[nodiscard]] const Value& at(std::size_t index) const;
+
+ private:
+  friend class Parser;
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> object_;
+};
+
+/// Parse one JSON document (trailing whitespace allowed, nothing else).
+[[nodiscard]] Value parse(std::string_view text);
+
+/// Parse the contents of a file (PSL_CHECKs readability).
+[[nodiscard]] Value parse_file(const std::string& path);
+
+}  // namespace pslocal::json

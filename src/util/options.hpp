@@ -40,6 +40,12 @@ class Options {
     return get_string("json-out", "");
   }
 
+  /// Chrome trace-event output path requested with --trace-out; empty =
+  /// no trace session (docs/observability.md).
+  [[nodiscard]] std::string trace_out() const {
+    return get_string("trace-out", "");
+  }
+
   /// All parsed --name=value pairs, verbatim (for report provenance).
   [[nodiscard]] const std::map<std::string, std::string>& values() const {
     return values_;

@@ -1,27 +1,44 @@
 // Minimal wall-clock timer for the experiment harnesses.
+//
+// now_ns() is THE monotonic clock of the repository: obs spans, the
+// trace writer and the bench timers all read it, so timestamps from
+// different layers are directly comparable within a process.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace pslocal {
 
+/// Monotonic timestamp in nanoseconds (steady_clock since its epoch).
+/// Only differences are meaningful; never compare across processes.
+[[nodiscard]] inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 class WallTimer {
  public:
-  WallTimer() : start_(clock::now()) {}
+  WallTimer() : start_(now_ns()) {}
 
-  void reset() { start_ = clock::now(); }
+  void reset() { start_ = now_ns(); }
+
+  [[nodiscard]] std::uint64_t elapsed_nanos() const {
+    return now_ns() - start_;
+  }
 
   [[nodiscard]] double elapsed_seconds() const {
-    return std::chrono::duration<double>(clock::now() - start_).count();
+    return static_cast<double>(elapsed_nanos()) * 1e-9;
   }
 
   [[nodiscard]] double elapsed_millis() const {
-    return elapsed_seconds() * 1e3;
+    return static_cast<double>(elapsed_nanos()) * 1e-6;
   }
 
  private:
-  using clock = std::chrono::steady_clock;
-  clock::time_point start_;
+  std::uint64_t start_;
 };
 
 }  // namespace pslocal

@@ -1,0 +1,72 @@
+// util/json: the verification parser used by the BenchReport and trace
+// tests.  A parser bug would silently weaken those tests, so it gets
+// its own coverage.
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace pslocal {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(json::parse("null").is_null());
+  EXPECT_TRUE(json::parse("true").as_bool());
+  EXPECT_FALSE(json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(json::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(json::parse("-0.5").as_number(), -0.5);
+  EXPECT_DOUBLE_EQ(json::parse("1e3").as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(json::parse("2.5E-2").as_number(), 0.025);
+  EXPECT_EQ(json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonTest, ParsesStringEscapes) {
+  const auto v = json::parse("\"a\\\"b\\\\c\\nd\\te\\u001f\\/f\\u00e9\"");
+  EXPECT_EQ(v.as_string(), "a\"b\\c\nd\te\x1f/f\xc3\xa9");
+}
+
+TEST(JsonTest, ParsesNestedStructures) {
+  const auto v = json::parse(
+      R"({"a": [1, 2, {"b": null}], "c": {"d": false}, "e": []})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.members().size(), 3u);
+  const auto& a = v.at("a");
+  ASSERT_TRUE(a.is_array());
+  EXPECT_EQ(a.as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(a.at(1).as_number(), 2.0);
+  EXPECT_TRUE(a.at(2).at("b").is_null());
+  EXPECT_FALSE(v.at("c").at("d").as_bool());
+  EXPECT_TRUE(v.at("e").as_array().empty());
+  EXPECT_TRUE(v.has("a"));
+  EXPECT_FALSE(v.has("zzz"));
+}
+
+TEST(JsonTest, PreservesMemberOrder) {
+  const auto v = json::parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_EQ(v.members().size(), 3u);
+  EXPECT_EQ(v.members()[0].first, "z");
+  EXPECT_EQ(v.members()[1].first, "a");
+  EXPECT_EQ(v.members()[2].first, "m");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_THROW((void)json::parse(""), ContractViolation);
+  EXPECT_THROW((void)json::parse("{"), ContractViolation);
+  EXPECT_THROW((void)json::parse("[1,]"), ContractViolation);
+  EXPECT_THROW((void)json::parse("{\"a\" 1}"), ContractViolation);
+  EXPECT_THROW((void)json::parse("nul"), ContractViolation);
+  EXPECT_THROW((void)json::parse("1 2"), ContractViolation);
+  EXPECT_THROW((void)json::parse("\"unterminated"), ContractViolation);
+  EXPECT_THROW((void)json::parse("\"bad\\q\""), ContractViolation);
+  EXPECT_THROW((void)json::parse("--1"), ContractViolation);
+  EXPECT_THROW((void)json::parse("\"\x01\""), ContractViolation);
+}
+
+TEST(JsonTest, AllowsSurroundingWhitespace) {
+  const auto v = json::parse("  \n\t[ 1 , 2 ]\r\n  ");
+  EXPECT_EQ(v.as_array().size(), 2u);
+}
+
+}  // namespace
+}  // namespace pslocal

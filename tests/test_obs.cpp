@@ -1,0 +1,214 @@
+// src/obs/: metric registries, histogram bucketing, span tracing.
+//
+// The trace test is the in-tree equivalent of the acceptance check
+// `bench_local_simulation --trace-out=trace.json`: it records a session
+// across pool worker threads, then parses the file with util/json and
+// validates the Chrome trace-event invariants — a well-formed JSON
+// array, monotone `ts` within each `tid`, and balanced B/E pairs.
+#include "obs/obs.hpp"
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "local/luby_mis.hpp"
+#include "runtime/parallel.hpp"
+#include "runtime/thread_pool.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace pslocal {
+namespace {
+
+#if PSLOCAL_OBS_ENABLED
+
+TEST(ObsMetricsTest, CounterAggregatesAcrossPoolThreads) {
+  obs::Counter c("obs_test.counter_agg");
+  const std::uint64_t before = obs::snapshot().counter("obs_test.counter_agg");
+  runtime::ThreadPool pool(4);
+  runtime::parallel_for_each_index(pool, {10000, 16},
+                                   [&](std::size_t) { c.add(1); });
+  EXPECT_EQ(obs::snapshot().counter("obs_test.counter_agg") - before, 10000u);
+}
+
+TEST(ObsMetricsTest, HandlesWithSameNameShareOneMetric) {
+  obs::Counter a("obs_test.shared");
+  obs::Counter b("obs_test.shared");
+  EXPECT_EQ(a.id(), b.id());
+  const std::uint64_t before = obs::snapshot().counter("obs_test.shared");
+  a.add(2);
+  b.add(3);
+  EXPECT_EQ(obs::snapshot().counter("obs_test.shared") - before, 5u);
+}
+
+TEST(ObsMetricsTest, GaugeSumsSignedDeltas) {
+  obs::Gauge g("obs_test.gauge");
+  const std::int64_t before = obs::snapshot().gauge("obs_test.gauge");
+  g.add(10);
+  g.add(-3);
+  EXPECT_EQ(obs::snapshot().gauge("obs_test.gauge") - before, 7);
+}
+
+TEST(ObsMetricsTest, HistogramBucketsByLog2) {
+  EXPECT_EQ(obs::histogram_bucket(0), 0u);
+  EXPECT_EQ(obs::histogram_bucket(1), 1u);
+  EXPECT_EQ(obs::histogram_bucket(2), 2u);
+  EXPECT_EQ(obs::histogram_bucket(3), 2u);
+  EXPECT_EQ(obs::histogram_bucket(4), 3u);
+  EXPECT_EQ(obs::histogram_bucket(1023), 10u);
+  EXPECT_EQ(obs::histogram_bucket(1024), 11u);
+  EXPECT_EQ(obs::histogram_bucket_upper(0), 0u);
+  EXPECT_EQ(obs::histogram_bucket_upper(1), 1u);
+  EXPECT_EQ(obs::histogram_bucket_upper(10), 1023u);
+
+  obs::Histogram h("obs_test.hist");
+  for (std::uint64_t v : {0ull, 1ull, 3ull, 3ull, 8ull, 1000ull}) h.record(v);
+  const auto snap = obs::snapshot().histogram("obs_test.hist");
+  EXPECT_EQ(snap.count, 6u);
+  EXPECT_EQ(snap.sum, 1015u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 1000u);
+  EXPECT_EQ(snap.buckets[0], 1u);  // {0}
+  EXPECT_EQ(snap.buckets[1], 1u);  // {1}
+  EXPECT_EQ(snap.buckets[2], 2u);  // {2,3}
+  EXPECT_EQ(snap.buckets[4], 1u);  // [8,15]
+  EXPECT_EQ(snap.buckets[10], 1u);  // [512,1023]
+  EXPECT_DOUBLE_EQ(snap.mean(), 1015.0 / 6.0);
+}
+
+TEST(ObsMetricsTest, HistogramMergesMinMaxAcrossThreads) {
+  obs::Histogram h("obs_test.hist_threads");
+  runtime::ThreadPool pool(4);
+  // Values 1..64, one per chunk, recorded on whichever lane runs it.
+  runtime::parallel_for_each_index(
+      pool, {64, 1}, [&](std::size_t i) { h.record(i + 1); });
+  const auto snap = obs::snapshot().histogram("obs_test.hist_threads");
+  EXPECT_EQ(snap.count, 64u);
+  EXPECT_EQ(snap.sum, 64u * 65u / 2u);
+  EXPECT_EQ(snap.min, 1u);
+  EXPECT_EQ(snap.max, 64u);
+}
+
+class ObsTraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    // Never leak an active session into later tests.
+    obs::finish_tracing();
+  }
+
+  static std::string temp_path(const char* name) {
+    return ::testing::TempDir() + name;
+  }
+};
+
+TEST_F(ObsTraceTest, InactiveSessionIsNoop) {
+  EXPECT_FALSE(obs::tracing_active());
+  { PSL_OBS_SPAN("obs_test.noop"); }
+  EXPECT_EQ(obs::finish_tracing(), "");
+}
+
+TEST_F(ObsTraceTest, EmitsValidBalancedMonotoneChromeTrace) {
+  const std::string path = temp_path("obs_trace.json");
+  obs::start_tracing(path);
+  EXPECT_TRUE(obs::tracing_active());
+  {
+    PSL_OBS_SPAN("outer");
+    {
+      PSL_OBS_SPAN("inner");
+    }
+    // Spans on pool workers land in per-thread buffers.
+    runtime::ThreadPool pool(4);
+    runtime::parallel_for(pool, {256, 4},
+                          [&](std::size_t, std::size_t) {
+                            PSL_OBS_SPAN("chunk");
+                          });
+    // Real workload: a traced Luby-MIS run (local.round/emit/step spans).
+    Rng rng(7);
+    const Graph g = gnp(200, 0.05, rng);
+    (void)luby_mis(g, 7, /*max_rounds=*/0, pool);
+  }
+  ASSERT_EQ(obs::finish_tracing(), path);
+  EXPECT_FALSE(obs::tracing_active());
+
+  const auto doc = json::parse_file(path);
+  ASSERT_TRUE(doc.is_array());
+  ASSERT_GT(doc.as_array().size(), 4u);
+
+  std::map<int, double> last_ts;
+  std::map<int, std::vector<std::string>> stacks;
+  bool saw_local_span = false;
+  for (const auto& event : doc.as_array()) {
+    ASSERT_TRUE(event.is_object());
+    const std::string name = event.at("name").as_string();
+    const std::string ph = event.at("ph").as_string();
+    const int tid = static_cast<int>(event.at("tid").as_number());
+    const double ts = event.at("ts").as_number();
+    EXPECT_FALSE(name.empty());
+    ASSERT_TRUE(ph == "B" || ph == "E");
+    // Monotone ts within each tid.
+    if (last_ts.count(tid)) {
+      EXPECT_GE(ts, last_ts[tid]);
+    }
+    last_ts[tid] = ts;
+    // Balanced, properly nested B/E.
+    if (ph == "B") {
+      stacks[tid].push_back(name);
+    } else {
+      ASSERT_FALSE(stacks[tid].empty());
+      EXPECT_EQ(stacks[tid].back(), name);
+      stacks[tid].pop_back();
+    }
+    if (name.rfind("local.", 0) == 0) saw_local_span = true;
+  }
+  for (const auto& [tid, stack] : stacks) EXPECT_TRUE(stack.empty());
+  EXPECT_TRUE(saw_local_span);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTraceTest, BalancesSpansLeftOpenAtFinish) {
+  const std::string path = temp_path("obs_trace_unbalanced.json");
+  obs::start_tracing(path);
+  auto* leaked = new obs::ScopedSpan("leaked");
+  ASSERT_EQ(obs::finish_tracing(), path);
+  delete leaked;  // E lands after the session; writer already balanced it
+
+  const auto doc = json::parse_file(path);
+  std::map<int, int> depth;
+  for (const auto& event : doc.as_array()) {
+    const int tid = static_cast<int>(event.at("tid").as_number());
+    if (event.at("ph").as_string() == "B")
+      ++depth[tid];
+    else
+      --depth[tid];
+    EXPECT_GE(depth[tid], 0);
+  }
+  for (const auto& [tid, d] : depth) EXPECT_EQ(d, 0);
+  std::remove(path.c_str());
+}
+
+#else  // PSLOCAL_OBS_ENABLED == 0
+
+TEST(ObsDisabledTest, EverythingIsCompiledOut) {
+  EXPECT_FALSE(obs::kEnabled);
+  obs::Counter c("obs_test.disabled");
+  c.add(5);
+  obs::Histogram h("obs_test.disabled_hist");
+  h.record(7);
+  { PSL_OBS_SPAN("obs_test.disabled_span"); }
+  const auto snap = obs::snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+  EXPECT_FALSE(obs::tracing_active());
+  obs::start_tracing("ignored.json");
+  EXPECT_EQ(obs::finish_tracing(), "");
+}
+
+#endif  // PSLOCAL_OBS_ENABLED
+
+}  // namespace
+}  // namespace pslocal
