@@ -9,61 +9,60 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_main.hpp"
 #include "core/reduction.hpp"
 #include "hypergraph/generators.hpp"
 #include "mis/greedy_maxis.hpp"
-#include "util/bench_report.hpp"
-#include "util/options.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 using namespace pslocal;
 
 int main(int argc, char** argv) {
-  const Options opts(argc, argv);
-  apply_thread_option(opts);
-  BenchReport json_report("colors_vs_n", opts);
-  const std::uint64_t seed = opts.get_int("seed", 5);
+  return benchmain::run(
+      argc, argv, "colors_vs_n", 5, [](benchmain::Context& ctx) {
+        Table table(
+            "E5 / Figure 3 — colors used vs n (m = n, k = ceil(log2 n), "
+            "greedy-mindeg oracle)");
+        table.header({"n", "m", "k", "phases", "colors used", "k*phases",
+                      "fresh baseline (m)", "colors / (k*ln m)"});
 
-  Table table(
-      "E5 / Figure 3 — colors used vs n (m = n, k = ceil(log2 n), "
-      "greedy-mindeg oracle)");
-  table.header({"n", "m", "k", "phases", "colors used", "k*phases",
-                "fresh baseline (m)", "colors / (k*ln m)"});
+        std::vector<double> log_n, colors_over_klog;
+        for (std::size_t n : {16u, 32u, 64u, 128u, 192u}) {
+          const std::size_t k = static_cast<std::size_t>(
+              std::ceil(std::log2(static_cast<double>(n))));
+          Rng rng(ctx.seed + n);
+          PlantedCfParams params;
+          params.n = n;
+          params.m = n;
+          params.k = k;
+          params.epsilon = 0.5;
+          const auto inst = planted_cf_colorable(params, rng);
 
-  std::vector<double> log_n, colors_over_klog;
-  for (std::size_t n : {16u, 32u, 64u, 128u, 192u}) {
-    const std::size_t k = static_cast<std::size_t>(
-        std::ceil(std::log2(static_cast<double>(n))));
-    Rng rng(seed + n);
-    PlantedCfParams params;
-    params.n = n;
-    params.m = n;
-    params.k = k;
-    params.epsilon = 0.5;
-    const auto inst = planted_cf_colorable(params, rng);
+          GreedyMinDegreeOracle oracle;
+          ReductionOptions ropts;
+          ropts.k = k;
+          const auto res =
+              cf_multicoloring_via_maxis(inst.hypergraph, oracle, ropts);
+          if (!res.success) return 1;
 
-    GreedyMinDegreeOracle oracle;
-    ReductionOptions ropts;
-    ropts.k = k;
-    const auto res = cf_multicoloring_via_maxis(inst.hypergraph, oracle, ropts);
-    if (!res.success) return 1;
-
-    const double k_ln_m =
-        static_cast<double>(k) * std::log(static_cast<double>(n));
-    table.row({fmt_size(n), fmt_size(n), fmt_size(k), fmt_size(res.phases),
+          const double k_ln_m =
+              static_cast<double>(k) * std::log(static_cast<double>(n));
+          table.row(
+              {fmt_size(n), fmt_size(n), fmt_size(k), fmt_size(res.phases),
                fmt_size(res.colors_used), fmt_size(res.palette_bound),
                fmt_size(n),
                fmt_double(static_cast<double>(res.colors_used) / k_ln_m, 3)});
-    log_n.push_back(std::log2(static_cast<double>(n)));
-    colors_over_klog.push_back(static_cast<double>(res.colors_used));
-  }
-  std::cout << table.render();
-  json_report.add_table(table);
-  std::cout << "Colors grow ~ k * phases = polylog(n); the fresh baseline "
+          log_n.push_back(std::log2(static_cast<double>(n)));
+          colors_over_klog.push_back(static_cast<double>(res.colors_used));
+        }
+        std::cout << table.render();
+        ctx.report.add_table(table);
+        std::cout
+            << "Colors grow ~ k * phases = polylog(n); the fresh baseline "
                "grows linearly in m = n.\n"
                "(Greedy has no proven lambda; its empirical phase counts are "
                "small because greedy ISs on G_k are near-maximum — see E6.)\n";
-  json_report.write();
-  return 0;
+        return 0;
+      });
 }

@@ -9,11 +9,10 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_main.hpp"
 #include "core/conflict_graph.hpp"
 #include "hypergraph/generators.hpp"
 #include "hypergraph/properties.hpp"
-#include "util/bench_report.hpp"
-#include "util/options.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -21,62 +20,60 @@
 using namespace pslocal;
 
 int main(int argc, char** argv) {
-  const Options opts(argc, argv);
-  apply_thread_option(opts);
-  BenchReport json_report("conflict_graph_size", opts);
-  const std::uint64_t seed = opts.get_int("seed", 1);
+  return benchmain::run(
+      argc, argv, "conflict_graph_size", 1, [](benchmain::Context& ctx) {
+        Table table(
+            "E1 / Table 1 — conflict graph G_k size scaling "
+            "(planted almost-uniform hypergraphs, eps = 0.5)");
+        table.header({"n", "m", "k", "|V(Gk)|", "k*sum|e|", "E_vertex",
+                      "E_edge", "E_color", "|E(Gk)| total", "build ms"});
 
-  Table table(
-      "E1 / Table 1 — conflict graph G_k size scaling "
-      "(planted almost-uniform hypergraphs, eps = 0.5)");
-  table.header({"n", "m", "k", "|V(Gk)|", "k*sum|e|", "E_vertex", "E_edge",
-                "E_color", "|E(Gk)| total", "build ms"});
+        struct Row {
+          std::size_t n, m, k;
+        };
+        const std::vector<Row> rows = {
+            {16, 16, 2},  {32, 32, 2},   {64, 64, 2},   {128, 128, 2},
+            {16, 16, 4},  {32, 32, 4},   {64, 64, 4},   {128, 128, 4},
+            {64, 64, 6},  {128, 128, 6}, {192, 192, 6},
+        };
 
-  struct Row {
-    std::size_t n, m, k;
-  };
-  const std::vector<Row> rows = {
-      {16, 16, 2},  {32, 32, 2},  {64, 64, 2},   {128, 128, 2},
-      {16, 16, 4},  {32, 32, 4},  {64, 64, 4},   {128, 128, 4},
-      {64, 64, 6},  {128, 128, 6}, {192, 192, 6},
-  };
+        std::vector<double> log_incidence, log_edges;
+        for (const auto& r : rows) {
+          Rng rng(ctx.seed + r.n * 31 + r.k);
+          PlantedCfParams params;
+          params.n = r.n;
+          params.m = r.m;
+          params.k = r.k;
+          params.epsilon = 0.5;
+          const auto inst = planted_cf_colorable(params, rng);
+          const auto stats = hypergraph_stats(inst.hypergraph);
 
-  std::vector<double> log_incidence, log_edges;
-  for (const auto& r : rows) {
-    Rng rng(seed + r.n * 31 + r.k);
-    PlantedCfParams params;
-    params.n = r.n;
-    params.m = r.m;
-    params.k = r.k;
-    params.epsilon = 0.5;
-    const auto inst = planted_cf_colorable(params, rng);
-    const auto stats = hypergraph_stats(inst.hypergraph);
+          WallTimer timer;
+          const ConflictGraph cg(inst.hypergraph, r.k);
+          const double ms = timer.elapsed_millis();
+          const auto classes = cg.count_edge_classes();
 
-    WallTimer timer;
-    const ConflictGraph cg(inst.hypergraph, r.k);
-    const double ms = timer.elapsed_millis();
-    const auto classes = cg.count_edge_classes();
+          table.row({fmt_size(r.n), fmt_size(r.m), fmt_size(r.k),
+                     fmt_size(cg.triple_count()),
+                     fmt_size(stats.incidence_size * r.k),
+                     fmt_size(classes.e_vertex), fmt_size(classes.e_edge),
+                     fmt_size(classes.e_color), fmt_size(classes.total),
+                     fmt_double(ms, 1)});
+          log_incidence.push_back(
+              std::log(static_cast<double>(stats.incidence_size * r.k)));
+          log_edges.push_back(std::log(static_cast<double>(classes.total)));
+        }
+        std::cout << table.render();
+        ctx.report.add_table(table);
 
-    table.row({fmt_size(r.n), fmt_size(r.m), fmt_size(r.k),
-               fmt_size(cg.triple_count()),
-               fmt_size(stats.incidence_size * r.k),
-               fmt_size(classes.e_vertex), fmt_size(classes.e_edge),
-               fmt_size(classes.e_color), fmt_size(classes.total),
-               fmt_double(ms, 1)});
-    log_incidence.push_back(
-        std::log(static_cast<double>(stats.incidence_size * r.k)));
-    log_edges.push_back(std::log(static_cast<double>(classes.total)));
-  }
-  std::cout << table.render();
-  json_report.add_table(table);
-
-  const auto fit = linear_fit(log_incidence, log_edges);
-  json_report.metric("fit_slope", fit.slope).metric("fit_r2", fit.r2);
-  std::cout << "log-log fit |E(Gk)| ~ |V(Gk)|^b: b = " << fmt_double(fit.slope, 2)
-            << " (R^2 = " << fmt_double(fit.r2, 3)
-            << ") — polynomial, as the paper claims.\n"
-            << "|V(Gk)| column equals k*sum|e| on every row by construction "
-               "(checked: see test_conflict_graph.cpp).\n";
-  json_report.write();
-  return 0;
+        const auto fit = linear_fit(log_incidence, log_edges);
+        ctx.report.metric("fit_slope", fit.slope).metric("fit_r2", fit.r2);
+        std::cout << "log-log fit |E(Gk)| ~ |V(Gk)|^b: b = "
+                  << fmt_double(fit.slope, 2)
+                  << " (R^2 = " << fmt_double(fit.r2, 3)
+                  << ") — polynomial, as the paper claims.\n"
+                  << "|V(Gk)| column equals k*sum|e| on every row by "
+                     "construction (checked: see test_conflict_graph.cpp).\n";
+        return 0;
+      });
 }

@@ -10,56 +10,52 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_main.hpp"
 #include "core/correspondence.hpp"
 #include "hypergraph/generators.hpp"
 #include "mis/exact_maxis.hpp"
-#include "util/bench_report.hpp"
-#include "util/options.hpp"
 #include "util/table.hpp"
 
 using namespace pslocal;
 
 int main(int argc, char** argv) {
-  const Options opts(argc, argv);
-  apply_thread_option(opts);
-  BenchReport json_report("lemma21a", opts);
-  const std::uint64_t seed = opts.get_int("seed", 2);
+  return benchmain::run(argc, argv, "lemma21a", 2, [](benchmain::Context& ctx) {
+    Table table(
+        "E2 / Table 2 — Lemma 2.1 a): I_f is a maximum IS of size m");
+    table.header({"n", "m", "k", "|I_f|", "independent", "alpha(Gk) exact",
+                  "alpha == m", "attains max"});
 
-  Table table("E2 / Table 2 — Lemma 2.1 a): I_f is a maximum IS of size m");
-  table.header({"n", "m", "k", "|I_f|", "independent", "alpha(Gk) exact",
-                "alpha == m", "attains max"});
+    struct Row {
+      std::size_t n, m, k;
+    };
+    const std::vector<Row> rows = {
+        {12, 4, 2},  {16, 8, 2},  {20, 10, 2}, {24, 12, 3},
+        {28, 14, 3}, {32, 16, 3}, {24, 8, 4},  {36, 18, 2},
+    };
 
-  struct Row {
-    std::size_t n, m, k;
-  };
-  const std::vector<Row> rows = {
-      {12, 4, 2},  {16, 8, 2},  {20, 10, 2}, {24, 12, 3},
-      {28, 14, 3}, {32, 16, 3}, {24, 8, 4},  {36, 18, 2},
-  };
+    bool all_good = true;
+    for (const auto& r : rows) {
+      Rng rng(ctx.seed + r.n * 7 + r.m);
+      PlantedCfParams params;
+      params.n = r.n;
+      params.m = r.m;
+      params.k = r.k;
+      const auto inst = planted_cf_colorable(params, rng);
+      const ConflictGraph cg(inst.hypergraph, r.k);
 
-  bool all_good = true;
-  for (const auto& r : rows) {
-    Rng rng(seed + r.n * 7 + r.m);
-    PlantedCfParams params;
-    params.n = r.n;
-    params.m = r.m;
-    params.k = r.k;
-    const auto inst = planted_cf_colorable(params, rng);
-    const ConflictGraph cg(inst.hypergraph, r.k);
+      const auto report = check_lemma_a(cg, CfColoring(inst.planted_coloring));
+      const auto alpha = independence_number(cg.graph());
+      all_good = all_good && report.attains_maximum && alpha == r.m;
 
-    const auto report = check_lemma_a(cg, CfColoring(inst.planted_coloring));
-    const auto alpha = independence_number(cg.graph());
-    all_good = all_good && report.attains_maximum && alpha == r.m;
-
-    table.row({fmt_size(r.n), fmt_size(r.m), fmt_size(r.k),
-               fmt_size(report.is_size), fmt_bool(report.independent),
-               fmt_size(alpha), fmt_bool(alpha == r.m),
-               fmt_bool(report.attains_maximum)});
-  }
-  std::cout << table.render();
-  json_report.add_table(table);
-  std::cout << (all_good ? "Lemma 2.1 a) verified on every instance.\n"
-                         : "LEMMA 2.1 a) VIOLATION — investigate!\n");
-  json_report.write();
-  return all_good ? 0 : 1;
+      table.row({fmt_size(r.n), fmt_size(r.m), fmt_size(r.k),
+                 fmt_size(report.is_size), fmt_bool(report.independent),
+                 fmt_size(alpha), fmt_bool(alpha == r.m),
+                 fmt_bool(report.attains_maximum)});
+    }
+    std::cout << table.render();
+    ctx.report.add_table(table);
+    std::cout << (all_good ? "Lemma 2.1 a) verified on every instance.\n"
+                           : "LEMMA 2.1 a) VIOLATION — investigate!\n");
+    return all_good ? 0 : 1;
+  });
 }

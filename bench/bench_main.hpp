@@ -1,0 +1,53 @@
+// Shared main() scaffolding for bench binaries.
+//
+// Every bench opens the same way: parse Options, apply the runtime CLI
+// flags (--threads / --trace-out), construct the BenchReport, read the
+// seed, and remember to write() the report on every exit path.  That
+// last step is the one that gets forgotten; benchmain::run owns it, so a
+// bench body that early-returns a failure code still emits its
+// trajectory file.  Usage:
+//
+//   int main(int argc, char** argv) {
+//     return pslocal::benchmain::run(argc, argv, "lemma21a", /*seed=*/2,
+//                                    [](pslocal::benchmain::Context& ctx) {
+//       ...
+//       ctx.report.add_table(table);
+//       return all_good ? 0 : 1;
+//     });
+//   }
+//
+// The body's return value becomes the process exit code.  ctx.seed is
+// the --seed option with the bench's default applied; ctx.opts exposes
+// the remaining knobs.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "util/bench_report.hpp"
+#include "util/options.hpp"
+
+namespace pslocal::benchmain {
+
+struct Context {
+  const Options& opts;
+  BenchReport& report;
+  std::uint64_t seed;
+};
+
+/// Run `body` inside the standard bench scaffold (options parsed, global
+/// scheduler sized, report written after the body returns).
+template <typename Body>
+int run(int argc, char** argv, const char* name, long default_seed,
+        Body&& body) {
+  const Options opts(argc, argv);
+  apply_thread_option(opts);
+  BenchReport report(name, opts);
+  Context ctx{opts, report,
+              static_cast<std::uint64_t>(opts.get_int("seed", default_seed))};
+  const int rc = std::forward<Body>(body)(ctx);
+  report.write();
+  return rc;
+}
+
+}  // namespace pslocal::benchmain

@@ -39,6 +39,21 @@ namespace pslocal::obs {
 
 inline constexpr bool kEnabled = PSLOCAL_OBS_ENABLED != 0;
 
+/// log2 bucket of a value: 0 -> 0, v -> bit_width(v) otherwise.
+[[nodiscard]] constexpr std::size_t histogram_bucket(std::uint64_t v) {
+  std::size_t b = 0;
+  while (v != 0) {
+    v >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+/// Inclusive upper bound of bucket b (2^b - 1; bucket 0 holds only 0).
+[[nodiscard]] constexpr std::uint64_t histogram_bucket_upper(std::size_t b) {
+  return b == 0 ? 0 : (b >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << b) - 1);
+}
+
 /// Merged view of one histogram (see bucket convention above).
 struct HistogramSnapshot {
   static constexpr std::size_t kBuckets = 64;
@@ -51,6 +66,27 @@ struct HistogramSnapshot {
   [[nodiscard]] double mean() const {
     return count == 0 ? 0.0
                       : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// Upper bound of the bucket holding the q-quantile (0 <= q <= 1) —
+  /// e.g. value_at_quantile(0.99) is a p99 with log2 resolution, the
+  /// precision the buckets can support.  0 when the histogram is empty.
+  [[nodiscard]] std::uint64_t value_at_quantile(double q) const {
+    if (count == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    // Rank of the quantile observation, 1-based ceiling (q = 0 -> first).
+    const auto rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(count) + 0.5);
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      seen += buckets[b];
+      if (seen >= rank && seen > 0) {
+        const std::uint64_t upper = histogram_bucket_upper(b);
+        return upper < max ? upper : max;
+      }
+    }
+    return max;
   }
 };
 
@@ -76,21 +112,6 @@ struct Snapshot {
     return it == histograms.end() ? HistogramSnapshot{} : it->second;
   }
 };
-
-/// log2 bucket of a value: 0 -> 0, v -> bit_width(v) otherwise.
-[[nodiscard]] constexpr std::size_t histogram_bucket(std::uint64_t v) {
-  std::size_t b = 0;
-  while (v != 0) {
-    v >>= 1;
-    ++b;
-  }
-  return b;
-}
-
-/// Inclusive upper bound of bucket b (2^b - 1; bucket 0 holds only 0).
-[[nodiscard]] constexpr std::uint64_t histogram_bucket_upper(std::size_t b) {
-  return b == 0 ? 0 : (b >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << b) - 1);
-}
 
 #if PSLOCAL_OBS_ENABLED
 

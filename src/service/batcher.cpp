@@ -1,0 +1,27 @@
+#include "service/batcher.hpp"
+
+#include <unordered_map>
+
+#include "obs/obs.hpp"
+
+namespace pslocal::service {
+
+namespace {
+const obs::Histogram g_batch_size("service.batch.size");
+}  // namespace
+
+std::vector<Batch> form_batches(const std::vector<Pending>& drained) {
+  std::vector<Batch> batches;
+  std::unordered_map<std::uint64_t, std::size_t> by_key;  // key -> batch idx
+  by_key.reserve(drained.size());
+  for (std::size_t i = 0; i < drained.size(); ++i) {
+    const std::uint64_t key = cache_key(drained[i].request);
+    const auto [it, inserted] = by_key.emplace(key, batches.size());
+    if (inserted) batches.push_back(Batch{key, {}});
+    batches[it->second].members.push_back(i);
+  }
+  for (const Batch& b : batches) g_batch_size.record(b.members.size());
+  return batches;
+}
+
+}  // namespace pslocal::service

@@ -1,0 +1,33 @@
+// Batch formation: group compatible pending requests so the engine
+// computes each distinct workload once per dispatch cycle.
+//
+// Two requests are compatible exactly when they share a cache key —
+// same instance content, same kind, same consumed parameters — in which
+// case their responses are byte-identical by construction, so one
+// compute (or one cache hit) serves the whole group.  Batches preserve
+// arrival order: groups are emitted in order of their first member, and
+// members within a group keep their FIFO positions.  Given the same
+// drained sequence, form_batches is a pure function — the determinism
+// anchor for the engine's batch path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "service/queue.hpp"
+
+namespace pslocal::service {
+
+/// One group of same-key requests from a single dispatch cycle.
+struct Batch {
+  std::uint64_t key = 0;             // shared cache key
+  std::vector<std::size_t> members;  // indices into the drained vector,
+                                     // ascending (FIFO within the batch)
+};
+
+/// Group `drained` by cache key (see header comment).  Requests must
+/// carry a non-zero instance_hash (the engine fills it at submit).
+[[nodiscard]] std::vector<Batch> form_batches(
+    const std::vector<Pending>& drained);
+
+}  // namespace pslocal::service

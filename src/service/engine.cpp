@@ -1,0 +1,215 @@
+#include "service/engine.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "runtime/batch.hpp"
+#include "util/hash.hpp"
+#include "util/timer.hpp"
+
+namespace pslocal::service {
+
+namespace {
+const obs::Counter g_served("service.responses.served");
+const obs::Counter g_served_cached("service.responses.cached");
+const obs::Counter g_errors("service.responses.errors");
+const obs::Counter g_batches("service.batches");
+const obs::Histogram g_latency_ns("service.latency_ns");
+const obs::Histogram g_queue_ns("service.queue_ns");
+const obs::Histogram g_compute_ns("service.compute_ns");
+}  // namespace
+
+ServiceEngine::ServiceEngine(EngineConfig config)
+    : config_(config),
+      sched_(config.scheduler != nullptr ? config.scheduler
+                                         : &runtime::global_scheduler()),
+      queue_(config.queue_capacity),
+      cache_(config.cache),
+      graph_cache_(config.graph_cache_entries) {}
+
+ServiceEngine::~ServiceEngine() { stop(); }
+
+void ServiceEngine::start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (started_ || stopped_) return;
+  started_ = true;
+  dispatcher_ = std::thread([this] { dispatcher_main(); });
+}
+
+void ServiceEngine::stop() {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  queue_.shutdown();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  // Anything still queued was never dispatched (engine not started, or
+  // raced the shutdown): answer it rather than abandoning the future.
+  std::vector<Pending> stragglers;
+  queue_.drain(stragglers);
+  reject_all(stragglers, "shutdown");
+}
+
+ServiceEngine::Submitted ServiceEngine::submit(Request request) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (request.instance_hash == 0 && request.instance != nullptr)
+    request.instance_hash = hash_hypergraph(*request.instance);
+
+  Pending pending;
+  pending.request = std::move(request);
+  pending.submit_ns = now_ns();
+  std::future<Response> future = pending.promise.get_future();
+
+  Submitted out;
+  out.admission = queue_.try_push(std::move(pending));
+  switch (out.admission) {
+    case Admission::kAccepted:
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      out.response = std::move(future);
+      break;
+    case Admission::kQueueFull:
+      rejected_full_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Admission::kShutdown:
+      rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  return out;
+}
+
+void ServiceEngine::dispatcher_main() {
+  std::vector<Pending> drained;
+  for (;;) {
+    drained.clear();
+    const std::size_t n = queue_.pop_batch(drained, config_.max_batch);
+    if (n == 0) return;  // shutdown and empty
+    dispatch_cycles_.fetch_add(1, std::memory_order_relaxed);
+    serve_cycle(drained);
+  }
+}
+
+void ServiceEngine::serve_cycle(std::vector<Pending>& drained) {
+  PSL_OBS_SPAN("service.cycle");
+  const std::uint64_t dispatch_ns = now_ns();
+  const std::vector<Batch> batches = form_batches(drained);
+  batches_.fetch_add(batches.size(), std::memory_order_relaxed);
+  g_batches.add(batches.size());
+
+  // Per-batch outcome, filled by cache lookups then the compute fan-out.
+  struct Outcome {
+    std::string payload;
+    std::string error;
+    std::uint64_t compute_ns = 0;
+    bool from_cache = false;
+  };
+  std::vector<Outcome> outcomes(batches.size());
+
+  std::vector<std::size_t> miss_batches;
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    if (auto hit = cache_.lookup(batches[b].key)) {
+      outcomes[b].payload = std::move(*hit);
+      outcomes[b].from_cache = true;
+    } else {
+      miss_batches.push_back(b);
+    }
+  }
+
+  // One task per distinct missing key; heterogeneous costs, so let the
+  // work-stealing pool rebalance whole tasks (runtime/batch.hpp).  Each
+  // task writes only its own outcome slot.
+  {
+    PSL_OBS_SPAN("service.compute");
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(miss_batches.size());
+    for (const std::size_t b : miss_batches) {
+      tasks.push_back([this, b, &batches, &drained, &outcomes] {
+        Outcome& out = outcomes[b];
+        const Request& req = drained[batches[b].members.front()].request;
+        const std::uint64_t t0 = now_ns();
+        try {
+          out.payload = execute_request(req, *sched_, &graph_cache_);
+        } catch (const std::exception& e) {
+          out.error = e.what();
+        }
+        out.compute_ns = now_ns() - t0;
+      });
+    }
+    runtime::run_task_batch(*sched_, tasks);
+  }
+
+  for (const std::size_t b : miss_batches) {
+    if (outcomes[b].error.empty())
+      cache_.insert(batches[b].key, outcomes[b].payload);
+  }
+
+  // Fulfill every promise in arrival order.  Within a miss batch, the
+  // first member pays the compute; later members are batch-memoized hits.
+  std::vector<bool> key_served_before(batches.size(), false);
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    const Batch& batch = batches[b];
+    Outcome& out = outcomes[b];
+    for (const std::size_t member : batch.members) {
+      Pending& pending = drained[member];
+      Response resp;
+      resp.id = pending.request.id;
+      resp.key = batch.key;
+      resp.queue_ns = dispatch_ns - pending.submit_ns;
+      if (!out.error.empty()) {
+        resp.status = Response::Status::kError;
+        resp.reason = out.error;
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        g_errors.add();
+      } else {
+        resp.status = Response::Status::kOk;
+        resp.result = out.payload;
+        resp.cache_hit = out.from_cache || key_served_before[b];
+        if (!resp.cache_hit) resp.compute_ns = out.compute_ns;
+      }
+      key_served_before[b] = true;
+      resp.total_ns = now_ns() - pending.submit_ns;
+      g_latency_ns.record(resp.total_ns);
+      g_queue_ns.record(resp.queue_ns);
+      if (resp.compute_ns != 0) g_compute_ns.record(resp.compute_ns);
+      served_.fetch_add(1, std::memory_order_relaxed);
+      g_served.add();
+      if (resp.cache_hit) {
+        served_cached_.fetch_add(1, std::memory_order_relaxed);
+        g_served_cached.add();
+      }
+      pending.promise.set_value(std::move(resp));
+    }
+  }
+}
+
+void ServiceEngine::reject_all(std::vector<Pending>& pendings,
+                               const char* reason) {
+  for (Pending& pending : pendings) {
+    Response resp;
+    resp.id = pending.request.id;
+    resp.status = Response::Status::kRejected;
+    resp.reason = reason;
+    resp.total_ns = now_ns() - pending.submit_ns;
+    rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    pending.promise.set_value(std::move(resp));
+  }
+}
+
+ServiceEngine::Stats ServiceEngine::stats() const {
+  Stats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.rejected_full = rejected_full_.load(std::memory_order_relaxed);
+  s.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
+  s.served = served_.load(std::memory_order_relaxed);
+  s.served_cached = served_cached_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.dispatch_cycles = dispatch_cycles_.load(std::memory_order_relaxed);
+  s.cache = cache_.stats();
+  s.graph_cache = graph_cache_.stats();
+  return s;
+}
+
+}  // namespace pslocal::service

@@ -1,0 +1,127 @@
+// ServiceEngine — the in-process batched query-serving engine.
+//
+// Wiring (docs/service.md has the full walkthrough):
+//
+//   clients --submit--> RequestQueue --pop_batch--> dispatcher thread
+//                                         |  form_batches (same cache key)
+//                                         |  SolverCache lookup per batch
+//                                         |  misses: run_task_batch on the
+//                                         |    runtime::Scheduler, one task
+//                                         |    per distinct missing key
+//                                         '--> fulfill promises (FIFO)
+//
+// Contract highlights:
+//
+//  * submit() is non-blocking: it returns an Admission decision and, when
+//    accepted, a future that will eventually carry a Response — kOk with
+//    the canonical payload, kError if the solver threw, or kRejected
+//    (reason "shutdown") if the engine stopped first.  Every accepted
+//    request is answered exactly once; no future is ever abandoned.
+//
+//  * Response payloads are byte-deterministic: for a fixed request
+//    content they are identical across runs, thread counts, batch
+//    compositions and cache states.  Hit/miss *timing* varies; bytes do
+//    not.  This is what --replay-in compares (service/workload.hpp).
+//
+//  * An engine is constructed stopped.  start() launches the dispatcher;
+//    an engine that is never started still admits requests (up to queue
+//    capacity — the deterministic admission-probe used by tests) and
+//    rejects them with "shutdown" at stop()/destruction.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <thread>
+
+#include "runtime/global.hpp"
+#include "service/batcher.hpp"
+#include "service/cache.hpp"
+#include "service/queue.hpp"
+#include "service/request.hpp"
+
+namespace pslocal::service {
+
+struct EngineConfig {
+  std::size_t queue_capacity = 256;
+  std::size_t max_batch = 64;  // requests drained per dispatch cycle
+  SolverCache::Config cache;   // result cache (enabled by default)
+  std::size_t graph_cache_entries = 64;  // built G_k objects (0 = off)
+  /// Execution backend for solver batches; nullptr = the global pool.
+  runtime::Scheduler* scheduler = nullptr;
+};
+
+class ServiceEngine {
+ public:
+  explicit ServiceEngine(EngineConfig config = {});
+  ~ServiceEngine();
+
+  ServiceEngine(const ServiceEngine&) = delete;
+  ServiceEngine& operator=(const ServiceEngine&) = delete;
+
+  /// Launch the dispatcher thread (idempotent; no-op after stop()).
+  void start();
+
+  /// Stop admitting, drain the dispatcher, reject unserved requests with
+  /// reason "shutdown".  Idempotent; also called by the destructor.
+  void stop();
+
+  struct Submitted {
+    Admission admission = Admission::kShutdown;
+    /// Valid only when admission == kAccepted.
+    std::future<Response> response;
+  };
+
+  /// Non-blocking submission.  Fills request.instance_hash from the
+  /// instance content when the caller left it 0.
+  [[nodiscard]] Submitted submit(Request request);
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected_full = 0;
+    /// Shutdown rejections: refused at submit() plus queued requests
+    /// answered kRejected("shutdown") when the engine stopped.
+    std::uint64_t rejected_shutdown = 0;
+    std::uint64_t served = 0;        // responses fulfilled (kOk or kError)
+    std::uint64_t served_cached = 0; // of which cache_hit (cache or batch)
+    std::uint64_t errors = 0;
+    std::uint64_t batches = 0;       // distinct-key groups executed
+    std::uint64_t dispatch_cycles = 0;
+    SolverCache::Stats cache;
+    ConflictGraphCache::Stats graph_cache;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
+  [[nodiscard]] const EngineConfig& config() const { return config_; }
+
+ private:
+  void dispatcher_main();
+  void serve_cycle(std::vector<Pending>& drained);
+  void reject_all(std::vector<Pending>& pendings, const char* reason);
+
+  EngineConfig config_;
+  runtime::Scheduler* sched_;  // never null after construction
+  RequestQueue queue_;
+  SolverCache cache_;
+  ConflictGraphCache graph_cache_;
+  std::thread dispatcher_;
+  bool started_ = false;  // guarded by lifecycle_mu_
+  bool stopped_ = false;
+  std::mutex lifecycle_mu_;
+
+  // Dispatcher-side tallies (written by one thread, read via stats()).
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_full_{0};
+  std::atomic<std::uint64_t> rejected_shutdown_{0};
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> served_cached_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> dispatch_cycles_{0};
+};
+
+}  // namespace pslocal::service

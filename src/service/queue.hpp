@@ -1,0 +1,76 @@
+// Bounded MPMC request queue with admission control.
+//
+// The serving front door: any number of client threads try_push pending
+// requests; the engine's dispatcher pops them in FIFO order, up to a
+// batch at a time.  Admission is non-blocking and total — a push either
+// enters the queue or is rejected *now* with a reason (kQueueFull,
+// kShutdown); clients implement their own retry policy.  Rejection is a
+// pure function of queue state, so for a serial submission schedule the
+// accept/reject sequence is deterministic (tests pin it by filling an
+// undrained queue).
+//
+// Depth is tracked in an obs histogram at every successful push, which is
+// how BENCH_service.json gets its queue-depth distribution.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "service/request.hpp"
+
+namespace pslocal::service {
+
+/// Admission decision for one submit.
+enum class Admission : std::uint8_t {
+  kAccepted,
+  kQueueFull,  // bounded queue at capacity; retry or shed load
+  kShutdown,   // engine stopping; no further requests served
+};
+
+/// Stable wire name ("accepted", "queue_full", "shutdown").
+[[nodiscard]] const char* admission_name(Admission a);
+
+/// One admitted request travelling through the engine.
+struct Pending {
+  Request request;
+  std::promise<Response> promise;
+  std::uint64_t submit_ns = 0;  // now_ns() at admission
+};
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity);
+
+  /// Non-blocking admission (see header comment).  On kAccepted the
+  /// pending request has been moved in; otherwise it is left untouched.
+  [[nodiscard]] Admission try_push(Pending&& pending);
+
+  /// Block until at least one request is queued (or shutdown), then move
+  /// up to `max` requests into `out` (appended, FIFO).  Returns how many
+  /// were popped; 0 means shutdown-and-empty — the consumer should exit.
+  std::size_t pop_batch(std::vector<Pending>& out, std::size_t max);
+
+  /// Reject all future pushes and wake blocked consumers.  Requests
+  /// already queued remain poppable (drain before destroying).
+  void shutdown();
+
+  /// Move out everything still queued without blocking (the engine's
+  /// stop path, which rejects stragglers).
+  std::size_t drain(std::vector<Pending>& out);
+
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> items_;
+  bool shutdown_ = false;
+};
+
+}  // namespace pslocal::service

@@ -1,0 +1,194 @@
+#include "service/request.hpp"
+
+#include <sstream>
+
+#include "coloring/cf_baselines.hpp"
+#include "core/conflict_graph.hpp"
+#include "core/reduction.hpp"
+#include "local/luby_mis.hpp"
+#include "mis/greedy_maxis.hpp"
+#include "mis/independent_set.hpp"
+#include "service/cache.hpp"
+#include "util/check.hpp"
+#include "util/hash.hpp"
+
+namespace pslocal::service {
+
+namespace {
+
+// Distinguishing constants folded into cache keys, one per kind, so two
+// kinds over the same instance and parameters never collide.
+constexpr std::uint64_t kKindSalt[] = {
+    0x62756c64ULL,  // build_conflict_graph
+    0x67726479ULL,  // greedy_maxis
+    0x6c756279ULL,  // luby_mis
+    0x6366636fULL,  // cf_color
+    0x72656475ULL,  // run_reduction
+};
+
+void append_vertex_list(std::ostringstream& os, const char* field,
+                        const std::vector<VertexId>& vs) {
+  os << ",\"" << field << "\":[";
+  for (std::size_t i = 0; i < vs.size(); ++i) os << (i ? "," : "") << vs[i];
+  os << ']';
+}
+
+/// The shared G_k of the MIS-family kinds, memoized when a graph cache
+/// is available (keyed by instance content and k).
+std::shared_ptr<const ConflictGraph> conflict_graph_for(
+    const Request& req, runtime::Scheduler& sched,
+    ConflictGraphCache* cache) {
+  const auto build = [&req, &sched] {
+    return std::make_shared<const ConflictGraph>(*req.instance, req.k, sched);
+  };
+  if (cache == nullptr) return build();
+  return cache->get_or_build(hash_combine(req.instance_hash, req.k), build);
+}
+
+std::ostringstream payload_head(const Request& req) {
+  std::ostringstream os;
+  os << "{\"kind\":\"" << kind_name(req.kind) << "\",\"instance\":\""
+     << hex64(req.instance_hash) << '"';
+  return os;
+}
+
+std::string execute_build(const Request& req, runtime::Scheduler& sched,
+                          ConflictGraphCache* graph_cache) {
+  const auto cg_ptr = conflict_graph_for(req, sched, graph_cache);
+  const ConflictGraph& cg = *cg_ptr;
+  const auto classes = cg.count_edge_classes();
+  auto os = payload_head(req);
+  os << ",\"k\":" << req.k << ",\"triples\":" << cg.triple_count()
+     << ",\"edges\":" << classes.total << ",\"e_vertex\":" << classes.e_vertex
+     << ",\"e_edge\":" << classes.e_edge << ",\"e_color\":" << classes.e_color
+     << ",\"graph_hash\":\"" << hex64(hash_graph(cg.graph())) << "\"}";
+  return os.str();
+}
+
+std::string execute_greedy(const Request& req, runtime::Scheduler& sched,
+                           ConflictGraphCache* graph_cache) {
+  const auto cg_ptr = conflict_graph_for(req, sched, graph_cache);
+  const ConflictGraph& cg = *cg_ptr;
+  const auto is = greedy_min_degree_maxis(cg.graph(), sched);
+  auto os = payload_head(req);
+  os << ",\"k\":" << req.k << ",\"is_size\":" << is.size()
+     << ",\"upper\":" << cg.independence_upper_bound() << ",\"independent\":"
+     << (is_independent_set(cg.graph(), is) ? "true" : "false");
+  append_vertex_list(os, "is", is);
+  os << '}';
+  return os.str();
+}
+
+std::string execute_luby(const Request& req, runtime::Scheduler& sched,
+                         ConflictGraphCache* graph_cache) {
+  const auto cg_ptr = conflict_graph_for(req, sched, graph_cache);
+  const ConflictGraph& cg = *cg_ptr;
+  const auto luby = luby_mis(cg.graph(), req.seed, 0, sched);
+  auto os = payload_head(req);
+  os << ",\"k\":" << req.k << ",\"seed\":" << req.seed
+     << ",\"is_size\":" << luby.independent_set.size()
+     << ",\"rounds\":" << luby.rounds
+     << ",\"completed\":" << (luby.completed ? "true" : "false");
+  append_vertex_list(os, "is", luby.independent_set);
+  os << '}';
+  return os.str();
+}
+
+std::string execute_cf_color(const Request& req, runtime::Scheduler& sched) {
+  const auto res = greedy_cf_coloring(*req.instance, sched);
+  auto os = payload_head(req);
+  os << ",\"colors_used\":" << res.colors_used << ",\"conflict_free\":"
+     << (is_conflict_free(*req.instance, res.coloring) ? "true" : "false")
+     << ",\"coloring\":[";
+  for (std::size_t v = 0; v < res.coloring.size(); ++v)
+    os << (v ? "," : "") << res.coloring[v];
+  os << "]}";
+  return os.str();
+}
+
+std::string execute_reduction(const Request& req, runtime::Scheduler&) {
+  std::unique_ptr<MaxISOracle> oracle;
+  if (req.solver == "greedy-mindeg")
+    oracle = std::make_unique<GreedyMinDegreeOracle>();
+  else if (req.solver == "greedy-random")
+    oracle = std::make_unique<RandomGreedyOracle>(req.seed);
+  else if (req.solver == "luby")
+    oracle = std::make_unique<LubyOracle>(req.seed);
+  PSL_CHECK_MSG(oracle != nullptr,
+                "service: unknown reduction solver '" << req.solver << "'");
+  ReductionOptions ropts;
+  ropts.k = req.k;
+  const auto res = cf_multicoloring_via_maxis(*req.instance, *oracle, ropts);
+  auto os = payload_head(req);
+  os << ",\"k\":" << req.k << ",\"solver\":\"" << req.solver
+     << "\",\"success\":" << (res.success ? "true" : "false")
+     << ",\"phases\":" << res.phases << ",\"colors_used\":" << res.colors_used
+     << ",\"palette_bound\":" << res.palette_bound << '}';
+  return os.str();
+}
+
+}  // namespace
+
+const char* kind_name(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kBuildConflictGraph: return "build_conflict_graph";
+    case RequestKind::kGreedyMaxis: return "greedy_maxis";
+    case RequestKind::kLubyMis: return "luby_mis";
+    case RequestKind::kCfColor: return "cf_color";
+    case RequestKind::kRunReduction: return "run_reduction";
+  }
+  return "unknown";
+}
+
+RequestKind kind_from_name(const std::string& name) {
+  for (const RequestKind kind :
+       {RequestKind::kBuildConflictGraph, RequestKind::kGreedyMaxis,
+        RequestKind::kLubyMis, RequestKind::kCfColor,
+        RequestKind::kRunReduction}) {
+    if (name == kind_name(kind)) return kind;
+  }
+  PSL_CHECK_MSG(false, "service: unknown request kind '" << name << "'");
+  return RequestKind::kGreedyMaxis;  // unreachable
+}
+
+std::uint64_t cache_key(const Request& req) {
+  PSL_EXPECTS(req.instance_hash != 0);
+  std::uint64_t key = hash_combine(
+      kKindSalt[static_cast<std::size_t>(req.kind)], req.instance_hash);
+  switch (req.kind) {
+    case RequestKind::kCfColor:
+      break;  // greedy_cf_coloring takes no parameters
+    case RequestKind::kBuildConflictGraph:
+    case RequestKind::kGreedyMaxis:
+      key = hash_combine(key, req.k);
+      break;
+    case RequestKind::kLubyMis:
+      key = hash_combine(hash_combine(key, req.k), req.seed);
+      break;
+    case RequestKind::kRunReduction:
+      key = hash_combine(hash_combine(key, req.k), req.seed);
+      key = hash_combine(key, fnv1a64(req.solver));
+      break;
+  }
+  // 0 is the "no key" sentinel in Response; remap the (vanishingly
+  // unlikely) collision.
+  return key == 0 ? 1 : key;
+}
+
+std::string execute_request(const Request& req, runtime::Scheduler& sched,
+                            ConflictGraphCache* graph_cache) {
+  PSL_CHECK_MSG(req.instance != nullptr, "service: request has no instance");
+  switch (req.kind) {
+    case RequestKind::kBuildConflictGraph:
+      return execute_build(req, sched, graph_cache);
+    case RequestKind::kGreedyMaxis:
+      return execute_greedy(req, sched, graph_cache);
+    case RequestKind::kLubyMis: return execute_luby(req, sched, graph_cache);
+    case RequestKind::kCfColor: return execute_cf_color(req, sched);
+    case RequestKind::kRunReduction: return execute_reduction(req, sched);
+  }
+  PSL_CHECK_MSG(false, "service: invalid request kind");
+  return {};
+}
+
+}  // namespace pslocal::service

@@ -1,0 +1,98 @@
+// Seeded request traces and the deterministic replay format.
+//
+// A trace is a reproducible synthetic workload: a pool of planted
+// hypergraph instances plus `requests` Requests drawn over the pool with
+// a seeded RNG — same TraceParams, same trace, bit for bit.  The pool is
+// deliberately much smaller than the request count, so the trace repeats
+// instances the way production query streams repeat hot keys; that is
+// what the solver cache's hit rate is measured against.
+//
+// Replay files record, per request id, the cache key and the canonical
+// response payload.  Because payloads are byte-deterministic
+// (service/request.hpp), re-running the same trace at ANY thread count
+// must reproduce each recorded payload exactly; verify_replay reports
+// the first mismatch.  The file is JSON (parsed back with util/json —
+// the hardened parser, since replay files may come from outside):
+//
+//   {
+//     "format": "pslocal-service-replay",
+//     "version": 1,
+//     "trace_seed": 1,            // provenance only
+//     "entries": [
+//       { "id": 0, "key": "89abcdef01234567", "result": "{...}" },
+//       ...
+//     ]
+//   }
+//
+// Keys travel as hex64 strings because JSON numbers are doubles and
+// cannot carry 64 bits exactly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/request.hpp"
+
+namespace pslocal::service {
+
+struct TraceParams {
+  std::uint64_t seed = 1;
+  std::size_t requests = 10000;
+  std::size_t instance_pool = 24;  // distinct planted instances
+  std::size_t n = 48;              // base vertex count (varies over the pool)
+  std::size_t m = 40;              // base edge count
+  std::size_t k = 3;               // planted palette size
+  std::size_t seed_variants = 2;   // distinct solver seeds for random kinds
+
+  // Relative workload mix (weights need not be normalized).
+  unsigned weight_build = 20;
+  unsigned weight_greedy = 30;
+  unsigned weight_luby = 25;
+  unsigned weight_cf = 15;
+  unsigned weight_reduction = 10;
+};
+
+struct Trace {
+  std::vector<std::shared_ptr<const Hypergraph>> instances;
+  std::vector<std::uint64_t> instance_hashes;  // content hash per instance
+  std::vector<Request> requests;               // request i has id == i
+  /// Distinct cache keys in the trace — the number of computes a
+  /// large-enough cache performs; requests - unique_keys is its hit count.
+  std::size_t unique_keys = 0;
+};
+
+/// Generate the trace for `params` (deterministic in params alone).
+[[nodiscard]] Trace generate_trace(const TraceParams& params);
+
+/// One recorded response.
+struct ReplayEntry {
+  std::uint64_t id = 0;
+  std::uint64_t key = 0;
+  std::string result;  // canonical payload bytes
+};
+
+/// Write entries in id order to `path` (see format above).
+void write_replay_file(const std::string& path,
+                       const std::vector<ReplayEntry>& entries,
+                       std::uint64_t trace_seed);
+
+/// Parse a replay file; PSL_CHECKs format and version.
+[[nodiscard]] std::vector<ReplayEntry> read_replay_file(
+    const std::string& path);
+
+struct ReplayVerdict {
+  bool identical = false;
+  std::size_t compared = 0;
+  std::size_t mismatches = 0;
+  std::uint64_t first_mismatch_id = 0;  // valid when mismatches > 0
+};
+
+/// Compare two recordings byte-for-byte by request id (both sides must
+/// cover the same ids).
+[[nodiscard]] ReplayVerdict verify_replay(
+    const std::vector<ReplayEntry>& recorded,
+    const std::vector<ReplayEntry>& observed);
+
+}  // namespace pslocal::service

@@ -8,32 +8,13 @@
 #include "obs/obs.hpp"
 #include "runtime/global.hpp"
 #include "util/check.hpp"
+#include "util/json.hpp"
 
 namespace pslocal {
 
 namespace {
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+std::string json_escape(const std::string& s) { return json::escape(s); }
 
 /// True iff strtod consumes the whole cell — i.e. the cell is already a
 /// valid JSON number ("12", "-0.5", "1e3"), as opposed to decorated

@@ -1,0 +1,85 @@
+// Canonical serialization and content hashing.
+//
+// The serving subsystem (src/service/) addresses cached solver results by
+// the *content* of their inputs, so two structurally identical instances
+// hit the same cache line no matter how they were built.  That requires a
+// canonical byte encoding: every multi-byte integer is emitted
+// little-endian at a fixed width, containers are length-prefixed, and
+// graph/hypergraph encodings walk the (already sorted) adjacency data in
+// index order.  The hash is FNV-1a 64 over that stream — tiny, portable,
+// and byte-order stable across platforms, which keeps cache keys and
+// replay files comparable between runs and machines.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "graph/graph.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace pslocal {
+
+/// Streaming FNV-1a 64-bit hasher over a canonical byte encoding.
+class Fnv1a64 {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x00000100000001b3ULL;
+
+  void update_byte(std::uint8_t b) {
+    h_ = (h_ ^ b) * kPrime;
+  }
+
+  void update_bytes(const void* data, std::size_t len) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    for (std::size_t i = 0; i < len; ++i) update_byte(p[i]);
+  }
+
+  /// Fixed-width little-endian encoding (canonical across platforms).
+  void update_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) update_byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  /// Length-prefixed, so {"ab","c"} and {"a","bc"} hash differently.
+  void update_string(std::string_view s) {
+    update_u64(s.size());
+    update_bytes(s.data(), s.size());
+  }
+
+  [[nodiscard]] std::uint64_t digest() const { return h_; }
+
+ private:
+  std::uint64_t h_ = kOffsetBasis;
+};
+
+/// One-shot convenience over raw bytes.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes);
+
+/// Mix an extra word into an existing digest (for composite cache keys:
+/// instance hash ∘ solver id ∘ params).  Order-sensitive.
+[[nodiscard]] std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v);
+
+/// Content hash of a graph: vertex count, then the CSR adjacency in
+/// vertex order.  Equal graphs (Graph::operator==) hash equal.
+[[nodiscard]] std::uint64_t hash_graph(const Graph& g);
+
+/// Content hash of a hypergraph: vertex count, edge count, then each
+/// edge's sorted vertex list in edge-id order.  restrict_edges results
+/// hash by their own content, not their provenance.
+[[nodiscard]] std::uint64_t hash_hypergraph(const Hypergraph& h);
+
+/// Fixed-width lowercase hex of a 64-bit word ("00000000000000ff").
+/// Digests cross process boundaries as hex because JSON numbers (doubles)
+/// cannot carry 64 bits exactly.
+[[nodiscard]] std::string hex64(std::uint64_t v);
+
+/// Inverse of hex64; PSL_CHECKs the format.
+[[nodiscard]] std::uint64_t parse_hex64(std::string_view s);
+
+/// The canonical byte encoding behind hash_hypergraph, materialized.
+/// Used by tests to pin the encoding and by anything that needs the
+/// serialized form itself rather than its digest.
+[[nodiscard]] std::string canonical_bytes(const Hypergraph& h);
+
+}  // namespace pslocal

@@ -1,10 +1,35 @@
 #include "util/json.hpp"
 
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 namespace pslocal::json {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
 
 bool Value::has(const std::string& key) const {
   PSL_EXPECTS(is_object());
@@ -82,6 +107,18 @@ class Parser {
     return true;
   }
 
+  // Containers recurse through parse_value; depth_ bounds the recursion
+  // so a pathological replay/bench file ("[[[[...") fails a PSL_CHECK
+  // instead of overflowing the stack.
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : parser(p) {
+      ++parser.depth_;
+      if (parser.depth_ > kMaxDepth) parser.fail("nesting too deep");
+    }
+    ~DepthGuard() { --parser.depth_; }
+    Parser& parser;
+  };
+
   Value parse_value() {
     const char c = peek();
     switch (c) {
@@ -114,6 +151,7 @@ class Parser {
   }
 
   Value parse_object() {
+    const DepthGuard guard(*this);
     expect('{');
     Value v;
     v.kind_ = Value::Kind::kObject;
@@ -140,6 +178,7 @@ class Parser {
   }
 
   Value parse_array() {
+    const DepthGuard guard(*this);
     expect('[');
     Value v;
     v.kind_ = Value::Kind::kArray;
@@ -238,15 +277,22 @@ class Parser {
         ++pos_;
       if (digits() == 0) fail("invalid number");
     }
+    const double parsed =
+        std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                    nullptr);
+    // Overflowing literals ("1e999") would surface as +/-inf, which no
+    // emitter in this repository produces (they write null); normalize
+    // the overflow to null instead of propagating a non-JSON value.
+    if (!std::isfinite(parsed)) return Value{};
     Value v;
     v.kind_ = Value::Kind::kNumber;
-    v.number_ = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
-                            nullptr);
+    v.number_ = parsed;
     return v;
   }
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;  // live container nesting depth
 };
 
 Value parse(std::string_view text) { return Parser(text).parse_document(); }

@@ -1,11 +1,15 @@
 // Minimal recursive-descent JSON parser.
 //
-// Exists so tests can *validate* what the repository emits — BenchReport
-// files and Chrome trace-event files — without scraping strings or
-// pulling in an external dependency.  It parses strict JSON (the subset
-// the emitters produce plus standard escapes); malformed input fails a
-// PSL_CHECK with position information.  It is a verification tool, not
-// a serialization framework: emitters keep writing JSON directly.
+// Originally a verification tool for what the repository emits —
+// BenchReport files and Chrome trace-event files — it now also sits on
+// the serving path: service replay files (service/workload.hpp) are
+// parsed with it.  It parses strict JSON (the subset the emitters
+// produce plus standard escapes) and is hardened against pathological
+// inputs: container nesting is bounded by kMaxDepth, overflowing number
+// literals parse as null, and trailing garbage after the document is
+// rejected.  Malformed input fails a PSL_CHECK with position
+// information.  Emitters keep writing JSON directly (via escape()); this
+// is not a serialization framework.
 #pragma once
 
 #include <cstddef>
@@ -18,6 +22,13 @@
 #include "util/check.hpp"
 
 namespace pslocal::json {
+
+/// Maximum container nesting depth parse() accepts.  The parser recurses
+/// per nesting level, so the bound turns adversarial inputs ("[[[[…")
+/// into a clean PSL_CHECK failure instead of a stack overflow.  Every
+/// emitter in the repository nests a handful of levels; 256 is far above
+/// any legitimate document and far below any stack limit.
+inline constexpr std::size_t kMaxDepth = 256;
 
 class Value {
  public:
@@ -71,6 +82,11 @@ class Value {
   std::vector<Value> array_;
   std::vector<std::pair<std::string, Value>> object_;
 };
+
+/// Escape a string for embedding inside a JSON string literal (the
+/// surrounding quotes are NOT added).  The single escaping routine shared
+/// by every emitter in the repository, so emitted files always re-parse.
+[[nodiscard]] std::string escape(std::string_view s);
 
 /// Parse one JSON document (trailing whitespace allowed, nothing else).
 [[nodiscard]] Value parse(std::string_view text);

@@ -139,6 +139,77 @@ TEST(CorrespondenceTest, LemmaAReportsInapplicableColorings) {
   EXPECT_FALSE(check_lemma_a(cg, oops).applicable);
 }
 
+// --- Degenerate shapes of Lemma 2.1: the reduction never produces them,
+// but the correspondence maps must still be total on them.
+
+TEST(CorrespondenceTest, EmptyHypergraphIsTriviallyMaximum) {
+  const Hypergraph h(0, {});
+  const ConflictGraph cg(h, 2);
+  EXPECT_EQ(cg.triple_count(), 0u);
+  // The empty coloring is vacuously conflict-free; I_f is empty and
+  // attains the (zero) maximum m = 0.
+  const auto a = check_lemma_a(cg, CfColoring{});
+  EXPECT_TRUE(a.applicable);
+  EXPECT_TRUE(a.independent);
+  EXPECT_EQ(a.is_size, 0u);
+  EXPECT_EQ(a.m, 0u);
+  EXPECT_TRUE(a.attains_maximum);
+  const auto b = check_lemma_b(cg, {});
+  EXPECT_TRUE(b.independent);
+  EXPECT_TRUE(b.well_defined);
+  EXPECT_TRUE(b.happy_at_least_is_size);
+}
+
+TEST(CorrespondenceTest, VerticesWithoutEdgesAreIrrelevant) {
+  // Isolated vertices contribute no triples and no constraints.
+  const Hypergraph h(5, {});
+  const ConflictGraph cg(h, 3);
+  EXPECT_EQ(cg.triple_count(), 0u);
+  const auto a = check_lemma_a(cg, CfColoring(5, kCfUncolored));
+  EXPECT_TRUE(a.applicable);
+  EXPECT_TRUE(a.attains_maximum);
+}
+
+TEST(CorrespondenceTest, SingleEdgeRoundTrip) {
+  const Hypergraph h(3, {{0, 1, 2}});
+  const ConflictGraph cg(h, 2);
+  // One colored vertex makes the single edge happy; the rest stay ⊥.
+  const CfColoring f{1, kCfUncolored, kCfUncolored};
+  const auto a = check_lemma_a(cg, f);
+  EXPECT_TRUE(a.applicable);
+  EXPECT_EQ(a.is_size, 1u);
+  EXPECT_EQ(a.m, 1u);
+  EXPECT_TRUE(a.attains_maximum);
+  const auto is = is_from_coloring(cg, f);
+  ASSERT_EQ(is.size(), 1u);
+  const auto induced = coloring_from_is(cg, is);
+  EXPECT_TRUE(induced.well_defined);
+  EXPECT_EQ(induced.coloring[0], 1u);
+  EXPECT_EQ(induced.coloring[1], kCfUncolored);
+  EXPECT_EQ(induced.coloring[2], kCfUncolored);
+}
+
+TEST(CorrespondenceTest, RankOneEdgesRoundTripWithUnitPalette) {
+  // Rank-1 edges {v} are happy iff v is colored; k = 1 suffices and the
+  // correspondence degenerates to the identity on edges.
+  const Hypergraph h(3, {{0}, {2}});
+  const ConflictGraph cg(h, 1);
+  EXPECT_EQ(cg.triple_count(), 2u);  // k * sum |e|
+  const CfColoring f{1, kCfUncolored, 1};
+  const auto a = check_lemma_a(cg, f);
+  EXPECT_TRUE(a.applicable);
+  EXPECT_EQ(a.is_size, 2u);
+  EXPECT_TRUE(a.attains_maximum);
+  const auto is = is_from_coloring(cg, f);
+  const auto induced = coloring_from_is(cg, is);
+  EXPECT_TRUE(induced.well_defined);
+  EXPECT_EQ(induced.coloring[0], 1u);
+  EXPECT_EQ(induced.coloring[2], 1u);
+  const auto b = check_lemma_b(cg, is);
+  EXPECT_TRUE(b.independent);
+  EXPECT_EQ(b.happy_count, 2u);
+}
+
 TEST(CorrespondenceTest, EmptyIndependentSetInducesEmptyColoring) {
   const auto inst = make_instance({16, 6, 2}, 13);
   const ConflictGraph cg(inst.hypergraph, 2);

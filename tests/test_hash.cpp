@@ -1,0 +1,93 @@
+// util/hash: the content-addressing layer of the serving cache.  Pins
+// the FNV-1a constants (cache keys must be stable across builds) and the
+// structural hashing / hex64 wire format.
+#include "util/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "util/check.hpp"
+
+namespace pslocal {
+namespace {
+
+TEST(HashTest, Fnv1a64MatchesReferenceVectors) {
+  // Offset basis and standard test vectors of 64-bit FNV-1a.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(HashTest, UpdateU64IsLengthPrefixFree) {
+  // update_u64 writes fixed-width little-endian words, so (1, 2) and
+  // (12, ...) cannot collide by concatenation ambiguity.
+  Fnv1a64 a;
+  a.update_u64(1);
+  a.update_u64(2);
+  Fnv1a64 b;
+  b.update_u64(0x0000000200000001ULL);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(HashTest, StringUpdateIsLengthPrefixed) {
+  Fnv1a64 a;
+  a.update_string("ab");
+  a.update_string("c");
+  Fnv1a64 b;
+  b.update_string("a");
+  b.update_string("bc");
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(HashTest, HashCombineDependsOnOrder) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+  EXPECT_NE(hash_combine(0, 0), 0u);
+}
+
+TEST(HashTest, HypergraphHashSeparatesStructure) {
+  const Hypergraph a(4, {{0, 1}, {2, 3}});
+  const Hypergraph same(4, {{0, 1}, {2, 3}});
+  const Hypergraph other_edge(4, {{0, 1}, {2, 3, 0}});
+  const Hypergraph other_n(5, {{0, 1}, {2, 3}});
+  const Hypergraph swapped(4, {{2, 3}, {0, 1}});
+  EXPECT_EQ(hash_hypergraph(a), hash_hypergraph(same));
+  EXPECT_NE(hash_hypergraph(a), hash_hypergraph(other_edge));
+  EXPECT_NE(hash_hypergraph(a), hash_hypergraph(other_n));
+  // Edge identity matters for conflict graphs, so order is significant.
+  EXPECT_NE(hash_hypergraph(a), hash_hypergraph(swapped));
+}
+
+TEST(HashTest, GraphHashSeparatesStructure) {
+  const auto make = [](VertexId u, VertexId v) {
+    GraphBuilder builder(3);
+    builder.add_edge(u, v);
+    return builder.build();
+  };
+  EXPECT_EQ(hash_graph(make(0, 1)), hash_graph(make(0, 1)));
+  EXPECT_NE(hash_graph(make(0, 1)), hash_graph(make(0, 2)));
+}
+
+TEST(HashTest, CanonicalBytesMatchesHash) {
+  const Hypergraph h(6, {{0, 1, 2}, {3, 4}, {5}});
+  EXPECT_EQ(fnv1a64(canonical_bytes(h)), hash_hypergraph(h));
+}
+
+TEST(HashTest, Hex64RoundTrips) {
+  for (const std::uint64_t v :
+       {0ULL, 1ULL, 0xdeadbeefULL, ~0ULL, 0x0123456789abcdefULL}) {
+    const std::string s = hex64(v);
+    EXPECT_EQ(s.size(), 16u);
+    EXPECT_EQ(parse_hex64(s), v);
+  }
+  EXPECT_EQ(hex64(0x0123456789abcdefULL), "0123456789abcdef");
+}
+
+TEST(HashTest, ParseHex64RejectsBadInput) {
+  EXPECT_THROW((void)parse_hex64("123"), ContractViolation);
+  EXPECT_THROW((void)parse_hex64("0123456789abcdeg"), ContractViolation);
+  EXPECT_THROW((void)parse_hex64("0123456789ABCDEF"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace pslocal

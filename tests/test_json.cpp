@@ -68,5 +68,51 @@ TEST(JsonTest, AllowsSurroundingWhitespace) {
   EXPECT_EQ(v.as_array().size(), 2u);
 }
 
+// --- Hardening: the parser also sits on the serving path (replay files,
+// service/workload.hpp), so adversarial inputs must fail cleanly.
+
+TEST(JsonTest, RejectsNestingBeyondDepthLimit) {
+  // kMaxDepth+1 unclosed arrays: the depth check must fire before any
+  // stack-overflow territory (and before the missing-']' error).
+  const std::string deep(json::kMaxDepth + 1, '[');
+  EXPECT_THROW((void)json::parse(deep), ContractViolation);
+  const std::string deep_obj = [] {
+    std::string s;
+    for (std::size_t i = 0; i < json::kMaxDepth + 1; ++i) s += "{\"k\":";
+    return s;
+  }();
+  EXPECT_THROW((void)json::parse(deep_obj), ContractViolation);
+}
+
+TEST(JsonTest, AcceptsNestingAtTheDepthLimit) {
+  std::string at_limit(json::kMaxDepth, '[');
+  at_limit.append(json::kMaxDepth, ']');
+  const auto v = json::parse(at_limit);
+  EXPECT_TRUE(v.is_array());
+}
+
+TEST(JsonTest, OverflowingNumbersParseAsNull) {
+  // No emitter in this repository writes inf; an overflowing literal
+  // normalizes to null instead of smuggling a non-JSON value through.
+  EXPECT_TRUE(json::parse("1e999").is_null());
+  EXPECT_TRUE(json::parse("-1e999").is_null());
+  EXPECT_TRUE(json::parse("[1e999, 2]").at(0).is_null());
+  // Large-but-finite values still parse as numbers.
+  EXPECT_DOUBLE_EQ(json::parse("1e308").as_number(), 1e308);
+}
+
+TEST(JsonTest, RejectsTrailingGarbageAfterDocument) {
+  EXPECT_THROW((void)json::parse("{} {}"), ContractViolation);
+  EXPECT_THROW((void)json::parse("[1] x"), ContractViolation);
+  EXPECT_THROW((void)json::parse("42,"), ContractViolation);
+  EXPECT_THROW((void)json::parse("null null"), ContractViolation);
+}
+
+TEST(JsonTest, EscapeRoundTripsThroughParse) {
+  const std::string nasty = "a\"b\\c\nd\te\rf\x01g";
+  const auto v = json::parse('"' + json::escape(nasty) + '"');
+  EXPECT_EQ(v.as_string(), nasty);
+}
+
 }  // namespace
 }  // namespace pslocal

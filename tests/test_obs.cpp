@@ -80,6 +80,24 @@ TEST(ObsMetricsTest, HistogramBucketsByLog2) {
   EXPECT_DOUBLE_EQ(snap.mean(), 1015.0 / 6.0);
 }
 
+TEST(ObsMetricsTest, HistogramQuantilesHaveLog2Resolution) {
+  obs::HistogramSnapshot empty;
+  EXPECT_EQ(empty.value_at_quantile(0.5), 0u);
+
+  obs::Histogram h("obs_test.hist_quantiles");
+  // 90 fast observations in [8,15], 10 slow ones in [1024,2047].
+  for (int i = 0; i < 90; ++i) h.record(10);
+  for (int i = 0; i < 10; ++i) h.record(1500);
+  const auto snap = obs::snapshot().histogram("obs_test.hist_quantiles");
+  // p50 lands in the fast bucket, p99 in the slow one; both report the
+  // bucket's inclusive upper bound (clamped to the observed max).
+  EXPECT_EQ(snap.value_at_quantile(0.50), 15u);
+  EXPECT_EQ(snap.value_at_quantile(0.89), 15u);
+  EXPECT_EQ(snap.value_at_quantile(0.99), 1500u);  // clamped to max
+  EXPECT_EQ(snap.value_at_quantile(1.0), 1500u);
+  EXPECT_EQ(snap.value_at_quantile(0.0), 15u);  // rank 0 -> first bucket
+}
+
 TEST(ObsMetricsTest, HistogramMergesMinMaxAcrossThreads) {
   obs::Histogram h("obs_test.hist_threads");
   runtime::ThreadPool pool(4);

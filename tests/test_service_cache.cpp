@@ -1,0 +1,163 @@
+// service/cache: LRU behavior, hit/miss determinism, byte-exact hits,
+// and thread safety of both cache layers.
+#include "service/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/conflict_graph.hpp"
+#include "hypergraph/hypergraph.hpp"
+
+namespace pslocal::service {
+namespace {
+
+TEST(ServiceCacheTest, MissThenHitReturnsExactBytes) {
+  SolverCache cache;
+  EXPECT_FALSE(cache.lookup(7).has_value());
+  const std::string payload = "{\"x\":1,\"blob\":\"\\u0001bytes\"}";
+  cache.insert(7, payload);
+  const auto hit = cache.lookup(7);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, payload);  // byte-for-byte
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.bytes, payload.size());
+}
+
+TEST(ServiceCacheTest, LruEvictsOldestAndRefreshesOnHit) {
+  SolverCache::Config cfg;
+  cfg.max_entries = 2;
+  SolverCache cache(cfg);
+  cache.insert(1, "a");
+  cache.insert(2, "bb");
+  EXPECT_TRUE(cache.lookup(1).has_value());  // 1 now most recent
+  cache.insert(3, "ccc");                    // evicts 2, not 1
+  EXPECT_FALSE(cache.lookup(2).has_value());
+  EXPECT_TRUE(cache.lookup(1).has_value());
+  EXPECT_TRUE(cache.lookup(3).has_value());
+  const auto s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.bytes, 4u);  // "a" + "ccc"
+}
+
+TEST(ServiceCacheTest, DisabledCacheNeverHits) {
+  SolverCache::Config cfg;
+  cfg.enabled = false;
+  SolverCache cache(cfg);
+  cache.insert(1, "a");
+  EXPECT_FALSE(cache.lookup(1).has_value());
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.entries, 0u);
+}
+
+TEST(ServiceCacheTest, DuplicateInsertIsIdempotent) {
+  SolverCache cache;
+  cache.insert(1, "payload");
+  cache.insert(1, "payload");
+  const auto s = cache.stats();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.bytes, 7u);
+}
+
+TEST(ServiceCacheTest, HitMissTotalsDeterministicForFixedSequence) {
+  // Same lookup/insert schedule -> same stats, run twice.
+  const auto run = [] {
+    SolverCache::Config cfg;
+    cfg.max_entries = 4;
+    SolverCache cache(cfg);
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      const std::uint64_t key = i % 6;
+      if (!cache.lookup(key).has_value())
+        cache.insert(key, std::string(key + 1, 'x'));
+    }
+    return cache.stats();
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.misses, b.misses);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.bytes, b.bytes);
+}
+
+TEST(ServiceCacheTest, ConcurrentLookupInsertIsSafe) {
+  SolverCache::Config cfg;
+  cfg.max_entries = 16;  // small, so eviction churns under contention
+  SolverCache cache(cfg);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (std::uint64_t i = 0; i < 500; ++i) {
+        const std::uint64_t key = (i * 7 + static_cast<std::uint64_t>(t)) % 40;
+        const auto hit = cache.lookup(key);
+        if (hit.has_value()) {
+          ASSERT_EQ(hit->size(), key + 1);  // bytes never torn
+        } else {
+          cache.insert(key, std::string(key + 1, 'p'));
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses, 2000u);
+  EXPECT_LE(s.entries, 16u);
+}
+
+TEST(ServiceCacheTest, GraphCacheSharesBuilds) {
+  const Hypergraph h(6, {{0, 1, 2}, {3, 4, 5}});
+  ConflictGraphCache cache(8);
+  const auto build = [&h] {
+    return std::make_shared<const ConflictGraph>(h, 2);
+  };
+  const auto a = cache.get_or_build(42, build);
+  const auto b = cache.get_or_build(42, build);
+  EXPECT_EQ(a.get(), b.get());  // same object, one build
+  const auto s = cache.stats();
+  EXPECT_EQ(s.builds, 1u);
+  EXPECT_EQ(s.hits, 1u);
+}
+
+TEST(ServiceCacheTest, GraphCacheDisabledAlwaysBuilds) {
+  const Hypergraph h(4, {{0, 1}, {2, 3}});
+  ConflictGraphCache cache(0);
+  const auto build = [&h] {
+    return std::make_shared<const ConflictGraph>(h, 2);
+  };
+  (void)cache.get_or_build(1, build);
+  (void)cache.get_or_build(1, build);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.builds, 2u);
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.entries, 0u);
+}
+
+TEST(ServiceCacheTest, GraphCacheConcurrentGetOrBuild) {
+  const Hypergraph h(8, {{0, 1, 2}, {2, 3, 4}, {4, 5, 6}, {6, 7, 0}});
+  ConflictGraphCache cache(4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        const auto key = static_cast<std::uint64_t>(i % 6);
+        const auto g = cache.get_or_build(key, [&h] {
+          return std::make_shared<const ConflictGraph>(h, 2);
+        });
+        ASSERT_NE(g, nullptr);
+        ASSERT_EQ(g->triple_count(), 2 * 12u);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits + s.builds, 200u);
+}
+
+}  // namespace
+}  // namespace pslocal::service

@@ -1,0 +1,236 @@
+// service/engine + workload: end-to-end serving determinism, admission
+// control, shutdown semantics, batching memoization, and replay files.
+#include "service/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+#include "service/workload.hpp"
+#include "util/hash.hpp"
+
+namespace pslocal::service {
+namespace {
+
+TraceParams small_trace_params() {
+  TraceParams tp;
+  tp.seed = 7;
+  tp.requests = 60;
+  tp.instance_pool = 4;
+  tp.n = 32;
+  tp.m = 24;
+  tp.k = 3;
+  return tp;
+}
+
+/// Serve every trace request (serially submitted, FIFO) and return the
+/// replay entries in id order.
+std::vector<ReplayEntry> serve_all(const Trace& trace,
+                                   const EngineConfig& cfg) {
+  ServiceEngine engine(cfg);
+  engine.start();
+  std::vector<ReplayEntry> entries;
+  entries.reserve(trace.requests.size());
+  for (const auto& req : trace.requests) {
+    auto sub = engine.submit(req);
+    EXPECT_EQ(sub.admission, Admission::kAccepted);
+    const Response resp = sub.response.get();
+    EXPECT_EQ(resp.status, Response::Status::kOk) << resp.reason;
+    entries.push_back({resp.id, resp.key, resp.result});
+  }
+  return entries;
+}
+
+TEST(ServiceEngineTest, PayloadsIdenticalAcrossThreadCounts) {
+  const Trace trace = generate_trace(small_trace_params());
+  runtime::ThreadPool seq(1), par(4);
+  EngineConfig cfg_seq;
+  cfg_seq.scheduler = &seq;
+  EngineConfig cfg_par;
+  cfg_par.scheduler = &par;
+  const auto a = serve_all(trace, cfg_seq);
+  const auto b = serve_all(trace, cfg_par);
+  const auto verdict = verify_replay(a, b);
+  EXPECT_TRUE(verdict.identical)
+      << verdict.mismatches << " mismatches, first id "
+      << verdict.first_mismatch_id;
+  EXPECT_EQ(verdict.compared, trace.requests.size());
+}
+
+TEST(ServiceEngineTest, PayloadsIdenticalWithAndWithoutCache) {
+  const Trace trace = generate_trace(small_trace_params());
+  EngineConfig cached;
+  EngineConfig uncached;
+  uncached.cache.enabled = false;
+  uncached.graph_cache_entries = 0;
+  const auto verdict =
+      verify_replay(serve_all(trace, cached), serve_all(trace, uncached));
+  EXPECT_TRUE(verdict.identical);
+}
+
+TEST(ServiceEngineTest, CacheHitTotalsAreDeterministic) {
+  const Trace trace = generate_trace(small_trace_params());
+  EngineConfig cfg;  // capacity far above unique_keys: no evictions
+  ServiceEngine engine(cfg);
+  engine.start();
+  for (const auto& req : trace.requests) {
+    auto sub = engine.submit(req);
+    ASSERT_EQ(sub.admission, Admission::kAccepted);
+    (void)sub.response.get();
+  }
+  const auto stats = engine.stats();
+  // With serial submission every repeated key is a cache hit; total
+  // hits = requests - distinct keys, independent of timing.
+  EXPECT_EQ(stats.served, trace.requests.size());
+  EXPECT_EQ(stats.served_cached, trace.requests.size() - trace.unique_keys);
+  EXPECT_EQ(stats.cache.misses, trace.unique_keys);
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(ServiceEngineTest, UnstartedEngineAdmitsExactlyCapacity) {
+  const Trace trace = generate_trace(small_trace_params());
+  EngineConfig cfg;
+  cfg.queue_capacity = 5;
+  ServiceEngine engine(cfg);  // never started: nothing drains
+  std::vector<std::future<Response>> accepted;
+  std::size_t rejected = 0;
+  for (std::size_t i = 0; i < 9; ++i) {
+    auto sub = engine.submit(trace.requests[i]);
+    if (sub.admission == Admission::kAccepted)
+      accepted.push_back(std::move(sub.response));
+    else if (sub.admission == Admission::kQueueFull)
+      ++rejected;
+  }
+  EXPECT_EQ(accepted.size(), 5u);
+  EXPECT_EQ(rejected, 4u);
+  engine.stop();
+  // Every admitted request is still answered — rejected at shutdown.
+  for (auto& f : accepted) {
+    const Response resp = f.get();
+    EXPECT_EQ(resp.status, Response::Status::kRejected);
+    EXPECT_EQ(resp.reason, "shutdown");
+  }
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.rejected_full, 4u);
+  EXPECT_EQ(stats.rejected_shutdown, 5u);
+}
+
+TEST(ServiceEngineTest, SubmitAfterStopIsRejectedImmediately) {
+  const Trace trace = generate_trace(small_trace_params());
+  ServiceEngine engine;
+  engine.start();
+  engine.stop();
+  auto sub = engine.submit(trace.requests[0]);
+  EXPECT_EQ(sub.admission, Admission::kShutdown);
+}
+
+TEST(ServiceEngineTest, SolverErrorYieldsErrorResponseNotCrash) {
+  const Trace trace = generate_trace(small_trace_params());
+  Request req = trace.requests[0];
+  req.kind = RequestKind::kRunReduction;
+  req.solver = "no-such-solver";
+  ServiceEngine engine;
+  engine.start();
+  auto sub = engine.submit(req);
+  ASSERT_EQ(sub.admission, Admission::kAccepted);
+  const Response resp = sub.response.get();
+  EXPECT_EQ(resp.status, Response::Status::kError);
+  EXPECT_FALSE(resp.reason.empty());
+  EXPECT_EQ(engine.stats().errors, 1u);
+}
+
+TEST(ServiceEngineTest, FillsInstanceHashWhenCallerLeavesItZero) {
+  const Trace trace = generate_trace(small_trace_params());
+  Request req = trace.requests[0];
+  const std::uint64_t expected = req.instance_hash;
+  req.instance_hash = 0;
+  ServiceEngine engine;
+  engine.start();
+  auto sub = engine.submit(req);
+  ASSERT_EQ(sub.admission, Admission::kAccepted);
+  const Response resp = sub.response.get();
+  EXPECT_EQ(resp.status, Response::Status::kOk);
+  Request keyed = trace.requests[0];
+  keyed.instance_hash = expected;
+  EXPECT_EQ(resp.key, cache_key(keyed));
+}
+
+TEST(ServiceEngineTest, ConcurrentClientsAllServed) {
+  TraceParams tp = small_trace_params();
+  tp.requests = 200;
+  const Trace trace = generate_trace(tp);
+  ServiceEngine engine;
+  engine.start();
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> served{0}, retried{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= trace.requests.size()) return;
+        for (;;) {
+          auto sub = engine.submit(trace.requests[i]);
+          if (sub.admission == Admission::kQueueFull) {
+            retried.fetch_add(1);
+            std::this_thread::yield();
+            continue;
+          }
+          ASSERT_EQ(sub.admission, Admission::kAccepted);
+          const Response resp = sub.response.get();
+          ASSERT_EQ(resp.status, Response::Status::kOk);
+          served.fetch_add(1);
+          break;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(served.load(), trace.requests.size());
+  EXPECT_EQ(engine.stats().served, trace.requests.size());
+}
+
+TEST(ServiceEngineTest, TraceGenerationIsDeterministic) {
+  const Trace a = generate_trace(small_trace_params());
+  const Trace b = generate_trace(small_trace_params());
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  EXPECT_EQ(a.unique_keys, b.unique_keys);
+  EXPECT_EQ(a.instance_hashes, b.instance_hashes);
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].kind, b.requests[i].kind);
+    EXPECT_EQ(a.requests[i].seed, b.requests[i].seed);
+    EXPECT_EQ(cache_key(a.requests[i]), cache_key(b.requests[i]));
+  }
+}
+
+TEST(ServiceEngineTest, ReplayFileRoundTripsByteExactly) {
+  TraceParams tp = small_trace_params();
+  tp.requests = 20;
+  const Trace trace = generate_trace(tp);
+  const auto entries = serve_all(trace, EngineConfig{});
+  const std::string path = ::testing::TempDir() + "service_replay_test.json";
+  write_replay_file(path, entries, tp.seed);
+  const auto loaded = read_replay_file(path);
+  const auto verdict = verify_replay(entries, loaded);
+  EXPECT_TRUE(verdict.identical);
+  EXPECT_EQ(verdict.compared, entries.size());
+}
+
+TEST(ServiceEngineTest, VerifyReplayFlagsTamperedPayload) {
+  TraceParams tp = small_trace_params();
+  tp.requests = 10;
+  const Trace trace = generate_trace(tp);
+  auto entries = serve_all(trace, EngineConfig{});
+  auto tampered = entries;
+  tampered[3].result[5] ^= 1;
+  const auto verdict = verify_replay(entries, tampered);
+  EXPECT_FALSE(verdict.identical);
+  EXPECT_EQ(verdict.mismatches, 1u);
+  EXPECT_EQ(verdict.first_mismatch_id, 3u);
+}
+
+}  // namespace
+}  // namespace pslocal::service
