@@ -1,0 +1,82 @@
+// Seed-deterministic random generators for the QC harness (src/qc/).
+//
+// Every generator is a pure function of explicit Rng state (util/rng.hpp),
+// so a failing fuzz iteration is reproduced exactly by re-running with the
+// iteration seed printed in the failure message — no corpus files, no
+// global state.  Three input domains cover the library's surface:
+//
+//  * graphs            — the MIS solvers' inputs (mixed structured/random
+//                        families, the same zoo the oracle sweeps use);
+//  * hypergraphs       — named families with a *witness*: a CF k-coloring
+//                        certificate carried alongside, which is exactly
+//                        the promise the Theorem 1.1 reduction needs and
+//                        what Lemma 2.1 a) is checked against;
+//  * service traces    — parameter jitter over service::generate_trace,
+//                        the serving engine's seeded workload format.
+//
+// Named families are shared with tests/test_property_sweeps.cpp so a
+// sweep failure and a fuzz failure print the same reproducer vocabulary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coloring/conflict_free.hpp"
+#include "graph/graph.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "service/workload.hpp"
+#include "util/rng.hpp"
+
+namespace pslocal::qc {
+
+/// A hypergraph instance with its conflict-free colorability certificate.
+/// `witness` is a CF k-coloring of `hypergraph` (checked by tests), so the
+/// instance provably satisfies the reduction's precondition — and keeps
+/// satisfying it under edge-subset shrinking (shrink.hpp), since every
+/// edge subset of a CF-colorable hypergraph is CF-colorable by the same
+/// coloring.
+struct HyperInstance {
+  std::string family;
+  std::uint64_t seed = 0;
+  Hypergraph hypergraph;
+  std::size_t k = 0;
+  CfColoring witness;  // CF k-coloring certificate (colors in [1, k])
+};
+
+/// The named hypergraph families, in the order arbitrary_instance draws
+/// from ("planted-k2", "planted-k3", "planted-k4", "interval",
+/// "ring-neighborhoods", "path-neighborhoods").
+[[nodiscard]] const std::vector<std::string>& hyper_family_names();
+
+/// Build the named family deterministically from (family, seed).
+/// PSL_CHECKs on unknown names.
+[[nodiscard]] HyperInstance make_family(const std::string& family,
+                                        std::uint64_t seed);
+
+/// A random named-family instance.  When `force_family` is non-empty the
+/// family is pinned (the --family flag of pslocal_fuzz) and only the seed
+/// varies.
+[[nodiscard]] HyperInstance arbitrary_instance(
+    Rng& rng, const std::string& force_family = "");
+
+/// A random graph from a mixed zoo of structured and random families,
+/// with at most `max_n` vertices (including the empty and edgeless ends
+/// of the spectrum — shrinking tends to land there).
+[[nodiscard]] Graph arbitrary_graph(Rng& rng, std::size_t max_n = 36);
+
+/// A small unconstrained hypergraph (no planted structure) for checkers
+/// that can afford exact references: n <= max_n vertices, a handful of
+/// edges of size 1..4.
+[[nodiscard]] Hypergraph arbitrary_tiny_hypergraph(Rng& rng,
+                                                   std::size_t max_n = 9);
+
+/// Jittered parameters for a small service trace (a few dozen requests
+/// over a pool of a few instances, random workload mix).
+[[nodiscard]] service::TraceParams arbitrary_trace_params(Rng& rng);
+
+/// Compact printable forms used in counterexample reports.
+[[nodiscard]] std::string describe(const Graph& g);
+[[nodiscard]] std::string describe(const Hypergraph& h);
+
+}  // namespace pslocal::qc

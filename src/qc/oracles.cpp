@@ -1,0 +1,266 @@
+#include "qc/oracles.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "coloring/cf_baselines.hpp"
+#include "coloring/exact_cf.hpp"
+#include "core/conflict_graph.hpp"
+#include "core/correspondence.hpp"
+#include "core/reduction.hpp"
+#include "local/luby_mis.hpp"
+#include "mis/degraded_oracle.hpp"
+#include "mis/exact_maxis.hpp"
+#include "mis/greedy_maxis.hpp"
+#include "mis/independent_set.hpp"
+
+namespace pslocal::qc {
+
+namespace {
+
+/// Node budget for exact references inside checkers: generous for the
+/// tiny instances the generators emit, bounded so a pathological shrink
+/// candidate cannot hang the harness.
+constexpr std::uint64_t kExactBudget = 2'000'000;
+
+std::optional<std::string> fail(const std::string& msg) { return msg; }
+
+/// Triples of the conflict graph G_k grow as sum_e |e| * k; the exact
+/// solver inside the degraded oracle is only exercised below this size
+/// (the scale experiment E4 runs it at).
+std::size_t triple_estimate(const Hypergraph& h, std::size_t k) {
+  std::size_t total = 0;
+  for (EdgeId e = 0; e < h.edge_count(); ++e) total += h.edge_size(e) * k;
+  return total;
+}
+
+}  // namespace
+
+std::optional<std::string> check_mis_differential(const Graph& g,
+                                                  std::uint64_t seed) {
+  const auto mindeg = greedy_min_degree_maxis(g);
+  if (!is_maximal_independent_set(g, mindeg))
+    return fail("greedy_min_degree_maxis output is not a maximal IS");
+
+  const auto clique = clique_cover_greedy_maxis(g);
+  if (!is_independent_set(g, clique))
+    return fail("clique_cover_greedy_maxis output is not an IS");
+
+  RandomGreedyOracle random_oracle(seed);
+  const auto random_is = random_oracle.solve(g);
+  if (!is_maximal_independent_set(g, random_is))
+    return fail("RandomGreedyOracle output is not a maximal IS");
+
+  const LubyResult luby = luby_mis(g, seed);
+  if (!luby.completed) return fail("luby_mis did not complete");
+  if (!is_maximal_independent_set(g, luby.independent_set))
+    return fail("luby_mis output is not a maximal IS");
+
+  const ExactMaxIS exact(kExactBudget);
+  const auto ex = exact.solve(g);
+  if (!is_independent_set(g, ex.set))
+    return fail("ExactMaxIS output is not an IS");
+  if (!ex.proven_optimal) return std::nullopt;  // budget hit: skip bounds
+
+  const std::size_t alpha = ex.set.size();
+  const std::size_t delta = g.vertex_count() == 0 ? 0 : g.max_degree();
+  const auto check_size = [&](const std::vector<VertexId>& is,
+                              const char* name,
+                              bool is_maximal) -> std::optional<std::string> {
+    if (is.size() > alpha) {
+      std::ostringstream os;
+      os << name << " exceeds alpha: " << is.size() << " > " << alpha;
+      return os.str();
+    }
+    // Any MIS is a (Delta+1)-approximation of MaxIS.
+    if (is_maximal && is.size() * (delta + 1) < alpha) {
+      std::ostringstream os;
+      os << name << " below the (Delta+1)-approximation bound: |I|="
+         << is.size() << " alpha=" << alpha << " Delta=" << delta;
+      return os.str();
+    }
+    return std::nullopt;
+  };
+  if (auto f = check_size(mindeg, "greedy-mindeg", true)) return f;
+  if (auto f = check_size(clique, "greedy-clique", false)) return f;
+  if (auto f = check_size(random_is, "greedy-random", true)) return f;
+  if (auto f = check_size(luby.independent_set, "luby", true)) return f;
+
+  // Halldórsson–Radhakrishnan: min-degree greedy is a (Delta+2)/3
+  // approximation, i.e. 3 alpha <= |greedy| (Delta+2).  The factor is
+  // clamped at 1 (for Delta <= 1 greedy is exactly optimal).
+  const std::size_t hr = std::max<std::size_t>(3, delta + 2);
+  if (3 * alpha > mindeg.size() * hr)
+    return fail("greedy-mindeg below the (Delta+2)/3 approximation bound");
+
+  // The degraded oracle realizes |I| >= alpha / lambda with an exact
+  // inner solve; its output must stay independent and meet the floor.
+  for (const double lambda : {1.0, 2.0}) {
+    ControlledLambdaOracle degraded(lambda, kExactBudget);
+    const auto is = degraded.solve(g);
+    if (!is_independent_set(g, is))
+      return fail("ControlledLambdaOracle output is not an IS");
+    if (static_cast<double>(is.size()) * lambda + 1e-9 <
+        static_cast<double>(alpha))
+      return fail("ControlledLambdaOracle below its lambda guarantee");
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_cf_differential(const Hypergraph& h) {
+  const GreedyCfResult greedy = greedy_cf_coloring(h);
+  if (!is_conflict_free(h, greedy.coloring))
+    return fail("greedy_cf_coloring output is not conflict-free");
+  if (cf_color_count(greedy.coloring) != greedy.colors_used)
+    return fail("greedy_cf_coloring colors_used miscounts its palette");
+
+  const CfMulticoloring fresh = fresh_color_baseline(h);
+  if (!is_conflict_free(h, fresh))
+    return fail("fresh_color_baseline output is not conflict-free");
+
+  if (h.edge_count() > 0) {
+    const std::size_t max_k = std::max<std::size_t>(greedy.colors_used, 1);
+    const ExactCfResult exact = exact_min_cf_colors(h, max_k, kExactBudget);
+    if (!exact.budget_exhausted) {
+      if (!exact.found)
+        return fail("exact_min_cf_colors found no coloring within the "
+                    "greedy palette");
+      if (!is_conflict_free(h, exact.coloring))
+        return fail("exact_min_cf_colors witness is not conflict-free");
+      if (exact.colors > greedy.colors_used)
+        return fail("exact CF chromatic number exceeds the greedy palette");
+      if (exact.colors > 1) {
+        const ExactCfResult fewer =
+            exact_min_cf_colors(h, exact.colors - 1, kExactBudget);
+        if (!fewer.budget_exhausted && fewer.found)
+          return fail("exact_min_cf_colors result is not minimal");
+      }
+    }
+  }
+
+  if (is_interval_hypergraph(h)) {
+    const CfColoring dyadic = dyadic_interval_cf_coloring(h.vertex_count());
+    if (!is_conflict_free(h, dyadic))
+      return fail("dyadic coloring not conflict-free on an interval "
+                  "hypergraph");
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_correspondence(const HyperInstance& inst,
+                                                std::uint64_t seed) {
+  const Hypergraph& h = inst.hypergraph;
+  const ConflictGraph cg(h, inst.k);
+
+  // Lemma 2.1 a) on the witness coloring.
+  const LemmaAReport a = check_lemma_a(cg, inst.witness);
+  if (!a.applicable)
+    return fail("witness coloring is not a CF k-coloring (lemma A "
+                "precondition)");
+  if (!a.independent) return fail("I_f of the witness is not independent");
+  if (!a.attains_maximum)
+    return fail("I_f of the witness does not attain alpha = m");
+
+  // Round trip a) -> b): the induced coloring of I_f is total on happy
+  // edges, i.e. conflict-free again.
+  const auto i_f = is_from_coloring(cg, inst.witness);
+  if (i_f.size() != h.edge_count())
+    return fail("is_from_coloring did not pick one triple per edge");
+  const InducedColoring induced = coloring_from_is(cg, i_f);
+  if (!induced.well_defined)
+    return fail("coloring_from_is of a valid IS is not well defined");
+  if (!is_conflict_free(h, induced.coloring))
+    return fail("round-tripped coloring f_{I_f} is not conflict-free");
+  const LemmaBReport b_wit = check_lemma_b(cg, i_f);
+  if (!b_wit.independent || !b_wit.well_defined ||
+      !b_wit.happy_at_least_is_size)
+    return fail("lemma B clauses fail on I_f");
+
+  // Lemma 2.1 b) on an arbitrary oracle IS.
+  RandomGreedyOracle oracle(seed);
+  const auto is = oracle.solve(cg.graph());
+  const LemmaBReport b = check_lemma_b(cg, is);
+  if (!b.independent) return fail("oracle IS is not independent on G_k");
+  if (!b.well_defined) return fail("f_I of the oracle IS is not well defined");
+  if (!b.happy_at_least_is_size)
+    return fail("fewer happy edges than |I| (lemma B violated)");
+  if (is.size() > cg.independence_upper_bound())
+    return fail("oracle IS exceeds the alpha upper bound m");
+  return std::nullopt;
+}
+
+std::optional<std::string> check_reduction(const HyperInstance& inst,
+                                           std::uint64_t seed,
+                                           const std::string& force_oracle,
+                                           double force_lambda) {
+  Rng rng(seed);
+  std::string kind = force_oracle;
+  if (kind.empty()) {
+    static const char* kKinds[] = {"greedy-mindeg", "greedy-clique",
+                                   "greedy-random", "luby", "degraded"};
+    kind = kKinds[rng.next_below(5)];
+    // The degraded oracle solves G_k exactly each phase; keep it to the
+    // instance sizes E4 runs it at.
+    if (kind == "degraded" && triple_estimate(inst.hypergraph, inst.k) > 300)
+      kind = "greedy-random";
+  }
+
+  std::unique_ptr<MaxISOracle> oracle;
+  if (kind == "greedy-mindeg") {
+    oracle = std::make_unique<GreedyMinDegreeOracle>();
+  } else if (kind == "greedy-clique") {
+    oracle = std::make_unique<CliqueCoverGreedyOracle>();
+  } else if (kind == "greedy-random") {
+    oracle = std::make_unique<RandomGreedyOracle>(rng.next_u64());
+  } else if (kind == "luby") {
+    oracle = std::make_unique<LubyOracle>(rng.next_u64());
+  } else if (kind == "degraded") {
+    const double lambda =
+        force_lambda > 1.0 ? force_lambda : 1.5 + 0.5 * rng.next_below(3);
+    oracle = std::make_unique<ControlledLambdaOracle>(lambda);
+  } else {
+    return fail("unknown oracle kind " + kind);
+  }
+
+  ReductionOptions opts;
+  opts.k = inst.k;
+  opts.verify_phases = true;
+  const ReductionResult res =
+      cf_multicoloring_via_maxis(inst.hypergraph, *oracle, opts);
+  std::ostringstream tag;
+  tag << "reduction[" << kind << ", family=" << inst.family << "] ";
+  if (!res.success) return fail(tag.str() + "did not succeed");
+  if (!is_conflict_free(inst.hypergraph, res.coloring))
+    return fail(tag.str() + "final multicoloring is not conflict-free");
+  if (res.colors_used > res.palette_bound)
+    return fail(tag.str() + "used more colors than the k*rho accounting");
+  if (res.coloring.max_color() > inst.k * res.phases)
+    return fail(tag.str() + "palette offsets exceed k * phases");
+  if (res.rho_bound > 0 && !res.within_rho)
+    return fail(tag.str() + "exceeded the phase bound rho");
+  return std::nullopt;
+}
+
+std::vector<VertexId> buggy_greedy_mis(const Graph& g) {
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    bool blocked = false;
+    // BUG (planted, flag-gated): the independence re-check is off by one
+    // — it never tests v against the most recently chosen vertex, so a
+    // vertex adjacent only to that one slips in.
+    for (std::size_t i = 0; i + 1 < out.size(); ++i)
+      if (g.has_edge(out[i], v)) blocked = true;
+    if (!blocked) out.push_back(v);
+  }
+  return out;
+}
+
+std::optional<std::string> check_planted_bug(const Graph& g) {
+  const auto is = buggy_greedy_mis(g);
+  if (!is_independent_set(g, is))
+    return fail("buggy_greedy_mis returned a non-independent set");
+  return std::nullopt;
+}
+
+}  // namespace pslocal::qc

@@ -1,0 +1,71 @@
+// Differential oracles: independent cross-checks between solvers.
+//
+// Each checker returns nullopt when every invariant holds, or a
+// human-readable description of the first violated clause.  The targets
+// come from the paper's object zoo:
+//
+//  * MIS family   — exact branch-and-bound vs. min-degree greedy vs.
+//                   clique-cover greedy vs. random-order greedy vs. Luby,
+//                   with the published approximation guarantees asserted
+//                   whenever the exact solver proves optimality;
+//  * CF family    — exact backtracking CF chromatic number vs. greedy CF
+//                   vs. the fresh-color and dyadic baselines;
+//  * Lemma 2.1    — both correspondence directions round-tripped through
+//                   the conflict graph, clause by clause;
+//  * Theorem 1.1  — the reduction under every oracle, including the
+//                   deliberately degraded λ-oracle (mis/degraded_oracle),
+//                   against the phase bound ρ = ceil(λ ln m) + 1.
+//
+// The checkers are pure functions of their inputs (random choices come
+// from explicit seeds), so they double as shrinking predicates.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "qc/gen.hpp"
+
+namespace pslocal::qc {
+
+/// Cross-check every MIS solver on g (validity, maximality where
+/// guaranteed, sizes against exact α and the published approximation
+/// factors).  `seed` drives the randomized solvers.
+[[nodiscard]] std::optional<std::string> check_mis_differential(
+    const Graph& g, std::uint64_t seed);
+
+/// Cross-check the CF coloring algorithms on a tiny hypergraph against
+/// the exact CF chromatic number.
+[[nodiscard]] std::optional<std::string> check_cf_differential(
+    const Hypergraph& h);
+
+/// Verify both directions of Lemma 2.1 on inst's conflict graph: clause
+/// checks for the witness coloring (a), a random-oracle IS (b), and the
+/// a→b round trip coloring_from_is(is_from_coloring(witness)).
+[[nodiscard]] std::optional<std::string> check_correspondence(
+    const HyperInstance& inst, std::uint64_t seed);
+
+/// Run the Theorem 1.1 reduction on inst with a seed-chosen oracle
+/// (greedy/random/Luby, or the degraded λ-oracle when force_lambda > 1 or
+/// the seed picks it) and verify success, conflict-freeness, the palette
+/// accounting, and — when λ is known — the phase bound.  When
+/// `force_oracle` is non-empty that oracle is pinned (--oracle flag).
+[[nodiscard]] std::optional<std::string> check_reduction(
+    const HyperInstance& inst, std::uint64_t seed,
+    const std::string& force_oracle = "", double force_lambda = 0.0);
+
+/// Flag-gated planted bug: greedy MIS along ascending ids whose
+/// independence re-check has an off-by-one — each candidate is tested
+/// against every already-chosen vertex EXCEPT the most recent, so a
+/// vertex adjacent only to the most recent pick joins anyway.  The QC
+/// acceptance gate requires the harness to find this and shrink the
+/// witness to <= 5 vertices (a single edge suffices).
+[[nodiscard]] std::vector<VertexId> buggy_greedy_mis(const Graph& g);
+
+/// The differential check that exposes buggy_greedy_mis (nullopt iff its
+/// output is a valid independent set of g).
+[[nodiscard]] std::optional<std::string> check_planted_bug(const Graph& g);
+
+}  // namespace pslocal::qc

@@ -1,0 +1,334 @@
+#include "qc/property.hpp"
+
+#include <chrono>
+#include <sstream>
+
+#include "qc/fault.hpp"
+#include "qc/gen.hpp"
+#include "qc/oracles.hpp"
+#include "qc/shrink.hpp"
+#include "util/hash.hpp"
+#include "util/json.hpp"
+
+namespace pslocal::qc {
+
+namespace {
+
+/// Run a checker, converting a thrown exception (ContractViolation from a
+/// solver, say) into a failure message — a crash is a counterexample too,
+/// and the shrinker needs the predicate to be total.
+template <typename Fn>
+std::optional<std::string> guarded(Fn&& fn) {
+  try {
+    return fn();
+  } catch (const std::exception& e) {
+    return std::string("exception: ") + e.what();
+  }
+}
+
+std::string describe_requests(const service::TraceParams& params,
+                              const FaultPlan& plan,
+                              const std::vector<service::Request>& requests) {
+  std::ostringstream os;
+  os << "trace seed=" << params.seed << " plan{queue=" << plan.queue_capacity
+     << " burst=" << plan.burst << " cache=" << plan.cache_entries
+     << (plan.disable_cache ? " cache-off" : "")
+     << (plan.shuffle_scheduler ? " shuffled" : "") << "} requests=[";
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (i > 0) os << " ";
+    os << requests[i].id << ":" << service::kind_name(requests[i].kind);
+  }
+  os << "]";
+  return os.str();
+}
+
+Failure make_failure(std::string message, std::string counterexample,
+                     const ShrinkLog& log) {
+  Failure f;
+  f.message = std::move(message);
+  f.counterexample = std::move(counterexample);
+  f.shrink_attempts = log.attempts;
+  f.shrink_accepted = log.accepted;
+  return f;
+}
+
+/// Shrink a failing graph against `check` and build the Failure from the
+/// minimal witness.
+Failure shrink_graph_failure(
+    Graph g, const std::function<std::optional<std::string>(const Graph&)>&
+                 check) {
+  ShrinkLog log;
+  const Graph minimal = shrink_graph(
+      std::move(g),
+      [&check](const Graph& c) { return guarded([&] { return check(c); }).has_value(); },
+      &log);
+  const auto msg = guarded([&] { return check(minimal); });
+  return make_failure(msg.value_or("failure vanished on the minimal witness"),
+                      describe(minimal), log);
+}
+
+Property mis_differential_property() {
+  return {"mis-differential", [](Rng& rng) -> std::optional<Failure> {
+            const std::uint64_t solver_seed = rng.next_u64();
+            Graph g = arbitrary_graph(rng);
+            const auto check = [solver_seed](const Graph& c) {
+              return check_mis_differential(c, solver_seed);
+            };
+            if (!guarded([&] { return check(g); })) return std::nullopt;
+            return shrink_graph_failure(std::move(g), check);
+          }};
+}
+
+Property cf_differential_property() {
+  return {"cf-differential", [](Rng& rng) -> std::optional<Failure> {
+            Hypergraph h = arbitrary_tiny_hypergraph(rng);
+            const auto check = [](const Hypergraph& c) {
+              return check_cf_differential(c);
+            };
+            if (!guarded([&] { return check(h); })) return std::nullopt;
+            ShrinkLog log;
+            const Hypergraph minimal = shrink_hypergraph(
+                std::move(h),
+                [&check](const Hypergraph& c) {
+                  return guarded([&] { return check(c); }).has_value();
+                },
+                /*edges_only=*/false, &log);
+            const auto msg = guarded([&] { return check(minimal); });
+            return make_failure(
+                msg.value_or("failure vanished on the minimal witness"),
+                describe(minimal), log);
+          }};
+}
+
+/// Shared scaffold for the two witness-carrying instance properties:
+/// generate a named-family instance, check, and shrink EDGES ONLY so the
+/// CF k-colorability certificate stays valid on every candidate.
+Property instance_property(
+    std::string name, std::string force_family,
+    std::function<std::optional<std::string>(const HyperInstance&,
+                                             std::uint64_t)>
+        check) {
+  return {std::move(name),
+          [force_family, check](Rng& rng) -> std::optional<Failure> {
+            const std::uint64_t check_seed = rng.next_u64();
+            HyperInstance inst = arbitrary_instance(rng, force_family);
+            const auto run = [&check, check_seed](const HyperInstance& c) {
+              return check(c, check_seed);
+            };
+            if (!guarded([&] { return run(inst); })) return std::nullopt;
+            ShrinkLog log;
+            HyperInstance candidate = inst;
+            candidate.hypergraph = shrink_hypergraph(
+                std::move(inst.hypergraph),
+                [&](const Hypergraph& h) {
+                  HyperInstance probe = candidate;
+                  probe.hypergraph = h;
+                  return guarded([&] { return run(probe); }).has_value();
+                },
+                /*edges_only=*/true, &log);
+            const auto msg = guarded([&] { return run(candidate); });
+            std::ostringstream witness;
+            witness << "family=" << candidate.family
+                    << " seed=" << candidate.seed << " k=" << candidate.k
+                    << " " << describe(candidate.hypergraph);
+            return make_failure(
+                msg.value_or("failure vanished on the minimal witness"),
+                witness.str(), log);
+          }};
+}
+
+Property service_differential_property() {
+  return {"service-differential", [](Rng& rng) -> std::optional<Failure> {
+            const service::TraceParams params = arbitrary_trace_params(rng);
+            const FaultPlan plan = arbitrary_fault_plan(rng);
+            const service::Trace trace = service::generate_trace(params);
+            const auto failing = [&plan, &trace](
+                                     const std::vector<service::Request>& rs) {
+              service::Trace sub;
+              sub.instances = trace.instances;
+              sub.instance_hashes = trace.instance_hashes;
+              sub.requests = rs;
+              const FaultReport r = run_fault_plan(plan, sub);
+              return !r.ok();
+            };
+            const FaultReport report = run_fault_plan(plan, trace);
+            if (report.ok()) return std::nullopt;
+            ShrinkLog log;
+            const auto minimal = shrink_requests(
+                trace.requests,
+                [&failing](const std::vector<service::Request>& rs) {
+                  bool fails = false;
+                  (void)guarded([&]() -> std::optional<std::string> {
+                    fails = failing(rs);
+                    return std::nullopt;
+                  });
+                  return fails;
+                },
+                &log);
+            service::Trace sub;
+            sub.instances = trace.instances;
+            sub.instance_hashes = trace.instance_hashes;
+            sub.requests = minimal;
+            const FaultReport final_report = run_fault_plan(plan, sub);
+            return make_failure(final_report.error.empty()
+                                    ? report.error
+                                    : final_report.error,
+                                describe_requests(params, plan, minimal), log);
+          }};
+}
+
+Property hash_sensitivity_property() {
+  return {"hash-sensitivity", [](Rng& rng) -> std::optional<Failure> {
+            // Payload streams differing in exactly one field must digest
+            // differently (collision smoke over the canonical encoding).
+            const std::size_t fields = 1 + rng.next_below(8);
+            std::vector<std::uint64_t> payload(fields);
+            for (auto& w : payload) w = rng.next_u64();
+            const std::size_t flip = rng.next_below(fields);
+            const std::uint64_t delta = 1ULL << rng.next_below(64);
+            Fnv1a64 a, b;
+            for (std::size_t i = 0; i < fields; ++i) {
+              a.update_u64(payload[i]);
+              b.update_u64(i == flip ? payload[i] ^ delta : payload[i]);
+            }
+            if (a.digest() == b.digest()) {
+              Failure f;
+              f.message = "one-field flip collided under Fnv1a64";
+              std::ostringstream os;
+              os << "fields=" << fields << " flip=" << flip
+                 << " delta=" << delta;
+              f.counterexample = os.str();
+              return f;
+            }
+            // hex64 must round-trip any word.
+            const std::uint64_t word = rng.next_u64();
+            if (parse_hex64(hex64(word)) != word) {
+              Failure f;
+              f.message = "hex64 round trip failed";
+              f.counterexample = hex64(word);
+              return f;
+            }
+            return std::nullopt;
+          }};
+}
+
+Property planted_bug_property() {
+  return {"planted-bug", [](Rng& rng) -> std::optional<Failure> {
+            Graph g = arbitrary_graph(rng);
+            const auto check = [](const Graph& c) {
+              return check_planted_bug(c);
+            };
+            if (!guarded([&] { return check(g); })) return std::nullopt;
+            return shrink_graph_failure(std::move(g), check);
+          }};
+}
+
+}  // namespace
+
+std::vector<Property> default_properties(const FuzzOptions& opts) {
+  std::vector<Property> props;
+  props.push_back(mis_differential_property());
+  props.push_back(cf_differential_property());
+  props.push_back(instance_property(
+      "correspondence-roundtrip", opts.family,
+      [](const HyperInstance& inst, std::uint64_t seed) {
+        return check_correspondence(inst, seed);
+      }));
+  const std::string oracle = opts.oracle;
+  props.push_back(instance_property(
+      "reduction-solves", opts.family,
+      [oracle](const HyperInstance& inst, std::uint64_t seed) {
+        return check_reduction(inst, seed, oracle);
+      }));
+  props.push_back(service_differential_property());
+  props.push_back(hash_sensitivity_property());
+  if (opts.plant_bug) props.push_back(planted_bug_property());
+  return props;
+}
+
+std::string reproducer(const std::string& property, std::uint64_t iter_seed,
+                       const std::string& family, const std::string& oracle) {
+  std::ostringstream os;
+  os << "pslocal_fuzz --property=" << property << " --seed=" << iter_seed
+     << " --iters=1";
+  if (!family.empty()) os << " --family=" << family;
+  if (!oracle.empty()) os << " --oracle=" << oracle;
+  return os.str();
+}
+
+std::size_t FuzzReport::failure_count() const {
+  std::size_t count = 0;
+  for (const auto& out : outcomes)
+    if (out.failure.has_value()) ++count;
+  return count;
+}
+
+FuzzReport run_properties(const std::vector<Property>& props,
+                          const FuzzOptions& opts) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto out_of_time = [&] {
+    if (opts.time_budget_ms <= 0) return false;
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    return elapsed.count() >= opts.time_budget_ms;
+  };
+
+  FuzzReport report;
+  for (const Property& prop : props) {
+    if (!opts.only.empty() && prop.name != opts.only) continue;
+    PropertyOutcome outcome;
+    outcome.name = prop.name;
+    for (std::size_t iter = 0; iter < opts.iters; ++iter) {
+      if (out_of_time()) break;
+      const std::uint64_t s = iteration_seed(opts.seed, iter);
+      // Splitting by the property name decorrelates the input streams of
+      // different properties under one base seed.
+      Rng rng = Rng(s).split(fnv1a64(prop.name));
+      auto failure = prop.run(rng);
+      ++outcome.iterations;
+      if (failure.has_value()) {
+        outcome.failure = std::move(failure);
+        outcome.fail_seed = s;
+        outcome.reproducer =
+            reproducer(prop.name, s, opts.family, opts.oracle);
+        break;
+      }
+    }
+    report.outcomes.push_back(std::move(outcome));
+  }
+  return report;
+}
+
+std::string report_json(const FuzzReport& report, const FuzzOptions& opts) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"format\": \"pslocal-fuzz-report\",\n";
+  os << "  \"version\": 1,\n";
+  os << "  \"seed\": \"" << opts.seed << "\",\n";
+  os << "  \"iters\": " << opts.iters << ",\n";
+  os << "  \"plant_bug\": " << (opts.plant_bug ? "true" : "false") << ",\n";
+  os << "  \"properties\": [\n";
+  for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+    const PropertyOutcome& out = report.outcomes[i];
+    os << "    {\"name\": \"" << json::escape(out.name)
+       << "\", \"iterations\": " << out.iterations << ", \"failed\": "
+       << (out.failure.has_value() ? "true" : "false");
+    if (out.failure.has_value()) {
+      os << ", \"seed\": \"" << out.fail_seed << "\"";
+      os << ", \"message\": \"" << json::escape(out.failure->message) << "\"";
+      os << ", \"counterexample\": \""
+         << json::escape(out.failure->counterexample) << "\"";
+      os << ", \"shrink_attempts\": " << out.failure->shrink_attempts;
+      os << ", \"shrink_accepted\": " << out.failure->shrink_accepted;
+      os << ", \"reproducer\": \"" << json::escape(out.reproducer) << "\"";
+    }
+    os << "}" << (i + 1 < report.outcomes.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"failures\": " << report.failure_count() << ",\n";
+  os << "  \"passed\": " << (report.passed() ? "true" : "false") << "\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace pslocal::qc

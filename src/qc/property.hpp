@@ -1,0 +1,91 @@
+// The property runner: seed-deterministic fuzz loop with shrinking.
+//
+// A Property is (name, one-iteration closure).  The runner derives an
+// iteration seed s = base_seed + iteration, builds the iteration's
+// private Rng by splitting s with the property name, runs the closure,
+// and on failure records the already-shrunk counterexample plus a
+// one-line reproducer command.  Because iteration 0 under base seed s
+// and iteration t under base seed s+t see identical Rng state, the
+// printed `pslocal_fuzz --property=<p> --seed=<s+t> --iters=1` replays
+// the failing iteration exactly.
+//
+// With time_budget_ms == 0 a run is a pure function of FuzzOptions: the
+// JSON report carries no timing and is byte-identical across runs and
+// thread counts (the fuzz-smoke CI job diffs two runs).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pslocal::qc {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  std::size_t iters = 200;          // per property
+  std::int64_t time_budget_ms = 0;  // 0 = unbounded (deterministic mode)
+  std::string only;    // run a single property by name ("" = all)
+  std::string family;  // pin the hypergraph family ("" = draw randomly)
+  std::string oracle;  // pin the reduction oracle ("" = draw randomly)
+  bool plant_bug = false;  // enable the flag-gated buggy solver property
+};
+
+/// A shrunk failing iteration.
+struct Failure {
+  std::string message;         // first violated invariant
+  std::string counterexample;  // printable 1-minimal witness
+  std::size_t shrink_attempts = 0;
+  std::size_t shrink_accepted = 0;
+};
+
+struct Property {
+  std::string name;
+  std::function<std::optional<Failure>(Rng&)> run;
+};
+
+/// The standing property set (differential oracles over all three input
+/// domains plus fault injection).  opts pins family/oracle choices and
+/// gates the planted-bug property.
+[[nodiscard]] std::vector<Property> default_properties(
+    const FuzzOptions& opts);
+
+/// The seed of iteration `iter` under `base` (iteration 0 == base).
+[[nodiscard]] inline std::uint64_t iteration_seed(std::uint64_t base,
+                                                  std::size_t iter) {
+  return base + iter;
+}
+
+/// One-line replay command for a failing iteration seed.
+[[nodiscard]] std::string reproducer(const std::string& property,
+                                     std::uint64_t iter_seed,
+                                     const std::string& family = "",
+                                     const std::string& oracle = "");
+
+struct PropertyOutcome {
+  std::string name;
+  std::size_t iterations = 0;  // executed; stops at the first failure
+  std::optional<Failure> failure;
+  std::uint64_t fail_seed = 0;  // iteration seed of the failure
+  std::string reproducer;       // replay command (set on failure)
+};
+
+struct FuzzReport {
+  std::vector<PropertyOutcome> outcomes;
+  [[nodiscard]] std::size_t failure_count() const;
+  [[nodiscard]] bool passed() const { return failure_count() == 0; }
+};
+
+/// Run every property for opts.iters iterations (or until the time
+/// budget runs out), stopping each property at its first failure.
+[[nodiscard]] FuzzReport run_properties(const std::vector<Property>& props,
+                                        const FuzzOptions& opts);
+
+/// Canonical JSON encoding of a report — deterministic, no timing.
+[[nodiscard]] std::string report_json(const FuzzReport& report,
+                                      const FuzzOptions& opts);
+
+}  // namespace pslocal::qc

@@ -1,0 +1,118 @@
+#include "qc/shrink.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace pslocal::qc {
+
+Graph remove_vertex(const Graph& g, VertexId v) {
+  PSL_EXPECTS(v < g.vertex_count());
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (const auto& [a, b] : g.edges()) {
+    if (a == v || b == v) continue;
+    edges.emplace_back(a > v ? a - 1 : a, b > v ? b - 1 : b);
+  }
+  return Graph::from_edges(g.vertex_count() - 1, edges);
+}
+
+Hypergraph remove_vertex(const Hypergraph& h, VertexId v) {
+  PSL_EXPECTS(v < h.vertex_count());
+  std::vector<std::vector<VertexId>> edges;
+  for (EdgeId e = 0; e < h.edge_count(); ++e) {
+    std::vector<VertexId> kept;
+    for (const VertexId u : h.edge(e)) {
+      if (u == v) continue;
+      kept.push_back(u > v ? u - 1 : u);
+    }
+    if (!kept.empty()) edges.push_back(std::move(kept));
+  }
+  return Hypergraph(h.vertex_count() - 1, std::move(edges));
+}
+
+Hypergraph remove_edge(const Hypergraph& h, EdgeId e) {
+  PSL_EXPECTS(e < h.edge_count());
+  std::vector<bool> keep(h.edge_count(), true);
+  keep[e] = false;
+  return h.restrict_edges(keep);
+}
+
+Graph shrink_graph(Graph g,
+                   const std::function<bool(const Graph&)>& still_fails,
+                   ShrinkLog* log_out) {
+  ShrinkLog local;
+  ShrinkLog& log = log_out != nullptr ? *log_out : local;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    // Descending ids: deleting vertex v never relabels the vertices the
+    // pass has yet to try.
+    for (VertexId v = static_cast<VertexId>(g.vertex_count()); v-- > 0;) {
+      Graph candidate = remove_vertex(g, v);
+      ++log.attempts;
+      if (still_fails(candidate)) {
+        g = std::move(candidate);
+        ++log.accepted;
+        progressed = true;
+      }
+    }
+  }
+  return g;
+}
+
+Hypergraph shrink_hypergraph(
+    Hypergraph h, const std::function<bool(const Hypergraph&)>& still_fails,
+    bool edges_only, ShrinkLog* log_out) {
+  ShrinkLog local;
+  ShrinkLog& log = log_out != nullptr ? *log_out : local;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (EdgeId e = static_cast<EdgeId>(h.edge_count()); e-- > 0;) {
+      Hypergraph candidate = remove_edge(h, e);
+      ++log.attempts;
+      if (still_fails(candidate)) {
+        h = std::move(candidate);
+        ++log.accepted;
+        progressed = true;
+      }
+    }
+    if (edges_only) continue;
+    for (VertexId v = static_cast<VertexId>(h.vertex_count()); v-- > 0;) {
+      Hypergraph candidate = remove_vertex(h, v);
+      ++log.attempts;
+      if (still_fails(candidate)) {
+        h = std::move(candidate);
+        ++log.accepted;
+        progressed = true;
+      }
+    }
+  }
+  return h;
+}
+
+std::vector<service::Request> shrink_requests(
+    std::vector<service::Request> requests,
+    const std::function<bool(const std::vector<service::Request>&)>&
+        still_fails,
+    ShrinkLog* log_out) {
+  ShrinkLog local;
+  ShrinkLog& log = log_out != nullptr ? *log_out : local;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t i = requests.size(); i-- > 0;) {
+      std::vector<service::Request> candidate = requests;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+      ++log.attempts;
+      if (still_fails(candidate)) {
+        requests = std::move(candidate);
+        ++log.accepted;
+        progressed = true;
+      }
+    }
+  }
+  return requests;
+}
+
+}  // namespace pslocal::qc

@@ -1,0 +1,66 @@
+// Greedy shrinking to minimal counterexamples.
+//
+// When a property fails, the raw counterexample is a random 30-vertex
+// graph or a 40-request trace — too big to read.  The shrinkers below
+// repeatedly try single deletions (a vertex, a hyperedge, a request) and
+// keep each deletion whose result STILL fails the caller's predicate,
+// until a full pass accepts nothing.  The result is 1-minimal: no single
+// deletion preserves the failure.  Deletions only ever remove structure,
+// so a predicate that is a pure function of its input makes shrinking
+// terminate after at most (initial size)^2 predicate calls.
+//
+// Domain note: hypergraph shrinking offers an edges-only mode because the
+// reduction's precondition (H admits a CF k-coloring) survives edge
+// deletion but not vertex deletion — an edge's unique-color witness
+// vertex may be the one removed.  Properties that rely on a witness
+// coloring shrink edges-only; witness-free properties shrink both.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "service/request.hpp"
+
+namespace pslocal::qc {
+
+/// g with vertex v deleted; higher-numbered vertices shift down by one.
+[[nodiscard]] Graph remove_vertex(const Graph& g, VertexId v);
+
+/// h with vertex v deleted from every edge (edges left empty disappear);
+/// higher-numbered vertices shift down by one.
+[[nodiscard]] Hypergraph remove_vertex(const Hypergraph& h, VertexId v);
+
+/// h with edge e deleted (same vertex set).
+[[nodiscard]] Hypergraph remove_edge(const Hypergraph& h, EdgeId e);
+
+/// Shrink bookkeeping, for tests of the shrinker itself and for fuzz
+/// reports (deterministic — counts predicate evaluations, not time).
+struct ShrinkLog {
+  std::size_t attempts = 0;  // candidate deletions tried
+  std::size_t accepted = 0;  // deletions that kept the failure
+};
+
+/// Greedy vertex-deletion shrink: returns a 1-minimal graph for which
+/// `still_fails` is true.  Precondition: still_fails(g).
+[[nodiscard]] Graph shrink_graph(
+    Graph g, const std::function<bool(const Graph&)>& still_fails,
+    ShrinkLog* log = nullptr);
+
+/// Greedy hyperedge- then (unless edges_only) vertex-deletion shrink.
+/// Precondition: still_fails(h).
+[[nodiscard]] Hypergraph shrink_hypergraph(
+    Hypergraph h, const std::function<bool(const Hypergraph&)>& still_fails,
+    bool edges_only = false, ShrinkLog* log = nullptr);
+
+/// Greedy request-deletion shrink over a service trace's request list.
+/// Precondition: still_fails(requests).
+[[nodiscard]] std::vector<service::Request> shrink_requests(
+    std::vector<service::Request> requests,
+    const std::function<bool(const std::vector<service::Request>&)>&
+        still_fails,
+    ShrinkLog* log = nullptr);
+
+}  // namespace pslocal::qc

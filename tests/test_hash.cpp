@@ -8,6 +8,7 @@
 #include "graph/graph.hpp"
 #include "hypergraph/hypergraph.hpp"
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace pslocal {
 namespace {
@@ -87,6 +88,35 @@ TEST(HashTest, ParseHex64RejectsBadInput) {
   EXPECT_THROW((void)parse_hex64("123"), ContractViolation);
   EXPECT_THROW((void)parse_hex64("0123456789abcdeg"), ContractViolation);
   EXPECT_THROW((void)parse_hex64("0123456789ABCDEF"), ContractViolation);
+}
+
+TEST(HashTest, OneFieldFlipNeverCollidesOver10kPairs) {
+  // Cache-key smoke: 10k random multi-field payload pairs differing in
+  // exactly one field (a single flipped bit of one word) must digest
+  // differently.  A collision here would let two distinct requests
+  // share a cache entry.
+  Rng rng(2026);
+  for (int trial = 0; trial < 10000; ++trial) {
+    const std::size_t fields = 1 + rng.next_below(8);
+    const std::size_t flip = rng.next_below(fields);
+    const std::uint64_t delta = 1ULL << rng.next_below(64);
+    Fnv1a64 a, b;
+    for (std::size_t i = 0; i < fields; ++i) {
+      const std::uint64_t w = rng.next_u64();
+      a.update_u64(w);
+      b.update_u64(i == flip ? w ^ delta : w);
+    }
+    ASSERT_NE(a.digest(), b.digest())
+        << "trial " << trial << " fields=" << fields << " flip=" << flip;
+  }
+}
+
+TEST(HashTest, Hex64RoundTripsRandomWords) {
+  Rng rng(77);
+  for (int trial = 0; trial < 10000; ++trial) {
+    const std::uint64_t v = rng.next_u64();
+    ASSERT_EQ(parse_hex64(hex64(v)), v) << hex64(v);
+  }
 }
 
 }  // namespace

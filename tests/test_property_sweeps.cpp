@@ -2,6 +2,11 @@
 // matrix of instance families, oracles and seeds.  These are the
 // "fuzz-lite" tests: every case asserts the full invariant set end to
 // end, not a single example.
+//
+// Instance families come from the QC harness (qc::make_family), so a
+// failure here and a pslocal_fuzz failure speak the same reproducer
+// vocabulary — each assertion message carries the fuzz command that
+// replays the same family/seed pair.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -15,48 +20,14 @@
 #include "local/luby_mis.hpp"
 #include "mis/greedy_maxis.hpp"
 #include "mis/independent_set.hpp"
+#include "qc/gen.hpp"
+#include "qc/property.hpp"
 
 namespace pslocal {
 namespace {
 
-// ---------------------------------------------------------------------
-// Instance families.  Each returns a hypergraph plus a palette size k
-// for which a CF k-coloring is guaranteed to exist.
-struct FamilyInstance {
-  Hypergraph hypergraph;
-  std::size_t k = 0;
-};
-
-FamilyInstance make_family(const std::string& family, std::uint64_t seed) {
-  Rng rng(seed);
-  if (family == "planted-k2") {
-    PlantedCfParams params;
-    params.n = 28;
-    params.m = 20;
-    params.k = 2;
-    auto inst = planted_cf_colorable(params, rng);
-    return {std::move(inst.hypergraph), 2};
-  }
-  if (family == "planted-k4") {
-    PlantedCfParams params;
-    params.n = 48;
-    params.m = 24;
-    params.k = 4;
-    params.epsilon = 0.5;
-    auto inst = planted_cf_colorable(params, rng);
-    return {std::move(inst.hypergraph), 4};
-  }
-  if (family == "interval") {
-    // Dyadic witness: intervals over 32 points admit CF 6-coloring.
-    return {interval_hypergraph(32, 40, 2, 8, rng), 6};
-  }
-  if (family == "ring-neighborhoods") {
-    // Closed neighborhoods of C_12: the repeating pattern 1,2,3 colors
-    // every edge {v-1, v, v+1} rainbow, so k = 3 suffices.
-    return {closed_neighborhood_hypergraph(ring(12)), 3};
-  }
-  throw std::logic_error("unknown family " + family);
-}
+using qc::make_family;
+using qc::reproducer;
 
 MaxISOraclePtr make_oracle(const std::string& kind, std::uint64_t seed) {
   if (kind == "greedy-mindeg") return std::make_unique<GreedyMinDegreeOracle>();
@@ -83,14 +54,17 @@ TEST_P(ReductionMatrixTest, SolvesWithPhaseVerification) {
   for (std::uint64_t seed : {11ull, 22ull, 33ull}) {
     auto inst = make_family(param.family, seed);
     auto oracle = make_oracle(param.oracle, seed);
+    const std::string repro =
+        reproducer("reduction-solves", seed, param.family, param.oracle);
     ReductionOptions opts;
     opts.k = inst.k;
     opts.verify_phases = true;
     const auto res = cf_multicoloring_via_maxis(inst.hypergraph, *oracle, opts);
     ASSERT_TRUE(res.success) << param.family << "/" << param.oracle
-                             << " seed " << seed;
-    EXPECT_TRUE(is_conflict_free(inst.hypergraph, res.coloring));
-    EXPECT_LE(res.colors_used, res.palette_bound);
+                             << " seed " << seed << "\n  " << repro;
+    EXPECT_TRUE(is_conflict_free(inst.hypergraph, res.coloring))
+        << "\n  " << repro;
+    EXPECT_LE(res.colors_used, res.palette_bound) << "\n  " << repro;
     // Multicoloring bookkeeping is internally consistent.
     EXPECT_LE(res.coloring.palette_size(), res.coloring.assignment_count());
     EXPECT_LE(res.coloring.max_color(), inst.k * res.phases);
@@ -128,15 +102,18 @@ class FamilyInvariantTest : public ::testing::TestWithParam<std::string> {};
 TEST_P(FamilyInvariantTest, LemmaBAndSimulabilityAcrossSeeds) {
   for (std::uint64_t seed : {5ull, 6ull, 7ull}) {
     auto inst = make_family(GetParam(), seed);
+    const std::string repro =
+        reproducer("correspondence-roundtrip", seed, GetParam());
     const ConflictGraph cg(inst.hypergraph, inst.k);
-    EXPECT_TRUE(analyze_host_mapping(cg).one_round_simulable);
+    EXPECT_TRUE(analyze_host_mapping(cg).one_round_simulable)
+        << "\n  " << repro;
 
     RandomGreedyOracle oracle(seed);
     const auto is = oracle.solve(cg.graph());
     const auto report = check_lemma_b(cg, is);
-    EXPECT_TRUE(report.independent);
-    EXPECT_TRUE(report.well_defined);
-    EXPECT_TRUE(report.happy_at_least_is_size);
+    EXPECT_TRUE(report.independent) << "\n  " << repro;
+    EXPECT_TRUE(report.well_defined) << "\n  " << repro;
+    EXPECT_TRUE(report.happy_at_least_is_size) << "\n  " << repro;
     // alpha(G_k) <= m always (E_edge clique cover), so |I| <= m.
     EXPECT_LE(is.size(), cg.independence_upper_bound());
   }

@@ -1,0 +1,134 @@
+// qc/oracles + qc/property: the differential checkers hold on bounded
+// sweeps of generated inputs, the property runner is deterministic, and
+// the planted bug is the one thing that breaks it — with a replayable
+// reproducer in the failure.
+#include "qc/oracles.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qc/gen.hpp"
+#include "qc/property.hpp"
+
+namespace pslocal::qc {
+namespace {
+
+TEST(QcDifferentialTest, MisCheckerHoldsOnGraphZoo) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed);
+    const std::uint64_t solver_seed = rng.next_u64();
+    const Graph g = arbitrary_graph(rng);
+    const auto verdict = check_mis_differential(g, solver_seed);
+    EXPECT_FALSE(verdict.has_value())
+        << "seed " << seed << " on " << describe(g) << ": " << *verdict;
+  }
+}
+
+TEST(QcDifferentialTest, CfCheckerHoldsOnTinyHypergraphs) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed);
+    const Hypergraph h = arbitrary_tiny_hypergraph(rng);
+    const auto verdict = check_cf_differential(h);
+    EXPECT_FALSE(verdict.has_value())
+        << "seed " << seed << " on " << describe(h) << ": " << *verdict;
+  }
+}
+
+TEST(QcDifferentialTest, CorrespondenceHoldsOnEveryFamily) {
+  for (const std::string& family : hyper_family_names()) {
+    for (std::uint64_t seed : {3ull, 14ull, 159ull}) {
+      const HyperInstance inst = make_family(family, seed);
+      const auto verdict = check_correspondence(inst, seed);
+      EXPECT_FALSE(verdict.has_value())
+          << family << " seed " << seed << ": " << *verdict;
+    }
+  }
+}
+
+TEST(QcDifferentialTest, ReductionHoldsOnEveryFamilyAndOracle) {
+  for (const std::string& family : hyper_family_names()) {
+    for (std::uint64_t seed : {2ull, 71ull, 828ull}) {
+      const HyperInstance inst = make_family(family, seed);
+      const auto verdict = check_reduction(inst, seed);
+      EXPECT_FALSE(verdict.has_value())
+          << family << " seed " << seed << ": " << *verdict;
+    }
+  }
+}
+
+TEST(QcDifferentialTest, DegradedOracleCheckedOnSmallInstance) {
+  // Pin the degraded λ-oracle explicitly on a family small enough for
+  // its exact inner solves (the random draw gates it by triple count).
+  const HyperInstance inst = make_family("path-neighborhoods", 9);
+  const auto verdict = check_reduction(inst, 9, "degraded", 2.0);
+  EXPECT_FALSE(verdict.has_value()) << *verdict;
+}
+
+TEST(QcDifferentialTest, DefaultPropertySetPasses) {
+  FuzzOptions opts;
+  opts.seed = 1;
+  opts.iters = 15;
+  const FuzzReport report = run_properties(default_properties(opts), opts);
+  EXPECT_TRUE(report.passed());
+  ASSERT_EQ(report.outcomes.size(), 6u);
+  for (const auto& out : report.outcomes)
+    EXPECT_EQ(out.iterations, opts.iters) << out.name;
+}
+
+TEST(QcDifferentialTest, PlantedBugIsFoundWithReproducer) {
+  FuzzOptions opts;
+  opts.seed = 1;
+  opts.iters = 50;
+  opts.plant_bug = true;
+  opts.only = "planted-bug";
+  const FuzzReport report = run_properties(default_properties(opts), opts);
+  ASSERT_EQ(report.outcomes.size(), 1u);
+  const PropertyOutcome& out = report.outcomes[0];
+  ASSERT_TRUE(out.failure.has_value());
+  EXPECT_NE(out.reproducer.find("pslocal_fuzz"), std::string::npos);
+  EXPECT_NE(out.reproducer.find("--property=planted-bug"), std::string::npos);
+  EXPECT_NE(out.reproducer.find("--seed="), std::string::npos);
+  // The recorded counterexample is the SHRUNK witness: <= 5 vertices.
+  EXPECT_NE(out.failure->counterexample.find("graph n="), std::string::npos);
+
+  // The reproducer's seed replays the identical failure: iteration t
+  // under base s equals iteration 0 under base s + t.
+  FuzzOptions replay = opts;
+  replay.seed = out.fail_seed;
+  replay.iters = 1;
+  const FuzzReport again = run_properties(default_properties(replay), replay);
+  ASSERT_EQ(again.outcomes.size(), 1u);
+  ASSERT_TRUE(again.outcomes[0].failure.has_value());
+  EXPECT_EQ(again.outcomes[0].failure->counterexample,
+            out.failure->counterexample);
+  EXPECT_EQ(again.outcomes[0].failure->message, out.failure->message);
+}
+
+TEST(QcDifferentialTest, ReportJsonIsByteDeterministic) {
+  FuzzOptions opts;
+  opts.seed = 7;
+  opts.iters = 10;
+  const std::string a =
+      report_json(run_properties(default_properties(opts), opts), opts);
+  const std::string b =
+      report_json(run_properties(default_properties(opts), opts), opts);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"passed\": true"), std::string::npos);
+}
+
+TEST(QcDifferentialTest, FamilyPinThreadsThroughToReproducer) {
+  FuzzOptions opts;
+  opts.seed = 1;
+  opts.iters = 5;
+  opts.family = "interval";
+  opts.only = "reduction-solves";
+  const FuzzReport report = run_properties(default_properties(opts), opts);
+  ASSERT_EQ(report.outcomes.size(), 1u);
+  EXPECT_FALSE(report.outcomes[0].failure.has_value());
+  // Reproducer construction carries the pin even without a failure.
+  EXPECT_NE(reproducer("reduction-solves", 3, opts.family, "")
+                .find("--family=interval"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace pslocal::qc

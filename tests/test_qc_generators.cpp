@@ -1,0 +1,112 @@
+// qc/gen: the generators must be seed-deterministic and every named
+// family's carried witness must actually certify CF k-colorability —
+// otherwise the reduction properties would assert a promise nobody
+// checked.
+#include "qc/gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "coloring/conflict_free.hpp"
+
+namespace pslocal::qc {
+namespace {
+
+TEST(QcGeneratorsTest, FamilyWitnessesAreCfKColorings) {
+  for (const std::string& family : hyper_family_names()) {
+    for (std::uint64_t seed : {1ull, 7ull, 42ull, 1000ull}) {
+      const HyperInstance inst = make_family(family, seed);
+      ASSERT_EQ(inst.family, family);
+      ASSERT_EQ(inst.seed, seed);
+      ASSERT_GE(inst.k, 2u) << family;
+      ASSERT_EQ(inst.witness.size(), inst.hypergraph.vertex_count())
+          << family << " seed " << seed;
+      EXPECT_TRUE(is_conflict_free(inst.hypergraph, inst.witness))
+          << family << " seed " << seed;
+      for (const std::size_t c : inst.witness) {
+        EXPECT_GE(c, 1u);
+        EXPECT_LE(c, inst.k) << family << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(QcGeneratorsTest, MakeFamilyIsDeterministic) {
+  for (const std::string& family : hyper_family_names()) {
+    const HyperInstance a = make_family(family, 99);
+    const HyperInstance b = make_family(family, 99);
+    EXPECT_EQ(describe(a.hypergraph), describe(b.hypergraph)) << family;
+    EXPECT_EQ(a.k, b.k);
+    EXPECT_EQ(a.witness, b.witness);
+  }
+}
+
+TEST(QcGeneratorsTest, ArbitraryInstanceRespectsForcedFamily) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    const HyperInstance inst = arbitrary_instance(rng, "interval");
+    EXPECT_EQ(inst.family, "interval");
+  }
+}
+
+TEST(QcGeneratorsTest, ArbitraryGraphIsDeterministicAndBounded) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    Rng a(seed);
+    Rng b(seed);
+    const Graph ga = arbitrary_graph(a);
+    const Graph gb = arbitrary_graph(b);
+    EXPECT_EQ(describe(ga), describe(gb)) << "seed " << seed;
+    EXPECT_LE(ga.vertex_count(), 36u) << "seed " << seed;
+  }
+}
+
+TEST(QcGeneratorsTest, ArbitraryGraphCoversEmptyAndDenseEnds) {
+  // Over a modest seed range the zoo must produce edgeless graphs,
+  // graphs with edges, and something dense — shrinking relies on the
+  // small end, the oracles on the dense end.
+  bool saw_edgeless = false, saw_edges = false, saw_dense = false;
+  for (std::uint64_t seed = 1; seed <= 300; ++seed) {
+    Rng rng(seed);
+    const Graph g = arbitrary_graph(rng);
+    if (g.edge_count() == 0) saw_edgeless = true;
+    if (g.edge_count() > 0) saw_edges = true;
+    if (g.vertex_count() >= 4 &&
+        g.edge_count() * 3 >= g.vertex_count() * (g.vertex_count() - 1))
+      saw_dense = true;
+  }
+  EXPECT_TRUE(saw_edgeless);
+  EXPECT_TRUE(saw_edges);
+  EXPECT_TRUE(saw_dense);
+}
+
+TEST(QcGeneratorsTest, TinyHypergraphsStayTiny) {
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    Rng rng(seed);
+    const Hypergraph h = arbitrary_tiny_hypergraph(rng);
+    EXPECT_LE(h.vertex_count(), 9u);
+    EXPECT_LE(h.edge_count(), 8u);
+    for (EdgeId e = 0; e < h.edge_count(); ++e) {
+      EXPECT_GE(h.edge(e).size(), 1u);
+      EXPECT_LE(h.edge(e).size(), 4u);
+    }
+  }
+}
+
+TEST(QcGeneratorsTest, TraceParamsKeepEveryKindReachable) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(seed);
+    const service::TraceParams tp = arbitrary_trace_params(rng);
+    EXPECT_GE(tp.requests, 16u);
+    EXPECT_GE(tp.instance_pool, 2u);
+    EXPECT_GE(tp.weight_build, 1u);
+    EXPECT_GE(tp.weight_greedy, 1u);
+    EXPECT_GE(tp.weight_luby, 1u);
+    EXPECT_GE(tp.weight_cf, 1u);
+    EXPECT_GE(tp.weight_reduction, 1u);
+    // The params must actually generate (precondition sweep).
+    const service::Trace trace = service::generate_trace(tp);
+    EXPECT_EQ(trace.requests.size(), tp.requests);
+  }
+}
+
+}  // namespace
+}  // namespace pslocal::qc

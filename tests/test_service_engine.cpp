@@ -118,6 +118,30 @@ TEST(ServiceEngineTest, UnstartedEngineAdmitsExactlyCapacity) {
   EXPECT_EQ(stats.rejected_shutdown, 5u);
 }
 
+TEST(ServiceEngineTest, QueueFullRejectionLeavesCachesUntouched) {
+  // Regression pin: a kQueueFull rejection happens entirely at
+  // admission — before any cache lookup — so it must not mutate the
+  // solver cache, the conflict-graph cache, or any served counter.
+  const Trace trace = generate_trace(small_trace_params());
+  EngineConfig cfg;
+  cfg.queue_capacity = 3;
+  ServiceEngine engine(cfg);  // un-started: the queue never drains
+  std::size_t rejected = 0;
+  for (std::size_t i = 0; i < 12; ++i)
+    if (engine.submit(trace.requests[i]).admission == Admission::kQueueFull)
+      ++rejected;
+  ASSERT_EQ(rejected, 9u);
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.cache.hits, 0u);
+  EXPECT_EQ(stats.cache.misses, 0u);
+  EXPECT_EQ(stats.cache.entries, 0u);
+  EXPECT_EQ(stats.cache.evictions, 0u);
+  EXPECT_EQ(stats.graph_cache.builds, 0u);
+  EXPECT_EQ(stats.graph_cache.hits, 0u);
+  EXPECT_EQ(stats.served, 0u);
+  engine.stop();
+}
+
 TEST(ServiceEngineTest, SubmitAfterStopIsRejectedImmediately) {
   const Trace trace = generate_trace(small_trace_params());
   ServiceEngine engine;
