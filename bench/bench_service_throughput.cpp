@@ -19,44 +19,23 @@
 // --clients --queue-capacity --max-batch --cache-entries (engine),
 // --threads (solver pool), --seed, --replay-out, --replay-in,
 // --nocache=false (skip the comparison pass).
-#include <algorithm>
-#include <atomic>
 #include <iostream>
 #include <thread>
 #include <vector>
 
 #include "bench_main.hpp"
+#include "load_gen.hpp"
 #include "obs/metrics.hpp"
 #include "service/engine.hpp"
 #include "service/workload.hpp"
 #include "util/table.hpp"
-#include "util/timer.hpp"
 
 using namespace pslocal;
 
 namespace {
 
-/// Per-pass view of the service.* obs histograms (counts accumulate
-/// process-wide; subtracting the pass-start snapshot isolates one pass).
-obs::HistogramSnapshot diff_histogram(const obs::HistogramSnapshot& before,
-                                      const obs::HistogramSnapshot& after) {
-  obs::HistogramSnapshot d;
-  d.count = after.count - before.count;
-  d.sum = after.sum - before.sum;
-  d.min = after.min;  // log2 buckets dominate the quantile anyway
-  d.max = after.max;
-  for (std::size_t b = 0; b < obs::HistogramSnapshot::kBuckets; ++b)
-    d.buckets[b] = after.buckets[b] - before.buckets[b];
-  return d;
-}
-
 struct PassResult {
-  double wall_s = 0.0;
-  double throughput_rps = 0.0;
-  std::uint64_t errors = 0;
-  std::uint64_t retries = 0;  // kQueueFull resubmissions
-  // Exact quantiles from per-response total_ns.
-  double p50_ms = 0.0, p99_ms = 0.0, mean_ms = 0.0;
+  benchload::ClosedLoopResult loop;
   // Log2-resolution quantiles from the obs service.latency_ns histogram.
   std::uint64_t obs_p50_ns = 0, obs_p99_ns = 0;
   service::ServiceEngine::Stats stats;
@@ -72,64 +51,36 @@ PassResult run_pass(const service::Trace& trace, service::EngineConfig cfg,
 
   const std::size_t total = trace.requests.size();
   result.entries.resize(total);
-  std::vector<std::uint64_t> latencies(total, 0);
-  std::atomic<std::size_t> next{0};
-  std::atomic<std::uint64_t> errors{0}, retries{0};
-
-  WallTimer timer;
-  const auto client = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= total) return;
-      for (;;) {
-        auto sub = engine.submit(trace.requests[i]);
-        if (sub.admission == service::Admission::kQueueFull) {
-          retries.fetch_add(1, std::memory_order_relaxed);
-          std::this_thread::yield();
-          continue;
+  result.loop = benchload::run_closed_loop(
+      total, clients, [](std::size_t) { return 0; },
+      [&](int&, std::size_t i) -> benchload::OneResult {
+        benchload::OneResult one;
+        for (;;) {
+          auto sub = engine.submit(trace.requests[i]);
+          if (sub.admission == service::Admission::kQueueFull) {
+            ++one.retries;
+            std::this_thread::yield();
+            continue;
+          }
+          PSL_CHECK_MSG(sub.admission == service::Admission::kAccepted,
+                        "service rejected request " << i << " with "
+                            << admission_name(sub.admission));
+          const service::Response resp = sub.response.get();
+          one.ok = resp.status == service::Response::Status::kOk;
+          one.latency_ns = resp.total_ns;
+          result.entries[i] =
+              service::ReplayEntry{resp.id, resp.key, resp.result};
+          return one;
         }
-        PSL_CHECK_MSG(sub.admission == service::Admission::kAccepted,
-                      "service rejected request " << i << " with "
-                          << admission_name(sub.admission));
-        const service::Response resp = sub.response.get();
-        if (resp.status != service::Response::Status::kOk)
-          errors.fetch_add(1, std::memory_order_relaxed);
-        latencies[i] = resp.total_ns;
-        result.entries[i] =
-            service::ReplayEntry{resp.id, resp.key, resp.result};
-        break;
-      }
-    }
-  };
-  std::vector<std::thread> threads;
-  threads.reserve(clients);
-  for (std::size_t c = 0; c + 1 < clients; ++c) threads.emplace_back(client);
-  client();  // the calling thread is a client too
-  for (auto& t : threads) t.join();
-  result.wall_s = timer.elapsed_millis() / 1e3;
+      });
 
   result.stats = engine.stats();
   engine.stop();
-  result.errors = errors.load();
-  result.retries = retries.load();
-  result.throughput_rps =
-      result.wall_s > 0 ? static_cast<double>(total) / result.wall_s : 0.0;
-
-  std::sort(latencies.begin(), latencies.end());
-  const auto at = [&](double q) {
-    const auto idx = static_cast<std::size_t>(
-        q * static_cast<double>(total > 0 ? total - 1 : 0));
-    return static_cast<double>(latencies.empty() ? 0 : latencies[idx]) / 1e6;
-  };
-  result.p50_ms = at(0.50);
-  result.p99_ms = at(0.99);
-  double sum = 0;
-  for (const auto ns : latencies) sum += static_cast<double>(ns);
-  result.mean_ms = total > 0 ? sum / static_cast<double>(total) / 1e6 : 0.0;
 
   const obs::Snapshot after = obs::snapshot();
-  const auto pass_hist = diff_histogram(before.histogram("service.latency_ns"),
-                                        after.histogram("service.latency_ns"));
+  const auto pass_hist =
+      benchload::diff_histogram(before.histogram("service.latency_ns"),
+                                after.histogram("service.latency_ns"));
   result.obs_p50_ns = pass_hist.value_at_quantile(0.50);
   result.obs_p99_ns = pass_hist.value_at_quantile(0.99);
   return result;
@@ -239,21 +190,21 @@ int main(int argc, char** argv) {
                       "mean ms", "hit rate", "errors", "retries"});
         const auto row = [&](const char* name, const PassResult& r,
                              double hits) {
-          table.row({name, fmt_double(r.wall_s, 2),
-                     fmt_double(r.throughput_rps, 0), fmt_double(r.p50_ms, 3),
-                     fmt_double(r.p99_ms, 3), fmt_double(r.mean_ms, 3),
-                     fmt_double(hits, 3), fmt_size(r.errors),
-                     fmt_size(r.retries)});
+          table.row({name, fmt_double(r.loop.wall_s, 2),
+                     fmt_double(r.loop.throughput_rps, 0),
+                     fmt_double(r.loop.p50_ms, 3), fmt_double(r.loop.p99_ms, 3),
+                     fmt_double(r.loop.mean_ms, 3), fmt_double(hits, 3),
+                     fmt_size(r.loop.errors), fmt_size(r.loop.retries)});
         };
         row("cache", cached, hit_rate);
         if (run_nocache) row("no-cache", uncached, 0.0);
         std::cout << table.render();
         ctx.report.add_table(table);
 
-        ctx.report.metric("throughput_rps", cached.throughput_rps)
-            .metric("latency_p50_ms", cached.p50_ms)
-            .metric("latency_p99_ms", cached.p99_ms)
-            .metric("latency_mean_ms", cached.mean_ms)
+        ctx.report.metric("throughput_rps", cached.loop.throughput_rps)
+            .metric("latency_p50_ms", cached.loop.p50_ms)
+            .metric("latency_p99_ms", cached.loop.p99_ms)
+            .metric("latency_mean_ms", cached.loop.mean_ms)
             .metric("obs_latency_p50_ns",
                     static_cast<double>(cached.obs_p50_ns))
             .metric("obs_latency_p99_ns",
@@ -269,17 +220,17 @@ int main(int argc, char** argv) {
             .metric("batches", static_cast<double>(cached.stats.batches))
             .metric("dispatch_cycles",
                     static_cast<double>(cached.stats.dispatch_cycles))
-            .metric("errors", static_cast<double>(cached.errors))
-            .metric("queue_retries", static_cast<double>(cached.retries));
+            .metric("errors", static_cast<double>(cached.loop.errors))
+            .metric("queue_retries", static_cast<double>(cached.loop.retries));
         if (run_nocache) {
           ctx.report
-              .metric("nocache_throughput_rps", uncached.throughput_rps)
-              .metric("nocache_latency_mean_ms", uncached.mean_ms)
-              .metric("nocache_latency_p50_ms", uncached.p50_ms)
-              .metric("nocache_latency_p99_ms", uncached.p99_ms);
+              .metric("nocache_throughput_rps", uncached.loop.throughput_rps)
+              .metric("nocache_latency_mean_ms", uncached.loop.mean_ms)
+              .metric("nocache_latency_p50_ms", uncached.loop.p50_ms)
+              .metric("nocache_latency_p99_ms", uncached.loop.p99_ms);
           std::cout << "cache speedup (mean latency): "
-                    << fmt_double(uncached.mean_ms /
-                                      std::max(cached.mean_ms, 1e-9),
+                    << fmt_double(uncached.loop.mean_ms /
+                                      std::max(cached.loop.mean_ms, 1e-9),
                                   2)
                     << "x\n";
         }

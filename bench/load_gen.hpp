@@ -1,0 +1,121 @@
+// Shared closed-loop load generator for the serving benches.
+//
+// bench_service_throughput (in-process engine) and bench_net_throughput
+// (TCP loopback) drive the same loop: `clients` worker threads race to
+// claim the next unclaimed request index, issue it, wait for its
+// response, record the latency, repeat until the trace is exhausted.
+// This header owns that driver plus the latency bookkeeping, so the two
+// benches differ only in what "issue and wait" means.
+//
+//   auto result = benchload::run_closed_loop(
+//       total, clients,
+//       [&](std::size_t client) { return make_connection(client); },
+//       [&](auto& conn, std::size_t i) -> benchload::OneResult {
+//         ... submit trace.requests[i] via conn, wait ...
+//         return {latency_ns, retries, ok};
+//       });
+//
+// The context factory runs inside each worker thread (a per-thread TCP
+// connection is created on the thread that uses it); the issue callback
+// may capture shared state (e.g. a replay-entry vector indexed by `i` —
+// each index is claimed by exactly one worker, so slot writes race-free).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/timer.hpp"
+
+namespace pslocal::benchload {
+
+/// One completed request, as reported by the issue callback.
+struct OneResult {
+  std::uint64_t latency_ns = 0;
+  std::uint64_t retries = 0;  // admission rejections resubmitted
+  bool ok = true;             // false counts into ClosedLoopResult::errors
+};
+
+struct ClosedLoopResult {
+  double wall_s = 0.0;
+  double throughput_rps = 0.0;
+  std::uint64_t errors = 0;
+  std::uint64_t retries = 0;
+  std::vector<std::uint64_t> latencies_ns;  // per request index
+  // Exact quantiles over latencies_ns, in milliseconds.
+  double p50_ms = 0.0, p99_ms = 0.0, mean_ms = 0.0;
+};
+
+/// Closed-loop driver (see header comment).  `make_ctx(client_index)`
+/// builds each worker's private context on the worker thread;
+/// `one(ctx, request_index)` issues request `request_index` and blocks
+/// until its response.
+template <typename MakeCtx, typename One>
+ClosedLoopResult run_closed_loop(std::size_t total, std::size_t clients,
+                                 MakeCtx&& make_ctx, One&& one) {
+  ClosedLoopResult result;
+  result.latencies_ns.assign(total, 0);
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::uint64_t> errors{0}, retries{0};
+
+  WallTimer timer;
+  const auto worker = [&](std::size_t client_index) {
+    auto ctx = make_ctx(client_index);
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) return;
+      const OneResult r = one(ctx, i);
+      result.latencies_ns[i] = r.latency_ns;
+      if (!r.ok) errors.fetch_add(1, std::memory_order_relaxed);
+      retries.fetch_add(r.retries, std::memory_order_relaxed);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(clients > 0 ? clients - 1 : 0);
+  for (std::size_t c = 1; c < clients; ++c)
+    threads.emplace_back(worker, c);
+  worker(0);  // the calling thread is a client too
+  for (auto& t : threads) t.join();
+  result.wall_s = timer.elapsed_millis() / 1e3;
+
+  result.errors = errors.load();
+  result.retries = retries.load();
+  result.throughput_rps =
+      result.wall_s > 0 ? static_cast<double>(total) / result.wall_s : 0.0;
+
+  std::vector<std::uint64_t> sorted = result.latencies_ns;
+  std::sort(sorted.begin(), sorted.end());
+  const auto at = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(total > 0 ? total - 1 : 0));
+    return static_cast<double>(sorted.empty() ? 0 : sorted[idx]) / 1e6;
+  };
+  result.p50_ms = at(0.50);
+  result.p99_ms = at(0.99);
+  double sum = 0;
+  for (const auto ns : sorted) sum += static_cast<double>(ns);
+  result.mean_ms = total > 0 ? sum / static_cast<double>(total) / 1e6 : 0.0;
+  return result;
+}
+
+/// Per-pass view of a process-wide obs histogram (counts accumulate for
+/// the whole process; subtracting the pass-start snapshot isolates one
+/// pass).  min/max keep the after-side values — the log2 buckets
+/// dominate the quantiles anyway.
+inline obs::HistogramSnapshot diff_histogram(
+    const obs::HistogramSnapshot& before, const obs::HistogramSnapshot& after) {
+  obs::HistogramSnapshot d;
+  d.count = after.count - before.count;
+  d.sum = after.sum - before.sum;
+  d.min = after.min;
+  d.max = after.max;
+  for (std::size_t b = 0; b < obs::HistogramSnapshot::kBuckets; ++b)
+    d.buckets[b] = after.buckets[b] - before.buckets[b];
+  return d;
+}
+
+}  // namespace pslocal::benchload

@@ -1,0 +1,146 @@
+// Blocking TCP client of the net tier, with pipelining and retries.
+//
+// One Client owns one connection.  It is deliberately synchronous —
+// closed-loop load generators and tests drive one Client per thread —
+// but requests are *pipelined*: send() assigns a fresh request id and
+// writes the frame without waiting, and wait(id) reassociates whichever
+// response arrives with whoever asked for it, so responses may complete
+// in any order relative to the sends (frames read while waiting for a
+// different id are parked in an id-indexed map).
+//
+// All blocking operations carry deadlines (connect / send / wait),
+// implemented with poll() on a non-blocking socket; a missed deadline
+// returns Outcome::kTimeout rather than hanging.
+//
+// call_with_retry implements the client half of the backpressure
+// contract: a NACK(queue_full) means "nothing was computed, try later",
+// so it re-sends after a seeded jittered exponential backoff.  The
+// backoff schedule is a pure function of RetryPolicy (backoff_delays
+// exposes it), which is what makes retry behavior replayable under a
+// fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "service/request.hpp"
+
+namespace pslocal::net {
+
+class Client {
+ public:
+  struct Config {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    int connect_timeout_ms = 5000;
+    int io_timeout_ms = 10000;  // default send/wait deadline
+    std::size_t max_payload = 0;  // 0 = wire default
+  };
+
+  explicit Client(Config config);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  // Movable so factories can hand out connected clients; the source is
+  // left disconnected.
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Establish the connection (non-blocking connect + poll deadline).
+  /// Throws ContractViolation on refusal or timeout.  Idempotent.
+  void connect();
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  /// How one exchange ended, from the client's point of view.
+  enum class Outcome : std::uint8_t {
+    kOk,         // Response frame with status kOk
+    kRejected,   // Response frame with status kRejected (e.g. shutdown)
+    kError,      // Response frame with status kError (solver threw)
+    kNack,       // typed admission NACK; nack_code says which
+    kTimeout,    // deadline passed with no matching response
+    kTransport,  // connection broken / protocol violation; error has why
+  };
+
+  [[nodiscard]] static const char* outcome_name(Outcome o);
+
+  struct Result {
+    Outcome outcome = Outcome::kTransport;
+    service::Response response;  // valid for kOk / kRejected / kError
+    wire::NackCode nack_code = wire::NackCode::kQueueFull;
+    std::string error;            // set for kTransport
+    std::uint64_t rtt_ns = 0;     // send() to matched frame
+    std::uint32_t attempts = 1;   // >1 only via call_with_retry
+  };
+
+  /// Pipelined send: assigns the next request id, encodes and writes
+  /// the frame (blocking up to the io deadline for socket space).
+  /// Returns the id to wait on.  Throws on transport failure.
+  std::uint64_t send(const service::Request& request);
+
+  /// Block until the response/NACK for `id` arrives or `timeout_ms`
+  /// passes (-1 = config.io_timeout_ms).  Frames for other ids that
+  /// arrive meanwhile are parked for their own wait(id) calls.
+  [[nodiscard]] Result wait(std::uint64_t id, int timeout_ms = -1);
+
+  /// send() + wait() for one request.
+  [[nodiscard]] Result call(const service::Request& request,
+                            int timeout_ms = -1);
+
+  struct RetryPolicy {
+    std::uint32_t max_attempts = 8;
+    std::uint64_t base_delay_us = 200;    // first retry delay (pre-jitter)
+    std::uint64_t max_delay_us = 100000;  // exponential growth cap
+    std::uint64_t seed = 1;               // jitter stream
+  };
+
+  /// The deterministic backoff schedule of `policy`: delay before retry
+  /// r (r = 0 is the first retry) is
+  ///   d = min(base << r, max);  sleep = d/2 + jitter in [0, d/2]
+  /// with jitter drawn from an Rng seeded by policy.seed.  Exposed so
+  /// tests can pin retry determinism without a socket in sight.
+  [[nodiscard]] static std::vector<std::uint64_t> backoff_delays_us(
+      const RetryPolicy& policy, std::size_t retries);
+
+  /// call() that re-sends on NACK(queue_full) after the policy's
+  /// backoff.  Any other outcome — including NACK(shutdown), which by
+  /// contract will never succeed — is returned as-is.  Result.attempts
+  /// counts the sends.
+  [[nodiscard]] Result call_with_retry(const service::Request& request,
+                                       const RetryPolicy& policy,
+                                       int timeout_ms = -1);
+
+  /// Ids sent but not yet resolved by wait() (pipelining depth).
+  [[nodiscard]] std::size_t inflight() const { return inflight_sent_.size(); }
+
+  /// Frames received for ids nobody waited on yet.  After every sent id
+  /// has been wait()ed, nonzero means the server produced a duplicate or
+  /// unsolicited response (the load generator asserts this is 0).
+  [[nodiscard]] std::size_t parked() const { return parked_.size(); }
+
+  void close();
+
+ private:
+  struct Parked {
+    wire::Frame frame;
+    std::uint64_t arrived_ns = 0;
+  };
+
+  /// Read frames until `id` shows up or the deadline passes.
+  [[nodiscard]] Result await_frame(std::uint64_t id, int timeout_ms);
+  Result finish(std::uint64_t id, const wire::Frame& frame,
+                std::uint64_t arrived_ns);
+
+  Config config_;
+  int fd_ = -1;
+  wire::FrameDecoder decoder_;
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<std::uint64_t, std::uint64_t> inflight_sent_;  // id -> send ns
+  std::unordered_map<std::uint64_t, Parked> parked_;
+};
+
+}  // namespace pslocal::net

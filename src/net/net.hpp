@@ -1,0 +1,14 @@
+// Umbrella header of the network tier (src/net/).
+//
+//   net/wire.hpp     length-prefixed binary frames + payload codecs,
+//                    strict bounded incremental FrameDecoder
+//   net/server.hpp   non-blocking poll TCP server fronting ServiceEngine
+//   net/client.hpp   pipelined client with deadlines and seeded retries
+//
+// docs/net.md documents the wire format, the per-connection state
+// machine and the backpressure contract end to end.
+#pragma once
+
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net/wire.hpp"

@@ -1,0 +1,446 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+
+namespace pslocal::net {
+
+namespace {
+
+const obs::Counter g_accepted("net.accepted");
+const obs::Counter g_frames_rx("net.frames_rx");
+const obs::Counter g_frames_tx("net.frames_tx");
+const obs::Counter g_bytes_rx("net.bytes_rx");
+const obs::Counter g_bytes_tx("net.bytes_tx");
+const obs::Counter g_nack_queue_full("net.nack_queue_full");
+const obs::Counter g_decode_errors("net.decode_errors");
+const obs::Gauge g_conn_active("net.conn_active");
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  PSL_CHECK_MSG(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                "net: fcntl(O_NONBLOCK) failed: " << std::strerror(errno));
+}
+
+}  // namespace
+
+struct Server::Impl {
+  explicit Impl(service::ServiceEngine& engine_in, Config config_in)
+      : engine(engine_in), config(std::move(config_in)) {
+    if (config.max_payload == 0) config.max_payload = wire::kMaxPayload;
+  }
+
+  service::ServiceEngine& engine;
+  Config config;
+
+  int listen_fd = -1;
+  int wake_rd = -1, wake_wr = -1;
+  std::thread io_thread;
+  std::thread completer_thread;
+
+  struct Connection {
+    int fd = -1;
+    std::uint64_t gen = 0;  // unique per accept; survives fd reuse
+    wire::FrameDecoder decoder;
+    std::deque<std::string> write_queue;
+    std::size_t write_offset = 0;  // into write_queue.front()
+    std::size_t queued_bytes = 0;
+
+    Connection(int fd_in, std::uint64_t gen_in, std::size_t max_payload)
+        : fd(fd_in), gen(gen_in), decoder(max_payload) {}
+  };
+  std::vector<Connection> conns;
+  std::uint64_t next_gen = 1;
+
+  // Admitted requests waiting for their engine future, FIFO.
+  struct Completion {
+    std::uint64_t conn_gen = 0;
+    std::uint64_t request_id = 0;
+    std::future<service::Response> future;
+  };
+  std::mutex completions_mu;
+  std::condition_variable completions_cv;
+  std::deque<Completion> completions;
+  bool stopping = false;  // guarded by completions_mu
+
+  // Encoded response frames headed back to the io thread.
+  struct OutFrame {
+    std::uint64_t conn_gen = 0;
+    std::string bytes;
+  };
+  std::mutex outbox_mu;
+  std::vector<OutFrame> outbox;
+
+  // Tallies (relaxed atomics; written by the io/completer threads).
+  std::atomic<std::uint64_t> accepted{0}, closed{0};
+  std::atomic<std::uint64_t> frames_rx{0}, frames_tx{0};
+  std::atomic<std::uint64_t> bytes_rx{0}, bytes_tx{0};
+  std::atomic<std::uint64_t> requests_dispatched{0};
+  std::atomic<std::uint64_t> nacks_queue_full{0}, nacks_shutdown{0};
+  std::atomic<std::uint64_t> decode_errors{0}, overflow_closes{0};
+
+  void wake() {
+    const char b = 'x';
+    // The pipe being full already guarantees a pending wakeup.
+    [[maybe_unused]] const ssize_t n = ::write(wake_wr, &b, 1);
+  }
+
+  void enqueue_frame(Connection& conn, std::string bytes) {
+    conn.queued_bytes += bytes.size();
+    conn.write_queue.push_back(std::move(bytes));
+  }
+
+  /// True if the connection exceeded its output bound and must close.
+  [[nodiscard]] bool over_output_bound(const Connection& conn) const {
+    return conn.queued_bytes > config.max_output_bytes;
+  }
+
+  void close_conn(Connection& conn) {
+    if (conn.fd >= 0) {
+      ::close(conn.fd);
+      conn.fd = -1;
+      closed.fetch_add(1, std::memory_order_relaxed);
+      g_conn_active.add(-1);
+    }
+  }
+
+  /// Decode every complete frame buffered on `conn` and dispatch it.
+  /// Returns false when the connection must be closed.
+  bool drain_decoder(Connection& conn) {
+    PSL_OBS_SPAN("net.decode");
+    wire::Frame frame;
+    for (;;) {
+      const auto result = conn.decoder.next(frame);
+      if (result == wire::FrameDecoder::Result::kNeedMore) return true;
+      if (result == wire::FrameDecoder::Result::kCorrupt) {
+        decode_errors.fetch_add(1, std::memory_order_relaxed);
+        g_decode_errors.add();
+        return false;
+      }
+      frames_rx.fetch_add(1, std::memory_order_relaxed);
+      g_frames_rx.add();
+      if (frame.kind != wire::FrameKind::kRequest) {
+        // Clients have no business sending response/nack frames.
+        decode_errors.fetch_add(1, std::memory_order_relaxed);
+        g_decode_errors.add();
+        return false;
+      }
+      if (!dispatch_request(conn, frame)) return false;
+    }
+  }
+
+  /// Decode the request payload and submit it to the engine; queues a
+  /// NACK on admission rejection.  Returns false on a malformed payload
+  /// (the connection is closed — framing held but content did not).
+  bool dispatch_request(Connection& conn, const wire::Frame& frame) {
+    PSL_OBS_SPAN("net.dispatch");
+    service::Request request;
+    std::string error;
+    if (!wire::decode_request(frame.payload, request, &error)) {
+      decode_errors.fetch_add(1, std::memory_order_relaxed);
+      g_decode_errors.add();
+      return false;
+    }
+    request.id = frame.request_id;
+    auto submitted = engine.submit(std::move(request));
+    switch (submitted.admission) {
+      case service::Admission::kAccepted: {
+        requests_dispatched.fetch_add(1, std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> lock(completions_mu);
+          completions.push_back(
+              {conn.gen, frame.request_id, std::move(submitted.response)});
+        }
+        completions_cv.notify_one();
+        break;
+      }
+      case service::Admission::kQueueFull: {
+        nacks_queue_full.fetch_add(1, std::memory_order_relaxed);
+        g_nack_queue_full.add();
+        enqueue_frame(conn, wire::encode_frame(
+                                {wire::FrameKind::kNack, frame.request_id,
+                                 wire::encode_nack(wire::NackCode::kQueueFull)}));
+        break;
+      }
+      case service::Admission::kShutdown: {
+        nacks_shutdown.fetch_add(1, std::memory_order_relaxed);
+        enqueue_frame(conn, wire::encode_frame(
+                                {wire::FrameKind::kNack, frame.request_id,
+                                 wire::encode_nack(wire::NackCode::kShutdown)}));
+        break;
+      }
+    }
+    return true;
+  }
+
+  /// Move completed response frames from the outbox into their
+  /// connections' write queues (dropping frames whose connection died).
+  void drain_outbox() {
+    std::vector<OutFrame> batch;
+    {
+      std::lock_guard<std::mutex> lock(outbox_mu);
+      batch.swap(outbox);
+    }
+    for (OutFrame& out : batch) {
+      for (Connection& conn : conns) {
+        if (conn.gen == out.conn_gen && conn.fd >= 0) {
+          enqueue_frame(conn, std::move(out.bytes));
+          break;
+        }
+      }
+    }
+  }
+
+  /// Write as much queued output as the socket accepts.  Returns false
+  /// when the connection must be closed.
+  bool flush_writes(Connection& conn) {
+    while (!conn.write_queue.empty()) {
+      const std::string& front = conn.write_queue.front();
+      const char* data = front.data() + conn.write_offset;
+      const std::size_t len = front.size() - conn.write_offset;
+      const ssize_t n = ::send(conn.fd, data, len, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+        if (errno == EINTR) continue;
+        return false;
+      }
+      bytes_tx.fetch_add(static_cast<std::uint64_t>(n),
+                         std::memory_order_relaxed);
+      g_bytes_tx.add(static_cast<std::uint64_t>(n));
+      conn.write_offset += static_cast<std::size_t>(n);
+      conn.queued_bytes -= static_cast<std::size_t>(n);
+      if (conn.write_offset == front.size()) {
+        conn.write_queue.pop_front();
+        conn.write_offset = 0;
+        frames_tx.fetch_add(1, std::memory_order_relaxed);
+        g_frames_tx.add();
+      }
+    }
+    return true;
+  }
+
+  /// Read everything available on `conn`.  Returns false on EOF/error
+  /// or when the decoded stream demands closing.
+  bool handle_readable(Connection& conn) {
+    char buf[64 * 1024];
+    for (;;) {
+      const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
+      if (n == 0) return false;  // peer closed
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+        if (errno == EINTR) continue;
+        return false;
+      }
+      bytes_rx.fetch_add(static_cast<std::uint64_t>(n),
+                         std::memory_order_relaxed);
+      g_bytes_rx.add(static_cast<std::uint64_t>(n));
+      conn.decoder.feed(buf, static_cast<std::size_t>(n));
+      if (!drain_decoder(conn)) return false;
+      if (static_cast<std::size_t>(n) < sizeof buf) return true;
+    }
+  }
+
+  void accept_ready() {
+    for (;;) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;  // EAGAIN or transient error; poll will re-arm
+      }
+      if (conns.size() >= config.max_connections) {
+        ::close(fd);  // at capacity: refuse outright, never half-serve
+        continue;
+      }
+      set_nonblocking(fd);
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      conns.emplace_back(fd, next_gen++, config.max_payload);
+      accepted.fetch_add(1, std::memory_order_relaxed);
+      g_accepted.add();
+      g_conn_active.add(1);
+    }
+  }
+
+  void io_main(const std::atomic<bool>& stop_flag) {
+    std::vector<pollfd> pfds;
+    while (!stop_flag.load(std::memory_order_acquire)) {
+      pfds.clear();
+      pfds.push_back({listen_fd, POLLIN, 0});
+      pfds.push_back({wake_rd, POLLIN, 0});
+      for (const Connection& conn : conns) {
+        short events = POLLIN;
+        if (!conn.write_queue.empty()) events |= POLLOUT;
+        pfds.push_back({conn.fd, events, 0});
+      }
+      const int ready = ::poll(pfds.data(), pfds.size(), -1);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        PSL_CHECK_MSG(false, "net: poll failed: " << std::strerror(errno));
+      }
+      if (pfds[1].revents & POLLIN) {
+        char drain[256];
+        while (::read(wake_rd, drain, sizeof drain) > 0) {
+        }
+      }
+      drain_outbox();  // wake or not — completions may have landed
+      // Connections accepted below were not polled this round; only the
+      // first `polled` entries of conns have a matching pfds slot.
+      const std::size_t polled = pfds.size() - 2;
+      if (pfds[0].revents & POLLIN) accept_ready();
+
+      for (std::size_t i = 0; i < polled; ++i) {
+        Connection& conn = conns[i];
+        const short revents = pfds[2 + i].revents;
+        bool alive = true;
+        if (revents & (POLLERR | POLLHUP | POLLNVAL)) alive = false;
+        if (alive && (revents & POLLIN)) alive = handle_readable(conn);
+        if (alive) alive = flush_writes(conn);
+        if (alive && over_output_bound(conn)) {
+          overflow_closes.fetch_add(1, std::memory_order_relaxed);
+          alive = false;
+        }
+        if (!alive) close_conn(conn);
+      }
+      conns.erase(std::remove_if(conns.begin(), conns.end(),
+                                 [](const Connection& c) { return c.fd < 0; }),
+                  conns.end());
+    }
+    for (Connection& conn : conns) close_conn(conn);
+    conns.clear();
+  }
+
+  void completer_main() {
+    for (;;) {
+      Completion job;
+      {
+        std::unique_lock<std::mutex> lock(completions_mu);
+        completions_cv.wait(
+            lock, [this] { return stopping || !completions.empty(); });
+        if (stopping) return;  // pending futures are discarded; the
+                               // engine still answers them (to nobody)
+        job = std::move(completions.front());
+        completions.pop_front();
+      }
+      // Blocking is fine here: the engine answers every admitted
+      // request exactly once (serve, error, or shutdown-reject).
+      service::Response response = job.future.get();
+      response.id = job.request_id;
+      std::string bytes = wire::encode_frame({wire::FrameKind::kResponse,
+                                              job.request_id,
+                                              wire::encode_response(response)});
+      {
+        std::lock_guard<std::mutex> lock(outbox_mu);
+        outbox.push_back({job.conn_gen, std::move(bytes)});
+      }
+      wake();
+    }
+  }
+};
+
+Server::Server(service::ServiceEngine& engine, Config config)
+    : impl_(new Impl(engine, std::move(config))) {}
+
+Server::~Server() {
+  stop();
+  delete impl_;
+}
+
+void Server::start() {
+  if (started_.exchange(true)) return;
+  Impl& im = *impl_;
+
+  int pipe_fds[2];
+  PSL_CHECK_MSG(::pipe(pipe_fds) == 0,
+                "net: pipe failed: " << std::strerror(errno));
+  im.wake_rd = pipe_fds[0];
+  im.wake_wr = pipe_fds[1];
+  set_nonblocking(im.wake_rd);
+  set_nonblocking(im.wake_wr);
+
+  im.listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  PSL_CHECK_MSG(im.listen_fd >= 0,
+                "net: socket failed: " << std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(im.listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(im.config.port);
+  PSL_CHECK_MSG(
+      ::inet_pton(AF_INET, im.config.host.c_str(), &addr.sin_addr) == 1,
+      "net: invalid host '" << im.config.host << "'");
+  PSL_CHECK_MSG(::bind(im.listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof addr) == 0,
+                "net: bind " << im.config.host << ":" << im.config.port
+                             << " failed: " << std::strerror(errno));
+  PSL_CHECK_MSG(::listen(im.listen_fd, im.config.backlog) == 0,
+                "net: listen failed: " << std::strerror(errno));
+  set_nonblocking(im.listen_fd);
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  PSL_CHECK_MSG(::getsockname(im.listen_fd,
+                              reinterpret_cast<sockaddr*>(&bound), &len) == 0,
+                "net: getsockname failed: " << std::strerror(errno));
+  port_ = ntohs(bound.sin_port);
+
+  im.io_thread = std::thread([this] { impl_->io_main(stopped_); });
+  im.completer_thread = std::thread([this] { impl_->completer_main(); });
+}
+
+void Server::stop() {
+  if (!started_.load() || stopped_.exchange(true)) return;
+  Impl& im = *impl_;
+  {
+    std::lock_guard<std::mutex> lock(im.completions_mu);
+    im.stopping = true;
+  }
+  im.completions_cv.notify_all();
+  im.wake();
+  if (im.io_thread.joinable()) im.io_thread.join();
+  if (im.completer_thread.joinable()) im.completer_thread.join();
+  if (im.listen_fd >= 0) ::close(im.listen_fd);
+  if (im.wake_rd >= 0) ::close(im.wake_rd);
+  if (im.wake_wr >= 0) ::close(im.wake_wr);
+  im.listen_fd = im.wake_rd = im.wake_wr = -1;
+}
+
+Server::Stats Server::stats() const {
+  const Impl& im = *impl_;
+  Stats s;
+  s.accepted = im.accepted.load(std::memory_order_relaxed);
+  s.closed = im.closed.load(std::memory_order_relaxed);
+  s.frames_rx = im.frames_rx.load(std::memory_order_relaxed);
+  s.frames_tx = im.frames_tx.load(std::memory_order_relaxed);
+  s.bytes_rx = im.bytes_rx.load(std::memory_order_relaxed);
+  s.bytes_tx = im.bytes_tx.load(std::memory_order_relaxed);
+  s.requests_dispatched =
+      im.requests_dispatched.load(std::memory_order_relaxed);
+  s.nacks_queue_full = im.nacks_queue_full.load(std::memory_order_relaxed);
+  s.nacks_shutdown = im.nacks_shutdown.load(std::memory_order_relaxed);
+  s.decode_errors = im.decode_errors.load(std::memory_order_relaxed);
+  s.overflow_closes = im.overflow_closes.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace pslocal::net

@@ -1,0 +1,105 @@
+// Non-blocking TCP front end of the ServiceEngine (src/net/).
+//
+// Threading model — two threads per server, none per connection:
+//
+//   io thread          poll() over {listen fd, wake pipe, connections}.
+//                      Owns every socket: accepts, reads bytes into each
+//                      connection's FrameDecoder, decodes requests,
+//                      submits to the engine, and writes queued output
+//                      frames (partial writes resume where they left
+//                      off).  Admission rejections (kQueueFull /
+//                      kShutdown) become typed NACK frames immediately —
+//                      the byte is never dropped and the client decides
+//                      when to retry.
+//
+//   completer thread   Blocks on the engine futures of admitted
+//                      requests in admission order (the engine fulfills
+//                      FIFO batches, so this order is within one batch
+//                      of completion order), encodes each Response and
+//                      hands it to the io thread through the wake pipe.
+//
+// Backpressure contract (docs/net.md):
+//  * engine queue full        -> NACK(queue_full), retryable, nothing
+//                                computed; counted in net.nack_queue_full.
+//  * engine stopping          -> NACK(shutdown), not retryable.
+//  * slow-reading client      -> per-connection output queue grows to
+//                                config.max_output_bytes, then the
+//                                connection is closed (the one case
+//                                where bytes are dropped — the peer
+//                                stopped draining them).
+//  * corrupt frame            -> connection closed; other connections
+//                                unaffected.
+//
+// Every connection is independent: one client sending garbage or
+// stalling cannot delay decode or dispatch for the others (solver-side
+// ordering is the engine's FIFO, as for in-process callers).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "service/engine.hpp"
+
+namespace pslocal::net {
+
+class Server {
+ public:
+  struct Config {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;  // 0 = ephemeral; port() reports the choice
+    int backlog = 64;
+    std::size_t max_connections = 64;
+    std::size_t max_payload = 0;  // frame payload bound; 0 = wire default
+    /// Output-queue bound per connection; exceeded = connection closed.
+    std::size_t max_output_bytes = 8u << 20;
+  };
+
+  /// The engine must outlive the server and should be start()ed by the
+  /// caller (an un-started engine NACKs once its queue fills — the
+  /// admission-probe setup).
+  Server(service::ServiceEngine& engine, Config config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen and launch the io + completer threads.  Throws
+  /// ContractViolation on bind/listen failure.  Idempotent.
+  void start();
+
+  /// Stop accepting, close every connection, join both threads.
+  /// In-flight engine futures are still drained (the engine answers
+  /// every admitted request; their bytes go nowhere once the
+  /// connections are gone).  Idempotent; also called by the destructor.
+  void stop();
+
+  /// The bound TCP port (valid after start(); resolves port 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  struct Stats {
+    std::uint64_t accepted = 0;          // connections accepted
+    std::uint64_t closed = 0;            // connections closed (any cause)
+    std::uint64_t frames_rx = 0;
+    std::uint64_t frames_tx = 0;
+    std::uint64_t bytes_rx = 0;
+    std::uint64_t bytes_tx = 0;
+    std::uint64_t requests_dispatched = 0;  // admitted into the engine
+    std::uint64_t nacks_queue_full = 0;
+    std::uint64_t nacks_shutdown = 0;
+    std::uint64_t decode_errors = 0;  // corrupt streams / bad payloads
+    std::uint64_t overflow_closes = 0;  // output-bound violations
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;  // pimpl keeps <poll.h> and socket state out of the header
+
+  std::uint16_t port_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace pslocal::net

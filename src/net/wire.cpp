@@ -1,0 +1,320 @@
+#include "net/wire.hpp"
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/hash.hpp"
+
+namespace pslocal::net::wire {
+
+namespace {
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out += static_cast<char>(v);
+}
+
+void put_u16(std::string& out, std::uint16_t v) {
+  for (int i = 0; i < 2; ++i) out += static_cast<char>(v >> (8 * i));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out += static_cast<char>(v >> (8 * i));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out += static_cast<char>(v >> (8 * i));
+}
+
+void put_string(std::string& out, std::string_view s) {
+  put_u64(out, s.size());
+  out += s;
+}
+
+/// Bounds-checked little-endian cursor over untrusted bytes.  Every
+/// read either succeeds or returns false leaving `ok()` false; no read
+/// ever touches memory past the view.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool read_u8(std::uint8_t& v) {
+    if (remaining() < 1) return ok_ = false;
+    v = static_cast<std::uint8_t>(bytes_[pos_++]);
+    return true;
+  }
+
+  bool read_u64(std::uint64_t& v) {
+    if (remaining() < 8) return ok_ = false;
+    v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(
+               static_cast<std::uint8_t>(bytes_[pos_ + static_cast<std::size_t>(i)]))
+           << (8 * i);
+    pos_ += 8;
+    return true;
+  }
+
+  /// Length-prefixed string whose length must fit in the remaining
+  /// bytes — a lying prefix fails before any allocation.
+  bool read_string(std::string& v) {
+    std::uint64_t len = 0;
+    if (!read_u64(len)) return false;
+    if (len > remaining()) return ok_ = false;
+    v.assign(bytes_.data() + pos_, static_cast<std::size_t>(len));
+    pos_ += static_cast<std::size_t>(len);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] bool exhausted() const { return remaining() == 0; }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+std::uint32_t load_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[i])) << (8 * i);
+  return v;
+}
+
+std::uint64_t load_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(p[i])) << (8 * i);
+  return v;
+}
+
+bool set_error(std::string* error, const std::string& why) {
+  if (error != nullptr) *error = why;
+  return false;
+}
+
+}  // namespace
+
+bool frame_kind_valid(std::uint8_t kind) {
+  return kind == static_cast<std::uint8_t>(FrameKind::kRequest) ||
+         kind == static_cast<std::uint8_t>(FrameKind::kResponse) ||
+         kind == static_cast<std::uint8_t>(FrameKind::kNack);
+}
+
+std::string encode_frame(const Frame& frame) {
+  PSL_EXPECTS(frame.payload.size() <= kMaxPayload);
+  std::string out;
+  out.reserve(kHeaderSize + frame.payload.size());
+  put_u32(out, kMagic);
+  put_u8(out, kVersion);
+  put_u8(out, static_cast<std::uint8_t>(frame.kind));
+  put_u16(out, 0);
+  put_u64(out, frame.request_id);
+  put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  put_u32(out, 0);
+  put_u64(out, fnv1a64(frame.payload));
+  out += frame.payload;
+  PSL_ENSURES(out.size() == kHeaderSize + frame.payload.size());
+  return out;
+}
+
+FrameDecoder::FrameDecoder(std::size_t max_payload)
+    : max_payload_(max_payload) {}
+
+void FrameDecoder::feed(const char* data, std::size_t len) {
+  if (corrupt_ || len == 0) return;
+  // Compact lazily: only once parsed bytes dominate the buffer, so a
+  // steady stream of small frames doesn't memmove per frame.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, len);
+}
+
+FrameDecoder::Result FrameDecoder::fail(const std::string& why) {
+  corrupt_ = true;
+  error_ = why;
+  buffer_.clear();
+  consumed_ = 0;
+  return Result::kCorrupt;
+}
+
+FrameDecoder::Result FrameDecoder::next(Frame& out) {
+  if (corrupt_) return Result::kCorrupt;
+  const std::size_t avail = buffer_.size() - consumed_;
+  if (avail < kHeaderSize) return Result::kNeedMore;
+  const char* h = buffer_.data() + consumed_;
+
+  if (load_u32(h) != kMagic) return fail("bad magic");
+  const auto version = static_cast<std::uint8_t>(h[4]);
+  if (version != kVersion)
+    return fail("unsupported version " + std::to_string(version));
+  const auto kind = static_cast<std::uint8_t>(h[5]);
+  if (!frame_kind_valid(kind))
+    return fail("unknown frame kind " + std::to_string(kind));
+  if (h[6] != 0 || h[7] != 0) return fail("nonzero reserved field");
+  const std::uint64_t request_id = load_u64(h + 8);
+  const std::uint32_t payload_len = load_u32(h + 16);
+  if (payload_len > max_payload_)
+    return fail("payload length " + std::to_string(payload_len) +
+                " exceeds bound " + std::to_string(max_payload_));
+  if (load_u32(h + 20) != 0) return fail("nonzero reserved field");
+  const std::uint64_t payload_fnv = load_u64(h + 24);
+
+  if (avail < kHeaderSize + payload_len) return Result::kNeedMore;
+  const std::string_view payload(h + kHeaderSize, payload_len);
+  if (fnv1a64(payload) != payload_fnv) return fail("payload checksum mismatch");
+
+  out.kind = static_cast<FrameKind>(kind);
+  out.request_id = request_id;
+  out.payload.assign(payload.data(), payload.size());
+  consumed_ += kHeaderSize + payload_len;
+  if (consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  }
+  return Result::kFrame;
+}
+
+std::string encode_request(const service::Request& req) {
+  PSL_EXPECTS_MSG(req.instance != nullptr, "net: request has no instance");
+  std::string out;
+  put_u8(out, static_cast<std::uint8_t>(req.kind));
+  put_u64(out, req.k);
+  put_u64(out, req.seed);
+  put_string(out, req.solver);
+  put_string(out, canonical_bytes(*req.instance));
+  return out;
+}
+
+bool decode_request(std::string_view payload, service::Request& out,
+                    std::string* error) {
+  ByteReader r(payload);
+  std::uint8_t kind = 0;
+  std::uint64_t k = 0, seed = 0;
+  std::string solver, instance_bytes;
+  if (!r.read_u8(kind) || !r.read_u64(k) || !r.read_u64(seed) ||
+      !r.read_string(solver) || !r.read_string(instance_bytes))
+    return set_error(error, "request payload truncated");
+  if (!r.exhausted())
+    return set_error(error, "request payload has trailing bytes");
+  if (kind > static_cast<std::uint8_t>(service::RequestKind::kRunReduction))
+    return set_error(error,
+                     "unknown request kind " + std::to_string(kind));
+  Hypergraph h;
+  if (!decode_hypergraph(instance_bytes, h, error)) return false;
+
+  out.kind = static_cast<service::RequestKind>(kind);
+  out.k = static_cast<std::size_t>(k);
+  out.seed = seed;
+  out.solver = std::move(solver);
+  out.instance = std::make_shared<const Hypergraph>(std::move(h));
+  out.instance_hash = hash_hypergraph(*out.instance);
+  return true;
+}
+
+std::string encode_response(const service::Response& resp) {
+  std::string out;
+  put_u8(out, static_cast<std::uint8_t>(resp.status));
+  put_u8(out, resp.cache_hit ? 1 : 0);
+  put_u64(out, resp.key);
+  put_string(out, resp.reason);
+  put_string(out, resp.result);
+  return out;
+}
+
+bool decode_response(std::string_view payload, service::Response& out,
+                     std::string* error) {
+  ByteReader r(payload);
+  std::uint8_t status = 0, cache_hit = 0;
+  if (!r.read_u8(status) || !r.read_u8(cache_hit) || !r.read_u64(out.key) ||
+      !r.read_string(out.reason) || !r.read_string(out.result))
+    return set_error(error, "response payload truncated");
+  if (!r.exhausted())
+    return set_error(error, "response payload has trailing bytes");
+  if (status > static_cast<std::uint8_t>(service::Response::Status::kError))
+    return set_error(error,
+                     "unknown response status " + std::to_string(status));
+  out.status = static_cast<service::Response::Status>(status);
+  out.cache_hit = cache_hit != 0;
+  return true;
+}
+
+const char* nack_name(NackCode code) {
+  switch (code) {
+    case NackCode::kQueueFull: return "queue_full";
+    case NackCode::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+std::string encode_nack(NackCode code) {
+  std::string out;
+  put_u8(out, static_cast<std::uint8_t>(code));
+  return out;
+}
+
+bool decode_nack(std::string_view payload, NackCode& out,
+                 std::string* error) {
+  ByteReader r(payload);
+  std::uint8_t code = 0;
+  if (!r.read_u8(code)) return set_error(error, "nack payload truncated");
+  if (!r.exhausted())
+    return set_error(error, "nack payload has trailing bytes");
+  if (code != static_cast<std::uint8_t>(NackCode::kQueueFull) &&
+      code != static_cast<std::uint8_t>(NackCode::kShutdown))
+    return set_error(error, "unknown nack code " + std::to_string(code));
+  out = static_cast<NackCode>(code);
+  return true;
+}
+
+bool decode_hypergraph(std::string_view bytes, Hypergraph& out,
+                       std::string* error) {
+  ByteReader r(bytes);
+  std::uint64_t n = 0, m = 0;
+  if (!r.read_u64(n) || !r.read_u64(m))
+    return set_error(error, "hypergraph bytes truncated");
+  // Each of the m edges needs at least its 8-byte size word, and each
+  // vertex id costs 8 bytes — so both counts are bounded by the bytes
+  // actually present before anything is allocated from them.
+  if (m > r.remaining() / 8)
+    return set_error(error, "hypergraph edge count exceeds payload");
+  if (n > kMaxWireVertices)
+    return set_error(error, "hypergraph vertex count out of range");
+  std::vector<std::vector<VertexId>> edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  for (std::uint64_t e = 0; e < m; ++e) {
+    std::uint64_t size = 0;
+    if (!r.read_u64(size))
+      return set_error(error, "hypergraph bytes truncated");
+    if (size > r.remaining() / 8)
+      return set_error(error, "hypergraph edge size exceeds payload");
+    std::vector<VertexId> vs;
+    vs.reserve(static_cast<std::size_t>(size));
+    for (std::uint64_t i = 0; i < size; ++i) {
+      std::uint64_t v = 0;
+      if (!r.read_u64(v))
+        return set_error(error, "hypergraph bytes truncated");
+      if (v >= n)
+        return set_error(error, "hypergraph vertex id out of range");
+      vs.push_back(static_cast<VertexId>(v));
+    }
+    edges.push_back(std::move(vs));
+  }
+  if (!r.exhausted())
+    return set_error(error, "hypergraph bytes have trailing data");
+  // The constructor still enforces non-empty edges with distinct
+  // vertices; convert its contract throw into a decode error.
+  try {
+    out = Hypergraph(static_cast<std::size_t>(n), std::move(edges));
+  } catch (const std::exception& e) {
+    return set_error(error, std::string("invalid hypergraph: ") + e.what());
+  }
+  return true;
+}
+
+}  // namespace pslocal::net::wire

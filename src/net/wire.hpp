@@ -1,0 +1,157 @@
+// Binary wire protocol of the network tier (src/net/).
+//
+// A frame is a fixed 32-byte header followed by `payload_len` payload
+// bytes.  Every multi-byte integer is little-endian at a fixed width —
+// the same canonical convention as util/hash — so frames are
+// byte-identical across platforms and a recorded byte stream replays
+// anywhere.  The header carries an FNV-1a 64 digest of the payload;
+// a frame whose payload was bit-flipped in flight (or whose length
+// field lies about where the payload ends) fails the checksum and is
+// rejected as corrupt rather than mis-parsed.
+//
+//   offset  width  field
+//        0      4  magic        "PSL1" (0x314c5350 little-endian)
+//        4      1  version      kVersion (currently 1)
+//        5      1  kind         FrameKind (request / response / nack)
+//        6      2  reserved     must be 0
+//        8      8  request_id   caller-assigned; echoed in the response
+//       16      4  payload_len  <= max_payload (decoder-configured)
+//       20      4  reserved2    must be 0
+//       24      8  payload_fnv  fnv1a64(payload)
+//       32      …  payload
+//
+// Payload encodings reuse the canonical serialization style of
+// util/hash (fixed-width little-endian words, length-prefixed strings):
+// a request payload embeds canonical_bytes(instance) verbatim, so the
+// server-side instance hash equals the client-side one by construction.
+//
+// The FrameDecoder is a strict bounded-size incremental parser: feed()
+// appends raw socket bytes, next() yields complete frames.  Oversized,
+// torn and garbage inputs produce kCorrupt (sticky — the connection is
+// beyond repair and must be closed) or kNeedMore; no input crashes the
+// decoder or indexes out of bounds (the qc property `net_frame` fuzzes
+// exactly this contract).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "service/request.hpp"
+
+namespace pslocal::net::wire {
+
+inline constexpr std::uint32_t kMagic = 0x314c5350u;  // "PSL1"
+inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::size_t kHeaderSize = 32;
+/// Default payload bound: generous for request instances, small enough
+/// that a length-lying frame cannot make the decoder allocate wildly.
+inline constexpr std::size_t kMaxPayload = 16u << 20;
+/// Vertex-count bound for wire-decoded hypergraphs.  The canonical
+/// encoding carries no per-vertex bytes, so without this bound a
+/// length-lied vertex count would size the incidence index at will.
+inline constexpr std::uint64_t kMaxWireVertices = 1u << 24;
+
+enum class FrameKind : std::uint8_t {
+  kRequest = 1,   // payload: encode_request
+  kResponse = 2,  // payload: encode_response
+  kNack = 3,      // payload: encode_nack (admission rejected; retryable)
+};
+
+/// True for the three defined kinds (the decoder rejects anything else).
+[[nodiscard]] bool frame_kind_valid(std::uint8_t kind);
+
+struct Frame {
+  FrameKind kind = FrameKind::kRequest;
+  std::uint64_t request_id = 0;
+  std::string payload;
+};
+
+/// Serialize a frame (header + payload) into wire bytes.
+/// PSL_EXPECTS payload.size() <= kMaxPayload.
+[[nodiscard]] std::string encode_frame(const Frame& frame);
+
+/// Strict incremental frame parser (see header comment).
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_payload = kMaxPayload);
+
+  /// Append raw bytes from the socket.  No-op after corruption.
+  void feed(const char* data, std::size_t len);
+  void feed(std::string_view bytes) { feed(bytes.data(), bytes.size()); }
+
+  enum class Result : std::uint8_t {
+    kFrame,     // `out` holds the next complete frame
+    kNeedMore,  // buffered bytes form no complete frame yet
+    kCorrupt,   // stream is invalid; close the connection (sticky)
+  };
+
+  /// Extract the next complete frame, validating magic, version,
+  /// reserved fields, kind, payload bound and checksum.
+  Result next(Frame& out);
+
+  [[nodiscard]] bool corrupt() const { return corrupt_; }
+  /// Human-readable reason, set once corrupt() turns true.
+  [[nodiscard]] const std::string& error() const { return error_; }
+  /// Unparsed bytes currently held (0 after every frame was extracted).
+  [[nodiscard]] std::size_t buffered() const {
+    return buffer_.size() - consumed_;
+  }
+
+ private:
+  Result fail(const std::string& why);
+
+  std::size_t max_payload_;
+  std::string buffer_;
+  std::size_t consumed_ = 0;  // bytes of buffer_ already parsed
+  bool corrupt_ = false;
+  std::string error_;
+};
+
+// --- Payload codecs -------------------------------------------------
+//
+// Decoders return false (with *error set) on malformed payloads instead
+// of throwing: a hostile payload is an expected input for a server, not
+// a contract violation.
+
+/// Request payload: kind u8, k u64, seed u64, solver string,
+/// canonical_bytes(instance) string.  Requires req.instance != nullptr.
+[[nodiscard]] std::string encode_request(const service::Request& req);
+
+/// Inverse of encode_request.  Rebuilds the Hypergraph from its
+/// canonical bytes (bounds-checked before any allocation sized by
+/// untrusted lengths) and fills out.instance_hash from the decoded
+/// content.  out.id is NOT set here — it travels in the frame header.
+[[nodiscard]] bool decode_request(std::string_view payload,
+                                  service::Request& out, std::string* error);
+
+/// Response payload: status u8, cache_hit u8, key u64, reason string,
+/// result string.  Timing fields do not cross the wire (they are
+/// server-local; the client measures its own RTT).
+[[nodiscard]] std::string encode_response(const service::Response& resp);
+[[nodiscard]] bool decode_response(std::string_view payload,
+                                   service::Response& out,
+                                   std::string* error);
+
+/// Typed admission NACK: the request was not admitted and nothing was
+/// or will be computed for it.  kQueueFull is retryable by contract.
+enum class NackCode : std::uint8_t {
+  kQueueFull = 1,
+  kShutdown = 2,
+};
+
+[[nodiscard]] const char* nack_name(NackCode code);
+
+[[nodiscard]] std::string encode_nack(NackCode code);
+[[nodiscard]] bool decode_nack(std::string_view payload, NackCode& out,
+                               std::string* error);
+
+/// Decode the canonical hypergraph bytes produced by canonical_bytes()
+/// (util/hash.hpp).  Validates counts against the available bytes
+/// before allocating and lets the Hypergraph constructor enforce the
+/// structural invariants (in-range, distinct, non-empty edges).
+[[nodiscard]] bool decode_hypergraph(std::string_view bytes, Hypergraph& out,
+                                     std::string* error);
+
+}  // namespace pslocal::net::wire

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <sstream>
 
+#include "net/wire.hpp"
 #include "qc/fault.hpp"
 #include "qc/gen.hpp"
 #include "qc/oracles.hpp"
@@ -212,6 +213,201 @@ Property hash_sensitivity_property() {
           }};
 }
 
+/// A random valid frame of a random kind; request frames carry a real
+/// encoded request so the payload codec is exercised too.
+net::wire::Frame arbitrary_frame(Rng& rng) {
+  net::wire::Frame frame;
+  frame.request_id = rng.next_u64();
+  switch (rng.next_below(3)) {
+    case 0: {
+      frame.kind = net::wire::FrameKind::kRequest;
+      service::Request req;
+      req.kind = static_cast<service::RequestKind>(rng.next_below(5));
+      req.k = 1 + rng.next_below(5);
+      req.seed = rng.next_u64();
+      req.solver = rng.next_bool(0.5) ? "greedy-mindeg" : "luby";
+      req.instance = std::make_shared<const Hypergraph>(
+          arbitrary_tiny_hypergraph(rng));
+      frame.payload = net::wire::encode_request(req);
+      break;
+    }
+    case 1: {
+      frame.kind = net::wire::FrameKind::kResponse;
+      service::Response resp;
+      resp.status = static_cast<service::Response::Status>(rng.next_below(3));
+      resp.cache_hit = rng.next_bool(0.5);
+      resp.key = rng.next_u64();
+      resp.reason = resp.status == service::Response::Status::kOk ? "" : "why";
+      for (std::size_t i = rng.next_below(40); i > 0; --i)
+        resp.result += static_cast<char>('a' + rng.next_below(26));
+      frame.payload = net::wire::encode_response(resp);
+      break;
+    }
+    default:
+      frame.kind = net::wire::FrameKind::kNack;
+      frame.payload = net::wire::encode_nack(
+          rng.next_bool(0.5) ? net::wire::NackCode::kQueueFull
+                             : net::wire::NackCode::kShutdown);
+      break;
+  }
+  return frame;
+}
+
+/// Feed `bytes` to a fresh decoder in random-sized chunks and collect
+/// every frame it emits plus its final status.
+struct DecodeRun {
+  std::vector<net::wire::Frame> frames;
+  bool corrupt = false;
+  std::string error;
+  std::size_t leftover = 0;
+};
+
+DecodeRun run_decoder(Rng& rng, std::string_view bytes) {
+  net::wire::FrameDecoder decoder;
+  DecodeRun run;
+  std::size_t pos = 0;
+  while (pos < bytes.size() && !run.corrupt) {
+    const std::size_t chunk =
+        1 + rng.next_below(std::min<std::uint64_t>(bytes.size() - pos, 97));
+    decoder.feed(bytes.data() + pos, chunk);
+    pos += chunk;
+    for (;;) {
+      net::wire::Frame frame;
+      const auto result = decoder.next(frame);
+      if (result == net::wire::FrameDecoder::Result::kFrame) {
+        run.frames.push_back(std::move(frame));
+        continue;
+      }
+      if (result == net::wire::FrameDecoder::Result::kCorrupt) {
+        run.corrupt = true;
+        run.error = decoder.error();
+      }
+      break;
+    }
+  }
+  run.leftover = decoder.buffered();
+  return run;
+}
+
+/// Frame-decoder fuzz: valid frames round-trip byte-exactly under any
+/// chunking; truncated / bit-flipped / length-lied / garbage streams
+/// are rejected (or starved) without a crash and never resurface as a
+/// "valid" copy of the original frame.
+Property net_frame_property() {
+  return {"net_frame", [](Rng& rng) -> std::optional<Failure> {
+            const auto fail = [](std::string msg, std::string witness) {
+              Failure f;
+              f.message = std::move(msg);
+              f.counterexample = std::move(witness);
+              return f;
+            };
+            // Valid round trip over a small random frame sequence.
+            std::vector<net::wire::Frame> sent;
+            std::string stream;
+            const std::size_t count = 1 + rng.next_below(4);
+            for (std::size_t i = 0; i < count; ++i) {
+              sent.push_back(arbitrary_frame(rng));
+              stream += net::wire::encode_frame(sent.back());
+            }
+            DecodeRun run = run_decoder(rng, stream);
+            if (run.corrupt)
+              return fail("valid stream flagged corrupt: " + run.error,
+                          "frames=" + std::to_string(count));
+            if (run.frames.size() != count || run.leftover != 0)
+              return fail("valid stream yielded " +
+                              std::to_string(run.frames.size()) + " frames, " +
+                              std::to_string(run.leftover) + " bytes left",
+                          "frames=" + std::to_string(count));
+            for (std::size_t i = 0; i < count; ++i) {
+              if (run.frames[i].kind != sent[i].kind ||
+                  run.frames[i].request_id != sent[i].request_id ||
+                  run.frames[i].payload != sent[i].payload)
+                return fail("frame round trip not byte-exact",
+                            "frame index " + std::to_string(i));
+            }
+
+            // Mutations of a single valid frame.
+            const net::wire::Frame victim = arbitrary_frame(rng);
+            const std::string bytes = net::wire::encode_frame(victim);
+            switch (rng.next_below(4)) {
+              case 0: {  // truncation: a torn frame is starvation, not UB
+                const std::size_t keep = rng.next_below(bytes.size());
+                run = run_decoder(rng, std::string_view(bytes).substr(0, keep));
+                if (run.corrupt || !run.frames.empty())
+                  return fail("truncated frame produced " +
+                                  std::string(run.corrupt ? "corrupt"
+                                                          : "a frame"),
+                              "keep=" + std::to_string(keep));
+                break;
+              }
+              case 1: {  // payload bit flip: checksum must catch it
+                if (victim.payload.empty()) break;
+                std::string flipped = bytes;
+                const std::size_t byte_index =
+                    net::wire::kHeaderSize +
+                    rng.next_below(victim.payload.size());
+                flipped[byte_index] ^=
+                    static_cast<char>(1u << rng.next_below(8));
+                run = run_decoder(rng, flipped);
+                if (!run.corrupt)
+                  return fail("payload bit flip not flagged corrupt",
+                              "byte=" + std::to_string(byte_index));
+                break;
+              }
+              case 2: {  // length lie: rewrite payload_len, keep the rest
+                std::string lied = bytes;
+                const std::uint64_t lie = rng.next_bool(0.5)
+                                              ? rng.next_u64()  // often huge
+                                              : rng.next_below(
+                                                    victim.payload.size() + 64);
+                for (int i = 0; i < 4; ++i)
+                  lied[16 + static_cast<std::size_t>(i)] =
+                      static_cast<char>(lie >> (8 * i));
+                run = run_decoder(rng, lied);
+                const std::uint32_t new_len =
+                    static_cast<std::uint32_t>(lie);
+                if (new_len != victim.payload.size() && !run.frames.empty())
+                  return fail("length-lied frame decoded as valid",
+                              "lie=" + std::to_string(new_len));
+                break;
+              }
+              default: {  // garbage prefix: wrong magic is caught at once
+                std::string garbage;
+                for (std::size_t i = 0; i < 64; ++i)
+                  garbage += static_cast<char>(rng.next_below(256));
+                const bool magic_fluke =
+                    garbage.size() >= 4 &&
+                    garbage.compare(0, 4, bytes, 0, 4) == 0;
+                run = run_decoder(rng, garbage);
+                if (!magic_fluke && !run.corrupt)
+                  return fail("garbage stream not flagged corrupt",
+                              "len=64");
+                break;
+              }
+            }
+
+            // The request payload codec round-trips through the decoded
+            // hypergraph: content hash and re-encoded bytes both match.
+            service::Request req;
+            req.kind = service::RequestKind::kLubyMis;
+            req.k = 1 + rng.next_below(4);
+            req.seed = rng.next_u64();
+            req.instance = std::make_shared<const Hypergraph>(
+                arbitrary_tiny_hypergraph(rng));
+            const std::string payload = net::wire::encode_request(req);
+            service::Request decoded;
+            std::string error;
+            if (!net::wire::decode_request(payload, decoded, &error))
+              return fail("valid request payload rejected: " + error,
+                          describe(*req.instance));
+            if (decoded.instance_hash != hash_hypergraph(*req.instance) ||
+                net::wire::encode_request(decoded) != payload)
+              return fail("request payload round trip not byte-exact",
+                          describe(*req.instance));
+            return std::nullopt;
+          }};
+}
+
 Property planted_bug_property() {
   return {"planted-bug", [](Rng& rng) -> std::optional<Failure> {
             Graph g = arbitrary_graph(rng);
@@ -242,6 +438,7 @@ std::vector<Property> default_properties(const FuzzOptions& opts) {
       }));
   props.push_back(service_differential_property());
   props.push_back(hash_sensitivity_property());
+  props.push_back(net_frame_property());
   if (opts.plant_bug) props.push_back(planted_bug_property());
   return props;
 }

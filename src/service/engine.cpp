@@ -37,12 +37,14 @@ void ServiceEngine::start() {
   dispatcher_ = std::thread([this] { dispatcher_main(); });
 }
 
-void ServiceEngine::stop() {
+void ServiceEngine::stop(StopMode mode) {
   {
     std::lock_guard<std::mutex> lock(lifecycle_mu_);
     if (stopped_) return;
     stopped_ = true;
   }
+  if (mode == StopMode::kReject)
+    reject_drained_.store(true, std::memory_order_release);
   queue_.shutdown();
   if (dispatcher_.joinable()) dispatcher_.join();
   // Anything still queued was never dispatched (engine not started, or
@@ -85,6 +87,10 @@ void ServiceEngine::dispatcher_main() {
     drained.clear();
     const std::size_t n = queue_.pop_batch(drained, config_.max_batch);
     if (n == 0) return;  // shutdown and empty
+    if (reject_drained_.load(std::memory_order_acquire)) {
+      reject_all(drained, "shutdown");
+      continue;
+    }
     dispatch_cycles_.fetch_add(1, std::memory_order_relaxed);
     serve_cycle(drained);
   }

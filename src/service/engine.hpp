@@ -63,9 +63,25 @@ class ServiceEngine {
   /// Launch the dispatcher thread (idempotent; no-op after stop()).
   void start();
 
-  /// Stop admitting, drain the dispatcher, reject unserved requests with
-  /// reason "shutdown".  Idempotent; also called by the destructor.
-  void stop();
+  /// What happens to already-admitted, not-yet-served requests at stop.
+  enum class StopMode : std::uint8_t {
+    /// Graceful drain: the dispatcher keeps serving until the queue is
+    /// empty, so every admitted request gets its real answer (kOk or
+    /// kError).  Only requests the dispatcher never saw (engine not
+    /// started) are rejected with "shutdown".
+    kDrain,
+    /// Fast shutdown: queued-but-undispatched requests are answered
+    /// kRejected("shutdown") instead of being served.  Requests whose
+    /// batch is already executing still complete normally.
+    kReject,
+  };
+
+  /// Stop admitting and shut the dispatcher down under `mode` (default:
+  /// graceful drain — the pinned contract is that stop() never discards
+  /// an admitted request's answer).  Every admitted request is answered
+  /// exactly once under either mode.  Idempotent; the destructor calls
+  /// stop(kDrain).
+  void stop(StopMode mode = StopMode::kDrain);
 
   struct Submitted {
     Admission admission = Admission::kShutdown;
@@ -111,6 +127,9 @@ class ServiceEngine {
   bool started_ = false;  // guarded by lifecycle_mu_
   bool stopped_ = false;
   std::mutex lifecycle_mu_;
+  /// StopMode::kReject was requested: the dispatcher rejects drained
+  /// batches instead of serving them.
+  std::atomic<bool> reject_drained_{false};
 
   // Dispatcher-side tallies (written by one thread, read via stats()).
   std::atomic<std::uint64_t> submitted_{0};

@@ -1,0 +1,210 @@
+// net/server: end-to-end serving over real loopback sockets — payload
+// parity with in-process execution, cache visibility, the typed-NACK
+// backpressure contract, and per-connection fault isolation.
+#include "net/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/client.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/thread_pool.hpp"
+#include "service/workload.hpp"
+#include "util/check.hpp"
+
+namespace pslocal::net {
+namespace {
+
+service::Trace small_trace() {
+  service::TraceParams tp;
+  tp.seed = 11;
+  tp.requests = 12;
+  tp.instance_pool = 3;
+  tp.n = 32;
+  tp.m = 24;
+  tp.k = 3;
+  return service::generate_trace(tp);
+}
+
+Client make_client(const Server& server) {
+  Client::Config cc;
+  cc.port = server.port();
+  return Client(cc);
+}
+
+TEST(NetServerTest, EndToEndCallMatchesInProcessExecution) {
+  const service::Trace trace = small_trace();
+  service::ServiceEngine engine;
+  engine.start();
+  Server server(engine, {});
+  server.start();
+
+  Client client = make_client(server);
+  client.connect();
+
+  runtime::ThreadPool direct_pool(1);
+  for (const service::Request& req : trace.requests) {
+    const Client::Result r = client.call(req);
+    ASSERT_EQ(r.outcome, Client::Outcome::kOk) << r.error;
+    EXPECT_EQ(r.response.key, service::cache_key(req));
+    // The bytes that crossed the wire are the canonical payload the
+    // library computes in-process for the same request.
+    EXPECT_EQ(r.response.result, service::execute_request(req, direct_pool));
+    EXPECT_GT(r.rtt_ns, 0u);
+  }
+  EXPECT_EQ(client.inflight(), 0u);
+  EXPECT_EQ(client.parked(), 0u);
+
+  const Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.frames_rx, trace.requests.size());
+  EXPECT_EQ(stats.frames_tx, trace.requests.size());
+  EXPECT_EQ(stats.requests_dispatched, trace.requests.size());
+  EXPECT_EQ(stats.decode_errors, 0u);
+  EXPECT_EQ(stats.nacks_queue_full, 0u);
+}
+
+TEST(NetServerTest, RepeatedRequestIsServedFromCache) {
+  const service::Trace trace = small_trace();
+  service::ServiceEngine engine;
+  engine.start();
+  Server server(engine, {});
+  server.start();
+  Client client = make_client(server);
+  client.connect();
+
+  const Client::Result first = client.call(trace.requests[0]);
+  ASSERT_EQ(first.outcome, Client::Outcome::kOk) << first.error;
+  EXPECT_FALSE(first.response.cache_hit);
+  const Client::Result second = client.call(trace.requests[0]);
+  ASSERT_EQ(second.outcome, Client::Outcome::kOk) << second.error;
+  EXPECT_TRUE(second.response.cache_hit);
+  EXPECT_EQ(second.response.result, first.response.result);
+}
+
+TEST(NetServerTest, QueueFullBecomesTypedNackNotSilence) {
+  // An un-started engine with capacity 1 makes admission deterministic:
+  // the first request parks in the queue forever, the second is refused
+  // at the door.  The server must answer the refusal with NACK(queue_full)
+  // immediately — even though the first request's future never resolves —
+  // and the parked request must still get its shutdown answer at stop().
+  const service::Trace trace = small_trace();
+  service::EngineConfig cfg;
+  cfg.queue_capacity = 1;
+  service::ServiceEngine engine(cfg);  // never started
+  Server server(engine, {});
+  server.start();
+  Client client = make_client(server);
+  client.connect();
+
+  const std::uint64_t parked_id = client.send(trace.requests[0]);
+  const Client::Result nacked = client.call(trace.requests[1]);
+  ASSERT_EQ(nacked.outcome, Client::Outcome::kNack) << nacked.error;
+  EXPECT_EQ(nacked.nack_code, wire::NackCode::kQueueFull);
+  EXPECT_EQ(server.stats().nacks_queue_full, 1u);
+
+  engine.stop();  // answers the parked request with kRejected("shutdown")
+  const Client::Result drained = client.wait(parked_id);
+  ASSERT_EQ(drained.outcome, Client::Outcome::kRejected) << drained.error;
+  EXPECT_EQ(drained.response.reason, "shutdown");
+}
+
+TEST(NetServerTest, GarbageStreamClosesOnlyThatConnection) {
+  const service::Trace trace = small_trace();
+  service::ServiceEngine engine;
+  engine.start();
+  Server server(engine, {});
+  server.start();
+
+  // Raw socket speaking nonsense: the server must close it...
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::string garbage(64, '\xff');
+  ASSERT_EQ(::send(fd, garbage.data(), garbage.size(), 0),
+            static_cast<ssize_t>(garbage.size()));
+  char buf[16];
+  EXPECT_EQ(::recv(fd, buf, sizeof(buf), 0), 0) << "expected EOF";
+  ::close(fd);
+
+  // ...while a well-behaved connection keeps being served.
+  Client client = make_client(server);
+  client.connect();
+  const Client::Result r = client.call(trace.requests[0]);
+  EXPECT_EQ(r.outcome, Client::Outcome::kOk) << r.error;
+  EXPECT_GE(server.stats().decode_errors, 1u);
+  EXPECT_GE(server.stats().closed, 1u);
+}
+
+TEST(NetServerTest, ServerStopLeavesClientWithTransportError) {
+  const service::Trace trace = small_trace();
+  service::ServiceEngine engine;
+  engine.start();
+  Server server(engine, {});
+  server.start();
+  Client client = make_client(server);
+  client.connect();
+  ASSERT_EQ(client.call(trace.requests[0]).outcome, Client::Outcome::kOk);
+
+  server.stop();
+  // The next exchange cannot succeed; it must fail promptly and loudly —
+  // a transport outcome from wait(), or send() itself throwing once the
+  // kernel reports the reset — never a hang.
+  try {
+    const Client::Result r =
+        client.call(trace.requests[1], /*timeout_ms=*/2000);
+    EXPECT_TRUE(r.outcome == Client::Outcome::kTransport ||
+                r.outcome == Client::Outcome::kTimeout)
+        << Client::outcome_name(r.outcome);
+  } catch (const ContractViolation&) {
+    // send() noticed the dead socket first — equally acceptable.
+  }
+}
+
+#if PSLOCAL_OBS_ENABLED
+TEST(NetServerTest, ObsCountersTrackTraffic) {
+  const service::Trace trace = small_trace();
+  const obs::Snapshot before = obs::snapshot();
+  service::ServiceEngine engine;
+  engine.start();
+  Server server(engine, {});
+  server.start();
+  {
+    Client client = make_client(server);
+    client.connect();
+    for (int i = 0; i < 3; ++i)
+      ASSERT_EQ(client.call(trace.requests[i]).outcome, Client::Outcome::kOk);
+  }
+  server.stop();
+  const obs::Snapshot after = obs::snapshot();
+  EXPECT_GE(after.counter("net.accepted") - before.counter("net.accepted"),
+            1u);
+  EXPECT_GE(after.counter("net.frames_rx") - before.counter("net.frames_rx"),
+            3u);
+  EXPECT_GE(after.counter("net.frames_tx") - before.counter("net.frames_tx"),
+            3u);
+  EXPECT_GT(after.counter("net.bytes_rx"), before.counter("net.bytes_rx"));
+  EXPECT_GT(after.counter("net.bytes_tx"), before.counter("net.bytes_tx"));
+  // Every connection opened here is closed again: the gauge nets to 0.
+  EXPECT_EQ(after.gauge("net.conn_active"), 0);
+  const auto rtt =
+      after.histogram("net.rtt_ns").count - before.histogram("net.rtt_ns").count;
+  EXPECT_GE(rtt, 3u);
+}
+#endif  // PSLOCAL_OBS_ENABLED
+
+}  // namespace
+}  // namespace pslocal::net

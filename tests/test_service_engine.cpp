@@ -243,6 +243,86 @@ TEST(ServiceEngineTest, ReplayFileRoundTripsByteExactly) {
   EXPECT_EQ(verdict.compared, entries.size());
 }
 
+TEST(ServiceEngineTest, StopDrainServesEverythingAdmitted) {
+  // Graceful drain: stop(kDrain) keeps the dispatcher serving until the
+  // queue is empty, so every admitted request gets its real answer even
+  // when stop() races the submissions.
+  const Trace trace = generate_trace(small_trace_params());
+  EngineConfig cfg;
+  cfg.queue_capacity = trace.requests.size();
+  ServiceEngine engine(cfg);
+  engine.start();
+  std::vector<std::future<Response>> futures;
+  for (const auto& req : trace.requests) {
+    auto sub = engine.submit(req);
+    ASSERT_EQ(sub.admission, Admission::kAccepted);
+    futures.push_back(std::move(sub.response));
+  }
+  engine.stop(ServiceEngine::StopMode::kDrain);
+  for (auto& f : futures) {
+    const Response resp = f.get();
+    EXPECT_EQ(resp.status, Response::Status::kOk) << resp.reason;
+  }
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.served, trace.requests.size());
+  EXPECT_EQ(stats.rejected_shutdown, 0u);
+}
+
+TEST(ServiceEngineTest, StopRejectAnswersEveryFutureExactlyOnce) {
+  // Fast shutdown: whatever was not yet dispatched when stop(kReject)
+  // lands is answered kRejected("shutdown") instead of computed.  The
+  // split between served and rejected depends on timing; the invariant
+  // is that every future resolves, to exactly one of the two.
+  const Trace trace = generate_trace(small_trace_params());
+  EngineConfig cfg;
+  cfg.queue_capacity = trace.requests.size();
+  ServiceEngine engine(cfg);
+  engine.start();
+  std::vector<std::future<Response>> futures;
+  for (const auto& req : trace.requests) {
+    auto sub = engine.submit(req);
+    ASSERT_EQ(sub.admission, Admission::kAccepted);
+    futures.push_back(std::move(sub.response));
+  }
+  engine.stop(ServiceEngine::StopMode::kReject);
+  std::size_t ok = 0, rejected = 0;
+  for (auto& f : futures) {
+    const Response resp = f.get();
+    if (resp.status == Response::Status::kOk) {
+      ++ok;
+    } else {
+      ASSERT_EQ(resp.status, Response::Status::kRejected);
+      EXPECT_EQ(resp.reason, "shutdown");
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(ok + rejected, trace.requests.size());
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.served, ok);
+  EXPECT_EQ(stats.rejected_shutdown, rejected);
+}
+
+TEST(ServiceEngineTest, StopDrainOnUnstartedEngineStillAnswers) {
+  // With no dispatcher there is nothing to drain with: the queued
+  // requests are answered kRejected rather than abandoned.
+  const Trace trace = generate_trace(small_trace_params());
+  EngineConfig cfg;
+  cfg.queue_capacity = 8;
+  ServiceEngine engine(cfg);
+  std::vector<std::future<Response>> futures;
+  for (std::size_t i = 0; i < 5; ++i) {
+    auto sub = engine.submit(trace.requests[i]);
+    ASSERT_EQ(sub.admission, Admission::kAccepted);
+    futures.push_back(std::move(sub.response));
+  }
+  engine.stop(ServiceEngine::StopMode::kDrain);
+  for (auto& f : futures) {
+    const Response resp = f.get();
+    EXPECT_EQ(resp.status, Response::Status::kRejected);
+    EXPECT_EQ(resp.reason, "shutdown");
+  }
+}
+
 TEST(ServiceEngineTest, VerifyReplayFlagsTamperedPayload) {
   TraceParams tp = small_trace_params();
   tp.requests = 10;
