@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <utility>
 
@@ -251,6 +252,19 @@ int main(int argc, char** argv) {
             .metric("obs_rtt_p50_ns", static_cast<double>(multi.obs_p50_ns))
             .metric("obs_rtt_p99_ns", static_cast<double>(multi.obs_p99_ns))
             .metric("errors", static_cast<double>(multi.loop.errors));
+
+        {
+          // Per-connection completion counts: a closed loop self-balances,
+          // so a skewed vector flags a slow connection or server loop.
+          std::ostringstream per_conn;
+          per_conn << "[";
+          for (std::size_t c = 0; c < multi.loop.per_client.size(); ++c) {
+            if (c != 0) per_conn << ",";
+            per_conn << multi.loop.per_client[c];
+          }
+          per_conn << "]";
+          ctx.report.metric("per_connection", per_conn.str());
+        }
 
         if (target.local()) {
           const net::Server::Stats ss = target.server->stats();

@@ -46,6 +46,11 @@ struct ClosedLoopResult {
   std::uint64_t errors = 0;
   std::uint64_t retries = 0;
   std::vector<std::uint64_t> latencies_ns;  // per request index
+  /// Requests completed by each worker connection.  Sums to the request
+  /// total; benches report it so connection/shard imbalance is visible
+  /// in the JSON (a closed loop self-balances, so a skewed vector means
+  /// one connection's target was slow).
+  std::vector<std::uint64_t> per_client;
   // Exact quantiles over latencies_ns, in milliseconds.
   double p50_ms = 0.0, p99_ms = 0.0, mean_ms = 0.0;
 };
@@ -59,6 +64,7 @@ ClosedLoopResult run_closed_loop(std::size_t total, std::size_t clients,
                                  MakeCtx&& make_ctx, One&& one) {
   ClosedLoopResult result;
   result.latencies_ns.assign(total, 0);
+  result.per_client.assign(clients > 0 ? clients : 1, 0);
   std::atomic<std::size_t> next{0};
   std::atomic<std::uint64_t> errors{0}, retries{0};
 
@@ -70,6 +76,7 @@ ClosedLoopResult run_closed_loop(std::size_t total, std::size_t clients,
       if (i >= total) return;
       const OneResult r = one(ctx, i);
       result.latencies_ns[i] = r.latency_ns;
+      result.per_client[client_index]++;  // each worker owns its slot
       if (!r.ok) errors.fetch_add(1, std::memory_order_relaxed);
       retries.fetch_add(r.retries, std::memory_order_relaxed);
     }

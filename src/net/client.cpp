@@ -96,8 +96,16 @@ void Client::connect() {
                                          << config_.port << " failed: " << why);
   }
   if (rc != 0) {
+    const std::uint64_t deadline =
+        now_ns() +
+        static_cast<std::uint64_t>(config_.connect_timeout_ms) * 1000000ULL;
     pollfd pfd{fd, POLLOUT, 0};
-    const int ready = ::poll(&pfd, 1, config_.connect_timeout_ms);
+    int ready;
+    for (;;) {
+      ready = ::poll(&pfd, 1, remaining_ms(deadline));
+      if (ready < 0 && errno == EINTR) continue;  // signal: re-poll remainder
+      break;
+    }
     int soerr = 0;
     socklen_t len = sizeof soerr;
     ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
@@ -152,6 +160,9 @@ std::uint64_t Client::send(const service::Request& request) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
         pollfd pfd{fd_, POLLOUT, 0};
         const int ready = ::poll(&pfd, 1, remaining_ms(deadline));
+        if (ready < 0 && errno == EINTR) continue;  // deadline still applies
+        PSL_CHECK_MSG(ready >= 0,
+                      "net: poll failed: " << std::strerror(errno));
         PSL_CHECK_MSG(ready > 0, "net: send timed out");
         continue;
       }
@@ -237,12 +248,10 @@ Client::Result Client::await_frame(std::uint64_t id, int timeout_ms) {
       continue;
     }
 
+    // Poll before the deadline check: even at a 0ms budget (try_wait)
+    // one non-blocking readiness probe runs, so bytes the kernel already
+    // holds are pumped into the decoder instead of being starved.
     const int wait_ms = remaining_ms(deadline);
-    if (wait_ms == 0) {
-      Result result;
-      result.outcome = Outcome::kTimeout;
-      return result;
-    }
     pollfd pfd{fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, wait_ms);
     if (ready < 0) {
@@ -253,7 +262,14 @@ Client::Result Client::await_frame(std::uint64_t id, int timeout_ms) {
       close();
       return result;
     }
-    if (ready == 0) continue;  // deadline re-checked at loop top
+    if (ready == 0) {
+      if (remaining_ms(deadline) == 0) {
+        Result result;
+        result.outcome = Outcome::kTimeout;
+        return result;
+      }
+      continue;
+    }
 
     char buf[64 * 1024];
     const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
@@ -279,6 +295,11 @@ Client::Result Client::await_frame(std::uint64_t id, int timeout_ms) {
 Client::Result Client::wait(std::uint64_t id, int timeout_ms) {
   PSL_CHECK_MSG(fd_ >= 0, "net: wait on a disconnected client");
   return await_frame(id, timeout_ms < 0 ? config_.io_timeout_ms : timeout_ms);
+}
+
+Client::Result Client::try_wait(std::uint64_t id) {
+  PSL_CHECK_MSG(fd_ >= 0, "net: try_wait on a disconnected client");
+  return await_frame(id, 0);
 }
 
 Client::Result Client::call(const service::Request& request, int timeout_ms) {

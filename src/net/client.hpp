@@ -87,6 +87,12 @@ class Client {
   /// arrive meanwhile are parked for their own wait(id) calls.
   [[nodiscard]] Result wait(std::uint64_t id, int timeout_ms = -1);
 
+  /// Non-blocking wait: pump whatever bytes the kernel already holds and
+  /// resolve `id` if its frame is among them; kTimeout means "not yet"
+  /// (nothing blocked).  The shard tier uses this to absorb duplicate
+  /// fan-out responses without stalling fresh traffic.
+  [[nodiscard]] Result try_wait(std::uint64_t id);
+
   /// send() + wait() for one request.
   [[nodiscard]] Result call(const service::Request& request,
                             int timeout_ms = -1);
@@ -121,6 +127,11 @@ class Client {
   /// has been wait()ed, nonzero means the server produced a duplicate or
   /// unsolicited response (the load generator asserts this is 0).
   [[nodiscard]] std::size_t parked() const { return parked_.size(); }
+
+  /// Raw socket handle, for readiness multiplexing across several
+  /// clients (shard/shard_client.cpp polls it to implement
+  /// first-response-wins fan-out).  Do not read or write through it.
+  [[nodiscard]] int native_handle() const { return fd_; }
 
   void close();
 

@@ -4,7 +4,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -14,6 +14,7 @@
 #include <cstring>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
@@ -42,21 +43,25 @@ void set_nonblocking(int fd) {
                 "net: fcntl(O_NONBLOCK) failed: " << std::strerror(errno));
 }
 
+std::size_t resolve_loop_count(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t cores = hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  return std::min<std::size_t>(cores, 8);
+}
+
 }  // namespace
 
 struct Server::Impl {
   explicit Impl(service::ServiceEngine& engine_in, Config config_in)
       : engine(engine_in), config(std::move(config_in)) {
     if (config.max_payload == 0) config.max_payload = wire::kMaxPayload;
+    loop_count = resolve_loop_count(config.io_threads);
   }
 
   service::ServiceEngine& engine;
   Config config;
-
-  int listen_fd = -1;
-  int wake_rd = -1, wake_wr = -1;
-  std::thread io_thread;
-  std::thread completer_thread;
+  std::size_t loop_count = 1;
 
   struct Connection {
     int fd = -1;
@@ -65,15 +70,45 @@ struct Server::Impl {
     std::deque<std::string> write_queue;
     std::size_t write_offset = 0;  // into write_queue.front()
     std::size_t queued_bytes = 0;
+    bool want_write = false;  // EPOLLOUT currently registered
 
     Connection(int fd_in, std::uint64_t gen_in, std::size_t max_payload)
         : fd(fd_in), gen(gen_in), decoder(max_payload) {}
   };
-  std::vector<Connection> conns;
-  std::uint64_t next_gen = 1;
+
+  // Encoded response frames headed back to an io loop.
+  struct OutFrame {
+    std::uint64_t conn_gen = 0;
+    std::string bytes;
+  };
+
+  /// One epoll event loop: private acceptor (SO_REUSEPORT sibling of the
+  /// others), wake pipe, and an exclusive connection set.  Only `outbox`
+  /// is touched by another thread (the completer), under `outbox_mu`.
+  struct Loop {
+    std::size_t index = 0;
+    int epoll_fd = -1;
+    int listen_fd = -1;
+    int wake_rd = -1, wake_wr = -1;
+    std::thread thread;
+    std::unordered_map<int, Connection> conns;           // fd -> state
+    std::unordered_map<std::uint64_t, int> gen_to_fd;    // gen -> fd
+    std::mutex outbox_mu;
+    std::vector<OutFrame> outbox;
+
+    void wake() const {
+      const char b = 'x';
+      // The pipe being full already guarantees a pending wakeup.
+      [[maybe_unused]] const ssize_t n = ::write(wake_wr, &b, 1);
+    }
+  };
+  std::vector<std::unique_ptr<Loop>> loops;
+  std::atomic<std::uint64_t> next_gen{1};
+  std::atomic<std::size_t> conn_count{0};  // across all loops
 
   // Admitted requests waiting for their engine future, FIFO.
   struct Completion {
+    std::size_t loop_index = 0;
     std::uint64_t conn_gen = 0;
     std::uint64_t request_id = 0;
     std::future<service::Response> future;
@@ -82,14 +117,7 @@ struct Server::Impl {
   std::condition_variable completions_cv;
   std::deque<Completion> completions;
   bool stopping = false;  // guarded by completions_mu
-
-  // Encoded response frames headed back to the io thread.
-  struct OutFrame {
-    std::uint64_t conn_gen = 0;
-    std::string bytes;
-  };
-  std::mutex outbox_mu;
-  std::vector<OutFrame> outbox;
+  std::thread completer_thread;
 
   // Tallies (relaxed atomics; written by the io/completer threads).
   std::atomic<std::uint64_t> accepted{0}, closed{0};
@@ -98,12 +126,6 @@ struct Server::Impl {
   std::atomic<std::uint64_t> requests_dispatched{0};
   std::atomic<std::uint64_t> nacks_queue_full{0}, nacks_shutdown{0};
   std::atomic<std::uint64_t> decode_errors{0}, overflow_closes{0};
-
-  void wake() {
-    const char b = 'x';
-    // The pipe being full already guarantees a pending wakeup.
-    [[maybe_unused]] const ssize_t n = ::write(wake_wr, &b, 1);
-  }
 
   void enqueue_frame(Connection& conn, std::string bytes) {
     conn.queued_bytes += bytes.size();
@@ -115,18 +137,36 @@ struct Server::Impl {
     return conn.queued_bytes > config.max_output_bytes;
   }
 
-  void close_conn(Connection& conn) {
-    if (conn.fd >= 0) {
-      ::close(conn.fd);
-      conn.fd = -1;
-      closed.fetch_add(1, std::memory_order_relaxed);
-      g_conn_active.add(-1);
-    }
+  /// Keep EPOLLOUT interest in sync with whether output is pending, so
+  /// a level-triggered loop never spins on a writable idle socket.
+  void update_write_interest(Loop& loop, Connection& conn) {
+    const bool want = !conn.write_queue.empty();
+    if (want == conn.want_write) return;
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+    ev.data.fd = conn.fd;
+    PSL_CHECK_MSG(
+        ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev) == 0,
+        "net: epoll_ctl(MOD) failed: " << std::strerror(errno));
+    conn.want_write = want;
+  }
+
+  /// Close and forget a connection (closing the fd also deregisters it
+  /// from the loop's epoll set).
+  void close_conn(Loop& loop, int fd) {
+    auto it = loop.conns.find(fd);
+    if (it == loop.conns.end()) return;
+    loop.gen_to_fd.erase(it->second.gen);
+    loop.conns.erase(it);
+    ::close(fd);
+    conn_count.fetch_sub(1, std::memory_order_relaxed);
+    closed.fetch_add(1, std::memory_order_relaxed);
+    g_conn_active.add(-1);
   }
 
   /// Decode every complete frame buffered on `conn` and dispatch it.
   /// Returns false when the connection must be closed.
-  bool drain_decoder(Connection& conn) {
+  bool drain_decoder(Loop& loop, Connection& conn) {
     PSL_OBS_SPAN("net.decode");
     wire::Frame frame;
     for (;;) {
@@ -145,14 +185,15 @@ struct Server::Impl {
         g_decode_errors.add();
         return false;
       }
-      if (!dispatch_request(conn, frame)) return false;
+      if (!dispatch_request(loop, conn, frame)) return false;
     }
   }
 
   /// Decode the request payload and submit it to the engine; queues a
   /// NACK on admission rejection.  Returns false on a malformed payload
   /// (the connection is closed — framing held but content did not).
-  bool dispatch_request(Connection& conn, const wire::Frame& frame) {
+  bool dispatch_request(Loop& loop, Connection& conn,
+                        const wire::Frame& frame) {
     PSL_OBS_SPAN("net.dispatch");
     service::Request request;
     std::string error;
@@ -168,8 +209,8 @@ struct Server::Impl {
         requests_dispatched.fetch_add(1, std::memory_order_relaxed);
         {
           std::lock_guard<std::mutex> lock(completions_mu);
-          completions.push_back(
-              {conn.gen, frame.request_id, std::move(submitted.response)});
+          completions.push_back({loop.index, conn.gen, frame.request_id,
+                                 std::move(submitted.response)});
         }
         completions_cv.notify_one();
         break;
@@ -193,20 +234,29 @@ struct Server::Impl {
     return true;
   }
 
-  /// Move completed response frames from the outbox into their
-  /// connections' write queues (dropping frames whose connection died).
-  void drain_outbox() {
+  /// Move completed response frames from the loop's outbox into their
+  /// connections' write queues (dropping frames whose connection died),
+  /// then flush.
+  void drain_outbox(Loop& loop) {
     std::vector<OutFrame> batch;
     {
-      std::lock_guard<std::mutex> lock(outbox_mu);
-      batch.swap(outbox);
+      std::lock_guard<std::mutex> lock(loop.outbox_mu);
+      batch.swap(loop.outbox);
     }
     for (OutFrame& out : batch) {
-      for (Connection& conn : conns) {
-        if (conn.gen == out.conn_gen && conn.fd >= 0) {
-          enqueue_frame(conn, std::move(out.bytes));
-          break;
-        }
+      const auto it = loop.gen_to_fd.find(out.conn_gen);
+      if (it == loop.gen_to_fd.end()) continue;
+      Connection& conn = loop.conns.at(it->second);
+      enqueue_frame(conn, std::move(out.bytes));
+      bool alive = flush_writes(conn);
+      if (alive && over_output_bound(conn)) {
+        overflow_closes.fetch_add(1, std::memory_order_relaxed);
+        alive = false;
+      }
+      if (!alive) {
+        close_conn(loop, conn.fd);
+      } else {
+        update_write_interest(loop, conn);
       }
     }
   }
@@ -241,7 +291,7 @@ struct Server::Impl {
 
   /// Read everything available on `conn`.  Returns false on EOF/error
   /// or when the decoded stream demands closing.
-  bool handle_readable(Connection& conn) {
+  bool handle_readable(Loop& loop, Connection& conn) {
     char buf[64 * 1024];
     for (;;) {
       const ssize_t n = ::recv(conn.fd, buf, sizeof buf, 0);
@@ -255,81 +305,96 @@ struct Server::Impl {
                          std::memory_order_relaxed);
       g_bytes_rx.add(static_cast<std::uint64_t>(n));
       conn.decoder.feed(buf, static_cast<std::size_t>(n));
-      if (!drain_decoder(conn)) return false;
+      if (!drain_decoder(loop, conn)) return false;
       if (static_cast<std::size_t>(n) < sizeof buf) return true;
     }
   }
 
-  void accept_ready() {
+  void accept_ready(Loop& loop) {
     for (;;) {
-      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      const int fd = ::accept(loop.listen_fd, nullptr, nullptr);
       if (fd < 0) {
         if (errno == EINTR) continue;
-        return;  // EAGAIN or transient error; poll will re-arm
+        return;  // EAGAIN or transient error; epoll will re-arm
       }
-      if (conns.size() >= config.max_connections) {
+      if (conn_count.load(std::memory_order_relaxed) >=
+          config.max_connections) {
         ::close(fd);  // at capacity: refuse outright, never half-serve
         continue;
       }
       set_nonblocking(fd);
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-      conns.emplace_back(fd, next_gen++, config.max_payload);
+      const std::uint64_t gen =
+          next_gen.fetch_add(1, std::memory_order_relaxed);
+      loop.conns.emplace(fd, Connection(fd, gen, config.max_payload));
+      loop.gen_to_fd.emplace(gen, fd);
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = fd;
+      PSL_CHECK_MSG(::epoll_ctl(loop.epoll_fd, EPOLL_CTL_ADD, fd, &ev) == 0,
+                    "net: epoll_ctl(ADD) failed: " << std::strerror(errno));
+      conn_count.fetch_add(1, std::memory_order_relaxed);
       accepted.fetch_add(1, std::memory_order_relaxed);
       g_accepted.add();
       g_conn_active.add(1);
     }
   }
 
-  void io_main(const std::atomic<bool>& stop_flag) {
-    std::vector<pollfd> pfds;
+  void loop_main(Loop& loop, const std::atomic<bool>& stop_flag) {
+    std::vector<epoll_event> events(128);
     while (!stop_flag.load(std::memory_order_acquire)) {
-      pfds.clear();
-      pfds.push_back({listen_fd, POLLIN, 0});
-      pfds.push_back({wake_rd, POLLIN, 0});
-      for (const Connection& conn : conns) {
-        short events = POLLIN;
-        if (!conn.write_queue.empty()) events |= POLLOUT;
-        pfds.push_back({conn.fd, events, 0});
-      }
-      const int ready = ::poll(pfds.data(), pfds.size(), -1);
+      const int ready = ::epoll_wait(loop.epoll_fd, events.data(),
+                                     static_cast<int>(events.size()), -1);
       if (ready < 0) {
         if (errno == EINTR) continue;
-        PSL_CHECK_MSG(false, "net: poll failed: " << std::strerror(errno));
+        PSL_CHECK_MSG(false,
+                      "net: epoll_wait failed: " << std::strerror(errno));
       }
-      if (pfds[1].revents & POLLIN) {
-        char drain[256];
-        while (::read(wake_rd, drain, sizeof drain) > 0) {
+      bool woken = false;
+      for (int i = 0; i < ready; ++i) {
+        const int fd = events[static_cast<std::size_t>(i)].data.fd;
+        const std::uint32_t ev = events[static_cast<std::size_t>(i)].events;
+        if (fd == loop.listen_fd) {
+          accept_ready(loop);
+          continue;
         }
-      }
-      drain_outbox();  // wake or not — completions may have landed
-      // Connections accepted below were not polled this round; only the
-      // first `polled` entries of conns have a matching pfds slot.
-      const std::size_t polled = pfds.size() - 2;
-      if (pfds[0].revents & POLLIN) accept_ready();
-
-      for (std::size_t i = 0; i < polled; ++i) {
-        Connection& conn = conns[i];
-        const short revents = pfds[2 + i].revents;
+        if (fd == loop.wake_rd) {
+          char drain[256];
+          for (;;) {
+            const ssize_t n = ::read(loop.wake_rd, drain, sizeof drain);
+            if (n > 0) continue;
+            if (n < 0 && errno == EINTR) continue;
+            break;  // EAGAIN (drained) or EOF
+          }
+          woken = true;
+          continue;
+        }
+        auto it = loop.conns.find(fd);
+        if (it == loop.conns.end()) continue;  // closed earlier this batch
+        Connection& conn = it->second;
         bool alive = true;
-        if (revents & (POLLERR | POLLHUP | POLLNVAL)) alive = false;
-        if (alive && (revents & POLLIN)) alive = handle_readable(conn);
+        if (ev & (EPOLLERR | EPOLLHUP)) alive = false;
+        if (alive && (ev & EPOLLIN)) alive = handle_readable(loop, conn);
         if (alive) alive = flush_writes(conn);
         if (alive && over_output_bound(conn)) {
           overflow_closes.fetch_add(1, std::memory_order_relaxed);
           alive = false;
         }
-        if (!alive) close_conn(conn);
+        if (!alive) {
+          close_conn(loop, fd);
+        } else {
+          update_write_interest(loop, conn);
+        }
       }
-      conns.erase(std::remove_if(conns.begin(), conns.end(),
-                                 [](const Connection& c) { return c.fd < 0; }),
-                  conns.end());
+      // Wake or not — completions may have landed while we handled io.
+      (void)woken;
+      drain_outbox(loop);
     }
-    for (Connection& conn : conns) close_conn(conn);
-    conns.clear();
+    while (!loop.conns.empty()) close_conn(loop, loop.conns.begin()->first);
   }
 
-  void completer_main() {
+  void completer_main(const std::atomic<bool>& stop_flag) {
     for (;;) {
       Completion job;
       {
@@ -348,11 +413,13 @@ struct Server::Impl {
       std::string bytes = wire::encode_frame({wire::FrameKind::kResponse,
                                               job.request_id,
                                               wire::encode_response(response)});
+      if (stop_flag.load(std::memory_order_acquire)) continue;
+      Loop& loop = *loops[job.loop_index];
       {
-        std::lock_guard<std::mutex> lock(outbox_mu);
-        outbox.push_back({job.conn_gen, std::move(bytes)});
+        std::lock_guard<std::mutex> lock(loop.outbox_mu);
+        loop.outbox.push_back({job.conn_gen, std::move(bytes)});
       }
-      wake();
+      loop.wake();
     }
   }
 };
@@ -369,43 +436,81 @@ void Server::start() {
   if (started_.exchange(true)) return;
   Impl& im = *impl_;
 
-  int pipe_fds[2];
-  PSL_CHECK_MSG(::pipe(pipe_fds) == 0,
-                "net: pipe failed: " << std::strerror(errno));
-  im.wake_rd = pipe_fds[0];
-  im.wake_wr = pipe_fds[1];
-  set_nonblocking(im.wake_rd);
-  set_nonblocking(im.wake_wr);
-
-  im.listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  PSL_CHECK_MSG(im.listen_fd >= 0,
-                "net: socket failed: " << std::strerror(errno));
-  const int one = 1;
-  ::setsockopt(im.listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(im.config.port);
   PSL_CHECK_MSG(
       ::inet_pton(AF_INET, im.config.host.c_str(), &addr.sin_addr) == 1,
       "net: invalid host '" << im.config.host << "'");
-  PSL_CHECK_MSG(::bind(im.listen_fd, reinterpret_cast<sockaddr*>(&addr),
-                       sizeof addr) == 0,
-                "net: bind " << im.config.host << ":" << im.config.port
-                             << " failed: " << std::strerror(errno));
-  PSL_CHECK_MSG(::listen(im.listen_fd, im.config.backlog) == 0,
-                "net: listen failed: " << std::strerror(errno));
-  set_nonblocking(im.listen_fd);
 
-  sockaddr_in bound{};
-  socklen_t len = sizeof bound;
-  PSL_CHECK_MSG(::getsockname(im.listen_fd,
-                              reinterpret_cast<sockaddr*>(&bound), &len) == 0,
-                "net: getsockname failed: " << std::strerror(errno));
-  port_ = ntohs(bound.sin_port);
+  im.loops.reserve(im.loop_count);
+  for (std::size_t i = 0; i < im.loop_count; ++i) {
+    auto loop = std::make_unique<Impl::Loop>();
+    loop->index = i;
 
-  im.io_thread = std::thread([this] { impl_->io_main(stopped_); });
-  im.completer_thread = std::thread([this] { impl_->completer_main(); });
+    int pipe_fds[2];
+    PSL_CHECK_MSG(::pipe(pipe_fds) == 0,
+                  "net: pipe failed: " << std::strerror(errno));
+    loop->wake_rd = pipe_fds[0];
+    loop->wake_wr = pipe_fds[1];
+    set_nonblocking(loop->wake_rd);
+    set_nonblocking(loop->wake_wr);
+
+    // Every loop binds its own SO_REUSEPORT listener to the same
+    // address; the kernel spreads incoming connections across them.
+    // Loop 0 resolves an ephemeral port; siblings reuse the answer.
+    loop->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    PSL_CHECK_MSG(loop->listen_fd >= 0,
+                  "net: socket failed: " << std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(loop->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    PSL_CHECK_MSG(::setsockopt(loop->listen_fd, SOL_SOCKET, SO_REUSEPORT,
+                               &one, sizeof one) == 0,
+                  "net: setsockopt(SO_REUSEPORT) failed: "
+                      << std::strerror(errno));
+    PSL_CHECK_MSG(::bind(loop->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                         sizeof addr) == 0,
+                  "net: bind " << im.config.host << ":"
+                               << ntohs(addr.sin_port)
+                               << " failed: " << std::strerror(errno));
+    PSL_CHECK_MSG(::listen(loop->listen_fd, im.config.backlog) == 0,
+                  "net: listen failed: " << std::strerror(errno));
+    set_nonblocking(loop->listen_fd);
+
+    if (i == 0) {
+      sockaddr_in bound{};
+      socklen_t len = sizeof bound;
+      PSL_CHECK_MSG(
+          ::getsockname(loop->listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                        &len) == 0,
+          "net: getsockname failed: " << std::strerror(errno));
+      port_ = ntohs(bound.sin_port);
+      addr.sin_port = bound.sin_port;
+    }
+
+    loop->epoll_fd = ::epoll_create1(0);
+    PSL_CHECK_MSG(loop->epoll_fd >= 0,
+                  "net: epoll_create1 failed: " << std::strerror(errno));
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = loop->listen_fd;
+    PSL_CHECK_MSG(::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, loop->listen_fd,
+                              &ev) == 0,
+                  "net: epoll_ctl(listen) failed: " << std::strerror(errno));
+    ev.data.fd = loop->wake_rd;
+    PSL_CHECK_MSG(::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, loop->wake_rd,
+                              &ev) == 0,
+                  "net: epoll_ctl(wake) failed: " << std::strerror(errno));
+
+    im.loops.push_back(std::move(loop));
+  }
+
+  for (auto& loop : im.loops) {
+    Impl::Loop* lp = loop.get();
+    lp->thread = std::thread([this, lp] { impl_->loop_main(*lp, stopped_); });
+  }
+  im.completer_thread =
+      std::thread([this] { impl_->completer_main(stopped_); });
 }
 
 void Server::stop() {
@@ -416,13 +521,18 @@ void Server::stop() {
     im.stopping = true;
   }
   im.completions_cv.notify_all();
-  im.wake();
-  if (im.io_thread.joinable()) im.io_thread.join();
+  for (auto& loop : im.loops) loop->wake();
+  for (auto& loop : im.loops) {
+    if (loop->thread.joinable()) loop->thread.join();
+  }
   if (im.completer_thread.joinable()) im.completer_thread.join();
-  if (im.listen_fd >= 0) ::close(im.listen_fd);
-  if (im.wake_rd >= 0) ::close(im.wake_rd);
-  if (im.wake_wr >= 0) ::close(im.wake_wr);
-  im.listen_fd = im.wake_rd = im.wake_wr = -1;
+  for (auto& loop : im.loops) {
+    if (loop->epoll_fd >= 0) ::close(loop->epoll_fd);
+    if (loop->listen_fd >= 0) ::close(loop->listen_fd);
+    if (loop->wake_rd >= 0) ::close(loop->wake_rd);
+    if (loop->wake_wr >= 0) ::close(loop->wake_wr);
+    loop->epoll_fd = loop->listen_fd = loop->wake_rd = loop->wake_wr = -1;
+  }
 }
 
 Server::Stats Server::stats() const {
@@ -440,6 +550,7 @@ Server::Stats Server::stats() const {
   s.nacks_shutdown = im.nacks_shutdown.load(std::memory_order_relaxed);
   s.decode_errors = im.decode_errors.load(std::memory_order_relaxed);
   s.overflow_closes = im.overflow_closes.load(std::memory_order_relaxed);
+  s.io_loops = static_cast<std::uint64_t>(im.loop_count);
   return s;
 }
 

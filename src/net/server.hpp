@@ -1,22 +1,35 @@
 // Non-blocking TCP front end of the ServiceEngine (src/net/).
 //
-// Threading model — two threads per server, none per connection:
+// Threading model — one epoll event loop per core, none per connection:
 //
-//   io thread          poll() over {listen fd, wake pipe, connections}.
-//                      Owns every socket: accepts, reads bytes into each
-//                      connection's FrameDecoder, decodes requests,
-//                      submits to the engine, and writes queued output
-//                      frames (partial writes resume where they left
-//                      off).  Admission rejections (kQueueFull /
-//                      kShutdown) become typed NACK frames immediately —
-//                      the byte is never dropped and the client decides
-//                      when to retry.
+//   io loops (N)       Each loop owns a private epoll instance, its own
+//                      SO_REUSEPORT listen socket bound to the shared
+//                      address (the kernel shards incoming connections
+//                      across the acceptors), a wake pipe, and an
+//                      exclusive set of connections.  A loop accepts,
+//                      reads bytes into each connection's FrameDecoder,
+//                      decodes requests, submits to the engine, and
+//                      writes queued output frames (partial writes
+//                      resume where they left off; EPOLLOUT interest is
+//                      registered only while output is pending).
+//                      Admission rejections (kQueueFull / kShutdown)
+//                      become typed NACK frames immediately — the byte
+//                      is never dropped and the client decides when to
+//                      retry.  Connections never migrate between loops,
+//                      so no connection state is ever shared or locked.
 //
 //   completer thread   Blocks on the engine futures of admitted
 //                      requests in admission order (the engine fulfills
 //                      FIFO batches, so this order is within one batch
 //                      of completion order), encodes each Response and
-//                      hands it to the io thread through the wake pipe.
+//                      hands it to the owning loop through that loop's
+//                      wake pipe.
+//
+// config.io_threads picks the loop count (0 = one per core, capped at
+// 8).  With one loop this is exactly the previous single-poll-loop
+// behavior; with more, a single shard saturates the machine before a
+// deployment adds machines (docs/shard.md).  Every blocking syscall in
+// the loops retries on EINTR — a signal never kills a healthy server.
 //
 // Backpressure contract (docs/net.md):
 //  * engine queue full        -> NACK(queue_full), retryable, nothing
@@ -54,6 +67,9 @@ class Server {
     std::size_t max_payload = 0;  // frame payload bound; 0 = wire default
     /// Output-queue bound per connection; exceeded = connection closed.
     std::size_t max_output_bytes = 8u << 20;
+    /// epoll event loops (each with its own SO_REUSEPORT acceptor);
+    /// 0 = one per core, capped at 8.
+    std::size_t io_threads = 1;
   };
 
   /// The engine must outlive the server and should be start()ed by the
@@ -65,11 +81,11 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Bind, listen and launch the io + completer threads.  Throws
+  /// Bind, listen and launch the io loops + completer thread.  Throws
   /// ContractViolation on bind/listen failure.  Idempotent.
   void start();
 
-  /// Stop accepting, close every connection, join both threads.
+  /// Stop accepting, close every connection, join all threads.
   /// In-flight engine futures are still drained (the engine answers
   /// every admitted request; their bytes go nowhere once the
   /// connections are gone).  Idempotent; also called by the destructor.
@@ -90,12 +106,13 @@ class Server {
     std::uint64_t nacks_shutdown = 0;
     std::uint64_t decode_errors = 0;  // corrupt streams / bad payloads
     std::uint64_t overflow_closes = 0;  // output-bound violations
+    std::uint64_t io_loops = 0;         // resolved event-loop count
   };
   [[nodiscard]] Stats stats() const;
 
  private:
   struct Impl;
-  Impl* impl_;  // pimpl keeps <poll.h> and socket state out of the header
+  Impl* impl_;  // pimpl keeps <sys/epoll.h> and socket state out of the header
 
   std::uint16_t port_ = 0;
   std::atomic<bool> started_{false};

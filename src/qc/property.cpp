@@ -1,5 +1,6 @@
 #include "qc/property.hpp"
 
+#include <bit>
 #include <chrono>
 #include <sstream>
 
@@ -8,8 +9,10 @@
 #include "qc/gen.hpp"
 #include "qc/oracles.hpp"
 #include "qc/shrink.hpp"
+#include "shard/shard.hpp"
 #include "util/hash.hpp"
 #include "util/json.hpp"
+#include "util/rng.hpp"
 
 namespace pslocal::qc {
 
@@ -408,6 +411,138 @@ Property net_frame_property() {
           }};
 }
 
+/// mix64 is pinned to SplitMix64's output function and must avalanche:
+/// flipping any single input bit flips each output bit with probability
+/// ~1/2 (Binomial(64, 1/2) — a flip count outside [8, 56] at any of the
+/// sampled bits is a ~1e-9 event per sample, i.e. a broken mixer).
+Property mix64_avalanche_property() {
+  return {"mix64_avalanche", [](Rng& rng) -> std::optional<Failure> {
+            const auto fail = [](std::string msg, std::string witness) {
+              Failure f;
+              f.message = std::move(msg);
+              f.counterexample = std::move(witness);
+              return f;
+            };
+            const std::uint64_t x = rng.next_u64();
+            if (mix64(x) != SplitMix64(x).next())
+              return fail("mix64 diverged from SplitMix64",
+                          "x=" + std::to_string(x));
+            for (int sample = 0; sample < 8; ++sample) {
+              const auto bit = rng.next_below(64);
+              const int flips = std::popcount(
+                  mix64(x) ^ mix64(x ^ (1ULL << bit)));
+              if (flips < 8 || flips > 56)
+                return fail("poor avalanche: " + std::to_string(flips) +
+                                "/64 output bits flipped",
+                            "x=" + std::to_string(x) +
+                                " bit=" + std::to_string(bit));
+            }
+            return std::nullopt;
+          }};
+}
+
+/// Ring placement is a pure function of (seed, key, topology): rebuilt
+/// rings agree, replica lists are duplicate-free and owner-first, and
+/// dropping the last shard relocates only that shard's keys.
+Property shard_ring_property() {
+  return {"shard_ring", [](Rng& rng) -> std::optional<Failure> {
+            const auto fail = [](std::string msg, std::string witness) {
+              Failure f;
+              f.message = std::move(msg);
+              f.counterexample = std::move(witness);
+              return f;
+            };
+            shard::RingConfig cfg;
+            cfg.seed = rng.next_u64();
+            cfg.vnodes = 1 + rng.next_below(96);
+            const std::size_t shards = 1 + rng.next_below(8);
+            const shard::HashRing ring(shards, cfg);
+            const shard::HashRing twin(shards, cfg);
+            const shard::HashRing smaller(shards > 1 ? shards - 1 : 1, cfg);
+            std::ostringstream w;
+            w << "seed=" << cfg.seed << " vnodes=" << cfg.vnodes
+              << " shards=" << shards;
+            for (int i = 0; i < 32; ++i) {
+              const std::uint64_t key = rng.next_u64();
+              const std::size_t own = ring.owner(key);
+              if (own >= shards)
+                return fail("owner out of range", w.str());
+              if (twin.owner(key) != own)
+                return fail("rebuilt ring disagrees on owner", w.str());
+              const std::size_t count = 1 + rng.next_below(shards);
+              const auto reps = ring.replicas(key, count);
+              if (reps.size() != count || reps.front() != own)
+                return fail("replica list not owner-first", w.str());
+              std::vector<bool> seen(shards, false);
+              for (const std::size_t s : reps) {
+                if (s >= shards || seen[s])
+                  return fail("replica list has duplicates", w.str());
+                seen[s] = true;
+              }
+              if (shards > 1 && own != shards - 1 &&
+                  smaller.owner(key) != own)
+                return fail("scale-down moved a key the removed shard "
+                            "did not own",
+                            w.str());
+            }
+            return std::nullopt;
+          }};
+}
+
+/// Failover fault injection: a 2-shard cluster at replication factor 2
+/// loses one shard mid-run and must still answer every request exactly
+/// once (first-response-wins covers in-flight requests, transport-error
+/// failover covers later ones, drain absorbs the duplicates).
+Property shard_failover_property() {
+  return {"shard_failover", [](Rng& rng) -> std::optional<Failure> {
+            const auto fail = [](std::string msg, std::string witness) {
+              Failure f;
+              f.message = std::move(msg);
+              f.counterexample = std::move(witness);
+              return f;
+            };
+            service::TraceParams tp;
+            tp.seed = rng.next_u64();
+            tp.requests = 6 + rng.next_below(6);
+            tp.instance_pool = 3;
+            tp.n = 24;
+            tp.m = 16;
+            const service::Trace trace = service::generate_trace(tp);
+            const std::size_t kill_shard = rng.next_below(2);
+            const std::size_t kill_at = rng.next_below(trace.requests.size());
+            std::ostringstream w;
+            w << "trace seed=" << tp.seed << " requests=" << tp.requests
+              << " kill shard " << kill_shard << " at request " << kill_at;
+
+            shard::LocalClusterConfig cc;
+            cc.shards = 2;
+            cc.replication = 2;
+            cc.ring_seed = tp.seed;
+            shard::LocalCluster cluster(cc);
+            cluster.start();
+            shard::ShardClientConfig scc;
+            scc.topology = cluster.topology();
+            scc.retry.seed = tp.seed;
+            shard::ShardClient client(scc);
+            client.connect();
+            for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+              if (i == kill_at) cluster.kill_shard(kill_shard);
+              const net::Client::Result r = client.call(trace.requests[i]);
+              if (r.outcome != net::Client::Outcome::kOk)
+                return fail(std::string("request lost under failover: ") +
+                                net::Client::outcome_name(r.outcome) +
+                                (r.error.empty() ? "" : " (" + r.error + ")"),
+                            w.str());
+              if (r.response.result.empty())
+                return fail("empty payload under failover", w.str());
+            }
+            client.drain();
+            if (client.stats().pending_duplicates != 0)
+              return fail("duplicates left unabsorbed after drain", w.str());
+            return std::nullopt;
+          }};
+}
+
 Property planted_bug_property() {
   return {"planted-bug", [](Rng& rng) -> std::optional<Failure> {
             Graph g = arbitrary_graph(rng);
@@ -439,6 +574,9 @@ std::vector<Property> default_properties(const FuzzOptions& opts) {
   props.push_back(service_differential_property());
   props.push_back(hash_sensitivity_property());
   props.push_back(net_frame_property());
+  props.push_back(mix64_avalanche_property());
+  props.push_back(shard_ring_property());
+  props.push_back(shard_failover_property());
   if (opts.plant_bug) props.push_back(planted_bug_property());
   return props;
 }

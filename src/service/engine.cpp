@@ -1,6 +1,7 @@
 #include "service/engine.hpp"
 
 #include <exception>
+#include <sstream>
 #include <utility>
 
 #include "obs/obs.hpp"
@@ -216,6 +217,28 @@ ServiceEngine::Stats ServiceEngine::stats() const {
   s.cache = cache_.stats();
   s.graph_cache = graph_cache_.stats();
   return s;
+}
+
+std::string stats_json(const ServiceEngine::Stats& stats) {
+  std::ostringstream os;
+  os << "{\"submitted\":" << stats.submitted
+     << ",\"accepted\":" << stats.accepted
+     << ",\"rejected_full\":" << stats.rejected_full
+     << ",\"rejected_shutdown\":" << stats.rejected_shutdown
+     << ",\"served\":" << stats.served
+     << ",\"served_cached\":" << stats.served_cached
+     << ",\"errors\":" << stats.errors << ",\"batches\":" << stats.batches
+     << ",\"dispatch_cycles\":" << stats.dispatch_cycles
+     << ",\"cache\":{\"hits\":" << stats.cache.hits
+     << ",\"misses\":" << stats.cache.misses
+     << ",\"evictions\":" << stats.cache.evictions
+     << ",\"entries\":" << stats.cache.entries
+     << ",\"bytes\":" << stats.cache.bytes
+     << "},\"graph_cache\":{\"hits\":" << stats.graph_cache.hits
+     << ",\"builds\":" << stats.graph_cache.builds
+     << ",\"evictions\":" << stats.graph_cache.evictions
+     << ",\"entries\":" << stats.graph_cache.entries << "}}";
+  return os.str();
 }
 
 }  // namespace pslocal::service

@@ -143,4 +143,10 @@ class ServiceEngine {
   std::atomic<std::uint64_t> dispatch_cycles_{0};
 };
 
+/// Canonical single-line JSON of an engine stats snapshot (stable key
+/// order, integers only — safe to cmp across runs).  The shard tier
+/// reports one of these per backend engine, which is how per-shard
+/// serving and cache behavior shows up in BENCH_shard.json.
+[[nodiscard]] std::string stats_json(const ServiceEngine::Stats& stats);
+
 }  // namespace pslocal::service

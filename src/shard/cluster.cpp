@@ -1,0 +1,74 @@
+#include "shard/cluster.hpp"
+
+#include "util/check.hpp"
+
+namespace pslocal::shard {
+
+LocalCluster::LocalCluster(LocalClusterConfig config)
+    : config_(std::move(config)) {
+  PSL_CHECK_MSG(config_.shards >= 1, "shard: cluster needs >= 1 shard");
+  PSL_CHECK_MSG(config_.replication >= 1 &&
+                    config_.replication <= config_.shards,
+                "shard: replication " << config_.replication
+                                      << " out of range for "
+                                      << config_.shards << " shards");
+  shards_.resize(config_.shards);
+}
+
+LocalCluster::~LocalCluster() { stop(); }
+
+void LocalCluster::start() {
+  if (started_) return;
+  started_ = true;
+  topology_ = Topology{};
+  topology_.ring_seed = config_.ring_seed;
+  topology_.vnodes = config_.vnodes;
+  topology_.replication = config_.replication;
+  for (Shard& shard : shards_) {
+    shard.engine = std::make_unique<service::ServiceEngine>(config_.engine);
+    shard.engine->start();
+    net::Server::Config sc;  // ephemeral loopback port
+    sc.io_threads = config_.io_threads;
+    sc.max_connections = config_.max_connections;
+    shard.server = std::make_unique<net::Server>(*shard.engine, sc);
+    shard.server->start();
+    shard.alive = true;
+    topology_.shards.push_back(Endpoint{sc.host, shard.server->port()});
+  }
+  validate_topology(topology_);
+}
+
+void LocalCluster::stop() {
+  for (Shard& shard : shards_) {
+    if (!shard.alive) continue;
+    shard.server->stop();
+    shard.engine->stop(service::ServiceEngine::StopMode::kDrain);
+    shard.alive = false;
+  }
+}
+
+void LocalCluster::kill_shard(std::size_t i) {
+  PSL_EXPECTS(i < shards_.size());
+  Shard& shard = shards_[i];
+  if (!shard.alive) return;
+  shard.server->stop();
+  shard.engine->stop(service::ServiceEngine::StopMode::kReject);
+  shard.alive = false;
+}
+
+bool LocalCluster::alive(std::size_t i) const {
+  PSL_EXPECTS(i < shards_.size());
+  return shards_[i].alive;
+}
+
+service::ServiceEngine& LocalCluster::engine(std::size_t i) {
+  PSL_EXPECTS(i < shards_.size() && shards_[i].engine != nullptr);
+  return *shards_[i].engine;
+}
+
+net::Server& LocalCluster::server(std::size_t i) {
+  PSL_EXPECTS(i < shards_.size() && shards_[i].server != nullptr);
+  return *shards_[i].server;
+}
+
+}  // namespace pslocal::shard

@@ -1,0 +1,72 @@
+#include "shard/ring.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/hash.hpp"
+
+namespace pslocal::shard {
+
+namespace {
+// Weyl increment; also mix64's internal gamma.  Multiplying by
+// (shard + 1) instead of xor-ing keeps distinct shards on distinct
+// pre-mix values even when seed == 0.
+constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
+}  // namespace
+
+HashRing::HashRing(std::size_t shards, RingConfig config)
+    : shards_(shards), config_(config) {
+  PSL_CHECK_MSG(shards >= 1, "shard: ring needs at least one shard");
+  PSL_CHECK_MSG(config.vnodes >= 1, "shard: ring needs at least one vnode");
+  points_.reserve(shards * config.vnodes);
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (std::size_t v = 0; v < config.vnodes; ++v) {
+      points_.emplace_back(point(config.seed, s, v),
+                           static_cast<std::uint32_t>(s));
+    }
+  }
+  // Sorting pairs breaks position collisions by shard index — still a
+  // pure function of (seed, topology).
+  std::sort(points_.begin(), points_.end());
+}
+
+std::uint64_t HashRing::point(std::uint64_t seed, std::size_t shard,
+                              std::size_t vnode) {
+  const std::uint64_t shard_salt =
+      mix64(seed + kGamma * (static_cast<std::uint64_t>(shard) + 1));
+  return mix64(shard_salt + static_cast<std::uint64_t>(vnode) + 1);
+}
+
+std::size_t HashRing::owner(std::uint64_t key) const {
+  const std::uint64_t pos = mix64(key);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), pos,
+      [](const auto& pt, std::uint64_t p) { return pt.first < p; });
+  if (it == points_.end()) it = points_.begin();  // wrap past the top
+  return it->second;
+}
+
+std::vector<std::size_t> HashRing::replicas(std::uint64_t key,
+                                            std::size_t count) const {
+  count = std::min(count, shards_);
+  std::vector<std::size_t> out;
+  out.reserve(count);
+  std::vector<bool> taken(shards_, false);
+  const std::uint64_t pos = mix64(key);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), pos,
+      [](const auto& pt, std::uint64_t p) { return pt.first < p; });
+  const std::size_t start =
+      it == points_.end() ? 0 : static_cast<std::size_t>(it - points_.begin());
+  for (std::size_t step = 0; step < points_.size() && out.size() < count;
+       ++step) {
+    const std::uint32_t s = points_[(start + step) % points_.size()].second;
+    if (!taken[s]) {
+      taken[s] = true;
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+}  // namespace pslocal::shard

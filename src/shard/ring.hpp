@@ -1,0 +1,75 @@
+// Seeded consistent-hash ring with virtual nodes (docs/shard.md).
+//
+// The ring maps 64-bit content-addressed cache keys (util/hash.hpp) to
+// shard indices.  Each shard contributes `vnodes` points; a key is owned
+// by the shard whose point is the first at or clockwise-after the key's
+// own position.  Virtual nodes smooth the arc lengths so expected load
+// per shard is uniform to within a few percent at the default density.
+//
+// Determinism pins (tested in tests/test_shard_ring.cpp and the qc
+// `shard_ring` property):
+//
+//  * point(seed, shard, vnode) is a pure function — no RNG state, no
+//    global salt — so every router built from the same (seed, topology)
+//    agrees on placement byte-for-byte.
+//  * Points pass through mix64 twice: FNV-derived keys and small
+//    (shard, vnode) integers both have correlated low entropy, and the
+//    finalizer's avalanche is what makes arc lengths i.i.d.-looking.
+//  * Removing the highest-indexed shard removes exactly its points and
+//    no others (ring(N-1)'s point set is a subset of ring(N)'s), so a
+//    scale-down only moves the keys the lost shard owned.  The same
+//    holds in reverse for scale-up.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace pslocal::shard {
+
+struct RingConfig {
+  std::uint64_t seed = 1;    // placement salt; part of the topology pin
+  std::size_t vnodes = 64;   // points per shard
+};
+
+class HashRing {
+ public:
+  /// Builds the sorted point list for `shards` shards.  Requires
+  /// shards >= 1 and vnodes >= 1.
+  explicit HashRing(std::size_t shards, RingConfig config = {});
+
+  /// The ring position of one virtual node — a pure function of its
+  /// arguments:  mix64(mix64(seed + gamma*(shard+1)) + vnode + 1).
+  [[nodiscard]] static std::uint64_t point(std::uint64_t seed,
+                                           std::size_t shard,
+                                           std::size_t vnode);
+
+  /// The shard owning `key` (keys are mixed before lookup, so raw FNV
+  /// digests and sequential integers are both fine inputs).
+  [[nodiscard]] std::size_t owner(std::uint64_t key) const;
+
+  /// The first `count` *distinct* shards clockwise from `key`'s
+  /// position, starting with owner(key).  This is the replica preference
+  /// order: fan-out uses a prefix of it, failover walks the rest.
+  /// Returns all shards (in ring order) when count >= shards().
+  [[nodiscard]] std::vector<std::size_t> replicas(std::uint64_t key,
+                                                  std::size_t count) const;
+
+  [[nodiscard]] std::size_t shards() const { return shards_; }
+  [[nodiscard]] const RingConfig& config() const { return config_; }
+
+  /// Sorted (position, shard) points — exposed for tests and the router
+  /// self-test's subset/balance checks.
+  [[nodiscard]] const std::vector<std::pair<std::uint64_t, std::uint32_t>>&
+  points() const {
+    return points_;
+  }
+
+ private:
+  std::size_t shards_;
+  RingConfig config_;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> points_;
+};
+
+}  // namespace pslocal::shard

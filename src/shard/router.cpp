@@ -1,0 +1,103 @@
+#include "shard/router.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/hash.hpp"
+
+namespace pslocal::shard {
+
+ShardRouter::ShardRouter(Topology topology)
+    : topology_(std::move(topology)),
+      ring_(topology_.shards.size(),
+            RingConfig{topology_.ring_seed, topology_.vnodes}) {
+  validate_topology(topology_);
+}
+
+std::uint64_t ShardRouter::key_of(const service::Request& request) const {
+  if (request.instance_hash != 0) return service::cache_key(request);
+  PSL_CHECK_MSG(request.instance != nullptr,
+                "shard: request has neither instance nor instance_hash");
+  service::Request keyed = request;  // shallow; the instance is shared
+  keyed.instance_hash = hash_hypergraph(*request.instance);
+  return service::cache_key(keyed);
+}
+
+std::size_t ShardRouter::owner(const service::Request& request) const {
+  return ring_.owner(key_of(request));
+}
+
+std::vector<std::size_t> ShardRouter::route(const service::Request& request,
+                                            std::size_t count) const {
+  return ring_.replicas(key_of(request), count);
+}
+
+std::vector<std::size_t> ShardRouter::route_key(std::uint64_t key,
+                                                std::size_t count) const {
+  return ring_.replicas(key, count);
+}
+
+ShardRouter::SelfTest ShardRouter::self_test(std::size_t keys) const {
+  SelfTest st;
+  st.keys = keys;
+  st.owned.assign(shards(), 0);
+
+  // Synthetic key stream: a mixed counter, same recipe on every machine.
+  const auto synthetic_key = [](std::size_t i) {
+    return mix64(0xd1b54a32d192ed03ULL + static_cast<std::uint64_t>(i));
+  };
+
+  bool replicas_ok = true;
+  for (std::size_t i = 0; i < keys; ++i) {
+    const std::uint64_t key = synthetic_key(i);
+    const std::size_t own = ring_.owner(key);
+    st.owned[own]++;
+    const auto reps = ring_.replicas(key, shards());
+    if (reps.size() != shards() || reps.front() != own) replicas_ok = false;
+    std::vector<bool> seen(shards(), false);
+    for (const std::size_t s : reps) {
+      if (s >= shards() || seen[s]) replicas_ok = false;
+      if (s < shards()) seen[s] = true;
+    }
+  }
+
+  const std::uint64_t peak = *std::max_element(st.owned.begin(),
+                                               st.owned.end());
+  const std::uint64_t low = *std::min_element(st.owned.begin(),
+                                              st.owned.end());
+  const double mean =
+      static_cast<double>(keys) / static_cast<double>(shards());
+  st.imbalance = static_cast<double>(peak) / mean;
+
+  // Scale-down stability: rebuilding the ring without the last shard
+  // must relocate only that shard's keys (ring.hpp's subset property).
+  if (shards() > 1) {
+    const HashRing smaller(shards() - 1, ring_.config());
+    for (std::size_t i = 0; i < keys; ++i) {
+      const std::uint64_t key = synthetic_key(i);
+      const std::size_t own = ring_.owner(key);
+      if (own != shards() - 1 && smaller.owner(key) != own) {
+        st.foreign_moves++;
+      }
+    }
+  }
+
+  const bool covered = low > 0;
+  const bool balanced = st.imbalance < 1.75;
+  st.ok = covered && balanced && replicas_ok && st.foreign_moves == 0;
+
+  std::ostringstream os;
+  os << "self-test: " << keys << " keys over " << shards() << " shards, "
+     << "ownership [" << low << ".." << peak << "], imbalance "
+     << st.imbalance << (balanced ? " (< 1.75)" : " (FAIL: >= 1.75)")
+     << (covered ? "" : ", FAIL: empty shard")
+     << (replicas_ok ? "" : ", FAIL: bad replica list") << ", "
+     << st.foreign_moves << " foreign moves on scale-down"
+     << (st.foreign_moves == 0 ? "" : " (FAIL)") << " -> "
+     << (st.ok ? "OK" : "FAIL");
+  st.detail = os.str();
+  return st;
+}
+
+}  // namespace pslocal::shard

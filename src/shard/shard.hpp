@@ -1,0 +1,25 @@
+// src/shard/ — consistent-hash sharding over the net tier (docs/shard.md).
+//
+// The paper's P-SLOCAL framing decomposes a global computation into
+// independently-answerable local queries; this tier exploits exactly
+// that: every request is content-addressed (service/request.hpp), every
+// response is byte-deterministic, so *any* replica of the owning shard
+// serves the identical bytes and placement is free to be pure policy.
+//
+//   ring.hpp          seeded consistent-hash ring with virtual nodes
+//   topology.hpp      the placement contract (endpoints + pins)
+//   router.hpp        request -> replica preference order (pure)
+//   shard_client.hpp  fan-out, duplicate suppression, typed failover
+//   cluster.hpp       N-shard in-process cluster for tests and benches
+//
+// Determinism contract: ring placement is a pure function of
+// (seed, key, topology), and replay files are cmp-identical across
+// 1/2/4-shard topologies and replication factors — where a request was
+// served never leaks into the bytes that come back.
+#pragma once
+
+#include "shard/cluster.hpp"        // IWYU pragma: export
+#include "shard/ring.hpp"           // IWYU pragma: export
+#include "shard/router.hpp"         // IWYU pragma: export
+#include "shard/shard_client.hpp"   // IWYU pragma: export
+#include "shard/topology.hpp"       // IWYU pragma: export

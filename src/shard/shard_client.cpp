@@ -1,0 +1,304 @@
+#include "shard/shard_client.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace pslocal::shard {
+
+namespace {
+
+const obs::Counter g_calls("shard.calls");
+const obs::Counter g_fanout("shard.fanout_sends");
+const obs::Counter g_dups("shard.duplicates_suppressed");
+const obs::Counter g_reroutes("shard.reroutes_queue_full");
+const obs::Counter g_failovers("shard.failovers");
+
+int remaining_ms(std::uint64_t deadline_ns) {
+  const std::uint64_t now = now_ns();
+  if (now >= deadline_ns) return 0;
+  const std::uint64_t ms = (deadline_ns - now) / 1000000;
+  return ms > 60'000'000 ? 60'000'000 : static_cast<int>(ms) + 1;
+}
+
+}  // namespace
+
+ShardClient::ShardClient(ShardClientConfig config)
+    : config_(std::move(config)), router_(config_.topology) {
+  replication_ = config_.replication != 0 ? config_.replication
+                                          : config_.topology.replication;
+  PSL_CHECK_MSG(replication_ >= 1 && replication_ <= router_.shards(),
+                "shard: replication " << replication_ << " out of range for "
+                                      << router_.shards() << " shards");
+  shards_.resize(router_.shards());
+  routed_.assign(router_.shards(), 0);
+  delays_us_ = net::Client::backoff_delays_us(config_.retry,
+                                              config_.retry.max_attempts);
+}
+
+ShardClient::~ShardClient() = default;
+
+bool ShardClient::ensure_up(std::size_t s) {
+  Shard& shard = shards_[s];
+  if (shard.up) return true;
+  // A fresh client per (re)connect: close() keeps decoder bytes from the
+  // old stream, a new object starts clean.
+  net::Client::Config cc;
+  cc.host = config_.topology.shards[s].host;
+  cc.port = config_.topology.shards[s].port;
+  cc.connect_timeout_ms = config_.connect_timeout_ms;
+  cc.io_timeout_ms = config_.io_timeout_ms;
+  if (shard.client != nullptr) stats_.reconnects++;
+  shard.client = std::make_unique<net::Client>(cc);
+  shard.pending.clear();
+  try {
+    shard.client->connect();
+  } catch (const ContractViolation&) {
+    shard.client.reset();
+    return false;
+  }
+  shard.up = true;
+  return true;
+}
+
+void ShardClient::mark_down(std::size_t s) {
+  Shard& shard = shards_[s];
+  shard.up = false;
+  shard.pending.clear();  // the connection died; nothing left to absorb
+  if (shard.client != nullptr) shard.client->close();
+}
+
+void ShardClient::absorb_pending(std::size_t s) {
+  Shard& shard = shards_[s];
+  if (!shard.up || shard.pending.empty()) return;
+  auto it = shard.pending.begin();
+  while (it != shard.pending.end()) {
+    const net::Client::Result r = shard.client->try_wait(*it);
+    if (r.outcome == net::Client::Outcome::kTimeout) {
+      ++it;  // not here yet; a later pump will catch it
+      continue;
+    }
+    if (r.outcome == net::Client::Outcome::kTransport) {
+      mark_down(s);  // clears pending; the iterator is gone with it
+      return;
+    }
+    stats_.duplicates_suppressed++;
+    g_dups.add();
+    it = shard.pending.erase(it);
+  }
+}
+
+void ShardClient::connect() {
+  std::size_t up = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (ensure_up(s)) up++;
+  }
+  PSL_CHECK_MSG(up > 0, "shard: no shard of "
+                            << shards_.size() << " reachable ("
+                            << topology_json(config_.topology) << ")");
+}
+
+net::Client::Result ShardClient::call(const service::Request& request) {
+  stats_.calls++;
+  g_calls.add();
+
+  // Full ring preference order: the first `replication_` entries are the
+  // fan-out set, the rest are failover spares.
+  const std::vector<std::size_t> pref = router_.route(request,
+                                                      router_.shards());
+
+  struct Outstanding {
+    std::size_t shard;
+    std::uint64_t id;
+  };
+  std::vector<Outstanding> sent;
+  std::uint32_t attempts = 0;
+  std::size_t next_pref = 0;
+  net::Client::Result last;  // most recent NACK/transport verdict
+  last.outcome = net::Client::Outcome::kTransport;
+  last.error = "shard: no shard reachable";
+
+  const auto send_next = [&]() -> bool {
+    while (next_pref < pref.size()) {
+      const std::size_t s = pref[next_pref++];
+      if (!ensure_up(s)) continue;
+      absorb_pending(s);
+      try {
+        const std::uint64_t id = shards_[s].client->send(request);
+        sent.push_back({s, id});
+        routed_[s]++;
+        stats_.sends++;
+        attempts++;
+        if (attempts > 1) {
+          stats_.fanout_sends++;
+          g_fanout.add();
+        }
+        return true;
+      } catch (const ContractViolation&) {
+        mark_down(s);
+        stats_.failovers++;
+        g_failovers.add();
+      }
+    }
+    return false;
+  };
+
+  const auto settle = [&](std::size_t winner_idx,
+                          net::Client::Result r) -> net::Client::Result {
+    // Losers' responses will still arrive; park their ids for later
+    // absorption so they are suppressed, not leaked.
+    for (std::size_t j = 0; j < sent.size(); ++j) {
+      if (j == winner_idx) continue;
+      shards_[sent[j].shard].pending.push_back(sent[j].id);
+    }
+    r.attempts = attempts;
+    return r;
+  };
+
+  for (std::size_t i = 0; i < replication_; ++i) send_next();
+  if (sent.empty()) return settle(sent.size(), last);
+
+  const std::uint64_t deadline =
+      now_ns() +
+      static_cast<std::uint64_t>(config_.io_timeout_ms) * 1000000ULL;
+  std::size_t backoff_round = 0;
+
+  for (;;) {
+    std::vector<pollfd> pfds;
+    pfds.reserve(sent.size());
+    for (const Outstanding& o : sent) {
+      pfds.push_back({shards_[o.shard].client->native_handle(), POLLIN, 0});
+    }
+    const int wait_ms = remaining_ms(deadline);
+    const int ready = ::poll(pfds.data(), pfds.size(), wait_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      last.outcome = net::Client::Outcome::kTransport;
+      last.error = "shard: poll failed";
+      return settle(sent.size(), last);
+    }
+    if (ready == 0 && remaining_ms(deadline) == 0) {
+      // Give up on this call; the outstanding responses become pending
+      // duplicates (they are still owed by live shards).
+      net::Client::Result r;
+      r.outcome = net::Client::Outcome::kTimeout;
+      return settle(sent.size(), r);
+    }
+
+    // Visit every readable replica; the first settled frame wins.
+    // Replacement sends for dropped replicas are deferred past the loop
+    // so `sent` and `pfds` stay index-aligned while visiting.
+    std::size_t replacements = 0;
+    for (std::size_t j = 0; j < sent.size();) {
+      const short revents = pfds[j].revents;
+      if (revents == 0) {
+        ++j;
+        continue;
+      }
+      const std::size_t s = sent[j].shard;
+      const net::Client::Result r = shards_[s].client->try_wait(sent[j].id);
+      switch (r.outcome) {
+        case net::Client::Outcome::kTimeout:
+          ++j;  // bytes arrived but not our frame yet
+          break;
+        case net::Client::Outcome::kOk:
+        case net::Client::Outcome::kRejected:
+        case net::Client::Outcome::kError:
+          return settle(j, r);
+        case net::Client::Outcome::kNack:
+          last = r;
+          if (r.nack_code == net::wire::NackCode::kQueueFull) {
+            stats_.reroutes_queue_full++;
+            g_reroutes.add();
+          } else {
+            // Shutdown NACK: this shard will not serve again; stop
+            // offering it traffic.
+            mark_down(s);
+            stats_.failovers++;
+            g_failovers.add();
+          }
+          sent.erase(sent.begin() + static_cast<std::ptrdiff_t>(j));
+          pfds.erase(pfds.begin() + static_cast<std::ptrdiff_t>(j));
+          replacements++;
+          break;
+        case net::Client::Outcome::kTransport:
+          last = r;
+          mark_down(s);
+          stats_.failovers++;
+          g_failovers.add();
+          sent.erase(sent.begin() + static_cast<std::ptrdiff_t>(j));
+          pfds.erase(pfds.begin() + static_cast<std::ptrdiff_t>(j));
+          replacements++;
+          break;
+      }
+    }
+    for (std::size_t j = 0; j < replacements; ++j) {
+      if (attempts < config_.retry.max_attempts) send_next();
+    }
+
+    if (sent.empty()) {
+      // Every candidate NACKed or died.  Back off (seeded schedule) and
+      // re-fan-out from the preferred replicas, until the send budget
+      // runs dry or the deadline passes.
+      if (attempts >= config_.retry.max_attempts ||
+          remaining_ms(deadline) == 0) {
+        return settle(sent.size(), last);
+      }
+      const std::size_t r = std::min(backoff_round, delays_us_.size() - 1);
+      std::this_thread::sleep_for(std::chrono::microseconds(delays_us_[r]));
+      backoff_round++;
+      next_pref = 0;
+      for (std::size_t i = 0; i < replication_ && sent.size() < replication_;
+           ++i) {
+        send_next();
+      }
+      if (sent.empty()) return settle(sent.size(), last);
+    }
+  }
+}
+
+void ShardClient::drain(int timeout_ms) {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = shards_[s];
+    if (!shard.up) continue;
+    while (!shard.pending.empty()) {
+      const std::uint64_t id = shard.pending.back();
+      shard.pending.pop_back();
+      const net::Client::Result r = shard.client->wait(id, timeout_ms);
+      if (r.outcome == net::Client::Outcome::kTransport) {
+        mark_down(s);
+        break;
+      }
+      if (r.outcome != net::Client::Outcome::kTimeout) {
+        stats_.duplicates_suppressed++;
+        g_dups.add();
+      }
+    }
+  }
+}
+
+ShardClient::Stats ShardClient::stats() const {
+  Stats s = stats_;
+  s.pending_duplicates = 0;
+  for (const Shard& shard : shards_) s.pending_duplicates += shard.pending.size();
+  return s;
+}
+
+std::vector<std::uint64_t> ShardClient::routed_per_shard() const {
+  return routed_;
+}
+
+bool ShardClient::shard_up(std::size_t shard) const {
+  PSL_EXPECTS(shard < shards_.size());
+  return shards_[shard].up;
+}
+
+}  // namespace pslocal::shard

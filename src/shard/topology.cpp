@@ -1,0 +1,80 @@
+#include "shard/topology.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace pslocal::shard {
+
+void validate_topology(const Topology& topology) {
+  PSL_CHECK_MSG(!topology.shards.empty(),
+                "shard: topology needs at least one shard");
+  PSL_CHECK_MSG(topology.vnodes >= 1, "shard: topology needs vnodes >= 1");
+  PSL_CHECK_MSG(topology.replication >= 1 &&
+                    topology.replication <= topology.shards.size(),
+                "shard: replication " << topology.replication
+                                      << " out of range for "
+                                      << topology.shards.size() << " shards");
+  for (const Endpoint& e : topology.shards) {
+    PSL_CHECK_MSG(!e.host.empty() && e.port != 0,
+                  "shard: endpoint '" << e.host << ":" << e.port
+                                      << "' is not addressable");
+  }
+}
+
+std::string format_endpoint(const Endpoint& endpoint) {
+  return endpoint.host + ":" + std::to_string(endpoint.port);
+}
+
+Endpoint parse_endpoint(const std::string& spec) {
+  const auto colon = spec.rfind(':');
+  PSL_CHECK_MSG(colon != std::string::npos && colon > 0 &&
+                    colon + 1 < spec.size(),
+                "shard: endpoint expects host:port, got \"" << spec << "\"");
+  Endpoint e;
+  e.host = spec.substr(0, colon);
+  int port = 0;
+  for (std::size_t i = colon + 1; i < spec.size(); ++i) {
+    const char c = spec[i];
+    PSL_CHECK_MSG(c >= '0' && c <= '9',
+                  "shard: bad port in endpoint \"" << spec << "\"");
+    port = port * 10 + (c - '0');
+    PSL_CHECK_MSG(port <= 65535,
+                  "shard: port out of range in endpoint \"" << spec << "\"");
+  }
+  PSL_CHECK_MSG(port > 0, "shard: port out of range in endpoint \"" << spec
+                                                                    << "\"");
+  e.port = static_cast<std::uint16_t>(port);
+  return e;
+}
+
+Topology parse_topology(const std::string& spec) {
+  Topology t;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(begin, end - begin);
+    if (!item.empty()) t.shards.push_back(parse_endpoint(item));
+    begin = end + 1;
+    if (end == spec.size()) break;
+  }
+  PSL_CHECK_MSG(!t.shards.empty(),
+                "shard: no endpoints in topology \"" << spec << "\"");
+  return t;
+}
+
+std::string topology_json(const Topology& topology) {
+  std::ostringstream os;
+  os << "{\"shards\":[";
+  for (std::size_t i = 0; i < topology.shards.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "\"" << format_endpoint(topology.shards[i]) << "\"";
+  }
+  os << "],\"ring_seed\":" << topology.ring_seed
+     << ",\"vnodes\":" << topology.vnodes
+     << ",\"replication\":" << topology.replication << "}";
+  return os.str();
+}
+
+}  // namespace pslocal::shard

@@ -1,0 +1,49 @@
+// Shard topology: the addressed shard set plus the placement pins.
+//
+// A Topology is everything two parties need to agree on placement: the
+// ordered endpoint list (shard index = list position), the ring seed and
+// vnode density, and the default replication factor.  Routers built from
+// equal topologies route every key identically — the list order *is* the
+// shard numbering, so reordering endpoints is a different topology.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pslocal::shard {
+
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct Topology {
+  /// Shard i lives at shards[i]; order is part of the placement contract.
+  std::vector<Endpoint> shards;
+  std::uint64_t ring_seed = 1;
+  std::size_t vnodes = 64;
+  /// Default fan-out breadth for ShardClient (1 = no fan-out).
+  std::size_t replication = 1;
+};
+
+/// PSL_CHECKs the invariants: at least one shard, every port nonzero,
+/// 1 <= replication <= shards.size(), vnodes >= 1.
+void validate_topology(const Topology& topology);
+
+/// "host:port" (the format parse_endpoint accepts).
+[[nodiscard]] std::string format_endpoint(const Endpoint& endpoint);
+
+/// Inverse of format_endpoint; PSL_CHECKs the format and port range.
+[[nodiscard]] Endpoint parse_endpoint(const std::string& spec);
+
+/// Comma-separated endpoint list -> topology with the given pins
+/// ("127.0.0.1:9001,127.0.0.1:9002").  Ring seed / vnodes / replication
+/// keep their defaults; callers override after parsing.
+[[nodiscard]] Topology parse_topology(const std::string& spec);
+
+/// Canonical single-line JSON of the full topology (stable key order),
+/// so two processes can cmp their placement contracts byte-for-byte.
+[[nodiscard]] std::string topology_json(const Topology& topology);
+
+}  // namespace pslocal::shard

@@ -56,6 +56,20 @@ class Fnv1a64 {
 /// One-shot convenience over raw bytes.
 [[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes);
 
+/// SplitMix64-style 64-bit finalizer (Stafford/Vigna mixing constants,
+/// gamma added up front so 0 is not a fixed point).  A bijection on
+/// uint64 whose output bits avalanche: flipping any input bit flips each
+/// output bit with probability ~1/2.  The shard ring derives its
+/// virtual-node points through this (shard/ring.hpp) because FNV digests
+/// of related inputs share prefixes — mix64 decorrelates them.  Pinned
+/// against SplitMix64 and an avalanche property in qc (`mix64_avalanche`).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+  std::uint64_t z = x + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 /// Mix an extra word into an existing digest (for composite cache keys:
 /// instance hash ∘ solver id ∘ params).  Order-sensitive.
 [[nodiscard]] std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v);

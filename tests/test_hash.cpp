@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "graph/graph.hpp"
 #include "hypergraph/hypergraph.hpp"
 #include "util/check.hpp"
@@ -88,6 +91,50 @@ TEST(HashTest, ParseHex64RejectsBadInput) {
   EXPECT_THROW((void)parse_hex64("123"), ContractViolation);
   EXPECT_THROW((void)parse_hex64("0123456789abcdeg"), ContractViolation);
   EXPECT_THROW((void)parse_hex64("0123456789ABCDEF"), ContractViolation);
+}
+
+TEST(HashTest, Mix64MatchesSplitMix64Finalizer) {
+  // mix64(x) is pinned to one SplitMix64 step from state x — the shard
+  // ring's placement (shard/ring.hpp) depends on these exact bits.
+  for (const std::uint64_t x :
+       {0ULL, 1ULL, 2ULL, 0xdeadbeefULL, ~0ULL, 0x0123456789abcdefULL}) {
+    EXPECT_EQ(mix64(x), SplitMix64(x).next()) << "x=" << x;
+  }
+  // Compile-time usable, and zero is not a fixed point.
+  static_assert(mix64(0) != 0);
+  static_assert(mix64(1) != mix64(2));
+}
+
+TEST(HashTest, Mix64AvalanchesSingleBitFlips) {
+  // Flipping any one input bit must flip roughly half the output bits.
+  // [8, 56] is a generous band (binomial(64, 1/2) stays within it with
+  // overwhelming probability); the qc `mix64_avalanche` property runs
+  // the randomized version of this continuously.
+  Rng rng(2026);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::uint64_t x = rng.next_u64();
+    const std::uint64_t flipped = x ^ (1ULL << rng.next_below(64));
+    const int changed = __builtin_popcountll(mix64(x) ^ mix64(flipped));
+    ASSERT_GE(changed, 8) << "x=" << x;
+    ASSERT_LE(changed, 56) << "x=" << x;
+  }
+}
+
+TEST(HashTest, Mix64DecorrelatesSequentialInputs) {
+  // Sequential integers (shard/vnode indices) and shared-prefix FNV
+  // digests are the ring's actual inputs; their images must not cluster.
+  std::vector<std::uint64_t> images;
+  for (std::uint64_t i = 0; i < 4096; ++i) images.push_back(mix64(i));
+  std::sort(images.begin(), images.end());
+  EXPECT_EQ(std::unique(images.begin(), images.end()), images.end());
+  // Adjacent inputs land far apart: no pair of consecutive integers
+  // maps within 2^32 of each other (would skew ring arc lengths).
+  for (std::uint64_t i = 0; i + 1 < 4096; ++i) {
+    const std::uint64_t a = mix64(i);
+    const std::uint64_t b = mix64(i + 1);
+    const std::uint64_t gap = a > b ? a - b : b - a;
+    ASSERT_GT(gap, 1ULL << 32) << "i=" << i;
+  }
 }
 
 TEST(HashTest, OneFieldFlipNeverCollidesOver10kPairs) {

@@ -190,6 +190,45 @@ TEST(NetClientTest, BackoffScheduleIsDeterministicUnderFixedSeed) {
       << "different seed produced the same jitter";
 }
 
+TEST(NetClientTest, BackoffScheduleIsPureAcrossClientInstances) {
+  // The schedule is a pure function of the policy seed: no connection
+  // state, request-id counter, or prior retry activity feeds the
+  // jitter.  Two separate clients each burn two queue-full retries;
+  // the schedule queried before, between, and after is byte-identical.
+  Client::RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.base_delay_us = 50;
+  policy.max_delay_us = 200;
+  policy.seed = 31;
+  const auto pristine = Client::backoff_delays_us(policy, 8);
+
+  const auto nack_twice_then_serve = [](int fd) {
+    for (int i = 0; i < 2; ++i) {
+      const auto frames = read_frames(fd, 1);
+      ASSERT_EQ(frames.size(), 1u);
+      send_all(fd, wire::encode_frame(
+                       {wire::FrameKind::kNack, frames[0].request_id,
+                        wire::encode_nack(wire::NackCode::kQueueFull)}));
+    }
+    const auto frames = read_frames(fd, 1);
+    ASSERT_EQ(frames.size(), 1u);
+    send_all(fd, ok_response_frame(frames[0].request_id, "served"));
+  };
+
+  std::vector<std::size_t> attempts;
+  for (int instance = 0; instance < 2; ++instance) {
+    FakeServer server(nack_twice_then_serve);
+    Client client = connect_client(server.port());
+    const Client::Result r = client.call_with_retry(tiny_request(), policy);
+    ASSERT_EQ(r.outcome, Client::Outcome::kOk) << r.error;
+    attempts.push_back(r.attempts);
+    EXPECT_EQ(Client::backoff_delays_us(policy, 8), pristine)
+        << "client activity perturbed the schedule";
+  }
+  EXPECT_EQ(attempts[0], attempts[1])
+      << "same policy, same script, different retry behavior";
+}
+
 TEST(NetClientTest, CallWithRetryResendsAfterQueueFullNacks) {
   // NACK the first two sends, serve the third: call_with_retry must
   // come back with kOk and an attempt count of exactly 3.

@@ -133,6 +133,31 @@ TEST(NetWireTest, DecoderRejectsOversizedPayloadBeforeBuffering) {
   EXPECT_EQ(dec.next(out), FrameDecoder::Result::kCorrupt);
 }
 
+TEST(NetWireTest, MaxPayloadBoundaryIsExact) {
+  // len == limit is a legal frame; limit + 1 is corrupt.  An off-by-one
+  // here either rejects the largest legal response or admits an
+  // unbounded allocation, so the boundary is pinned exactly.
+  const auto frame_of = [](std::size_t payload_len) {
+    Frame f;
+    f.kind = FrameKind::kResponse;
+    f.request_id = 11;
+    f.payload.assign(payload_len, 'y');
+    return encode_frame(f);
+  };
+
+  FrameDecoder at_limit(/*max_payload=*/128);
+  at_limit.feed(frame_of(128));
+  Frame out;
+  ASSERT_EQ(at_limit.next(out), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(out.payload.size(), 128u);
+  EXPECT_FALSE(at_limit.corrupt());
+
+  FrameDecoder over_limit(/*max_payload=*/128);
+  over_limit.feed(frame_of(129));
+  EXPECT_EQ(over_limit.next(out), FrameDecoder::Result::kCorrupt);
+  EXPECT_TRUE(over_limit.corrupt());
+}
+
 TEST(NetWireTest, TruncatedStreamIsNeedMoreNotCorrupt) {
   const std::string bytes = encode_frame(request_frame(3));
   FrameDecoder dec;

@@ -1,0 +1,170 @@
+// shard/shard_client + shard/cluster: routed calls over real loopback
+// sockets — fan-out duplicate suppression, typed failover around a
+// killed replica, and the headline determinism pin: response bytes are
+// identical whatever the shard count or replication factor.
+#include "shard/shard_client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "service/workload.hpp"
+#include "shard/cluster.hpp"
+
+namespace pslocal::shard {
+namespace {
+
+service::Trace small_trace(std::size_t requests = 16) {
+  service::TraceParams tp;
+  tp.seed = 1;
+  tp.requests = requests;
+  tp.instance_pool = 4;
+  tp.n = 24;
+  tp.m = 16;
+  tp.k = 3;
+  return service::generate_trace(tp);
+}
+
+struct PassResult {
+  std::vector<std::string> payloads;  // response bytes, in trace order
+  ShardClient::Stats stats;
+  std::vector<std::uint64_t> routed;
+};
+
+/// Run the trace through a fresh cluster; every call must succeed.
+/// kill_shard (if < shards) is stopped after the first quarter.
+PassResult run_pass(std::size_t shards, std::size_t replication,
+                    const service::Trace& trace,
+                    std::size_t kill_shard = SIZE_MAX) {
+  LocalClusterConfig cc;
+  cc.shards = shards;
+  cc.replication = replication;
+  cc.engine.cache.max_entries = 64;
+  LocalCluster cluster(cc);
+  cluster.start();
+
+  ShardClientConfig scc;
+  scc.topology = cluster.topology();
+  scc.retry.seed = 1;
+  scc.retry.base_delay_us = 100;
+  scc.retry.max_delay_us = 5000;
+  scc.retry.max_attempts = 16;
+  ShardClient client(scc);
+  client.connect();
+
+  PassResult out;
+  const std::size_t kill_at = trace.requests.size() / 4;
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    if (kill_shard < shards && i == kill_at) cluster.kill_shard(kill_shard);
+    const net::Client::Result r = client.call(trace.requests[i]);
+    EXPECT_EQ(r.outcome, net::Client::Outcome::kOk)
+        << "request " << i << ": " << r.error;
+    if (r.outcome != net::Client::Outcome::kOk) break;
+    EXPECT_FALSE(r.response.result.empty()) << "request " << i;
+    out.payloads.push_back(r.response.result);
+  }
+  client.drain();
+  out.stats = client.stats();
+  out.routed = client.routed_per_shard();
+  cluster.stop();
+  return out;
+}
+
+TEST(ShardClientTest, ServesEveryRequestAcrossTwoShards) {
+  const service::Trace trace = small_trace();
+  const PassResult r = run_pass(/*shards=*/2, /*replication=*/1, trace);
+  ASSERT_EQ(r.payloads.size(), trace.requests.size());
+  EXPECT_EQ(r.stats.calls, trace.requests.size());
+  EXPECT_EQ(r.stats.fanout_sends, 0u) << "rf=1 must not fan out";
+  EXPECT_EQ(r.stats.failovers, 0u);
+  EXPECT_EQ(r.stats.pending_duplicates, 0u);
+  // Both shards actually served traffic.
+  ASSERT_EQ(r.routed.size(), 2u);
+  std::uint64_t total = 0;
+  for (const auto n : r.routed) {
+    EXPECT_GT(n, 0u) << "a shard received nothing";
+    total += n;
+  }
+  EXPECT_EQ(total, r.stats.sends);
+}
+
+TEST(ShardClientTest, ResponseBytesIdenticalAcrossShardCounts) {
+  // The determinism headline: where a request is served never leaks
+  // into the bytes that come back.  1, 2 and 4 shards, same trace,
+  // byte-equal payloads position by position.
+  const service::Trace trace = small_trace();
+  const PassResult one = run_pass(1, 1, trace);
+  const PassResult two = run_pass(2, 1, trace);
+  const PassResult four = run_pass(4, 1, trace);
+  ASSERT_EQ(one.payloads.size(), trace.requests.size());
+  EXPECT_EQ(one.payloads, two.payloads);
+  EXPECT_EQ(one.payloads, four.payloads);
+}
+
+TEST(ShardClientTest, FanOutSuppressesDuplicateResponses) {
+  const service::Trace trace = small_trace();
+  const PassResult r = run_pass(/*shards=*/2, /*replication=*/2, trace);
+  ASSERT_EQ(r.payloads.size(), trace.requests.size());
+  // Every call sent to both replicas; each loser's answer was absorbed,
+  // either mid-run or by drain() — never left dangling.
+  EXPECT_EQ(r.stats.fanout_sends, trace.requests.size());
+  EXPECT_EQ(r.stats.duplicates_suppressed, trace.requests.size());
+  EXPECT_EQ(r.stats.pending_duplicates, 0u) << "drain() left orphans";
+
+  // And fan-out must not change the response bytes.
+  const PassResult rf1 = run_pass(2, 1, trace);
+  EXPECT_EQ(r.payloads, rf1.payloads);
+}
+
+TEST(ShardClientTest, FailoverSurvivesReplicaDeathMidRun) {
+  // Kill shard 1 a quarter of the way in.  With rf=2 every key has a
+  // live replica, so zero requests may be lost; the client must record
+  // the transport-triggered failovers it performed.
+  const service::Trace trace = small_trace(/*requests=*/24);
+  const PassResult r =
+      run_pass(/*shards=*/2, /*replication=*/2, trace, /*kill_shard=*/1);
+  ASSERT_EQ(r.payloads.size(), trace.requests.size());
+  EXPECT_EQ(r.stats.pending_duplicates, 0u);
+
+  // Bytes still identical to an undisturbed single-shard run.
+  const PassResult calm = run_pass(1, 1, trace);
+  EXPECT_EQ(r.payloads, calm.payloads);
+}
+
+TEST(ShardClientTest, ConnectToleratesDeadShardsUntilCallNeedsThem) {
+  // One shard never starts (cluster kills it before the client
+  // connects).  connect() must not throw — rf=2 fan-out and failover
+  // route everything to the survivor.
+  const service::Trace trace = small_trace();
+  LocalClusterConfig cc;
+  cc.shards = 2;
+  cc.replication = 2;
+  cc.engine.cache.max_entries = 64;
+  LocalCluster cluster(cc);
+  cluster.start();
+  cluster.kill_shard(0);
+
+  ShardClientConfig scc;
+  scc.topology = cluster.topology();
+  scc.retry.seed = 1;
+  scc.retry.base_delay_us = 100;
+  scc.retry.max_delay_us = 5000;
+  ShardClient client(scc);
+  client.connect();
+  EXPECT_FALSE(client.shard_up(0));
+  EXPECT_TRUE(client.shard_up(1));
+
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    const net::Client::Result r = client.call(trace.requests[i]);
+    ASSERT_EQ(r.outcome, net::Client::Outcome::kOk)
+        << "request " << i << ": " << r.error;
+  }
+  client.drain();
+  EXPECT_EQ(client.stats().pending_duplicates, 0u);
+  cluster.stop();
+}
+
+}  // namespace
+}  // namespace pslocal::shard

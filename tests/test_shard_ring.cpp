@@ -1,0 +1,210 @@
+// shard/ring + shard/router + shard/topology: placement determinism.
+// Everything here is socket-free — the ring and router are pure policy,
+// so these tests pin the exact placement contract two processes must
+// share (docs/shard.md).
+#include "shard/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "shard/router.hpp"
+#include "shard/topology.hpp"
+#include "util/check.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace pslocal::shard {
+namespace {
+
+Topology loopback_topology(std::size_t shards, std::uint64_t seed = 1,
+                           std::size_t vnodes = 64) {
+  Topology topo;
+  topo.ring_seed = seed;
+  topo.vnodes = vnodes;
+  for (std::size_t s = 0; s < shards; ++s)
+    topo.shards.push_back(Endpoint{"127.0.0.1",
+                                   static_cast<std::uint16_t>(9001 + s)});
+  return topo;
+}
+
+TEST(ShardRingTest, PointIsAPureFunctionOfItsArguments) {
+  // The documented formula, verbatim: no RNG state, no global salt.
+  const std::uint64_t gamma = 0x9e3779b97f4a7c15ULL;
+  for (std::uint64_t seed : {1ULL, 7ULL, 0xabcdULL}) {
+    for (std::size_t shard = 0; shard < 4; ++shard) {
+      for (std::size_t vnode = 0; vnode < 8; ++vnode) {
+        const std::uint64_t expected =
+            mix64(mix64(seed + gamma * (shard + 1)) + vnode + 1);
+        EXPECT_EQ(HashRing::point(seed, shard, vnode), expected);
+        EXPECT_EQ(HashRing::point(seed, shard, vnode),
+                  HashRing::point(seed, shard, vnode));
+      }
+    }
+  }
+}
+
+TEST(ShardRingTest, TwoRingsFromEqualConfigAgreeEverywhere) {
+  RingConfig config;
+  config.seed = 42;
+  config.vnodes = 32;
+  const HashRing a(4, config);
+  const HashRing b(4, config);
+  EXPECT_EQ(a.points(), b.points());
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t key = rng.next_u64();
+    ASSERT_EQ(a.owner(key), b.owner(key));
+    ASSERT_EQ(a.replicas(key, 3), b.replicas(key, 3));
+  }
+}
+
+TEST(ShardRingTest, PointsAreSortedAndCounted) {
+  const HashRing ring(5, RingConfig{/*seed=*/9, /*vnodes=*/16});
+  ASSERT_EQ(ring.points().size(), 5u * 16u);
+  EXPECT_TRUE(std::is_sorted(ring.points().begin(), ring.points().end()));
+  std::vector<std::size_t> per_shard(5, 0);
+  for (const auto& [pos, shard] : ring.points()) {
+    ASSERT_LT(shard, 5u);
+    ++per_shard[shard];
+  }
+  for (std::size_t s = 0; s < 5; ++s) EXPECT_EQ(per_shard[s], 16u);
+}
+
+TEST(ShardRingTest, ReplicasAreDistinctOwnerFirstAndCapped) {
+  const HashRing ring(4, RingConfig{/*seed=*/1, /*vnodes=*/64});
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t key = rng.next_u64();
+    for (std::size_t count : {std::size_t{1}, std::size_t{2},
+                              std::size_t{4}, std::size_t{9}}) {
+      const auto reps = ring.replicas(key, count);
+      ASSERT_EQ(reps.size(), std::min(count, ring.shards()));
+      ASSERT_EQ(reps.front(), ring.owner(key));
+      const std::set<std::size_t> distinct(reps.begin(), reps.end());
+      ASSERT_EQ(distinct.size(), reps.size()) << "duplicate replica";
+    }
+  }
+}
+
+TEST(ShardRingTest, ScaleDownMovesOnlyTheLostShardsKeys) {
+  // ring(N-1)'s point set is a subset of ring(N)'s, so removing the
+  // highest-indexed shard relocates exactly the keys it owned.
+  RingConfig config;
+  config.seed = 5;
+  config.vnodes = 48;
+  const HashRing big(4, config);
+  const HashRing small(3, config);
+
+  // Point-set subset: small's points are exactly big's minus shard 3's.
+  std::set<std::pair<std::uint64_t, std::uint32_t>> big_points(
+      big.points().begin(), big.points().end());
+  for (const auto& p : small.points())
+    EXPECT_TRUE(big_points.count(p)) << "new point appeared on scale-down";
+  EXPECT_EQ(big.points().size() - small.points().size(), config.vnodes);
+
+  // Key-ownership consequence: surviving owners never change.
+  Rng rng(17);
+  std::size_t moved = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t key = rng.next_u64();
+    const std::size_t before = big.owner(key);
+    const std::size_t after = small.owner(key);
+    if (before == 3) {
+      ++moved;  // lost shard's keys must land somewhere valid
+      EXPECT_LT(after, 3u);
+    } else {
+      ASSERT_EQ(after, before) << "key moved between surviving shards";
+    }
+  }
+  EXPECT_GT(moved, 0u) << "shard 3 owned nothing in 2000 keys";
+}
+
+TEST(ShardRingTest, SingleShardOwnsEverything) {
+  const HashRing ring(1, RingConfig{/*seed=*/1, /*vnodes=*/4});
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(ring.owner(rng.next_u64()), 0u);
+  }
+  EXPECT_EQ(ring.replicas(123, 5), std::vector<std::size_t>{0});
+}
+
+TEST(ShardRouterTest, SelfTestPassesAtDefaultDensity) {
+  for (std::size_t shards : {std::size_t{1}, std::size_t{2},
+                             std::size_t{4}, std::size_t{8}}) {
+    const ShardRouter router(loopback_topology(shards));
+    const auto st = router.self_test(/*keys=*/5000);
+    EXPECT_TRUE(st.ok) << st.detail;
+    EXPECT_EQ(st.keys, 5000u);
+    EXPECT_EQ(st.owned.size(), shards);
+    EXPECT_LT(st.imbalance, 1.75) << st.detail;
+    EXPECT_EQ(st.foreign_moves, 0u) << st.detail;
+  }
+}
+
+TEST(ShardRouterTest, EqualTopologiesRouteIdentically) {
+  const ShardRouter a(loopback_topology(4, /*seed=*/77, /*vnodes=*/32));
+  const ShardRouter b(loopback_topology(4, /*seed=*/77, /*vnodes=*/32));
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t key = rng.next_u64();
+    ASSERT_EQ(a.route_key(key, 2), b.route_key(key, 2));
+  }
+}
+
+TEST(ShardTopologyTest, EndpointFormatParsesBackExactly) {
+  const Endpoint e{"10.1.2.3", 9042};
+  EXPECT_EQ(format_endpoint(e), "10.1.2.3:9042");
+  const Endpoint back = parse_endpoint("10.1.2.3:9042");
+  EXPECT_EQ(back.host, e.host);
+  EXPECT_EQ(back.port, e.port);
+
+  EXPECT_THROW((void)parse_endpoint("no-port"), ContractViolation);
+  EXPECT_THROW((void)parse_endpoint(":9001"), ContractViolation);
+  EXPECT_THROW((void)parse_endpoint("h:0"), ContractViolation);
+  EXPECT_THROW((void)parse_endpoint("h:99999"), ContractViolation);
+  EXPECT_THROW((void)parse_endpoint("h:12x"), ContractViolation);
+}
+
+TEST(ShardTopologyTest, ParseTopologyPreservesListOrder) {
+  // Order is the shard numbering — part of the placement contract.
+  const Topology topo =
+      parse_topology("127.0.0.1:9001,127.0.0.1:9002,10.0.0.5:80");
+  ASSERT_EQ(topo.shards.size(), 3u);
+  EXPECT_EQ(topo.shards[0].port, 9001);
+  EXPECT_EQ(topo.shards[1].port, 9002);
+  EXPECT_EQ(topo.shards[2].host, "10.0.0.5");
+  validate_topology(topo);  // defaults are valid
+}
+
+TEST(ShardTopologyTest, ValidateRejectsBrokenContracts) {
+  Topology empty;
+  EXPECT_THROW(validate_topology(empty), ContractViolation);
+
+  Topology zero_port = loopback_topology(2);
+  zero_port.shards[1].port = 0;
+  EXPECT_THROW(validate_topology(zero_port), ContractViolation);
+
+  Topology over_replicated = loopback_topology(2);
+  over_replicated.replication = 3;
+  EXPECT_THROW(validate_topology(over_replicated), ContractViolation);
+
+  Topology no_vnodes = loopback_topology(2);
+  no_vnodes.vnodes = 0;
+  EXPECT_THROW(validate_topology(no_vnodes), ContractViolation);
+}
+
+TEST(ShardTopologyTest, JsonIsCanonicalAcrossEqualTopologies) {
+  const std::string a = topology_json(loopback_topology(3, 7, 16));
+  const std::string b = topology_json(loopback_topology(3, 7, 16));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.find('\n'), std::string::npos) << "must be single-line";
+  EXPECT_NE(a, topology_json(loopback_topology(3, 8, 16)))
+      << "ring seed must be part of the serialized contract";
+}
+
+}  // namespace
+}  // namespace pslocal::shard
