@@ -67,7 +67,31 @@ struct ShardPass {
   shard::ShardClient::Stats agg;                // summed over workers
   std::vector<std::uint64_t> routed;            // per shard, all workers
   std::vector<std::string> engine_stats;        // stats_json per shard
+  /// Live telemetry scraped from each shard at the halfway request
+  /// while the other workers keep driving load (kStatsRequest answered
+  /// on the shard's io loop — docs/tracing.md).  "null" for a shard
+  /// that was dead or unreachable at scrape time (the kill pass).
+  std::vector<std::string> mid_stats;
 };
+
+/// One kStatsRequest round-trip against a shard endpoint; "null" when
+/// the shard refuses or the scrape fails (it may be mid-kill).
+std::string scrape_stats(const shard::Endpoint& ep) {
+  try {
+    net::Client::Config cc;
+    cc.host = ep.host;
+    cc.port = ep.port;
+    cc.connect_timeout_ms = 2000;
+    cc.io_timeout_ms = 5000;
+    net::Client client(cc);
+    client.connect();
+    const net::Client::Result r = client.stats();
+    if (r.outcome != net::Client::Outcome::kOk) return "null";
+    return r.stats_json;
+  } catch (const ContractViolation&) {
+    return "null";
+  }
+}
 
 /// Worker context: one ShardClient; the destructor drains duplicate
 /// responses and folds the client's tallies into the shared aggregates.
@@ -120,6 +144,7 @@ ShardPass run_shard_pass(const service::Trace& trace,
   const std::size_t total = trace.requests.size();
   result.entries.resize(total);
   result.routed.assign(pass.shards, 0);
+  result.mid_stats.assign(pass.shards, "null");
 
   shard::LocalClusterConfig cc = cluster_cfg;
   cc.shards = pass.shards;
@@ -156,6 +181,14 @@ ShardPass run_shard_pass(const service::Trace& trace,
                     << net::Client::outcome_name(r.outcome)
                     << (r.error.empty() ? "" : " (" + r.error + ")") << "\n";
         return one;
+      },
+      [&] {
+        // Mid-run scrape: the cluster is under load from every other
+        // worker while these stats round-trips run.
+        for (std::size_t s = 0; s < pass.shards; ++s) {
+          if (!cluster.alive(s)) continue;
+          result.mid_stats[s] = scrape_stats(cluster.topology().shards[s]);
+        }
       });
 
   for (std::size_t s = 0; s < cluster.shards(); ++s)
@@ -316,6 +349,26 @@ int main(int argc, char** argv) {
             .metric("engine_stats_2shard",
                     "[" + results[1].engine_stats[0] + "," +
                         results[1].engine_stats[1] + "]");
+
+        // Per-shard live telemetry captured at the halfway request of
+        // each pass: obs snapshot (service.stage.* breakdowns with tail
+        // exemplars), engine stats and per-loop gauges, as scraped from
+        // the running shard — not a post-mortem snapshot.
+        for (std::size_t p = 0; p < results.size(); ++p) {
+          std::string arr = "[";
+          for (std::size_t s = 0; s < results[p].mid_stats.size(); ++s) {
+            if (s != 0) arr += ",";
+            arr += results[p].mid_stats[s];
+          }
+          arr += "]";
+          std::string key = "obs_midrun_pass" + std::to_string(p);
+          ctx.report.metric_json(key, arr);
+        }
+        // The 2-shard pass must have scraped both shards live.
+        for (const std::string& s : results[1].mid_stats) {
+          PSL_CHECK_MSG(s != "null",
+                        "2-shard pass failed to scrape a live shard mid-run");
+        }
         return 0;
       });
 }

@@ -58,15 +58,21 @@ struct ClosedLoopResult {
 /// Closed-loop driver (see header comment).  `make_ctx(client_index)`
 /// builds each worker's private context on the worker thread;
 /// `one(ctx, request_index)` issues request `request_index` and blocks
-/// until its response.
-template <typename MakeCtx, typename One>
+/// until its response.  `mid_hook()` fires exactly once, on whichever
+/// worker claims the halfway request index, *while the other workers
+/// keep driving load* — the shard bench uses it to scrape the live
+/// telemetry plane mid-run (docs/tracing.md) rather than after the
+/// cluster has gone idle.
+template <typename MakeCtx, typename One, typename Mid>
 ClosedLoopResult run_closed_loop(std::size_t total, std::size_t clients,
-                                 MakeCtx&& make_ctx, One&& one) {
+                                 MakeCtx&& make_ctx, One&& one,
+                                 Mid&& mid_hook) {
   ClosedLoopResult result;
   result.latencies_ns.assign(total, 0);
   result.per_client.assign(clients > 0 ? clients : 1, 0);
   std::atomic<std::size_t> next{0};
   std::atomic<std::uint64_t> errors{0}, retries{0};
+  const std::size_t mid_index = total / 2;
 
   WallTimer timer;
   const auto worker = [&](std::size_t client_index) {
@@ -74,6 +80,7 @@ ClosedLoopResult run_closed_loop(std::size_t total, std::size_t clients,
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= total) return;
+      if (i == mid_index) mid_hook();  // each index claimed exactly once
       const OneResult r = one(ctx, i);
       result.latencies_ns[i] = r.latency_ns;
       result.per_client[client_index]++;  // each worker owns its slot
@@ -107,6 +114,13 @@ ClosedLoopResult run_closed_loop(std::size_t total, std::size_t clients,
   for (const auto ns : sorted) sum += static_cast<double>(ns);
   result.mean_ms = total > 0 ? sum / static_cast<double>(total) / 1e6 : 0.0;
   return result;
+}
+
+template <typename MakeCtx, typename One>
+ClosedLoopResult run_closed_loop(std::size_t total, std::size_t clients,
+                                 MakeCtx&& make_ctx, One&& one) {
+  return run_closed_loop(total, clients, std::forward<MakeCtx>(make_ctx),
+                         std::forward<One>(one), [] {});
 }
 
 /// Per-pass view of a process-wide obs histogram (counts accumulate for

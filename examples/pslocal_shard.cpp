@@ -19,12 +19,21 @@
 // a scripted failover demo: with replication >= 2 (or i not the only
 // shard) the run still answers every request.
 //
+// With --trace-out=<path> the whole run is recorded as one Chrome
+// trace (docs/tracing.md): the driving client thread, each shard's io
+// loops / completer / dispatcher appear as named "shard<i>.*" tracks,
+// and every request's spans (shard.call -> shard.attempt ->
+// net.dispatch -> service.solve -> net.serialize) carry its trace_id.
+//
 // Knobs: --shards --replication --requests --pool --n --m --k
 // --cache-entries --io-threads --vnodes --replay-out --kill-shard
-// --self-test-only --threads --seed.
+// --self-test-only --trace-out --threads --seed.
+#include <unistd.h>
+
 #include <iostream>
 #include <string>
 
+#include "obs/obs.hpp"
 #include "service/engine.hpp"
 #include "service/workload.hpp"
 #include "shard/shard.hpp"
@@ -36,7 +45,10 @@ using namespace pslocal;
 
 int main(int argc, char** argv) {
   const Options opts(argc, argv);
-  apply_thread_option(opts);
+  apply_thread_option(opts);  // starts the trace session on --trace-out
+  obs::set_trace_process(static_cast<std::uint32_t>(::getpid()),
+                         "pslocal_shard");
+  obs::set_thread_label("client");
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
 
   shard::LocalClusterConfig cc;
@@ -131,5 +143,6 @@ int main(int argc, char** argv) {
   }
 
   cluster.stop();
+  obs::finish_tracing();  // writes the --trace-out file, if a session ran
   return ok == trace.requests.size() ? 0 : 1;
 }

@@ -1,0 +1,234 @@
+// pslocal_stats — live telemetry scraper for the shard tier
+// (docs/tracing.md).
+//
+// Polls one or more running shards with the kStatsRequest wire kind —
+// answered inline on each shard's io loop, so scraping never pauses
+// serving — and prints one summary line per shard per poll:
+//
+//   pslocal_stats --connect=127.0.0.1:7000,127.0.0.1:7001
+//   pslocal_stats --connect=127.0.0.1:7000 --polls=10 --interval-ms=1000
+//   pslocal_stats --connect=127.0.0.1:7000 --raw      # full JSON per poll
+//   pslocal_stats --self-test=48                      # self-contained demo
+//
+// A summary line condenses the engine stats, per-loop gauges and the
+// service.stage.* histograms of the scrape into:
+//
+//   shard0 127.0.0.1:7000 served=48 cached=12 err=0 q=0 conns=2 loops=1
+//     solve_p99_ms=1.84 rtt_p99_ms=2.10
+//
+// --self-test=N needs no running cluster: it starts a LocalCluster
+// (--shards, default 2), drives N seeded requests through a
+// ShardClient, scrapes every shard MID-RUN (half the trace served, the
+// cluster still live), validates the JSON shape, prints the summary
+// lines and exits nonzero on any malformed or unreachable shard.
+//
+// Knobs: --connect --polls --interval-ms --raw --self-test --shards
+// --replication --seed --threads.
+#include <chrono>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "service/workload.hpp"
+#include "shard/shard.hpp"
+#include "util/bench_report.hpp"
+#include "util/json.hpp"
+#include "util/options.hpp"
+
+using namespace pslocal;
+
+namespace {
+
+struct Target {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+std::vector<Target> parse_targets(const std::string& list) {
+  std::vector<Target> targets;
+  std::istringstream is(list);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    const auto colon = item.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= item.size()) {
+      std::cerr << "bad --connect entry '" << item << "' (want host:port)\n";
+      continue;
+    }
+    targets.push_back(
+        {item.substr(0, colon),
+         static_cast<std::uint16_t>(std::stoul(item.substr(colon + 1)))});
+  }
+  return targets;
+}
+
+/// The p99 of the slowest kind of one stage family, in ms (0 when no
+/// such histogram recorded anything yet).
+double stage_p99_ms(const json::Value& histograms, const std::string& stage) {
+  double worst_ns = 0.0;
+  const std::string prefix = "service.stage." + stage + ".";
+  for (const auto& [name, hist] : histograms.members()) {
+    if (name.rfind(prefix, 0) != 0) continue;
+    if (hist.at("count").as_number() == 0.0) continue;
+    worst_ns = std::max(worst_ns, hist.at("p99").as_number());
+  }
+  return worst_ns / 1e6;
+}
+
+/// One-line-per-shard digest of a stats payload; throws (PSL_CHECK)
+/// on a payload missing the contract's keys.
+std::string summarize(const Target& target, const std::string& payload) {
+  const json::Value doc = json::parse(payload);
+  const json::Value& engine = doc.at("engine");
+  const json::Value& server = doc.at("server");
+  const json::Value& histograms = doc.at("obs").at("histograms");
+  std::ostringstream os;
+  os << server.at("name").as_string() << " " << target.host << ":"
+     << target.port
+     << " served=" << static_cast<std::uint64_t>(
+            engine.at("served").as_number())
+     << " cached=" << static_cast<std::uint64_t>(
+            engine.at("served_cached").as_number())
+     << " err=" << static_cast<std::uint64_t>(engine.at("errors").as_number())
+     << " q=" << static_cast<std::uint64_t>(
+            server.at("queue_depth").as_number())
+     << " conns=" << static_cast<std::uint64_t>(
+            server.at("connections").as_number())
+     << " loops=" << static_cast<std::uint64_t>(
+            server.at("io_loops").as_number());
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << " solve_p99_ms=" << stage_p99_ms(histograms, "solve_ns")
+     << " rtt_p99_ms=" << stage_p99_ms(histograms, "rtt_ns");
+  return os.str();
+}
+
+/// Scrape one target; returns false (and prints why) when unreachable.
+bool scrape(const Target& target, bool raw, std::string* payload_out) {
+  try {
+    net::Client::Config cc;
+    cc.host = target.host;
+    cc.port = target.port;
+    cc.connect_timeout_ms = 2000;
+    cc.io_timeout_ms = 5000;
+    net::Client client(cc);
+    client.connect();
+    const net::Client::Result r = client.stats();
+    if (r.outcome != net::Client::Outcome::kOk) {
+      std::cerr << target.host << ":" << target.port << " scrape failed: "
+                << net::Client::outcome_name(r.outcome) << "\n";
+      return false;
+    }
+    if (payload_out != nullptr) *payload_out = r.stats_json;
+    std::cout << (raw ? r.stats_json : summarize(target, r.stats_json))
+              << "\n";
+    return true;
+  } catch (const ContractViolation& e) {
+    std::cerr << target.host << ":" << target.port << " unreachable: "
+              << e.what() << "\n";
+    return false;
+  }
+}
+
+int self_test(const Options& opts) {
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  shard::LocalClusterConfig cc;
+  cc.shards = static_cast<std::size_t>(opts.get_int("shards", 2));
+  cc.replication =
+      static_cast<std::size_t>(opts.get_int("replication", 1));
+  cc.ring_seed = seed;
+  shard::LocalCluster cluster(cc);
+  cluster.start();
+
+  service::TraceParams tp;
+  tp.seed = seed;
+  tp.requests = static_cast<std::size_t>(opts.get_int("self-test", 48));
+  tp.instance_pool = 6;
+  tp.n = 32;
+  tp.m = 24;
+  const service::Trace trace = service::generate_trace(tp);
+
+  shard::ShardClientConfig scc;
+  scc.topology = cluster.topology();
+  scc.retry.seed = seed;
+  shard::ShardClient client(scc);
+  client.connect();
+
+  // First half of the trace, then the mid-run scrape: the cluster is
+  // live and warm, not idle or torn down.
+  std::size_t ok = 0;
+  const std::size_t half = trace.requests.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    if (client.call(trace.requests[i]).outcome ==
+        net::Client::Outcome::kOk)
+      ++ok;
+  }
+
+  bool scrapes_ok = true;
+  for (std::size_t s = 0; s < cluster.shards(); ++s) {
+    const shard::Endpoint& ep = cluster.topology().shards[s];
+    std::string payload;
+    if (!scrape({ep.host, ep.port}, opts.get_bool("raw", false), &payload)) {
+      scrapes_ok = false;
+      continue;
+    }
+    // The self-test pins the payload contract: top-level engine/obs/
+    // server objects, the per-shard identity, and one gauge pair per
+    // io loop.
+    const json::Value doc = json::parse(payload);
+    const json::Value& server = doc.at("server");
+    if (server.at("name").as_string() != "shard" + std::to_string(s) ||
+        server.at("loops").as_array().size() !=
+            static_cast<std::size_t>(server.at("io_loops").as_number()) ||
+        !doc.at("obs").is_object() ||
+        doc.at("engine").at("served").as_number() < 1.0) {
+      std::cerr << "shard " << s << " stats payload violates the contract\n";
+      scrapes_ok = false;
+    }
+  }
+
+  for (std::size_t i = half; i < trace.requests.size(); ++i) {
+    if (client.call(trace.requests[i]).outcome ==
+        net::Client::Outcome::kOk)
+      ++ok;
+  }
+  client.drain();
+  cluster.stop();
+
+  const bool served_all = ok == trace.requests.size();
+  std::cout << "self-test: " << ok << "/" << trace.requests.size()
+            << " served, scrapes " << (scrapes_ok ? "ok" : "FAILED") << "\n";
+  return served_all && scrapes_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  apply_thread_option(opts);
+
+  if (opts.has("self-test")) return self_test(opts);
+
+  const std::vector<Target> targets =
+      parse_targets(opts.get_string("connect", ""));
+  if (targets.empty()) {
+    std::cerr << "usage: pslocal_stats --connect=host:port[,host:port...]"
+                 " [--polls=N] [--interval-ms=M] [--raw]\n"
+                 "       pslocal_stats --self-test=N [--shards=S]\n";
+    return 2;
+  }
+  const auto polls = static_cast<std::size_t>(opts.get_int("polls", 1));
+  const auto interval_ms = opts.get_int("interval-ms", 500);
+  const bool raw = opts.get_bool("raw", false);
+
+  bool all_ok = true;
+  for (std::size_t p = 0; p < polls; ++p) {
+    if (p != 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    for (const Target& target : targets)
+      all_ok = scrape(target, raw, nullptr) && all_ok;
+  }
+  return all_ok ? 0 : 1;
+}

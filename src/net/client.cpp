@@ -145,9 +145,34 @@ const char* Client::outcome_name(Outcome o) {
 std::uint64_t Client::send(const service::Request& request) {
   PSL_CHECK_MSG(fd_ >= 0, "net: send on a disconnected client");
   const std::uint64_t id = next_id_++;
-  const std::string bytes = wire::encode_frame(
-      {wire::FrameKind::kRequest, id, wire::encode_request(request)});
+  wire::Frame frame{wire::FrameKind::kRequest, id,
+                    wire::encode_request(request)};
+  // Trace context rides the frame header: an explicit per-request id
+  // wins, else the ambient obs context (the enclosing ScopedSpan /
+  // ScopedTraceContext); both are zero when untraced.
+  const obs::TraceContext ctx = obs::current_trace_context();
+  frame.trace_id = request.trace_id != 0 ? request.trace_id : ctx.trace_id;
+  frame.parent_span_id =
+      request.parent_span_id != 0 ? request.parent_span_id : ctx.span_id;
+  write_bytes(wire::encode_frame(frame));
+  inflight_sent_[id] = now_ns();
+  g_sent.add();
+  return id;
+}
 
+Client::Result Client::stats(int timeout_ms) {
+  PSL_CHECK_MSG(fd_ >= 0, "net: stats on a disconnected client");
+  const std::uint64_t id = next_id_++;
+  wire::Frame frame{wire::FrameKind::kStatsRequest, id, std::string{}};
+  const obs::TraceContext ctx = obs::current_trace_context();
+  frame.trace_id = ctx.trace_id;
+  frame.parent_span_id = ctx.span_id;
+  write_bytes(wire::encode_frame(frame));
+  inflight_sent_[id] = now_ns();
+  return wait(id, timeout_ms);
+}
+
+void Client::write_bytes(const std::string& bytes) {
   const std::uint64_t deadline =
       now_ns() +
       static_cast<std::uint64_t>(config_.io_timeout_ms) * 1000000ULL;
@@ -170,18 +195,16 @@ std::uint64_t Client::send(const service::Request& request) {
     }
     written += static_cast<std::size_t>(n);
   }
-  inflight_sent_[id] = now_ns();
-  g_sent.add();
-  return id;
 }
 
 Client::Result Client::finish(std::uint64_t id, const wire::Frame& frame,
                               std::uint64_t arrived_ns) {
   Result result;
+  result.trace_id = frame.trace_id;
   const auto sent_it = inflight_sent_.find(id);
   if (sent_it != inflight_sent_.end()) {
     result.rtt_ns = arrived_ns - sent_it->second;
-    g_rtt_ns.record(result.rtt_ns);
+    g_rtt_ns.record(result.rtt_ns, frame.trace_id);
     inflight_sent_.erase(sent_it);
   }
   std::string error;
@@ -213,6 +236,11 @@ Client::Result Client::finish(std::uint64_t id, const wire::Frame& frame,
       return result;
     }
     result.outcome = Outcome::kNack;
+    return result;
+  }
+  if (frame.kind == wire::FrameKind::kStatsResponse) {
+    result.outcome = Outcome::kOk;
+    result.stats_json = frame.payload;
     return result;
   }
   result.outcome = Outcome::kTransport;

@@ -75,12 +75,23 @@ class Client {
     std::string error;            // set for kTransport
     std::uint64_t rtt_ns = 0;     // send() to matched frame
     std::uint32_t attempts = 1;   // >1 only via call_with_retry
+    std::uint64_t trace_id = 0;   // echoed from the matched frame header
+    std::string stats_json;       // payload of a kStatsResponse frame
   };
 
   /// Pipelined send: assigns the next request id, encodes and writes
   /// the frame (blocking up to the io deadline for socket space).
-  /// Returns the id to wait on.  Throws on transport failure.
+  /// The frame header carries request.trace_id / parent_span_id when
+  /// set, else the thread's ambient obs trace context (zero when
+  /// untraced or OBS=OFF).  Returns the id to wait on.  Throws on
+  /// transport failure.
   std::uint64_t send(const service::Request& request);
+
+  /// Live telemetry scrape (docs/tracing.md): ask the server for its
+  /// obs snapshot + engine stats + per-loop gauges as deterministic
+  /// JSON.  Answered from the io loop without pausing the shard; the
+  /// JSON lands in Result.stats_json on Outcome::kOk.
+  [[nodiscard]] Result stats(int timeout_ms = -1);
 
   /// Block until the response/NACK for `id` arrives or `timeout_ms`
   /// passes (-1 = config.io_timeout_ms).  Frames for other ids that
@@ -145,6 +156,8 @@ class Client {
   [[nodiscard]] Result await_frame(std::uint64_t id, int timeout_ms);
   Result finish(std::uint64_t id, const wire::Frame& frame,
                 std::uint64_t arrived_ns);
+  /// Write one encoded frame, blocking up to the io deadline.
+  void write_bytes(const std::string& bytes);
 
   Config config_;
   int fd_ = -1;

@@ -22,7 +22,9 @@
 
 #include "net/wire.hpp"
 #include "obs/obs.hpp"
+#include "service/stages.hpp"
 #include "util/check.hpp"
+#include "util/timer.hpp"
 
 namespace pslocal::net {
 
@@ -63,11 +65,22 @@ struct Server::Impl {
   Config config;
   std::size_t loop_count = 1;
 
+  // One queued output frame.  Response frames carry their request kind
+  // and trace id so the moment the last byte is handed to the socket
+  // can be attributed as the wire_write stage (docs/tracing.md).
+  struct QueuedWrite {
+    std::string bytes;
+    std::uint8_t stage_kind = kNoStageKind;  // RequestKind, or none
+    std::uint64_t trace_id = 0;
+    std::uint64_t enqueue_ns = 0;
+  };
+  static constexpr std::uint8_t kNoStageKind = 0xff;
+
   struct Connection {
     int fd = -1;
     std::uint64_t gen = 0;  // unique per accept; survives fd reuse
     wire::FrameDecoder decoder;
-    std::deque<std::string> write_queue;
+    std::deque<QueuedWrite> write_queue;
     std::size_t write_offset = 0;  // into write_queue.front()
     std::size_t queued_bytes = 0;
     bool want_write = false;  // EPOLLOUT currently registered
@@ -79,7 +92,7 @@ struct Server::Impl {
   // Encoded response frames headed back to an io loop.
   struct OutFrame {
     std::uint64_t conn_gen = 0;
-    std::string bytes;
+    QueuedWrite write;
   };
 
   /// One epoll event loop: private acceptor (SO_REUSEPORT sibling of the
@@ -96,6 +109,12 @@ struct Server::Impl {
     std::mutex outbox_mu;
     std::vector<OutFrame> outbox;
 
+    // Live gauges readable from ANY loop (the stats request is answered
+    // on whichever loop read it, and sibling connection maps are
+    // thread-private — these atomics are the cross-loop view).
+    std::atomic<std::size_t> conn_gauge{0};
+    std::atomic<std::size_t> queued_bytes_gauge{0};
+
     void wake() const {
       const char b = 'x';
       // The pipe being full already guarantees a pending wakeup.
@@ -111,6 +130,9 @@ struct Server::Impl {
     std::size_t loop_index = 0;
     std::uint64_t conn_gen = 0;
     std::uint64_t request_id = 0;
+    std::uint8_t kind = 0;  // RequestKind, for per-kind stage metrics
+    std::uint64_t trace_id = 0;        // echoed into the response header
+    std::uint64_t parent_span_id = 0;
     std::future<service::Response> future;
   };
   std::mutex completions_mu;
@@ -127,9 +149,12 @@ struct Server::Impl {
   std::atomic<std::uint64_t> nacks_queue_full{0}, nacks_shutdown{0};
   std::atomic<std::uint64_t> decode_errors{0}, overflow_closes{0};
 
-  void enqueue_frame(Connection& conn, std::string bytes) {
-    conn.queued_bytes += bytes.size();
-    conn.write_queue.push_back(std::move(bytes));
+  void enqueue_frame(Loop& loop, Connection& conn, QueuedWrite write) {
+    conn.queued_bytes += write.bytes.size();
+    loop.queued_bytes_gauge.fetch_add(write.bytes.size(),
+                                      std::memory_order_relaxed);
+    if (write.enqueue_ns == 0) write.enqueue_ns = now_ns();
+    conn.write_queue.push_back(std::move(write));
   }
 
   /// True if the connection exceeded its output bound and must close.
@@ -157,6 +182,9 @@ struct Server::Impl {
     auto it = loop.conns.find(fd);
     if (it == loop.conns.end()) return;
     loop.gen_to_fd.erase(it->second.gen);
+    loop.queued_bytes_gauge.fetch_sub(it->second.queued_bytes,
+                                      std::memory_order_relaxed);
+    loop.conn_gauge.fetch_sub(1, std::memory_order_relaxed);
     loop.conns.erase(it);
     ::close(fd);
     conn_count.fetch_sub(1, std::memory_order_relaxed);
@@ -179,6 +207,12 @@ struct Server::Impl {
       }
       frames_rx.fetch_add(1, std::memory_order_relaxed);
       g_frames_rx.add();
+      if (frame.kind == wire::FrameKind::kStatsRequest) {
+        // Telemetry scrape: answered right here on the io loop, never
+        // enqueued into the engine — a scrape cannot pause serving.
+        answer_stats(loop, conn, frame);
+        continue;
+      }
       if (frame.kind != wire::FrameKind::kRequest) {
         // Clients have no business sending response/nack frames.
         decode_errors.fetch_add(1, std::memory_order_relaxed);
@@ -189,11 +223,58 @@ struct Server::Impl {
     }
   }
 
+  /// Deterministic JSON for the live telemetry plane: the process-wide
+  /// obs snapshot, this engine's stats, and per-loop gauges.  Key order
+  /// is fixed (alphabetical at the top level: engine, obs, server).
+  [[nodiscard]] std::string stats_payload() {
+    std::string out = "{\"engine\":";
+    out += service::stats_json(engine.stats());
+    out += ",\"obs\":";
+    out += obs::snapshot_json(obs::snapshot());
+    out += ",\"server\":{\"name\":\"";
+    out += config.name;
+    out += "\",\"io_loops\":";
+    out += std::to_string(loop_count);
+    out += ",\"queue_depth\":";
+    out += std::to_string(engine.queue_depth());
+    out += ",\"connections\":";
+    out += std::to_string(conn_count.load(std::memory_order_relaxed));
+    out += ",\"loops\":[";
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+      if (i > 0) out += ',';
+      out += "{\"connections\":";
+      out += std::to_string(loops[i]->conn_gauge.load(std::memory_order_relaxed));
+      out += ",\"queued_bytes\":";
+      out += std::to_string(
+          loops[i]->queued_bytes_gauge.load(std::memory_order_relaxed));
+      out += '}';
+    }
+    out += "]}}";
+    return out;
+  }
+
+  void answer_stats(Loop& loop, Connection& conn, const wire::Frame& frame) {
+    PSL_OBS_SPAN("net.stats");
+    wire::Frame reply;
+    reply.kind = wire::FrameKind::kStatsResponse;
+    reply.request_id = frame.request_id;
+    reply.payload = stats_payload();
+    reply.trace_id = frame.trace_id;
+    reply.parent_span_id = frame.parent_span_id;
+    enqueue_frame(loop, conn,
+                  QueuedWrite{wire::encode_frame(reply), kNoStageKind,
+                              frame.trace_id, 0});
+  }
+
   /// Decode the request payload and submit it to the engine; queues a
   /// NACK on admission rejection.  Returns false on a malformed payload
   /// (the connection is closed — framing held but content did not).
   bool dispatch_request(Loop& loop, Connection& conn,
                         const wire::Frame& frame) {
+    // Adopt the wire trace context so the dispatch span (and every
+    // stage recorded downstream on this thread) nests under the
+    // client's root span in the stitched trace.
+    obs::ScopedTraceContext trace_ctx(frame.trace_id, frame.parent_span_id);
     PSL_OBS_SPAN("net.dispatch");
     service::Request request;
     std::string error;
@@ -203,6 +284,9 @@ struct Server::Impl {
       return false;
     }
     request.id = frame.request_id;
+    request.trace_id = frame.trace_id;
+    request.parent_span_id = frame.parent_span_id;
+    const auto kind = request.kind;
     auto submitted = engine.submit(std::move(request));
     switch (submitted.admission) {
       case service::Admission::kAccepted: {
@@ -210,6 +294,8 @@ struct Server::Impl {
         {
           std::lock_guard<std::mutex> lock(completions_mu);
           completions.push_back({loop.index, conn.gen, frame.request_id,
+                                 static_cast<std::uint8_t>(kind),
+                                 frame.trace_id, frame.parent_span_id,
                                  std::move(submitted.response)});
         }
         completions_cv.notify_one();
@@ -218,20 +304,30 @@ struct Server::Impl {
       case service::Admission::kQueueFull: {
         nacks_queue_full.fetch_add(1, std::memory_order_relaxed);
         g_nack_queue_full.add();
-        enqueue_frame(conn, wire::encode_frame(
-                                {wire::FrameKind::kNack, frame.request_id,
-                                 wire::encode_nack(wire::NackCode::kQueueFull)}));
+        enqueue_frame(loop, conn, nack_write(frame, wire::NackCode::kQueueFull));
         break;
       }
       case service::Admission::kShutdown: {
         nacks_shutdown.fetch_add(1, std::memory_order_relaxed);
-        enqueue_frame(conn, wire::encode_frame(
-                                {wire::FrameKind::kNack, frame.request_id,
-                                 wire::encode_nack(wire::NackCode::kShutdown)}));
+        enqueue_frame(loop, conn, nack_write(frame, wire::NackCode::kShutdown));
         break;
       }
     }
     return true;
+  }
+
+  /// NACK frames echo the request's trace ids, so even a rejected
+  /// request resolves to a complete span tree for the client.
+  [[nodiscard]] static QueuedWrite nack_write(const wire::Frame& frame,
+                                              wire::NackCode code) {
+    wire::Frame reply;
+    reply.kind = wire::FrameKind::kNack;
+    reply.request_id = frame.request_id;
+    reply.payload = wire::encode_nack(code);
+    reply.trace_id = frame.trace_id;
+    reply.parent_span_id = frame.parent_span_id;
+    return QueuedWrite{wire::encode_frame(reply), kNoStageKind, frame.trace_id,
+                       0};
   }
 
   /// Move completed response frames from the loop's outbox into their
@@ -247,8 +343,8 @@ struct Server::Impl {
       const auto it = loop.gen_to_fd.find(out.conn_gen);
       if (it == loop.gen_to_fd.end()) continue;
       Connection& conn = loop.conns.at(it->second);
-      enqueue_frame(conn, std::move(out.bytes));
-      bool alive = flush_writes(conn);
+      enqueue_frame(loop, conn, std::move(out.write));
+      bool alive = flush_writes(loop, conn);
       if (alive && over_output_bound(conn)) {
         overflow_closes.fetch_add(1, std::memory_order_relaxed);
         alive = false;
@@ -263,11 +359,11 @@ struct Server::Impl {
 
   /// Write as much queued output as the socket accepts.  Returns false
   /// when the connection must be closed.
-  bool flush_writes(Connection& conn) {
+  bool flush_writes(Loop& loop, Connection& conn) {
     while (!conn.write_queue.empty()) {
-      const std::string& front = conn.write_queue.front();
-      const char* data = front.data() + conn.write_offset;
-      const std::size_t len = front.size() - conn.write_offset;
+      const QueuedWrite& front = conn.write_queue.front();
+      const char* data = front.bytes.data() + conn.write_offset;
+      const std::size_t len = front.bytes.size() - conn.write_offset;
       const ssize_t n = ::send(conn.fd, data, len, MSG_NOSIGNAL);
       if (n < 0) {
         if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
@@ -279,7 +375,17 @@ struct Server::Impl {
       g_bytes_tx.add(static_cast<std::uint64_t>(n));
       conn.write_offset += static_cast<std::size_t>(n);
       conn.queued_bytes -= static_cast<std::size_t>(n);
-      if (conn.write_offset == front.size()) {
+      loop.queued_bytes_gauge.fetch_sub(static_cast<std::size_t>(n),
+                                        std::memory_order_relaxed);
+      if (conn.write_offset == front.bytes.size()) {
+        // Last byte handed to the kernel: close out the wire_write
+        // stage for response frames (enqueue -> socket accepted all).
+        if (front.stage_kind != kNoStageKind) {
+          service::stages::record(
+              service::stages::Stage::kWireWrite,
+              static_cast<service::RequestKind>(front.stage_kind),
+              now_ns() - front.enqueue_ns, front.trace_id);
+        }
         conn.write_queue.pop_front();
         conn.write_offset = 0;
         frames_tx.fetch_add(1, std::memory_order_relaxed);
@@ -335,6 +441,7 @@ struct Server::Impl {
       PSL_CHECK_MSG(::epoll_ctl(loop.epoll_fd, EPOLL_CTL_ADD, fd, &ev) == 0,
                     "net: epoll_ctl(ADD) failed: " << std::strerror(errno));
       conn_count.fetch_add(1, std::memory_order_relaxed);
+      loop.conn_gauge.fetch_add(1, std::memory_order_relaxed);
       accepted.fetch_add(1, std::memory_order_relaxed);
       g_accepted.add();
       g_conn_active.add(1);
@@ -342,6 +449,7 @@ struct Server::Impl {
   }
 
   void loop_main(Loop& loop, const std::atomic<bool>& stop_flag) {
+    obs::set_thread_label(config.name + ".loop" + std::to_string(loop.index));
     std::vector<epoll_event> events(128);
     while (!stop_flag.load(std::memory_order_acquire)) {
       const int ready = ::epoll_wait(loop.epoll_fd, events.data(),
@@ -376,7 +484,7 @@ struct Server::Impl {
         bool alive = true;
         if (ev & (EPOLLERR | EPOLLHUP)) alive = false;
         if (alive && (ev & EPOLLIN)) alive = handle_readable(loop, conn);
-        if (alive) alive = flush_writes(conn);
+        if (alive) alive = flush_writes(loop, conn);
         if (alive && over_output_bound(conn)) {
           overflow_closes.fetch_add(1, std::memory_order_relaxed);
           alive = false;
@@ -395,6 +503,7 @@ struct Server::Impl {
   }
 
   void completer_main(const std::atomic<bool>& stop_flag) {
+    obs::set_thread_label(config.name + ".completer");
     for (;;) {
       Completion job;
       {
@@ -410,14 +519,31 @@ struct Server::Impl {
       // request exactly once (serve, error, or shutdown-reject).
       service::Response response = job.future.get();
       response.id = job.request_id;
-      std::string bytes = wire::encode_frame({wire::FrameKind::kResponse,
-                                              job.request_id,
-                                              wire::encode_response(response)});
+      // Serialize stage: encode under the request's trace context so
+      // the span lands on the completer track of the right trace.
+      obs::ScopedTraceContext trace_ctx(job.trace_id, job.parent_span_id);
+      const std::uint64_t serialize_start = now_ns();
+      std::string bytes;
+      {
+        PSL_OBS_SPAN("net.serialize");
+        wire::Frame reply;
+        reply.kind = wire::FrameKind::kResponse;
+        reply.request_id = job.request_id;
+        reply.payload = wire::encode_response(response);
+        reply.trace_id = job.trace_id;
+        reply.parent_span_id = job.parent_span_id;
+        bytes = wire::encode_frame(reply);
+      }
+      service::stages::record(service::stages::Stage::kSerialize,
+                              static_cast<service::RequestKind>(job.kind),
+                              now_ns() - serialize_start, job.trace_id);
       if (stop_flag.load(std::memory_order_acquire)) continue;
       Loop& loop = *loops[job.loop_index];
       {
         std::lock_guard<std::mutex> lock(loop.outbox_mu);
-        loop.outbox.push_back({job.conn_gen, std::move(bytes)});
+        loop.outbox.push_back(
+            {job.conn_gen,
+             QueuedWrite{std::move(bytes), job.kind, job.trace_id, now_ns()}});
       }
       loop.wake();
     }

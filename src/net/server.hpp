@@ -43,6 +43,12 @@
 //  * corrupt frame            -> connection closed; other connections
 //                                unaffected.
 //
+// Live telemetry (docs/tracing.md): a kStatsRequest frame is answered
+// inline on the io loop that read it — obs::snapshot_json + the
+// engine's stats_json + per-loop connection/queued-bytes gauges as one
+// deterministic JSON object — without ever touching the engine queue,
+// so scraping a busy shard never pauses it.
+//
 // Every connection is independent: one client sending garbage or
 // stalling cannot delay decode or dispatch for the others (solver-side
 // ordering is the engine's FIFO, as for in-process callers).
@@ -70,6 +76,10 @@ class Server {
     /// epoll event loops (each with its own SO_REUSEPORT acceptor);
     /// 0 = one per core, capped at 8.
     std::size_t io_threads = 1;
+    /// Identity in traces and the stats JSON: io-loop threads are
+    /// labelled "<name>.loop<i>" (Perfetto track names) and the stats
+    /// response reports it, so a multi-shard scrape tells shards apart.
+    std::string name = "server";
   };
 
   /// The engine must outlive the server and should be start()ed by the

@@ -99,25 +99,31 @@ bool set_error(std::string* error, const std::string& why) {
 }  // namespace
 
 bool frame_kind_valid(std::uint8_t kind) {
-  return kind == static_cast<std::uint8_t>(FrameKind::kRequest) ||
-         kind == static_cast<std::uint8_t>(FrameKind::kResponse) ||
-         kind == static_cast<std::uint8_t>(FrameKind::kNack);
+  return kind >= static_cast<std::uint8_t>(FrameKind::kRequest) &&
+         kind <= static_cast<std::uint8_t>(FrameKind::kStatsResponse);
 }
 
-std::string encode_frame(const Frame& frame) {
+std::string encode_frame(const Frame& frame, std::uint8_t version) {
   PSL_EXPECTS(frame.payload.size() <= kMaxPayload);
+  PSL_EXPECTS_MSG(version == 1 || version == 2,
+                  "net: unencodable frame version");
+  const std::size_t header = version == 1 ? kHeaderSizeV1 : kHeaderSize;
   std::string out;
-  out.reserve(kHeaderSize + frame.payload.size());
+  out.reserve(header + frame.payload.size());
   put_u32(out, kMagic);
-  put_u8(out, kVersion);
+  put_u8(out, version);
   put_u8(out, static_cast<std::uint8_t>(frame.kind));
   put_u16(out, 0);
   put_u64(out, frame.request_id);
   put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
   put_u32(out, 0);
   put_u64(out, fnv1a64(frame.payload));
+  if (version == 2) {
+    put_u64(out, frame.trace_id);
+    put_u64(out, frame.parent_span_id);
+  }
   out += frame.payload;
-  PSL_ENSURES(out.size() == kHeaderSize + frame.payload.size());
+  PSL_ENSURES(out.size() == header + frame.payload.size());
   return out;
 }
 
@@ -146,13 +152,15 @@ FrameDecoder::Result FrameDecoder::fail(const std::string& why) {
 FrameDecoder::Result FrameDecoder::next(Frame& out) {
   if (corrupt_) return Result::kCorrupt;
   const std::size_t avail = buffer_.size() - consumed_;
-  if (avail < kHeaderSize) return Result::kNeedMore;
+  if (avail < kHeaderSizeV1) return Result::kNeedMore;
   const char* h = buffer_.data() + consumed_;
 
   if (load_u32(h) != kMagic) return fail("bad magic");
   const auto version = static_cast<std::uint8_t>(h[4]);
-  if (version != kVersion)
+  if (version != 1 && version != kVersion)
     return fail("unsupported version " + std::to_string(version));
+  // v1 peers stop after the checksum word; v2 appends the trace words.
+  const std::size_t header_size = version == 1 ? kHeaderSizeV1 : kHeaderSize;
   const auto kind = static_cast<std::uint8_t>(h[5]);
   if (!frame_kind_valid(kind))
     return fail("unknown frame kind " + std::to_string(kind));
@@ -165,14 +173,16 @@ FrameDecoder::Result FrameDecoder::next(Frame& out) {
   if (load_u32(h + 20) != 0) return fail("nonzero reserved field");
   const std::uint64_t payload_fnv = load_u64(h + 24);
 
-  if (avail < kHeaderSize + payload_len) return Result::kNeedMore;
-  const std::string_view payload(h + kHeaderSize, payload_len);
+  if (avail < header_size + payload_len) return Result::kNeedMore;
+  const std::string_view payload(h + header_size, payload_len);
   if (fnv1a64(payload) != payload_fnv) return fail("payload checksum mismatch");
 
   out.kind = static_cast<FrameKind>(kind);
   out.request_id = request_id;
+  out.trace_id = version == 1 ? 0 : load_u64(h + 32);
+  out.parent_span_id = version == 1 ? 0 : load_u64(h + 40);
   out.payload.assign(payload.data(), payload.size());
-  consumed_ += kHeaderSize + payload_len;
+  consumed_ += header_size + payload_len;
   if (consumed_ == buffer_.size()) {
     buffer_.clear();
     consumed_ = 0;

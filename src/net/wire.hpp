@@ -1,24 +1,32 @@
 // Binary wire protocol of the network tier (src/net/).
 //
-// A frame is a fixed 32-byte header followed by `payload_len` payload
-// bytes.  Every multi-byte integer is little-endian at a fixed width —
-// the same canonical convention as util/hash — so frames are
-// byte-identical across platforms and a recorded byte stream replays
-// anywhere.  The header carries an FNV-1a 64 digest of the payload;
-// a frame whose payload was bit-flipped in flight (or whose length
-// field lies about where the payload ends) fails the checksum and is
-// rejected as corrupt rather than mis-parsed.
+// A frame is a fixed 48-byte header (version 2) followed by
+// `payload_len` payload bytes.  Every multi-byte integer is
+// little-endian at a fixed width — the same canonical convention as
+// util/hash — so frames are byte-identical across platforms and a
+// recorded byte stream replays anywhere.  The header carries an FNV-1a
+// 64 digest of the payload; a frame whose payload was bit-flipped in
+// flight (or whose length field lies about where the payload ends)
+// fails the checksum and is rejected as corrupt rather than mis-parsed.
 //
 //   offset  width  field
 //        0      4  magic        "PSL1" (0x314c5350 little-endian)
-//        4      1  version      kVersion (currently 1)
-//        5      1  kind         FrameKind (request / response / nack)
+//        4      1  version      kVersion (currently 2; 1 still decodes)
+//        5      1  kind         FrameKind (request/response/nack/stats)
 //        6      2  reserved     must be 0
 //        8      8  request_id   caller-assigned; echoed in the response
 //       16      4  payload_len  <= max_payload (decoder-configured)
 //       20      4  reserved2    must be 0
 //       24      8  payload_fnv  fnv1a64(payload)
-//       32      …  payload
+//       32      8  trace_id     distributed trace id (v2; 0 = untraced)
+//       40      8  parent_span_id  sender's span (v2; 0 = root)
+//       48      …  payload
+//
+// Version 1 frames (PR 5/6 peers) are the same layout without the two
+// trace words — a 32-byte header with the payload at offset 32.  The
+// decoder accepts both: v1 frames simply decode with zero trace fields,
+// so trace context is always *on the wire* (zero when absent or when
+// built with -DPSLOCAL_OBS=OFF) without breaking older byte streams.
 //
 // Payload encodings reuse the canonical serialization style of
 // util/hash (fixed-width little-endian words, length-prefixed strings):
@@ -43,8 +51,11 @@
 namespace pslocal::net::wire {
 
 inline constexpr std::uint32_t kMagic = 0x314c5350u;  // "PSL1"
-inline constexpr std::uint8_t kVersion = 1;
-inline constexpr std::size_t kHeaderSize = 32;
+inline constexpr std::uint8_t kVersion = 2;
+/// Header size of a kVersion frame (v2: includes the trace words).
+inline constexpr std::size_t kHeaderSize = 48;
+/// Header size of a legacy version-1 frame (no trace words).
+inline constexpr std::size_t kHeaderSizeV1 = 32;
 /// Default payload bound: generous for request instances, small enough
 /// that a length-lying frame cannot make the decoder allocate wildly.
 inline constexpr std::size_t kMaxPayload = 16u << 20;
@@ -54,23 +65,32 @@ inline constexpr std::size_t kMaxPayload = 16u << 20;
 inline constexpr std::uint64_t kMaxWireVertices = 1u << 24;
 
 enum class FrameKind : std::uint8_t {
-  kRequest = 1,   // payload: encode_request
-  kResponse = 2,  // payload: encode_response
-  kNack = 3,      // payload: encode_nack (admission rejected; retryable)
+  kRequest = 1,        // payload: encode_request
+  kResponse = 2,       // payload: encode_response
+  kNack = 3,           // payload: encode_nack (admission rejected; retryable)
+  kStatsRequest = 4,   // payload: empty (live telemetry scrape)
+  kStatsResponse = 5,  // payload: deterministic JSON (docs/tracing.md)
 };
 
-/// True for the three defined kinds (the decoder rejects anything else).
+/// True for the five defined kinds (the decoder rejects anything else).
 [[nodiscard]] bool frame_kind_valid(std::uint8_t kind);
 
 struct Frame {
   FrameKind kind = FrameKind::kRequest;
   std::uint64_t request_id = 0;
   std::string payload;
+  // Distributed trace context (v2 header words; decoded as 0 from v1
+  // frames and from untraced senders).
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
 };
 
-/// Serialize a frame (header + payload) into wire bytes.
+/// Serialize a frame (header + payload) into wire bytes.  `version`
+/// must be 1 or 2; version 1 drops the trace words (compatibility
+/// shim, used by tests and old-peer simulation).
 /// PSL_EXPECTS payload.size() <= kMaxPayload.
-[[nodiscard]] std::string encode_frame(const Frame& frame);
+[[nodiscard]] std::string encode_frame(const Frame& frame,
+                                       std::uint8_t version = kVersion);
 
 /// Strict incremental frame parser (see header comment).
 class FrameDecoder {

@@ -1,5 +1,9 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
 #if PSLOCAL_OBS_ENABLED
 
 #include <atomic>
@@ -8,6 +12,7 @@
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/timer.hpp"
 
 namespace pslocal::obs {
 
@@ -15,15 +20,21 @@ namespace {
 
 // Fixed slot capacities: blocks must never reallocate, because the
 // snapshot reader walks live blocks while their owner threads write.
-constexpr std::size_t kMaxCounters = 192;
-constexpr std::size_t kMaxGauges = 48;
-constexpr std::size_t kMaxHistograms = 48;
+// (Raised for the per-kind service.stage.* histograms, docs/tracing.md.)
+constexpr std::size_t kMaxCounters = 256;
+constexpr std::size_t kMaxGauges = 64;
+constexpr std::size_t kMaxHistograms = 128;
 
 // One thread's private slots.  Separate heap allocation per thread and
 // 64-byte alignment keep writers off each other's cache lines ("padded
 // slots"); the atomics are only ever touched with relaxed load/store by
 // the single owning writer, plus relaxed loads from the snapshot reader.
 struct alignas(64) ThreadBlock {
+  struct ExemplarSlot {
+    std::atomic<std::uint64_t> trace_id{0};
+    std::atomic<std::uint64_t> at_ns{0};
+  };
+
   struct HistSlots {
     std::atomic<std::uint64_t> count{0};
     std::atomic<std::uint64_t> sum{0};
@@ -31,6 +42,15 @@ struct alignas(64) ThreadBlock {
     std::atomic<std::uint64_t> max{0};
     std::array<std::atomic<std::uint64_t>, HistogramSnapshot::kBuckets>
         buckets{};
+    // Per-bucket ring of the most recent exemplar trace_ids.  The
+    // cursor is owner-only; the slots are atomics so the snapshot
+    // reader's loads are race-free.  A reader may pair a new trace_id
+    // with a stale at_ns for one in-flight write — exemplars are
+    // diagnostics, recency ordering tolerates that.
+    std::array<std::array<ExemplarSlot, HistogramSnapshot::kExemplarSlots>,
+               HistogramSnapshot::kBuckets>
+        exemplars{};
+    std::array<std::uint8_t, HistogramSnapshot::kBuckets> exemplar_cursor{};
   };
 
   std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
@@ -42,6 +62,33 @@ struct alignas(64) ThreadBlock {
 inline void bump(std::atomic<std::uint64_t>& slot, std::uint64_t n) {
   slot.store(slot.load(std::memory_order_relaxed) + n,
              std::memory_order_relaxed);
+}
+
+// Keep the kExemplarSlots newest exemplars of `have` ∪ `add` in `have`,
+// newest first.  Ordering by (at_ns, trace_id) makes the merge
+// commutative — the result is a max-K over a set, independent of the
+// order threads are visited.
+void merge_exemplars(
+    std::array<HistogramSnapshot::Exemplar, HistogramSnapshot::kExemplarSlots>&
+        have,
+    const std::array<HistogramSnapshot::Exemplar,
+                     HistogramSnapshot::kExemplarSlots>& add) {
+  std::array<HistogramSnapshot::Exemplar,
+             2 * HistogramSnapshot::kExemplarSlots>
+      merged{};
+  std::size_t n = 0;
+  for (const auto& e : have)
+    if (e.trace_id != 0) merged[n++] = e;
+  for (const auto& e : add)
+    if (e.trace_id != 0) merged[n++] = e;
+  std::sort(merged.begin(), merged.begin() + n,
+            [](const HistogramSnapshot::Exemplar& a,
+               const HistogramSnapshot::Exemplar& b) {
+              if (a.at_ns != b.at_ns) return a.at_ns > b.at_ns;
+              return a.trace_id > b.trace_id;
+            });
+  for (std::size_t i = 0; i < HistogramSnapshot::kExemplarSlots; ++i)
+    have[i] = i < n ? merged[i] : HistogramSnapshot::Exemplar{};
 }
 
 class Registry {
@@ -116,8 +163,8 @@ class Registry {
     return static_cast<std::uint32_t>(names.size() - 1);
   }
 
-  // All merge ops are commutative, so totals are independent of the
-  // order in which threads ran or retired.
+  // All merge ops are commutative (sum / min / max / newest-K), so
+  // totals are independent of the order in which threads ran or retired.
   static void merge_block(const ThreadBlock& b, Totals& t) {
     for (std::size_t i = 0; i < kMaxCounters; ++i)
       t.counters[i] += b.counters[i].load(std::memory_order_relaxed);
@@ -134,8 +181,21 @@ class Registry {
       out.max = out.count == 0 ? mx : std::max(out.max, mx);
       out.count += count;
       out.sum += h.sum.load(std::memory_order_relaxed);
-      for (std::size_t k = 0; k < HistogramSnapshot::kBuckets; ++k)
+      for (std::size_t k = 0; k < HistogramSnapshot::kBuckets; ++k) {
         out.buckets[k] += h.buckets[k].load(std::memory_order_relaxed);
+        std::array<HistogramSnapshot::Exemplar,
+                   HistogramSnapshot::kExemplarSlots>
+            theirs{};
+        bool any = false;
+        for (std::size_t s = 0; s < HistogramSnapshot::kExemplarSlots; ++s) {
+          theirs[s].trace_id =
+              h.exemplars[k][s].trace_id.load(std::memory_order_relaxed);
+          theirs[s].at_ns =
+              h.exemplars[k][s].at_ns.load(std::memory_order_relaxed);
+          any = any || theirs[s].trace_id != 0;
+        }
+        if (any) merge_exemplars(out.exemplars[k], theirs);
+      }
     }
   }
 
@@ -183,7 +243,10 @@ void Gauge::add(std::int64_t delta) const {
 Histogram::Histogram(const char* name)
     : id_(Registry::instance().register_histogram(name)) {}
 
-void Histogram::record(std::uint64_t value) const {
+void Histogram::record(std::uint64_t value) const { record(value, 0); }
+
+void Histogram::record(std::uint64_t value,
+                       std::uint64_t exemplar_trace_id) const {
   auto& h = local_block().hists[id_];
   const std::uint64_t count = h.count.load(std::memory_order_relaxed);
   if (count == 0) {
@@ -197,7 +260,16 @@ void Histogram::record(std::uint64_t value) const {
   }
   h.count.store(count + 1, std::memory_order_relaxed);
   bump(h.sum, value);
-  bump(h.buckets[histogram_bucket(value)], 1);
+  const std::size_t bucket = histogram_bucket(value);
+  bump(h.buckets[bucket], 1);
+  if (exemplar_trace_id != 0) {
+    const std::uint8_t cur = h.exemplar_cursor[bucket];
+    auto& slot = h.exemplars[bucket][cur];
+    slot.trace_id.store(exemplar_trace_id, std::memory_order_relaxed);
+    slot.at_ns.store(now_ns(), std::memory_order_relaxed);
+    h.exemplar_cursor[bucket] = static_cast<std::uint8_t>(
+        (cur + 1) % HistogramSnapshot::kExemplarSlots);
+  }
 }
 
 Snapshot snapshot() { return Registry::instance().snapshot(); }
@@ -205,3 +277,104 @@ Snapshot snapshot() { return Registry::instance().snapshot(); }
 }  // namespace pslocal::obs
 
 #endif  // PSLOCAL_OBS_ENABLED
+
+// snapshot_json exists in both OBS modes: the stats wire request kind
+// still answers (with an empty snapshot) when instrumentation is
+// compiled out.
+namespace pslocal::obs {
+
+namespace {
+
+void append_hex64_quoted(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "\"0x%016" PRIx64 "\"", v);
+  out += buf;
+}
+
+// Metric names are identifier-like ([a-z0-9._]); escape the two JSON
+// metacharacters defensively anyway.
+void append_name(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string snapshot_json(const Snapshot& snap) {
+  std::string out;
+  out += "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) out += ',';
+    first = false;
+    append_name(out, name);
+    out += ':';
+    out += std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) out += ',';
+    first = false;
+    append_name(out, name);
+    out += ':';
+    out += std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) out += ',';
+    first = false;
+    append_name(out, name);
+    out += ":{\"count\":";
+    out += std::to_string(h.count);
+    out += ",\"sum\":";
+    out += std::to_string(h.sum);
+    out += ",\"min\":";
+    out += std::to_string(h.min);
+    out += ",\"max\":";
+    out += std::to_string(h.max);
+    out += ",\"p50\":";
+    out += std::to_string(h.value_at_quantile(0.5));
+    out += ",\"p99\":";
+    out += std::to_string(h.value_at_quantile(0.99));
+    out += ",\"buckets\":[";
+    bool first_b = true;
+    for (std::size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      if (!first_b) out += ',';
+      first_b = false;
+      out += '[';
+      out += std::to_string(histogram_bucket_upper(b));
+      out += ',';
+      out += std::to_string(h.buckets[b]);
+      out += ']';
+    }
+    out += "],\"exemplars\":[";
+    bool first_e = true;
+    for (std::size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+      bool any = false;
+      for (const auto& e : h.exemplars[b]) any = any || e.trace_id != 0;
+      if (!any) continue;
+      if (!first_e) out += ',';
+      first_e = false;
+      out += '[';
+      out += std::to_string(histogram_bucket_upper(b));
+      for (const auto& e : h.exemplars[b]) {
+        if (e.trace_id == 0) continue;
+        out += ',';
+        append_hex64_quoted(out, e.trace_id);
+      }
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace pslocal::obs

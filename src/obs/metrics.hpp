@@ -57,11 +57,22 @@ inline constexpr bool kEnabled = PSLOCAL_OBS_ENABLED != 0;
 /// Merged view of one histogram (see bucket convention above).
 struct HistogramSnapshot {
   static constexpr std::size_t kBuckets = 64;
+  /// Tail exemplars: each bucket keeps the kExemplarSlots most recent
+  /// non-zero trace_ids recorded into it, so a p99 bucket links
+  /// directly to a scrapeable trace (docs/tracing.md).
+  static constexpr std::size_t kExemplarSlots = 2;
+  struct Exemplar {
+    std::uint64_t trace_id = 0;  // 0 == empty slot
+    std::uint64_t at_ns = 0;     // recording time, for recency merges
+  };
+
   std::uint64_t count = 0;
   std::uint64_t sum = 0;
   std::uint64_t min = 0;  // 0 when count == 0
   std::uint64_t max = 0;
   std::array<std::uint64_t, kBuckets> buckets{};
+  /// Per bucket, newest first; empty slots have trace_id == 0.
+  std::array<std::array<Exemplar, kExemplarSlots>, kBuckets> exemplars{};
 
   [[nodiscard]] double mean() const {
     return count == 0 ? 0.0
@@ -113,6 +124,13 @@ struct Snapshot {
   }
 };
 
+/// Canonical single-line JSON for a Snapshot, served over the wire by
+/// the `stats` request kind (docs/tracing.md).  Key order is
+/// byte-deterministic: metric names sorted (std::map), fixed field
+/// order inside each histogram.  Exemplar trace_ids are hex64 strings.
+/// Available in both OBS modes (OFF serializes the empty snapshot).
+[[nodiscard]] std::string snapshot_json(const Snapshot& snap);
+
 #if PSLOCAL_OBS_ENABLED
 
 /// Monotone event count, merged by sum.  Cheap enough for per-chunk and
@@ -144,6 +162,9 @@ class Histogram {
  public:
   explicit Histogram(const char* name);
   void record(std::uint64_t value) const;
+  /// Record a value and, when exemplar_trace_id != 0, remember it as a
+  /// tail exemplar for the value's bucket.
+  void record(std::uint64_t value, std::uint64_t exemplar_trace_id) const;
   [[nodiscard]] std::uint32_t id() const { return id_; }
 
  private:
@@ -173,6 +194,7 @@ class Histogram {
  public:
   explicit constexpr Histogram(const char*) {}
   void record(std::uint64_t) const {}
+  void record(std::uint64_t, std::uint64_t) const {}
   [[nodiscard]] std::uint32_t id() const { return 0; }
 };
 

@@ -16,10 +16,23 @@ namespace pslocal::obs {
 
 namespace {
 
+// SplitMix64 finalizer (same mixer as util/hash.hpp's mix64, restated
+// here so obs stays dependency-free of the graph headers).
+constexpr std::uint64_t trace_mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
 struct Event {
   const char* name;
   std::uint64_t ts;  // absolute now_ns(); rebased on write
   char ph;           // 'B' or 'E'
+  // Distributed-trace coordinates, meaningful on 'B' events only.
+  std::uint64_t trace_id;
+  std::uint64_t span_id;
+  std::uint64_t parent_span_id;
 };
 
 // One thread's event buffer.  The mutex is effectively uncontended: the
@@ -28,7 +41,19 @@ struct EventBuffer {
   std::mutex mu;
   std::vector<Event> events;
   std::uint32_t tid = 0;
+  std::string label;  // Perfetto track name; sticky across sessions
 };
+
+// Events plus identity of one (possibly already exited) thread.
+struct ThreadDump {
+  std::uint32_t tid = 0;
+  std::string label;
+  std::vector<Event> events;
+};
+
+// The ambient context is plain thread-local data: reads/writes are
+// single-threaded by construction, no synchronization needed.
+thread_local TraceContext t_context;
 
 class TraceState {
  public:
@@ -71,13 +96,14 @@ class TraceState {
     std::lock_guard<std::mutex> lk(mu_);
     if (path_.empty()) return {};
     active.store(false, std::memory_order_relaxed);
-    std::vector<std::pair<std::uint32_t, std::vector<Event>>> all =
-        std::move(retired_);
+    std::vector<ThreadDump> all = std::move(retired_);
     retired_.clear();
     for (EventBuffer* b : live_) {
       std::lock_guard<std::mutex> blk(b->mu);
-      if (!b->events.empty())
-        all.emplace_back(b->tid, std::move(b->events));
+      // Labelled-but-idle threads still get a thread_name metadata row
+      // so every named track shows up in the merged view.
+      if (!b->events.empty() || !b->label.empty())
+        all.push_back(ThreadDump{b->tid, b->label, std::move(b->events)});
       b->events.clear();
     }
     const std::string path = std::exchange(path_, std::string{});
@@ -94,7 +120,8 @@ class TraceState {
   void retire(EventBuffer* buffer) {
     std::lock_guard<std::mutex> lk(mu_);
     if (!buffer->events.empty())
-      retired_.emplace_back(buffer->tid, std::move(buffer->events));
+      retired_.push_back(
+          ThreadDump{buffer->tid, buffer->label, std::move(buffer->events)});
     for (auto it = live_.begin(); it != live_.end(); ++it) {
       if (*it == buffer) {
         live_.erase(it);
@@ -102,6 +129,12 @@ class TraceState {
       }
     }
     delete buffer;
+  }
+
+  void set_process(std::uint32_t pid, const std::string& name) {
+    std::lock_guard<std::mutex> lk(mu_);
+    pid_ = pid;
+    process_name_ = name;
   }
 
  private:
@@ -114,9 +147,8 @@ class TraceState {
   };
 
   // Span names are identifier-like literals, but escape defensively.
-  static void append_escaped(std::string& out, const char* s) {
-    for (; *s; ++s) {
-      const char c = *s;
+  static void append_escaped(std::string& out, const std::string& s) {
+    for (const char c : s) {
       if (c == '"' || c == '\\') {
         out += '\\';
         out += c;
@@ -130,20 +162,27 @@ class TraceState {
     }
   }
 
-  void write_file(
-      const std::string& path,
-      std::vector<std::pair<std::uint32_t, std::vector<Event>>>& all) const {
+  void write_file(const std::string& path,
+                  std::vector<ThreadDump>& all) const {
     std::string out;
     out += "[\n";
     bool first = true;
-    for (auto& [tid, events] : all) {
+    if (!process_name_.empty()) {
+      emit_meta(out, first, "process_name", /*tid=*/0, process_name_);
+      first = false;
+    }
+    for (ThreadDump& dump : all) {
+      if (!dump.label.empty()) {
+        emit_meta(out, first, "thread_name", dump.tid, dump.label);
+        first = false;
+      }
       // Balance: spans still open when the session ended get a
       // synthetic E at the thread's last seen timestamp; stray E
       // events (span object created in an earlier session) drop.
       std::size_t depth = 0;
       std::vector<const Event*> kept;
-      kept.reserve(events.size());
-      for (const Event& e : events) {
+      kept.reserve(dump.events.size());
+      for (const Event& e : dump.events) {
         if (e.ph == 'B') {
           ++depth;
           kept.push_back(&e);
@@ -154,12 +193,13 @@ class TraceState {
       }
       std::uint64_t last_ts = start_ns_;
       for (const Event* e : kept) {
-        emit(out, first, e->name, e->ph, e->ts, tid);
+        emit(out, first, *e, dump.tid);
         last_ts = e->ts;
         first = false;
       }
       for (; depth > 0; --depth) {
-        emit(out, first, "(unclosed)", 'E', last_ts, tid);
+        const Event closer{"(unclosed)", last_ts, 'E', 0, 0, 0};
+        emit(out, first, closer, dump.tid);
         first = false;
       }
     }
@@ -169,36 +209,74 @@ class TraceState {
     f << out;
   }
 
-  void emit(std::string& out, bool first, const char* name, char ph,
-            std::uint64_t ts, std::uint32_t tid) const {
+  static void append_hex64(std::string& out, std::uint64_t v) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "0x%016llx",
+                  static_cast<unsigned long long>(v));
+    out += buf;
+  }
+
+  void emit(std::string& out, bool first, const Event& e,
+            std::uint32_t tid) const {
     if (!first) out += ",\n";
     out += "  {\"name\": \"";
-    append_escaped(out, name);
+    append_escaped(out, e.name);
     out += "\", \"cat\": \"pslocal\", \"ph\": \"";
-    out += ph;
-    out += "\", \"pid\": 0, \"tid\": ";
+    out += e.ph;
+    out += "\", \"pid\": ";
+    out += std::to_string(pid_);
+    out += ", \"tid\": ";
     out += std::to_string(tid);
     // Microseconds with nanosecond precision, rebased to session start.
-    const std::uint64_t rel = ts >= start_ns_ ? ts - start_ns_ : 0;
+    const std::uint64_t rel = e.ts >= start_ns_ ? e.ts - start_ns_ : 0;
     char buf[40];
-    std::snprintf(buf, sizeof buf, ", \"ts\": %llu.%03u}",
+    std::snprintf(buf, sizeof buf, ", \"ts\": %llu.%03u",
                   static_cast<unsigned long long>(rel / 1000),
                   static_cast<unsigned>(rel % 1000));
     out += buf;
+    if (e.ph == 'B' && e.span_id != 0) {
+      out += ", \"args\": {\"trace_id\": \"";
+      append_hex64(out, e.trace_id);
+      out += "\", \"span_id\": \"";
+      append_hex64(out, e.span_id);
+      out += "\", \"parent_span_id\": \"";
+      append_hex64(out, e.parent_span_id);
+      out += "\"}";
+    }
+    out += "}";
+  }
+
+  void emit_meta(std::string& out, bool first, const char* meta,
+                 std::uint32_t tid, const std::string& value) const {
+    if (!first) out += ",\n";
+    out += "  {\"name\": \"";
+    out += meta;
+    out += "\", \"cat\": \"__metadata\", \"ph\": \"M\", \"pid\": ";
+    out += std::to_string(pid_);
+    out += ", \"tid\": ";
+    out += std::to_string(tid);
+    out += ", \"ts\": 0.000, \"args\": {\"name\": \"";
+    append_escaped(out, value);
+    out += "\"}}";
   }
 
   std::mutex mu_;
   std::string path_;
   std::uint64_t start_ns_ = 0;
   std::uint32_t next_tid_ = 0;
+  std::uint32_t pid_ = 0;
+  std::string process_name_;
   std::vector<EventBuffer*> live_;
-  std::vector<std::pair<std::uint32_t, std::vector<Event>>> retired_;
+  std::vector<ThreadDump> retired_;
 };
 
-inline void record(const char* name, char ph) {
+inline void record(const char* name, char ph, std::uint64_t trace_id = 0,
+                   std::uint64_t span_id = 0,
+                   std::uint64_t parent_span_id = 0) {
   EventBuffer& buf = TraceState::instance().local_buffer();
   std::lock_guard<std::mutex> lk(buf.mu);
-  buf.events.push_back(Event{name, now_ns(), ph});
+  buf.events.push_back(
+      Event{name, now_ns(), ph, trace_id, span_id, parent_span_id});
 }
 
 }  // namespace
@@ -213,16 +291,60 @@ void start_tracing(const std::string& path) {
 
 std::string finish_tracing() { return TraceState::instance().finish(); }
 
+TraceContext current_trace_context() { return t_context; }
+
+std::uint64_t new_trace_id() {
+  // mix64 is a bijection on u64, so distinct counter values never
+  // collide; skip the single preimage of 0 (0 means "no trace").
+  static std::atomic<std::uint64_t> counter{0};
+  std::uint64_t id;
+  do {
+    id = trace_mix64(counter.fetch_add(1, std::memory_order_relaxed) + 1);
+  } while (id == 0);
+  return id;
+}
+
+ScopedTraceContext::ScopedTraceContext(std::uint64_t trace_id,
+                                       std::uint64_t span_id)
+    : saved_(t_context) {
+  t_context = TraceContext{trace_id, span_id};
+}
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& ctx)
+    : saved_(t_context) {
+  t_context = ctx;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { t_context = saved_; }
+
+void set_thread_label(const std::string& label) {
+  EventBuffer& buf = TraceState::instance().local_buffer();
+  std::lock_guard<std::mutex> lk(buf.mu);
+  buf.label = label;
+}
+
+void set_trace_process(std::uint32_t pid, const std::string& name) {
+  TraceState::instance().set_process(pid, name);
+}
+
 ScopedSpan::ScopedSpan(const char* name)
     : name_(tracing_active() ? name : nullptr) {
-  if (name_ != nullptr) record(name_, 'B');
+  if (name_ == nullptr) return;
+  // Become the ambient parent: wire sends and nested spans inside this
+  // scope point their parent_span_id here.
+  saved_ = t_context;
+  const std::uint64_t span_id = new_trace_id();
+  record(name_, 'B', saved_.trace_id, span_id, saved_.span_id);
+  t_context = TraceContext{saved_.trace_id, span_id};
 }
 
 ScopedSpan::~ScopedSpan() {
   // The E is recorded even if the session just ended, keeping the
   // buffer's B/E nesting intact; the writer drops events outside the
   // session window per thread as needed.
-  if (name_ != nullptr) record(name_, 'E');
+  if (name_ == nullptr) return;
+  record(name_, 'E');
+  t_context = saved_;
 }
 
 }  // namespace pslocal::obs

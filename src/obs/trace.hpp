@@ -1,4 +1,4 @@
-// RAII scoped spans + Chrome trace-event export.
+// RAII scoped spans, distributed trace context + Chrome trace export.
 //
 // A span is a named region of one thread's execution.  While a trace
 // session is active (start_tracing), entering/leaving a span appends a
@@ -7,6 +7,29 @@
 // Chrome trace-event JSON array that loads directly in ui.perfetto.dev
 // or chrome://tracing.  Without a session, a span is one relaxed atomic
 // load and nothing else, so instrumentation can stay on in production.
+//
+// Distributed tracing (docs/tracing.md): every request carries a 64-bit
+// trace_id plus the span_id of its parent across wire hops.  The pair
+// is ambient, thread-local state:
+//
+//   - ScopedTraceContext adopts a context for the current scope (the
+//     server adopts {frame.trace_id, frame.parent_span_id} before
+//     dispatching, the client installs a fresh root before fan-out).
+//   - ScopedSpan, while a session is active, allocates a span_id,
+//     records the ambient trace_id and parent span_id into its B event
+//     (exported as "args"), and becomes the ambient parent for spans
+//     and wire sends nested inside it.
+//   - current_trace_context() is what net::Client stamps into frames
+//     and what stage histograms use as tail exemplars.
+//
+// new_trace_id() mints process-unique non-zero ids (SplitMix64 over a
+// counter) and works with or without an active span session, so tail
+// exemplars are live even when nothing is being traced.
+//
+// Track naming: set_thread_label() names the calling thread's track
+// ("shard0.loop1", "client.0"), set_trace_process() names the process
+// track and pid for multi-process merges; both surface as Chrome "M"
+// (metadata) events.
 //
 // Timestamps come from pslocal::now_ns() (util/timer.hpp) — the same
 // clock the benches use — reported in microseconds relative to the
@@ -17,16 +40,27 @@
 // synthetic E event, so the emitted file always has matched B/E pairs
 // per thread.
 //
-// With PSLOCAL_OBS_ENABLED=0 everything here compiles to nothing.
+// With PSLOCAL_OBS_ENABLED=0 everything here compiles to nothing:
+// trace ids are 0 (the wire field still exists, just zero) and spans,
+// labels and sessions are no-ops.
 #pragma once
 
 #ifndef PSLOCAL_OBS_ENABLED
 #define PSLOCAL_OBS_ENABLED 1
 #endif
 
+#include <cstdint>
 #include <string>
 
 namespace pslocal::obs {
+
+/// Ambient per-thread trace coordinates.  trace_id identifies the whole
+/// distributed request tree; span_id is the innermost open span (0 at a
+/// tree root).  Plain data — meaningful even with OBS compiled out.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+};
 
 #if PSLOCAL_OBS_ENABLED
 
@@ -41,6 +75,40 @@ void start_tracing(const std::string& path);
 /// session was active — safe to call unconditionally).
 std::string finish_tracing();
 
+/// The calling thread's ambient trace context ({0,0} outside any
+/// ScopedTraceContext / traced span).
+[[nodiscard]] TraceContext current_trace_context();
+
+/// Mint a process-unique non-zero 64-bit id (works without a session —
+/// tail exemplars need ids even when no trace is being recorded).
+[[nodiscard]] std::uint64_t new_trace_id();
+
+/// Adopt {trace_id, span_id} as the calling thread's ambient context
+/// for the current scope; restores the previous context on destruction.
+/// Works with or without an active session (it is how trace ids flow
+/// into wire frames and histogram exemplars).
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(std::uint64_t trace_id,
+                              std::uint64_t span_id = 0);
+  explicit ScopedTraceContext(const TraceContext& ctx);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+/// Name the calling thread's track in the exported trace ("shard0.loop1").
+/// Sticky for the thread's lifetime; the last label set wins.
+void set_thread_label(const std::string& label);
+
+/// Name this process's track (and its pid) for multi-process trace
+/// merges; pid 0 + empty name (the default) keeps the PR-2 output shape.
+void set_trace_process(std::uint32_t pid, const std::string& name);
+
 /// `name` must outlive the session (string literals only).
 class ScopedSpan {
  public:
@@ -52,6 +120,7 @@ class ScopedSpan {
 
  private:
   const char* name_;  // nullptr when the span started outside a session
+  TraceContext saved_;
 };
 
 #else  // PSLOCAL_OBS_ENABLED == 0
@@ -59,6 +128,18 @@ class ScopedSpan {
 [[nodiscard]] inline bool tracing_active() { return false; }
 inline void start_tracing(const std::string&) {}
 inline std::string finish_tracing() { return {}; }
+[[nodiscard]] inline TraceContext current_trace_context() { return {}; }
+[[nodiscard]] inline std::uint64_t new_trace_id() { return 0; }
+inline void set_thread_label(const std::string&) {}
+inline void set_trace_process(std::uint32_t, const std::string&) {}
+
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(std::uint64_t, std::uint64_t = 0) {}
+  explicit ScopedTraceContext(const TraceContext&) {}
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+};
 
 class ScopedSpan {
  public:

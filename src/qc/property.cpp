@@ -2,9 +2,12 @@
 
 #include <bit>
 #include <chrono>
+#include <cstdio>
+#include <map>
 #include <sstream>
 
 #include "net/wire.hpp"
+#include "obs/obs.hpp"
 #include "qc/fault.hpp"
 #include "qc/gen.hpp"
 #include "qc/oracles.hpp"
@@ -543,6 +546,169 @@ Property shard_failover_property() {
           }};
 }
 
+/// End-to-end trace propagation (docs/tracing.md), across 1/2/4-shard
+/// topologies at rf=1/2:
+///  * the response frame echoes each request's explicit trace_id,
+///  * payload bytes are identical with and without trace ids on the
+///    wire (tracing must never leak into canonical payloads),
+///  * and — when obs is compiled in and no outer session is running —
+///    the spans recorded for each request form one tree rooted at the
+///    client's "shard.call", with every replica attempt a direct child.
+Property trace_propagation_property() {
+  return {"trace_propagation", [](Rng& rng) -> std::optional<Failure> {
+            const auto fail = [](std::string msg, std::string witness) {
+              Failure f;
+              f.message = std::move(msg);
+              f.counterexample = std::move(witness);
+              return f;
+            };
+            const std::size_t shard_choices[] = {1, 2, 4};
+            const std::size_t shards = shard_choices[rng.next_below(3)];
+            const std::size_t rf = shards >= 2 ? 1 + rng.next_below(2) : 1;
+            service::TraceParams tp;
+            tp.seed = rng.next_u64();
+            tp.requests = 4 + rng.next_below(4);
+            tp.instance_pool = 3;
+            tp.n = 24;
+            tp.m = 16;
+            const service::Trace trace = service::generate_trace(tp);
+            std::ostringstream w;
+            w << "trace seed=" << tp.seed << " shards=" << shards
+              << " rf=" << rf << " requests=" << trace.requests.size();
+
+            shard::LocalClusterConfig cc;
+            cc.shards = shards;
+            cc.replication = rf;
+            cc.ring_seed = tp.seed;
+            shard::LocalCluster cluster(cc);
+            cluster.start();
+            shard::ShardClientConfig scc;
+            scc.topology = cluster.topology();
+            scc.retry.seed = tp.seed;
+            shard::ShardClient client(scc);
+            client.connect();
+
+            // Pass 1: no explicit trace ids (the ambient context is also
+            // empty here, so the wire may still carry a minted root id —
+            // what matters is the payload baseline).
+            std::vector<std::string> baseline;
+            for (const service::Request& req : trace.requests) {
+              const net::Client::Result r = client.call(req);
+              if (r.outcome != net::Client::Outcome::kOk)
+                return fail(std::string("untraced request failed: ") +
+                                net::Client::outcome_name(r.outcome),
+                            w.str());
+              baseline.push_back(r.response.result);
+            }
+
+            // Pass 2: explicit per-request trace ids, under a private
+            // span session when one can be opened.
+            const bool session = obs::kEnabled && !obs::tracing_active();
+            std::string trace_path;
+            if (session) {
+              trace_path =
+                  "qc_trace_propagation_" + std::to_string(tp.seed) + ".json";
+              obs::start_tracing(trace_path);
+            }
+            std::vector<std::uint64_t> tids;
+            std::optional<Failure> failure;
+            for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+              service::Request req = trace.requests[i];
+              std::uint64_t tid = rng.next_u64();
+              if (tid == 0) tid = 1;
+              req.trace_id = tid;
+              tids.push_back(tid);
+              const net::Client::Result r = client.call(req);
+              if (r.outcome != net::Client::Outcome::kOk) {
+                failure = fail(std::string("traced request failed: ") +
+                                   net::Client::outcome_name(r.outcome),
+                               w.str());
+                break;
+              }
+              if (r.trace_id != tid) {
+                std::ostringstream detail;
+                detail << w.str() << " request " << i << " sent trace_id 0x"
+                       << std::hex << tid << " got 0x" << r.trace_id;
+                failure = fail("response did not echo the request trace_id",
+                               detail.str());
+                break;
+              }
+              if (r.response.result != baseline[i]) {
+                failure = fail(
+                    "payload bytes differ between traced and untraced runs",
+                    w.str());
+                break;
+              }
+            }
+            client.drain();
+            cluster.stop();
+            if (!session) return failure;
+
+            // Parse the private session's trace and check span ancestry.
+            const std::string written = obs::finish_tracing();
+            if (failure.has_value()) {
+              std::remove(written.c_str());
+              return failure;
+            }
+            struct Span {
+              std::string name;
+              std::uint64_t trace_id = 0, parent = 0;
+            };
+            std::map<std::uint64_t, Span> spans;  // span_id -> span
+            std::map<std::uint64_t, std::uint64_t> roots;  // tid -> span_id
+            const json::Value doc = json::parse_file(written);
+            std::remove(written.c_str());
+            const auto hex = [](const json::Value& v) {
+              return std::stoull(v.as_string(), nullptr, 16);
+            };
+            for (const json::Value& ev : doc.as_array()) {
+              if (ev.at("ph").as_string() != "B" || !ev.has("args")) continue;
+              const json::Value& args = ev.at("args");
+              if (!args.has("span_id")) continue;
+              Span span;
+              span.name = ev.at("name").as_string();
+              span.trace_id = hex(args.at("trace_id"));
+              span.parent = hex(args.at("parent_span_id"));
+              const std::uint64_t span_id = hex(args.at("span_id"));
+              spans[span_id] = span;
+              if (span.name == "shard.call") roots[span.trace_id] = span_id;
+            }
+            for (const std::uint64_t tid : tids) {
+              const auto root = roots.find(tid);
+              if (root == roots.end())
+                return fail("no shard.call root span for an explicit "
+                            "trace_id",
+                            w.str());
+              for (const auto& [span_id, span] : spans) {
+                if (span.trace_id != tid || span_id == root->second) continue;
+                // Walk the ancestry; every span of this trace must reach
+                // the root (shard.attempt is a direct child).
+                std::uint64_t at = span_id;
+                std::size_t hops = 0;
+                while (at != root->second && hops++ < spans.size()) {
+                  const auto it = spans.find(at);
+                  if (it == spans.end()) break;
+                  at = it->second.parent;
+                }
+                if (at != root->second) {
+                  std::ostringstream detail;
+                  detail << w.str() << " span \"" << span.name
+                         << "\" of trace 0x" << std::hex << tid
+                         << " does not reach its shard.call root";
+                  return fail("span tree broken", detail.str());
+                }
+                if (span.name == "shard.attempt" &&
+                    span.parent != root->second) {
+                  return fail("shard.attempt is not a direct child of "
+                              "shard.call",
+                              w.str());
+                }
+              }
+            }
+            return std::nullopt;
+          }};
+}
+
 Property planted_bug_property() {
   return {"planted-bug", [](Rng& rng) -> std::optional<Failure> {
             Graph g = arbitrary_graph(rng);
@@ -577,6 +743,7 @@ std::vector<Property> default_properties(const FuzzOptions& opts) {
   props.push_back(mix64_avalanche_property());
   props.push_back(shard_ring_property());
   props.push_back(shard_failover_property());
+  props.push_back(trace_propagation_property());
   if (opts.plant_bug) props.push_back(planted_bug_property());
   return props;
 }

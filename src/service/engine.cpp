@@ -6,6 +6,7 @@
 
 #include "obs/obs.hpp"
 #include "runtime/batch.hpp"
+#include "service/stages.hpp"
 #include "util/hash.hpp"
 #include "util/timer.hpp"
 
@@ -60,16 +61,26 @@ ServiceEngine::Submitted ServiceEngine::submit(Request request) {
   if (request.instance_hash == 0 && request.instance != nullptr)
     request.instance_hash = hash_hypergraph(*request.instance);
 
+  const RequestKind kind = request.kind;
+  const std::uint64_t trace_id = request.trace_id;
   Pending pending;
   pending.request = std::move(request);
   pending.submit_ns = now_ns();
+  const std::uint64_t submit_ns = pending.submit_ns;
   std::future<Response> future = pending.promise.get_future();
 
   Submitted out;
   out.admission = queue_.try_push(std::move(pending));
+  // Admission wait is the time submit() spent getting a verdict from
+  // the queue (lock contention under load); queue depth at entry is
+  // how much work was already ahead of an accepted request.
+  stages::record(stages::Stage::kAdmissionWait, kind, now_ns() - submit_ns,
+                 trace_id);
   switch (out.admission) {
     case Admission::kAccepted:
       accepted_.fetch_add(1, std::memory_order_relaxed);
+      stages::record(stages::Stage::kQueueDepth, kind, queue_.depth(),
+                     trace_id);
       out.response = std::move(future);
       break;
     case Admission::kQueueFull:
@@ -83,6 +94,7 @@ ServiceEngine::Submitted ServiceEngine::submit(Request request) {
 }
 
 void ServiceEngine::dispatcher_main() {
+  obs::set_thread_label(config_.name + ".dispatcher");
   std::vector<Pending> drained;
   for (;;) {
     drained.clear();
@@ -101,6 +113,7 @@ void ServiceEngine::serve_cycle(std::vector<Pending>& drained) {
   PSL_OBS_SPAN("service.cycle");
   const std::uint64_t dispatch_ns = now_ns();
   const std::vector<Batch> batches = form_batches(drained);
+  stages::record_batch_form(now_ns() - dispatch_ns);
   batches_.fetch_add(batches.size(), std::memory_order_relaxed);
   g_batches.add(batches.size());
 
@@ -115,12 +128,16 @@ void ServiceEngine::serve_cycle(std::vector<Pending>& drained) {
 
   std::vector<std::size_t> miss_batches;
   for (std::size_t b = 0; b < batches.size(); ++b) {
+    const Request& front = drained[batches[b].members.front()].request;
+    const std::uint64_t probe_ns = now_ns();
     if (auto hit = cache_.lookup(batches[b].key)) {
       outcomes[b].payload = std::move(*hit);
       outcomes[b].from_cache = true;
     } else {
       miss_batches.push_back(b);
     }
+    stages::record(stages::Stage::kCacheProbe, front.kind,
+                   now_ns() - probe_ns, front.trace_id);
   }
 
   // One task per distinct missing key; heterogeneous costs, so let the
@@ -134,6 +151,11 @@ void ServiceEngine::serve_cycle(std::vector<Pending>& drained) {
       tasks.push_back([this, b, &batches, &drained, &outcomes] {
         Outcome& out = outcomes[b];
         const Request& req = drained[batches[b].members.front()].request;
+        // Adopt the request's wire trace context on the worker thread,
+        // so the solve span nests under the client's root span even
+        // though it runs far from the io loop that read the frame.
+        obs::ScopedTraceContext trace_ctx(req.trace_id, req.parent_span_id);
+        PSL_OBS_SPAN("service.solve");
         const std::uint64_t t0 = now_ns();
         try {
           out.payload = execute_request(req, *sched_, &graph_cache_);
@@ -141,6 +163,8 @@ void ServiceEngine::serve_cycle(std::vector<Pending>& drained) {
           out.error = e.what();
         }
         out.compute_ns = now_ns() - t0;
+        stages::record(stages::Stage::kSolve, req.kind, out.compute_ns,
+                       req.trace_id);
       });
     }
     runtime::run_task_batch(*sched_, tasks);

@@ -50,6 +50,10 @@ struct EngineConfig {
   std::size_t graph_cache_entries = 64;  // built G_k objects (0 = off)
   /// Execution backend for solver batches; nullptr = the global pool.
   runtime::Scheduler* scheduler = nullptr;
+  /// Identity in traces: the dispatcher thread is labelled
+  /// "<name>.dispatcher" (its Perfetto track name), so a multi-engine
+  /// process — one engine per shard in LocalCluster — reads cleanly.
+  std::string name = "engine";
 };
 
 class ServiceEngine {

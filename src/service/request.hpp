@@ -55,6 +55,12 @@ struct Request {
   std::uint64_t seed = 1;       // kLubyMis + randomized reduction oracles
   std::string solver = "greedy-mindeg";  // kRunReduction oracle:
                                          // greedy-mindeg|greedy-random|luby
+
+  // Distributed-trace coordinates (docs/tracing.md), carried in the wire
+  // frame header — NEVER part of cache_key() or the canonical payload,
+  // so replay bytes stay identical with tracing on or off.  0 = untraced.
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
 };
 
 /// Content-addressed cache key (see header comment).  Requires a

@@ -1,0 +1,50 @@
+// Per-stage latency attribution for the serving path (docs/tracing.md).
+//
+// A request's lifetime is split into named stages, each recorded into a
+// per-request-kind log2 histogram `service.stage.<stage>.<kind>` with
+// the request's trace_id as a tail exemplar — so a p99 bucket in a
+// scraped snapshot links directly to a stitched trace:
+//
+//   admission_wait_ns  inside ServiceEngine::submit (lock + queue push)
+//   queue_depth        queue depth observed at admission (a count)
+//   cache_probe_ns     SolverCache lookup for the request's batch
+//   solve_ns           solver execution (cache misses only)
+//   serialize_ns       response payload + frame encode (net completer)
+//   wire_write_ns      response enqueue -> last byte handed to the socket
+//   rtt_ns             client send -> response decoded (per attempt winner)
+//
+// plus the kind-agnostic `service.stage.batch_form_ns` (one value per
+// dispatch cycle — batches mix kinds).  All calls compile to no-ops
+// under -DPSLOCAL_OBS=OFF.
+#pragma once
+
+#include <cstdint>
+
+#include "service/request.hpp"
+
+namespace pslocal::service::stages {
+
+enum class Stage : std::uint8_t {
+  kAdmissionWait,
+  kQueueDepth,
+  kCacheProbe,
+  kSolve,
+  kSerialize,
+  kWireWrite,
+  kRtt,
+};
+
+inline constexpr std::size_t kStageCount = 7;
+
+/// Metric-name fragment ("admission_wait_ns", "queue_depth", ...).
+[[nodiscard]] const char* stage_name(Stage stage);
+
+/// Record `value` into service.stage.<stage>.<kind>; a non-zero
+/// exemplar_trace_id is retained as a tail exemplar for value's bucket.
+void record(Stage stage, RequestKind kind, std::uint64_t value,
+            std::uint64_t exemplar_trace_id = 0);
+
+/// Record one dispatch cycle's batch-formation time (kind-agnostic).
+void record_batch_form(std::uint64_t ns);
+
+}  // namespace pslocal::service::stages

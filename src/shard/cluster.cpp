@@ -24,12 +24,19 @@ void LocalCluster::start() {
   topology_.ring_seed = config_.ring_seed;
   topology_.vnodes = config_.vnodes;
   topology_.replication = config_.replication;
-  for (Shard& shard : shards_) {
-    shard.engine = std::make_unique<service::ServiceEngine>(config_.engine);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = shards_[i];
+    // Per-shard identity: threads of shard i show up as "shard<i>.*"
+    // tracks in traces, and its stats response reports "shard<i>".
+    const std::string name = "shard" + std::to_string(i);
+    service::EngineConfig ec = config_.engine;
+    ec.name = name;
+    shard.engine = std::make_unique<service::ServiceEngine>(ec);
     shard.engine->start();
     net::Server::Config sc;  // ephemeral loopback port
     sc.io_threads = config_.io_threads;
     sc.max_connections = config_.max_connections;
+    sc.name = name;
     shard.server = std::make_unique<net::Server>(*shard.engine, sc);
     shard.server->start();
     shard.alive = true;

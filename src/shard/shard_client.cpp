@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "obs/obs.hpp"
+#include "service/stages.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
@@ -110,9 +111,28 @@ net::Client::Result ShardClient::call(const service::Request& request) {
   stats_.calls++;
   g_calls.add();
 
+  // Distributed trace context for this call: an explicit per-request
+  // trace id wins, else the thread's ambient one, else a fresh root —
+  // so every replica send below (fan-out, reroutes, failover retries)
+  // carries the same trace_id and the responses echo it back.
+  service::Request traced = request;
+  const obs::TraceContext ambient = obs::current_trace_context();
+  if (traced.trace_id == 0) {
+    traced.trace_id =
+        ambient.trace_id != 0 ? ambient.trace_id : obs::new_trace_id();
+  }
+  obs::ScopedTraceContext trace_ctx(
+      traced.trace_id,
+      traced.parent_span_id != 0 ? traced.parent_span_id : ambient.span_id);
+  obs::ScopedSpan root_span("shard.call");
+  // While a trace session is live the root span is now ambient, so the
+  // server-side spans (net.dispatch / service.solve / ...) nest under
+  // it; otherwise this keeps whatever parent the caller supplied.
+  traced.parent_span_id = obs::current_trace_context().span_id;
+
   // Full ring preference order: the first `replication_` entries are the
   // fan-out set, the rest are failover spares.
-  const std::vector<std::size_t> pref = router_.route(request,
+  const std::vector<std::size_t> pref = router_.route(traced,
                                                       router_.shards());
 
   struct Outstanding {
@@ -132,7 +152,10 @@ net::Client::Result ShardClient::call(const service::Request& request) {
       if (!ensure_up(s)) continue;
       absorb_pending(s);
       try {
-        const std::uint64_t id = shards_[s].client->send(request);
+        // One child span per replica attempt — fan-out sends, reroutes
+        // and failover retries each get their own "shard.attempt".
+        obs::ScopedSpan attempt_span("shard.attempt");
+        const std::uint64_t id = shards_[s].client->send(traced);
         sent.push_back({s, id});
         routed_[s]++;
         stats_.sends++;
@@ -160,6 +183,11 @@ net::Client::Result ShardClient::call(const service::Request& request) {
       shards_[sent[j].shard].pending.push_back(sent[j].id);
     }
     r.attempts = attempts;
+    if (r.trace_id == 0) r.trace_id = traced.trace_id;
+    if (r.rtt_ns != 0) {
+      service::stages::record(service::stages::Stage::kRtt, traced.kind,
+                              r.rtt_ns, traced.trace_id);
+    }
     return r;
   };
 

@@ -102,6 +102,12 @@ BenchReport& BenchReport::metric(const std::string& key,
   return *this;
 }
 
+BenchReport& BenchReport::metric_json(const std::string& key,
+                                      const std::string& raw) {
+  metrics_.emplace_back(key, raw.empty() ? "null" : raw);
+  return *this;
+}
+
 BenchReport& BenchReport::add_table(const Table& t) {
   tables_.push_back({t.caption(), t.columns(), t.data_rows()});
   return *this;

@@ -55,6 +55,11 @@ class BenchReport {
   BenchReport& metric(const std::string& key, double value);
   BenchReport& metric(const std::string& key, const std::string& value);
 
+  /// Record a metric whose value is already JSON (object/array), spliced
+  /// in verbatim — how the shard bench embeds live stats-scrape payloads
+  /// (docs/tracing.md) without double-escaping them into strings.
+  BenchReport& metric_json(const std::string& key, const std::string& raw);
+
   /// Snapshot a finished table (caption, columns, rows).
   BenchReport& add_table(const Table& t);
 

@@ -19,6 +19,7 @@
 #include "runtime/thread_pool.hpp"
 #include "service/workload.hpp"
 #include "util/check.hpp"
+#include "util/json.hpp"
 
 namespace pslocal::net {
 namespace {
@@ -172,6 +173,85 @@ TEST(NetServerTest, ServerStopLeavesClientWithTransportError) {
   } catch (const ContractViolation&) {
     // send() noticed the dead socket first — equally acceptable.
   }
+}
+
+TEST(NetServerTest, StatsRequestAnsweredInlineWithDeterministicJson) {
+  // The live telemetry plane (docs/tracing.md): a kStatsRequest frame
+  // is answered from the io loop with one JSON object — engine stats,
+  // obs snapshot, per-loop server gauges — without touching the
+  // dispatch queue.
+  const service::Trace trace = small_trace();
+  service::ServiceEngine engine;
+  engine.start();
+  Server::Config sc;
+  sc.name = "stats-under-test";
+  Server server(engine, sc);
+  server.start();
+  Client client = make_client(server);
+  client.connect();
+
+  // Scrape works on an idle server...
+  const Client::Result idle = client.stats();
+  ASSERT_EQ(idle.outcome, Client::Outcome::kOk) << idle.error;
+  const json::Value idle_doc = json::parse(idle.stats_json);
+  EXPECT_EQ(idle_doc.at("engine").at("served").as_number(), 0.0);
+
+  // ...and mid-traffic, interleaved with real requests on the SAME
+  // connection.
+  for (int i = 0; i < 4; ++i)
+    ASSERT_EQ(client.call(trace.requests[i]).outcome, Client::Outcome::kOk);
+  const Client::Result r = client.stats();
+  ASSERT_EQ(r.outcome, Client::Outcome::kOk) << r.error;
+
+  const json::Value doc = json::parse(r.stats_json);
+  EXPECT_EQ(doc.at("engine").at("served").as_number(), 4.0);
+  EXPECT_TRUE(doc.at("obs").is_object());
+  EXPECT_TRUE(doc.at("obs").at("histograms").is_object());
+  const json::Value& srv = doc.at("server");
+  EXPECT_EQ(srv.at("name").as_string(), "stats-under-test");
+  EXPECT_EQ(static_cast<std::size_t>(srv.at("io_loops").as_number()),
+            srv.at("loops").as_array().size());
+  EXPECT_GE(srv.at("connections").as_number(), 1.0);
+  for (const auto& loop : srv.at("loops").as_array()) {
+    EXPECT_TRUE(loop.has("connections"));
+    EXPECT_TRUE(loop.has("queued_bytes"));
+  }
+
+  // Stats frames are not dispatched requests: the engine never sees
+  // them and the dispatch counter counts only the 4 real calls.
+  EXPECT_EQ(server.stats().requests_dispatched, 4u);
+
+#if PSLOCAL_OBS_ENABLED
+  // With instrumentation compiled in, serving 4 requests must have
+  // populated the per-stage histograms the scraper summarizes.
+  bool saw_stage = false;
+  for (const auto& [name, hist] : doc.at("obs").at("histograms").members()) {
+    if (name.rfind("service.stage.", 0) == 0 &&
+        hist.at("count").as_number() > 0.0)
+      saw_stage = true;
+  }
+  EXPECT_TRUE(saw_stage);
+#endif
+}
+
+TEST(NetServerTest, ResponseFrameEchoesRequestTraceContext) {
+  // Trace ids stamped into a request frame come back on the response
+  // frame even in an OBS=OFF build — the words are wire plumbing, not
+  // instrumentation.
+  const service::Trace trace = small_trace();
+  service::ServiceEngine engine;
+  engine.start();
+  Server server(engine, {});
+  server.start();
+  Client client = make_client(server);
+  client.connect();
+
+  service::Request req = trace.requests[0];
+  req.trace_id = 0x7e57ab1e;
+  req.parent_span_id = 5;
+  const Client::Result r = client.call(req);
+  ASSERT_EQ(r.outcome, Client::Outcome::kOk) << r.error;
+  EXPECT_EQ(r.trace_id, 0x7e57ab1eu);
 }
 
 #if PSLOCAL_OBS_ENABLED

@@ -167,6 +167,124 @@ TEST(NetWireTest, TruncatedStreamIsNeedMoreNotCorrupt) {
   EXPECT_FALSE(dec.corrupt());
 }
 
+TEST(NetWireTest, TraceWordsRoundTripInV2Header) {
+  Frame in = request_frame(7);
+  in.trace_id = 0x0123456789abcdefull;
+  in.parent_span_id = 0xfedcba9876543210ull;
+  const std::string bytes = encode_frame(in);
+  ASSERT_EQ(bytes.size(), kHeaderSize + in.payload.size());
+
+  FrameDecoder dec;
+  dec.feed(bytes);
+  Frame out;
+  ASSERT_EQ(dec.next(out), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(out.trace_id, in.trace_id);
+  EXPECT_EQ(out.parent_span_id, in.parent_span_id);
+  EXPECT_EQ(out.request_id, in.request_id);
+  EXPECT_EQ(out.payload, in.payload);
+
+  // An untraced sender puts zeros on the wire; they decode as zeros.
+  FrameDecoder dec2;
+  dec2.feed(encode_frame(request_frame(8)));
+  ASSERT_EQ(dec2.next(out), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(out.trace_id, 0u);
+  EXPECT_EQ(out.parent_span_id, 0u);
+}
+
+TEST(NetWireTest, V1FramesDecodeWithZeroTraceFields) {
+  // A version-1 peer has no trace words: its header is 32 bytes and the
+  // payload starts at offset 32.  The decoder must keep accepting it.
+  Frame in = request_frame(21);
+  in.trace_id = 0xAAAA;  // dropped by the v1 encoding
+  in.parent_span_id = 0xBBBB;
+  const std::string bytes = encode_frame(in, /*version=*/1);
+  ASSERT_EQ(bytes.size(), kHeaderSizeV1 + in.payload.size());
+
+  FrameDecoder dec;
+  dec.feed(bytes);
+  Frame out;
+  ASSERT_EQ(dec.next(out), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(out.kind, in.kind);
+  EXPECT_EQ(out.request_id, 21u);
+  EXPECT_EQ(out.payload, in.payload);
+  EXPECT_EQ(out.trace_id, 0u);
+  EXPECT_EQ(out.parent_span_id, 0u);
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(NetWireTest, MixedVersionFramesShareOneStream) {
+  // v2, v1, v2 back to back: per-frame version sniffing, no cross-talk.
+  Frame traced = request_frame(1);
+  traced.trace_id = 0xC0FFEE;
+  std::string bytes = encode_frame(traced);
+  bytes += encode_frame(request_frame(2), /*version=*/1);
+  Frame traced3 = request_frame(3);
+  traced3.trace_id = 0xDECAF;
+  bytes += encode_frame(traced3);
+
+  FrameDecoder dec;
+  dec.feed(bytes);
+  Frame out;
+  ASSERT_EQ(dec.next(out), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(out.request_id, 1u);
+  EXPECT_EQ(out.trace_id, 0xC0FFEEu);
+  ASSERT_EQ(dec.next(out), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(out.request_id, 2u);
+  EXPECT_EQ(out.trace_id, 0u);
+  ASSERT_EQ(dec.next(out), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(out.request_id, 3u);
+  EXPECT_EQ(out.trace_id, 0xDECAFu);
+  EXPECT_EQ(dec.next(out), FrameDecoder::Result::kNeedMore);
+}
+
+TEST(NetWireTest, StatsFrameKindsRoundTrip) {
+  EXPECT_TRUE(frame_kind_valid(
+      static_cast<std::uint8_t>(FrameKind::kStatsRequest)));
+  EXPECT_TRUE(frame_kind_valid(
+      static_cast<std::uint8_t>(FrameKind::kStatsResponse)));
+  EXPECT_FALSE(frame_kind_valid(0));
+  EXPECT_FALSE(frame_kind_valid(6));
+
+  // A stats request is an empty-payload frame; the response carries the
+  // JSON payload and echoes the request's trace context.
+  Frame req;
+  req.kind = FrameKind::kStatsRequest;
+  req.request_id = 17;
+  req.trace_id = 0x5747;
+  FrameDecoder dec;
+  dec.feed(encode_frame(req));
+  Frame out;
+  ASSERT_EQ(dec.next(out), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(out.kind, FrameKind::kStatsRequest);
+  EXPECT_TRUE(out.payload.empty());
+  EXPECT_EQ(out.trace_id, 0x5747u);
+
+  Frame resp;
+  resp.kind = FrameKind::kStatsResponse;
+  resp.request_id = 17;
+  resp.trace_id = 0x5747;
+  resp.payload = "{\"engine\":{},\"obs\":{},\"server\":{}}";
+  FrameDecoder dec2;
+  dec2.feed(encode_frame(resp));
+  ASSERT_EQ(dec2.next(out), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(out.kind, FrameKind::kStatsResponse);
+  EXPECT_EQ(out.payload, resp.payload);
+}
+
+TEST(NetWireTest, TraceWordsAreNotChecksummed) {
+  // The checksum guards the payload; the trace words are routing
+  // metadata.  Flipping one changes the decoded ids but must not make
+  // the frame corrupt (a relay may legitimately restamp them).
+  std::string bytes = encode_frame(request_frame(9));
+  bytes[33] = static_cast<char>(bytes[33] ^ 0x40);  // inside trace_id
+  FrameDecoder dec;
+  dec.feed(bytes);
+  Frame out;
+  ASSERT_EQ(dec.next(out), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(out.trace_id, std::uint64_t{0x40} << 8);
+  EXPECT_FALSE(dec.corrupt());
+}
+
 TEST(NetWireTest, RequestPayloadRoundTrips) {
   const service::Request in = tiny_request();
   const std::string payload = encode_request(in);
