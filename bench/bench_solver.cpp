@@ -1,0 +1,244 @@
+// Exact-oracle backend frontier + exact_certificate cache economics
+// (docs/solver.md).
+//
+// Part 1 — size frontier.  For growing G(n, p) instances, solve MaxIS
+// three ways under comparable budgets: the branch-and-bound ExactMaxIS
+// (mis/exact_maxis), the CNF/DPLL backend with the kernelizing pruner,
+// and the same backend with the pruner disabled.  Every pair that both
+// proves optimality must agree on |IS| (PSL_CHECKed), so the table
+// doubles as a differential run; the interesting signal is where each
+// method stops proving within budget and what the proof costs (B&B
+// nodes vs DPLL decisions, and how much the kernel shrinks the search).
+//
+// Part 2 — cache-hit path.  A pure exact_certificate trace (weight_exact
+// only) repeats a tiny instance pool through a ServiceEngine, splitting
+// per-request latency by Response::cache_hit: the miss rows pay a full
+// prune -> encode -> iterated-SAT solve, the hit rows pay a cache probe.
+// The ratio is the argument for content-addressing exact certificates.
+//
+// Knobs: --sizes (frontier max n), --p, --budget (DPLL decisions, B&B
+// nodes), --requests --pool --n --m (trace shape), --seed, --threads.
+// The report's obs section carries solver.* counters and the
+// service.stage.* histograms of the run.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_main.hpp"
+#include "graph/generators.hpp"
+#include "mis/exact_maxis.hpp"
+#include "service/engine.hpp"
+#include "service/workload.hpp"
+#include "solver/solver.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace pslocal;
+
+namespace {
+
+struct FrontierRow {
+  std::size_t n = 0, m = 0;
+  // Branch and bound.
+  double bb_ms = 0;
+  std::uint64_t bb_nodes = 0;
+  bool bb_proven = false;
+  std::size_t bb_size = 0;
+  // DPLL with / without the kernelizing pruner.
+  double kd_ms = 0, raw_ms = 0;
+  std::uint64_t kd_decisions = 0, raw_decisions = 0;
+  bool kd_proven = false, raw_proven = false;
+  std::size_t kd_size = 0, raw_size = 0;
+  std::size_t kernel_vertices = 0, kernel_forced = 0;
+};
+
+FrontierRow frontier_point(std::size_t n, double p, std::uint64_t seed,
+                           std::uint64_t budget) {
+  Rng rng(seed);
+  const Graph g = gnp(n, p, rng);
+  FrontierRow row;
+  row.n = g.vertex_count();
+  row.m = g.edge_count();
+
+  {
+    WallTimer timer;
+    const auto bb = ExactMaxIS(budget).solve(g);
+    row.bb_ms = timer.elapsed_millis();
+    row.bb_nodes = bb.nodes_explored;
+    row.bb_proven = bb.proven_optimal;
+    row.bb_size = bb.set.size();
+  }
+
+  const auto backend = solver::SolverFactory::instance().make("dpll");
+  solver::SolverOptions opts;
+  opts.seed = seed;
+  opts.decision_budget = budget;
+  {
+    WallTimer timer;
+    const auto res = backend->solve_maxis(g, opts);
+    row.kd_ms = timer.elapsed_millis();
+    row.kd_decisions = res.decisions;
+    row.kd_proven = res.proven_optimal;
+    row.kd_size = res.independent_set.size();
+    row.kernel_vertices = res.kernel_vertices;
+    row.kernel_forced = res.kernel_forced;
+  }
+  {
+    solver::SolverOptions raw = opts;
+    raw.kernelize = false;
+    WallTimer timer;
+    const auto res = backend->solve_maxis(g, raw);
+    row.raw_ms = timer.elapsed_millis();
+    row.raw_decisions = res.decisions;
+    row.raw_proven = res.proven_optimal;
+    row.raw_size = res.independent_set.size();
+  }
+
+  // Differential: any two methods that both completed must agree.
+  if (row.bb_proven && row.kd_proven)
+    PSL_CHECK_MSG(row.bb_size == row.kd_size,
+                  "frontier n=" << n << ": B&B alpha " << row.bb_size
+                                << " != kernel+dpll " << row.kd_size);
+  if (row.bb_proven && row.raw_proven)
+    PSL_CHECK_MSG(row.bb_size == row.raw_size,
+                  "frontier n=" << n << ": B&B alpha " << row.bb_size
+                                << " != raw dpll " << row.raw_size);
+  if (row.kd_proven && row.raw_proven)
+    PSL_CHECK_MSG(row.kd_size == row.raw_size,
+                  "frontier n=" << n << ": kernel+dpll " << row.kd_size
+                                << " != raw dpll " << row.raw_size);
+  return row;
+}
+
+const char* mark(bool proven) { return proven ? "yes" : "cut"; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return benchmain::run(argc, argv, "solver", 2, [](benchmain::Context& ctx) {
+    const auto max_n =
+        static_cast<std::size_t>(ctx.opts.get_int("sizes", 40));
+    const double p = ctx.opts.get_double("p", 0.3);
+    const auto budget =
+        static_cast<std::uint64_t>(ctx.opts.get_int("budget", 2'000'000));
+
+    // --- Part 1: size frontier -------------------------------------
+    std::vector<FrontierRow> rows;
+    for (std::size_t n = 8; n <= max_n; n += 8)
+      rows.push_back(frontier_point(n, p, ctx.seed + n, budget));
+
+    Table frontier("Exact-solve size frontier — B&B vs CNF/DPLL (G(n, p), "
+                   "p = " + fmt_double(p, 2) + ")");
+    frontier.header({"n", "m", "alpha", "B&B ms", "nodes", "ok",
+                     "kern+dpll ms", "decisions", "ok", "kernel n",
+                     "raw dpll ms", "decisions", "ok"});
+    for (const auto& r : rows)
+      frontier.row({fmt_size(r.n), fmt_size(r.m), fmt_size(r.bb_size),
+                    fmt_double(r.bb_ms, 2), fmt_size(r.bb_nodes),
+                    mark(r.bb_proven), fmt_double(r.kd_ms, 2),
+                    fmt_size(r.kd_decisions), mark(r.kd_proven),
+                    fmt_size(r.kernel_vertices), fmt_double(r.raw_ms, 2),
+                    fmt_size(r.raw_decisions), mark(r.raw_proven)});
+    std::cout << frontier.render();
+    ctx.report.add_table(frontier);
+
+    const auto largest_proven = [&](auto pick) {
+      std::size_t best = 0;
+      for (const auto& r : rows)
+        if (pick(r)) best = std::max(best, r.n);
+      return static_cast<double>(best);
+    };
+    ctx.report.metric("frontier_points", static_cast<double>(rows.size()))
+        .metric("frontier_budget", static_cast<double>(budget))
+        .metric("frontier_p", p)
+        .metric("largest_proven_bb",
+                largest_proven([](const FrontierRow& r) { return r.bb_proven; }))
+        .metric("largest_proven_kernel_dpll",
+                largest_proven([](const FrontierRow& r) { return r.kd_proven; }))
+        .metric("largest_proven_raw_dpll",
+                largest_proven(
+                    [](const FrontierRow& r) { return r.raw_proven; }));
+    if (!rows.empty()) {
+      const auto& last = rows.back();
+      ctx.report
+          .metric("frontier_last_kernel_shrink",
+                  last.n > 0 ? 1.0 - static_cast<double>(last.kernel_vertices) /
+                                         static_cast<double>(last.n)
+                             : 0.0)
+          .metric("frontier_last_bb_ms", last.bb_ms)
+          .metric("frontier_last_kernel_dpll_ms", last.kd_ms)
+          .metric("frontier_last_raw_dpll_ms", last.raw_ms);
+    }
+
+    // --- Part 2: exact_certificate cache-hit path ------------------
+    service::TraceParams tp;
+    tp.seed = ctx.seed;
+    tp.requests =
+        static_cast<std::size_t>(ctx.opts.get_int("requests", 48));
+    tp.instance_pool =
+        static_cast<std::size_t>(ctx.opts.get_int("pool", 3));
+    tp.n = static_cast<std::size_t>(ctx.opts.get_int("n", 10));
+    tp.m = static_cast<std::size_t>(ctx.opts.get_int("m", 4));
+    tp.k = 2;
+    tp.seed_variants = 1;
+    // Pure exact_certificate stream: every request pays (or reuses) a
+    // full certificate solve.
+    tp.weight_build = tp.weight_greedy = tp.weight_luby = 0;
+    tp.weight_cf = tp.weight_reduction = 0;
+    tp.weight_exact = 1;
+    const service::Trace trace = service::generate_trace(tp);
+
+    service::ServiceEngine engine{service::EngineConfig{}};
+    engine.start();
+    double miss_ms = 0, hit_ms = 0;
+    std::size_t misses = 0, hits = 0;
+    std::string first_payload;
+    for (const auto& req : trace.requests) {
+      auto sub = engine.submit(req);
+      PSL_CHECK_MSG(sub.admission == service::Admission::kAccepted,
+                    "exact trace request " << req.id << " rejected");
+      const service::Response resp = sub.response.get();
+      PSL_CHECK_MSG(resp.status == service::Response::Status::kOk,
+                    "exact trace request " << req.id << " failed: "
+                                           << resp.reason);
+      if (resp.cache_hit) {
+        ++hits;
+        hit_ms += static_cast<double>(resp.total_ns) * 1e-6;
+      } else {
+        ++misses;
+        miss_ms += static_cast<double>(resp.total_ns) * 1e-6;
+      }
+      if (first_payload.empty()) first_payload = resp.result;
+    }
+    const auto stats = engine.stats();
+    engine.stop();
+
+    PSL_CHECK_MSG(misses == trace.unique_keys,
+                  "expected " << trace.unique_keys << " cold solves, got "
+                              << misses);
+    const double mean_miss = misses ? miss_ms / static_cast<double>(misses) : 0;
+    const double mean_hit = hits ? hit_ms / static_cast<double>(hits) : 0;
+
+    Table cache("exact_certificate via ServiceEngine — miss vs hit");
+    cache.header({"path", "requests", "mean ms"});
+    cache.row({"miss (solve)", fmt_size(misses), fmt_double(mean_miss, 3)});
+    cache.row({"hit (cache)", fmt_size(hits), fmt_double(mean_hit, 4)});
+    std::cout << cache.render();
+    ctx.report.add_table(cache);
+
+    ctx.report.metric("cert_requests", static_cast<double>(tp.requests))
+        .metric("cert_unique_keys", static_cast<double>(trace.unique_keys))
+        .metric("cert_misses", static_cast<double>(misses))
+        .metric("cert_hits", static_cast<double>(hits))
+        .metric("cert_miss_mean_ms", mean_miss)
+        .metric("cert_hit_mean_ms", mean_hit)
+        .metric("cert_hit_speedup",
+                mean_hit > 0 ? mean_miss / mean_hit : 0.0)
+        .metric("cert_served_cached",
+                static_cast<double>(stats.served_cached));
+    std::cout << "cache speedup (mean latency): "
+              << fmt_double(mean_hit > 0 ? mean_miss / mean_hit : 0.0, 1)
+              << "x over " << hits << " hits / " << misses << " misses\n";
+    return 0;
+  });
+}

@@ -1,0 +1,118 @@
+// pslocal_cnf — DIMACS/WDIMACS exporter for the exact-oracle backend
+// (src/solver/).
+//
+// Exports the byte-deterministic encodings so any external SAT/MaxSAT
+// solver can act as a λ=1 oracle with no linking at all:
+//
+//   pslocal_cnf --tiny --out-dir=DIR
+//       write the two fixed golden instances (the files CI cmp's):
+//       DIR/maxis_petersen.wcnf   MaxIS of the Petersen graph (WDIMACS)
+//       DIR/cf_tiny.cnf           CF 2-colorability of a tiny hypergraph
+//
+//   pslocal_cnf --kind=maxis --family=planted-k3 --seed=5 --out=FILE
+//       MaxIS → WCNF of the conflict graph G_k of a named qc family
+//       (hyper_family_names in src/qc/gen.hpp), k from the instance.
+//
+//   pslocal_cnf --kind=cf --family=planted-k3 --seed=5 --k=3 --out=FILE
+//       CF k-colorability → CNF of the same hypergraph.
+//
+// Golden-bytes contract: the emitted bytes are a pure function of the
+// flags — comments carry instance hashes and shape, never timestamps or
+// paths — and identical at every --threads value.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/conflict_graph.hpp"
+#include "qc/gen.hpp"
+#include "solver/encode.hpp"
+#include "util/bench_report.hpp"
+#include "util/hash.hpp"
+#include "util/options.hpp"
+
+using namespace pslocal;
+
+namespace {
+
+/// The Petersen graph: outer 5-cycle, inner 5-star, spokes.  alpha = 4.
+Graph petersen() {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId i = 0; i < 5; ++i) {
+    edges.emplace_back(i, (i + 1) % 5);          // outer cycle
+    edges.emplace_back(5 + i, 5 + (i + 2) % 5);  // inner pentagram
+    edges.emplace_back(i, 5 + i);                // spoke
+  }
+  return Graph::from_edges(10, edges, /*dedup=*/true);
+}
+
+/// A fixed 6-vertex hypergraph that needs 2 colors conflict-free.
+Hypergraph tiny_hypergraph() {
+  return Hypergraph(6, {{0, 1, 2}, {2, 3, 4}, {4, 5, 0}, {1, 3, 5}});
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  PSL_CHECK_MSG(out.good(), "pslocal_cnf: cannot open " << path);
+  out << bytes;
+  PSL_CHECK_MSG(out.good(), "pslocal_cnf: write to " << path << " failed");
+  std::cout << path << " (" << bytes.size() << " bytes)\n";
+}
+
+std::string export_maxis(const Graph& g, const std::string& label) {
+  const auto enc = solver::encode_maxis(g);
+  return solver::to_wdimacs(
+      enc.formula,
+      {"pslocal maxis->wcnf " + label,
+       "graph_hash " + hex64(hash_graph(g)),
+       "n " + std::to_string(g.vertex_count()) + " m " +
+           std::to_string(g.edge_count())});
+}
+
+std::string export_cf(const Hypergraph& h, std::size_t k,
+                      const std::string& label) {
+  const auto enc = solver::encode_cf_decision(h, k);
+  return solver::to_dimacs(
+      enc.formula,
+      {"pslocal cf->cnf " + label + " k=" + std::to_string(k),
+       "instance_hash " + hex64(hash_hypergraph(h)),
+       "n " + std::to_string(h.vertex_count()) + " m " +
+           std::to_string(h.edge_count())});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  apply_thread_option(opts);
+
+  if (opts.has("tiny")) {
+    const std::string dir = opts.get_string("out-dir", ".");
+    write_file(dir + "/maxis_petersen.wcnf",
+               export_maxis(petersen(), "petersen"));
+    write_file(dir + "/cf_tiny.cnf", export_cf(tiny_hypergraph(), 2, "tiny"));
+    return 0;
+  }
+
+  const std::string kind = opts.get_string("kind", "maxis");
+  const std::string family = opts.get_string("family", "planted-k3");
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  const std::string out = opts.get_string("out", "");
+  PSL_CHECK_MSG(!out.empty(), "pslocal_cnf: --out=FILE is required");
+
+  const qc::HyperInstance inst = qc::make_family(family, seed);
+  const std::string label = family + " seed=" + std::to_string(seed);
+  if (kind == "maxis") {
+    const ConflictGraph cg(inst.hypergraph, inst.k);
+    write_file(out, export_maxis(cg.graph(), label));
+  } else if (kind == "cf") {
+    const auto k = static_cast<std::size_t>(
+        opts.get_int("k", static_cast<long>(inst.k)));
+    write_file(out, export_cf(inst.hypergraph, k, label));
+  } else {
+    std::cerr << "pslocal_cnf: unknown --kind '" << kind
+              << "' (maxis|cf)\n";
+    return 1;
+  }
+  return 0;
+}

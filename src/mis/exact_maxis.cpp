@@ -165,7 +165,13 @@ std::size_t independence_number(const Graph& g) {
 }
 
 std::vector<VertexId> ExactOracle::solve(const Graph& g) {
-  return solver_.solve(g).set;
+  ExactMaxISResult res = solver_.solve(g);
+  // lambda_guarantee() == 1.0 is only honest for a completed search; a
+  // budget-cut incumbent may be arbitrarily far from alpha(g).
+  PSL_CHECK_MSG(res.proven_optimal,
+                "exact oracle: node budget exhausted before optimality was "
+                "proven; raise the budget or shrink the instance");
+  return std::move(res.set);
 }
 
 }  // namespace pslocal

@@ -41,7 +41,10 @@ class ExactMaxIS {
 /// α(g), requiring the search to complete within the default budget.
 std::size_t independence_number(const Graph& g);
 
-/// λ=1 oracle adapter.
+/// λ=1 oracle adapter.  The guarantee is enforced: solve() PSL_CHECKs
+/// that the search completed (proven_optimal), so a budget-cut answer
+/// fails loudly instead of silently breaking the λ=1 contract the qc
+/// differential bounds rely on.
 class ExactOracle final : public MaxISOracle {
  public:
   explicit ExactOracle(std::uint64_t node_budget = 20'000'000)

@@ -212,7 +212,8 @@ bool decode_request(std::string_view payload, service::Request& out,
     return set_error(error, "request payload truncated");
   if (!r.exhausted())
     return set_error(error, "request payload has trailing bytes");
-  if (kind > static_cast<std::uint8_t>(service::RequestKind::kRunReduction))
+  if (kind >
+      static_cast<std::uint8_t>(service::RequestKind::kExactCertificate))
     return set_error(error,
                      "unknown request kind " + std::to_string(kind));
   Hypergraph h;

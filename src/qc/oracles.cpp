@@ -14,6 +14,8 @@
 #include "mis/exact_maxis.hpp"
 #include "mis/greedy_maxis.hpp"
 #include "mis/independent_set.hpp"
+#include "mis/kernelization.hpp"
+#include "solver/solver.hpp"
 
 namespace pslocal::qc {
 
@@ -104,6 +106,77 @@ std::optional<std::string> check_mis_differential(const Graph& g,
     if (static_cast<double>(is.size()) * lambda + 1e-9 <
         static_cast<double>(alpha))
       return fail("ControlledLambdaOracle below its lambda guarantee");
+  }
+
+  // Third exact leg: the CNF backend (src/solver/) must agree with
+  // branch-and-bound to the vertex count whenever both complete, and can
+  // never exceed alpha even when budget-cut.
+  {
+    const auto backend = solver::SolverFactory::instance().make("dpll");
+    solver::SolverOptions options;
+    options.seed = seed;
+    options.decision_budget = kExactBudget;
+    const auto cnf = backend->solve_maxis(g, options);
+    if (!is_independent_set(g, cnf.independent_set))
+      return fail("cnf-dpll output is not an IS");
+    if (cnf.independent_set.size() > alpha) {
+      std::ostringstream os;
+      os << "cnf-dpll exceeds alpha: " << cnf.independent_set.size() << " > "
+         << alpha;
+      return os.str();
+    }
+    if (cnf.proven_optimal && cnf.independent_set.size() != alpha) {
+      std::ostringstream os;
+      os << "cnf-dpll proved a wrong optimum: " << cnf.independent_set.size()
+         << " != alpha " << alpha;
+      return os.str();
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_solver_kernel_lift(const Graph& g,
+                                                    std::uint64_t seed) {
+  const ExactMaxIS exact(kExactBudget);
+  const auto direct = exact.solve(g);
+  if (!direct.proven_optimal) return std::nullopt;  // budget hit: skip
+  const std::size_t alpha = direct.set.size();
+
+  // The pruner's alpha-preservation invariant, checked exactly.
+  const MaxISKernel kernel = kernelize_maxis(g);
+  const auto kernel_exact = exact.solve(kernel.kernel);
+  if (!kernel_exact.proven_optimal) return std::nullopt;
+  if (kernel.forced.size() + kernel_exact.set.size() != alpha) {
+    std::ostringstream os;
+    os << "kernelize_maxis breaks alpha: forced " << kernel.forced.size()
+       << " + alpha(kernel) " << kernel_exact.set.size() << " != alpha "
+       << alpha;
+    return os.str();
+  }
+
+  // Kernel-then-solve-then-lift through the CNF backend must land on
+  // alpha exactly — and so must the unpruned encode, so a disagreement
+  // isolates the pruner.
+  const auto backend = solver::SolverFactory::instance().make("dpll");
+  solver::SolverOptions options;
+  options.seed = seed;
+  options.decision_budget = kExactBudget;
+  for (const bool kernelize : {true, false}) {
+    options.kernelize = kernelize;
+    const auto res = backend->solve_maxis(g, options);
+    if (!is_independent_set(g, res.independent_set))
+      return fail(kernelize ? "cnf-dpll (pruned) output is not an IS"
+                            : "cnf-dpll (unpruned) output is not an IS");
+    if (res.independent_set.size() > alpha)
+      return fail(kernelize ? "cnf-dpll (pruned) exceeds alpha"
+                            : "cnf-dpll (unpruned) exceeds alpha");
+    if (res.proven_optimal && res.independent_set.size() != alpha) {
+      std::ostringstream os;
+      os << "cnf-dpll (" << (kernelize ? "pruned" : "unpruned")
+         << ") proved " << res.independent_set.size() << " != alpha "
+         << alpha;
+      return os.str();
+    }
   }
   return std::nullopt;
 }

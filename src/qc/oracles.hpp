@@ -36,6 +36,14 @@ namespace pslocal::qc {
 [[nodiscard]] std::optional<std::string> check_mis_differential(
     const Graph& g, std::uint64_t seed);
 
+/// Kernelization-as-pruner coverage: kernel-then-solve-then-lift through
+/// the CNF exact backend (src/solver/) must equal the direct exact solve
+/// — both with and without the pruner — and the kernel invariant
+/// alpha(G) = |forced| + alpha(kernel) must hold exactly.  Skips (reports
+/// nullopt) only when the exact reference itself exhausts its budget.
+[[nodiscard]] std::optional<std::string> check_solver_kernel_lift(
+    const Graph& g, std::uint64_t seed);
+
 /// Cross-check the CF coloring algorithms on a tiny hypergraph against
 /// the exact CF chromatic number.
 [[nodiscard]] std::optional<std::string> check_cf_differential(

@@ -709,6 +709,18 @@ Property trace_propagation_property() {
           }};
 }
 
+Property solver_kernel_lift_property() {
+  return {"solver_kernel_lift", [](Rng& rng) -> std::optional<Failure> {
+            const std::uint64_t solver_seed = rng.next_u64();
+            Graph g = arbitrary_graph(rng);
+            const auto check = [solver_seed](const Graph& c) {
+              return check_solver_kernel_lift(c, solver_seed);
+            };
+            if (!guarded([&] { return check(g); })) return std::nullopt;
+            return shrink_graph_failure(std::move(g), check);
+          }};
+}
+
 Property planted_bug_property() {
   return {"planted-bug", [](Rng& rng) -> std::optional<Failure> {
             Graph g = arbitrary_graph(rng);
@@ -744,6 +756,7 @@ std::vector<Property> default_properties(const FuzzOptions& opts) {
   props.push_back(shard_ring_property());
   props.push_back(shard_failover_property());
   props.push_back(trace_propagation_property());
+  props.push_back(solver_kernel_lift_property());
   if (opts.plant_bug) props.push_back(planted_bug_property());
   return props;
 }

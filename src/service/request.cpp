@@ -9,6 +9,7 @@
 #include "mis/greedy_maxis.hpp"
 #include "mis/independent_set.hpp"
 #include "service/cache.hpp"
+#include "solver/solver.hpp"
 #include "util/check.hpp"
 #include "util/hash.hpp"
 
@@ -24,6 +25,7 @@ constexpr std::uint64_t kKindSalt[] = {
     0x6c756279ULL,  // luby_mis
     0x6366636fULL,  // cf_color
     0x72656475ULL,  // run_reduction
+    0x65786374ULL,  // exact_certificate
 };
 
 void append_vertex_list(std::ostringstream& os, const char* field,
@@ -127,6 +129,36 @@ std::string execute_reduction(const Request& req, runtime::Scheduler&) {
   return os.str();
 }
 
+std::string execute_exact_certificate(const Request& req,
+                                      runtime::Scheduler& sched,
+                                      ConflictGraphCache* graph_cache) {
+  const auto cg_ptr = conflict_graph_for(req, sched, graph_cache);
+  const ConflictGraph& cg = *cg_ptr;
+  solver::SolverOptions options;
+  options.seed = req.seed;
+  const auto backend = solver::SolverFactory::instance().make(req.solver);
+  const auto res = backend->solve_maxis(cg.graph(), options);
+  auto os = payload_head(req);
+  os << ",\"k\":" << req.k << ",\"solver\":\"" << req.solver
+     << "\",\"seed\":" << req.seed << ",\"is_size\":"
+     << res.independent_set.size() << ",\"proven_optimal\":"
+     << (res.proven_optimal ? "true" : "false")
+     << ",\"upper\":" << cg.independence_upper_bound() << ",\"independent\":"
+     << (is_independent_set(cg.graph(), res.independent_set) ? "true"
+                                                             : "false")
+     << ",\"certificate\":{\"formula_vars\":" << res.formula_vars
+     << ",\"formula_clauses\":" << res.formula_clauses
+     << ",\"formula_hash\":\"" << hex64(res.formula_hash)
+     << "\",\"decisions\":" << res.decisions
+     << ",\"propagations\":" << res.propagations
+     << ",\"conflicts\":" << res.conflicts
+     << ",\"kernel_vertices\":" << res.kernel_vertices
+     << ",\"kernel_forced\":" << res.kernel_forced << '}';
+  append_vertex_list(os, "is", res.independent_set);
+  os << '}';
+  return os.str();
+}
+
 }  // namespace
 
 const char* kind_name(RequestKind kind) {
@@ -136,6 +168,7 @@ const char* kind_name(RequestKind kind) {
     case RequestKind::kLubyMis: return "luby_mis";
     case RequestKind::kCfColor: return "cf_color";
     case RequestKind::kRunReduction: return "run_reduction";
+    case RequestKind::kExactCertificate: return "exact_certificate";
   }
   return "unknown";
 }
@@ -144,7 +177,7 @@ RequestKind kind_from_name(const std::string& name) {
   for (const RequestKind kind :
        {RequestKind::kBuildConflictGraph, RequestKind::kGreedyMaxis,
         RequestKind::kLubyMis, RequestKind::kCfColor,
-        RequestKind::kRunReduction}) {
+        RequestKind::kRunReduction, RequestKind::kExactCertificate}) {
     if (name == kind_name(kind)) return kind;
   }
   PSL_CHECK_MSG(false, "service: unknown request kind '" << name << "'");
@@ -166,6 +199,7 @@ std::uint64_t cache_key(const Request& req) {
       key = hash_combine(hash_combine(key, req.k), req.seed);
       break;
     case RequestKind::kRunReduction:
+    case RequestKind::kExactCertificate:
       key = hash_combine(hash_combine(key, req.k), req.seed);
       key = hash_combine(key, fnv1a64(req.solver));
       break;
@@ -186,6 +220,8 @@ std::string execute_request(const Request& req, runtime::Scheduler& sched,
     case RequestKind::kLubyMis: return execute_luby(req, sched, graph_cache);
     case RequestKind::kCfColor: return execute_cf_color(req, sched);
     case RequestKind::kRunReduction: return execute_reduction(req, sched);
+    case RequestKind::kExactCertificate:
+      return execute_exact_certificate(req, sched, graph_cache);
   }
   PSL_CHECK_MSG(false, "service: invalid request kind");
   return {};

@@ -31,6 +31,7 @@ enum class RequestKind : std::uint8_t {
   kLubyMis,             // Luby MIS on G_k (seeded)
   kCfColor,             // direct greedy CF coloring of h
   kRunReduction,        // Theorem 1.1 reduction with a named oracle
+  kExactCertificate,    // exact MaxIS on G_k + certificate (src/solver/)
 };
 
 /// Stable wire name ("build_conflict_graph", "greedy_maxis", ...).
@@ -52,9 +53,11 @@ struct Request {
   std::uint64_t instance_hash = 0;
 
   std::size_t k = 4;            // palette size (all kinds except kCfColor)
-  std::uint64_t seed = 1;       // kLubyMis + randomized reduction oracles
+  std::uint64_t seed = 1;       // kLubyMis, reduction oracles, solver seed
   std::string solver = "greedy-mindeg";  // kRunReduction oracle:
-                                         // greedy-mindeg|greedy-random|luby
+                                         // greedy-mindeg|greedy-random|luby;
+                                         // kExactCertificate: a registered
+                                         // SolverFactory backend ("dpll")
 
   // Distributed-trace coordinates (docs/tracing.md), carried in the wire
   // frame header — NEVER part of cache_key() or the canonical payload,

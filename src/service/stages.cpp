@@ -9,9 +9,9 @@ namespace pslocal::service::stages {
 
 namespace {
 
-constexpr std::size_t kKindCount = 5;  // RequestKind enumerators
+constexpr std::size_t kKindCount = 6;  // RequestKind enumerators
 
-// All 7x5 per-kind stage histograms, registered once on first use.
+// All 7x6 per-kind stage histograms, registered once on first use.
 // Registration copies the name, so building it from temporaries is
 // fine; the handles themselves are just small ids.
 const obs::Histogram& stage_histogram(Stage stage, RequestKind kind) {

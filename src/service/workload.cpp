@@ -26,7 +26,8 @@ Trace generate_trace(const TraceParams& params) {
   PSL_EXPECTS(params.seed_variants > 0);
   const std::uint64_t total_weight =
       static_cast<std::uint64_t>(params.weight_build) + params.weight_greedy +
-      params.weight_luby + params.weight_cf + params.weight_reduction;
+      params.weight_luby + params.weight_cf + params.weight_reduction +
+      params.weight_exact;
   PSL_EXPECTS_MSG(total_weight > 0, "trace kind weights are all zero");
 
   Rng rng(params.seed);
@@ -69,8 +70,12 @@ Trace generate_trace(const TraceParams& params) {
     else if (pick < params.weight_build + params.weight_greedy +
                         params.weight_luby + params.weight_cf)
       req.kind = RequestKind::kCfColor;
-    else
+    else if (pick < params.weight_build + params.weight_greedy +
+                        params.weight_luby + params.weight_cf +
+                        params.weight_reduction)
       req.kind = RequestKind::kRunReduction;
+    else
+      req.kind = RequestKind::kExactCertificate;
     const std::size_t which =
         static_cast<std::size_t>(req_rng.next_below(params.instance_pool));
     req.instance = trace.instances[which];
@@ -79,6 +84,9 @@ Trace generate_trace(const TraceParams& params) {
     req.seed = 1 + req_rng.next_below(params.seed_variants);
     if (req.kind == RequestKind::kRunReduction)
       req.solver = kSolvers[req_rng.next_below(3)];
+    // Fixed backend, no RNG draw: the stream stays identical to traces
+    // generated before this kind existed whenever weight_exact == 0.
+    if (req.kind == RequestKind::kExactCertificate) req.solver = "dpll";
     keys.insert(cache_key(req));
     trace.requests.push_back(std::move(req));
   }

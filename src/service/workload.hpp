@@ -52,6 +52,11 @@ struct TraceParams {
   unsigned weight_luby = 25;
   unsigned weight_cf = 15;
   unsigned weight_reduction = 10;
+  // exact_certificate is opt-in (an exact solve per miss is orders of
+  // magnitude heavier than the other kinds — pair a non-zero weight
+  // with small n/m).  Default 0 also keeps the RNG draw sequence, and
+  // therefore existing recorded traces, byte-identical.
+  unsigned weight_exact = 0;
 };
 
 struct Trace {

@@ -1,0 +1,71 @@
+#include "solver/cnf.hpp"
+
+#include <sstream>
+
+namespace pslocal::solver {
+
+namespace {
+
+void append_clause(std::ostringstream& os, const Clause& clause) {
+  for (const Lit lit : clause) os << lit << ' ';
+  os << "0\n";
+}
+
+}  // namespace
+
+void CnfFormula::add_clause(Clause clause) {
+  PSL_EXPECTS_MSG(!clause.empty(), "cnf: empty clause (formula trivially "
+                                   "unsat — encode that explicitly)");
+  for (const Lit lit : clause)
+    PSL_EXPECTS_MSG(var_of(lit) <= num_vars_,
+                    "cnf: literal " << lit << " references an unallocated "
+                                       "variable (num_vars="
+                                    << num_vars_ << ")");
+  clauses_.push_back(std::move(clause));
+}
+
+void WcnfFormula::add_soft(std::uint64_t weight, Clause clause) {
+  PSL_EXPECTS_MSG(weight > 0, "wcnf: soft clause with zero weight");
+  for (const Lit lit : clause)
+    PSL_EXPECTS_MSG(var_of(lit) <= var_count(),
+                    "wcnf: soft literal " << lit
+                                          << " references an unallocated "
+                                             "variable");
+  soft_.emplace_back(weight, std::move(clause));
+}
+
+std::uint64_t WcnfFormula::soft_weight_total() const {
+  std::uint64_t total = 0;
+  for (const auto& [weight, clause] : soft_) total += weight;
+  return total;
+}
+
+std::string to_dimacs(const CnfFormula& formula,
+                      const std::vector<std::string>& comments) {
+  std::ostringstream os;
+  for (const auto& line : comments) os << "c " << line << "\n";
+  os << "p cnf " << formula.var_count() << ' ' << formula.clause_count()
+     << "\n";
+  for (const Clause& clause : formula.clauses()) append_clause(os, clause);
+  return os.str();
+}
+
+std::string to_wdimacs(const WcnfFormula& formula,
+                       const std::vector<std::string>& comments) {
+  const std::uint64_t top = formula.soft_weight_total() + 1;
+  std::ostringstream os;
+  for (const auto& line : comments) os << "c " << line << "\n";
+  os << "p wcnf " << formula.var_count() << ' '
+     << (formula.hard_count() + formula.soft_count()) << ' ' << top << "\n";
+  for (const Clause& clause : formula.hard().clauses()) {
+    os << top << ' ';
+    append_clause(os, clause);
+  }
+  for (const auto& [weight, clause] : formula.soft()) {
+    os << weight << ' ';
+    append_clause(os, clause);
+  }
+  return os.str();
+}
+
+}  // namespace pslocal::solver

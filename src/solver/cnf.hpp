@@ -1,0 +1,98 @@
+// Propositional formula types of the exact-oracle backend (src/solver/).
+//
+// A CnfFormula is a conjunction of hard clauses over DIMACS-style
+// variables 1..num_vars; a WcnfFormula adds weighted soft clauses (the
+// MaxSAT objective).  Both are plain insertion-ordered containers: the
+// encoders (solver/encode.hpp) walk their inputs in index order, so a
+// formula built from a fixed instance is identical — clause by clause,
+// literal by literal — across runs and thread counts.  That is what
+// makes the DIMACS/WDIMACS exports below byte-deterministic, the same
+// golden-bytes discipline as the service replay files.
+//
+// Literal convention (DIMACS): a literal is a non-zero signed integer,
+// +v for variable v, -v for its negation.  Variable 0 does not exist.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace pslocal::solver {
+
+/// DIMACS variable (1-based) and signed literal (+v / -v, never 0).
+using Var = std::uint32_t;
+using Lit = std::int32_t;
+
+[[nodiscard]] inline Var var_of(Lit lit) {
+  PSL_EXPECTS(lit != 0);
+  return static_cast<Var>(lit > 0 ? lit : -lit);
+}
+[[nodiscard]] inline bool positive(Lit lit) { return lit > 0; }
+
+using Clause = std::vector<Lit>;
+
+/// Hard-clause CNF formula with an explicit variable allocator.
+class CnfFormula {
+ public:
+  /// Allocate the next fresh variable (1-based).
+  Var new_var() { return static_cast<Var>(++num_vars_); }
+
+  /// Reserve variables 1..n in one step (the encoders lay out their
+  /// primary variables as a dense block before any auxiliaries).
+  void ensure_vars(std::size_t n) {
+    if (n > num_vars_) num_vars_ = n;
+  }
+
+  /// Append a clause; every literal must reference an allocated variable.
+  void add_clause(Clause clause);
+
+  [[nodiscard]] std::size_t var_count() const { return num_vars_; }
+  [[nodiscard]] std::size_t clause_count() const { return clauses_.size(); }
+  [[nodiscard]] const std::vector<Clause>& clauses() const { return clauses_; }
+
+ private:
+  std::size_t num_vars_ = 0;
+  std::vector<Clause> clauses_;
+};
+
+/// Weighted partial MaxSAT formula: hard clauses must hold; the solver
+/// maximizes the total weight of satisfied soft clauses.
+class WcnfFormula {
+ public:
+  Var new_var() { return hard_.new_var(); }
+  void ensure_vars(std::size_t n) { hard_.ensure_vars(n); }
+
+  void add_hard(Clause clause) { hard_.add_clause(std::move(clause)); }
+  void add_soft(std::uint64_t weight, Clause clause);
+
+  [[nodiscard]] std::size_t var_count() const { return hard_.var_count(); }
+  [[nodiscard]] std::size_t hard_count() const { return hard_.clause_count(); }
+  [[nodiscard]] std::size_t soft_count() const { return soft_.size(); }
+  [[nodiscard]] const CnfFormula& hard() const { return hard_; }
+  [[nodiscard]] const std::vector<std::pair<std::uint64_t, Clause>>& soft()
+      const {
+    return soft_;
+  }
+  [[nodiscard]] std::uint64_t soft_weight_total() const;
+
+ private:
+  CnfFormula hard_;
+  std::vector<std::pair<std::uint64_t, Clause>> soft_;
+};
+
+/// DIMACS CNF ("p cnf V C") of a hard formula.  `comments` lines (if
+/// any) are emitted first as "c <line>"; callers put provenance there
+/// (instance hash, encoder version), never timestamps — the bytes are
+/// part of the golden-file contract.
+[[nodiscard]] std::string to_dimacs(const CnfFormula& formula,
+                                    const std::vector<std::string>& comments);
+
+/// WDIMACS ("p wcnf V C TOP"): hard clauses carry weight TOP =
+/// soft_weight_total() + 1, soft clauses their own weight.
+[[nodiscard]] std::string to_wdimacs(const WcnfFormula& formula,
+                                     const std::vector<std::string>& comments);
+
+}  // namespace pslocal::solver

@@ -1,0 +1,192 @@
+#include "solver/dpll.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace pslocal::solver {
+
+namespace {
+
+// Watch-list index of a literal: positive literals at even slots.
+std::size_t lit_index(Lit lit) {
+  return 2 * static_cast<std::size_t>(var_of(lit) - 1) +
+         (positive(lit) ? 0 : 1);
+}
+
+class Dpll {
+ public:
+  Dpll(const CnfFormula& formula, std::uint64_t seed, std::uint64_t budget)
+      : clauses_(formula.clauses()),
+        num_vars_(formula.var_count()),
+        budget_(budget),
+        value_(num_vars_ + 1, 0),
+        polarity_(num_vars_ + 1, false),
+        watches_(2 * num_vars_) {
+    Rng rng(seed);
+    for (Var v = 1; v <= num_vars_; ++v) polarity_[v] = rng.next_u64() & 1;
+
+    // Static branching order: occurrence count descending, variable
+    // index ascending — a fixed ranking, independent of the search.
+    std::vector<std::uint32_t> occurrences(num_vars_ + 1, 0);
+    for (const Clause& clause : clauses_)
+      for (const Lit lit : clause) ++occurrences[var_of(lit)];
+    order_.resize(num_vars_);
+    for (Var v = 1; v <= num_vars_; ++v) order_[v - 1] = v;
+    std::stable_sort(order_.begin(), order_.end(),
+                     [&occurrences](Var a, Var b) {
+                       return occurrences[a] > occurrences[b];
+                     });
+  }
+
+  SatResult run() {
+    SatResult result;
+    // Register watches; size-1 clauses become root-level implications.
+    for (std::size_t cid = 0; cid < clauses_.size(); ++cid) {
+      Clause& clause = clauses_[cid];
+      if (clause.size() == 1) {
+        const Lit unit = clause[0];
+        if (lit_value(unit) < 0) return finish(result, false, true);
+        if (lit_value(unit) == 0) enqueue(unit);
+        continue;
+      }
+      watches_[lit_index(clause[0])].push_back(cid);
+      watches_[lit_index(clause[1])].push_back(cid);
+    }
+    bool conflict = !propagate();
+    if (conflict && frames_.empty()) return finish(result, false, true);
+
+    for (;;) {
+      if (conflict) {
+        ++stats_.conflicts;
+        while (!frames_.empty() && frames_.back().flipped) {
+          undo_to(frames_.back().trail_size);
+          frames_.pop_back();
+        }
+        if (frames_.empty()) return finish(result, false, true);
+        Frame& frame = frames_.back();
+        undo_to(frame.trail_size);
+        frame.flipped = true;
+        enqueue(make_lit(frame.var, !polarity_[frame.var]));
+        conflict = !propagate();
+        continue;
+      }
+      const Var branch = next_unassigned();
+      if (branch == 0) {
+        result.sat = true;
+        result.model.resize(num_vars_);
+        for (Var v = 1; v <= num_vars_; ++v) result.model[v - 1] =
+            value_[v] > 0;
+        return finish(result, true, true);
+      }
+      if (stats_.decisions >= budget_) return finish(result, false, false);
+      ++stats_.decisions;
+      frames_.push_back({branch, trail_.size(), false});
+      enqueue(make_lit(branch, polarity_[branch]));
+      conflict = !propagate();
+    }
+  }
+
+ private:
+  struct Frame {
+    Var var;
+    std::size_t trail_size;
+    bool flipped;
+  };
+
+  static Lit make_lit(Var v, bool pos) {
+    return pos ? static_cast<Lit>(v) : -static_cast<Lit>(v);
+  }
+
+  // -1 false, 0 unassigned, +1 true under the current assignment.
+  int lit_value(Lit lit) const {
+    const int v = value_[var_of(lit)];
+    return positive(lit) ? v : -v;
+  }
+
+  void enqueue(Lit lit) {
+    value_[var_of(lit)] = positive(lit) ? 1 : -1;
+    trail_.push_back(lit);
+  }
+
+  void undo_to(std::size_t mark) {
+    while (trail_.size() > mark) {
+      value_[var_of(trail_.back())] = 0;
+      trail_.pop_back();
+    }
+    qhead_ = mark;
+  }
+
+  /// Exhaust unit propagation from qhead_.  Returns false on conflict.
+  bool propagate() {
+    while (qhead_ < trail_.size()) {
+      const Lit false_lit = -trail_[qhead_++];
+      auto& watch_list = watches_[lit_index(false_lit)];
+      std::size_t keep = 0;
+      for (std::size_t i = 0; i < watch_list.size(); ++i) {
+        const std::size_t cid = watch_list[i];
+        Clause& clause = clauses_[cid];
+        if (clause[0] == false_lit) std::swap(clause[0], clause[1]);
+        if (lit_value(clause[0]) > 0) {  // already satisfied
+          watch_list[keep++] = cid;
+          continue;
+        }
+        bool rewatched = false;
+        for (std::size_t k = 2; k < clause.size(); ++k) {
+          if (lit_value(clause[k]) >= 0) {
+            std::swap(clause[1], clause[k]);
+            watches_[lit_index(clause[1])].push_back(cid);
+            rewatched = true;
+            break;
+          }
+        }
+        if (rewatched) continue;
+        watch_list[keep++] = cid;
+        if (lit_value(clause[0]) < 0) {  // all literals false
+          while (++i < watch_list.size()) watch_list[keep++] = watch_list[i];
+          watch_list.resize(keep);
+          return false;
+        }
+        enqueue(clause[0]);
+        ++stats_.propagations;
+      }
+      watch_list.resize(keep);
+    }
+    return true;
+  }
+
+  Var next_unassigned() const {
+    for (const Var v : order_)
+      if (value_[v] == 0) return v;
+    return 0;
+  }
+
+  SatResult finish(SatResult& result, bool sat, bool proven) {
+    result.sat = sat;
+    result.proven = proven;
+    result.stats = stats_;
+    return result;
+  }
+
+  std::vector<Clause> clauses_;
+  std::size_t num_vars_;
+  std::uint64_t budget_;
+  std::vector<std::int8_t> value_;
+  std::vector<bool> polarity_;
+  std::vector<std::vector<std::size_t>> watches_;
+  std::vector<Var> order_;
+  std::vector<Lit> trail_;
+  std::size_t qhead_ = 0;
+  std::vector<Frame> frames_;
+  SatStats stats_;
+};
+
+}  // namespace
+
+SatResult solve_cnf(const CnfFormula& formula, std::uint64_t seed,
+                    std::uint64_t decision_budget) {
+  return Dpll(formula, seed, decision_budget).run();
+}
+
+}  // namespace pslocal::solver

@@ -1,0 +1,49 @@
+// Self-contained reference SAT solver: DPLL with two-watched-literal
+// unit propagation and chronological backtracking.
+//
+// This is the backend that makes src/solver/ work out of the box with no
+// external dependency.  It is deliberately simple — no clause learning,
+// no restarts — but fully deterministic: the branching order is a static
+// occurrence-count ranking (ties by variable index) and decision
+// polarities are drawn once from a seeded Rng, so the same (formula,
+// seed) pair explores the identical search tree on every run and every
+// thread count.  A decision budget turns it into an anytime procedure:
+// `proven == false` means the budget ran out, never a wrong answer.
+//
+// External solvers plug in above this layer (see SolverFactory in
+// solver/solver.hpp); nothing here is MaxIS-specific.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "solver/cnf.hpp"
+
+namespace pslocal::solver {
+
+struct SatStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+};
+
+struct SatResult {
+  bool sat = false;
+  /// True iff the answer is definitive. `sat == false && !proven` means
+  /// the decision budget was exhausted with the search still open.
+  bool proven = false;
+  /// Satisfying assignment when `sat` (model[i] = value of variable i+1).
+  std::vector<bool> model;
+  SatStats stats;
+};
+
+inline constexpr std::uint64_t kDefaultDecisionBudget = 10'000'000;
+
+/// Decide satisfiability of a hard CNF formula.  Deterministic under a
+/// fixed (formula, seed); `decision_budget` caps the number of branching
+/// decisions.
+[[nodiscard]] SatResult solve_cnf(
+    const CnfFormula& formula, std::uint64_t seed = 0,
+    std::uint64_t decision_budget = kDefaultDecisionBudget);
+
+}  // namespace pslocal::solver

@@ -1,0 +1,128 @@
+#include "solver/encode.hpp"
+
+namespace pslocal::solver {
+
+std::vector<VertexId> MaxISEncoding::decode(
+    const std::vector<bool>& model) const {
+  PSL_EXPECTS(model.size() >= vertex_count);
+  std::vector<VertexId> is;
+  for (VertexId v = 0; v < vertex_count; ++v)
+    if (model[vertex_var(v) - 1]) is.push_back(v);
+  return is;
+}
+
+MaxISEncoding encode_maxis(const Graph& g) {
+  MaxISEncoding enc;
+  enc.vertex_count = g.vertex_count();
+  enc.formula.ensure_vars(enc.vertex_count);
+  // Hard: adjacent vertices exclude each other.  Neighbor lists are
+  // sorted, so emitting each edge at its lower endpoint fixes the order.
+  for (VertexId u = 0; u < g.vertex_count(); ++u) {
+    const Lit not_u = -static_cast<Lit>(enc.vertex_var(u));
+    for (const VertexId v : g.neighbors(u)) {
+      if (v <= u) continue;
+      enc.formula.add_hard({not_u, -static_cast<Lit>(enc.vertex_var(v))});
+    }
+  }
+  // Soft: every vertex wants in, weight 1 — satisfied weight = |IS|.
+  for (VertexId v = 0; v < g.vertex_count(); ++v)
+    enc.formula.add_soft(1, {static_cast<Lit>(enc.vertex_var(v))});
+  return enc;
+}
+
+CfColoring CfDecisionEncoding::decode(const std::vector<bool>& model) const {
+  PSL_EXPECTS(model.size() >= vertex_count * k);
+  CfColoring coloring(vertex_count, kCfUncolored);
+  for (VertexId v = 0; v < vertex_count; ++v) {
+    for (std::size_t c = 1; c <= k; ++c) {
+      if (!model[color_var(v, c) - 1]) continue;
+      PSL_CHECK_MSG(coloring[v] == kCfUncolored,
+                    "cf model assigns vertex " << v << " two colors");
+      coloring[v] = c;
+    }
+    PSL_CHECK_MSG(coloring[v] != kCfUncolored,
+                  "cf model leaves vertex " << v << " uncolored");
+  }
+  return coloring;
+}
+
+CfDecisionEncoding encode_cf_decision(const Hypergraph& h, std::size_t k) {
+  PSL_EXPECTS(k >= 1);
+  CfDecisionEncoding enc;
+  enc.vertex_count = h.vertex_count();
+  enc.k = k;
+  enc.formula.ensure_vars(enc.vertex_count * k);
+
+  // Exactly one color per vertex (the single-color regime of Lemma 2.1 a,
+  // matching exact_min_cf_colors).
+  for (VertexId v = 0; v < h.vertex_count(); ++v) {
+    Clause at_least;
+    at_least.reserve(k);
+    for (std::size_t c = 1; c <= k; ++c)
+      at_least.push_back(static_cast<Lit>(enc.color_var(v, c)));
+    enc.formula.add_clause(std::move(at_least));
+    for (std::size_t c = 1; c <= k; ++c)
+      for (std::size_t d = c + 1; d <= k; ++d)
+        enc.formula.add_clause({-static_cast<Lit>(enc.color_var(v, c)),
+                                -static_cast<Lit>(enc.color_var(v, d))});
+  }
+
+  // Per edge: some vertex carries some color uniquely.  u_{e,v,c} is a
+  // fresh auxiliary witnessing that choice.
+  for (EdgeId e = 0; e < h.edge_count(); ++e) {
+    const auto edge = h.edge(e);
+    Clause some_witness;
+    some_witness.reserve(edge.size() * k);
+    for (const VertexId v : edge) {
+      for (std::size_t c = 1; c <= k; ++c) {
+        const Var u = enc.formula.new_var();
+        const Lit not_u = -static_cast<Lit>(u);
+        some_witness.push_back(static_cast<Lit>(u));
+        enc.formula.add_clause(
+            {not_u, static_cast<Lit>(enc.color_var(v, c))});
+        for (const VertexId w : edge) {
+          if (w == v) continue;
+          enc.formula.add_clause(
+              {not_u, -static_cast<Lit>(enc.color_var(w, c))});
+        }
+      }
+    }
+    enc.formula.add_clause(std::move(some_witness));
+  }
+  return enc;
+}
+
+void add_at_most(CnfFormula& formula, const std::vector<Lit>& lits,
+                 std::size_t bound) {
+  const std::size_t m = lits.size();
+  if (bound >= m) return;  // vacuous
+  if (bound == 0) {
+    for (const Lit lit : lits) formula.add_clause({-lit});
+    return;
+  }
+  // Sinz sequential counter: s[i][j] = "at least j+1 of lits[0..i] are
+  // true".  Auxiliaries allocated row-major in loop order (determinism).
+  std::vector<Var> prev(bound), cur(bound);
+  for (std::size_t j = 0; j < bound; ++j) prev[j] = formula.new_var();
+  formula.add_clause({-lits[0], static_cast<Lit>(prev[0])});
+  for (std::size_t j = 1; j < bound; ++j)
+    formula.add_clause({-static_cast<Lit>(prev[j])});
+  for (std::size_t i = 1; i + 1 <= m - 1; ++i) {
+    for (std::size_t j = 0; j < bound; ++j) cur[j] = formula.new_var();
+    formula.add_clause({-lits[i], static_cast<Lit>(cur[0])});
+    formula.add_clause(
+        {-static_cast<Lit>(prev[0]), static_cast<Lit>(cur[0])});
+    for (std::size_t j = 1; j < bound; ++j) {
+      formula.add_clause({-lits[i], -static_cast<Lit>(prev[j - 1]),
+                          static_cast<Lit>(cur[j])});
+      formula.add_clause(
+          {-static_cast<Lit>(prev[j]), static_cast<Lit>(cur[j])});
+    }
+    formula.add_clause({-lits[i], -static_cast<Lit>(prev[bound - 1])});
+    std::swap(prev, cur);
+  }
+  formula.add_clause({-lits[m - 1], -static_cast<Lit>(prev[bound - 1])});
+  return;
+}
+
+}  // namespace pslocal::solver

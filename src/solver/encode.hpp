@@ -1,0 +1,81 @@
+// Byte-deterministic encoders: MaxIS → WCNF, CF k-colorability → CNF.
+//
+// MaxIS (the λ=1 oracle's workload): variable x_v (= DIMACS var v+1) per
+// vertex, one hard clause (¬x_u ∨ ¬x_v) per graph edge, one unit soft
+// clause (x_v) of weight 1 per vertex.  An optimal MaxSAT model is
+// exactly a maximum independent set, so the encoding carries the full
+// objective — exporting it as WDIMACS makes any external MaxSAT solver
+// an exact oracle with no further glue.
+//
+// CF k-colorability (the paper's decision problem, single-color regime
+// of Lemma 2.1 a — every vertex gets exactly one color, matching
+// exact_min_cf_colors): variables x_{v,c} "v has color c" plus
+// auxiliaries u_{e,v,c} "edge e is made happy by v uniquely carrying c".
+// Clauses: exactly-one color per vertex, at least one u per edge, and
+// u_{e,v,c} → x_{v,c} ∧ (¬x_{w,c} for every other w ∈ e).  The formula
+// is satisfiable iff H admits a CF k-coloring, and a model decodes to a
+// witness coloring.
+//
+// Both encoders walk their input in index order and allocate variables
+// in a fixed layout, so the emitted formula — and its DIMACS bytes —
+// is identical across runs and thread counts (golden-bytes tested).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "coloring/conflict_free.hpp"
+#include "graph/graph.hpp"
+#include "hypergraph/hypergraph.hpp"
+#include "solver/cnf.hpp"
+
+namespace pslocal::solver {
+
+struct MaxISEncoding {
+  WcnfFormula formula;
+  std::size_t vertex_count = 0;
+
+  /// DIMACS variable of vertex v (v + 1).
+  [[nodiscard]] Var vertex_var(VertexId v) const {
+    PSL_EXPECTS(v < vertex_count);
+    return static_cast<Var>(v + 1);
+  }
+
+  /// The independent set selected by a model (model[i] = value of
+  /// DIMACS variable i+1), ascending.  PSL_EXPECTS the model covers
+  /// every vertex variable.
+  [[nodiscard]] std::vector<VertexId> decode(
+      const std::vector<bool>& model) const;
+};
+
+[[nodiscard]] MaxISEncoding encode_maxis(const Graph& g);
+
+struct CfDecisionEncoding {
+  CnfFormula formula;
+  std::size_t vertex_count = 0;
+  std::size_t k = 0;
+
+  /// DIMACS variable of "vertex v has color c" (c in [1, k]).
+  [[nodiscard]] Var color_var(VertexId v, std::size_t c) const {
+    PSL_EXPECTS(v < vertex_count);
+    PSL_EXPECTS(c >= 1 && c <= k);
+    return static_cast<Var>(v * k + c);
+  }
+
+  /// The coloring selected by a model (every vertex has exactly one
+  /// color by construction).
+  [[nodiscard]] CfColoring decode(const std::vector<bool>& model) const;
+};
+
+[[nodiscard]] CfDecisionEncoding encode_cf_decision(const Hypergraph& h,
+                                                    std::size_t k);
+
+/// Append clauses forcing "at most `bound` of `lits` are true" via the
+/// Sinz sequential-counter encoding (O(|lits| * bound) fresh variables
+/// and clauses).  Used to turn the MaxIS objective into SAT decision
+/// queries ("is there an IS of size >= t" = "at most n - t vertices are
+/// excluded").  Deterministic: auxiliaries are allocated in loop order.
+void add_at_most(CnfFormula& formula, const std::vector<Lit>& lits,
+                 std::size_t bound);
+
+}  // namespace pslocal::solver

@@ -1,0 +1,178 @@
+#include "solver/solver.hpp"
+
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "solver/encode.hpp"
+#include "solver/pruner.hpp"
+#include "util/hash.hpp"
+
+namespace pslocal::solver {
+
+namespace {
+
+/// Deterministic index-order greedy: a fast incumbent so the SAT search
+/// starts above the easy part of the objective.
+std::vector<VertexId> greedy_seed(const Graph& g) {
+  std::vector<bool> blocked(g.vertex_count(), false);
+  std::vector<VertexId> is;
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (blocked[v]) continue;
+    is.push_back(v);
+    for (const VertexId w : g.neighbors(v)) blocked[w] = true;
+  }
+  return is;
+}
+
+/// The built-in reference backend: prune → encode → iterated SAT
+/// decision queries ("is there an IS of size >= t", i.e. at most n - t
+/// vertices excluded, via the Sinz counter) until UNSAT proves the
+/// incumbent optimal or the decision budget runs out.
+class DpllBackend final : public AbstractSolver {
+ public:
+  [[nodiscard]] std::string name() const override { return "dpll"; }
+
+  [[nodiscard]] ExactSolveResult solve_maxis(
+      const Graph& g, const SolverOptions& options) override {
+    PSL_OBS_SPAN("solver.solve");
+    static const obs::Counter g_solves("solver.solves");
+    static const obs::Counter g_queries("solver.sat_queries");
+    g_solves.add();
+
+    const MaxISKernel kernel =
+        options.kernelize ? prune_maxis(g) : identity_kernel(g);
+    ExactSolveResult result;
+    result.kernel_vertices = kernel.kernel.vertex_count();
+    result.kernel_forced = kernel.forced.size();
+
+    MaxISEncoding enc;
+    {
+      PSL_OBS_SPAN("solver.encode");
+      enc = encode_maxis(kernel.kernel);
+      result.formula_vars = enc.formula.var_count();
+      result.formula_clauses =
+          enc.formula.hard_count() + enc.formula.soft_count();
+      result.formula_hash = fnv1a64(to_wdimacs(enc.formula, {}));
+    }
+
+    const std::size_t n = kernel.kernel.vertex_count();
+    std::vector<VertexId> incumbent;
+    bool proven = true;
+    if (n > 0) {
+      PSL_OBS_SPAN("solver.search");
+      incumbent = greedy_seed(kernel.kernel);
+      std::vector<Lit> excluded;
+      excluded.reserve(n);
+      for (VertexId v = 0; v < n; ++v)
+        excluded.push_back(-static_cast<Lit>(enc.vertex_var(v)));
+      std::uint64_t remaining = options.decision_budget;
+      std::size_t target = incumbent.size() + 1;
+      while (target <= n) {
+        CnfFormula query = enc.formula.hard();
+        add_at_most(query, excluded, n - target);
+        const SatResult sat =
+            solve_cnf(query, hash_combine(options.seed, target), remaining);
+        g_queries.add();
+        result.decisions += sat.stats.decisions;
+        result.propagations += sat.stats.propagations;
+        result.conflicts += sat.stats.conflicts;
+        remaining -= std::min(remaining, sat.stats.decisions);
+        if (!sat.proven) {  // budget exhausted mid-query
+          proven = false;
+          break;
+        }
+        if (!sat.sat) break;  // UNSAT: incumbent is optimal
+        incumbent = enc.decode(sat.model);
+        PSL_CHECK(incumbent.size() >= target);
+        target = incumbent.size() + 1;
+      }
+    }
+
+    result.independent_set = lift_and_verify(g, kernel, incumbent);
+    result.proven_optimal = proven;
+    return result;
+  }
+};
+
+/// MaxISOracle adapter over a factory backend.  λ = 1 is enforced: an
+/// unproven (budget-cut) answer trips PSL_CHECK instead of silently
+/// weakening the guarantee the reduction relies on.
+class CnfExactOracle final : public MaxISOracle {
+ public:
+  CnfExactOracle(std::string backend, SolverOptions options)
+      : backend_(std::move(backend)), options_(options) {}
+
+  [[nodiscard]] std::vector<VertexId> solve(const Graph& g) override {
+    const AbstractSolverPtr solver =
+        SolverFactory::instance().make(backend_);
+    ExactSolveResult result = solver->solve_maxis(g, options_);
+    PSL_CHECK_MSG(result.proven_optimal,
+                  "solver oracle '" << backend_
+                                    << "' claims lambda = 1 but the search "
+                                       "was budget-cut; raise "
+                                       "SolverOptions::decision_budget");
+    return std::move(result.independent_set);
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "cnf-" + backend_;
+  }
+
+  [[nodiscard]] std::optional<double> lambda_guarantee() const override {
+    return 1.0;
+  }
+
+ private:
+  std::string backend_;
+  SolverOptions options_;
+};
+
+}  // namespace
+
+SolverFactory::SolverFactory() {
+  makers_["dpll"] = []() -> AbstractSolverPtr {
+    return std::make_unique<DpllBackend>();
+  };
+}
+
+SolverFactory& SolverFactory::instance() {
+  static SolverFactory factory;
+  return factory;
+}
+
+void SolverFactory::register_backend(const std::string& name, Maker maker) {
+  PSL_EXPECTS(maker != nullptr);
+  const std::lock_guard<std::mutex> lock(mu_);
+  makers_[name] = maker;
+}
+
+AbstractSolverPtr SolverFactory::make(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = makers_.find(name);
+  PSL_EXPECTS_MSG(it != makers_.end(),
+                  "solver: unknown backend '" << name << "'");
+  return it->second();
+}
+
+bool SolverFactory::has(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return makers_.count(name) != 0;
+}
+
+std::vector<std::string> SolverFactory::backends() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(makers_.size());
+  for (const auto& [name, maker] : makers_) names.push_back(name);
+  return names;
+}
+
+MaxISOraclePtr make_solver_oracle(const std::string& backend,
+                                  SolverOptions options) {
+  PSL_EXPECTS_MSG(SolverFactory::instance().has(backend),
+                  "solver: unknown backend '" << backend << "'");
+  return std::make_unique<CnfExactOracle>(backend, options);
+}
+
+}  // namespace pslocal::solver

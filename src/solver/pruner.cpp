@@ -1,0 +1,46 @@
+#include "solver/pruner.hpp"
+
+#include <numeric>
+
+#include "mis/independent_set.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace pslocal::solver {
+
+MaxISKernel prune_maxis(const Graph& g) {
+  PSL_OBS_SPAN("solver.prune");
+  static const obs::Counter g_runs("solver.prune.runs");
+  static const obs::Counter g_isolated("solver.prune.isolated");
+  static const obs::Counter g_pendant("solver.prune.pendant");
+  static const obs::Counter g_domination("solver.prune.domination");
+  static const obs::Counter g_removed("solver.prune.vertices_removed");
+  MaxISKernel kernel = kernelize_maxis(g);
+  g_runs.add();
+  g_isolated.add(kernel.isolated_applications);
+  g_pendant.add(kernel.pendant_applications);
+  g_domination.add(kernel.domination_applications);
+  g_removed.add(g.vertex_count() - kernel.kernel.vertex_count());
+  return kernel;
+}
+
+MaxISKernel identity_kernel(const Graph& g) {
+  MaxISKernel kernel;
+  kernel.kernel = g;
+  kernel.to_original.resize(g.vertex_count());
+  std::iota(kernel.to_original.begin(), kernel.to_original.end(),
+            VertexId{0});
+  return kernel;
+}
+
+std::vector<VertexId> lift_and_verify(
+    const Graph& original, const MaxISKernel& kernel,
+    const std::vector<VertexId>& kernel_is) {
+  std::vector<VertexId> lifted = lift_kernel_solution(kernel, kernel_is);
+  PSL_CHECK_MSG(is_independent_set(original, lifted),
+                "solver: lifted model is not independent in the original "
+                "graph — encode/solve/lift chain is broken");
+  return lifted;
+}
+
+}  // namespace pslocal::solver

@@ -1,0 +1,34 @@
+// Kernelizing pruner stage of the exact-oracle backend.
+//
+// Thin instrumentation wrapper over mis/kernelization: the same
+// α-preserving rules (isolated / pendant / domination) run once before
+// the encoder, shrinking the instance the SAT search has to close, and
+// the model is lifted back through the kernel map afterwards.  The lift
+// here additionally RE-VERIFIES the result against the original graph
+// (PSL_CHECK on is_independent_set) — the backend claims λ = 1, so a
+// bug anywhere in encode/solve/lift must fail loudly, not ship a wrong
+// certificate.  Rule applications surface as solver.prune.* counters.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mis/kernelization.hpp"
+
+namespace pslocal::solver {
+
+/// Run the α-preserving reduction rules to exhaustion (under a
+/// solver.prune span, with rule-application counters).
+[[nodiscard]] MaxISKernel prune_maxis(const Graph& g);
+
+/// An identity kernel (kernel == g, nothing forced) for the
+/// kernelize=false path, so downstream code handles one shape.
+[[nodiscard]] MaxISKernel identity_kernel(const Graph& g);
+
+/// Lift a kernel IS back to `original` and re-verify it there.
+/// PSL_CHECKs that the lifted set is independent in the original graph.
+[[nodiscard]] std::vector<VertexId> lift_and_verify(
+    const Graph& original, const MaxISKernel& kernel,
+    const std::vector<VertexId>& kernel_is);
+
+}  // namespace pslocal::solver

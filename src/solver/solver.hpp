@@ -1,0 +1,119 @@
+// src/solver/ — pluggable exact-oracle backend.
+//
+//   solver/cnf.hpp     CNF / WCNF formula types + DIMACS/WDIMACS export
+//   solver/encode.hpp  byte-deterministic MaxIS→WCNF, CF→CNF encoders
+//   solver/dpll.hpp    self-contained reference SAT solver
+//   solver/pruner.hpp  kernelizing pruner (α-preserving, re-verified)
+//   solver/solver.hpp  AbstractSolver interface + SolverFactory (this)
+//
+// An AbstractSolver answers exact MaxIS queries through the pipeline
+// prune → encode → search → lift, returning the set together with a
+// machine-checkable certificate summary (formula shape, search stats,
+// kernel effect, formula hash).  Backends register by name in the
+// SolverFactory; "dpll" — the built-in reference solver — is always
+// present, and an external SAT/MaxSAT solver plugs in by registering a
+// maker (or, with no linking at all, by consuming the DIMACS/WDIMACS
+// exports — see docs/solver.md).
+//
+// make_solver_oracle() adapts a backend to the MaxISOracle abstraction
+// with lambda_guarantee() == 1.0, so the Theorem 1.1 reduction, the
+// experiments, the qc differential oracles, and service dispatch swap
+// it in untouched.  The λ = 1 claim is enforced: the adapter PSL_CHECKs
+// proven_optimal, so a budget-exhausted search fails loudly instead of
+// silently degrading the guarantee.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mis/oracle.hpp"
+#include "solver/dpll.hpp"
+
+namespace pslocal::solver {
+
+struct SolverOptions {
+  /// Seed for any randomized tie-breaking (dpll: decision polarities).
+  std::uint64_t seed = 0;
+  /// Total branching-decision budget across all SAT queries of one
+  /// solve_maxis call.  Exhaustion yields proven_optimal == false.
+  std::uint64_t decision_budget = kDefaultDecisionBudget;
+  /// Run the α-preserving kernelization pruner before encoding.
+  bool kernelize = true;
+};
+
+/// Exact MaxIS answer plus its certificate summary.  Every field is a
+/// deterministic function of (graph, backend, options) — the
+/// exact_certificate service kind serializes them byte-for-byte.
+struct ExactSolveResult {
+  std::vector<VertexId> independent_set;
+  /// True iff optimality was proven (search closed, not budget-cut).
+  bool proven_optimal = false;
+  // Certificate: shape of the kernel encoding this answer came from.
+  std::size_t formula_vars = 0;
+  std::size_t formula_clauses = 0;  // hard + soft
+  std::uint64_t formula_hash = 0;   // fnv1a64 of the WDIMACS bytes
+  // Certificate: search effort.
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  // Certificate: pruner effect.
+  std::size_t kernel_vertices = 0;
+  std::size_t kernel_forced = 0;
+};
+
+/// A pluggable exact MaxIS solver.  Implementations must be
+/// deterministic under a fixed (graph, options) pair and must only set
+/// proven_optimal when |independent_set| == α(g).
+class AbstractSolver {
+ public:
+  virtual ~AbstractSolver() = default;
+
+  /// Backend identifier ("dpll", "minisat", ...), also the factory key.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Solve MaxIS exactly (or as far as the budget allows).  The
+  /// returned set is always a verified IS of g, even when unproven.
+  [[nodiscard]] virtual ExactSolveResult solve_maxis(
+      const Graph& g, const SolverOptions& options) = 0;
+};
+
+using AbstractSolverPtr = std::unique_ptr<AbstractSolver>;
+
+/// Name → backend registry.  Built-ins ("dpll") are registered in the
+/// constructor — explicitly, not via static self-registration objects,
+/// so archive linking can never drop them.
+class SolverFactory {
+ public:
+  using Maker = AbstractSolverPtr (*)();
+
+  static SolverFactory& instance();
+
+  /// Register (or replace) a backend.  Thread-safe.
+  void register_backend(const std::string& name, Maker maker);
+
+  /// Construct a backend by name; PSL_EXPECTS the name is registered.
+  [[nodiscard]] AbstractSolverPtr make(const std::string& name) const;
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Registered backend names, sorted (deterministic listings).
+  [[nodiscard]] std::vector<std::string> backends() const;
+
+ private:
+  SolverFactory();
+
+  mutable std::mutex mu_;
+  std::map<std::string, Maker> makers_;
+};
+
+/// Adapt a factory backend to the MaxISOracle abstraction.  λ = 1:
+/// solve() PSL_CHECKs proven_optimal, so the guarantee is real.
+[[nodiscard]] MaxISOraclePtr make_solver_oracle(
+    const std::string& backend = "dpll", SolverOptions options = {});
+
+}  // namespace pslocal::solver

@@ -105,6 +105,19 @@ TEST(ExactOracleTest, SolvesAndReportsGuarantee) {
   EXPECT_EQ(oracle.solve(g).size(), 4u);
 }
 
+TEST(ExactOracleTest, LambdaOneIsEnforcedOnBudgetCut) {
+  // lambda_guarantee() == 1.0 is a contract, not a hint: when the node
+  // budget cuts the search short the oracle must refuse to answer
+  // rather than return an incumbent of unknown quality.
+  Rng rng(10);
+  const Graph g = gnp(200, 0.5, rng);
+  ExactOracle starved(/*node_budget=*/3);
+  EXPECT_THROW(static_cast<void>(starved.solve(g)), ContractViolation);
+  // An adequate budget on a small instance still answers normally.
+  ExactOracle fine;
+  EXPECT_EQ(fine.solve(ring(8)).size(), 4u);
+}
+
 TEST(IndependentSetTest, Predicates) {
   const Graph g = ring(6);
   EXPECT_TRUE(is_independent_set(g, {0, 2, 4}));
