@@ -15,7 +15,8 @@
 // recording (exit 1 on any byte difference).  The cache-off pass is
 // always verified in-process against the cache-on pass.
 //
-// Knobs: --requests --pool --n --m --k --seed-variants (trace shape),
+// Knobs: --requests --pool --n --m --k --seed-variants
+// --weight-mutate (trace shape),
 // --clients --queue-capacity --max-batch --cache-entries (engine),
 // --threads (solver pool), --seed, --replay-out, --replay-in,
 // --nocache=false (skip the comparison pass).
@@ -140,6 +141,8 @@ int main(int argc, char** argv) {
         tp.k = static_cast<std::size_t>(ctx.opts.get_int("k", 3));
         tp.seed_variants =
             static_cast<std::size_t>(ctx.opts.get_int("seed-variants", 2));
+        tp.weight_mutate =
+            static_cast<unsigned>(ctx.opts.get_int("weight-mutate", 0));
         const auto clients =
             static_cast<std::size_t>(ctx.opts.get_int("clients", 8));
 

@@ -26,8 +26,8 @@
 // net.dispatch -> service.solve -> net.serialize) carry its trace_id.
 //
 // Knobs: --shards --replication --requests --pool --n --m --k
-// --cache-entries --io-threads --vnodes --replay-out --kill-shard
-// --self-test-only --trace-out --threads --seed.
+// --weight-mutate --cache-entries --io-threads --vnodes --replay-out
+// --kill-shard --self-test-only --trace-out --threads --seed.
 #include <unistd.h>
 
 #include <iostream>
@@ -81,6 +81,8 @@ int main(int argc, char** argv) {
   tp.n = static_cast<std::size_t>(opts.get_int("n", 32));
   tp.m = static_cast<std::size_t>(opts.get_int("m", 24));
   tp.k = static_cast<std::size_t>(opts.get_int("k", 3));
+  tp.weight_mutate =
+      static_cast<unsigned>(opts.get_int("weight-mutate", 0));
   const service::Trace trace = service::generate_trace(tp);
 
   shard::LocalCluster cluster(cc);

@@ -1,0 +1,390 @@
+#include "core/dynamic_conflict_graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+#include "util/hash.hpp"
+
+namespace pslocal {
+
+namespace {
+
+constexpr EdgeId kNoEdge = static_cast<EdgeId>(-1);
+
+struct DeltaMetrics {
+  obs::Counter applies{"dynamic_conflict_graph.applies"};
+  obs::Counter triples_removed{"dynamic_conflict_graph.triples_removed"};
+  obs::Counter triples_added{"dynamic_conflict_graph.triples_added"};
+  obs::Counter gk_edges_removed{"dynamic_conflict_graph.gk_edges_removed"};
+  obs::Counter gk_edges_added{"dynamic_conflict_graph.gk_edges_added"};
+};
+
+const DeltaMetrics& delta_metrics() {
+  static DeltaMetrics m;
+  return m;
+}
+
+}  // namespace
+
+DynamicConflictGraph::DynamicConflictGraph(const Hypergraph& h, std::size_t k,
+                                           runtime::Scheduler& sched)
+    : DynamicConflictGraph(ConflictGraph(h, k, sched)) {}
+
+DynamicConflictGraph::DynamicConflictGraph(const ConflictGraph& cg) {
+  const Hypergraph& h = cg.hypergraph();
+  n_ = h.vertex_count();
+  k_ = cg.k();
+  edges_.reserve(h.edge_count());
+  for (EdgeId e = 0; e < h.edge_count(); ++e) {
+    const auto vs = h.edge(e);
+    edges_.emplace_back(vs.begin(), vs.end());
+  }
+  rebuild_pair_offsets();
+  rebuild_incidence();
+  const Graph& g = cg.graph();
+  adj_.resize(g.vertex_count());
+  for (TripleId t = 0; t < adj_.size(); ++t) {
+    const auto nbrs = g.neighbors(static_cast<VertexId>(t));
+    adj_[t].assign(nbrs.begin(), nbrs.end());
+  }
+  gk_edges_ = g.edge_count();
+}
+
+void DynamicConflictGraph::rebuild_pair_offsets() {
+  pair_offset_.assign(edges_.size() + 1, 0);
+  for (EdgeId e = 0; e < edges_.size(); ++e)
+    pair_offset_[e + 1] = pair_offset_[e] + edges_[e].size();
+}
+
+void DynamicConflictGraph::rebuild_incidence() {
+  incidence_.assign(n_, {});
+  for (EdgeId e = 0; e < edges_.size(); ++e)
+    for (const VertexId v : edges_[e]) incidence_[v].push_back(e);
+}
+
+std::size_t DynamicConflictGraph::pair_of(EdgeId e, VertexId v) const {
+  const auto& verts = edges_[e];
+  const auto it = std::lower_bound(verts.begin(), verts.end(), v);
+  PSL_EXPECTS_MSG(it != verts.end() && *it == v,
+                  "vertex " << v << " not in hyperedge " << e);
+  return pair_offset_[e] +
+         static_cast<std::size_t>(std::distance(verts.begin(), it));
+}
+
+Triple DynamicConflictGraph::triple(TripleId t) const {
+  PSL_EXPECTS(t < triple_count());
+  const std::size_t pair = t / k_;
+  const auto it = std::upper_bound(pair_offset_.begin(), pair_offset_.end(),
+                                   pair);
+  const EdgeId e = static_cast<EdgeId>(
+      std::distance(pair_offset_.begin(), it) - 1);
+  Triple out;
+  out.e = e;
+  out.v = edges_[e][pair - pair_offset_[e]];
+  out.c = t % k_ + 1;
+  return out;
+}
+
+/// Enumerate the G_k neighbors of every triple of (fresh) hyperedge e
+/// against the CURRENT edges_/incidence_ — the ball-local restriction of
+/// the three-class enumeration in conflict_graph.cpp.
+void DynamicConflictGraph::collect_fresh_neighbors(
+    EdgeId e, std::vector<std::uint64_t>& pairs) const {
+  const auto tid = [this](std::size_t pair, std::size_t c) {
+    return static_cast<VertexId>(pair * k_ + (c - 1));
+  };
+  // E_edge: the block of e is a clique.
+  const std::size_t first = pair_offset_[e] * k_;
+  const std::size_t last = pair_offset_[e + 1] * k_;
+  for (std::size_t a = first; a < last; ++a)
+    for (std::size_t b = a + 1; b < last; ++b)
+      pairs.push_back(pack_edge(static_cast<VertexId>(a),
+                                static_cast<VertexId>(b)));
+  for (const VertexId v : edges_[e]) {
+    const std::size_t pv = pair_of(e, v);
+    // E_vertex: same middle vertex, different colors.  The same-pair
+    // case (g == e) is already inside the E_edge clique above.
+    for (const EdgeId g : incidence_[v]) {
+      if (g == e) continue;
+      const std::size_t pu = pair_of(g, v);
+      for (std::size_t c = 1; c <= k_; ++c)
+        for (std::size_t d = 1; d <= k_; ++d) {
+          if (c == d) continue;
+          pairs.push_back(pack_edge(tid(pv, c), tid(pu, d)));
+        }
+    }
+    // E_color, witness edge = e: u, v both in e (u != v), partner is
+    // (g, u, c) for any g containing u.
+    for (const VertexId u : edges_[e]) {
+      if (u == v) continue;
+      for (const EdgeId g : incidence_[u]) {
+        const std::size_t pu = pair_of(g, u);
+        for (std::size_t c = 1; c <= k_; ++c)
+          pairs.push_back(pack_edge(tid(pv, c), tid(pu, c)));
+      }
+    }
+    // E_color, witness edge = g: u, v both in g (u != v), partner is
+    // (g, u, c) — g ranges over the other edges containing v.
+    for (const EdgeId g : incidence_[v]) {
+      for (const VertexId u : edges_[g]) {
+        if (u == v) continue;
+        const std::size_t pu = pair_of(g, u);
+        for (std::size_t c = 1; c <= k_; ++c)
+          pairs.push_back(pack_edge(tid(pv, c), tid(pu, c)));
+      }
+    }
+  }
+}
+
+DynamicConflictGraph::Delta DynamicConflictGraph::apply(const Mutation& mut) {
+  PSL_OBS_SPAN("conflict_graph.apply_delta");
+  const auto invalid = validate_mutation(n_, edges_, mut);
+  PSL_CHECK_MSG(!invalid.has_value(), "dynamic conflict graph: " << *invalid);
+  delta_metrics().applies.add(1);
+
+  Delta delta;
+  const std::size_t old_triples = adj_.size();
+  const std::size_t old_m = edges_.size();
+
+  if (mut.op == MutationOp::kAddVertex) {
+    ++n_;
+    incidence_.emplace_back();
+    delta.remap.resize(old_triples);
+    std::iota(delta.remap.begin(), delta.remap.end(), TripleId{0});
+    return delta;
+  }
+
+  // Plan: which old blocks disappear, which new contents are fresh.
+  std::vector<char> edge_touched(old_m, 0);  // old block removed
+  std::vector<std::vector<VertexId>> replacement(old_m);
+  std::vector<char> replaced(old_m, 0);
+  std::vector<std::vector<VertexId>> appended;
+  switch (mut.op) {
+    case MutationOp::kAddEdge: {
+      std::vector<VertexId> vs = mut.vertices;
+      std::sort(vs.begin(), vs.end());
+      appended.push_back(std::move(vs));
+      break;
+    }
+    case MutationOp::kRemoveEdge:
+      edge_touched[mut.edge] = 1;
+      break;
+    case MutationOp::kRemoveVertex: {
+      const VertexId v = mut.vertices[0];
+      for (const EdgeId e : incidence_[v]) {
+        edge_touched[e] = 1;
+        if (edges_[e].size() > 1) {
+          replaced[e] = 1;
+          std::vector<VertexId> shrunk;
+          shrunk.reserve(edges_[e].size() - 1);
+          for (const VertexId u : edges_[e])
+            if (u != v) shrunk.push_back(u);
+          replacement[e] = std::move(shrunk);
+        }
+      }
+      break;
+    }
+    case MutationOp::kAddVertex:
+      break;  // handled above
+  }
+
+  // Removed triple set = the blocks of every touched old edge.
+  std::vector<char> removed_flag(old_triples, 0);
+  for (EdgeId e = 0; e < old_m; ++e) {
+    if (!edge_touched[e]) continue;
+    for (std::size_t t = pair_offset_[e] * k_; t < pair_offset_[e + 1] * k_;
+         ++t) {
+      removed_flag[t] = 1;
+      delta.removed.push_back(t);
+    }
+  }
+
+  // Detach: count the G_k edges that die with the removed blocks, and
+  // filter them out of every surviving neighbor's list.
+  std::vector<TripleId> dirty_old;
+  for (const TripleId t : delta.removed) {
+    for (const TripleId nb : adj_[t]) {
+      if (removed_flag[nb]) {
+        if (t < nb) ++delta.gk_edges_removed;
+      } else {
+        ++delta.gk_edges_removed;
+        dirty_old.push_back(nb);
+      }
+    }
+  }
+  std::sort(dirty_old.begin(), dirty_old.end());
+  dirty_old.erase(std::unique(dirty_old.begin(), dirty_old.end()),
+                  dirty_old.end());
+  for (const TripleId nb : dirty_old) {
+    auto& list = adj_[nb];
+    list.erase(std::remove_if(list.begin(), list.end(),
+                              [&removed_flag](const TripleId x) {
+                                return removed_flag[x] != 0;
+                              }),
+               list.end());
+  }
+
+  // New edge list: survivors keep relative order, replaced edges keep
+  // their position with fresh content, appends go at the end.
+  std::vector<std::vector<VertexId>> new_edges;
+  new_edges.reserve(old_m + appended.size());
+  std::vector<char> fresh;
+  fresh.reserve(old_m + appended.size());
+  std::vector<EdgeId> old_to_new(old_m, kNoEdge);
+  for (EdgeId e = 0; e < old_m; ++e) {
+    if (edge_touched[e] && !replaced[e]) continue;  // deleted
+    old_to_new[e] = static_cast<EdgeId>(new_edges.size());
+    if (replaced[e]) {
+      new_edges.push_back(std::move(replacement[e]));
+      fresh.push_back(1);
+    } else {
+      new_edges.push_back(std::move(edges_[e]));
+      fresh.push_back(0);
+    }
+  }
+  for (auto& vs : appended) {
+    new_edges.push_back(std::move(vs));
+    fresh.push_back(1);
+  }
+
+  const std::vector<std::size_t> old_offset = std::move(pair_offset_);
+  edges_ = std::move(new_edges);
+  rebuild_pair_offsets();
+  rebuild_incidence();
+
+  const std::size_t new_triples = pair_offset_.back() * k_;
+  PSL_EXPECTS_MSG(new_triples < (std::uint64_t{1} << 32),
+                  "conflict graph too large for 32-bit triple ids");
+
+  // Survivor remap: untouched blocks move en bloc (strictly increasing,
+  // so remapped sorted lists stay sorted).
+  delta.remap.assign(old_triples, kRemoved);
+  for (EdgeId e = 0; e < old_m; ++e) {
+    if (edge_touched[e]) continue;
+    const EdgeId ne = old_to_new[e];
+    const std::size_t old_first = old_offset[e] * k_;
+    const std::size_t new_first = pair_offset_[ne] * k_;
+    const std::size_t count = (old_offset[e + 1] - old_offset[e]) * k_;
+    for (std::size_t i = 0; i < count; ++i)
+      delta.remap[old_first + i] = new_first + i;
+  }
+
+  std::vector<std::vector<TripleId>> new_adj(new_triples);
+  for (TripleId t = 0; t < old_triples; ++t) {
+    const TripleId nt = delta.remap[t];
+    if (nt == kRemoved) continue;
+    auto list = std::move(adj_[t]);
+    for (TripleId& x : list) x = delta.remap[x];
+    new_adj[nt] = std::move(list);
+  }
+  adj_ = std::move(new_adj);
+
+  // Fresh blocks and their ball-local candidate enumeration.
+  std::vector<std::uint64_t> candidates;
+  for (EdgeId ne = 0; ne < edges_.size(); ++ne) {
+    if (!fresh[ne]) continue;
+    for (std::size_t t = pair_offset_[ne] * k_; t < pair_offset_[ne + 1] * k_;
+         ++t)
+      delta.added.push_back(t);
+    collect_fresh_neighbors(ne, candidates);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  delta.gk_edges_added = candidates.size();
+
+  // Scatter the new edges into the adjacency lists.  Every new pair has
+  // a fresh endpoint and fresh ids are disjoint from survivor ids, so no
+  // candidate can already be present — a sorted merge per source is
+  // exact.
+  std::vector<std::pair<TripleId, TripleId>> directed;
+  directed.reserve(candidates.size() * 2);
+  for (const std::uint64_t packed : candidates) {
+    const auto a = static_cast<TripleId>(packed >> 32);
+    const auto b = static_cast<TripleId>(packed & 0xffffffffULL);
+    directed.emplace_back(a, b);
+    directed.emplace_back(b, a);
+  }
+  std::sort(directed.begin(), directed.end());
+  for (std::size_t i = 0; i < directed.size();) {
+    const TripleId src = directed[i].first;
+    std::size_t j = i;
+    while (j < directed.size() && directed[j].first == src) ++j;
+    auto& list = adj_[src];
+    std::vector<TripleId> merged;
+    merged.reserve(list.size() + (j - i));
+    std::size_t a = 0, b = i;
+    while (a < list.size() && b < j) {
+      if (list[a] < directed[b].second)
+        merged.push_back(list[a++]);
+      else
+        merged.push_back(directed[b++].second);
+    }
+    while (a < list.size()) merged.push_back(list[a++]);
+    while (b < j) merged.push_back(directed[b++].second);
+    list = std::move(merged);
+    i = j;
+  }
+  gk_edges_ = gk_edges_ - delta.gk_edges_removed + delta.gk_edges_added;
+
+  // Dirty region: fresh triples plus survivors whose lists changed.
+  delta.dirty.reserve(dirty_old.size() + delta.added.size());
+  for (const TripleId t : dirty_old) delta.dirty.push_back(delta.remap[t]);
+  for (const TripleId src :
+       [&directed] {
+         std::vector<TripleId> srcs;
+         for (const auto& [a, b] : directed) srcs.push_back(a);
+         return srcs;
+       }())
+    delta.dirty.push_back(src);
+  std::sort(delta.dirty.begin(), delta.dirty.end());
+  delta.dirty.erase(std::unique(delta.dirty.begin(), delta.dirty.end()),
+                    delta.dirty.end());
+
+  delta_metrics().triples_removed.add(delta.removed.size());
+  delta_metrics().triples_added.add(delta.added.size());
+  delta_metrics().gk_edges_removed.add(delta.gk_edges_removed);
+  delta_metrics().gk_edges_added.add(delta.gk_edges_added);
+  return delta;
+}
+
+Hypergraph DynamicConflictGraph::hypergraph() const {
+  return Hypergraph(n_, edges_);
+}
+
+std::uint64_t DynamicConflictGraph::content_hash() const {
+  Fnv1a64 hash;
+  hash.update_u64(n_);
+  hash.update_u64(edges_.size());
+  for (const auto& edge : edges_) {
+    hash.update_u64(edge.size());
+    for (const VertexId v : edge) hash.update_u64(v);
+  }
+  return hash.digest();
+}
+
+Graph DynamicConflictGraph::snapshot(runtime::Scheduler& sched) const {
+  std::vector<std::uint64_t> packed;
+  packed.reserve(gk_edges_);
+  for (TripleId t = 0; t < adj_.size(); ++t)
+    for (const TripleId nb : adj_[t])
+      if (t < nb)
+        packed.push_back(pack_edge(static_cast<VertexId>(t),
+                                   static_cast<VertexId>(nb)));
+  return Graph::from_packed_edges(adj_.size(), std::move(packed), sched);
+}
+
+std::uint64_t DynamicConflictGraph::graph_hash() const {
+  Fnv1a64 hash;
+  hash.update_u64(adj_.size());
+  for (const auto& list : adj_) {
+    hash.update_u64(list.size());
+    for (const TripleId nb : list) hash.update_u64(nb);
+  }
+  return hash.digest();
+}
+
+}  // namespace pslocal

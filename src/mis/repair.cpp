@@ -1,0 +1,104 @@
+#include "mis/repair.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace pslocal {
+
+std::vector<VertexId> remap_surviving(const std::vector<VertexId>& set,
+                                      const std::vector<TripleId>& remap,
+                                      std::size_t* dropped) {
+  std::vector<VertexId> out;
+  out.reserve(set.size());
+  std::size_t died = 0;
+  for (const VertexId v : set) {
+    PSL_EXPECTS(v < remap.size());
+    const TripleId nv = remap[v];
+    if (nv == DynamicConflictGraph::kRemoved)
+      ++died;
+    else
+      out.push_back(static_cast<VertexId>(nv));
+  }
+  if (dropped != nullptr) *dropped = died;
+  return out;
+}
+
+RepairResult repair_mis(const DynamicConflictGraph& g,
+                        const std::vector<VertexId>& old_mis,
+                        const std::vector<TripleId>& dirty) {
+  const std::size_t n = g.triple_count();
+  std::vector<char> member(n, 0);
+  for (const VertexId v : old_mis) {
+    PSL_EXPECTS(v < n);
+    member[v] = 1;
+  }
+
+  // Ball1 = dirty ∪ N(dirty).
+  std::vector<char> in_ball(n, 0);
+  std::vector<VertexId> ball;
+  const auto grow = [&](const VertexId v) {
+    if (in_ball[v]) return;
+    in_ball[v] = 1;
+    ball.push_back(v);
+  };
+  for (const TripleId t : dirty) {
+    PSL_EXPECTS(t < n);
+    const auto v = static_cast<VertexId>(t);
+    grow(v);
+    for (const TripleId nb : g.neighbors(v)) grow(static_cast<VertexId>(nb));
+  }
+  std::sort(ball.begin(), ball.end());
+
+  // Phase A: ascending conflict removal inside Ball1.
+  RepairResult result;
+  for (const VertexId v : ball) {
+    if (!member[v]) continue;
+    for (const TripleId nb : g.neighbors(v)) {
+      if (nb < v && member[nb]) {
+        member[v] = 0;
+        result.removed.push_back(v);
+        break;
+      }
+    }
+  }
+
+  // Ball2 = Ball1 ∪ N(removed in A).
+  std::vector<VertexId> extra;
+  for (const VertexId v : result.removed)
+    for (const TripleId nb : g.neighbors(v)) {
+      const auto u = static_cast<VertexId>(nb);
+      if (!in_ball[u]) {
+        in_ball[u] = 1;
+        extra.push_back(u);
+      }
+    }
+  if (!extra.empty()) {
+    ball.insert(ball.end(), extra.begin(), extra.end());
+    std::sort(ball.begin(), ball.end());
+  }
+
+  // Phase B: ascending re-maximalization inside Ball2.
+  for (const VertexId v : ball) {
+    if (member[v]) continue;
+    bool blocked = false;
+    for (const TripleId nb : g.neighbors(v)) {
+      if (member[nb]) {
+        blocked = true;
+        break;
+      }
+    }
+    if (!blocked) {
+      member[v] = 1;
+      result.added.push_back(v);
+    }
+  }
+
+  result.mis.reserve(old_mis.size() + result.added.size());
+  for (VertexId v = 0; v < n; ++v)
+    if (member[v]) result.mis.push_back(v);
+  result.ball = std::move(ball);
+  return result;
+}
+
+}  // namespace pslocal

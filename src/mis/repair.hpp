@@ -1,0 +1,64 @@
+// MIS repair: after a mutation, re-solve only the ball around the dirty
+// region instead of recomputing the whole independent set.
+//
+// The contract mirrors the paper's P-SLOCAL locality argument: a bounded
+// edit to the hypergraph only changes G_k edges incident to the touched
+// blocks (core/dynamic_conflict_graph.hpp), so membership only needs to
+// be revisited where adjacency actually changed.  Repair runs two
+// deterministic ascending-id sweeps:
+//
+//   Phase A (conflict removal) over Ball1 = dirty ∪ N(dirty): drop a
+//   member v if a surviving member u < v is adjacent.  (With deltas from
+//   DynamicConflictGraph this is usually a no-op — every fresh G_k edge
+//   has a fresh endpoint, and fresh triple ids are never in the old MIS —
+//   but it keeps repair correct for arbitrary seed sets.)
+//
+//   Phase B (re-maximalization) over Ball2 = Ball1 ∪ N(removed in A):
+//   add v if it has no member neighbor.  Every vertex whose member
+//   neighborhood shrank is in Ball2: lose a neighbor to phase A and you
+//   are in N(removed); lose one to the mutation itself and your
+//   adjacency changed, so you are dirty.
+//
+// Both sweeps are sequential and id-ordered, so the repaired MIS is a
+// pure function of (graph, old set, dirty) — byte-identical across
+// thread counts, which is what the replay and shard-fanout tests pin.
+// The differential oracle (qc/oracles.hpp, mis_repair_vs_recompute)
+// checks repair output against full recomputation on the rebuilt G_k.
+#pragma once
+
+#include <vector>
+
+#include "core/dynamic_conflict_graph.hpp"
+#include "graph/graph.hpp"
+
+namespace pslocal {
+
+struct RepairResult {
+  /// The repaired independent set, ascending.  Maximal whenever the
+  /// input set was maximal away from the dirty region.
+  std::vector<VertexId> mis;
+  /// Every vertex the repair examined (Ball2), ascending — the qc
+  /// locality check asserts the old/new symmetric difference is inside.
+  std::vector<VertexId> ball;
+  /// Members dropped in phase A, ascending.
+  std::vector<VertexId> removed;
+  /// Vertices added in phase B, ascending.
+  std::vector<VertexId> added;
+};
+
+/// Carry an id-space set across a mutation: keep survivors (remapped),
+/// drop kRemoved entries.  `remap` is Delta::remap; strict monotonicity
+/// over survivors means a sorted input stays sorted.  If `dropped` is
+/// non-null it receives the number of entries that died.
+[[nodiscard]] std::vector<VertexId> remap_surviving(
+    const std::vector<VertexId>& set, const std::vector<TripleId>& remap,
+    std::size_t* dropped = nullptr);
+
+/// Repair `old_mis` (sorted, already remapped into g's current id space,
+/// independent outside the dirty region) around `dirty` (sorted post-
+/// mutation ids, e.g. Delta::dirty).
+[[nodiscard]] RepairResult repair_mis(const DynamicConflictGraph& g,
+                                      const std::vector<VertexId>& old_mis,
+                                      const std::vector<TripleId>& dirty);
+
+}  // namespace pslocal

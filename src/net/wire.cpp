@@ -198,6 +198,11 @@ std::string encode_request(const service::Request& req) {
   put_u64(out, req.seed);
   put_string(out, req.solver);
   put_string(out, canonical_bytes(*req.instance));
+  // The mutation script rides as one extra length-prefixed field, only
+  // for the kind that consumes it — the other kinds' bytes are
+  // unchanged from the 5-field codec.
+  if (req.kind == service::RequestKind::kMutateHypergraph)
+    put_string(out, encode_script(req.script));
   return out;
 }
 
@@ -210,12 +215,25 @@ bool decode_request(std::string_view payload, service::Request& out,
   if (!r.read_u8(kind) || !r.read_u64(k) || !r.read_u64(seed) ||
       !r.read_string(solver) || !r.read_string(instance_bytes))
     return set_error(error, "request payload truncated");
-  if (!r.exhausted())
-    return set_error(error, "request payload has trailing bytes");
   if (kind >
-      static_cast<std::uint8_t>(service::RequestKind::kExactCertificate))
+      static_cast<std::uint8_t>(service::RequestKind::kMutateHypergraph))
     return set_error(error,
                      "unknown request kind " + std::to_string(kind));
+  std::vector<Mutation> script;
+  if (kind ==
+      static_cast<std::uint8_t>(service::RequestKind::kMutateHypergraph)) {
+    std::string script_bytes;
+    if (!r.read_string(script_bytes))
+      return set_error(error, "request payload truncated");
+    // Structural validation only; semantic applicability is checked at
+    // execute time against the decoded instance.
+    auto decoded = decode_script(script_bytes);
+    if (!decoded.has_value())
+      return set_error(error, "request mutation script malformed");
+    script = std::move(*decoded);
+  }
+  if (!r.exhausted())
+    return set_error(error, "request payload has trailing bytes");
   Hypergraph h;
   if (!decode_hypergraph(instance_bytes, h, error)) return false;
 
@@ -223,6 +241,7 @@ bool decode_request(std::string_view payload, service::Request& out,
   out.k = static_cast<std::size_t>(k);
   out.seed = seed;
   out.solver = std::move(solver);
+  out.script = std::move(script);
   out.instance = std::make_shared<const Hypergraph>(std::move(h));
   out.instance_hash = hash_hypergraph(*out.instance);
   return true;

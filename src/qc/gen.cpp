@@ -40,6 +40,34 @@ HyperInstance planted_family(const std::string& family, std::uint64_t seed,
   return out;
 }
 
+/// Does some vertex of `edge` carry a color unique within the edge?
+/// (The raw-state form of is_edge_happy, usable mid-generation before a
+/// Hypergraph is materialized.)
+bool raw_edge_happy(const std::vector<VertexId>& edge, const CfColoring& f) {
+  for (const VertexId v : edge) {
+    std::size_t count = 0;
+    for (const VertexId u : edge) count += static_cast<std::size_t>(f[u] == f[v]);
+    if (count == 1) return true;
+  }
+  return false;
+}
+
+/// Would removing `v` leave every incident edge happy under f?  Edges
+/// emptied by the removal are erased (mutation.hpp semantics) and impose
+/// no constraint.
+bool removal_keeps_witness(const std::vector<std::vector<VertexId>>& edges,
+                           VertexId v, const CfColoring& f) {
+  for (const auto& edge : edges) {
+    if (std::find(edge.begin(), edge.end(), v) == edge.end()) continue;
+    std::vector<VertexId> shrunk;
+    shrunk.reserve(edge.size() - 1);
+    for (const VertexId u : edge)
+      if (u != v) shrunk.push_back(u);
+    if (!shrunk.empty() && !raw_edge_happy(shrunk, f)) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 const std::vector<std::string>& hyper_family_names() {
@@ -175,6 +203,144 @@ Hypergraph arbitrary_tiny_hypergraph(Rng& rng, std::size_t max_n) {
   return Hypergraph(n, std::move(edges));
 }
 
+const std::vector<std::string>& mutation_family_names() {
+  static const std::vector<std::string> kNames = {"mutation_heavy",
+                                                  "churn_burst"};
+  return kNames;
+}
+
+MutationScript make_mutation_family(const std::string& family,
+                                    std::uint64_t seed) {
+  PSL_CHECK_MSG(family == "mutation_heavy" || family == "churn_burst",
+                "unknown mutation family " << family);
+  Rng rng(seed);
+  MutationScript out;
+  out.family = family;
+  out.seed = seed;
+
+  // Small planted base: the exact differential leg re-solves G_k after
+  // every step, so keep triples in the hundreds.
+  PlantedCfParams params;
+  params.n = 12 + rng.next_below(5);  // 12..16
+  params.m = 8 + rng.next_below(5);   // 8..12
+  params.k = 2 + rng.next_below(2);   // 2..3
+  params.epsilon = 1.0;
+  auto inst = planted_cf_colorable(params, rng);
+  out.base.family = family;
+  out.base.seed = seed;
+  out.base.hypergraph = std::move(inst.hypergraph);
+  out.base.k = inst.k;
+  out.base.witness = inst.planted_coloring;
+  out.witness = out.base.witness;
+
+  // Tracked raw state: every emitted mutation is applied here first, so
+  // validity at each prefix holds by construction.
+  std::size_t n = out.base.hypergraph.vertex_count();
+  std::vector<std::vector<VertexId>> edges;
+  for (EdgeId e = 0; e < out.base.hypergraph.edge_count(); ++e) {
+    const auto vs = out.base.hypergraph.edge(e);
+    edges.emplace_back(vs.begin(), vs.end());
+  }
+  const auto push = [&](Mutation mut) {
+    apply_mutation(n, edges, mut);
+    out.script.push_back(std::move(mut));
+  };
+  const auto push_vertex = [&] {
+    const std::size_t color = 1 + rng.next_below(out.base.k);
+    push(Mutation::add_vertex());
+    out.witness.push_back(color);
+  };
+
+  if (family == "mutation_heavy") {
+    const std::size_t steps = 4 + rng.next_below(5);  // 4..8
+    for (std::size_t i = 0; i < steps; ++i) {
+      const std::uint64_t roll = rng.next_below(100);
+      if (roll < 50) {
+        // Witness-respecting insert: rejection-sample a small vertex set
+        // that stays happy under the witness; fall back to duplicating an
+        // existing edge (trivially happy under the same coloring).
+        bool placed = false;
+        for (int attempt = 0; attempt < 8 && !placed; ++attempt) {
+          const std::size_t size =
+              2 + rng.next_below(std::min<std::size_t>(3, n - 1));
+          std::vector<VertexId> vs;
+          for (const std::size_t v : rng.sample_without_replacement(n, size))
+            vs.push_back(static_cast<VertexId>(v));
+          std::sort(vs.begin(), vs.end());
+          if (raw_edge_happy(vs, out.witness)) {
+            push(Mutation::add_edge(std::move(vs)));
+            placed = true;
+          }
+        }
+        if (!placed && !edges.empty()) {
+          const std::size_t e = rng.next_below(edges.size());
+          push(Mutation::add_edge(edges[e]));
+        }
+      } else if (roll < 75) {
+        if (edges.empty())
+          push_vertex();
+        else
+          push(Mutation::remove_edge(
+              static_cast<EdgeId>(rng.next_below(edges.size()))));
+      } else if (roll < 90) {
+        // remove_vertex shrinks incident edges; accept only if every
+        // survivor stays happy, else degrade to remove_edge.
+        bool placed = false;
+        for (int attempt = 0; attempt < 8 && !placed; ++attempt) {
+          const auto v = static_cast<VertexId>(rng.next_below(n));
+          if (removal_keeps_witness(edges, v, out.witness)) {
+            push(Mutation::remove_vertex(v));
+            placed = true;
+          }
+        }
+        if (!placed) {
+          if (edges.empty())
+            push_vertex();
+          else
+            push(Mutation::remove_edge(
+                static_cast<EdgeId>(rng.next_below(edges.size()))));
+        }
+      } else {
+        push_vertex();
+      }
+    }
+  } else {  // churn_burst
+    const std::size_t bursts = 1 + rng.next_below(2);  // 1..2
+    for (std::size_t b = 0; b < bursts; ++b) {
+      if (edges.empty()) {
+        push_vertex();
+        continue;
+      }
+      const std::size_t width = std::min<std::size_t>(
+          edges.size(), 2 + rng.next_below(3));  // 2..4
+      auto ids = rng.sample_without_replacement(edges.size(), width);
+      std::sort(ids.begin(), ids.end());
+      std::vector<std::vector<VertexId>> contents;
+      for (const std::size_t id : ids) contents.push_back(edges[id]);
+      // Tear out highest id first so the remaining targets stay valid,
+      // then re-add the recorded contents: the epoch chain and caches
+      // churn, but the endpoint hypergraph is content-identical.
+      for (std::size_t j = ids.size(); j-- > 0;)
+        push(Mutation::remove_edge(static_cast<EdgeId>(ids[j])));
+      const bool interleave = rng.next_bool(0.5);
+      if (interleave) push_vertex();
+      for (auto& content : contents)
+        push(Mutation::add_edge(std::move(content)));
+    }
+  }
+  return out;
+}
+
+MutationScript arbitrary_mutation_script(Rng& rng,
+                                         const std::string& force_family) {
+  const auto& names = mutation_family_names();
+  const std::string family =
+      force_family.empty()
+          ? names[static_cast<std::size_t>(rng.next_below(names.size()))]
+          : force_family;
+  return make_mutation_family(family, rng.next_u64());
+}
+
 service::TraceParams arbitrary_trace_params(Rng& rng) {
   service::TraceParams tp;
   tp.seed = rng.next_u64();
@@ -190,6 +356,9 @@ service::TraceParams arbitrary_trace_params(Rng& rng) {
   tp.weight_luby = 1 + static_cast<unsigned>(rng.next_below(8));
   tp.weight_cf = 1 + static_cast<unsigned>(rng.next_below(8));
   tp.weight_reduction = 1 + static_cast<unsigned>(rng.next_below(4));
+  // Sometimes zero: traces both with and without interleaved mutations.
+  tp.weight_mutate = static_cast<unsigned>(rng.next_below(5));
+  tp.mutate_script_len = 2 + rng.next_below(3);
   return tp;
 }
 
@@ -221,6 +390,14 @@ std::string describe(const Hypergraph& h) {
     os << "}";
   }
   os << "]";
+  return os.str();
+}
+
+std::string describe(const MutationScript& ms) {
+  std::ostringstream os;
+  os << "mutation-script family=" << ms.family << " seed=" << ms.seed
+     << " k=" << ms.base.k << " base=" << describe(ms.base.hypergraph)
+     << " script=" << describe(ms.script);
   return os.str();
 }
 

@@ -25,6 +25,7 @@
 #include "coloring/conflict_free.hpp"
 #include "graph/graph.hpp"
 #include "hypergraph/hypergraph.hpp"
+#include "hypergraph/mutation.hpp"
 #include "service/workload.hpp"
 #include "util/rng.hpp"
 
@@ -75,8 +76,42 @@ struct HyperInstance {
 /// over a pool of a few instances, random workload mix).
 [[nodiscard]] service::TraceParams arbitrary_trace_params(Rng& rng);
 
+/// A mutation-trace instance: a small planted base plus a script that is
+/// valid at every prefix.  `witness` is a CF k-coloring over the *final*
+/// vertex count (n only grows — tombstones keep slots) whose restriction
+/// to each prefix's vertices is a CF coloring of that prefix, so the
+/// reduction precondition survives every edit.  Bases are kept small
+/// (n <= 16) so the exact leg of mis_repair_vs_recompute stays cheap.
+struct MutationScript {
+  std::string family;
+  std::uint64_t seed = 0;
+  HyperInstance base;
+  std::vector<Mutation> script;
+  CfColoring witness;  // CF coloring valid at every script prefix
+};
+
+/// The named mutation-trace families, in the order
+/// arbitrary_mutation_script draws from:
+///  * "mutation_heavy" — long mixed edit streams (~50% witness-respecting
+///    edge inserts, the rest removals and vertex churn);
+///  * "churn_burst"    — bursts that tear out a clutch of edges and
+///    immediately re-add the same contents (cache/epoch churn with a
+///    content-identical endpoint).
+[[nodiscard]] const std::vector<std::string>& mutation_family_names();
+
+/// Build the named mutation family deterministically from (family, seed).
+/// PSL_CHECKs on unknown names.
+[[nodiscard]] MutationScript make_mutation_family(const std::string& family,
+                                                  std::uint64_t seed);
+
+/// A random named-family mutation script; `force_family` pins the family
+/// (the --family flag of pslocal_fuzz, shared with hypergraph families).
+[[nodiscard]] MutationScript arbitrary_mutation_script(
+    Rng& rng, const std::string& force_family = "");
+
 /// Compact printable forms used in counterexample reports.
 [[nodiscard]] std::string describe(const Graph& g);
 [[nodiscard]] std::string describe(const Hypergraph& h);
+[[nodiscard]] std::string describe(const MutationScript& ms);
 
 }  // namespace pslocal::qc

@@ -8,6 +8,7 @@
 #include "coloring/exact_cf.hpp"
 #include "core/conflict_graph.hpp"
 #include "core/correspondence.hpp"
+#include "core/dynamic_conflict_graph.hpp"
 #include "core/reduction.hpp"
 #include "local/luby_mis.hpp"
 #include "mis/degraded_oracle.hpp"
@@ -15,7 +16,9 @@
 #include "mis/greedy_maxis.hpp"
 #include "mis/independent_set.hpp"
 #include "mis/kernelization.hpp"
+#include "mis/repair.hpp"
 #include "solver/solver.hpp"
+#include "util/hash.hpp"
 
 namespace pslocal::qc {
 
@@ -312,6 +315,97 @@ std::optional<std::string> check_reduction(const HyperInstance& inst,
     return fail(tag.str() + "palette offsets exceed k * phases");
   if (res.rho_bound > 0 && !res.within_rho)
     return fail(tag.str() + "exceeded the phase bound rho");
+  return std::nullopt;
+}
+
+std::optional<std::string> check_mis_repair_vs_recompute(
+    const MutationScript& ms, std::uint64_t seed,
+    const std::string& force_oracle) {
+  Rng rng(seed);
+  std::string leg = force_oracle;
+  if (leg.empty()) {
+    static const char* kLegs[] = {"greedy-mindeg", "luby", "exact"};
+    leg = kLegs[rng.next_below(3)];
+  }
+  std::ostringstream tag;
+  tag << "mis_repair_vs_recompute[" << leg << ", family=" << ms.family
+      << "] ";
+
+  const auto invalid = validate_script(ms.base.hypergraph, ms.script);
+  if (invalid.has_value())
+    return fail(tag.str() + "generator emitted an invalid script: " +
+                *invalid);
+
+  DynamicConflictGraph dyn(ms.base.hypergraph, ms.base.k);
+  const std::uint64_t leg_seed = rng.next_u64();
+
+  // Initial MIS from the chosen leg.  Every leg yields a *maximal* set:
+  // greedy by construction, Luby at quiescence, exact extended if the
+  // budget truncated the search.
+  const auto solve_leg =
+      [&](const Graph& g) -> std::optional<std::vector<VertexId>> {
+    std::vector<VertexId> out;
+    if (leg == "greedy-mindeg") {
+      out = greedy_min_degree_maxis(g);
+    } else if (leg == "luby") {
+      const LubyResult r = luby_mis(g, leg_seed);
+      if (!r.completed) return std::nullopt;
+      out = r.independent_set;
+    } else {
+      const ExactMaxIS exact(kExactBudget);
+      out = extend_to_maximal(g, exact.solve(g).set);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  auto seeded = solve_leg(dyn.snapshot());
+  if (!seeded.has_value()) return fail(tag.str() + "initial leg failed");
+  std::vector<VertexId> mis = std::move(*seeded);
+
+  for (std::size_t step = 0; step < ms.script.size(); ++step) {
+    const Mutation& mut = ms.script[step];
+    const auto delta = dyn.apply(mut);
+    const auto survivors = remap_surviving(mis, delta.remap);
+    const auto rep = repair_mis(dyn, survivors, delta.dirty);
+
+    std::ostringstream where;
+    where << tag.str() << "step " << step << " (" << pslocal::describe(mut)
+          << "): ";
+    const auto step_fail = [&](const std::string& what) {
+      return fail(where.str() + what + "; " + describe(ms));
+    };
+
+    // (a) Patched G_k must be bit-identical to a from-scratch rebuild.
+    const ConflictGraph rebuilt(dyn.hypergraph(), dyn.k());
+    if (dyn.snapshot() != rebuilt.graph())
+      return step_fail("patched G_k differs from rebuilt conflict graph");
+    if (dyn.graph_hash() != hash_graph(rebuilt.graph()))
+      return step_fail("patched graph hash differs from rebuilt hash");
+
+    // (b) Repair output must be a maximal IS of the rebuilt graph.
+    if (!is_independent_set(rebuilt.graph(), rep.mis))
+      return step_fail("repaired set is not independent");
+    if (!is_maximal_independent_set(rebuilt.graph(), rep.mis))
+      return step_fail("repaired set is not maximal");
+
+    // (c) Locality: changes confined to the reported repair ball.
+    std::vector<VertexId> changed;
+    std::set_symmetric_difference(survivors.begin(), survivors.end(),
+                                  rep.mis.begin(), rep.mis.end(),
+                                  std::back_inserter(changed));
+    for (const VertexId v : changed)
+      if (!std::binary_search(rep.ball.begin(), rep.ball.end(), v))
+        return step_fail("membership changed outside the repair ball");
+
+    // (d) Exact leg: repair can never beat the recomputed optimum.
+    if (leg == "exact") {
+      const ExactMaxIS exact(kExactBudget);
+      const auto ex = exact.solve(rebuilt.graph());
+      if (ex.proven_optimal && rep.mis.size() > ex.set.size())
+        return step_fail("repaired set exceeds the recomputed exact alpha");
+    }
+    mis = rep.mis;
+  }
   return std::nullopt;
 }
 

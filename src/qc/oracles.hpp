@@ -64,6 +64,18 @@ namespace pslocal::qc {
     const HyperInstance& inst, std::uint64_t seed,
     const std::string& force_oracle = "", double force_lambda = 0.0);
 
+/// Repair-vs-recompute differential over a mutation script: seed an
+/// initial MIS with a seed-chosen leg (greedy-mindeg / Luby / exact),
+/// then after every script step check that (a) the delta-patched G_k is
+/// bit-identical to a from-scratch ConflictGraph rebuild, (b) the
+/// repaired set is a maximal IS of the rebuilt graph, (c) everything
+/// that changed lies inside the reported repair ball, and (d) on the
+/// exact leg the repaired size never exceeds the rebuilt graph's proven
+/// α.  When `force_oracle` is non-empty that leg is pinned (--oracle).
+[[nodiscard]] std::optional<std::string> check_mis_repair_vs_recompute(
+    const MutationScript& ms, std::uint64_t seed,
+    const std::string& force_oracle = "");
+
 /// Flag-gated planted bug: greedy MIS along ascending ids whose
 /// independence re-check has an off-by-one — each candidate is tested
 /// against every already-chosen vertex EXCEPT the most recent, so a

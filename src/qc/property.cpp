@@ -228,12 +228,39 @@ net::wire::Frame arbitrary_frame(Rng& rng) {
     case 0: {
       frame.kind = net::wire::FrameKind::kRequest;
       service::Request req;
-      req.kind = static_cast<service::RequestKind>(rng.next_below(5));
+      req.kind = static_cast<service::RequestKind>(rng.next_below(7));
       req.k = 1 + rng.next_below(5);
       req.seed = rng.next_u64();
       req.solver = rng.next_bool(0.5) ? "greedy-mindeg" : "luby";
       req.instance = std::make_shared<const Hypergraph>(
           arbitrary_tiny_hypergraph(rng));
+      if (req.kind == service::RequestKind::kMutateHypergraph) {
+        // Structurally arbitrary script: the codec round trip is what is
+        // under test, not script semantics.
+        const std::size_t steps = rng.next_below(4);
+        for (std::size_t i = 0; i < steps; ++i) {
+          switch (rng.next_below(4)) {
+            case 0: {
+              std::vector<VertexId> vs(1 + rng.next_below(3));
+              for (auto& v : vs)
+                v = static_cast<VertexId>(rng.next_below(16));
+              req.script.push_back(Mutation::add_edge(std::move(vs)));
+              break;
+            }
+            case 1:
+              req.script.push_back(Mutation::remove_edge(
+                  static_cast<EdgeId>(rng.next_below(8))));
+              break;
+            case 2:
+              req.script.push_back(Mutation::add_vertex());
+              break;
+            default:
+              req.script.push_back(Mutation::remove_vertex(
+                  static_cast<VertexId>(rng.next_below(16))));
+              break;
+          }
+        }
+      }
       frame.payload = net::wire::encode_request(req);
       break;
     }
@@ -721,6 +748,48 @@ Property solver_kernel_lift_property() {
           }};
 }
 
+/// Repair-vs-recompute over the seed-pure mutation families, shrinking
+/// the mutation script to a 1-minimal failing sequence.  Deleting a step
+/// can orphan later edge ids, so candidates that fail validate_script do
+/// not count as counterexamples.
+Property mis_repair_property(const FuzzOptions& opts) {
+  // --family and --oracle are shared flag namespaces; only pin values
+  // that name a mutation family / a repair leg.
+  std::string family;
+  for (const auto& name : mutation_family_names())
+    if (opts.family == name) family = opts.family;
+  std::string oracle;
+  if (opts.oracle == "greedy-mindeg" || opts.oracle == "luby" ||
+      opts.oracle == "exact")
+    oracle = opts.oracle;
+  return {"mis_repair_vs_recompute",
+          [family, oracle](Rng& rng) -> std::optional<Failure> {
+            const std::uint64_t check_seed = rng.next_u64();
+            MutationScript ms = arbitrary_mutation_script(rng, family);
+            const auto run = [&oracle, check_seed](const MutationScript& c) {
+              return check_mis_repair_vs_recompute(c, check_seed, oracle);
+            };
+            if (!guarded([&] { return run(ms); })) return std::nullopt;
+            ShrinkLog log;
+            MutationScript candidate = ms;
+            candidate.script = shrink_mutations(
+                std::move(ms.script),
+                [&](const std::vector<Mutation>& s) {
+                  if (validate_script(candidate.base.hypergraph, s)
+                          .has_value())
+                    return false;  // orphaned ids, not a counterexample
+                  MutationScript probe = candidate;
+                  probe.script = s;
+                  return guarded([&] { return run(probe); }).has_value();
+                },
+                &log);
+            const auto msg = guarded([&] { return run(candidate); });
+            return make_failure(
+                msg.value_or("failure vanished on the minimal witness"),
+                describe(candidate), log);
+          }};
+}
+
 Property planted_bug_property() {
   return {"planted-bug", [](Rng& rng) -> std::optional<Failure> {
             Graph g = arbitrary_graph(rng);
@@ -757,6 +826,7 @@ std::vector<Property> default_properties(const FuzzOptions& opts) {
   props.push_back(shard_failover_property());
   props.push_back(trace_propagation_property());
   props.push_back(solver_kernel_lift_property());
+  props.push_back(mis_repair_property(opts));
   if (opts.plant_bug) props.push_back(planted_bug_property());
   return props;
 }

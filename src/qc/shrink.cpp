@@ -115,4 +115,27 @@ std::vector<service::Request> shrink_requests(
   return requests;
 }
 
+std::vector<Mutation> shrink_mutations(
+    std::vector<Mutation> script,
+    const std::function<bool(const std::vector<Mutation>&)>& still_fails,
+    ShrinkLog* log_out) {
+  ShrinkLog local;
+  ShrinkLog& log = log_out != nullptr ? *log_out : local;
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t i = script.size(); i-- > 0;) {
+      std::vector<Mutation> candidate = script;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+      ++log.attempts;
+      if (still_fails(candidate)) {
+        script = std::move(candidate);
+        ++log.accepted;
+        progressed = true;
+      }
+    }
+  }
+  return script;
+}
+
 }  // namespace pslocal::qc

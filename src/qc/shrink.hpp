@@ -22,6 +22,7 @@
 
 #include "graph/graph.hpp"
 #include "hypergraph/hypergraph.hpp"
+#include "hypergraph/mutation.hpp"
 #include "service/request.hpp"
 
 namespace pslocal::qc {
@@ -61,6 +62,16 @@ struct ShrinkLog {
     std::vector<service::Request> requests,
     const std::function<bool(const std::vector<service::Request>&)>&
         still_fails,
+    ShrinkLog* log = nullptr);
+
+/// Greedy mutation-deletion shrink over a mutation script.  Deleting a
+/// step can invalidate later steps (edge ids shift), so the predicate
+/// must treat invalid candidates as "does not fail" — the property layer
+/// guards with validate_script before re-running the check.
+/// Precondition: still_fails(script).
+[[nodiscard]] std::vector<Mutation> shrink_mutations(
+    std::vector<Mutation> script,
+    const std::function<bool(const std::vector<Mutation>&)>& still_fails,
     ShrinkLog* log = nullptr);
 
 }  // namespace pslocal::qc

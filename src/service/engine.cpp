@@ -28,7 +28,8 @@ ServiceEngine::ServiceEngine(EngineConfig config)
                                          : &runtime::global_scheduler()),
       queue_(config.queue_capacity),
       cache_(config.cache),
-      graph_cache_(config.graph_cache_entries) {}
+      graph_cache_(config.graph_cache_entries),
+      sessions_(config.mutation_sessions) {}
 
 ServiceEngine::~ServiceEngine() { stop(); }
 
@@ -158,7 +159,8 @@ void ServiceEngine::serve_cycle(std::vector<Pending>& drained) {
         PSL_OBS_SPAN("service.solve");
         const std::uint64_t t0 = now_ns();
         try {
-          out.payload = execute_request(req, *sched_, &graph_cache_);
+          out.payload = execute_request(req, *sched_, &graph_cache_,
+                                        &sessions_);
         } catch (const std::exception& e) {
           out.error = e.what();
         }
@@ -240,6 +242,7 @@ ServiceEngine::Stats ServiceEngine::stats() const {
   s.dispatch_cycles = dispatch_cycles_.load(std::memory_order_relaxed);
   s.cache = cache_.stats();
   s.graph_cache = graph_cache_.stats();
+  s.sessions = sessions_.stats();
   return s;
 }
 
@@ -261,7 +264,11 @@ std::string stats_json(const ServiceEngine::Stats& stats) {
      << "},\"graph_cache\":{\"hits\":" << stats.graph_cache.hits
      << ",\"builds\":" << stats.graph_cache.builds
      << ",\"evictions\":" << stats.graph_cache.evictions
-     << ",\"entries\":" << stats.graph_cache.entries << "}}";
+     << ",\"entries\":" << stats.graph_cache.entries
+     << "},\"sessions\":{\"hits\":" << stats.sessions.hits
+     << ",\"misses\":" << stats.sessions.misses
+     << ",\"evictions\":" << stats.sessions.evictions
+     << ",\"entries\":" << stats.sessions.entries << "}}";
   return os.str();
 }
 

@@ -40,6 +40,7 @@
 #include "service/cache.hpp"
 #include "service/queue.hpp"
 #include "service/request.hpp"
+#include "service/session.hpp"
 
 namespace pslocal::service {
 
@@ -48,6 +49,7 @@ struct EngineConfig {
   std::size_t max_batch = 64;  // requests drained per dispatch cycle
   SolverCache::Config cache;   // result cache (enabled by default)
   std::size_t graph_cache_entries = 64;  // built G_k objects (0 = off)
+  std::size_t mutation_sessions = 8;     // stored mutate states (0 = off)
   /// Execution backend for solver batches; nullptr = the global pool.
   runtime::Scheduler* scheduler = nullptr;
   /// Identity in traces: the dispatcher thread is labelled
@@ -111,6 +113,7 @@ class ServiceEngine {
     std::uint64_t dispatch_cycles = 0;
     SolverCache::Stats cache;
     ConflictGraphCache::Stats graph_cache;
+    MutationSessionStore::Stats sessions;
   };
   [[nodiscard]] Stats stats() const;
 
@@ -127,6 +130,7 @@ class ServiceEngine {
   RequestQueue queue_;
   SolverCache cache_;
   ConflictGraphCache graph_cache_;
+  MutationSessionStore sessions_;
   std::thread dispatcher_;
   bool started_ = false;  // guarded by lifecycle_mu_
   bool stopped_ = false;

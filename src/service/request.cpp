@@ -2,13 +2,19 @@
 
 #include <sstream>
 
+#include <algorithm>
+
 #include "coloring/cf_baselines.hpp"
 #include "core/conflict_graph.hpp"
+#include "core/dynamic_conflict_graph.hpp"
 #include "core/reduction.hpp"
 #include "local/luby_mis.hpp"
 #include "mis/greedy_maxis.hpp"
 #include "mis/independent_set.hpp"
+#include "mis/repair.hpp"
+#include "obs/obs.hpp"
 #include "service/cache.hpp"
+#include "service/session.hpp"
 #include "solver/solver.hpp"
 #include "util/check.hpp"
 #include "util/hash.hpp"
@@ -26,6 +32,7 @@ constexpr std::uint64_t kKindSalt[] = {
     0x6366636fULL,  // cf_color
     0x72656475ULL,  // run_reduction
     0x65786374ULL,  // exact_certificate
+    0x6d757461ULL,  // mutate_hypergraph
 };
 
 void append_vertex_list(std::ostringstream& os, const char* field,
@@ -159,6 +166,144 @@ std::string execute_exact_certificate(const Request& req,
   return os.str();
 }
 
+struct MutateMetrics {
+  obs::Counter requests{"mutate.requests"};
+  obs::Counter steps{"mutate.steps"};
+  obs::Counter session_hits{"mutate.session_hits"};
+  obs::Counter resumed_steps{"mutate.resumed_steps"};
+  obs::Histogram ball_size{"mutate.repair_ball_size"};
+};
+
+const MutateMetrics& mutate_metrics() {
+  static MutateMetrics m;
+  return m;
+}
+
+/// Initial MIS leg of a mutate session.  All three legs are maximal:
+/// greedy by construction, Luby on completion (max_rounds = 0 runs to
+/// quiescence), exact because a maximum IS is inclusion maximal.
+std::vector<VertexId> initial_mutate_mis(const Request& req, const Graph& g,
+                                         runtime::Scheduler& sched) {
+  std::vector<VertexId> mis;
+  if (req.solver == "greedy-mindeg") {
+    mis = greedy_min_degree_maxis(g, sched);
+  } else if (req.solver == "luby") {
+    mis = luby_mis(g, req.seed, 0, sched).independent_set;
+  } else {
+    solver::SolverOptions options;
+    options.seed = req.seed;
+    const auto backend = solver::SolverFactory::instance().make(req.solver);
+    mis = backend->solve_maxis(g, options).independent_set;
+  }
+  std::sort(mis.begin(), mis.end());
+  return mis;
+}
+
+std::string execute_mutate(const Request& req, runtime::Scheduler& sched,
+                           MutationSessionStore* sessions) {
+  PSL_OBS_SPAN("service.mutate");
+  mutate_metrics().requests.add(1);
+  const auto invalid = validate_script(*req.instance, req.script);
+  PSL_CHECK_MSG(!invalid.has_value(),
+                "service: mutate script rejected: " << *invalid << " — "
+                                                    << describe(req.script));
+
+  const auto chain = epoch_chain(req.instance_hash, req.script);
+
+  // Resume from the longest stored epoch prefix (pure acceleration: the
+  // stored state is what the from-scratch path computes at that prefix).
+  std::shared_ptr<const MutationState> stored;
+  std::size_t prefix = 0;
+  if (sessions != nullptr) {
+    for (std::size_t p = chain.size(); p-- > 0;) {
+      stored = sessions->lookup(
+          session_key(chain[p], req.k, req.solver, req.seed));
+      if (stored != nullptr) {
+        prefix = p;
+        break;
+      }
+    }
+  }
+
+  MutationState state;
+  if (stored != nullptr) {
+    state = *stored;
+    mutate_metrics().session_hits.add(1);
+    mutate_metrics().resumed_steps.add(prefix);
+  } else {
+    state.graph = DynamicConflictGraph(*req.instance, req.k, sched);
+    state.mis = initial_mutate_mis(req, state.graph.snapshot(sched), sched);
+    state.epoch = chain[0];
+  }
+
+  for (std::size_t i = prefix; i < req.script.size(); ++i) {
+    const Mutation& mut = req.script[i];
+    const auto delta = state.graph.apply(mut);
+    std::size_t dropped = 0;
+    const auto survivors = remap_surviving(state.mis, delta.remap, &dropped);
+    const auto rep = repair_mis(state.graph, survivors, delta.dirty);
+    state.mis = rep.mis;
+    state.epoch = chain[i + 1];
+    MutationStepStat stat;
+    stat.op = describe(mut);
+    stat.epoch = state.epoch;
+    stat.ball = rep.ball.size();
+    stat.changed = dropped + rep.removed.size() + rep.added.size();
+    stat.triples = state.graph.triple_count();
+    stat.gk_edges = state.graph.gk_edge_count();
+    state.history.push_back(std::move(stat));
+    mutate_metrics().steps.add(1);
+    mutate_metrics().ball_size.record(rep.ball.size(), req.trace_id);
+  }
+
+  // Self-check against the patched adjacency (no snapshot materialized).
+  std::vector<char> member(state.graph.triple_count(), 0);
+  for (const VertexId v : state.mis) member[v] = 1;
+  bool independent = true;
+  bool maximal = true;
+  for (TripleId t = 0; t < state.graph.triple_count(); ++t) {
+    bool member_neighbor = false;
+    for (const TripleId nb : state.graph.neighbors(t)) {
+      if (member[nb] != 0) {
+        member_neighbor = true;
+        break;
+      }
+    }
+    if (member[t] != 0 && member_neighbor) independent = false;
+    if (member[t] == 0 && !member_neighbor) maximal = false;
+  }
+
+  auto os = payload_head(req);
+  os << ",\"k\":" << req.k << ",\"solver\":\"" << req.solver
+     << "\",\"seed\":" << req.seed << ",\"steps\":[";
+  for (std::size_t i = 0; i < state.history.size(); ++i) {
+    const MutationStepStat& s = state.history[i];
+    os << (i ? "," : "") << "{\"op\":\"" << s.op << "\",\"epoch\":\""
+       << hex64(s.epoch) << "\",\"ball\":" << s.ball
+       << ",\"changed\":" << s.changed << ",\"triples\":" << s.triples
+       << ",\"gk_edges\":" << s.gk_edges << '}';
+  }
+  os << "],\"epoch\":\"" << hex64(state.epoch) << "\",\"content\":\""
+     << hex64(state.graph.content_hash()) << "\",\"gk_hash\":\""
+     << hex64(state.graph.graph_hash())
+     << "\",\"n\":" << state.graph.vertex_count()
+     << ",\"m\":" << state.graph.edge_count()
+     << ",\"triples\":" << state.graph.triple_count()
+     << ",\"gk_edges\":" << state.graph.gk_edge_count()
+     << ",\"is_size\":" << state.mis.size()
+     << ",\"independent\":" << (independent ? "true" : "false")
+     << ",\"maximal\":" << (maximal ? "true" : "false");
+  append_vertex_list(os, "is", state.mis);
+  os << '}';
+
+  if (sessions != nullptr) {
+    const std::uint64_t key =
+        session_key(state.epoch, req.k, req.solver, req.seed);
+    sessions->store(key, std::make_shared<MutationState>(std::move(state)));
+  }
+  return os.str();
+}
+
 }  // namespace
 
 const char* kind_name(RequestKind kind) {
@@ -169,6 +314,7 @@ const char* kind_name(RequestKind kind) {
     case RequestKind::kCfColor: return "cf_color";
     case RequestKind::kRunReduction: return "run_reduction";
     case RequestKind::kExactCertificate: return "exact_certificate";
+    case RequestKind::kMutateHypergraph: return "mutate_hypergraph";
   }
   return "unknown";
 }
@@ -177,7 +323,8 @@ RequestKind kind_from_name(const std::string& name) {
   for (const RequestKind kind :
        {RequestKind::kBuildConflictGraph, RequestKind::kGreedyMaxis,
         RequestKind::kLubyMis, RequestKind::kCfColor,
-        RequestKind::kRunReduction, RequestKind::kExactCertificate}) {
+        RequestKind::kRunReduction, RequestKind::kExactCertificate,
+        RequestKind::kMutateHypergraph}) {
     if (name == kind_name(kind)) return kind;
   }
   PSL_CHECK_MSG(false, "service: unknown request kind '" << name << "'");
@@ -203,6 +350,11 @@ std::uint64_t cache_key(const Request& req) {
       key = hash_combine(hash_combine(key, req.k), req.seed);
       key = hash_combine(key, fnv1a64(req.solver));
       break;
+    case RequestKind::kMutateHypergraph:
+      key = hash_combine(hash_combine(key, req.k), req.seed);
+      key = hash_combine(key, fnv1a64(req.solver));
+      key = hash_combine(key, fnv1a64(encode_script(req.script)));
+      break;
   }
   // 0 is the "no key" sentinel in Response; remap the (vanishingly
   // unlikely) collision.
@@ -210,7 +362,8 @@ std::uint64_t cache_key(const Request& req) {
 }
 
 std::string execute_request(const Request& req, runtime::Scheduler& sched,
-                            ConflictGraphCache* graph_cache) {
+                            ConflictGraphCache* graph_cache,
+                            MutationSessionStore* sessions) {
   PSL_CHECK_MSG(req.instance != nullptr, "service: request has no instance");
   switch (req.kind) {
     case RequestKind::kBuildConflictGraph:
@@ -222,6 +375,8 @@ std::string execute_request(const Request& req, runtime::Scheduler& sched,
     case RequestKind::kRunReduction: return execute_reduction(req, sched);
     case RequestKind::kExactCertificate:
       return execute_exact_certificate(req, sched, graph_cache);
+    case RequestKind::kMutateHypergraph:
+      return execute_mutate(req, sched, sessions);
   }
   PSL_CHECK_MSG(false, "service: invalid request kind");
   return {};

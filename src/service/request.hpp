@@ -17,8 +17,10 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "hypergraph/hypergraph.hpp"
+#include "hypergraph/mutation.hpp"
 #include "runtime/scheduler.hpp"
 
 namespace pslocal::service {
@@ -32,6 +34,7 @@ enum class RequestKind : std::uint8_t {
   kCfColor,             // direct greedy CF coloring of h
   kRunReduction,        // Theorem 1.1 reduction with a named oracle
   kExactCertificate,    // exact MaxIS on G_k + certificate (src/solver/)
+  kMutateHypergraph,    // apply a mutation script + MIS repair per step
 };
 
 /// Stable wire name ("build_conflict_graph", "greedy_maxis", ...).
@@ -57,7 +60,13 @@ struct Request {
   std::string solver = "greedy-mindeg";  // kRunReduction oracle:
                                          // greedy-mindeg|greedy-random|luby;
                                          // kExactCertificate: a registered
-                                         // SolverFactory backend ("dpll")
+                                         // SolverFactory backend ("dpll");
+                                         // kMutateHypergraph: initial-MIS
+                                         // leg (greedy-mindeg|luby|backend)
+
+  /// kMutateHypergraph only: the mutation script applied to `instance`
+  /// (canonical wire form: encode_script, hypergraph/mutation.hpp).
+  std::vector<Mutation> script;
 
   // Distributed-trace coordinates (docs/tracing.md), carried in the wire
   // frame header — NEVER part of cache_key() or the canonical payload,
@@ -91,15 +100,20 @@ struct Response {
 };
 
 class ConflictGraphCache;
+class MutationSessionStore;
 
 /// Execute one request synchronously on `sched` and return the canonical
 /// JSON payload.  Throws (ContractViolation) on malformed requests — the
 /// engine converts that into Status::kError.  This is the single point
 /// where requests meet the library's solvers; the engine adds queueing,
 /// batching and caching around it.  When `graph_cache` is non-null, the
-/// MIS-family kinds share built conflict graphs through it.
+/// MIS-family kinds share built conflict graphs through it; when
+/// `sessions` is non-null, mutate_hypergraph requests resume from stored
+/// epoch prefixes through it.  Both are pure accelerations: the payload
+/// is identical with or without them.
 [[nodiscard]] std::string execute_request(
     const Request& req, runtime::Scheduler& sched,
-    ConflictGraphCache* graph_cache = nullptr);
+    ConflictGraphCache* graph_cache = nullptr,
+    MutationSessionStore* sessions = nullptr);
 
 }  // namespace pslocal::service

@@ -1,0 +1,57 @@
+#include "service/session.hpp"
+
+#include "util/hash.hpp"
+
+namespace pslocal::service {
+
+std::uint64_t session_key(std::uint64_t epoch, std::size_t k,
+                          const std::string& solver, std::uint64_t seed) {
+  std::uint64_t key = hash_combine(epoch, k);
+  key = hash_combine(key, fnv1a64(solver));
+  return hash_combine(key, seed);
+}
+
+MutationSessionStore::MutationSessionStore(std::size_t max_entries)
+    : max_entries_(max_entries) {}
+
+std::shared_ptr<const MutationState> MutationSessionStore::lookup(
+    std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void MutationSessionStore::store(std::uint64_t key,
+                                 std::shared_ptr<const MutationState> state) {
+  if (max_entries_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(state);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(state));
+  index_[key] = lru_.begin();
+  while (lru_.size() > max_entries_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  stats_.entries = lru_.size();
+}
+
+MutationSessionStore::Stats MutationSessionStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats out = stats_;
+  out.entries = lru_.size();
+  return out;
+}
+
+}  // namespace pslocal::service

@@ -1,0 +1,93 @@
+// Mutation sessions: mutable graph state keyed by epoch hash.
+//
+// A mutate_hypergraph request names a base instance plus a mutation
+// script.  Its canonical payload is a pure function of the request
+// content (the engine's differential harness compares cached/sessioned
+// serving against a bare execute_request with neither) — so a session is
+// never *required*; it is the object-cache analogue of
+// ConflictGraphCache for dynamic state.  After serving a script the
+// engine stores the final MutationState under session_key(final epoch,
+// k, solver, seed); a later request whose epoch chain passes through a
+// stored epoch resumes from that prefix and only applies the remaining
+// steps.  Because the epoch chain commits to the base content and the
+// whole mutation prefix (hypergraph/mutation.hpp), a key can never
+// resume the wrong state — entries are invalidated *by construction*
+// when content diverges, and re-derivable by replaying the script.
+//
+// The stored history is cumulative (every step since the base) so a
+// prefix resume reproduces the full per-step stats array of the
+// from-scratch execution byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dynamic_conflict_graph.hpp"
+
+namespace pslocal::service {
+
+/// Per-step serving stats, replayed verbatim into the payload on resume.
+struct MutationStepStat {
+  std::string op;            // describe(mutation)
+  std::uint64_t epoch = 0;   // epoch after this step
+  std::size_t ball = 0;      // repair ball size
+  std::size_t changed = 0;   // MIS members dropped + removed + added
+  std::size_t triples = 0;   // |V(G_k)| after this step
+  std::size_t gk_edges = 0;  // |E(G_k)| after this step
+};
+
+/// Immutable snapshot of a served mutation session (shared_ptr so a
+/// resume can read while the store evicts).
+struct MutationState {
+  DynamicConflictGraph graph;
+  std::vector<VertexId> mis;  // repaired MIS over graph, ascending
+  std::uint64_t epoch = 0;    // epoch of graph's content
+  std::vector<MutationStepStat> history;  // all steps since the base
+};
+
+/// Key of a session: the epoch names the content+prefix, and the solver
+/// parameters that shaped the MIS are folded in so sessions from
+/// different solvers/seeds never cross-resume.
+[[nodiscard]] std::uint64_t session_key(std::uint64_t epoch, std::size_t k,
+                                        const std::string& solver,
+                                        std::uint64_t seed);
+
+/// Thread-safe LRU of MutationStates (the SolverCache/ConflictGraphCache
+/// pattern).  max_entries = 0 disables the store entirely.
+class MutationSessionStore {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;    // lookups that found a resumable state
+    std::uint64_t misses = 0;  // lookups that found nothing
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+  };
+
+  explicit MutationSessionStore(std::size_t max_entries);
+
+  /// The stored state for `key`, or nullptr.  Refreshes recency.
+  [[nodiscard]] std::shared_ptr<const MutationState> lookup(
+      std::uint64_t key);
+
+  /// Store (or refresh) a state under `key`.
+  void store(std::uint64_t key, std::shared_ptr<const MutationState> state);
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  using LruList =
+      std::list<std::pair<std::uint64_t, std::shared_ptr<const MutationState>>>;
+
+  std::size_t max_entries_;
+  mutable std::mutex mu_;
+  Stats stats_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::uint64_t, LruList::iterator> index_;
+};
+
+}  // namespace pslocal::service

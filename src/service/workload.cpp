@@ -19,6 +19,40 @@ namespace {
 constexpr const char* kReplayFormat = "pslocal-service-replay";
 constexpr int kReplayVersion = 1;
 
+/// Deterministic mutate script for (instance, variant): a short churn of
+/// duplicate-edge inserts, edge removals, and vertex appends, valid at
+/// every prefix by construction.  A pure function of its arguments, so
+/// repeated (instance, variant) picks repeat cache keys the way the
+/// other kinds do.
+std::vector<Mutation> trace_mutation_script(const Hypergraph& h,
+                                            std::uint64_t variant,
+                                            std::size_t steps) {
+  Rng rng(hash_combine(hash_hypergraph(h), variant));
+  std::size_t n = h.vertex_count();
+  std::vector<std::vector<VertexId>> edges;
+  for (EdgeId e = 0; e < h.edge_count(); ++e) {
+    const auto vs = h.edge(e);
+    edges.emplace_back(vs.begin(), vs.end());
+  }
+  std::vector<Mutation> script;
+  script.reserve(steps);
+  for (std::size_t i = 0; i < steps; ++i) {
+    Mutation mut;
+    const std::uint64_t roll = rng.next_below(3);
+    if (roll == 0 && !edges.empty()) {
+      mut = Mutation::add_edge(edges[rng.next_below(edges.size())]);
+    } else if (roll == 1 && !edges.empty()) {
+      mut = Mutation::remove_edge(
+          static_cast<EdgeId>(rng.next_below(edges.size())));
+    } else {
+      mut = Mutation::add_vertex();
+    }
+    apply_mutation(n, edges, mut);
+    script.push_back(std::move(mut));
+  }
+  return script;
+}
+
 }  // namespace
 
 Trace generate_trace(const TraceParams& params) {
@@ -27,7 +61,7 @@ Trace generate_trace(const TraceParams& params) {
   const std::uint64_t total_weight =
       static_cast<std::uint64_t>(params.weight_build) + params.weight_greedy +
       params.weight_luby + params.weight_cf + params.weight_reduction +
-      params.weight_exact;
+      params.weight_exact + params.weight_mutate;
   PSL_EXPECTS_MSG(total_weight > 0, "trace kind weights are all zero");
 
   Rng rng(params.seed);
@@ -74,8 +108,12 @@ Trace generate_trace(const TraceParams& params) {
                         params.weight_luby + params.weight_cf +
                         params.weight_reduction)
       req.kind = RequestKind::kRunReduction;
-    else
+    else if (pick < params.weight_build + params.weight_greedy +
+                        params.weight_luby + params.weight_cf +
+                        params.weight_reduction + params.weight_exact)
       req.kind = RequestKind::kExactCertificate;
+    else
+      req.kind = RequestKind::kMutateHypergraph;
     const std::size_t which =
         static_cast<std::size_t>(req_rng.next_below(params.instance_pool));
     req.instance = trace.instances[which];
@@ -87,6 +125,13 @@ Trace generate_trace(const TraceParams& params) {
     // Fixed backend, no RNG draw: the stream stays identical to traces
     // generated before this kind existed whenever weight_exact == 0.
     if (req.kind == RequestKind::kExactCertificate) req.solver = "dpll";
+    if (req.kind == RequestKind::kMutateHypergraph) {
+      // The leg draw and the script derivation run only on mutate picks,
+      // so the stream is unchanged whenever weight_mutate == 0.
+      req.solver = req_rng.next_bool(0.5) ? "greedy-mindeg" : "luby";
+      req.script = trace_mutation_script(*req.instance, req.seed,
+                                         params.mutate_script_len);
+    }
     keys.insert(cache_key(req));
     trace.requests.push_back(std::move(req));
   }

@@ -57,6 +57,11 @@ struct TraceParams {
   // with small n/m).  Default 0 also keeps the RNG draw sequence, and
   // therefore existing recorded traces, byte-identical.
   unsigned weight_exact = 0;
+  // mutate_hypergraph is opt-in the same way: scripts are a pure
+  // function of (instance, seed variant), and the default 0 keeps the
+  // RNG draw sequence — and existing recorded traces — byte-identical.
+  unsigned weight_mutate = 0;
+  std::size_t mutate_script_len = 3;  // steps per mutate script
 };
 
 struct Trace {

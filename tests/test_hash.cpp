@@ -10,6 +10,7 @@
 
 #include "graph/graph.hpp"
 #include "hypergraph/hypergraph.hpp"
+#include "hypergraph/mutation.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -163,6 +164,45 @@ TEST(HashTest, Hex64RoundTripsRandomWords) {
   for (int trial = 0; trial < 10000; ++trial) {
     const std::uint64_t v = rng.next_u64();
     ASSERT_EQ(parse_hex64(hex64(v)), v) << hex64(v);
+  }
+}
+
+TEST(HashTest, EpochChainOneMutationFlipSweep10k) {
+  // Cache keys are chained per mutation epoch: two scripts that differ
+  // in exactly one step must diverge at that link — and stay diverged
+  // after a shared suffix step (mix64 decorrelates the chain, so a
+  // collision cannot "heal").  10k random one-mutation flips.
+  Rng rng(99);
+  const auto draw = [&rng] {
+    switch (rng.next_below(4)) {
+      case 0: {
+        std::vector<VertexId> vs(1 + rng.next_below(3));
+        for (auto& v : vs) v = static_cast<VertexId>(rng.next_below(64));
+        return Mutation::add_edge(std::move(vs));
+      }
+      case 1:
+        return Mutation::remove_edge(
+            static_cast<EdgeId>(rng.next_below(64)));
+      case 2:
+        return Mutation::add_vertex();
+      default:
+        return Mutation::remove_vertex(
+            static_cast<VertexId>(rng.next_below(64)));
+    }
+  };
+  for (int trial = 0; trial < 10000; ++trial) {
+    const std::uint64_t epoch = rng.next_u64();
+    const Mutation a = draw();
+    const Mutation b = draw();
+    if (a == b) continue;
+    ASSERT_NE(hash_mutation(a), hash_mutation(b))
+        << "trial " << trial << ": " << describe(a) << " vs " << describe(b);
+    ASSERT_NE(advance_epoch(epoch, a), advance_epoch(epoch, b))
+        << "trial " << trial;
+    const Mutation shared = draw();
+    ASSERT_NE(advance_epoch(advance_epoch(epoch, a), shared),
+              advance_epoch(advance_epoch(epoch, b), shared))
+        << "trial " << trial;
   }
 }
 

@@ -1,0 +1,100 @@
+#include "mis/repair.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hypergraph/generators.hpp"
+#include "mis/greedy_maxis.hpp"
+#include "mis/independent_set.hpp"
+#include "util/rng.hpp"
+
+namespace pslocal {
+namespace {
+
+std::vector<VertexId> symmetric_difference(const std::vector<VertexId>& a,
+                                           const std::vector<VertexId>& b) {
+  std::vector<VertexId> out;
+  std::set_symmetric_difference(a.begin(), a.end(), b.begin(), b.end(),
+                                std::back_inserter(out));
+  return out;
+}
+
+TEST(MisRepairTest, RemapSurvivingDropsRemovedIds) {
+  std::vector<TripleId> remap = {0, DynamicConflictGraph::kRemoved, 1,
+                                 DynamicConflictGraph::kRemoved, 2};
+  std::size_t dropped = 0;
+  const auto out = remap_surviving({0, 1, 2, 4}, remap, &dropped);
+  EXPECT_EQ(out, (std::vector<VertexId>{0, 1, 2}));
+  EXPECT_EQ(dropped, 1u);
+}
+
+TEST(MisRepairTest, EmptyDirtyIsANoOp) {
+  const Hypergraph h(4, {{0, 1}, {2, 3}});
+  const DynamicConflictGraph dyn(h, 2);
+  const auto mis = greedy_min_degree_maxis(dyn.snapshot());
+  const auto rep = repair_mis(dyn, mis, {});
+  EXPECT_EQ(rep.mis, mis);
+  EXPECT_TRUE(rep.ball.empty());
+  EXPECT_TRUE(rep.removed.empty());
+  EXPECT_TRUE(rep.added.empty());
+}
+
+TEST(MisRepairTest, PhaseARemovesSeededConflicts) {
+  // One hyperedge, k = 2: the 4 triples form a clique.  Seed an invalid
+  // "MIS" of two members; repair must drop the larger id and keep a
+  // single member (maximal in a clique).
+  const Hypergraph h(2, {{0, 1}});
+  const DynamicConflictGraph dyn(h, 2);
+  std::vector<TripleId> dirty(dyn.triple_count());
+  for (TripleId t = 0; t < dirty.size(); ++t) dirty[t] = t;
+  const auto rep = repair_mis(dyn, {0, 3}, dirty);
+  EXPECT_EQ(rep.mis, (std::vector<VertexId>{0}));
+  EXPECT_EQ(rep.removed, (std::vector<VertexId>{3}));
+}
+
+TEST(MisRepairTest, RepairedSetStaysMaximalAndLocalUnderRandomScripts) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    PlantedCfParams params;
+    params.n = 12;
+    params.m = 9;
+    params.k = 2;
+    auto inst = planted_cf_colorable(params, rng);
+    DynamicConflictGraph dyn(inst.hypergraph, inst.k);
+    auto mis = greedy_min_degree_maxis(dyn.snapshot());
+    std::sort(mis.begin(), mis.end());
+
+    for (int step = 0; step < 8; ++step) {
+      // Random valid edit: remove a random edge or duplicate one.
+      Mutation mut;
+      if (dyn.edge_count() > 2 && rng.next_bool(0.5)) {
+        mut = Mutation::remove_edge(
+            static_cast<EdgeId>(rng.next_below(dyn.edge_count())));
+      } else {
+        const auto src = dyn.hyperedge(
+            static_cast<EdgeId>(rng.next_below(dyn.edge_count())));
+        mut = Mutation::add_edge({src.begin(), src.end()});
+      }
+      const auto delta = dyn.apply(mut);
+      std::size_t dropped = 0;
+      const auto survivors = remap_surviving(mis, delta.remap, &dropped);
+      const auto rep = repair_mis(dyn, survivors, delta.dirty);
+
+      const Graph g = dyn.snapshot();
+      EXPECT_TRUE(is_independent_set(g, rep.mis));
+      EXPECT_TRUE(is_maximal_independent_set(g, rep.mis))
+          << "seed " << seed << " step " << step << " mut " << describe(mut);
+      // Locality: everything that changed relative to the carried-over
+      // set lies inside the reported repair ball.
+      for (const VertexId v : symmetric_difference(survivors, rep.mis))
+        EXPECT_TRUE(std::binary_search(rep.ball.begin(), rep.ball.end(), v))
+            << "vertex " << v << " changed outside the ball";
+      EXPECT_LE(rep.mis.size(), dyn.independence_upper_bound());
+      mis = rep.mis;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pslocal

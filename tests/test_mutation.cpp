@@ -1,0 +1,149 @@
+#include "hypergraph/mutation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/hash.hpp"
+
+namespace pslocal {
+namespace {
+
+Hypergraph base() { return Hypergraph(5, {{0, 1}, {1, 2, 3}, {3, 4}}); }
+
+TEST(MutationTest, AddEdgeAppendsSorted) {
+  std::size_t n = 5;
+  std::vector<std::vector<VertexId>> edges = {{0, 1}};
+  apply_mutation(n, edges, Mutation::add_edge({4, 2, 3}));
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[1], (std::vector<VertexId>{2, 3, 4}));
+  EXPECT_EQ(n, 5u);
+}
+
+TEST(MutationTest, RemoveEdgeShiftsLaterIds) {
+  std::size_t n = 5;
+  std::vector<std::vector<VertexId>> edges = {{0, 1}, {1, 2}, {3, 4}};
+  apply_mutation(n, edges, Mutation::remove_edge(1));
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], (std::vector<VertexId>{0, 1}));
+  EXPECT_EQ(edges[1], (std::vector<VertexId>{3, 4}));
+}
+
+TEST(MutationTest, AddVertexAppendsIsolated) {
+  std::size_t n = 3;
+  std::vector<std::vector<VertexId>> edges = {{0, 1}};
+  apply_mutation(n, edges, Mutation::add_vertex());
+  EXPECT_EQ(n, 4u);
+  EXPECT_EQ(edges.size(), 1u);
+}
+
+TEST(MutationTest, RemoveVertexTombstonesAndErasesEmptyEdges) {
+  std::size_t n = 4;
+  std::vector<std::vector<VertexId>> edges = {{0}, {0, 1}, {2, 3}, {0, 2}};
+  apply_mutation(n, edges, Mutation::remove_vertex(0));
+  EXPECT_EQ(n, 4u);  // tombstone: the slot stays
+  ASSERT_EQ(edges.size(), 3u);  // edge {0} became empty and was erased
+  EXPECT_EQ(edges[0], (std::vector<VertexId>{1}));
+  EXPECT_EQ(edges[1], (std::vector<VertexId>{2, 3}));
+  EXPECT_EQ(edges[2], (std::vector<VertexId>{2}));
+}
+
+TEST(MutationTest, ValidateRejectsMalformed) {
+  std::size_t n = 3;
+  std::vector<std::vector<VertexId>> edges = {{0, 1}};
+  EXPECT_TRUE(validate_mutation(n, edges, Mutation::add_edge({})).has_value());
+  EXPECT_TRUE(validate_mutation(n, edges, Mutation::add_edge({0, 3})).has_value());
+  EXPECT_TRUE(validate_mutation(n, edges, Mutation::add_edge({1, 1})).has_value());
+  EXPECT_TRUE(validate_mutation(n, edges, Mutation::remove_edge(1)).has_value());
+  EXPECT_TRUE(validate_mutation(n, edges, Mutation::remove_vertex(3)).has_value());
+  EXPECT_FALSE(validate_mutation(n, edges, Mutation::add_edge({0, 2})).has_value());
+  EXPECT_FALSE(validate_mutation(n, edges, Mutation::remove_edge(0)).has_value());
+  EXPECT_FALSE(validate_mutation(n, edges, Mutation::remove_vertex(2)).has_value());
+  EXPECT_FALSE(validate_mutation(n, edges, Mutation::add_vertex()).has_value());
+}
+
+TEST(MutationTest, ValidateScriptNamesFailingStep) {
+  const auto why = validate_script(
+      base(), {Mutation::remove_edge(2), Mutation::remove_edge(2)});
+  ASSERT_TRUE(why.has_value());
+  EXPECT_NE(why->find("step 1:"), std::string::npos);
+}
+
+TEST(MutationTest, ApplyScriptMatchesManualApplication) {
+  const std::vector<Mutation> script = {
+      Mutation::add_vertex(),            // n = 6
+      Mutation::add_edge({0, 5}),        // edge 3
+      Mutation::remove_edge(0),          // drops {0,1}; ids shift
+      Mutation::remove_vertex(3),        // {1,2,3}->{1,2}, {3,4}->{4}
+  };
+  const Hypergraph result = apply_script(base(), script);
+  EXPECT_EQ(result.vertex_count(), 6u);
+  ASSERT_EQ(result.edge_count(), 3u);
+  EXPECT_EQ(std::vector<VertexId>(result.edge(0).begin(), result.edge(0).end()),
+            (std::vector<VertexId>{1, 2}));
+  EXPECT_EQ(std::vector<VertexId>(result.edge(1).begin(), result.edge(1).end()),
+            (std::vector<VertexId>{4}));
+  EXPECT_EQ(std::vector<VertexId>(result.edge(2).begin(), result.edge(2).end()),
+            (std::vector<VertexId>{0, 5}));
+}
+
+TEST(MutationTest, ScriptCodecRoundTrips) {
+  const std::vector<Mutation> script = {
+      Mutation::add_edge({2, 0, 7}), Mutation::remove_edge(3),
+      Mutation::add_vertex(), Mutation::remove_vertex(1)};
+  const std::string bytes = encode_script(script);
+  const auto decoded = decode_script(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, script);
+  EXPECT_EQ(encode_script(*decoded), bytes);  // canonical
+}
+
+TEST(MutationTest, ScriptDecodeRejectsMalformedBytes) {
+  const std::string bytes = encode_script({Mutation::add_edge({0, 1})});
+  EXPECT_FALSE(decode_script(bytes.substr(0, bytes.size() - 1)).has_value());  // truncated
+  EXPECT_FALSE(decode_script(bytes + '\0').has_value());  // trailing byte
+  EXPECT_FALSE(decode_script("").has_value());            // no count
+  std::string lying(8, '\0');
+  lying[0] = 9;  // claims 9 mutations, provides none
+  EXPECT_FALSE(decode_script(lying).has_value());
+  std::string bad_op = bytes;
+  bad_op[8] = 17;  // op byte out of range
+  EXPECT_FALSE(decode_script(bad_op).has_value());
+}
+
+TEST(MutationTest, HashMutationSeparatesFields) {
+  const auto h1 = hash_mutation(Mutation::add_edge({0, 1}));
+  EXPECT_NE(h1, hash_mutation(Mutation::add_edge({0, 2})));
+  EXPECT_NE(h1, hash_mutation(Mutation::add_edge({0, 1, 2})));
+  EXPECT_NE(hash_mutation(Mutation::remove_edge(0)),
+            hash_mutation(Mutation::remove_edge(1)));
+  EXPECT_NE(hash_mutation(Mutation::remove_vertex(0)),
+            hash_mutation(Mutation::remove_edge(0)));
+}
+
+TEST(MutationTest, EpochChainCommitsToOrderAndPrefix) {
+  const Hypergraph h = base();
+  const std::uint64_t e0 = hash_hypergraph(h);
+  const Mutation a = Mutation::remove_edge(0);
+  const Mutation b = Mutation::add_vertex();
+  const auto ab = epoch_chain(e0, {a, b});
+  const auto ba = epoch_chain(e0, {b, a});
+  ASSERT_EQ(ab.size(), 3u);
+  EXPECT_EQ(ab[0], e0);
+  EXPECT_NE(ab[1], ab[2]);
+  EXPECT_NE(ab[2], ba[2]);  // order-sensitive
+  // Prefix property: the chain of the prefix is a prefix of the chain.
+  const auto prefix = epoch_chain(e0, {a});
+  EXPECT_EQ(prefix[1], ab[1]);
+}
+
+TEST(MutationTest, DescribeFormats) {
+  EXPECT_EQ(describe(Mutation::add_edge({1, 4, 7})), "add_edge{1,4,7}");
+  EXPECT_EQ(describe(Mutation::remove_edge(3)), "remove_edge(3)");
+  EXPECT_EQ(describe(Mutation::add_vertex()), "add_vertex");
+  EXPECT_EQ(describe(Mutation::remove_vertex(2)), "remove_vertex(2)");
+  EXPECT_EQ(describe(std::vector<Mutation>{Mutation::add_vertex(),
+                                           Mutation::remove_edge(0)}),
+            "[add_vertex remove_edge(0)]");
+}
+
+}  // namespace
+}  // namespace pslocal

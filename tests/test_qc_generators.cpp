@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "coloring/conflict_free.hpp"
+#include "util/hash.hpp"
 
 namespace pslocal::qc {
 namespace {
@@ -106,6 +107,72 @@ TEST(QcGeneratorsTest, TraceParamsKeepEveryKindReachable) {
     const service::Trace trace = service::generate_trace(tp);
     EXPECT_EQ(trace.requests.size(), tp.requests);
   }
+}
+
+TEST(QcGeneratorsTest, MutationFamiliesAreSeedPure) {
+  for (const auto& family : mutation_family_names()) {
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      const MutationScript a = make_mutation_family(family, seed);
+      const MutationScript b = make_mutation_family(family, seed);
+      EXPECT_EQ(a.script, b.script) << family << " seed " << seed;
+      EXPECT_EQ(a.witness, b.witness);
+      EXPECT_EQ(hash_hypergraph(a.base.hypergraph),
+                hash_hypergraph(b.base.hypergraph));
+      EXPECT_EQ(a.base.k, b.base.k);
+      // Valid against the base by construction, and small enough for
+      // the exact differential leg.
+      EXPECT_FALSE(validate_script(a.base.hypergraph, a.script).has_value());
+      EXPECT_LE(a.base.hypergraph.vertex_count(), 16u);
+      EXPECT_FALSE(a.script.empty());
+    }
+  }
+}
+
+TEST(QcGeneratorsTest, MutationWitnessStaysValidAtEveryPrefix) {
+  // The witness is a CF coloring over the final vertex count whose
+  // restriction to each prefix must stay conflict-free — the reduction
+  // precondition survives every edit.
+  for (const auto& family : mutation_family_names()) {
+    for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+      const MutationScript ms = make_mutation_family(family, seed);
+      std::size_t n = ms.base.hypergraph.vertex_count();
+      std::vector<std::vector<VertexId>> edges;
+      for (EdgeId e = 0; e < ms.base.hypergraph.edge_count(); ++e) {
+        const auto vs = ms.base.hypergraph.edge(e);
+        edges.emplace_back(vs.begin(), vs.end());
+      }
+      for (std::size_t step = 0; step <= ms.script.size(); ++step) {
+        const Hypergraph h(n, edges);
+        const CfColoring prefix(
+            ms.witness.begin(),
+            ms.witness.begin() + static_cast<std::ptrdiff_t>(n));
+        EXPECT_TRUE(is_conflict_free(h, prefix))
+            << family << " seed " << seed << " prefix " << step;
+        for (const std::size_t c : prefix) {
+          EXPECT_GE(c, 1u);
+          EXPECT_LE(c, ms.base.k);
+        }
+        if (step < ms.script.size())
+          apply_mutation(n, edges, ms.script[step]);
+      }
+      EXPECT_EQ(ms.witness.size(), n);  // sized to the final vertex count
+    }
+  }
+}
+
+TEST(QcGeneratorsTest, ArbitraryMutationScriptRespectsForcedFamily) {
+  Rng rng(5);
+  bool saw_heavy = false, saw_burst = false;
+  for (int i = 0; i < 10; ++i) {
+    const MutationScript forced =
+        arbitrary_mutation_script(rng, "churn_burst");
+    EXPECT_EQ(forced.family, "churn_burst");
+    const MutationScript free = arbitrary_mutation_script(rng);
+    saw_heavy = saw_heavy || free.family == "mutation_heavy";
+    saw_burst = saw_burst || free.family == "churn_burst";
+  }
+  EXPECT_TRUE(saw_heavy);
+  EXPECT_TRUE(saw_burst);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include "mis/independent_set.hpp"
 #include "qc/gen.hpp"
 #include "qc/oracles.hpp"
+#include "util/hash.hpp"
 
 namespace pslocal::qc {
 namespace {
@@ -120,6 +121,44 @@ TEST(QcShrinkTest, PlantedBugShrinksToAtMostFiveVerticesOn50Seeds) {
     EXPECT_FALSE(
         is_independent_set(minimal, buggy_greedy_mis(minimal)));
   }
+}
+
+// Shrinker self-test over mutation sequences (acceptance gate): with
+// "changes the base's content hash" as the failure, every family/seed
+// must shrink to a <= 3-step, 1-minimal reproducer.  Deleting a step can
+// orphan later edge ids, so candidates are validity-guarded exactly the
+// way the mis_repair_vs_recompute property guards them.
+TEST(QcShrinkTest, MutationShrinkPinsAtMostThreeStepsOn50Seeds) {
+  std::size_t ran = 0;
+  const auto& families = mutation_family_names();
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const MutationScript ms =
+        make_mutation_family(families[seed % families.size()], seed);
+    const std::uint64_t base_hash = hash_hypergraph(ms.base.hypergraph);
+    const auto still_fails = [&](const std::vector<Mutation>& s) {
+      if (validate_script(ms.base.hypergraph, s).has_value()) return false;
+      return hash_hypergraph(apply_script(ms.base.hypergraph, s)) !=
+             base_hash;
+    };
+    // churn_burst can round-trip the content exactly; those seeds have
+    // nothing to shrink.
+    if (!still_fails(ms.script)) continue;
+    ++ran;
+    ShrinkLog log;
+    const auto minimal = shrink_mutations(ms.script, still_fails, &log);
+    EXPECT_TRUE(still_fails(minimal)) << "seed " << seed;
+    EXPECT_LE(minimal.size(), 3u)
+        << "seed " << seed << ": " << pslocal::describe(minimal) << " ("
+        << log.accepted << "/" << log.attempts << " deletions)";
+    // 1-minimal: no single further deletion keeps the failure.
+    for (std::size_t i = 0; i < minimal.size(); ++i) {
+      std::vector<Mutation> candidate = minimal;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+      EXPECT_FALSE(still_fails(candidate))
+          << "seed " << seed << " drop " << i;
+    }
+  }
+  EXPECT_GE(ran, 25u);  // almost every script moves the content hash
 }
 
 }  // namespace
