@@ -23,12 +23,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdint>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace pslocal::benchload {
@@ -121,6 +125,234 @@ ClosedLoopResult run_closed_loop(std::size_t total, std::size_t clients,
                                  MakeCtx&& make_ctx, One&& one) {
   return run_closed_loop(total, clients, std::forward<MakeCtx>(make_ctx),
                          std::forward<One>(one), [] {});
+}
+
+// ---------------------------------------------------------------------
+// Open-loop traffic (docs/qos.md).  A closed loop self-throttles — a
+// slow server slows its own clients — so it can never demonstrate
+// overload.  The open-loop driver below sends on a precomputed arrival
+// schedule regardless of completions, which is what makes an abusive
+// tenant abusive: its offered rate does not bend.  All schedules are
+// seeded and computed up front, so the offered load is a pure function
+// of (seed, rate, count) even though service times are not.
+// ---------------------------------------------------------------------
+
+/// Poisson process: cumulative exponential gaps, ns offsets from start.
+inline std::vector<std::uint64_t> poisson_arrivals_ns(Rng& rng,
+                                                      double rate_rps,
+                                                      std::size_t count) {
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  double t = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    t += rng.next_exponential(rate_rps) * 1e9;
+    out.push_back(static_cast<std::uint64_t>(t));
+  }
+  return out;
+}
+
+/// One bounded-Pareto variate on [lo, hi] with shape `alpha` (inverse
+/// CDF).  Heavy-tailed but capped: the burst length has a hard bound, so
+/// a seeded schedule cannot stall a CI run on one astronomical gap.
+inline double bounded_pareto(Rng& rng, double alpha, double lo, double hi) {
+  const double u = rng.next_double();
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+/// Bounded-Pareto arrival process with mean rate `rate_rps`: gaps are
+/// bounded-Pareto on [1, bound] (shape `alpha`), scaled by the analytic
+/// mean so the long-run offered rate matches — bursty on the inside,
+/// calibrated on the outside.
+inline std::vector<std::uint64_t> pareto_arrivals_ns(Rng& rng,
+                                                     double rate_rps,
+                                                     double alpha,
+                                                     double bound,
+                                                     std::size_t count) {
+  // Mean of bounded Pareto on [1, b], shape a != 1:
+  //   E = (a / (a - 1)) * (1 - b^(1-a)) / (1 - b^-a)
+  const double mean = (alpha / (alpha - 1.0)) *
+                      (1.0 - std::pow(bound, 1.0 - alpha)) /
+                      (1.0 - std::pow(bound, -alpha));
+  const double scale_ns = (1e9 / rate_rps) / mean;
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  double t = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    t += bounded_pareto(rng, alpha, 1.0, bound) * scale_ns;
+    out.push_back(static_cast<std::uint64_t>(t));
+  }
+  return out;
+}
+
+/// Zipf(s) sampler over {0, ..., n-1}: CDF table + binary search.  Each
+/// tenant owns one (with its own Rng stream) so tenants hit skewed,
+/// tenant-specific key sets — cache hit rates differ per tenant, like
+/// real multi-tenant traffic.
+class ZipfPicker {
+ public:
+  ZipfPicker(std::size_t n, double s) {
+    cdf_.reserve(n);
+    double acc = 0.0;
+    for (std::size_t i = 1; i <= n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i), s);
+      cdf_.push_back(acc);
+    }
+    for (double& c : cdf_) c /= acc;
+  }
+
+  [[nodiscard]] std::size_t pick(Rng& rng) const {
+    const auto it =
+        std::upper_bound(cdf_.begin(), cdf_.end(), rng.next_double());
+    const auto idx = static_cast<std::size_t>(it - cdf_.begin());
+    return idx < cdf_.size() ? idx : cdf_.size() - 1;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// How one open-loop request resolved.  Unlike the closed loop there is
+/// no retry here — a shed is an *answer* (the typed NACK is the QoS
+/// contract working), not a failure, and it is counted as such.
+enum class OpenOutcome : std::uint8_t {
+  kOk,     // response payload arrived
+  kShed,   // NACK(shed_retry_after) — load shedding, accounted
+  kNack,   // other NACK (queue_full / shutdown)
+  kError,  // rejected/error/transport
+};
+
+struct OpenLoopTenant {
+  std::string name;
+  std::vector<std::uint64_t> arrivals_ns;  // sorted offsets from start
+};
+
+struct OpenTenantResult {
+  std::string name;
+  std::uint64_t offered = 0;  // requests sent on schedule
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t nacked = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t lost = 0;  // sent, never resolved — must be 0
+  std::vector<std::uint64_t> latencies_ns;  // ok only: send -> resolve
+  double p50_ms = 0.0, p99_ms = 0.0, mean_ms = 0.0;
+};
+
+struct OpenLoopResult {
+  double wall_s = 0.0;
+  std::vector<OpenTenantResult> tenants;
+  std::uint64_t ok = 0, shed = 0, nacked = 0, errors = 0, lost = 0;
+};
+
+/// Open-loop driver: one sender thread per tenant, sends pipelined on
+/// the tenant's arrival schedule and pumps completions in the gaps.
+///
+///   make_ctx(tenant)              worker-thread context (a connection)
+///   send(ctx, tenant, i)          issue arrival i, return its wait id
+///   try_resolve(ctx, id, &out)    nonblocking; true when id resolved
+///   resolve(ctx, id, &out)        blocking drain; false = lost
+///
+/// Every sent id is resolved exactly once or counted into `lost`; the
+/// overload bench asserts lost == 0 (shedding must answer, not drop).
+template <typename MakeCtx, typename Send, typename TryResolve,
+          typename Resolve>
+OpenLoopResult run_open_loop(const std::vector<OpenLoopTenant>& tenants,
+                             MakeCtx&& make_ctx, Send&& send,
+                             TryResolve&& try_resolve, Resolve&& resolve) {
+  OpenLoopResult result;
+  result.tenants.resize(tenants.size());
+  WallTimer timer;
+
+  const auto worker = [&](std::size_t ti) {
+    auto ctx = make_ctx(ti);
+    OpenTenantResult& res = result.tenants[ti];
+    res.name = tenants[ti].name;
+    struct Sent {
+      std::uint64_t id;
+      std::uint64_t sent_ns;
+    };
+    std::vector<Sent> inflight;
+    const auto classify = [&res](OpenOutcome o, std::uint64_t latency_ns) {
+      switch (o) {
+        case OpenOutcome::kOk:
+          res.ok++;
+          res.latencies_ns.push_back(latency_ns);
+          break;
+        case OpenOutcome::kShed: res.shed++; break;
+        case OpenOutcome::kNack: res.nacked++; break;
+        case OpenOutcome::kError: res.errors++; break;
+      }
+    };
+    const auto pump = [&]() {
+      for (auto it = inflight.begin(); it != inflight.end();) {
+        OpenOutcome out;
+        if (try_resolve(ctx, it->id, out)) {
+          classify(out, now_ns() - it->sent_ns);
+          it = inflight.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    };
+
+    const std::uint64_t start = now_ns();
+    for (const std::uint64_t at : tenants[ti].arrivals_ns) {
+      // Open loop: hold the schedule regardless of completions.  Pump
+      // the connection while waiting so responses never pile up.
+      for (;;) {
+        const std::uint64_t elapsed = now_ns() - start;
+        if (elapsed >= at) break;
+        pump();
+        if (at - elapsed > 200'000)
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+      const std::uint64_t id = send(ctx, ti, res.offered);
+      inflight.push_back({id, now_ns()});
+      res.offered++;
+      pump();
+    }
+    for (const Sent& s : inflight) {
+      OpenOutcome out;
+      if (resolve(ctx, s.id, out))
+        classify(out, now_ns() - s.sent_ns);
+      else
+        res.lost++;
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(tenants.size() > 0 ? tenants.size() - 1 : 0);
+  for (std::size_t t = 1; t < tenants.size(); ++t)
+    threads.emplace_back(worker, t);
+  if (!tenants.empty()) worker(0);
+  for (auto& t : threads) t.join();
+  result.wall_s = timer.elapsed_millis() / 1e3;
+
+  for (OpenTenantResult& res : result.tenants) {
+    std::vector<std::uint64_t> sorted = res.latencies_ns;
+    std::sort(sorted.begin(), sorted.end());
+    const auto at = [&sorted](double q) {
+      if (sorted.empty()) return 0.0;
+      const auto idx =
+          static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1));
+      return static_cast<double>(sorted[idx]) / 1e6;
+    };
+    res.p50_ms = at(0.50);
+    res.p99_ms = at(0.99);
+    double sum = 0;
+    for (const auto ns : sorted) sum += static_cast<double>(ns);
+    res.mean_ms = sorted.empty()
+                      ? 0.0
+                      : sum / static_cast<double>(sorted.size()) / 1e6;
+    result.ok += res.ok;
+    result.shed += res.shed;
+    result.nacked += res.nacked;
+    result.errors += res.errors;
+    result.lost += res.lost;
+  }
+  return result;
 }
 
 /// Per-pass view of a process-wide obs histogram (counts accumulate for

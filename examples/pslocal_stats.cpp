@@ -98,6 +98,26 @@ std::string summarize(const Target& target, const std::string& payload) {
             server.at("connections").as_number())
      << " loops=" << static_cast<std::uint64_t>(
             server.at("io_loops").as_number());
+  os << " shed=" << static_cast<std::uint64_t>(engine.at("shed").as_number());
+  // The QoS block (docs/qos.md) is always present; per-tenant lanes are
+  // listed only when admission control is actually on.
+  const json::Value& qos = engine.at("qos");
+  if (qos.at("enabled").as_number() != 0.0) {
+    os << " tenants=";
+    bool first = true;
+    for (const auto& tenant : qos.at("tenants").as_array()) {
+      if (!first) os << ",";
+      first = false;
+      os << tenant.at("name").as_string() << ":w"
+         << static_cast<std::uint64_t>(tenant.at("weight").as_number())
+         << ":a"
+         << static_cast<std::uint64_t>(tenant.at("admitted").as_number())
+         << ":s"
+         << static_cast<std::uint64_t>(
+                tenant.at("shed_rate").as_number() +
+                tenant.at("shed_deadline").as_number());
+    }
+  }
   os.setf(std::ios::fixed);
   os.precision(3);
   os << " solve_p99_ms=" << stage_p99_ms(histograms, "solve_ns")

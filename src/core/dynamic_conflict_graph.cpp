@@ -14,6 +14,13 @@ namespace {
 
 constexpr EdgeId kNoEdge = static_cast<EdgeId>(-1);
 
+/// Shared sentinel for triples with no neighbors; counts as "shared"
+/// between any two graphs, which is exactly right for the memory probe.
+const std::shared_ptr<const std::vector<TripleId>>& empty_row() {
+  static const auto row = std::make_shared<const std::vector<TripleId>>();
+  return row;
+}
+
 struct DeltaMetrics {
   obs::Counter applies{"dynamic_conflict_graph.applies"};
   obs::Counter triples_removed{"dynamic_conflict_graph.triples_removed"};
@@ -48,7 +55,9 @@ DynamicConflictGraph::DynamicConflictGraph(const ConflictGraph& cg) {
   adj_.resize(g.vertex_count());
   for (TripleId t = 0; t < adj_.size(); ++t) {
     const auto nbrs = g.neighbors(static_cast<VertexId>(t));
-    adj_[t].assign(nbrs.begin(), nbrs.end());
+    adj_[t] = nbrs.empty() ? empty_row()
+                           : std::make_shared<const std::vector<TripleId>>(
+                                 nbrs.begin(), nbrs.end());
   }
   gk_edges_ = g.edge_count();
 }
@@ -206,7 +215,7 @@ DynamicConflictGraph::Delta DynamicConflictGraph::apply(const Mutation& mut) {
   // filter them out of every surviving neighbor's list.
   std::vector<TripleId> dirty_old;
   for (const TripleId t : delta.removed) {
-    for (const TripleId nb : adj_[t]) {
+    for (const TripleId nb : *adj_[t]) {
       if (removed_flag[nb]) {
         if (t < nb) ++delta.gk_edges_removed;
       } else {
@@ -219,12 +228,13 @@ DynamicConflictGraph::Delta DynamicConflictGraph::apply(const Mutation& mut) {
   dirty_old.erase(std::unique(dirty_old.begin(), dirty_old.end()),
                   dirty_old.end());
   for (const TripleId nb : dirty_old) {
-    auto& list = adj_[nb];
-    list.erase(std::remove_if(list.begin(), list.end(),
-                              [&removed_flag](const TripleId x) {
-                                return removed_flag[x] != 0;
-                              }),
-               list.end());
+    // Rows are immutable (shared COW); publish a filtered replacement.
+    const std::vector<TripleId>& old_row = *adj_[nb];
+    std::vector<TripleId> kept;
+    kept.reserve(old_row.size());
+    for (const TripleId x : old_row)
+      if (!removed_flag[x]) kept.push_back(x);
+    adj_[nb] = std::make_shared<const std::vector<TripleId>>(std::move(kept));
   }
 
   // New edge list: survivors keep relative order, replaced edges keep
@@ -272,13 +282,31 @@ DynamicConflictGraph::Delta DynamicConflictGraph::apply(const Mutation& mut) {
       delta.remap[old_first + i] = new_first + i;
   }
 
-  std::vector<std::vector<TripleId>> new_adj(new_triples);
+  std::vector<Row> new_adj(new_triples);
   for (TripleId t = 0; t < old_triples; ++t) {
     const TripleId nt = delta.remap[t];
     if (nt == kRemoved) continue;
-    auto list = std::move(adj_[t]);
-    for (TripleId& x : list) x = delta.remap[x];
-    new_adj[nt] = std::move(list);
+    const std::vector<TripleId>& row = *adj_[t];
+    // A row whose every neighbor keeps its id is content-unchanged under
+    // the remap: keep sharing its storage instead of reallocating.  This
+    // is what preserves structural sharing for mutations far from the
+    // rows a stored session copy still points at.
+    bool unchanged = true;
+    for (const TripleId x : row) {
+      if (delta.remap[x] != x) {
+        unchanged = false;
+        break;
+      }
+    }
+    if (unchanged) {
+      new_adj[nt] = std::move(adj_[t]);
+      continue;
+    }
+    std::vector<TripleId> remapped;
+    remapped.reserve(row.size());
+    for (const TripleId x : row) remapped.push_back(delta.remap[x]);
+    new_adj[nt] =
+        std::make_shared<const std::vector<TripleId>>(std::move(remapped));
   }
   adj_ = std::move(new_adj);
 
@@ -313,7 +341,10 @@ DynamicConflictGraph::Delta DynamicConflictGraph::apply(const Mutation& mut) {
     const TripleId src = directed[i].first;
     std::size_t j = i;
     while (j < directed.size() && directed[j].first == src) ++j;
-    auto& list = adj_[src];
+    // Fresh triples still hold a null Row here; treat it as empty.
+    static const std::vector<TripleId> kNone;
+    const std::vector<TripleId>& list =
+        adj_[src] != nullptr ? *adj_[src] : kNone;
     std::vector<TripleId> merged;
     merged.reserve(list.size() + (j - i));
     std::size_t a = 0, b = i;
@@ -325,8 +356,12 @@ DynamicConflictGraph::Delta DynamicConflictGraph::apply(const Mutation& mut) {
     }
     while (a < list.size()) merged.push_back(list[a++]);
     while (b < j) merged.push_back(directed[b++].second);
-    list = std::move(merged);
+    adj_[src] =
+        std::make_shared<const std::vector<TripleId>>(std::move(merged));
     i = j;
+  }
+  for (Row& row : adj_) {
+    if (row == nullptr) row = empty_row();  // fresh triple, no neighbors
   }
   gk_edges_ = gk_edges_ - delta.gk_edges_removed + delta.gk_edges_added;
 
@@ -370,7 +405,7 @@ Graph DynamicConflictGraph::snapshot(runtime::Scheduler& sched) const {
   std::vector<std::uint64_t> packed;
   packed.reserve(gk_edges_);
   for (TripleId t = 0; t < adj_.size(); ++t)
-    for (const TripleId nb : adj_[t])
+    for (const TripleId nb : *adj_[t])
       if (t < nb)
         packed.push_back(pack_edge(static_cast<VertexId>(t),
                                    static_cast<VertexId>(nb)));
@@ -380,11 +415,20 @@ Graph DynamicConflictGraph::snapshot(runtime::Scheduler& sched) const {
 std::uint64_t DynamicConflictGraph::graph_hash() const {
   Fnv1a64 hash;
   hash.update_u64(adj_.size());
-  for (const auto& list : adj_) {
-    hash.update_u64(list.size());
-    for (const TripleId nb : list) hash.update_u64(nb);
+  for (const Row& list : adj_) {
+    hash.update_u64(list->size());
+    for (const TripleId nb : *list) hash.update_u64(nb);
   }
   return hash.digest();
+}
+
+std::size_t DynamicConflictGraph::shared_rows_with(
+    const DynamicConflictGraph& other) const {
+  const std::size_t common = std::min(adj_.size(), other.adj_.size());
+  std::size_t shared = 0;
+  for (std::size_t t = 0; t < common; ++t)
+    if (adj_[t] != nullptr && adj_[t] == other.adj_[t]) ++shared;
+  return shared;
 }
 
 }  // namespace pslocal

@@ -33,6 +33,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -70,7 +71,7 @@ class DynamicConflictGraph {
 
   [[nodiscard]] std::span<const TripleId> neighbors(TripleId t) const {
     PSL_EXPECTS(t < adj_.size());
-    return adj_[t];
+    return *adj_[t];
   }
 
   /// Decode a triple id under the current layout.
@@ -120,7 +121,22 @@ class DynamicConflictGraph {
     return edges_.size();
   }
 
+  /// How many adjacency rows this graph shares (pointer-identical row
+  /// storage) with `other`, compared position-wise over the common id
+  /// range.  Copies share every row; apply() reallocates only the rows a
+  /// mutation actually rewrites, so this is the structural-sharing probe
+  /// the session-store memory pin reads.
+  [[nodiscard]] std::size_t shared_rows_with(
+      const DynamicConflictGraph& other) const;
+
  private:
+  /// One adjacency row, shared copy-on-write across graph copies.  The
+  /// session store keeps many MutationStates that differ by a script
+  /// suffix; sharing unchanged rows makes a stored copy cost O(rows the
+  /// divergent suffix rewrites), not O(|G_k|).  Rows are immutable once
+  /// published — apply() builds replacements and swaps pointers.
+  using Row = std::shared_ptr<const std::vector<TripleId>>;
+
   void rebuild_incidence();
   void rebuild_pair_offsets();
   [[nodiscard]] std::size_t pair_of(EdgeId e, VertexId v) const;
@@ -132,7 +148,7 @@ class DynamicConflictGraph {
   std::vector<std::vector<VertexId>> edges_;    // sorted vertex lists
   std::vector<std::vector<EdgeId>> incidence_;  // vertex -> edges, ascending
   std::vector<std::size_t> pair_offset_;        // edge -> first pair (m+1)
-  std::vector<std::vector<TripleId>> adj_;      // triple -> sorted neighbors
+  std::vector<Row> adj_;  // triple -> sorted neighbors (COW rows)
   std::size_t gk_edges_ = 0;
 };
 

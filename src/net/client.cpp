@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -154,6 +155,9 @@ std::uint64_t Client::send(const service::Request& request) {
   frame.trace_id = request.trace_id != 0 ? request.trace_id : ctx.trace_id;
   frame.parent_span_id =
       request.parent_span_id != 0 ? request.parent_span_id : ctx.span_id;
+  // The QoS tenant id rides the header's payload-region prefix; an
+  // empty tenant leaves the frame bytes identical to pre-QoS senders.
+  frame.tenant = request.tenant;
   write_bytes(wire::encode_frame(frame));
   inflight_sent_[id] = now_ns();
   g_sent.add();
@@ -229,7 +233,8 @@ Client::Result Client::finish(std::uint64_t id, const wire::Frame& frame,
     return result;
   }
   if (frame.kind == wire::FrameKind::kNack) {
-    if (!wire::decode_nack(frame.payload, result.nack_code, &error)) {
+    if (!wire::decode_nack(frame.payload, result.nack_code, &error,
+                           &result.retry_after_us)) {
       result.outcome = Outcome::kTransport;
       result.error = "bad nack payload: " + error;
       close();
@@ -361,11 +366,17 @@ Client::Result Client::call_with_retry(const service::Request& request,
   for (std::uint32_t attempt = 0; attempt < policy.max_attempts; ++attempt) {
     result = call(request, timeout_ms);
     result.attempts = attempt + 1;
-    const bool retryable = result.outcome == Outcome::kNack &&
-                           result.nack_code == wire::NackCode::kQueueFull;
+    const bool retryable =
+        result.outcome == Outcome::kNack &&
+        (result.nack_code == wire::NackCode::kQueueFull ||
+         result.nack_code == wire::NackCode::kShedRetryAfter);
     if (!retryable || attempt + 1 == policy.max_attempts) return result;
     g_retries.add();
-    std::this_thread::sleep_for(std::chrono::microseconds(delays[attempt]));
+    // Honor the server's shed hint: it names the instant a token (or
+    // queue slot) exists, so sleeping less just buys another NACK.
+    const std::uint64_t sleep_us =
+        std::max(delays[attempt], result.retry_after_us);
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
   }
   return result;
 }

@@ -72,6 +72,8 @@ class Client {
     Outcome outcome = Outcome::kTransport;
     service::Response response;  // valid for kOk / kRejected / kError
     wire::NackCode nack_code = wire::NackCode::kQueueFull;
+    /// Backoff hint of a NACK(kShedRetryAfter), microseconds; 0 else.
+    std::uint64_t retry_after_us = 0;
     std::string error;            // set for kTransport
     std::uint64_t rtt_ns = 0;     // send() to matched frame
     std::uint32_t attempts = 1;   // >1 only via call_with_retry
@@ -124,9 +126,10 @@ class Client {
       const RetryPolicy& policy, std::size_t retries);
 
   /// call() that re-sends on NACK(queue_full) after the policy's
-  /// backoff.  Any other outcome — including NACK(shutdown), which by
-  /// contract will never succeed — is returned as-is.  Result.attempts
-  /// counts the sends.
+  /// backoff, and on NACK(shed_retry_after) after the larger of the
+  /// policy's backoff and the server's retry_after_us hint.  Any other
+  /// outcome — including NACK(shutdown), which by contract will never
+  /// succeed — is returned as-is.  Result.attempts counts the sends.
   [[nodiscard]] Result call_with_retry(const service::Request& request,
                                        const RetryPolicy& policy,
                                        int timeout_ms = -1);

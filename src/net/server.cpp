@@ -36,6 +36,7 @@ const obs::Counter g_frames_tx("net.frames_tx");
 const obs::Counter g_bytes_rx("net.bytes_rx");
 const obs::Counter g_bytes_tx("net.bytes_tx");
 const obs::Counter g_nack_queue_full("net.nack_queue_full");
+const obs::Counter g_nack_shed("net.nack_shed");
 const obs::Counter g_decode_errors("net.decode_errors");
 const obs::Gauge g_conn_active("net.conn_active");
 
@@ -147,6 +148,7 @@ struct Server::Impl {
   std::atomic<std::uint64_t> bytes_rx{0}, bytes_tx{0};
   std::atomic<std::uint64_t> requests_dispatched{0};
   std::atomic<std::uint64_t> nacks_queue_full{0}, nacks_shutdown{0};
+  std::atomic<std::uint64_t> nacks_shed{0};
   std::atomic<std::uint64_t> decode_errors{0}, overflow_closes{0};
 
   void enqueue_frame(Loop& loop, Connection& conn, QueuedWrite write) {
@@ -286,6 +288,7 @@ struct Server::Impl {
     request.id = frame.request_id;
     request.trace_id = frame.trace_id;
     request.parent_span_id = frame.parent_span_id;
+    request.tenant = frame.tenant;
     const auto kind = request.kind;
     auto submitted = engine.submit(std::move(request));
     switch (submitted.admission) {
@@ -312,6 +315,14 @@ struct Server::Impl {
         enqueue_frame(loop, conn, nack_write(frame, wire::NackCode::kShutdown));
         break;
       }
+      case service::Admission::kShed: {
+        nacks_shed.fetch_add(1, std::memory_order_relaxed);
+        g_nack_shed.add();
+        enqueue_frame(loop, conn,
+                      nack_write(frame, wire::NackCode::kShedRetryAfter,
+                                 submitted.retry_after_us));
+        break;
+      }
     }
     return true;
   }
@@ -319,11 +330,12 @@ struct Server::Impl {
   /// NACK frames echo the request's trace ids, so even a rejected
   /// request resolves to a complete span tree for the client.
   [[nodiscard]] static QueuedWrite nack_write(const wire::Frame& frame,
-                                              wire::NackCode code) {
+                                              wire::NackCode code,
+                                              std::uint64_t retry_after_us = 0) {
     wire::Frame reply;
     reply.kind = wire::FrameKind::kNack;
     reply.request_id = frame.request_id;
-    reply.payload = wire::encode_nack(code);
+    reply.payload = wire::encode_nack(code, retry_after_us);
     reply.trace_id = frame.trace_id;
     reply.parent_span_id = frame.parent_span_id;
     return QueuedWrite{wire::encode_frame(reply), kNoStageKind, frame.trace_id,
@@ -527,9 +539,21 @@ struct Server::Impl {
       {
         PSL_OBS_SPAN("net.serialize");
         wire::Frame reply;
-        reply.kind = wire::FrameKind::kResponse;
+        // A deadline shed surfaces as a kRejected("shed") response from
+        // the dispatcher; on the wire it is a typed NACK with the
+        // backoff hint, same contract as an admission-time shed.
+        if (response.status == service::Response::Status::kRejected &&
+            response.reason == "shed") {
+          nacks_shed.fetch_add(1, std::memory_order_relaxed);
+          g_nack_shed.add();
+          reply.kind = wire::FrameKind::kNack;
+          reply.payload = wire::encode_nack(wire::NackCode::kShedRetryAfter,
+                                            response.retry_after_us);
+        } else {
+          reply.kind = wire::FrameKind::kResponse;
+          reply.payload = wire::encode_response(response);
+        }
         reply.request_id = job.request_id;
-        reply.payload = wire::encode_response(response);
         reply.trace_id = job.trace_id;
         reply.parent_span_id = job.parent_span_id;
         bytes = wire::encode_frame(reply);
@@ -674,6 +698,7 @@ Server::Stats Server::stats() const {
       im.requests_dispatched.load(std::memory_order_relaxed);
   s.nacks_queue_full = im.nacks_queue_full.load(std::memory_order_relaxed);
   s.nacks_shutdown = im.nacks_shutdown.load(std::memory_order_relaxed);
+  s.nacks_shed = im.nacks_shed.load(std::memory_order_relaxed);
   s.decode_errors = im.decode_errors.load(std::memory_order_relaxed);
   s.overflow_closes = im.overflow_closes.load(std::memory_order_relaxed);
   s.io_loops = static_cast<std::uint64_t>(im.loop_count);

@@ -114,6 +114,7 @@ class Server {
     std::uint64_t requests_dispatched = 0;  // admitted into the engine
     std::uint64_t nacks_queue_full = 0;
     std::uint64_t nacks_shutdown = 0;
+    std::uint64_t nacks_shed = 0;  // kShedRetryAfter (QoS load sheds)
     std::uint64_t decode_errors = 0;  // corrupt streams / bad payloads
     std::uint64_t overflow_closes = 0;  // output-bound violations
     std::uint64_t io_loops = 0;         // resolved event-loop count

@@ -104,26 +104,36 @@ bool frame_kind_valid(std::uint8_t kind) {
 }
 
 std::string encode_frame(const Frame& frame, std::uint8_t version) {
-  PSL_EXPECTS(frame.payload.size() <= kMaxPayload);
+  PSL_EXPECTS(frame.tenant.size() <= kMaxTenantLen);
+  PSL_EXPECTS(frame.tenant.size() + frame.payload.size() <= kMaxPayload);
   PSL_EXPECTS_MSG(version == 1 || version == 2,
                   "net: unencodable frame version");
+  PSL_EXPECTS_MSG(version == 2 || frame.tenant.empty(),
+                  "net: v1 frames cannot carry a tenant id");
   const std::size_t header = version == 1 ? kHeaderSizeV1 : kHeaderSize;
+  // The payload region is tenant-prefix + logical payload; one checksum
+  // covers both, and an empty tenant reproduces the pre-QoS bytes.
+  const std::size_t region = frame.tenant.size() + frame.payload.size();
+  Fnv1a64 fnv;
+  fnv.update_bytes(frame.tenant.data(), frame.tenant.size());
+  fnv.update_bytes(frame.payload.data(), frame.payload.size());
   std::string out;
-  out.reserve(header + frame.payload.size());
+  out.reserve(header + region);
   put_u32(out, kMagic);
   put_u8(out, version);
   put_u8(out, static_cast<std::uint8_t>(frame.kind));
   put_u16(out, 0);
   put_u64(out, frame.request_id);
-  put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
-  put_u32(out, 0);
-  put_u64(out, fnv1a64(frame.payload));
+  put_u32(out, static_cast<std::uint32_t>(region));
+  put_u32(out, static_cast<std::uint32_t>(frame.tenant.size()));
+  put_u64(out, fnv.digest());
   if (version == 2) {
     put_u64(out, frame.trace_id);
     put_u64(out, frame.parent_span_id);
   }
+  out += frame.tenant;
   out += frame.payload;
-  PSL_ENSURES(out.size() == header + frame.payload.size());
+  PSL_ENSURES(out.size() == header + region);
   return out;
 }
 
@@ -170,18 +180,33 @@ FrameDecoder::Result FrameDecoder::next(Frame& out) {
   if (payload_len > max_payload_)
     return fail("payload length " + std::to_string(payload_len) +
                 " exceeds bound " + std::to_string(max_payload_));
-  if (load_u32(h + 20) != 0) return fail("nonzero reserved field");
+  const std::uint32_t tenant_len = load_u32(h + 20);
+  if (version == 1) {
+    // v1 has no tenant field — the word is still reserved there.
+    if (tenant_len != 0) return fail("nonzero reserved field");
+  } else {
+    // The tenant prefix must fit inside the declared payload region: a
+    // lying tenant_len cannot move the payload split past the bytes the
+    // checksum covers (regression-pinned; fuzzed by qc `net_frame`).
+    if (tenant_len > payload_len)
+      return fail("tenant length " + std::to_string(tenant_len) +
+                  " exceeds payload bound " + std::to_string(payload_len));
+    if (tenant_len > kMaxTenantLen)
+      return fail("tenant length " + std::to_string(tenant_len) +
+                  " exceeds bound " + std::to_string(kMaxTenantLen));
+  }
   const std::uint64_t payload_fnv = load_u64(h + 24);
 
   if (avail < header_size + payload_len) return Result::kNeedMore;
-  const std::string_view payload(h + header_size, payload_len);
-  if (fnv1a64(payload) != payload_fnv) return fail("payload checksum mismatch");
+  const std::string_view region(h + header_size, payload_len);
+  if (fnv1a64(region) != payload_fnv) return fail("payload checksum mismatch");
 
   out.kind = static_cast<FrameKind>(kind);
   out.request_id = request_id;
   out.trace_id = version == 1 ? 0 : load_u64(h + 32);
   out.parent_span_id = version == 1 ? 0 : load_u64(h + 40);
-  out.payload.assign(payload.data(), payload.size());
+  out.tenant.assign(region.data(), tenant_len);
+  out.payload.assign(region.data() + tenant_len, region.size() - tenant_len);
   consumed_ += header_size + payload_len;
   if (consumed_ == buffer_.size()) {
     buffer_.clear();
@@ -278,26 +303,36 @@ const char* nack_name(NackCode code) {
   switch (code) {
     case NackCode::kQueueFull: return "queue_full";
     case NackCode::kShutdown: return "shutdown";
+    case NackCode::kShedRetryAfter: return "shed_retry_after";
   }
   return "unknown";
 }
 
-std::string encode_nack(NackCode code) {
+std::string encode_nack(NackCode code, std::uint64_t retry_after_us) {
   std::string out;
   put_u8(out, static_cast<std::uint8_t>(code));
+  // Only the shed code carries the hint word; the pre-QoS codes keep
+  // their single-byte payload so old byte streams decode unchanged.
+  if (code == NackCode::kShedRetryAfter) put_u64(out, retry_after_us);
   return out;
 }
 
-bool decode_nack(std::string_view payload, NackCode& out,
-                 std::string* error) {
+bool decode_nack(std::string_view payload, NackCode& out, std::string* error,
+                 std::uint64_t* retry_after_us) {
+  if (retry_after_us != nullptr) *retry_after_us = 0;
   ByteReader r(payload);
   std::uint8_t code = 0;
   if (!r.read_u8(code)) return set_error(error, "nack payload truncated");
+  if (code < static_cast<std::uint8_t>(NackCode::kQueueFull) ||
+      code > static_cast<std::uint8_t>(NackCode::kShedRetryAfter))
+    return set_error(error, "unknown nack code " + std::to_string(code));
+  if (code == static_cast<std::uint8_t>(NackCode::kShedRetryAfter)) {
+    std::uint64_t hint = 0;
+    if (!r.read_u64(hint)) return set_error(error, "nack payload truncated");
+    if (retry_after_us != nullptr) *retry_after_us = hint;
+  }
   if (!r.exhausted())
     return set_error(error, "nack payload has trailing bytes");
-  if (code != static_cast<std::uint8_t>(NackCode::kQueueFull) &&
-      code != static_cast<std::uint8_t>(NackCode::kShutdown))
-    return set_error(error, "unknown nack code " + std::to_string(code));
   out = static_cast<NackCode>(code);
   return true;
 }

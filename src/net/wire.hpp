@@ -16,8 +16,8 @@
 //        6      2  reserved     must be 0
 //        8      8  request_id   caller-assigned; echoed in the response
 //       16      4  payload_len  <= max_payload (decoder-configured)
-//       20      4  reserved2    must be 0
-//       24      8  payload_fnv  fnv1a64(payload)
+//       20      4  tenant_len   v2: QoS tenant-id prefix length; v1: must be 0
+//       24      8  payload_fnv  fnv1a64(payload region)
 //       32      8  trace_id     distributed trace id (v2; 0 = untraced)
 //       40      8  parent_span_id  sender's span (v2; 0 = root)
 //       48      …  payload
@@ -27,6 +27,17 @@
 // decoder accepts both: v1 frames simply decode with zero trace fields,
 // so trace context is always *on the wire* (zero when absent or when
 // built with -DPSLOCAL_OBS=OFF) without breaking older byte streams.
+//
+// The QoS tenant id (docs/qos.md) rides as an optional prefix of the
+// payload region: `tenant_len` (the former reserved2 word) names how
+// many of the `payload_len` bytes are the tenant id; the logical
+// payload is the remainder.  The checksum covers the whole region, so
+// a bit-flipped tenant id is caught like any payload corruption.  A
+// frame with no tenant (tenant_len 0 — every pre-QoS sender) is
+// byte-identical to the old encoding, which keeps recorded replay
+// streams valid.  The decoder rejects tenant_len > payload_len (a
+// length lie cannot move the payload split past the region) and bounds
+// tenant ids at kMaxTenantLen.  v1 frames cannot carry a tenant.
 //
 // Payload encodings reuse the canonical serialization style of
 // util/hash (fixed-width little-endian words, length-prefixed strings):
@@ -63,6 +74,8 @@ inline constexpr std::size_t kMaxPayload = 16u << 20;
 /// encoding carries no per-vertex bytes, so without this bound a
 /// length-lied vertex count would size the incidence index at will.
 inline constexpr std::uint64_t kMaxWireVertices = 1u << 24;
+/// Bound on the tenant-id prefix (a tenant name, not a data channel).
+inline constexpr std::size_t kMaxTenantLen = 256;
 
 enum class FrameKind : std::uint8_t {
   kRequest = 1,        // payload: encode_request
@@ -83,12 +96,17 @@ struct Frame {
   // frames and from untraced senders).
   std::uint64_t trace_id = 0;
   std::uint64_t parent_span_id = 0;
+  // QoS tenant id (v2 payload-region prefix; empty = default tenant —
+  // and an empty tenant leaves the wire bytes identical to pre-QoS
+  // frames).  Never part of the request payload or any cache key.
+  std::string tenant;
 };
 
 /// Serialize a frame (header + payload) into wire bytes.  `version`
 /// must be 1 or 2; version 1 drops the trace words (compatibility
-/// shim, used by tests and old-peer simulation).
-/// PSL_EXPECTS payload.size() <= kMaxPayload.
+/// shim, used by tests and old-peer simulation) and requires an empty
+/// tenant.  PSL_EXPECTS tenant.size() + payload.size() <= kMaxPayload
+/// and tenant.size() <= kMaxTenantLen.
 [[nodiscard]] std::string encode_frame(const Frame& frame,
                                        std::uint8_t version = kVersion);
 
@@ -155,17 +173,27 @@ class FrameDecoder {
                                    std::string* error);
 
 /// Typed admission NACK: the request was not admitted and nothing was
-/// or will be computed for it.  kQueueFull is retryable by contract.
+/// or will be computed for it.  kQueueFull and kShedRetryAfter are
+/// retryable by contract; kShedRetryAfter additionally carries a
+/// deterministic backoff hint (microseconds) that retry paths honor.
 enum class NackCode : std::uint8_t {
   kQueueFull = 1,
   kShutdown = 2,
+  kShedRetryAfter = 3,
 };
 
 [[nodiscard]] const char* nack_name(NackCode code);
 
-[[nodiscard]] std::string encode_nack(NackCode code);
+/// NACK payload: code u8, then for kShedRetryAfter a u64 backoff hint
+/// in microseconds (0 for the other codes; their payload stays the
+/// single pre-QoS byte).
+[[nodiscard]] std::string encode_nack(NackCode code,
+                                      std::uint64_t retry_after_us = 0);
+/// Inverse of encode_nack.  `retry_after_us` (optional) receives the
+/// backoff hint (0 unless the code is kShedRetryAfter).
 [[nodiscard]] bool decode_nack(std::string_view payload, NackCode& out,
-                               std::string* error);
+                               std::string* error,
+                               std::uint64_t* retry_after_us = nullptr);
 
 /// Decode the canonical hypergraph bytes produced by canonical_bytes()
 /// (util/hash.hpp).  Validates counts against the available bytes

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <map>
 #include <sstream>
+#include <thread>
 
 #include "net/wire.hpp"
 #include "obs/obs.hpp"
@@ -12,6 +13,8 @@
 #include "qc/gen.hpp"
 #include "qc/oracles.hpp"
 #include "qc/shrink.hpp"
+#include "qos/fair_queue.hpp"
+#include "service/engine.hpp"
 #include "shard/shard.hpp"
 #include "util/hash.hpp"
 #include "util/json.hpp"
@@ -262,6 +265,13 @@ net::wire::Frame arbitrary_frame(Rng& rng) {
         }
       }
       frame.payload = net::wire::encode_request(req);
+      // Some requests ride with a QoS tenant id — the optional v2
+      // header field (docs/qos.md); the decoder must keep it and the
+      // payload apart under any chunking.
+      if (rng.next_bool(0.3)) {
+        for (std::size_t i = 1 + rng.next_below(12); i > 0; --i)
+          frame.tenant += static_cast<char>('a' + rng.next_below(26));
+      }
       break;
     }
     case 1: {
@@ -278,9 +288,20 @@ net::wire::Frame arbitrary_frame(Rng& rng) {
     }
     default:
       frame.kind = net::wire::FrameKind::kNack;
-      frame.payload = net::wire::encode_nack(
-          rng.next_bool(0.5) ? net::wire::NackCode::kQueueFull
-                             : net::wire::NackCode::kShutdown);
+      switch (rng.next_below(3)) {
+        case 0:
+          frame.payload =
+              net::wire::encode_nack(net::wire::NackCode::kQueueFull);
+          break;
+        case 1:
+          frame.payload =
+              net::wire::encode_nack(net::wire::NackCode::kShutdown);
+          break;
+        default:  // shed NACK carries its retry hint in the payload
+          frame.payload = net::wire::encode_nack(
+              net::wire::NackCode::kShedRetryAfter, rng.next_u64() >> 20);
+          break;
+      }
       break;
   }
   return frame;
@@ -354,6 +375,7 @@ Property net_frame_property() {
             for (std::size_t i = 0; i < count; ++i) {
               if (run.frames[i].kind != sent[i].kind ||
                   run.frames[i].request_id != sent[i].request_id ||
+                  run.frames[i].tenant != sent[i].tenant ||
                   run.frames[i].payload != sent[i].payload)
                 return fail("frame round trip not byte-exact",
                             "frame index " + std::to_string(i));
@@ -362,7 +384,10 @@ Property net_frame_property() {
             // Mutations of a single valid frame.
             const net::wire::Frame victim = arbitrary_frame(rng);
             const std::string bytes = net::wire::encode_frame(victim);
-            switch (rng.next_below(4)) {
+            // payload_len on the wire covers the tenant prefix too.
+            const std::size_t region_size =
+                victim.tenant.size() + victim.payload.size();
+            switch (rng.next_below(5)) {
               case 0: {  // truncation: a torn frame is starvation, not UB
                 const std::size_t keep = rng.next_below(bytes.size());
                 run = run_decoder(rng, std::string_view(bytes).substr(0, keep));
@@ -391,17 +416,35 @@ Property net_frame_property() {
                 std::string lied = bytes;
                 const std::uint64_t lie = rng.next_bool(0.5)
                                               ? rng.next_u64()  // often huge
-                                              : rng.next_below(
-                                                    victim.payload.size() + 64);
+                                              : rng.next_below(region_size + 64);
                 for (int i = 0; i < 4; ++i)
                   lied[16 + static_cast<std::size_t>(i)] =
                       static_cast<char>(lie >> (8 * i));
                 run = run_decoder(rng, lied);
                 const std::uint32_t new_len =
                     static_cast<std::uint32_t>(lie);
-                if (new_len != victim.payload.size() && !run.frames.empty())
+                if (new_len != region_size && !run.frames.empty())
                   return fail("length-lied frame decoded as valid",
                               "lie=" + std::to_string(new_len));
+                break;
+              }
+              case 3: {  // tenant-length lie beyond the payload bound:
+                         // the decoder must reject before trusting it
+                         // (regression pin — a lying tenant_len once
+                         // sliced past the checksummed region).
+                std::string lied = bytes;
+                const std::uint64_t lie =
+                    region_size + 1 + rng.next_below(1u << 20);
+                for (int i = 0; i < 4; ++i)
+                  lied[20 + static_cast<std::size_t>(i)] =
+                      static_cast<char>(lie >> (8 * i));
+                run = run_decoder(rng, lied);
+                if (!run.corrupt)
+                  return fail("tenant length beyond payload bound not "
+                              "flagged corrupt",
+                              "tenant_len=" + std::to_string(lie) +
+                                  " payload_len=" +
+                                  std::to_string(region_size));
                 break;
               }
               default: {  // garbage prefix: wrong magic is caught at once
@@ -790,6 +833,186 @@ Property mis_repair_property(const FuzzOptions& opts) {
           }};
 }
 
+/// qos_fairness: with every lane backlogged, one full deficit-round-
+/// robin round serves exactly quantum x weight requests per tenant —
+/// the weighted-throughput-share guarantee, pinned exactly rather than
+/// asymptotically.  And the whole (config, admission schedule) -> pop
+/// sequence map is deterministic: a second queue built from the same
+/// seed pops the identical tenant sequence.  The queue is driven with a
+/// synthetic submit_ns clock and no worker threads, so the pinned
+/// sequence is byte-identical under any --threads setting.
+Property qos_fairness_property() {
+  return {"qos_fairness", [](Rng& rng) -> std::optional<Failure> {
+            const auto fail = [](std::string msg, std::string witness) {
+              Failure f;
+              f.message = std::move(msg);
+              f.counterexample = std::move(witness);
+              return f;
+            };
+            qos::QosConfig config;
+            config.enabled = true;
+            config.seed = rng.next_u64();
+            config.quantum = 1 + rng.next_below(4);
+            const std::size_t tenant_count = 2 + rng.next_below(3);
+            std::uint64_t total_weight = 0;
+            for (std::size_t i = 0; i < tenant_count; ++i) {
+              qos::TenantConfig t;
+              t.name = std::string(1, static_cast<char>('a' + i));
+              t.weight = 1 + rng.next_below(4);
+              total_weight += t.weight;
+              config.tenants.push_back(t);
+            }
+            std::ostringstream witness;
+            witness << "seed=" << config.seed << " quantum=" << config.quantum
+                    << " weights=";
+            for (const auto& t : config.tenants) witness << t.weight << ",";
+
+            // Backlog every lane with two rounds' worth of requests, in
+            // a random interleave under a synthetic admission clock.
+            std::vector<std::size_t> schedule;
+            for (std::size_t i = 0; i < tenant_count; ++i) {
+              const std::size_t n =
+                  2 * config.quantum * config.tenants[i].weight;
+              for (std::size_t j = 0; j < n; ++j) schedule.push_back(i);
+            }
+            rng.shuffle(schedule);
+            const auto fill =
+                [&](qos::FairQueue& q) -> std::optional<std::string> {
+              std::uint64_t clock = 1;
+              for (const std::size_t idx : schedule) {
+                service::Pending p;
+                p.request.tenant = config.tenants[idx].name;
+                p.submit_ns = clock++;
+                const auto v = q.admit(std::move(p));
+                if (v.admission != service::Admission::kAccepted)
+                  return "rate-unlimited tenant was not admitted: " +
+                         std::string(service::admission_name(v.admission));
+              }
+              return std::nullopt;
+            };
+            qos::FairQueue q1(config, schedule.size() + 1);
+            qos::FairQueue q2(config, schedule.size() + 1);
+            if (const auto e = fill(q1)) return fail(*e, witness.str());
+            if (const auto e = fill(q2)) return fail(*e, witness.str());
+
+            // One full DRR round over all-backlogged lanes.
+            const std::size_t round = config.quantum * total_weight;
+            std::vector<service::Pending> pop1, pop2;
+            if (q1.pop_batch(pop1, round) != round ||
+                q2.pop_batch(pop2, round) != round)
+              return fail("backlogged round popped short", witness.str());
+            std::map<std::string, std::size_t> counts;
+            for (const auto& p : pop1) counts[p.request.tenant]++;
+            for (const auto& t : config.tenants) {
+              const std::size_t expect = config.quantum * t.weight;
+              if (counts[t.name] != expect)
+                return fail("tenant " + t.name + " served " +
+                                std::to_string(counts[t.name]) +
+                                " of a round, expected " +
+                                std::to_string(expect),
+                            witness.str());
+            }
+            for (std::size_t i = 0; i < round; ++i) {
+              if (pop1[i].request.tenant != pop2[i].request.tenant)
+                return fail("identical queues diverged at pop " +
+                                std::to_string(i),
+                            witness.str());
+            }
+            return std::nullopt;
+          }};
+}
+
+/// qos_shed_purity: shedding is an admission-time verdict with no
+/// compute behind it, so a request shed by the token bucket and
+/// resubmitted after the hint must produce byte-identical payload to a
+/// qos-off engine — and the tenant id itself must never leak into the
+/// bytes (the reference request carries no tenant at all).
+Property qos_shed_purity_property() {
+  return {"qos_shed_purity", [](Rng& rng) -> std::optional<Failure> {
+            const auto fail = [](std::string msg, std::string witness) {
+              Failure f;
+              f.message = std::move(msg);
+              f.counterexample = std::move(witness);
+              return f;
+            };
+            service::TraceParams tp;
+            tp.seed = rng.next_u64();
+            tp.requests = 1;
+            tp.instance_pool = 1;
+            tp.n = 12;
+            tp.m = 10;
+            tp.k = 2;
+            const service::Trace trace = service::generate_trace(tp);
+            const std::string witness = "trace seed=" +
+                                        std::to_string(tp.seed);
+
+            // Reference bytes: qos off, no tenant field.
+            service::ServiceEngine ref{service::EngineConfig{}};
+            ref.start();
+            auto ref_sub = ref.submit(trace.requests[0]);
+            if (ref_sub.admission != service::Admission::kAccepted)
+              return fail("reference engine rejected the probe", witness);
+            const service::Response ref_resp = ref_sub.response.get();
+            ref.stop();
+            if (ref_resp.status != service::Response::Status::kOk)
+              return fail("reference serve failed: " + ref_resp.reason,
+                          witness);
+
+            // QoS engine with a 1-token bucket: the first accept drains
+            // it, so an immediate resubmit sheds with a refill hint.
+            service::EngineConfig cfg;
+            cfg.qos.enabled = true;
+            cfg.qos.seed = rng.next_u64();
+            qos::TenantConfig tenant;
+            tenant.name = "t";
+            tenant.rate_rps = 1000;  // 1 token per ms
+            tenant.burst = 1;
+            cfg.qos.tenants = {tenant};
+            service::ServiceEngine engine(cfg);
+            engine.start();
+            service::Request probe = trace.requests[0];
+            probe.tenant = "t";
+
+            bool shed_seen = false;
+            std::string retried_bytes;
+            for (int attempt = 0; attempt < 200 && retried_bytes.empty();
+                 ++attempt) {
+              auto sub = engine.submit(probe);
+              if (sub.admission == service::Admission::kShed) {
+                if (sub.retry_after_us == 0)
+                  return fail("shed verdict carried no backoff hint",
+                              witness);
+                shed_seen = true;
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(sub.retry_after_us));
+                continue;
+              }
+              if (sub.admission != service::Admission::kAccepted)
+                return fail(
+                    "unexpected admission: " +
+                        std::string(service::admission_name(sub.admission)),
+                    witness);
+              const service::Response resp = sub.response.get();
+              if (resp.status != service::Response::Status::kOk)
+                return fail("qos serve failed: " + resp.reason, witness);
+              if (resp.result != ref_resp.result)
+                return fail("qos-on bytes diverge from qos-off bytes",
+                            witness);
+              if (shed_seen) retried_bytes = resp.result;
+              // Not shed yet: this accept drained the bucket — the next
+              // immediate submit sheds.
+            }
+            engine.stop();
+            if (!shed_seen)
+              return fail("token bucket never shed across 200 submits",
+                          witness);
+            if (retried_bytes != ref_resp.result)
+              return fail("shed-then-retried bytes diverge from unshed run",
+                          witness);
+            return std::nullopt;
+          }};
+}
+
 Property planted_bug_property() {
   return {"planted-bug", [](Rng& rng) -> std::optional<Failure> {
             Graph g = arbitrary_graph(rng);
@@ -824,6 +1047,8 @@ std::vector<Property> default_properties(const FuzzOptions& opts) {
   props.push_back(mix64_avalanche_property());
   props.push_back(shard_ring_property());
   props.push_back(shard_failover_property());
+  props.push_back(qos_fairness_property());
+  props.push_back(qos_shed_purity_property());
   props.push_back(trace_propagation_property());
   props.push_back(solver_kernel_lift_property());
   props.push_back(mis_repair_property(opts));

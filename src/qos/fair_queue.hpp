@@ -1,0 +1,92 @@
+// Weighted-fair admission queue: per-tenant FIFOs drained by a seeded
+// deficit-round-robin scheduler.
+//
+// Replaces the engine's single MPMC RequestQueue when EngineConfig.qos
+// is on.  Admission applies, in order: the global capacity bound
+// (kQueueFull — identical contract to RequestQueue), the tenant's
+// optional per-lane queue bound and token bucket (kShed with a
+// deterministic retry_after_us hint), then enqueue into the tenant's
+// FIFO stamped with its deadline class.  The dispatcher's pop_batch
+// visits tenant lanes in a seed-fixed permutation and credits each
+// visit `quantum x weight` deficit, so backlogged tenants drain in
+// proportion to their weights — the qc `qos_fairness` property pins the
+// convergence, and because every decision is a pure function of the
+// (tenant, submit_ns) admission schedule, the whole queue is
+// deterministic under replay.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "qos/tenant.hpp"
+#include "service/queue.hpp"
+
+namespace pslocal::qos {
+
+class FairQueue final : public service::AdmissionQueue {
+ public:
+  /// `capacity` bounds the total across all tenant lanes (the analogue
+  /// of RequestQueue's bound; EngineConfig.queue_capacity).
+  FairQueue(const QosConfig& config, std::size_t capacity);
+
+  [[nodiscard]] service::AdmissionVerdict admit(
+      service::Pending&& pending) override;
+  std::size_t pop_batch(std::vector<service::Pending>& out,
+                        std::size_t max) override;
+  void shutdown() override;
+  std::size_t drain(std::vector<service::Pending>& out) override;
+  [[nodiscard]] std::size_t depth() const override;
+  [[nodiscard]] std::size_t capacity() const override { return capacity_; }
+
+  [[nodiscard]] const TenantRegistry& registry() const { return registry_; }
+
+  /// Deadline sheds happen at dispatch (the engine owns the clock
+  /// there); the engine reports them back so per-tenant stats are
+  /// complete in one place.
+  void record_deadline_shed(std::size_t tenant);
+
+  /// Point-in-time per-tenant stats for service::stats_json.
+  struct TenantSnapshot {
+    std::string name;            // "default" for the default tenant
+    std::uint64_t weight = 1;
+    std::size_t depth = 0;       // requests queued in this lane now
+    std::uint64_t admitted = 0;
+    std::uint64_t shed_rate = 0;      // token-bucket / lane-bound sheds
+    std::uint64_t shed_deadline = 0;  // past-deadline sheds at dispatch
+    std::uint64_t deficit = 0;        // current DRR deficit carry
+  };
+  [[nodiscard]] std::vector<TenantSnapshot> tenant_stats() const;
+
+ private:
+  struct Lane {
+    explicit Lane(TokenBucket b) : bucket(b) {}
+    // Explicitly noexcept so vector growth moves lanes instead of
+    // falling back to the (deleted — Pending holds a promise) copy.
+    Lane(Lane&& other) noexcept = default;
+    Lane& operator=(Lane&& other) noexcept = default;
+
+    std::deque<service::Pending> fifo;
+    TokenBucket bucket;
+    std::uint64_t deficit = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t shed_rate = 0;
+    std::uint64_t shed_deadline = 0;
+  };
+
+  const TenantRegistry registry_;
+  const std::size_t capacity_;
+  const std::uint64_t quantum_;
+  std::vector<std::size_t> order_;  // seeded DRR visit permutation
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Lane> lanes_;
+  std::size_t total_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace pslocal::qos

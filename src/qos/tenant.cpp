@@ -1,0 +1,65 @@
+#include "qos/tenant.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace pslocal::qos {
+
+TenantRegistry::TenantRegistry(std::vector<TenantConfig> tenants) {
+  tenants_.push_back(TenantConfig{});  // index 0: the default tenant
+  for (auto& t : tenants) {
+    if (t.name.empty()) {  // policy override for the default tenant
+      PSL_EXPECTS_MSG(t.weight > 0, "qos: tenant weight must be positive");
+      tenants_[0] = std::move(t);
+      continue;
+    }
+    PSL_EXPECTS_MSG(t.weight > 0, "qos: tenant weight must be positive");
+    const auto [it, inserted] = index_.emplace(t.name, tenants_.size());
+    PSL_EXPECTS_MSG(inserted, "qos: duplicate tenant name");
+    (void)it;
+    tenants_.push_back(std::move(t));
+  }
+}
+
+std::size_t TenantRegistry::resolve(std::string_view name) const {
+  if (name.empty()) return 0;
+  const auto it = index_.find(std::string(name));
+  return it == index_.end() ? 0 : it->second;
+}
+
+const TenantConfig& TenantRegistry::config(std::size_t index) const {
+  PSL_EXPECTS(index < tenants_.size());
+  return tenants_[index];
+}
+
+TokenBucket::TokenBucket(double rate_rps, double burst)
+    : rate_per_ns_(rate_rps / 1e9),
+      capacity_(burst > 0 ? burst : std::max(8.0, rate_rps / 10.0)),
+      tokens_(capacity_) {
+  PSL_EXPECTS_MSG(rate_rps >= 0, "qos: negative token-bucket rate");
+}
+
+TokenBucket::Verdict TokenBucket::try_acquire(std::uint64_t now_ns) {
+  if (rate_per_ns_ <= 0) return {true, 0};
+  if (now_ns > last_ns_) {
+    tokens_ = std::min(
+        capacity_, tokens_ + static_cast<double>(now_ns - last_ns_) *
+                                 rate_per_ns_);
+    last_ns_ = now_ns;
+  }
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return {true, 0};
+  }
+  // Deterministic hint: exactly how long until a whole token refills at
+  // the configured rate (rounded up so a retry at the hint succeeds).
+  const double deficit_ns = (1.0 - tokens_) / rate_per_ns_;
+  const auto hint_us =
+      static_cast<std::uint64_t>(std::ceil(deficit_ns / 1e3));
+  return {false, std::max<std::uint64_t>(hint_us, 1)};
+}
+
+}  // namespace pslocal::qos

@@ -26,10 +26,26 @@ ServiceEngine::ServiceEngine(EngineConfig config)
     : config_(config),
       sched_(config.scheduler != nullptr ? config.scheduler
                                          : &runtime::global_scheduler()),
-      queue_(config.queue_capacity),
       cache_(config.cache),
       graph_cache_(config.graph_cache_entries),
-      sessions_(config.mutation_sessions) {}
+      sessions_(config.mutation_sessions) {
+  if (config_.qos.enabled) {
+    auto fq = std::make_unique<qos::FairQueue>(config_.qos,
+                                               config_.queue_capacity);
+    fair_queue_ = fq.get();
+    queue_ = std::move(fq);
+    const qos::TenantRegistry& reg = fair_queue_->registry();
+    tenant_latency_.reserve(reg.size());
+    for (std::size_t i = 0; i < reg.size(); ++i) {
+      const std::string& name = reg.config(i).name;
+      const std::string metric =
+          "qos.latency_ns." + (name.empty() ? std::string("default") : name);
+      tenant_latency_.emplace_back(metric.c_str());
+    }
+  } else {
+    queue_ = std::make_unique<RequestQueue>(config_.queue_capacity);
+  }
+}
 
 ServiceEngine::~ServiceEngine() { stop(); }
 
@@ -48,12 +64,12 @@ void ServiceEngine::stop(StopMode mode) {
   }
   if (mode == StopMode::kReject)
     reject_drained_.store(true, std::memory_order_release);
-  queue_.shutdown();
+  queue_->shutdown();
   if (dispatcher_.joinable()) dispatcher_.join();
   // Anything still queued was never dispatched (engine not started, or
   // raced the shutdown): answer it rather than abandoning the future.
   std::vector<Pending> stragglers;
-  queue_.drain(stragglers);
+  queue_->drain(stragglers);
   reject_all(stragglers, "shutdown");
 }
 
@@ -71,7 +87,9 @@ ServiceEngine::Submitted ServiceEngine::submit(Request request) {
   std::future<Response> future = pending.promise.get_future();
 
   Submitted out;
-  out.admission = queue_.try_push(std::move(pending));
+  const AdmissionVerdict verdict = queue_->admit(std::move(pending));
+  out.admission = verdict.admission;
+  out.retry_after_us = verdict.retry_after_us;
   // Admission wait is the time submit() spent getting a verdict from
   // the queue (lock contention under load); queue depth at entry is
   // how much work was already ahead of an accepted request.
@@ -80,7 +98,7 @@ ServiceEngine::Submitted ServiceEngine::submit(Request request) {
   switch (out.admission) {
     case Admission::kAccepted:
       accepted_.fetch_add(1, std::memory_order_relaxed);
-      stages::record(stages::Stage::kQueueDepth, kind, queue_.depth(),
+      stages::record(stages::Stage::kQueueDepth, kind, queue_->depth(),
                      trace_id);
       out.response = std::move(future);
       break;
@@ -89,6 +107,9 @@ ServiceEngine::Submitted ServiceEngine::submit(Request request) {
       break;
     case Admission::kShutdown:
       rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Admission::kShed:
+      shed_.fetch_add(1, std::memory_order_relaxed);
       break;
   }
   return out;
@@ -99,15 +120,49 @@ void ServiceEngine::dispatcher_main() {
   std::vector<Pending> drained;
   for (;;) {
     drained.clear();
-    const std::size_t n = queue_.pop_batch(drained, config_.max_batch);
+    const std::size_t n = queue_->pop_batch(drained, config_.max_batch);
     if (n == 0) return;  // shutdown and empty
     if (reject_drained_.load(std::memory_order_acquire)) {
       reject_all(drained, "shutdown");
       continue;
     }
+    if (fair_queue_ != nullptr) {
+      shed_expired(drained);
+      if (drained.empty()) continue;
+    }
     dispatch_cycles_.fetch_add(1, std::memory_order_relaxed);
     serve_cycle(drained);
   }
+}
+
+void ServiceEngine::shed_expired(std::vector<Pending>& drained) {
+  // Deadline-aware shedding: a request that already blew its tenant's
+  // deadline class gets a shed answer now instead of burning solver
+  // time that cannot help it.  The net tier turns the response into a
+  // kShedRetryAfter NACK carrying retry_after_us.
+  const std::uint64_t now = now_ns();
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < drained.size(); ++i) {
+    Pending& pending = drained[i];
+    if (pending.deadline_ns != 0 && now > pending.deadline_ns) {
+      const qos::TenantConfig& cfg =
+          fair_queue_->registry().config(pending.tenant);
+      Response resp;
+      resp.id = pending.request.id;
+      resp.status = Response::Status::kRejected;
+      resp.reason = "shed";
+      resp.retry_after_us = cfg.deadline_ms * 1000;
+      resp.total_ns = now - pending.submit_ns;
+      fair_queue_->record_deadline_shed(pending.tenant);
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+      pending.promise.set_value(std::move(resp));
+      continue;
+    }
+    if (kept != i) drained[kept] = std::move(pending);
+    ++kept;
+  }
+  drained.resize(kept);
 }
 
 void ServiceEngine::serve_cycle(std::vector<Pending>& drained) {
@@ -203,6 +258,9 @@ void ServiceEngine::serve_cycle(std::vector<Pending>& drained) {
       key_served_before[b] = true;
       resp.total_ns = now_ns() - pending.submit_ns;
       g_latency_ns.record(resp.total_ns);
+      if (!tenant_latency_.empty())
+        tenant_latency_[pending.tenant].record(resp.total_ns,
+                                               pending.request.trace_id);
       g_queue_ns.record(resp.queue_ns);
       if (resp.compute_ns != 0) g_compute_ns.record(resp.compute_ns);
       served_.fetch_add(1, std::memory_order_relaxed);
@@ -235,14 +293,19 @@ ServiceEngine::Stats ServiceEngine::stats() const {
   s.accepted = accepted_.load(std::memory_order_relaxed);
   s.rejected_full = rejected_full_.load(std::memory_order_relaxed);
   s.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
   s.served = served_.load(std::memory_order_relaxed);
   s.served_cached = served_cached_.load(std::memory_order_relaxed);
   s.errors = errors_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
   s.dispatch_cycles = dispatch_cycles_.load(std::memory_order_relaxed);
+  s.queue_capacity = queue_->capacity();
   s.cache = cache_.stats();
   s.graph_cache = graph_cache_.stats();
   s.sessions = sessions_.stats();
+  s.qos_enabled = fair_queue_ != nullptr;
+  if (fair_queue_ != nullptr) s.qos_tenants = fair_queue_->tenant_stats();
   return s;
 }
 
@@ -268,7 +331,25 @@ std::string stats_json(const ServiceEngine::Stats& stats) {
      << "},\"sessions\":{\"hits\":" << stats.sessions.hits
      << ",\"misses\":" << stats.sessions.misses
      << ",\"evictions\":" << stats.sessions.evictions
-     << ",\"entries\":" << stats.sessions.entries << "}}";
+     << ",\"entries\":" << stats.sessions.entries
+     << "},\"shed\":" << stats.shed
+     << ",\"shed_deadline\":" << stats.shed_deadline
+     << ",\"queue_capacity\":" << stats.queue_capacity
+     << ",\"qos\":{\"enabled\":" << (stats.qos_enabled ? 1 : 0)
+     << ",\"tenants\":[";
+  for (std::size_t i = 0; i < stats.qos_tenants.size(); ++i) {
+    const auto& t = stats.qos_tenants[i];
+    if (i > 0) os << ",";
+    // Tenant names come from EngineConfig (never raw wire bytes — an
+    // unknown wire tenant resolves to "default"), so they are emitted
+    // verbatim; configs must keep them JSON-safe.
+    os << "{\"name\":\"" << t.name << "\",\"weight\":" << t.weight
+       << ",\"depth\":" << t.depth << ",\"admitted\":" << t.admitted
+       << ",\"shed_rate\":" << t.shed_rate
+       << ",\"shed_deadline\":" << t.shed_deadline
+       << ",\"deficit\":" << t.deficit << "}";
+  }
+  os << "]}}";
   return os.str();
 }
 

@@ -35,6 +35,8 @@
 #include <memory>
 #include <thread>
 
+#include "obs/obs.hpp"
+#include "qos/fair_queue.hpp"
 #include "runtime/global.hpp"
 #include "service/batcher.hpp"
 #include "service/cache.hpp"
@@ -56,6 +58,10 @@ struct EngineConfig {
   /// "<name>.dispatcher" (its Perfetto track name), so a multi-engine
   /// process — one engine per shard in LocalCluster — reads cleanly.
   std::string name = "engine";
+  /// Multi-tenant QoS (docs/qos.md).  enabled replaces the single
+  /// RequestQueue with a qos::FairQueue over `qos.tenants`; off keeps
+  /// the pre-QoS admission path bit-for-bit.
+  qos::QosConfig qos;
 };
 
 class ServiceEngine {
@@ -93,6 +99,9 @@ class ServiceEngine {
     Admission admission = Admission::kShutdown;
     /// Valid only when admission == kAccepted.
     std::future<Response> response;
+    /// Deterministic backoff hint when admission == kShed (rides the
+    /// kShedRetryAfter NACK); 0 otherwise.
+    std::uint64_t retry_after_us = 0;
   };
 
   /// Non-blocking submission.  Fills request.instance_hash from the
@@ -106,28 +115,43 @@ class ServiceEngine {
     /// Shutdown rejections: refused at submit() plus queued requests
     /// answered kRejected("shutdown") when the engine stopped.
     std::uint64_t rejected_shutdown = 0;
+    /// QoS load sheds: over-budget at admission plus past-deadline at
+    /// dispatch (the latter also counted in shed_deadline).
+    std::uint64_t shed = 0;
+    std::uint64_t shed_deadline = 0;
     std::uint64_t served = 0;        // responses fulfilled (kOk or kError)
     std::uint64_t served_cached = 0; // of which cache_hit (cache or batch)
     std::uint64_t errors = 0;
     std::uint64_t batches = 0;       // distinct-key groups executed
     std::uint64_t dispatch_cycles = 0;
+    std::size_t queue_capacity = 0;  // admission bound (self-describing
+                                     // overload scrapes)
     SolverCache::Stats cache;
     ConflictGraphCache::Stats graph_cache;
     MutationSessionStore::Stats sessions;
+    bool qos_enabled = false;
+    std::vector<qos::FairQueue::TenantSnapshot> qos_tenants;
   };
   [[nodiscard]] Stats stats() const;
 
-  [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_->depth(); }
   [[nodiscard]] const EngineConfig& config() const { return config_; }
 
  private:
   void dispatcher_main();
   void serve_cycle(std::vector<Pending>& drained);
+  void shed_expired(std::vector<Pending>& drained);
   void reject_all(std::vector<Pending>& pendings, const char* reason);
 
   EngineConfig config_;
   runtime::Scheduler* sched_;  // never null after construction
-  RequestQueue queue_;
+  std::unique_ptr<AdmissionQueue> queue_;
+  /// Non-owning view of *queue_ when config_.qos.enabled (per-tenant
+  /// stats + deadline-shed reporting); nullptr otherwise.
+  qos::FairQueue* fair_queue_ = nullptr;
+  /// Per-tenant "qos.latency_ns.<tenant>" histograms (exemplar-tagged
+  /// with the request trace id), indexed like the tenant registry.
+  std::vector<obs::Histogram> tenant_latency_;
   SolverCache cache_;
   ConflictGraphCache graph_cache_;
   MutationSessionStore sessions_;
@@ -144,6 +168,8 @@ class ServiceEngine {
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> rejected_full_{0};
   std::atomic<std::uint64_t> rejected_shutdown_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> shed_deadline_{0};
   std::atomic<std::uint64_t> served_{0};
   std::atomic<std::uint64_t> served_cached_{0};
   std::atomic<std::uint64_t> errors_{0};

@@ -17,6 +17,7 @@ const char* admission_name(Admission a) {
     case Admission::kAccepted: return "accepted";
     case Admission::kQueueFull: return "queue_full";
     case Admission::kShutdown: return "shutdown";
+    case Admission::kShed: return "shed";
   }
   return "unknown";
 }

@@ -29,19 +29,58 @@ enum class Admission : std::uint8_t {
   kAccepted,
   kQueueFull,  // bounded queue at capacity; retry or shed load
   kShutdown,   // engine stopping; no further requests served
+  kShed,       // QoS load shed (over-budget tenant); retry after hint
 };
 
-/// Stable wire name ("accepted", "queue_full", "shutdown").
+/// Stable wire name ("accepted", "queue_full", "shutdown", "shed").
 [[nodiscard]] const char* admission_name(Admission a);
+
+/// Admission outcome plus the deterministic backoff hint that rides a
+/// kShedRetryAfter NACK (0 for every other admission).
+struct AdmissionVerdict {
+  Admission admission = Admission::kShutdown;
+  std::uint64_t retry_after_us = 0;
+};
 
 /// One admitted request travelling through the engine.
 struct Pending {
   Request request;
   std::promise<Response> promise;
-  std::uint64_t submit_ns = 0;  // now_ns() at admission
+  std::uint64_t submit_ns = 0;    // now_ns() at admission
+  std::size_t tenant = 0;         // registry index (0 = default tenant)
+  std::uint64_t deadline_ns = 0;  // absolute deadline; 0 = none
 };
 
-class RequestQueue {
+/// Admission-queue contract the engine dispatches from.  Two
+/// implementations: the single-FIFO RequestQueue below (qos off) and
+/// qos::FairQueue (per-tenant FIFOs + deficit-round-robin, qos on).
+class AdmissionQueue {
+ public:
+  virtual ~AdmissionQueue() = default;
+
+  /// Non-blocking admission.  On kAccepted the pending request has been
+  /// moved in; otherwise it is left untouched and the verdict says why.
+  [[nodiscard]] virtual AdmissionVerdict admit(Pending&& pending) = 0;
+
+  /// Block until at least one request is queued (or shutdown), then move
+  /// up to `max` requests into `out` (appended).  Returns how many were
+  /// popped; 0 means shutdown-and-empty — the consumer should exit.
+  virtual std::size_t pop_batch(std::vector<Pending>& out,
+                                std::size_t max) = 0;
+
+  /// Reject all future pushes and wake blocked consumers.  Requests
+  /// already queued remain poppable (drain before destroying).
+  virtual void shutdown() = 0;
+
+  /// Move out everything still queued without blocking (the engine's
+  /// stop path, which rejects stragglers).
+  virtual std::size_t drain(std::vector<Pending>& out) = 0;
+
+  [[nodiscard]] virtual std::size_t depth() const = 0;
+  [[nodiscard]] virtual std::size_t capacity() const = 0;
+};
+
+class RequestQueue final : public AdmissionQueue {
  public:
   explicit RequestQueue(std::size_t capacity);
 
@@ -49,21 +88,14 @@ class RequestQueue {
   /// pending request has been moved in; otherwise it is left untouched.
   [[nodiscard]] Admission try_push(Pending&& pending);
 
-  /// Block until at least one request is queued (or shutdown), then move
-  /// up to `max` requests into `out` (appended, FIFO).  Returns how many
-  /// were popped; 0 means shutdown-and-empty — the consumer should exit.
-  std::size_t pop_batch(std::vector<Pending>& out, std::size_t max);
-
-  /// Reject all future pushes and wake blocked consumers.  Requests
-  /// already queued remain poppable (drain before destroying).
-  void shutdown();
-
-  /// Move out everything still queued without blocking (the engine's
-  /// stop path, which rejects stragglers).
-  std::size_t drain(std::vector<Pending>& out);
-
-  [[nodiscard]] std::size_t depth() const;
-  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] AdmissionVerdict admit(Pending&& pending) override {
+    return {try_push(std::move(pending)), 0};
+  }
+  std::size_t pop_batch(std::vector<Pending>& out, std::size_t max) override;
+  void shutdown() override;
+  std::size_t drain(std::vector<Pending>& out) override;
+  [[nodiscard]] std::size_t depth() const override;
+  [[nodiscard]] std::size_t capacity() const override { return capacity_; }
 
  private:
   const std::size_t capacity_;

@@ -225,45 +225,58 @@ std::string execute_mutate(const Request& req, runtime::Scheduler& sched,
     }
   }
 
+  // cur is what we answer from.  A full-prefix hit serves the stored
+  // state in place — zero copies of the graph.  A partial hit copies,
+  // but the copy shares every adjacency row with the stored state
+  // (DynamicConflictGraph rows are COW) and apply() below reallocates
+  // only the rows the remaining script steps actually rewrite.
   MutationState state;
+  const MutationState* cur = nullptr;
   if (stored != nullptr) {
-    state = *stored;
     mutate_metrics().session_hits.add(1);
     mutate_metrics().resumed_steps.add(prefix);
+    if (prefix == req.script.size()) {
+      cur = stored.get();
+    } else {
+      state = *stored;
+    }
   } else {
     state.graph = DynamicConflictGraph(*req.instance, req.k, sched);
     state.mis = initial_mutate_mis(req, state.graph.snapshot(sched), sched);
     state.epoch = chain[0];
   }
 
-  for (std::size_t i = prefix; i < req.script.size(); ++i) {
-    const Mutation& mut = req.script[i];
-    const auto delta = state.graph.apply(mut);
-    std::size_t dropped = 0;
-    const auto survivors = remap_surviving(state.mis, delta.remap, &dropped);
-    const auto rep = repair_mis(state.graph, survivors, delta.dirty);
-    state.mis = rep.mis;
-    state.epoch = chain[i + 1];
-    MutationStepStat stat;
-    stat.op = describe(mut);
-    stat.epoch = state.epoch;
-    stat.ball = rep.ball.size();
-    stat.changed = dropped + rep.removed.size() + rep.added.size();
-    stat.triples = state.graph.triple_count();
-    stat.gk_edges = state.graph.gk_edge_count();
-    state.history.push_back(std::move(stat));
-    mutate_metrics().steps.add(1);
-    mutate_metrics().ball_size.record(rep.ball.size(), req.trace_id);
+  if (cur == nullptr) {
+    for (std::size_t i = prefix; i < req.script.size(); ++i) {
+      const Mutation& mut = req.script[i];
+      const auto delta = state.graph.apply(mut);
+      std::size_t dropped = 0;
+      const auto survivors = remap_surviving(state.mis, delta.remap, &dropped);
+      const auto rep = repair_mis(state.graph, survivors, delta.dirty);
+      state.mis = rep.mis;
+      state.epoch = chain[i + 1];
+      MutationStepStat stat;
+      stat.op = describe(mut);
+      stat.epoch = state.epoch;
+      stat.ball = rep.ball.size();
+      stat.changed = dropped + rep.removed.size() + rep.added.size();
+      stat.triples = state.graph.triple_count();
+      stat.gk_edges = state.graph.gk_edge_count();
+      state.history.push_back(std::move(stat));
+      mutate_metrics().steps.add(1);
+      mutate_metrics().ball_size.record(rep.ball.size(), req.trace_id);
+    }
+    cur = &state;
   }
 
   // Self-check against the patched adjacency (no snapshot materialized).
-  std::vector<char> member(state.graph.triple_count(), 0);
-  for (const VertexId v : state.mis) member[v] = 1;
+  std::vector<char> member(cur->graph.triple_count(), 0);
+  for (const VertexId v : cur->mis) member[v] = 1;
   bool independent = true;
   bool maximal = true;
-  for (TripleId t = 0; t < state.graph.triple_count(); ++t) {
+  for (TripleId t = 0; t < cur->graph.triple_count(); ++t) {
     bool member_neighbor = false;
-    for (const TripleId nb : state.graph.neighbors(t)) {
+    for (const TripleId nb : cur->graph.neighbors(t)) {
       if (member[nb] != 0) {
         member_neighbor = true;
         break;
@@ -276,27 +289,29 @@ std::string execute_mutate(const Request& req, runtime::Scheduler& sched,
   auto os = payload_head(req);
   os << ",\"k\":" << req.k << ",\"solver\":\"" << req.solver
      << "\",\"seed\":" << req.seed << ",\"steps\":[";
-  for (std::size_t i = 0; i < state.history.size(); ++i) {
-    const MutationStepStat& s = state.history[i];
+  for (std::size_t i = 0; i < cur->history.size(); ++i) {
+    const MutationStepStat& s = cur->history[i];
     os << (i ? "," : "") << "{\"op\":\"" << s.op << "\",\"epoch\":\""
        << hex64(s.epoch) << "\",\"ball\":" << s.ball
        << ",\"changed\":" << s.changed << ",\"triples\":" << s.triples
        << ",\"gk_edges\":" << s.gk_edges << '}';
   }
-  os << "],\"epoch\":\"" << hex64(state.epoch) << "\",\"content\":\""
-     << hex64(state.graph.content_hash()) << "\",\"gk_hash\":\""
-     << hex64(state.graph.graph_hash())
-     << "\",\"n\":" << state.graph.vertex_count()
-     << ",\"m\":" << state.graph.edge_count()
-     << ",\"triples\":" << state.graph.triple_count()
-     << ",\"gk_edges\":" << state.graph.gk_edge_count()
-     << ",\"is_size\":" << state.mis.size()
+  os << "],\"epoch\":\"" << hex64(cur->epoch) << "\",\"content\":\""
+     << hex64(cur->graph.content_hash()) << "\",\"gk_hash\":\""
+     << hex64(cur->graph.graph_hash())
+     << "\",\"n\":" << cur->graph.vertex_count()
+     << ",\"m\":" << cur->graph.edge_count()
+     << ",\"triples\":" << cur->graph.triple_count()
+     << ",\"gk_edges\":" << cur->graph.gk_edge_count()
+     << ",\"is_size\":" << cur->mis.size()
      << ",\"independent\":" << (independent ? "true" : "false")
      << ",\"maximal\":" << (maximal ? "true" : "false");
-  append_vertex_list(os, "is", state.mis);
+  append_vertex_list(os, "is", cur->mis);
   os << '}';
 
-  if (sessions != nullptr) {
+  // A full-prefix hit is already stored under this exact key; only
+  // freshly computed states are (re)inserted.
+  if (sessions != nullptr && cur == &state) {
     const std::uint64_t key =
         session_key(state.epoch, req.k, req.solver, req.seed);
     sessions->store(key, std::make_shared<MutationState>(std::move(state)));

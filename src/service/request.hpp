@@ -73,6 +73,12 @@ struct Request {
   // so replay bytes stay identical with tracing on or off.  0 = untraced.
   std::uint64_t trace_id = 0;
   std::uint64_t parent_span_id = 0;
+
+  /// QoS tenant id (docs/qos.md), carried in the wire frame header like
+  /// the trace words — NEVER part of cache_key() or the canonical
+  /// payload, so a tenant-tagged request serves the identical bytes as
+  /// an untagged one.  Empty = the default tenant.
+  std::string tenant;
 };
 
 /// Content-addressed cache key (see header comment).  Requires a
@@ -97,6 +103,11 @@ struct Response {
   std::uint64_t queue_ns = 0;    // submit -> batch dispatch
   std::uint64_t compute_ns = 0;  // solver execution (0 on a cache hit)
   std::uint64_t total_ns = 0;    // submit -> response ready
+
+  /// QoS backoff hint for kRejected("shed") responses, server-local:
+  /// the net tier converts such a response into a kShedRetryAfter NACK
+  /// carrying this hint; it never rides encode_response.
+  std::uint64_t retry_after_us = 0;
 };
 
 class ConflictGraphCache;

@@ -198,6 +198,7 @@ net::Client::Result ShardClient::call(const service::Request& request) {
       now_ns() +
       static_cast<std::uint64_t>(config_.io_timeout_ms) * 1000000ULL;
   std::size_t backoff_round = 0;
+  std::uint64_t shed_hint_us = 0;  // largest kShedRetryAfter hint seen
 
   for (;;) {
     std::vector<pollfd> pfds;
@@ -246,6 +247,13 @@ net::Client::Result ShardClient::call(const service::Request& request) {
           if (r.nack_code == net::wire::NackCode::kQueueFull) {
             stats_.reroutes_queue_full++;
             g_reroutes.add();
+          } else if (r.nack_code == net::wire::NackCode::kShedRetryAfter) {
+            // A shed shard is healthy — it chose not to serve this
+            // tenant right now.  Reroute without marking it down, and
+            // remember the hint for the backoff sleep below.
+            stats_.reroutes_shed++;
+            g_reroutes.add();
+            shed_hint_us = std::max(shed_hint_us, r.retry_after_us);
           } else {
             // Shutdown NACK: this shard will not serve again; stop
             // offering it traffic.
@@ -281,7 +289,11 @@ net::Client::Result ShardClient::call(const service::Request& request) {
         return settle(sent.size(), last);
       }
       const std::size_t r = std::min(backoff_round, delays_us_.size() - 1);
-      std::this_thread::sleep_for(std::chrono::microseconds(delays_us_[r]));
+      // Fold in the largest shed hint seen this round: the server told
+      // us when capacity exists, so sleeping less only re-buys the NACK.
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(std::max(delays_us_[r], shed_hint_us)));
+      shed_hint_us = 0;
       backoff_round++;
       next_pref = 0;
       for (std::size_t i = 0; i < replication_ && sent.size() < replication_;

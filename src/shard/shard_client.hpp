@@ -72,6 +72,7 @@ class ShardClient {
     std::uint64_t fanout_sends = 0;   // of which beyond-the-first
     std::uint64_t duplicates_suppressed = 0;  // loser responses absorbed
     std::uint64_t reroutes_queue_full = 0;    // NACK(queue_full) reroutes
+    std::uint64_t reroutes_shed = 0;  // NACK(shed_retry_after) reroutes
     std::uint64_t failovers = 0;      // shutdown/transport replica switches
     std::uint64_t reconnects = 0;     // client rebuilds after down-marks
     std::uint64_t pending_duplicates = 0;     // unabsorbed at stats() time

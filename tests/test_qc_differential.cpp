@@ -69,7 +69,7 @@ TEST(QcDifferentialTest, DefaultPropertySetPasses) {
   opts.iters = 15;
   const FuzzReport report = run_properties(default_properties(opts), opts);
   EXPECT_TRUE(report.passed());
-  ASSERT_EQ(report.outcomes.size(), 13u);
+  ASSERT_EQ(report.outcomes.size(), 15u);
   for (const auto& out : report.outcomes)
     EXPECT_EQ(out.iterations, opts.iters) << out.name;
 }

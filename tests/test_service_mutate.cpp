@@ -205,6 +205,41 @@ TEST(ServiceMutateTest, EvictionChurnKeepsBytesIdentical) {
   }
 }
 
+TEST(ServiceMutateTest, SessionStatesShareGraphRows) {
+  // Memory pin (ROADMAP dynamic-tier follow-on): session states share
+  // the graph structurally instead of deep-copying it.  Copies share
+  // every adjacency row; a mutation applied to the copy reallocates only
+  // the rows inside the edit's ball, and never writes through to rows
+  // the original still points at.
+  const auto inst = base_instance();
+  DynamicConflictGraph base(*inst, 2);
+  const std::uint64_t base_hash = base.graph_hash();
+
+  // MutationState copy (what a partial-prefix resume makes): every row
+  // of the copied graph aliases the stored one's storage.
+  const MutationState stored{DynamicConflictGraph(base), {}, 7, {}};
+  MutationState resumed = stored;
+  EXPECT_EQ(resumed.graph.shared_rows_with(stored.graph),
+            stored.graph.triple_count());
+
+  // Divergent suffix on the copy: rows outside the mutation's dirty ball
+  // stay shared, dirty/fresh rows get fresh storage (COW — the original
+  // graph's bytes are untouched).
+  const auto delta = resumed.graph.apply(Mutation::add_edge({1, 4}));
+  const std::size_t shared = resumed.graph.shared_rows_with(stored.graph);
+  EXPECT_GE(shared + delta.dirty.size(), base.triple_count());
+  EXPECT_LT(shared, resumed.graph.triple_count());  // something did change
+  EXPECT_GT(shared, 0u);                            // ...but not everything
+  EXPECT_EQ(stored.graph.graph_hash(), base_hash);
+
+  // Removal path (non-identity remap): rows whose neighbor ids survive
+  // unrenumbered keep sharing too.
+  MutationState removed = stored;
+  (void)removed.graph.apply(Mutation::remove_edge(4));
+  EXPECT_GT(removed.graph.shared_rows_with(stored.graph), 0u);
+  EXPECT_EQ(stored.graph.graph_hash(), base_hash);
+}
+
 TEST(ServiceMutateTest, SessionStoreLruEvictsAndDisables) {
   MutationSessionStore store(2);
   const Hypergraph h(4, {{0, 1}, {2, 3}});
